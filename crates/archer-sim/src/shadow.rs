@@ -1,0 +1,207 @@
+//! TSan-style shadow memory: four access cells per 8-byte application
+//! word, with eviction on overflow.
+
+use sword_trace::{AccessKind, PcId, ThreadId};
+
+/// Cells retained per application word — the TSan/ARCHER constant whose
+/// consequences (eviction misses) §II of the paper describes.
+pub const CELLS_PER_WORD: usize = 4;
+
+/// Modeled bytes per shadow word at paper scale: 4 shadow cells of one
+/// word each (the "memory consumption quintuples" arithmetic of §I).
+pub const MODELED_BYTES_PER_WORD: u64 = (CELLS_PER_WORD as u64) * 8;
+
+/// One shadow cell: a recorded access to (part of) a word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShadowCell {
+    /// Accessing thread.
+    pub tid: ThreadId,
+    /// The thread's epoch at access time.
+    pub epoch: u64,
+    /// First byte within the word (0..8).
+    pub offset: u8,
+    /// Bytes covered (1..=8).
+    pub len: u8,
+    /// Write or read.
+    pub is_write: bool,
+    /// Atomic access.
+    pub is_atomic: bool,
+    /// Source location for reports.
+    pub pc: PcId,
+}
+
+impl ShadowCell {
+    /// Byte-range overlap within the word.
+    #[inline]
+    pub fn overlaps(&self, offset: u8, len: u8) -> bool {
+        self.offset < offset + len && offset < self.offset + self.len
+    }
+
+    /// Builds a cell from an access.
+    pub fn new(
+        tid: ThreadId,
+        epoch: u64,
+        offset: u8,
+        len: u8,
+        kind: AccessKind,
+        pc: PcId,
+    ) -> Self {
+        ShadowCell {
+            tid,
+            epoch,
+            offset,
+            len,
+            is_write: kind.is_write(),
+            is_atomic: kind.is_atomic(),
+            pc,
+        }
+    }
+}
+
+/// The up-to-four cells of one application word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShadowWord {
+    cells: [Option<ShadowCell>; CELLS_PER_WORD],
+    /// Rotating victim cursor for round-robin eviction.
+    next_victim: u8,
+}
+
+/// What storing a cell did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// Replaced this thread's stale record of the same range.
+    Updated,
+    /// Used a free slot.
+    Filled,
+    /// All slots full: an unrelated record was evicted — the §II
+    /// information loss.
+    Evicted,
+}
+
+impl ShadowWord {
+    /// Iterates the occupied cells.
+    pub fn cells(&self) -> impl Iterator<Item = &ShadowCell> {
+        self.cells.iter().flatten()
+    }
+
+    /// Stores `cell`, preferring (1) this thread's matching slot, (2) a
+    /// free slot, (3) eviction of the slot selected by `victim` — either
+    /// a number from the detector's seeded RNG, or `None` for the
+    /// deterministic round-robin cursor.
+    pub fn store(&mut self, cell: ShadowCell, victim: Option<usize>) -> StoreOutcome {
+        // Same thread, same range: refresh in place. A read never
+        // overwrites this thread's write record (the write is the more
+        // dangerous fact to remember) unless the new access is a write.
+        for slot in self.cells.iter_mut() {
+            if let Some(existing) = slot {
+                if existing.tid == cell.tid
+                    && existing.offset == cell.offset
+                    && existing.len == cell.len
+                    && (cell.is_write || !existing.is_write)
+                {
+                    *slot = Some(cell);
+                    return StoreOutcome::Updated;
+                }
+            }
+        }
+        for slot in self.cells.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(cell);
+                return StoreOutcome::Filled;
+            }
+        }
+        let slot = match victim {
+            Some(v) => v % CELLS_PER_WORD,
+            None => {
+                let v = self.next_victim as usize % CELLS_PER_WORD;
+                self.next_victim = (v as u8 + 1) % CELLS_PER_WORD as u8;
+                v
+            }
+        };
+        self.cells[slot] = Some(cell);
+        StoreOutcome::Evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(tid: ThreadId, epoch: u64, kind: AccessKind) -> ShadowCell {
+        ShadowCell::new(tid, epoch, 0, 8, kind, 0)
+    }
+
+    #[test]
+    fn overlap_within_word() {
+        let c = ShadowCell::new(0, 1, 2, 4, AccessKind::Read, 0); // bytes 2..6
+        assert!(c.overlaps(0, 3));
+        assert!(c.overlaps(5, 1));
+        assert!(!c.overlaps(6, 2));
+        assert!(!c.overlaps(0, 2));
+    }
+
+    #[test]
+    fn fills_free_slots_first() {
+        let mut w = ShadowWord::default();
+        for tid in 0..4 {
+            assert_eq!(w.store(cell(tid, 1, AccessKind::Read), None), StoreOutcome::Filled);
+        }
+        assert_eq!(w.cells().count(), 4);
+    }
+
+    #[test]
+    fn same_thread_same_range_updates() {
+        let mut w = ShadowWord::default();
+        w.store(cell(3, 1, AccessKind::Read), None);
+        assert_eq!(w.store(cell(3, 2, AccessKind::Read), None), StoreOutcome::Updated);
+        assert_eq!(w.cells().count(), 1);
+        assert_eq!(w.cells().next().unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn read_does_not_displace_own_write() {
+        let mut w = ShadowWord::default();
+        w.store(cell(3, 1, AccessKind::Write), None);
+        // The read takes a fresh slot, leaving the write record intact.
+        assert_eq!(w.store(cell(3, 2, AccessKind::Read), None), StoreOutcome::Filled);
+        assert_eq!(w.cells().count(), 2);
+        assert!(w.cells().any(|c| c.is_write && c.epoch == 1));
+    }
+
+    #[test]
+    fn write_replaces_own_read() {
+        let mut w = ShadowWord::default();
+        w.store(cell(3, 1, AccessKind::Read), None);
+        assert_eq!(w.store(cell(3, 2, AccessKind::Write), None), StoreOutcome::Updated);
+        assert_eq!(w.cells().count(), 1);
+        assert!(w.cells().next().unwrap().is_write);
+    }
+
+    #[test]
+    fn fifth_access_evicts() {
+        // The §II scenario: thread 0's write then four readers; the write
+        // record is lost when the victim selector lands on it.
+        let mut w = ShadowWord::default();
+        w.store(cell(0, 1, AccessKind::Write), None);
+        for tid in 1..4 {
+            w.store(cell(tid, 1, AccessKind::Read), None);
+        }
+        assert_eq!(w.store(cell(4, 1, AccessKind::Read), None), StoreOutcome::Evicted);
+        // round-robin victim 0 evicted slot 0, which held the write.
+        assert!(
+            w.cells().all(|c| !c.is_write),
+            "the write record was evicted — the §II information loss"
+        );
+    }
+
+    #[test]
+    fn eviction_respects_victim_index() {
+        let mut w = ShadowWord::default();
+        for tid in 0..4 {
+            w.store(cell(tid, 1, AccessKind::Read), None);
+        }
+        w.store(cell(9, 9, AccessKind::Read), Some(2));
+        let tids: Vec<ThreadId> = w.cells().map(|c| c.tid).collect();
+        assert_eq!(tids, vec![0, 1, 9, 3]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Vector clocks over dense thread ids.
+
+/// A grow-on-demand vector clock indexed by [`sword_trace::ThreadId`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    clocks: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for `tid` (0 when never set).
+    #[inline]
+    pub fn get(&self, tid: u32) -> u64 {
+        self.clocks.get(tid as usize).copied().unwrap_or(0)
+    }
+
+    /// Sets component `tid`.
+    pub fn set(&mut self, tid: u32, value: u64) {
+        let idx = tid as usize;
+        if idx >= self.clocks.len() {
+            self.clocks.resize(idx + 1, 0);
+        }
+        self.clocks[idx] = value;
+    }
+
+    /// Increments component `tid`, returning the new value.
+    pub fn tick(&mut self, tid: u32) -> u64 {
+        let next = self.get(tid) + 1;
+        self.set(tid, next);
+        next
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.clocks.len() > self.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (mine, theirs) in self.clocks.iter_mut().zip(&other.clocks) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// `true` when every component of `self` is ≤ the corresponding
+    /// component of `other` (self happens-before-or-equals other).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.clocks
+            .iter()
+            .enumerate()
+            .all(|(tid, &c)| c <= other.get(tid as u32))
+    }
+
+    /// Approximate heap bytes (memory accounting).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.clocks.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_tick() {
+        let mut vc = VectorClock::new();
+        assert_eq!(vc.get(5), 0);
+        vc.set(5, 7);
+        assert_eq!(vc.get(5), 7);
+        assert_eq!(vc.tick(5), 8);
+        assert_eq!(vc.tick(0), 1);
+        assert_eq!(vc.get(99), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(2, 5);
+        let mut b = VectorClock::new();
+        b.set(0, 1);
+        b.set(1, 9);
+        b.set(3, 2);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 9);
+        assert_eq!(a.get(2), 5);
+        assert_eq!(a.get(3), 2);
+    }
+
+    #[test]
+    fn le_partial_order() {
+        let mut a = VectorClock::new();
+        a.set(0, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 2);
+        b.set(1, 1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.le(&a.clone()));
+        // Incomparable pair.
+        let mut c = VectorClock::new();
+        c.set(1, 5);
+        assert!(!c.le(&a) && !a.le(&c));
+        // Zero clock precedes everything.
+        assert!(VectorClock::new().le(&a));
+    }
+
+    #[test]
+    fn join_after_le() {
+        let mut a = VectorClock::new();
+        a.set(0, 4);
+        let mut b = VectorClock::new();
+        b.set(1, 4);
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j) && b.le(&j));
+    }
+}

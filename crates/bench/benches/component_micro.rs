@@ -1,0 +1,109 @@
+//! Component microbenchmarks: the per-event and per-comparison costs that
+//! determine SWORD's dynamic overhead (§III-A) and offline throughput
+//! (§III-B) — offset-span label comparison, event encode/decode, the
+//! Diophantine overlap solve, and block compression.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sword_osl::Label;
+use sword_solver::{strided_overlap, StridedInterval};
+use sword_trace::{AccessKind, Event, EventDecoder, EventEncoder, MemAccess};
+
+fn bench_osl(c: &mut Criterion) {
+    let a = Label::root().fork(0, 8).bump().bump().fork(3, 4);
+    let b = Label::root().fork(5, 8).bump().fork(1, 4);
+    let c2 = a.bump();
+    c.bench_function("osl_compare_concurrent", |bench| {
+        bench.iter(|| a.compare_barrier_aware(std::hint::black_box(&b)));
+    });
+    c.bench_function("osl_compare_sequential", |bench| {
+        bench.iter(|| a.compare_barrier_aware(std::hint::black_box(&c2)));
+    });
+    c.bench_function("osl_fork_and_bump", |bench| {
+        bench.iter(|| {
+            let mut l = std::hint::black_box(&a).fork(2, 4);
+            l.bump_in_place();
+            l
+        });
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let events: Vec<Event> = (0..N)
+        .map(|i| Event::Access(MemAccess::new(0x1000 + i * 8, 8, AccessKind::Write, 42)))
+        .collect();
+    let mut group = c.benchmark_group("event_codec");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("encode_10k", |b| {
+        b.iter(|| {
+            let mut enc = EventEncoder::new();
+            let mut buf = Vec::with_capacity(N as usize * 4);
+            for e in &events {
+                enc.encode(e, &mut buf);
+            }
+            buf.len()
+        });
+    });
+    let mut enc = EventEncoder::new();
+    let mut encoded = Vec::new();
+    for e in &events {
+        enc.encode(e, &mut encoded);
+    }
+    group.bench_function("decode_10k", |b| {
+        b.iter(|| EventDecoder::new().decode_all(&encoded).unwrap().len());
+    });
+    group.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let disjoint = (StridedInterval::new(10, 8, 1000, 4), StridedInterval::new(14, 8, 1000, 4));
+    let touching = (StridedInterval::new(10, 8, 1000, 4), StridedInterval::new(13, 8, 1000, 4));
+    let dense = (StridedInterval::new(0, 8, 1000, 8), StridedInterval::new(4096, 8, 1000, 8));
+    c.bench_function("solver_strided_unsat", |b| {
+        b.iter(|| strided_overlap(std::hint::black_box(&disjoint.0), &disjoint.1));
+    });
+    c.bench_function("solver_strided_sat", |b| {
+        b.iter(|| strided_overlap(std::hint::black_box(&touching.0), &touching.1));
+    });
+    c.bench_function("solver_dense_fastpath", |b| {
+        b.iter(|| strided_overlap(std::hint::black_box(&dense.0), &dense.1));
+    });
+}
+
+fn bench_compress(c: &mut Criterion) {
+    // A realistic flushed buffer: 25k sequential-sweep events.
+    let mut enc = EventEncoder::new();
+    let mut block = Vec::new();
+    for i in 0..25_000u64 {
+        enc.encode(
+            &Event::Access(MemAccess::new(0x8000 + i * 8, 8, AccessKind::Write, 7)),
+            &mut block,
+        );
+    }
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(block.len() as u64));
+    group.bench_function("compress_flush_buffer", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            sword_compress::compress(&block, &mut out);
+            out.len()
+        });
+    });
+    let mut compressed = Vec::new();
+    sword_compress::compress(&block, &mut compressed);
+    group.bench_function("decompress_flush_buffer", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            sword_compress::decompress(&compressed, &mut out).unwrap();
+            out.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_osl, bench_encode, bench_solver, bench_compress
+);
+criterion_main!(benches);

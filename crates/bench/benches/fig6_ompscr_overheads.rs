@@ -1,0 +1,62 @@
+//! Figure 6 — geometric-mean runtime and memory overheads on OmpSCR.
+//!
+//! The paper plots, across 8–24 threads, the geometric mean over the
+//! OmpSCR suite of (runtime, memory) for baseline / archer / archer-low /
+//! sword's data collection. Expected shape: sword's dynamic collection
+//! costs less than both ARCHER configurations in runtime *and* memory,
+//! and its memory is a flat per-thread constant. (Offline analysis is
+//! intentionally excluded here, as in the paper — Table III covers it.)
+//! The sweep is {2, 4, 8} threads on this single-core container.
+
+use sword_bench::{fmt_secs, format_bytes, geomean, Table, THREAD_SWEEP};
+use sword_workloads::{ompscr_workloads, RunConfig};
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 6: OmpSCR geomean runtime / tool memory (dynamic phase)",
+        &["threads", "base time", "archer", "archer-low", "sword DA",
+          "archer mem", "archer-low mem", "sword mem"],
+    );
+    for &threads in &THREAD_SWEEP {
+        let cfg = RunConfig::with_threads(threads);
+        let (mut bt, mut at, mut alt, mut st) = (vec![], vec![], vec![], vec![]);
+        let (mut am, mut alm, mut sm) = (vec![], vec![], vec![]);
+        for w in ompscr_workloads() {
+            let name = w.spec().name;
+            let base = sword_bench::run_baseline(w.as_ref(), &cfg);
+            let archer = sword_bench::run_archer(w.as_ref(), &cfg, false, None);
+            let archer_low = sword_bench::run_archer(w.as_ref(), &cfg, true, None);
+            let sword =
+                sword_bench::run_sword(w.as_ref(), &cfg, &format!("f6-{threads}-{name}"));
+            bt.push(base.secs.max(1e-6));
+            at.push(archer.secs.max(1e-6));
+            alt.push(archer_low.secs.max(1e-6));
+            st.push(sword.dynamic_secs.max(1e-6));
+            am.push(archer.stats.modeled_total_bytes().max(1) as f64);
+            alm.push(archer_low.stats.modeled_total_bytes().max(1) as f64);
+            sm.push(sword.collect.tool_memory_bytes.max(1) as f64);
+        }
+        let g = |v: &[f64]| geomean(v).unwrap();
+        table.row(&[
+            threads.to_string(),
+            fmt_secs(g(&bt)),
+            fmt_secs(g(&at)),
+            fmt_secs(g(&alt)),
+            fmt_secs(g(&st)),
+            format_bytes(g(&am) as u64),
+            format_bytes(g(&alm) as u64),
+            format_bytes(g(&sm) as u64),
+        ]);
+        // Paper shape: sword's collection memory is below both archer
+        // configurations.
+        assert!(
+            g(&sm) < g(&am) && g(&sm) < g(&alm),
+            "sword collection memory must undercut archer ({} vs {}/{})",
+            g(&sm),
+            g(&am),
+            g(&alm)
+        );
+    }
+    println!("{}", table.render());
+    println!("(threads sweep scaled to a single-core container; paper: 8-24 threads)");
+}

@@ -1,0 +1,63 @@
+//! Figure 7 — slowdown and memory overhead on the HPC benchmarks.
+//!
+//! Per benchmark and thread count: tool slowdowns over baseline and tool
+//! memory. Expected shape (§IV-C): ARCHER's memory tracks the baseline
+//! footprint (≈5× touched bytes here: 4 shadow cells per word plus
+//! clock state), "archer-low" trades a bit of that memory for extra
+//! runtime, and SWORD's collection memory is a flat per-thread constant
+//! independent of footprint. SWORD's dynamic phase beats ARCHER except
+//! on the region-heavy LULESH.
+
+use sword_bench::{format_bytes, Table, THREAD_SWEEP};
+use sword_workloads::hpc::amg_workload;
+use sword_workloads::{hpc_workloads, RunConfig, Workload};
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 7: HPC slowdown (×baseline) and tool memory",
+        &["benchmark", "threads", "baseline mem", "archer x", "archer-low x", "sword DA x",
+          "archer mem", "sword mem"],
+    );
+    let mut workloads: Vec<Box<dyn Workload>> = hpc_workloads()
+        .into_iter()
+        .filter(|w| !w.spec().name.starts_with("AMG"))
+        .collect();
+    workloads.push(Box::new(amg_workload(20)));
+
+    for w in &workloads {
+        let spec = w.spec();
+        for &threads in &THREAD_SWEEP {
+            let cfg = RunConfig { threads, size: 0 };
+            let base = sword_bench::run_baseline(w.as_ref(), &cfg);
+            let archer = sword_bench::run_archer(w.as_ref(), &cfg, false, None);
+            let archer_low = sword_bench::run_archer(w.as_ref(), &cfg, true, None);
+            let sword = sword_bench::run_sword(
+                w.as_ref(),
+                &cfg,
+                &format!("f7-{}-{}", spec.name, threads),
+            );
+            let slowdown = |t: f64| format!("{:.1}x", t / base.secs.max(1e-9));
+            table.row(&[
+                spec.name.to_string(),
+                threads.to_string(),
+                format_bytes(base.footprint),
+                slowdown(archer.secs),
+                slowdown(archer_low.secs),
+                slowdown(sword.dynamic_secs),
+                format_bytes(archer.stats.modeled_total_bytes()),
+                format_bytes(sword.collect.tool_memory_bytes),
+            ]);
+            // SWORD's bound: collection memory stays (far) below ARCHER's
+            // footprint-proportional shadow on every HPC code.
+            assert!(
+                sword.collect.tool_memory_bytes < archer.stats.modeled_total_bytes(),
+                "{}: sword {} !< archer {}",
+                spec.name,
+                sword.collect.tool_memory_bytes,
+                archer.stats.modeled_total_bytes()
+            );
+        }
+    }
+    println!("{}", table.render());
+    println!("(threads sweep scaled to a single-core container; paper: 8-24 threads)");
+}

@@ -1,0 +1,51 @@
+//! Figure 8 — AMG2013 problem-size scaling.
+//!
+//! Sweeping the grid size 10³ → 40³: the application baseline grows
+//! cubically, ARCHER's tool memory tracks it (≈5× the touched footprint)
+//! until the node model kills it at 40³, while SWORD's collection memory
+//! stays a flat per-thread constant and every size completes.
+
+use sword_bench::{fmt_races, format_bytes, mini_node, Table};
+use sword_metrics::Placement;
+use sword_workloads::hpc::{amg_baseline_bytes, amg_workload, AMG_SIZES};
+use sword_workloads::RunConfig;
+
+fn main() {
+    let node = mini_node();
+    let cfg = RunConfig { threads: 6, size: 0 };
+    let mut table = Table::new(
+        "Figure 8: AMG2013 size sweep on a 64 MB model node",
+        &["size", "baseline", "archer mem", "archer fate", "sword mem", "sword fate",
+          "archer races", "sword races"],
+    );
+    let mut prev_archer_mem = 0u64;
+    for n in AMG_SIZES {
+        let w = amg_workload(n);
+        let archer = sword_bench::run_archer(&w, &cfg, false, Some(node.available()));
+        let sword = sword_bench::run_sword(&w, &cfg, &format!("f8-amg{n}"));
+        let baseline = amg_baseline_bytes(n);
+        let sword_place = node.place(baseline, sword.collect.tool_memory_bytes);
+        assert!(matches!(sword_place, Placement::Fits { .. }), "sword must fit at {n}");
+        table.row(&[
+            format!("{n}^3"),
+            format_bytes(baseline),
+            format_bytes(archer.stats.modeled_total_bytes()),
+            if archer.stats.oom { "OOM".into() } else { "fits".into() },
+            format_bytes(sword.collect.tool_memory_bytes),
+            "fits".into(),
+            fmt_races(archer.races, archer.stats.oom),
+            sword.analysis.race_count().to_string(),
+        ]);
+        if !archer.stats.oom {
+            assert!(
+                archer.stats.modeled_total_bytes() > prev_archer_mem,
+                "archer memory must grow with the problem size"
+            );
+            prev_archer_mem = archer.stats.modeled_total_bytes();
+        }
+        if n == 40 {
+            assert!(archer.stats.oom, "the paper's OOM point");
+        }
+    }
+    println!("{}", table.render());
+}

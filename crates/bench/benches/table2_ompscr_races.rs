@@ -1,0 +1,45 @@
+//! Table II — data races reported in OmpSCR benchmarks.
+//!
+//! Reproduces the paper's headline relation: SWORD reports every race
+//! ARCHER reports, plus new (real, undocumented) races in `c_md`,
+//! `c_testPath`, `cpp_qsomp1`, `cpp_qsomp2`, `cpp_qsomp5`, `cpp_qsomp6`.
+//! Race-free benchmarks are listed with zero counts (the paper omits
+//! them from the table after verifying no false alarms).
+
+use sword_bench::Table;
+use sword_workloads::{ompscr_workloads, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::small();
+    let mut table = Table::new(
+        "Table II: OmpSCR data races reported",
+        &["benchmark", "documented", "archer", "archer-low", "sword", "new (sword-only)"],
+    );
+    let mut sword_only = Vec::new();
+    for w in ompscr_workloads() {
+        let spec = w.spec();
+        let archer = sword_bench::run_archer(w.as_ref(), &cfg, false, None);
+        let archer_low = sword_bench::run_archer(w.as_ref(), &cfg, true, None);
+        let sword = sword_bench::run_sword(w.as_ref(), &cfg, &format!("t2-{}", spec.name));
+        let extra = sword.analysis.race_count().saturating_sub(archer.races);
+        if extra > 0 {
+            sword_only.push(spec.name);
+        }
+        table.row(&[
+            spec.name.to_string(),
+            spec.documented_races.to_string(),
+            archer.races.to_string(),
+            archer_low.races.to_string(),
+            sword.analysis.race_count().to_string(),
+            extra.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("benchmarks with new sword-only races: {sword_only:?}");
+    println!("paper: [c_md, c_testPath, cpp_qsomp1, cpp_qsomp2, cpp_qsomp5, cpp_qsomp6]");
+    assert_eq!(
+        sword_only,
+        vec!["c_md", "c_testPath", "cpp_qsomp1", "cpp_qsomp2", "cpp_qsomp5", "cpp_qsomp6"],
+        "the six benchmarks with undocumented races must match the paper"
+    );
+}

@@ -1,0 +1,45 @@
+//! Table III — runtime overhead of the offline data race detection on
+//! OmpSCR.
+//!
+//! Columns mirror the paper's: baseline time, the two ARCHER
+//! configurations (whose analysis is entirely online), SWORD's dynamic
+//! phase (DA), its single-node offline analysis (OA), and the
+//! distributed-analysis proxy MT (the longest single comparison task —
+//! with one task per cluster node, the makespan the paper measures).
+
+use sword_bench::{fmt_secs, Table};
+use sword_workloads::{ompscr_workloads, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::small();
+    let mut table = Table::new(
+        "Table III: OmpSCR offline-analysis overheads",
+        &["benchmark", "base", "archer", "archer-low", "sword DA", "OA", "MT(8 nodes)"],
+    );
+    for w in ompscr_workloads() {
+        let spec = w.spec();
+        let base = sword_bench::run_baseline(w.as_ref(), &cfg);
+        let archer = sword_bench::run_archer(w.as_ref(), &cfg, false, None);
+        let archer_low = sword_bench::run_archer(w.as_ref(), &cfg, true, None);
+        let sword = sword_bench::run_sword(w.as_ref(), &cfg, &format!("t3-{}", spec.name));
+        table.row(&[
+            spec.name.to_string(),
+            fmt_secs(base.secs),
+            fmt_secs(archer.secs),
+            fmt_secs(archer_low.secs),
+            fmt_secs(sword.dynamic_secs),
+            fmt_secs(sword.analysis.stats.wall_secs),
+            fmt_secs(sword.analysis.makespan(8)),
+        ]);
+        // Paper: OA stays under a minute per benchmark at this scale; MT
+        // is milliseconds-to-seconds.
+        assert!(
+            sword.analysis.stats.wall_secs < 60.0,
+            "{}: offline analysis exploded",
+            spec.name
+        );
+        assert!(sword.analysis.stats.max_task_secs <= sword.analysis.stats.wall_secs);
+        assert!(sword.analysis.makespan(8) <= sword.analysis.makespan(1) + 1e-9);
+    }
+    println!("{}", table.render());
+}

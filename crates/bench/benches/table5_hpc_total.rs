@@ -1,0 +1,69 @@
+//! Table V — total analysis runtimes on the HPC benchmarks, including
+//! SWORD's offline phase.
+//!
+//! Expected shape (§IV-C): SWORD's dynamic phase beats ARCHER except on
+//! LULESH, whose very many small parallel regions inflate collection I/O
+//! and make the offline phase the dominant cost; AMG completes under
+//! SWORD while ARCHER OOMs at the large size (reported as OOM).
+
+use sword_bench::{fmt_secs, mini_node, Table};
+use sword_workloads::hpc::amg_workload;
+use sword_workloads::{hpc_workloads, RunConfig, Workload};
+
+fn main() {
+    let node = mini_node();
+    let mut table = Table::new(
+        "Table V: HPC total runtimes (DA = dynamic, OA = offline single-node, MT = longest task)",
+        &["benchmark", "base", "archer", "archer-low", "sword DA", "OA", "MT(8 nodes)", "regions"],
+    );
+
+    let mut rows: Vec<(Box<dyn Workload>, RunConfig)> = hpc_workloads()
+        .into_iter()
+        .filter(|w| !w.spec().name.starts_with("AMG"))
+        .map(|w| {
+            // LULESH's distinguishing load is region count: run it with
+            // many more steps than the default.
+            let size = if w.spec().name == "LULESH" { 400 } else { 0 };
+            (w, RunConfig { threads: 6, size })
+        })
+        .collect();
+    rows.push((Box::new(amg_workload(30)), RunConfig { threads: 6, size: 0 }));
+
+    let mut lulesh_oa = 0.0;
+    let mut others_max_oa = 0.0f64;
+    for (w, cfg) in &rows {
+        let spec = w.spec();
+        let base = sword_bench::run_baseline(w.as_ref(), cfg);
+        let archer = sword_bench::run_archer(w.as_ref(), cfg, false, Some(node.available()));
+        let archer_low = sword_bench::run_archer(w.as_ref(), cfg, true, Some(node.available()));
+        let sword = sword_bench::run_sword(w.as_ref(), cfg, &format!("t5-{}", spec.name));
+        let archer_cell = if archer.stats.oom { "OOM".into() } else { fmt_secs(archer.secs) };
+        let archer_low_cell =
+            if archer_low.stats.oom { "OOM".into() } else { fmt_secs(archer_low.secs) };
+        table.row(&[
+            spec.name.to_string(),
+            fmt_secs(base.secs),
+            archer_cell,
+            archer_low_cell,
+            fmt_secs(sword.dynamic_secs),
+            fmt_secs(sword.analysis.stats.wall_secs),
+            fmt_secs(sword.analysis.makespan(8)),
+            sword.collect.regions.to_string(),
+        ]);
+        if spec.name == "LULESH" {
+            lulesh_oa = sword.analysis.stats.wall_secs;
+        } else {
+            others_max_oa = others_max_oa.max(sword.analysis.stats.wall_secs);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "LULESH offline analysis: {} vs worst other: {} — region count drives the blow-up",
+        fmt_secs(lulesh_oa),
+        fmt_secs(others_max_oa)
+    );
+    assert!(
+        lulesh_oa > others_max_oa,
+        "LULESH's many regions must dominate offline analysis time"
+    );
+}

@@ -1,0 +1,385 @@
+//! `sword` — command-line front end for the SWORD reproduction.
+//!
+//! ```text
+//! sword run <workload> [--threads N] [--size S] [--session DIR]
+//!     Execute a workload under the SWORD collector.
+//! sword analyze <session-dir> [--workers N] [--ilp]
+//!     Offline race analysis of a collected session.
+//! sword check <workload> [--threads N] [--size S]
+//!     run + analyze in one step, printing races with source locations.
+//! sword compare <workload> [--threads N] [--size S]
+//!     Run baseline, ARCHER (both configs), and SWORD; print a summary.
+//! sword meta <session-dir>
+//!     Pretty-print a session's Table-I metadata and region table.
+//! sword list
+//!     List available workloads with their ground truth.
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use archer_sim::{ArcherConfig, ArcherTool};
+use sword_metrics::{format_bytes, Stopwatch, Table};
+use sword_offline::{analyze, AnalysisConfig, SolverChoice};
+use sword_ompsim::{OmpSim, SimConfig};
+use sword_runtime::{run_collected, SwordConfig};
+use sword_trace::SessionDir;
+use sword_workloads::{
+    drb_workloads, find_workload, hpc_workloads, ompscr_workloads, RunConfig, Workload,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sword list
+  sword run <workload> [--threads N] [--size S] [--session DIR]
+  sword analyze <session-dir> [--workers N] [--ilp] [--json]
+                               [--region id,...] [--suppress pat,...]
+  sword check <workload> [--threads N] [--size S]
+  sword compare <workload> [--threads N] [--size S]
+  sword meta <session-dir>";
+
+/// Minimal flag parser: `--key value` pairs after positional args.
+struct Flags {
+    map: BTreeMap<String, String>,
+    bools: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = BTreeMap::new();
+        let mut bools = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{arg}`"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    map.insert(key.to_string(), it.next().unwrap().clone());
+                }
+                _ => bools.push(key.to_string()),
+            }
+        }
+        Ok(Flags { map, bools })
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.bools.iter().any(|b| b == key)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "meta" => cmd_meta(&args[1..]),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn workload_arg(args: &[String]) -> Result<(Box<dyn Workload>, RunConfig, Flags), String> {
+    let Some(name) = args.first() else {
+        return Err("missing workload name (try `sword list`)".into());
+    };
+    let w = find_workload(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let flags = Flags::parse(&args[1..])?;
+    let cfg = RunConfig {
+        threads: flags.get_usize("threads", 4)?,
+        size: flags.get_u64("size", 0)?,
+    };
+    Ok((w, cfg, flags))
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut table = Table::new(
+        "available workloads",
+        &["name", "suite", "documented", "sword races", "notes"],
+    );
+    for w in drb_workloads().iter().chain(&ompscr_workloads()).chain(&hpc_workloads()) {
+        let s = w.spec();
+        table.row(&[
+            s.name.to_string(),
+            format!("{:?}", s.suite),
+            s.documented_races.to_string(),
+            s.sword_races.to_string(),
+            s.notes.chars().take(60).collect(),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (w, cfg, flags) = workload_arg(args)?;
+    let session: PathBuf = flags
+        .map
+        .get("session")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("sword-session"));
+    let sw = Stopwatch::start();
+    let (_, stats) = run_collected(SwordConfig::new(&session), SimConfig::default(), |sim| {
+        w.execute(sim, &cfg);
+    })
+    .map_err(|e| e.to_string())?;
+    println!("collected {} in {:.2}s", w.spec().name, sw.secs());
+    println!("  session:           {}", session.display());
+    println!("  threads:           {}", stats.threads);
+    println!("  parallel regions:  {}", stats.regions);
+    println!("  barrier intervals: {}", stats.barrier_intervals);
+    println!("  events:            {}", stats.events);
+    println!(
+        "  log volume:        {} raw -> {} on disk ({:.1}x)",
+        format_bytes(stats.raw_bytes),
+        format_bytes(stats.compressed_bytes),
+        stats.compression_ratio()
+    );
+    println!("  bounded tool mem:  {}", format_bytes(stats.tool_memory_bytes));
+    println!("\nnext: sword analyze {}", session.display());
+    Ok(())
+}
+
+fn analysis_config(flags: &Flags) -> Result<AnalysisConfig, String> {
+    let mut config = AnalysisConfig::default();
+    config.workers = flags.get_usize("workers", config.workers)?;
+    if flags.has("ilp") {
+        config.solver = SolverChoice::Ilp;
+    }
+    if let Some(regions) = flags.map.get("region") {
+        let parsed: Result<Vec<u64>, _> =
+            regions.split(',').map(|r| r.trim().parse::<u64>()).collect();
+        config.focus_regions =
+            Some(parsed.map_err(|_| format!("--region expects ids, got `{regions}`"))?);
+    }
+    if let Some(patterns) = flags.map.get("suppress") {
+        config.suppressions =
+            patterns.split(',').map(|p| p.trim().to_string()).collect();
+    }
+    Ok(config)
+}
+
+fn print_analysis(
+    session: &SessionDir,
+    config: &AnalysisConfig,
+    json: bool,
+) -> Result<usize, String> {
+    let loaded = sword_offline::LoadedSession::load(session).map_err(|e| e.to_string())?;
+    let result = sword_offline::analyze_loaded(&loaded, config).map_err(|e| e.to_string())?;
+    if json {
+        print!("{}", sword_offline::render_json(&result, &loaded.pcs));
+    } else {
+        print!("{}", sword_offline::render_text(&result, &loaded.pcs));
+    }
+    Ok(result.races.len())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let Some(dir) = args.first() else {
+        return Err("missing session directory".into());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    let config = analysis_config(&flags)?;
+    print_analysis(&SessionDir::new(dir), &config, flags.has("json"))?;
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let (w, cfg, flags) = workload_arg(args)?;
+    let session = std::env::temp_dir().join(format!("sword-check-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&session);
+    run_collected(SwordConfig::new(&session), SimConfig::default(), |sim| {
+        w.execute(sim, &cfg);
+    })
+    .map_err(|e| e.to_string())?;
+    let config = analysis_config(&flags)?;
+    let found = print_analysis(&SessionDir::new(&session), &config, flags.has("json"))?;
+    let _ = std::fs::remove_dir_all(&session);
+    let expected = w.spec().sword_races;
+    println!("\nground truth for {}: {} race(s) — {}", w.spec().name, expected,
+        if found == expected { "MATCH" } else { "MISMATCH" });
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let (w, cfg, _flags) = workload_arg(args)?;
+    let name = w.spec().name;
+
+    let sim = OmpSim::new();
+    let sw = Stopwatch::start();
+    w.execute(&sim, &cfg);
+    let base_secs = sw.secs();
+    let footprint = sim.peak_footprint();
+
+    let mut table = Table::new(
+        format!("{name} under each tool"),
+        &["tool", "time", "tool memory", "races"],
+    );
+    table.row(&["baseline".into(), format!("{base_secs:.3}s"), "-".into(), "-".into()]);
+
+    for (label, flush) in [("archer", false), ("archer-low", true)] {
+        let tool = Arc::new(ArcherTool::new(ArcherConfig { flush_shadow: flush, ..Default::default() }));
+        let sim = OmpSim::with_tool(tool.clone());
+        tool.attach_baseline_source(sim.footprint_handle());
+        let sw = Stopwatch::start();
+        w.execute(&sim, &cfg);
+        let stats = tool.stats();
+        table.row(&[
+            label.into(),
+            format!("{:.3}s", sw.secs()),
+            format_bytes(stats.modeled_total_bytes()),
+            tool.races().len().to_string(),
+        ]);
+    }
+
+    let session = std::env::temp_dir().join(format!("sword-cmp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&session);
+    let sw = Stopwatch::start();
+    let (_, stats) = run_collected(SwordConfig::new(&session), SimConfig::default(), |sim| {
+        w.execute(sim, &cfg);
+    })
+    .map_err(|e| e.to_string())?;
+    let da = sw.secs();
+    let result = analyze(&SessionDir::new(&session), &AnalysisConfig::default())
+        .map_err(|e| e.to_string())?;
+    let _ = std::fs::remove_dir_all(&session);
+    table.row(&[
+        "sword".into(),
+        format!("{:.3}s DA + {:.3}s OA", da, result.stats.wall_secs),
+        format_bytes(stats.tool_memory_bytes),
+        result.races.len().to_string(),
+    ]);
+    println!("application footprint: {}", format_bytes(footprint));
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_meta(args: &[String]) -> Result<(), String> {
+    let Some(dir) = args.first() else {
+        return Err("missing session directory".into());
+    };
+    let session = SessionDir::new(dir);
+    let loaded = sword_offline::LoadedSession::load(&session).map_err(|e| e.to_string())?;
+    let mut regions = Table::new(
+        "regions.meta",
+        &["pid", "ppid", "level", "span", "fork label"],
+    );
+    let mut sorted: Vec<_> = loaded.regions.values().collect();
+    sorted.sort_by_key(|r| r.pid);
+    for r in sorted {
+        regions.row(&[
+            r.pid.to_string(),
+            r.ppid.map_or("-".into(), |p| p.to_string()),
+            r.level.to_string(),
+            r.span.to_string(),
+            format!("{}", r.fork_label()),
+        ]);
+    }
+    println!("{}", regions.render());
+    for (tid, rows) in &loaded.threads {
+        let mut t = Table::new(
+            format!("thread_{tid}.meta (Table I)"),
+            &["pid", "ppid", "bid", "offset", "span", "level", "data_begin", "size"],
+        );
+        for r in rows {
+            t.row(&[
+                r.pid.to_string(),
+                r.ppid.map_or("-".into(), |p| p.to_string()),
+                r.bid.to_string(),
+                r.offset.to_string(),
+                r.span.to_string(),
+                r.level.to_string(),
+                r.data_begin.to_string(),
+                r.size.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_bools() {
+        let f = Flags::parse(&s(&["--threads", "8", "--ilp", "--size", "100"])).unwrap();
+        assert_eq!(f.get_usize("threads", 4).unwrap(), 8);
+        assert_eq!(f.get_u64("size", 0).unwrap(), 100);
+        assert!(f.has("ilp"));
+        assert!(!f.has("json"));
+        assert_eq!(f.get_usize("workers", 3).unwrap(), 3, "default when absent");
+    }
+
+    #[test]
+    fn flags_reject_garbage() {
+        assert!(Flags::parse(&s(&["positional"])).is_err());
+        let f = Flags::parse(&s(&["--threads", "many"])).unwrap();
+        assert!(f.get_usize("threads", 4).is_err());
+    }
+
+    #[test]
+    fn dispatcher_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["check", "no-such-workload"])).is_err());
+        assert!(run(&s(&["analyze"])).is_err());
+    }
+
+    #[test]
+    fn list_and_check_work_end_to_end() {
+        run(&s(&["list"])).expect("list");
+        // `check` runs collection + analysis on a tiny pinned kernel.
+        run(&s(&["check", "plusplus-orig-yes", "--threads", "4"])).expect("check");
+        run(&s(&["check", "c_pi", "--json"])).expect("check --json");
+    }
+
+    #[test]
+    fn run_then_meta_then_analyze() {
+        let session = std::env::temp_dir().join(format!("sword-cli-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&session);
+        run(&s(&["run", "sections1-orig-yes", "--session", session.to_str().unwrap()]))
+            .expect("run");
+        run(&s(&["meta", session.to_str().unwrap()])).expect("meta");
+        run(&s(&["analyze", session.to_str().unwrap(), "--workers", "1"])).expect("analyze");
+        run(&s(&["analyze", session.to_str().unwrap(), "--json"])).expect("analyze --json");
+        std::fs::remove_dir_all(&session).unwrap();
+    }
+}

@@ -1,0 +1,361 @@
+//! The LZ77 codec: greedy hash-table match finding with an LZ4-style token
+//! stream.
+//!
+//! Encoded stream grammar (all lengths little-endian where multi-byte):
+//!
+//! ```text
+//! sequence := token literals… (offset_lo offset_hi)?
+//! token    := (lit_len : 4 bits high) | (match_len : 4 bits low)
+//! ```
+//!
+//! * `lit_len` 0–14 inline; 15 means "add following 255-chain bytes".
+//! * `match_len` 0 means "no match" (terminal literal run); 1–14 encode a
+//!   match of `match_len + MIN_MATCH - 1` bytes; 15 extends via 255-chain.
+//! * `offset` is the 16-bit distance back into the already-decoded output
+//!   (1-based; ≤ 65535), so matches may overlap themselves, which encodes
+//!   RLE runs efficiently — important for the long runs of identical event
+//!   headers in SWORD logs.
+
+/// Minimum match length worth encoding (token + offset = 3 bytes).
+const MIN_MATCH: usize = 4;
+/// Maximum back-reference distance (16-bit offsets).
+const MAX_OFFSET: usize = 65_535;
+/// log2 of the hash table size.
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// Errors from [`decompress`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended inside a sequence.
+    Truncated,
+    /// A match referenced data before the start of the output.
+    BadOffset,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "compressed stream truncated"),
+            DecodeError::BadOffset => write!(f, "match offset out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Upper bound on compressed size for `len` input bytes (worst case is all
+/// literals with 255-chain length extension).
+pub fn max_compressed_len(len: usize) -> usize {
+    len + len / 255 + 16
+}
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`, appending to `out`.
+pub fn compress(input: &[u8], out: &mut Vec<u8>) {
+    out.reserve(input.len() / 2 + 16);
+    // Positions of previous occurrences of 4-byte prefixes.
+    let mut table = vec![usize::MAX; HASH_SIZE];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+    let n = input.len();
+
+    while pos + MIN_MATCH <= n {
+        let h = hash4(&input[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+        if candidate != usize::MAX
+            && pos - candidate <= MAX_OFFSET
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+        {
+            // Extend the match greedily.
+            let mut len = MIN_MATCH;
+            while pos + len < n && input[candidate + len] == input[pos + len] {
+                len += 1;
+            }
+            emit_sequence(out, &input[literal_start..pos], pos - candidate, len);
+            // Insert a few positions inside the match to keep the table
+            // warm without paying per-byte hashing cost.
+            let step = (len / 4).max(1);
+            let mut p = pos + 1;
+            while p + MIN_MATCH <= n && p < pos + len {
+                table[hash4(&input[p..])] = p;
+                p += step;
+            }
+            pos += len;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    // Terminal literal run (match_len nibble = 0).
+    emit_sequence(out, &input[literal_start..], 0, 0);
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: usize, match_len: usize) {
+    debug_assert!(match_len == 0 || match_len >= MIN_MATCH);
+    let lit_len = literals.len();
+    let lit_nibble = lit_len.min(15) as u8;
+    let match_code = if match_len == 0 { 0 } else { match_len - MIN_MATCH + 1 };
+    let match_nibble = match_code.min(15) as u8;
+    out.push((lit_nibble << 4) | match_nibble);
+    if lit_nibble == 15 {
+        emit_chain(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+    if match_len > 0 {
+        debug_assert!((1..=MAX_OFFSET).contains(&offset));
+        if match_nibble == 15 {
+            emit_chain(out, match_code - 15);
+        }
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+    }
+}
+
+/// 255-chain: a run of 0xFF bytes plus a final byte < 0xFF summing to `v`.
+fn emit_chain(out: &mut Vec<u8>, mut v: usize) {
+    while v >= 255 {
+        out.push(255);
+        v -= 255;
+    }
+    out.push(v as u8);
+}
+
+/// Decompresses `input` (one [`compress`] stream), appending to `out`.
+pub fn decompress(input: &[u8], out: &mut Vec<u8>) -> Result<(), DecodeError> {
+    let mut pos = 0usize;
+    let n = input.len();
+    let base = out.len();
+    loop {
+        if pos >= n {
+            // A valid stream always ends with an explicit terminal
+            // sequence (match nibble 0), so running off the end — even of
+            // an empty input — is a truncation.
+            return Err(DecodeError::Truncated);
+        }
+        let token = input[pos];
+        pos += 1;
+        let mut lit_len = (token >> 4) as usize;
+        let match_code_nibble = (token & 0x0F) as usize;
+        if lit_len == 15 {
+            lit_len += read_chain(input, &mut pos)?;
+        }
+        if pos + lit_len > n {
+            return Err(DecodeError::Truncated);
+        }
+        out.extend_from_slice(&input[pos..pos + lit_len]);
+        pos += lit_len;
+        if match_code_nibble == 0 {
+            // Terminal sequence.
+            if pos != n {
+                return Err(DecodeError::Truncated);
+            }
+            return Ok(());
+        }
+        let mut match_code = match_code_nibble;
+        if match_code == 15 {
+            match_code += read_chain(input, &mut pos)?;
+        }
+        let match_len = match_code + MIN_MATCH - 1;
+        if pos + 2 > n {
+            return Err(DecodeError::Truncated);
+        }
+        let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+        pos += 2;
+        if offset == 0 || offset > out.len() - base {
+            return Err(DecodeError::BadOffset);
+        }
+        // Byte-by-byte copy: offsets smaller than the length self-overlap
+        // (RLE semantics).
+        let start = out.len() - offset;
+        for i in 0..match_len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+}
+
+fn read_chain(input: &[u8], pos: &mut usize) -> Result<usize, DecodeError> {
+    let mut total = 0usize;
+    loop {
+        let b = *input.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        total += b as usize;
+        if b != 255 {
+            return Ok(total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let mut c = Vec::new();
+        compress(data, &mut c);
+        let mut d = Vec::new();
+        decompress(&c, &mut d).expect("decompress");
+        d
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(roundtrip(b""), b"");
+    }
+
+    #[test]
+    fn short_literals() {
+        for len in 0..20 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(roundtrip(&data), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn rle_run() {
+        let data = vec![42u8; 10_000];
+        let mut c = Vec::new();
+        compress(&data, &mut c);
+        assert!(c.len() < 64, "RLE run should compress to ~nothing, got {}", c.len());
+        let mut d = Vec::new();
+        decompress(&c, &mut d).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn repeated_pattern() {
+        let data: Vec<u8> = b"abcdefgh".iter().cycle().take(8000).copied().collect();
+        let mut c = Vec::new();
+        compress(&data, &mut c);
+        assert!(c.len() < 200);
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn long_literal_chain() {
+        // >15 literals exercises the 255-chain.
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7 + i / 3) as u8).collect();
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn long_match_chain() {
+        // Match of length >18 exercises match 255-chain.
+        let mut data = vec![0u8; 4];
+        data.extend((0..50).map(|i| i as u8));
+        let pattern = data.clone();
+        data.extend(&pattern); // long repeat
+        data.extend(&pattern);
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn far_matches_within_window() {
+        let mut data = b"0123456789abcdef_payload_".to_vec();
+        data.extend(vec![9u8; 60_000]);
+        data.extend(b"0123456789abcdef_payload_");
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn matches_beyond_window_are_not_used() {
+        // Distance > 65535: the second copy must still roundtrip (encoded
+        // as literals or nearer matches).
+        let mut data = b"unique-prefix-0123456789".to_vec();
+        let mut x = 1u64;
+        data.extend((0..70_000).map(|_| {
+            x = x.wrapping_mul(48271) % 0x7fffffff;
+            (x >> 7) as u8
+        }));
+        data.extend(b"unique-prefix-0123456789");
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let mut c = Vec::new();
+        compress(&vec![7u8; 1000], &mut c);
+        for cut in 0..c.len() {
+            let mut d = Vec::new();
+            assert!(
+                decompress(&c[..cut], &mut d).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_offset_detected() {
+        // Hand-craft: token with match but offset 0.
+        let stream = [0x01u8, 0x00, 0x00]; // lit 0, match_code 1, offset 0
+        let mut d = Vec::new();
+        assert_eq!(decompress(&stream, &mut d), Err(DecodeError::BadOffset));
+        // Offset pointing before start of output.
+        let stream = [0x11u8, b'x', 0x05, 0x00]; // 1 literal, match offset 5
+        let mut d = Vec::new();
+        assert_eq!(decompress(&stream, &mut d), Err(DecodeError::BadOffset));
+    }
+
+    #[test]
+    fn decompress_appends() {
+        let mut c = Vec::new();
+        compress(b"hello world hello world", &mut c);
+        let mut out = b"prefix:".to_vec();
+        decompress(&c, &mut out).unwrap();
+        assert_eq!(out, b"prefix:hello world hello world");
+    }
+
+    #[test]
+    fn max_compressed_len_holds() {
+        let mut worst = Vec::new();
+        // Incompressible: every 4-gram unique.
+        let data: Vec<u8> = (0..30_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        compress(&data, &mut worst);
+        assert!(worst.len() <= max_compressed_len(data.len()));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(data in prop::collection::vec(any::<u8>(), 0..30_000)) {
+            let mut c = Vec::new();
+            compress(&data, &mut c);
+            prop_assert!(c.len() <= max_compressed_len(data.len()));
+            let mut d = Vec::new();
+            decompress(&c, &mut d).unwrap();
+            prop_assert_eq!(d, data);
+        }
+
+        #[test]
+        fn roundtrip_low_entropy(
+            runs in prop::collection::vec((0u8..4, 1usize..2000), 0..40),
+        ) {
+            let mut data = Vec::new();
+            for (b, len) in runs {
+                data.extend(std::iter::repeat_n(b, len));
+            }
+            let mut c = Vec::new();
+            compress(&data, &mut c);
+            let mut d = Vec::new();
+            decompress(&c, &mut d).unwrap();
+            prop_assert_eq!(d, data);
+        }
+
+        #[test]
+        fn decompress_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+            let mut out = Vec::new();
+            let _ = decompress(&data, &mut out); // must not panic
+        }
+    }
+}

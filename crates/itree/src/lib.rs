@@ -1,0 +1,656 @@
+//! Self-balancing interval trees for SWORD's offline race analysis.
+//!
+//! The offline phase summarizes each thread's memory accesses within one
+//! barrier interval into an *augmented red-black interval tree* (§III-B of
+//! the paper): a node holds a strided interval — base address, stride,
+//! count, access size — plus the access metadata (R/W, program counter,
+//! mutex set, atomicity), so a contiguous or strided sweep over an array
+//! costs one node instead of one node per access. Race detection then
+//! compares the trees of concurrent threads: coarse `[begin, end)` overlap
+//! is found with the tree's `max_end` augmentation, and candidates are
+//! confirmed with the exact strided-overlap constraint solve from
+//! [`sword_solver`].
+//!
+//! Complexity matches the paper's §III-B analysis: building a tree from
+//! `N` accesses is `O(N log N)`; comparing two trees with `M` nodes is
+//! `O(M log M)`; summarization makes `M ≤ N` (often `M ≪ N`).
+//!
+//! # Example
+//!
+//! ```
+//! use sword_itree::{count_exact_overlaps, SummarizingBuilder};
+//!
+//! // Two threads sweep adjacent halves of an array; merge keys model
+//! // (source line, is_write).
+//! let mut t0: SummarizingBuilder<(&str, bool), ()> = SummarizingBuilder::new();
+//! let mut t1 = SummarizingBuilder::new();
+//! for i in 0..500u64 {
+//!     t0.insert_with(("w", true), 0x1000 + i * 8, 8, || ());
+//! }
+//! for i in 499..1000u64 {
+//!     t1.insert_with(("r", false), 0x1000 + i * 8, 8, || ());
+//! }
+//! let a = t0.finish();
+//! let b = t1.finish();
+//!
+//! // 500 accesses each, one strided node each…
+//! assert_eq!((a.len(), b.len()), (1, 1));
+//! // …and exactly the boundary element overlaps.
+//! assert_eq!(count_exact_overlaps(&a, &b), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod tree;
+
+pub use sword_solver::{strided_overlap, StridedInterval};
+pub use tree::{IntervalTree, NodeRef};
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Outcome of a [`SummarizingBuilder::insert_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The access extended an existing node (array sweep continuing).
+    Extended(NodeRef),
+    /// The access repeated the previous one exactly; nothing changed.
+    Duplicate(NodeRef),
+    /// A fresh node was inserted.
+    New(NodeRef),
+}
+
+impl MergeOutcome {
+    /// The node now covering the access.
+    pub fn node(&self) -> NodeRef {
+        match *self {
+            MergeOutcome::Extended(n) | MergeOutcome::Duplicate(n) | MergeOutcome::New(n) => n,
+        }
+    }
+
+    /// `true` unless a fresh node was created.
+    pub fn merged(&self) -> bool {
+        !matches!(self, MergeOutcome::New(_))
+    }
+}
+
+/// How many recent progressions per merge key the builder tracks. Two
+/// slots handle the common "interleaved progressions from one source
+/// line" pattern (e.g. `d = a[i] - a[j]` in an i/j double loop), which a
+/// single-slot cache degrades to one node per access on.
+const MERGE_HISTORY: usize = 2;
+
+/// Largest base→second-element gap accepted when starting a stride
+/// hypothesis. Gaps beyond this (e.g. two unrelated operands on the same
+/// source line) must not seed a progression, or one wrong guess poisons
+/// the node for every later access.
+const MAX_STRIDE_BYTES: u64 = 4096;
+
+#[derive(Clone, Copy, Debug)]
+struct MergeSlot {
+    node: NodeRef,
+    /// A second element observed after a single access, held back until a
+    /// third access confirms the stride (or the slot is retired, at which
+    /// point it is materialized as its own node).
+    pending: Option<u64>,
+}
+
+/// Builds an [`IntervalTree`] from a stream of accesses, summarizing
+/// consecutive same-provenance accesses into strided intervals.
+///
+/// `K` is the merge key — in SWORD it is (program counter, R/W, access
+/// size, mutex set, atomicity): only accesses that are equivalent for race
+/// reporting may share a node. The builder keeps the most recent
+/// progressions per key and extends one when the next access continues
+/// its (confirmed) arithmetic progression, which is exactly the shape
+/// instrumented array loops emit.
+#[derive(Clone, Debug, Default)]
+pub struct SummarizingBuilder<K: Hash + Eq + Clone, V> {
+    tree: IntervalTree<V>,
+    /// Most-recent-first ring of live progressions per key.
+    last: HashMap<K, [Option<MergeSlot>; MERGE_HISTORY]>,
+    accesses: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> SummarizingBuilder<K, V> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SummarizingBuilder { tree: IntervalTree::new(), last: HashMap::new(), accesses: 0 }
+    }
+
+    /// Number of raw accesses inserted (the paper's `N`).
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of tree nodes (the paper's `M ≤ N`). Pending second
+    /// elements are not counted until confirmed or flushed.
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Inserts one access of `size` bytes at `addr` with merge key `key`.
+    /// `value` is stored only when a new node is created (merged accesses
+    /// share the representative's value).
+    pub fn insert_with(
+        &mut self,
+        key: K,
+        addr: u64,
+        size: u64,
+        value: impl FnOnce() -> V,
+    ) -> MergeOutcome {
+        self.accesses += 1;
+        if let Some(ring) = self.last.get_mut(&key) {
+            for i in 0..MERGE_HISTORY {
+                let Some(slot) = ring[i] else { continue };
+                let iv = *self.tree.interval(slot.node);
+                if iv.size != size {
+                    continue;
+                }
+                let outcome = match_slot(&iv, slot.pending, addr);
+                let result = match outcome {
+                    SlotMatch::None => continue,
+                    SlotMatch::Covered => MergeOutcome::Duplicate(slot.node),
+                    SlotMatch::Extend(extended) => {
+                        self.tree.extend_interval(slot.node, extended);
+                        ring[i] = Some(MergeSlot { node: slot.node, pending: None });
+                        MergeOutcome::Extended(slot.node)
+                    }
+                    SlotMatch::Pend => {
+                        ring[i] = Some(MergeSlot { node: slot.node, pending: Some(addr) });
+                        MergeOutcome::Extended(slot.node)
+                    }
+                    SlotMatch::PendingRepeat => MergeOutcome::Duplicate(slot.node),
+                };
+                // Promote the hit to the front of the ring.
+                ring[..=i].rotate_right(1);
+                return result;
+            }
+        }
+        // No progression matched: start a new one, retiring the oldest.
+        let node = self.tree.insert(StridedInterval::single(addr, size), value());
+        let ring = self.last.entry(key).or_default();
+        let retired = ring[MERGE_HISTORY - 1];
+        ring.rotate_right(1);
+        ring[0] = Some(MergeSlot { node, pending: None });
+        if let Some(slot) = retired {
+            self.materialize_pending(slot);
+        }
+        MergeOutcome::New(node)
+    }
+
+    /// A retired slot's unconfirmed second element still represents a
+    /// real access: give it its own single node (sharing the
+    /// representative's value).
+    fn materialize_pending(&mut self, slot: MergeSlot) {
+        if let Some(p) = slot.pending {
+            let iv = *self.tree.interval(slot.node);
+            let value = self.tree.value(slot.node).clone();
+            self.tree.insert(StridedInterval::single(p, iv.size), value);
+        }
+    }
+
+    /// Finishes the build, flushing unconfirmed pendings, and returns the
+    /// tree.
+    pub fn finish(mut self) -> IntervalTree<V> {
+        let rings: Vec<[Option<MergeSlot>; MERGE_HISTORY]> =
+            self.last.values().copied().collect();
+        for ring in rings {
+            for slot in ring.into_iter().flatten() {
+                self.materialize_pending(slot);
+            }
+        }
+        self.tree
+    }
+
+    /// Read access to the tree under construction. Note: pending second
+    /// elements are not yet visible here.
+    pub fn tree(&self) -> &IntervalTree<V> {
+        &self.tree
+    }
+}
+
+enum SlotMatch {
+    /// Not this progression.
+    None,
+    /// Already covered by the interval: nothing to do.
+    Covered,
+    /// Grow the interval to this shape.
+    Extend(StridedInterval),
+    /// Hold `addr` as the unconfirmed second element.
+    Pend,
+    /// Repeats the currently pending element.
+    PendingRepeat,
+}
+
+fn match_slot(iv: &StridedInterval, pending: Option<u64>, addr: u64) -> SlotMatch {
+    // 1. Already covered (loop-invariant operand, repeated sweep).
+    if addr >= iv.base
+        && addr <= iv.base + iv.stride * iv.count
+        && (iv.count == 0 && addr == iv.base
+            || iv.stride > 0 && (addr - iv.base).is_multiple_of(iv.stride))
+    {
+        return SlotMatch::Covered;
+    }
+    if iv.count >= 1 {
+        // 2. The next element of a confirmed progression.
+        if addr == iv.base + iv.stride * (iv.count + 1) {
+            return SlotMatch::Extend(StridedInterval::new(
+                iv.base,
+                iv.stride,
+                iv.count + 1,
+                iv.size,
+            ));
+        }
+        return SlotMatch::None;
+    }
+    match pending {
+        Some(p) => {
+            if addr == p {
+                return SlotMatch::PendingRepeat;
+            }
+            // 3. Third element confirming the stride hypothesis
+            //    (base, p, addr in arithmetic progression).
+            if addr > p && addr - p == p - iv.base {
+                return SlotMatch::Extend(StridedInterval::new(iv.base, p - iv.base, 2, iv.size));
+            }
+            SlotMatch::None
+        }
+        None => {
+            // 4. A plausible second element starts a stride hypothesis.
+            if addr > iv.base && addr - iv.base <= MAX_STRIDE_BYTES {
+                SlotMatch::Pend
+            } else {
+                SlotMatch::None
+            }
+        }
+    }
+}
+
+/// Visits every pair of intervals — one from each tree — whose coarse
+/// `[begin, end)` ranges overlap. This is the tree-vs-tree comparison of
+/// the paper's offline algorithm: each node of `a` performs an augmented
+/// search in `b`. The caller applies the exact strided/mutex/atomic race
+/// conditions to each candidate pair.
+pub fn for_each_candidate_pair<VA, VB, F>(a: &IntervalTree<VA>, b: &IntervalTree<VB>, mut f: F)
+where
+    F: FnMut(&StridedInterval, &VA, &StridedInterval, &VB),
+{
+    for (_, ia, va) in a.iter() {
+        b.for_each_range_overlap(ia.begin(), ia.end(), |_, ib, vb| {
+            f(ia, va, ib, vb);
+        });
+    }
+}
+
+/// Convenience: counts candidate pairs that also pass the exact
+/// strided-overlap constraint check.
+pub fn count_exact_overlaps<VA, VB>(a: &IntervalTree<VA>, b: &IntervalTree<VB>) -> usize {
+    let mut n = 0;
+    for_each_candidate_pair(a, b, |ia, _, ib, _| {
+        if strided_overlap(ia, ib) {
+            n += 1;
+        }
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(base: u64, stride: u64, count: u64, size: u64) -> StridedInterval {
+        StridedInterval::new(base, stride, count, size)
+    }
+
+    #[test]
+    fn insert_and_query_basic() {
+        let mut t = IntervalTree::new();
+        t.insert(iv(10, 0, 0, 4), "a");
+        t.insert(iv(20, 0, 0, 4), "b");
+        t.insert(iv(5, 0, 0, 20), "c"); // covers [5,25)
+        t.assert_invariants();
+        let hits = t.range_overlaps(12, 13);
+        let names: Vec<_> = hits.iter().map(|&h| *t.value(h)).collect();
+        assert_eq!(names, vec!["c", "a"]); // in-order by begin
+        assert!(t.range_overlaps(25, 30).is_empty());
+        assert_eq!(t.range_overlaps(0, 100).len(), 3);
+    }
+
+    #[test]
+    fn overlap_query_is_half_open() {
+        let mut t = IntervalTree::new();
+        t.insert(iv(10, 0, 0, 4), ()); // [10,14)
+        assert!(t.range_overlaps(14, 20).is_empty(), "touching at end is no overlap");
+        assert!(t.range_overlaps(0, 10).is_empty(), "touching at begin is no overlap");
+        assert_eq!(t.range_overlaps(13, 14).len(), 1);
+        assert_eq!(t.range_overlaps(10, 11).len(), 1);
+    }
+
+    #[test]
+    fn many_inserts_stay_balanced() {
+        let mut t = IntervalTree::new();
+        for i in 0..4096u64 {
+            t.insert(iv(i * 8, 0, 0, 8), i);
+        }
+        t.assert_invariants();
+        // RB height bound: ≤ 2·log2(n+1).
+        let bound = 2 * (usize::BITS - (t.len() + 1).leading_zeros()) as usize;
+        assert!(t.height() <= bound, "height {} exceeds RB bound {}", t.height(), bound);
+    }
+
+    #[test]
+    fn ascending_and_descending_inserts() {
+        for descending in [false, true] {
+            let mut t = IntervalTree::new();
+            for i in 0..1000u64 {
+                let k = if descending { 999 - i } else { i };
+                t.insert(iv(k * 4, 0, 0, 4), ());
+            }
+            t.assert_invariants();
+            assert_eq!(t.len(), 1000);
+            let all: Vec<u64> = t.iter().map(|(_, iv, _)| iv.begin()).collect();
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            assert_eq!(all, sorted, "in-order iteration is sorted");
+        }
+    }
+
+    #[test]
+    fn remove_keeps_invariants() {
+        let mut t: IntervalTree<u64> = IntervalTree::new();
+        let handles: Vec<_> = (0..512u64).map(|i| t.insert(iv(i * 16, 0, 0, 8), i)).collect();
+        // Remove every third node.
+        for (i, h) in handles.iter().enumerate() {
+            if i % 3 == 0 {
+                let (ivl, v) = t.remove(*h);
+                assert_eq!(ivl.begin(), (i as u64) * 16);
+                assert_eq!(v, i as u64);
+                t.assert_invariants();
+            }
+        }
+        assert_eq!(t.len(), 512 - 171);
+        // Removed intervals no longer found.
+        assert!(t.range_overlaps(0, 8).is_empty());
+        assert_eq!(t.range_overlaps(16, 24).len(), 1);
+    }
+
+    #[test]
+    fn remove_reuses_slots() {
+        let mut t: IntervalTree<()> = IntervalTree::new();
+        let h = t.insert(iv(0, 0, 0, 8), ());
+        t.remove(h);
+        let before = t.arena_bytes();
+        for i in 0..1 {
+            t.insert(iv(100 + i, 0, 0, 8), ());
+        }
+        assert_eq!(t.arena_bytes(), before, "freed slot is reused");
+    }
+
+    #[test]
+    fn builder_summarizes_array_sweep() {
+        // Thread writes a[0..1000] of 8 bytes from one PC: 1000 accesses →
+        // 1 node.
+        let mut b: SummarizingBuilder<u32, ()> = SummarizingBuilder::new();
+        for i in 0..1000u64 {
+            b.insert_with(7, 0x1000 + i * 8, 8, || ());
+        }
+        assert_eq!(b.access_count(), 1000);
+        assert_eq!(b.node_count(), 1);
+        let t = b.finish();
+        let (_, ivl, _) = t.iter().next().unwrap();
+        assert_eq!(*ivl, iv(0x1000, 8, 999, 8));
+    }
+
+    #[test]
+    fn builder_handles_strided_sweep() {
+        // Every 4th element: stride 32.
+        let mut b: SummarizingBuilder<u32, ()> = SummarizingBuilder::new();
+        for i in 0..100u64 {
+            b.insert_with(1, i * 32, 8, || ());
+        }
+        assert_eq!(b.node_count(), 1);
+        assert_eq!(*b.tree().iter().next().unwrap().1, iv(0, 32, 99, 8));
+    }
+
+    #[test]
+    fn builder_splits_on_key_change() {
+        let mut b: SummarizingBuilder<u32, ()> = SummarizingBuilder::new();
+        b.insert_with(1, 0, 8, || ());
+        b.insert_with(2, 8, 8, || ()); // different PC: no merge
+        b.insert_with(1, 8, 8, || ()); // extends node for key 1
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn builder_splits_on_stride_break() {
+        let mut b: SummarizingBuilder<u32, ()> = SummarizingBuilder::new();
+        assert!(matches!(b.insert_with(1, 0, 8, || ()), MergeOutcome::New(_)));
+        assert!(matches!(b.insert_with(1, 8, 8, || ()), MergeOutcome::Extended(_)));
+        assert!(matches!(b.insert_with(1, 16, 8, || ()), MergeOutcome::Extended(_)));
+        // Jump breaks the progression.
+        assert!(matches!(b.insert_with(1, 100, 8, || ()), MergeOutcome::New(_)));
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn builder_duplicate_access() {
+        let mut b: SummarizingBuilder<u32, ()> = SummarizingBuilder::new();
+        b.insert_with(1, 40, 8, || ());
+        assert!(matches!(b.insert_with(1, 40, 8, || ()), MergeOutcome::Duplicate(_)));
+        b.insert_with(1, 48, 8, || ());
+        assert!(matches!(b.insert_with(1, 48, 8, || ()), MergeOutcome::Duplicate(_)));
+        assert_eq!(b.node_count(), 1);
+    }
+
+    #[test]
+    fn builder_backward_access_starts_new_node() {
+        let mut b: SummarizingBuilder<u32, ()> = SummarizingBuilder::new();
+        b.insert_with(1, 100, 8, || ());
+        assert!(matches!(b.insert_with(1, 50, 8, || ()), MergeOutcome::New(_)));
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn builder_revisit_of_covered_element_is_duplicate() {
+        let mut b: SummarizingBuilder<u32, ()> = SummarizingBuilder::new();
+        for i in 0..10u64 {
+            b.insert_with(1, i * 8, 8, || ());
+        }
+        // Re-reading an element already inside the progression adds
+        // nothing.
+        assert!(matches!(b.insert_with(1, 24, 8, || ()), MergeOutcome::Duplicate(_)));
+        // Off-stride revisit does not merge.
+        assert!(matches!(b.insert_with(1, 25, 8, || ()), MergeOutcome::New(_)));
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn builder_interleaved_progressions_share_key() {
+        // The c_md pattern: one source line alternates a loop-invariant
+        // operand with a sweeping one. The two-slot history keeps both
+        // progressions live: 2 nodes, not ~2·n.
+        let mut b: SummarizingBuilder<u32, ()> = SummarizingBuilder::new();
+        for j in 0..100u64 {
+            b.insert_with(7, 0x5000, 8, || ()); // invariant a[i]
+            b.insert_with(7, 0x8000 + j * 8, 8, || ()); // sweeping a[j]
+        }
+        assert_eq!(b.node_count(), 2, "two interleaved progressions, two nodes");
+    }
+
+    #[test]
+    fn paper_interval_tree_example() {
+        // §III-B example: `a[i] = a[i-1]`, 1000 ints, 2 threads with static
+        // halves. Thread 0 writes a[1..500] reads a[0..499]; thread 1
+        // writes a[500..1000] reads a[499..999]. The write of a[499] by T0
+        // and read of a[499] by T1 overlap.
+        let base = 0x100u64;
+        let elt = 4u64;
+        let mut t0: SummarizingBuilder<(u32, bool), ()> = SummarizingBuilder::new();
+        for i in 1..500u64 {
+            t0.insert_with((1, true), base + i * elt, elt, || ()); // write a[i]
+            t0.insert_with((1, false), base + (i - 1) * elt, elt, || ()); // read a[i-1]
+        }
+        let mut t1: SummarizingBuilder<(u32, bool), ()> = SummarizingBuilder::new();
+        for i in 500..1000u64 {
+            t1.insert_with((1, true), base + i * elt, elt, || ());
+            t1.insert_with((1, false), base + (i - 1) * elt, elt, || ());
+        }
+        assert_eq!(t0.node_count(), 2);
+        assert_eq!(t1.node_count(), 2);
+        let a = t0.finish();
+        let b = t1.finish();
+        // Candidates: T0.writes [a1..a500) vs T1.reads [a499..a999).
+        assert_eq!(count_exact_overlaps(&a, &b), 1);
+    }
+
+    #[test]
+    fn candidate_pairs_require_exact_check() {
+        // Figure 4: interleaved stride-8 size-4 accesses. Range overlap
+        // yields a candidate, exact check rejects it.
+        let mut a = IntervalTree::new();
+        a.insert(iv(10, 8, 4, 4), ());
+        let mut b = IntervalTree::new();
+        b.insert(iv(14, 8, 4, 4), ());
+        let mut candidates = 0;
+        for_each_candidate_pair(&a, &b, |_, _, _, _| candidates += 1);
+        assert_eq!(candidates, 1);
+        assert_eq!(count_exact_overlaps(&a, &b), 0);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: IntervalTree<()> = IntervalTree::new();
+        assert!(t.is_empty());
+        assert!(t.range_overlaps(0, u64::MAX).is_empty());
+        t.assert_invariants();
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn duplicate_begin_addresses() {
+        let mut t = IntervalTree::new();
+        for i in 0..10 {
+            t.insert(iv(100, 0, 0, 4), i);
+        }
+        t.assert_invariants();
+        assert_eq!(t.range_overlaps(100, 101).len(), 10);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_iv() -> impl Strategy<Value = StridedInterval> {
+        (0u64..500, 0u64..20, 0u64..10, 1u64..9)
+            .prop_map(|(b, st, c, sz)| StridedInterval::new(b, st, c, sz))
+    }
+
+    proptest! {
+        #[test]
+        fn invariants_after_random_inserts(ivs in prop::collection::vec(arb_iv(), 0..200)) {
+            let mut t = IntervalTree::new();
+            for iv in &ivs {
+                t.insert(*iv, ());
+            }
+            t.assert_invariants();
+            prop_assert_eq!(t.len(), ivs.len());
+        }
+
+        #[test]
+        fn range_query_matches_bruteforce(
+            ivs in prop::collection::vec(arb_iv(), 0..100),
+            lo in 0u64..600, width in 0u64..100,
+        ) {
+            let hi = lo + width;
+            let mut t = IntervalTree::new();
+            for (i, iv) in ivs.iter().enumerate() {
+                t.insert(*iv, i);
+            }
+            let mut got: Vec<usize> = t.range_overlaps(lo, hi).iter().map(|&h| *t.value(h)).collect();
+            got.sort_unstable();
+            let mut expect: Vec<usize> = ivs.iter().enumerate()
+                .filter(|(_, iv)| iv.begin() < hi && lo < iv.end())
+                .map(|(i, _)| i)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn invariants_after_interleaved_removals(
+            ivs in prop::collection::vec(arb_iv(), 1..120),
+            removals in prop::collection::vec(any::<prop::sample::Index>(), 0..60),
+        ) {
+            let mut t: IntervalTree<usize> = IntervalTree::new();
+            let mut live: Vec<NodeRef> = ivs.iter().enumerate()
+                .map(|(i, iv)| t.insert(*iv, i)).collect();
+            for r in removals {
+                if live.is_empty() { break; }
+                let pos = r.index(live.len());
+                let h = live.swap_remove(pos);
+                t.remove(h);
+                t.assert_invariants();
+            }
+            prop_assert_eq!(t.len(), live.len());
+        }
+
+        #[test]
+        fn builder_never_loses_accesses(
+            // stream of (key, start, step-kind) runs
+            runs in prop::collection::vec((0u32..4, 0u64..200, 1u64..16, 1u64..20), 1..20),
+        ) {
+            let mut b: SummarizingBuilder<u32, ()> = SummarizingBuilder::new();
+            let mut oracle: Vec<(u64, u64)> = Vec::new(); // (addr, size)
+            for (key, start, stride, n) in runs {
+                for i in 0..n {
+                    let addr = start + i * stride;
+                    b.insert_with(key, addr, 4, || ());
+                    oracle.push((addr, 4));
+                }
+            }
+            let t = b.finish();
+            t.assert_invariants();
+            // Every oracle access address is covered by some tree interval.
+            for (addr, size) in oracle {
+                for byte in addr..addr + size {
+                    let covered = t.range_overlaps(byte, byte + 1).iter().any(|&h| {
+                        t.interval(h).contains(byte)
+                    });
+                    prop_assert!(covered, "byte {} not covered", byte);
+                }
+            }
+        }
+
+        #[test]
+        fn builder_summarization_is_sound(
+            start in 0u64..100, stride in 1u64..32, n in 1u64..200,
+        ) {
+            // A pure arithmetic progression collapses to one node once the
+            // stride is confirmed (n ≥ 3); shorter runs flush to at most
+            // two singles. Every generated address stays covered.
+            let mut b: SummarizingBuilder<(), ()> = SummarizingBuilder::new();
+            for i in 0..n {
+                b.insert_with((), start + i * stride, 4, || ());
+            }
+            let t = b.finish();
+            if n >= 3 {
+                prop_assert_eq!(t.len(), 1);
+                let (_, iv, _) = t.iter().next().unwrap();
+                prop_assert_eq!(iv.len(), n);
+            } else {
+                prop_assert!(t.len() as u64 <= n);
+            }
+            for i in 0..n {
+                let addr = start + i * stride;
+                let covered = t
+                    .range_overlaps(addr, addr + 1)
+                    .iter()
+                    .any(|&h| t.interval(h).contains(addr));
+                prop_assert!(covered, "element {} uncovered", i);
+            }
+        }
+    }
+}

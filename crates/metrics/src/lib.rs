@@ -1,0 +1,437 @@
+//! Measurement support for reproducing the paper's evaluation.
+//!
+//! * [`MemGauge`] — a thread-safe byte counter each detector updates as it
+//!   allocates/frees analysis state, so memory-overhead numbers (Figures
+//!   6–8, Table IV) are *measured from the actual data structures*, not
+//!   estimated.
+//! * [`NodeModel`] — maps measured footprints onto a configurable compute
+//!   node (default: the paper's 32 GB testbed) to decide when a tool runs
+//!   out of memory, reproducing ARCHER's OOM on AMG2013 at 40³.
+//! * [`geomean`] — the paper reports geometric means over benchmark suites
+//!   (Figure 6).
+//! * [`Stopwatch`]/[`RunStats`] — wall-clock timing over repeated runs
+//!   (the paper averages 10 executions).
+//! * [`Table`] — aligned ASCII table output for the per-table/per-figure
+//!   bench harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use sword_metrics::{geomean, NodeModel, Placement};
+//!
+//! // The paper's AMG2013_40 situation on a 32 GB node: a ~27 GB baseline
+//! // plus ~5x shadow memory cannot fit; a 3.3 MB/thread collector can.
+//! let node = NodeModel::paper_node();
+//! let baseline = 27u64 << 30;
+//! assert_eq!(node.place(baseline, baseline * 5), Placement::OutOfMemory);
+//! assert!(node.place(baseline, 24 * 3_460_300).fits());
+//!
+//! assert_eq!(geomean(&[1.0, 4.0, 16.0]), Some(4.0));
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared gauge of live tool-allocated bytes with peak tracking.
+#[derive(Clone, Debug, Default)]
+pub struct MemGauge {
+    inner: Arc<GaugeInner>,
+}
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    live: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemGauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation of `bytes`.
+    pub fn alloc(&self, bytes: u64) {
+        let live = self.inner.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Records a release of `bytes`.
+    pub fn free(&self, bytes: u64) {
+        let prev = self.inner.live.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "gauge underflow: freeing {bytes} of {prev}");
+    }
+
+    /// Adjusts by a signed delta (for resize-style updates).
+    pub fn adjust(&self, delta: i64) {
+        if delta >= 0 {
+            self.alloc(delta as u64);
+        } else {
+            self.free((-delta) as u64);
+        }
+    }
+
+    /// Currently live bytes.
+    pub fn live(&self) -> u64 {
+        self.inner.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters (between benchmark repetitions).
+    pub fn reset(&self) {
+        self.inner.live.store(0, Ordering::Relaxed);
+        self.inner.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A compute-node memory model: decides whether an application plus a
+/// tool's measured overhead fits, reproducing the paper's OOM outcomes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeModel {
+    /// Physical memory of the node in bytes.
+    pub total_bytes: u64,
+    /// Bytes reserved for OS/runtime before the application starts.
+    pub reserved_bytes: u64,
+}
+
+/// Outcome of placing a run on a [`NodeModel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Fits; payload is the fraction of node memory used (×1000).
+    Fits {
+        /// Node memory used, in thousandths.
+        permille_used: u32,
+    },
+    /// Exceeds node memory: the run is killed, as ARCHER was on AMG2013_40.
+    OutOfMemory,
+}
+
+impl NodeModel {
+    /// The paper's evaluation node: 32 GB RAM (2×12-core Xeon E5-2695v2);
+    /// 1 GB reserved for system software.
+    pub fn paper_node() -> Self {
+        NodeModel { total_bytes: 32 << 30, reserved_bytes: 1 << 30 }
+    }
+
+    /// A node with the given total memory and 1/32 reserved.
+    pub fn with_total(total_bytes: u64) -> Self {
+        NodeModel { total_bytes, reserved_bytes: total_bytes / 32 }
+    }
+
+    /// Memory available to application + tool.
+    pub fn available(&self) -> u64 {
+        self.total_bytes.saturating_sub(self.reserved_bytes)
+    }
+
+    /// Places an application of `baseline_bytes` plus `tool_bytes` of
+    /// detector overhead.
+    pub fn place(&self, baseline_bytes: u64, tool_bytes: u64) -> Placement {
+        let need = baseline_bytes.saturating_add(tool_bytes);
+        if need > self.available() {
+            Placement::OutOfMemory
+        } else {
+            let permille = (need as u128 * 1000 / self.total_bytes.max(1) as u128) as u32;
+            Placement::Fits { permille_used: permille }
+        }
+    }
+}
+
+impl Placement {
+    /// `true` when the run fits.
+    pub fn fits(&self) -> bool {
+        matches!(self, Placement::Fits { .. })
+    }
+}
+
+/// Geometric mean of strictly positive values; `None` when the slice is
+/// empty or contains a non-positive value.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Wall-clock stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as f64.
+    pub fn secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Summary statistics over repeated timed runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// Arithmetic mean in seconds.
+    pub mean: f64,
+    /// Fastest run.
+    pub min: f64,
+    /// Slowest run.
+    pub max: f64,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+impl RunStats {
+    /// Computes stats from raw per-run seconds.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return RunStats::default();
+        }
+        let sum: f64 = samples.iter().sum();
+        RunStats {
+            mean: sum / samples.len() as f64,
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            runs: samples.len(),
+        }
+    }
+}
+
+/// Times `f` over `runs` repetitions and summarizes.
+pub fn time_runs<F: FnMut()>(runs: usize, mut f: F) -> RunStats {
+    let samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let sw = Stopwatch::start();
+            f();
+            sw.secs()
+        })
+        .collect();
+    RunStats::from_samples(&samples)
+}
+
+/// Formats a byte count for reports (`3.30 MB`, `1.20 GB`, …).
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [(&str, u64); 4] =
+        [("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10), ("B", 1)];
+    for (name, size) in UNITS {
+        if bytes >= size {
+            return format!("{:.2} {}", bytes as f64 / size as f64, name);
+        }
+    }
+    "0 B".to_string()
+}
+
+/// An aligned ASCII table, used by every table/figure bench harness so
+/// reproduced rows look like the paper's.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "table row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for string-slice rows.
+    pub fn row_strs(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            let _ = writeln!(out);
+        };
+        line(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_tracks_live_and_peak() {
+        let g = MemGauge::new();
+        g.alloc(100);
+        g.alloc(50);
+        assert_eq!(g.live(), 150);
+        g.free(120);
+        assert_eq!(g.live(), 30);
+        assert_eq!(g.peak(), 150);
+        g.adjust(-30);
+        g.adjust(10);
+        assert_eq!(g.live(), 10);
+        g.reset();
+        assert_eq!((g.live(), g.peak()), (0, 0));
+    }
+
+    #[test]
+    fn gauge_is_shared_across_clones() {
+        let g = MemGauge::new();
+        let g2 = g.clone();
+        g2.alloc(64);
+        assert_eq!(g.live(), 64);
+    }
+
+    #[test]
+    fn gauge_concurrent_updates() {
+        let g = MemGauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        g.alloc(3);
+                        g.free(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.live(), 0);
+        assert!(g.peak() >= 3);
+    }
+
+    #[test]
+    fn node_model_placement() {
+        let node = NodeModel::paper_node();
+        assert!(node.place(20 << 30, 100 << 20).fits());
+        // 28 GB baseline + ~5x shadow — way over.
+        assert_eq!(node.place(28 << 30, 5 * (28u64 << 30)), Placement::OutOfMemory);
+        // Exactly at the boundary.
+        let avail = node.available();
+        assert!(node.place(avail, 0).fits());
+        assert_eq!(node.place(avail, 1), Placement::OutOfMemory);
+    }
+
+    #[test]
+    fn node_model_permille() {
+        let node = NodeModel { total_bytes: 1000, reserved_bytes: 0 };
+        match node.place(900, 50) {
+            Placement::Fits { permille_used } => assert_eq!(permille_used, 950),
+            _ => panic!("should fit"),
+        }
+    }
+
+    #[test]
+    fn geomean_values() {
+        let g = geomean(&[1.0, 4.0, 16.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+        let single = geomean(&[7.5]).unwrap();
+        assert!((single - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats() {
+        let s = RunStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.runs, 3);
+        assert_eq!(RunStats::from_samples(&[]), RunStats::default());
+    }
+
+    #[test]
+    fn time_runs_counts() {
+        let mut n = 0;
+        let stats = time_runs(5, || n += 1);
+        assert_eq!(n, 5);
+        assert_eq!(stats.runs, 5);
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+    }
+
+    #[test]
+    fn format_bytes_units() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(512), "512.00 B");
+        assert_eq!(format_bytes(2 << 20), "2.00 MB");
+        assert_eq!(format_bytes(3 << 30), "3.00 GB");
+        assert_eq!(format_bytes((33 << 20) / 10), "3.30 MB");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Table II", &["benchmark", "archer", "sword"]);
+        t.row_strs(&["c_md", "2", "3"]);
+        t.row_strs(&["cpp_qsomp1_long_name", "1", "2"]);
+        let s = t.render();
+        assert!(s.contains("== Table II =="));
+        assert!(s.contains("benchmark"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Columns aligned: "archer" header starts at the same index in all
+        // data lines.
+        let col = lines[1].find("archer").unwrap();
+        assert_eq!(&lines[3][col..col + 1], "2");
+        assert_eq!(&lines[4][col..col + 1], "1");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row_strs(&["only one"]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Tracked memory: the instrumentation substitute.
+//!
+//! A [`TrackedBuf`] is an array whose element accesses (performed through a
+//! [`crate::Ctx`]) invoke the tool's `access` callback with the same tuple
+//! an LLVM-instrumented load/store would deliver: virtual address, size,
+//! read/write, atomicity, program counter.
+//!
+//! Two deliberate design points:
+//!
+//! * **Virtual addresses.** Buffers live in a per-runtime virtual address
+//!   space handed out by a bump allocator, so addresses are deterministic
+//!   across runs and a buffer's *declared* footprint may exceed what is
+//!   physically allocated ([`TrackedBuf::phantom`] backs a huge declared
+//!   array with a small real one, indices wrapping). This is how the
+//!   paper's runs that fill 90% of a 32 GB node are reproduced on a small
+//!   machine: detectors only ever see the address stream and the declared
+//!   footprint.
+//! * **Defined behaviour under racy workloads.** The benchmark programs
+//!   *race on purpose*. Element storage is `AtomicU64` accessed with
+//!   `Relaxed` ordering, so the Rust program itself has no undefined
+//!   behaviour while the *model-level* accesses remain plain reads and
+//!   writes that the detectors legitimately flag.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Values storable in tracked memory. The virtual access size is
+/// `SIZE_BYTES`; storage is always a 64-bit atomic cell.
+pub trait TrackedValue: Copy + Send + Sync + 'static {
+    /// Size in bytes of the *modeled* access (what instrumentation
+    /// reports).
+    const SIZE_BYTES: u8;
+    /// Encodes into cell bits.
+    fn to_bits(self) -> u64;
+    /// Decodes from cell bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_tracked_int {
+    ($($t:ty => $size:expr),* $(,)?) => {$(
+        impl TrackedValue for $t {
+            const SIZE_BYTES: u8 = $size;
+            #[inline]
+            fn to_bits(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+impl_tracked_int!(u8 => 1, u16 => 2, u32 => 4, u64 => 8, usize => 8);
+
+macro_rules! impl_tracked_signed {
+    ($($t:ty => $size:expr),* $(,)?) => {$(
+        impl TrackedValue for $t {
+            const SIZE_BYTES: u8 = $size;
+            #[inline]
+            fn to_bits(self) -> u64 {
+                self as u64 // sign-extends then truncates consistently
+            }
+            #[inline]
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+impl_tracked_signed!(i8 => 1, i16 => 2, i32 => 4, i64 => 8);
+
+impl TrackedValue for f64 {
+    const SIZE_BYTES: u8 = 8;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl TrackedValue for f32 {
+    const SIZE_BYTES: u8 = 4;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl TrackedValue for bool {
+    const SIZE_BYTES: u8 = 1;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+/// A tracked array in the runtime's virtual address space.
+///
+/// Created by [`crate::OmpSim::alloc`] / [`crate::OmpSim::alloc_phantom`].
+/// Accesses *through a worker context* are instrumented; the `*_seq`
+/// methods are uninstrumented (initialization / verification code, which
+/// the paper's instrumentation also skips outside parallel regions).
+pub struct TrackedBuf<T: TrackedValue> {
+    base: u64,
+    declared_len: u64,
+    cells: Vec<AtomicU64>,
+    /// Live declared-bytes accounting shared with the runtime, decremented
+    /// on drop.
+    footprint: Arc<AtomicU64>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: TrackedValue> TrackedBuf<T> {
+    pub(crate) fn new_internal(
+        base: u64,
+        declared_len: u64,
+        real_len: usize,
+        init: T,
+        footprint: Arc<AtomicU64>,
+    ) -> Self {
+        assert!(real_len > 0, "tracked buffer needs at least one real element");
+        assert!(declared_len >= real_len as u64);
+        let cells = (0..real_len).map(|_| AtomicU64::new(init.to_bits())).collect();
+        footprint.fetch_add(declared_len * T::SIZE_BYTES as u64, Ordering::Relaxed);
+        TrackedBuf { base, declared_len, cells, footprint, _marker: std::marker::PhantomData }
+    }
+
+    /// Declared (virtual) element count.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.declared_len
+    }
+
+    /// `true` when the declared length is zero (never: construction
+    /// requires ≥ 1 element).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.declared_len == 0
+    }
+
+    /// Physically allocated element count (≤ `len()`; smaller only for
+    /// phantom buffers).
+    #[inline]
+    pub fn real_len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the buffer's declared footprint exceeds its physical
+    /// backing.
+    #[inline]
+    pub fn is_phantom(&self) -> bool {
+        (self.real_len() as u64) < self.declared_len
+    }
+
+    /// First virtual byte address.
+    #[inline]
+    pub fn base_addr(&self) -> u64 {
+        self.base
+    }
+
+    /// Virtual byte address of element `i`.
+    #[inline]
+    pub fn addr_of(&self, i: u64) -> u64 {
+        debug_assert!(i < self.declared_len, "index {i} out of {}", self.declared_len);
+        self.base + i * T::SIZE_BYTES as u64
+    }
+
+    /// Declared footprint in bytes.
+    #[inline]
+    pub fn declared_bytes(&self) -> u64 {
+        self.declared_len * T::SIZE_BYTES as u64
+    }
+
+    #[inline]
+    fn cell(&self, i: u64) -> &AtomicU64 {
+        debug_assert!(i < self.declared_len, "index {i} out of {}", self.declared_len);
+        // Phantom buffers wrap indices onto the real backing.
+        &self.cells[(i % self.cells.len() as u64) as usize]
+    }
+
+    /// Raw load (used by both instrumented and sequential paths).
+    #[inline]
+    pub(crate) fn load(&self, i: u64) -> T {
+        T::from_bits(self.cell(i).load(Ordering::Relaxed))
+    }
+
+    /// Raw store.
+    #[inline]
+    pub(crate) fn store(&self, i: u64, v: T) {
+        self.cell(i).store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raw compare-exchange based read-modify-write; returns the previous
+    /// value.
+    #[inline]
+    pub(crate) fn rmw(&self, i: u64, f: impl Fn(T) -> T) -> T {
+        let cell = self.cell(i);
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = f(T::from_bits(cur)).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return T::from_bits(cur),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Uninstrumented read — setup/verification outside parallel regions.
+    #[inline]
+    pub fn get_seq(&self, i: u64) -> T {
+        self.load(i)
+    }
+
+    /// Uninstrumented write.
+    #[inline]
+    pub fn set_seq(&self, i: u64, v: T) {
+        self.store(i, v);
+    }
+
+    /// Uninstrumented fill of every *real* element.
+    pub fn fill_seq(&self, v: T) {
+        for c in &self.cells {
+            c.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Uninstrumented snapshot of the real backing (for assertions in
+    /// tests/examples).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.cells.iter().map(|c| T::from_bits(c.load(Ordering::Relaxed))).collect()
+    }
+}
+
+impl<T: TrackedValue> Drop for TrackedBuf<T> {
+    fn drop(&mut self) {
+        self.footprint.fetch_sub(self.declared_bytes(), Ordering::Relaxed);
+    }
+}
+
+impl<T: TrackedValue> std::fmt::Debug for TrackedBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedBuf")
+            .field("base", &format_args!("{:#x}", self.base))
+            .field("declared_len", &self.declared_len)
+            .field("real_len", &self.real_len())
+            .field("elt_size", &T::SIZE_BYTES)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf<T: TrackedValue>(base: u64, len: u64, init: T) -> TrackedBuf<T> {
+        TrackedBuf::new_internal(base, len, len as usize, init, Arc::new(AtomicU64::new(0)))
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        assert_eq!(f64::from_bits(TrackedValue::to_bits(-1.5f64)), -1.5);
+        assert_eq!(<i32 as TrackedValue>::from_bits((-7i32).to_bits()), -7);
+        assert_eq!(<i64 as TrackedValue>::from_bits((i64::MIN).to_bits()), i64::MIN);
+        assert_eq!(<u8 as TrackedValue>::from_bits(300u64 as u8 as u64), 44);
+        assert!(<bool as TrackedValue>::from_bits(true.to_bits()));
+        assert_eq!(<f32 as TrackedValue>::from_bits(TrackedValue::to_bits(2.5f32)), 2.5);
+    }
+
+    #[test]
+    fn addresses_are_packed_by_element_size() {
+        let b = buf::<u32>(0x1000, 10, 0);
+        assert_eq!(b.addr_of(0), 0x1000);
+        assert_eq!(b.addr_of(1), 0x1004);
+        assert_eq!(b.addr_of(9), 0x1024);
+        let d = buf::<f64>(0x2000, 4, 0.0);
+        assert_eq!(d.addr_of(3), 0x2018);
+    }
+
+    #[test]
+    fn load_store_rmw() {
+        let b = buf::<i64>(0, 8, 0);
+        b.store(3, -42);
+        assert_eq!(b.load(3), -42);
+        let prev = b.rmw(3, |v| v + 2);
+        assert_eq!(prev, -42);
+        assert_eq!(b.load(3), -40);
+    }
+
+    #[test]
+    fn phantom_wraps_indices() {
+        let fp = Arc::new(AtomicU64::new(0));
+        let b = TrackedBuf::<f64>::new_internal(0x1000, 1_000_000, 64, 1.0, fp.clone());
+        assert!(b.is_phantom());
+        assert_eq!(b.len(), 1_000_000);
+        assert_eq!(b.real_len(), 64);
+        // Virtual addresses span the full declared range…
+        assert_eq!(b.addr_of(999_999), 0x1000 + 999_999 * 8);
+        // …while storage wraps.
+        b.store(0, 7.0);
+        assert_eq!(b.load(64), 7.0);
+        // Declared footprint counts the virtual size.
+        assert_eq!(fp.load(Ordering::Relaxed), 8_000_000);
+        drop(b);
+        assert_eq!(fp.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn fill_and_snapshot() {
+        let b = buf::<u32>(0, 5, 9);
+        assert_eq!(b.snapshot(), vec![9; 5]);
+        b.fill_seq(3);
+        assert_eq!(b.snapshot(), vec![3; 5]);
+        b.set_seq(2, 8);
+        assert_eq!(b.get_seq(2), 8);
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let fp = Arc::new(AtomicU64::new(0));
+        let a = TrackedBuf::<u32>::new_internal(0, 100, 100, 0, fp.clone());
+        let b = TrackedBuf::<f64>::new_internal(0x1000, 10, 10, 0.0, fp.clone());
+        assert_eq!(fp.load(Ordering::Relaxed), 400 + 80);
+        drop(a);
+        assert_eq!(fp.load(Ordering::Relaxed), 80);
+        drop(b);
+        assert_eq!(fp.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn concurrent_rmw_is_atomic() {
+        let b = std::sync::Arc::new(buf::<u64>(0, 1, 0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        b.rmw(0, |v| v + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.load(0), 80_000);
+    }
+}

@@ -1,0 +1,1222 @@
+//! The fork-join runtime: regions, teams, barriers, worksharing, locks,
+//! and instrumented access dispatch.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use sword_osl::Label;
+use sword_trace::{AccessKind, MemAccess, MutexId, PcId, PcTable, RegionId, ThreadId};
+
+use crate::memory::{TrackedBuf, TrackedValue};
+use crate::tool::{ParallelBeginInfo, ThreadContext, Tool};
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Team size used by [`Ctx::parallel_default`].
+    pub default_threads: usize,
+    /// First virtual address handed to tracked buffers.
+    pub addr_base: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            default_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            addr_base: 0x1000_0000,
+        }
+    }
+}
+
+/// A named or anonymous lock usable with [`Ctx::with_lock`] — the
+/// equivalent of an `omp_lock_t` / named `critical`.
+#[derive(Clone, Debug)]
+pub struct OmpLock {
+    id: MutexId,
+    lock: Arc<Mutex<()>>,
+}
+
+impl OmpLock {
+    /// The lock's id as reported to tools.
+    pub fn id(&self) -> MutexId {
+        self.id
+    }
+}
+
+#[derive(Default)]
+struct MutexRegistry {
+    by_name: HashMap<String, usize>,
+    locks: Vec<OmpLock>,
+}
+
+/// The OpenMP-like runtime. One instance models one process running one
+/// instrumented program; tools are attached at construction.
+pub struct OmpSim {
+    tool: Option<Arc<dyn Tool>>,
+    config: SimConfig,
+    next_tid: AtomicU32,
+    tid_pool: Mutex<Vec<ThreadId>>,
+    next_region: AtomicU64,
+    next_addr: AtomicU64,
+    footprint: Arc<AtomicU64>,
+    peak_footprint: AtomicU64,
+    pc_table: Mutex<PcTable>,
+    mutexes: Mutex<MutexRegistry>,
+}
+
+impl OmpSim {
+    /// An untooled runtime (baseline runs) with default config.
+    pub fn new() -> Self {
+        Self::with_config(SimConfig::default())
+    }
+
+    /// An untooled runtime with explicit config.
+    pub fn with_config(config: SimConfig) -> Self {
+        let addr_base = config.addr_base;
+        OmpSim {
+            tool: None,
+            config,
+            next_tid: AtomicU32::new(0),
+            tid_pool: Mutex::new(Vec::new()),
+            next_region: AtomicU64::new(0),
+            next_addr: AtomicU64::new(addr_base),
+            footprint: Arc::new(AtomicU64::new(0)),
+            peak_footprint: AtomicU64::new(0),
+            pc_table: Mutex::new(PcTable::new()),
+            mutexes: Mutex::new(MutexRegistry::default()),
+        }
+    }
+
+    /// A tooled runtime.
+    pub fn with_tool(tool: Arc<dyn Tool>) -> Self {
+        Self::with_tool_and_config(tool, SimConfig::default())
+    }
+
+    /// A tooled runtime with explicit config.
+    pub fn with_tool_and_config(tool: Arc<dyn Tool>, config: SimConfig) -> Self {
+        let mut sim = Self::with_config(config);
+        sim.tool = Some(tool);
+        sim
+    }
+
+    /// Team size used when a workload does not specify one.
+    pub fn default_threads(&self) -> usize {
+        self.config.default_threads
+    }
+
+    /// Runs the instrumented program `f` under this runtime. The closure
+    /// receives the master (sequential) context; parallel regions are
+    /// opened from it.
+    pub fn run<R>(&self, f: impl FnOnce(&Ctx<'_>) -> R) -> R {
+        if let Some(t) = &self.tool {
+            t.program_begin();
+        }
+        let master_tid = self.acquire_tids(1)[0];
+        let ctx = Ctx {
+            sim: self,
+            tid: master_tid,
+            label: RefCell::new(Label::root()),
+            region: None,
+            pc_cache: RefCell::new(HashMap::new()),
+        };
+        let r = f(&ctx);
+        self.release_tids(&[master_tid]);
+        if let Some(t) = &self.tool {
+            t.program_end();
+        }
+        r
+    }
+
+    /// Allocates a tracked buffer of `len` elements, fully backed.
+    pub fn alloc<T: TrackedValue>(&self, len: u64, init: T) -> TrackedBuf<T> {
+        assert!(len > 0, "tracked buffer needs at least one element");
+        self.alloc_phantom(len, len as usize, init)
+    }
+
+    /// Allocates a tracked buffer with `declared_len` virtual elements
+    /// backed by `real_len` physical ones (indices wrap onto the backing).
+    /// Use for workloads whose declared footprint must exceed physical
+    /// RAM — the address stream and footprint accounting see the full
+    /// declared size.
+    pub fn alloc_phantom<T: TrackedValue>(
+        &self,
+        declared_len: u64,
+        real_len: usize,
+        init: T,
+    ) -> TrackedBuf<T> {
+        let bytes = declared_len * T::SIZE_BYTES as u64;
+        // 64-byte-aligned virtual placements keep buffers disjoint and
+        // cache-line-shaped like real allocators.
+        let padded = (bytes + 63) & !63;
+        let base = self.next_addr.fetch_add(padded, Ordering::Relaxed);
+        let buf = TrackedBuf::new_internal(base, declared_len, real_len, init, self.footprint.clone());
+        self.peak_footprint.fetch_max(self.footprint.load(Ordering::Relaxed), Ordering::Relaxed);
+        buf
+    }
+
+    /// Currently live declared footprint in bytes (the application
+    /// "baseline memory" of the paper's figures).
+    pub fn declared_footprint(&self) -> u64 {
+        self.footprint.load(Ordering::Relaxed)
+    }
+
+    /// Live handle to the declared-footprint counter, for tools that model
+    /// node memory pressure against the application baseline (the ARCHER
+    /// baseline's OOM model reads it on every accounting step).
+    pub fn footprint_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.footprint)
+    }
+
+    /// High-water mark of the declared footprint.
+    pub fn peak_footprint(&self) -> u64 {
+        self.peak_footprint.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct worker threads (= log files) used so far.
+    pub fn threads_used(&self) -> u32 {
+        self.next_tid.load(Ordering::Relaxed)
+    }
+
+    /// Gets or creates the named lock backing `critical(name)` sections.
+    pub fn named_lock(&self, name: &str) -> OmpLock {
+        let mut reg = self.mutexes.lock();
+        if let Some(&idx) = reg.by_name.get(name) {
+            return reg.locks[idx].clone();
+        }
+        let idx = reg.locks.len();
+        let lock = OmpLock { id: idx as MutexId, lock: Arc::new(Mutex::new(())) };
+        reg.by_name.insert(name.to_string(), idx);
+        reg.locks.push(lock.clone());
+        lock
+    }
+
+    /// Creates a fresh anonymous lock (an `omp_init_lock` equivalent).
+    pub fn new_lock(&self) -> OmpLock {
+        let mut reg = self.mutexes.lock();
+        let id = reg.locks.len() as MutexId;
+        let lock = OmpLock { id, lock: Arc::new(Mutex::new(())) };
+        reg.locks.push(lock.clone());
+        lock
+    }
+
+    /// Snapshot of the program-counter table for session persistence.
+    pub fn export_pcs(&self) -> PcTable {
+        self.pc_table.lock().clone()
+    }
+
+    fn intern_pc(&self, loc: &'static Location<'static>) -> PcId {
+        self.pc_table.lock().intern(loc.file(), loc.line())
+    }
+
+    /// Hands out `n` thread ids deterministically: pooled ids first
+    /// (ascending), fresh ids after — so consecutive same-width regions
+    /// reuse the same ids, as a real OpenMP thread pool does.
+    fn acquire_tids(&self, n: u64) -> Vec<ThreadId> {
+        let mut pool = self.tid_pool.lock();
+        pool.sort_unstable();
+        let take = (n as usize).min(pool.len());
+        let mut ids: Vec<ThreadId> = pool.drain(..take).collect();
+        while ids.len() < n as usize {
+            ids.push(self.next_tid.fetch_add(1, Ordering::Relaxed));
+        }
+        ids
+    }
+
+    fn release_tids(&self, ids: &[ThreadId]) {
+        self.tid_pool.lock().extend_from_slice(ids);
+    }
+}
+
+impl Default for OmpSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for OmpSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OmpSim")
+            .field("tooled", &self.tool.is_some())
+            .field("threads_used", &self.threads_used())
+            .field("declared_footprint", &self.declared_footprint())
+            .finish()
+    }
+}
+
+/// Team-shared state: the physical barrier and dynamic-loop cursors.
+struct TeamState {
+    span: u64,
+    barrier: Mutex<BarrierInner>,
+    barrier_cv: Condvar,
+    dyn_loops: Mutex<HashMap<u64, Arc<AtomicU64>>>,
+}
+
+#[derive(Default)]
+struct BarrierInner {
+    arrived: u64,
+    generation: u64,
+}
+
+impl TeamState {
+    fn new(span: u64) -> Self {
+        TeamState {
+            span,
+            barrier: Mutex::new(BarrierInner::default()),
+            barrier_cv: Condvar::new(),
+            dyn_loops: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Generation-counting rendezvous of all `span` members.
+    fn wait(&self) {
+        let mut inner = self.barrier.lock();
+        let gen = inner.generation;
+        inner.arrived += 1;
+        if inner.arrived == self.span {
+            inner.arrived = 0;
+            inner.generation += 1;
+            self.barrier_cv.notify_all();
+        } else {
+            while inner.generation == gen {
+                self.barrier_cv.wait(&mut inner);
+            }
+        }
+    }
+
+    /// Shared cursor for the `key`-th dynamic loop of the region.
+    fn dyn_cursor(&self, key: u64, start: u64) -> Arc<AtomicU64> {
+        let mut map = self.dyn_loops.lock();
+        map.entry(key).or_insert_with(|| Arc::new(AtomicU64::new(start))).clone()
+    }
+}
+
+struct RegionInfo {
+    region: RegionId,
+    parent_region: Option<RegionId>,
+    level: u32,
+    team_index: u64,
+    span: u64,
+    bid: Cell<u32>,
+    team: Arc<TeamState>,
+    dyn_loop_seq: Cell<u64>,
+}
+
+/// Per-thread execution context. The master context (from
+/// [`OmpSim::run`]) is sequential; worker contexts live inside parallel
+/// regions. All workload code runs against a `Ctx`.
+pub struct Ctx<'rt> {
+    sim: &'rt OmpSim,
+    tid: ThreadId,
+    label: RefCell<Label>,
+    region: Option<RegionInfo>,
+    pc_cache: RefCell<HashMap<(usize, u32), PcId>>,
+}
+
+impl<'rt> Ctx<'rt> {
+    /// The runtime this context belongs to.
+    pub fn sim(&self) -> &'rt OmpSim {
+        self.sim
+    }
+
+    /// This thread's global id.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// This thread's slot in its team (0 for the master context).
+    pub fn team_index(&self) -> u64 {
+        self.region.as_ref().map_or(0, |r| r.team_index)
+    }
+
+    /// Team size (1 for the master context).
+    pub fn team_size(&self) -> u64 {
+        self.region.as_ref().map_or(1, |r| r.span)
+    }
+
+    /// `true` inside a parallel region.
+    pub fn in_parallel(&self) -> bool {
+        self.region.is_some()
+    }
+
+    /// Current offset-span label (clone).
+    pub fn label(&self) -> Label {
+        self.label.borrow().clone()
+    }
+
+    // ---- regions ----------------------------------------------------------
+
+    /// Forks a parallel region of `num_threads` workers, runs `body` in
+    /// each, and joins (the implicit end-of-region barrier coincides with
+    /// the join). The forking thread does not execute `body`; workers are
+    /// fresh team slots `0..num_threads`, with pooled thread ids.
+    pub fn parallel<F>(&self, num_threads: usize, body: F)
+    where
+        F: Fn(&Ctx<'rt>) + Sync,
+    {
+        let span = num_threads.max(1) as u64;
+        let region = self.sim.next_region.fetch_add(1, Ordering::Relaxed);
+        let (parent_region, level) = match &self.region {
+            Some(r) => (Some(r.region), r.level + 1),
+            None => (None, 1),
+        };
+        let fork_label = self.label.borrow().clone();
+        if let Some(t) = &self.sim.tool {
+            t.parallel_begin(&ParallelBeginInfo {
+                region,
+                parent_region,
+                level,
+                span,
+                fork_label: &fork_label,
+                fork_tid: self.tid,
+            });
+        }
+        let tids = self.sim.acquire_tids(span);
+        let team = Arc::new(TeamState::new(span));
+        let sim = self.sim;
+        std::thread::scope(|s| {
+            for i in 0..span {
+                let tid = tids[i as usize];
+                let team = Arc::clone(&team);
+                let fork_label = &fork_label;
+                let body = &body;
+                s.spawn(move || {
+                    let ctx = Ctx {
+                        sim,
+                        tid,
+                        label: RefCell::new(fork_label.fork(i, span)),
+                        region: Some(RegionInfo {
+                            region,
+                            parent_region,
+                            level,
+                            team_index: i,
+                            span,
+                            bid: Cell::new(0),
+                            team,
+                            dyn_loop_seq: Cell::new(0),
+                        }),
+                        pc_cache: RefCell::new(HashMap::new()),
+                    };
+                    ctx.with_tool(|t, tc| t.thread_begin(tc));
+                    body(&ctx);
+                    ctx.with_tool(|t, tc| t.thread_end(tc));
+                });
+            }
+        });
+        self.sim.release_tids(&tids);
+        self.label.borrow_mut().bump_in_place();
+        if let Some(t) = &self.sim.tool {
+            t.parallel_end(region, self.tid);
+        }
+    }
+
+    /// [`Ctx::parallel`] with the runtime's configured default team size.
+    pub fn parallel_default<F>(&self, body: F)
+    where
+        F: Fn(&Ctx<'rt>) + Sync,
+    {
+        self.parallel(self.sim.config.default_threads, body);
+    }
+
+    /// `#pragma omp target teams parallel` equivalent — the paper's
+    /// future-work item ("extend SWORD's approach to target regions that
+    /// are offloaded on accelerators"), realized here for the synchronous
+    /// offload case: the device region is a nested fork-join team whose
+    /// completion the host awaits, so offset-span labels order it exactly
+    /// like a nested parallel region and both detectors handle it with no
+    /// special cases. Device threads draw from the same pooled id space
+    /// (one log file per device thread).
+    pub fn target<F>(&self, device_threads: usize, body: F)
+    where
+        F: Fn(&Ctx<'rt>) + Sync,
+    {
+        self.parallel(device_threads, body);
+    }
+
+    // ---- barriers ---------------------------------------------------------
+
+    /// Explicit team barrier (`#pragma omp barrier`). A no-op in the
+    /// master (sequential) context.
+    pub fn barrier(&self) {
+        let Some(r) = &self.region else { return };
+        self.with_tool(|t, tc| t.barrier_begin(tc));
+        r.team.wait();
+        self.label.borrow_mut().bump_in_place();
+        r.bid.set(r.bid.get() + 1);
+        self.with_tool(|t, tc| t.barrier_end(tc));
+    }
+
+    // ---- worksharing ------------------------------------------------------
+
+    /// `#pragma omp for schedule(static)`: contiguous chunks, implicit
+    /// barrier at the end.
+    pub fn for_static(&self, range: Range<u64>, body: impl FnMut(u64)) {
+        self.for_static_nowait(range, body);
+        self.barrier();
+    }
+
+    /// `#pragma omp for schedule(static) nowait`: no closing barrier, so
+    /// following accesses share the barrier interval with the loop —
+    /// exactly the situation of DataRaceBench's `nowait-orig-yes`.
+    pub fn for_static_nowait(&self, range: Range<u64>, mut body: impl FnMut(u64)) {
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return;
+        }
+        let span = self.team_size();
+        let idx = self.team_index();
+        let chunk = n.div_ceil(span);
+        let lo = range.start + (idx * chunk).min(n);
+        let hi = range.start + ((idx + 1) * chunk).min(n);
+        for i in lo..hi {
+            body(i);
+        }
+    }
+
+    /// `schedule(static, chunk)`: round-robin chunks, implicit barrier.
+    pub fn for_static_chunked(&self, range: Range<u64>, chunk: u64, mut body: impl FnMut(u64)) {
+        assert!(chunk > 0);
+        let span = self.team_size();
+        let idx = self.team_index();
+        let mut start = range.start + idx * chunk;
+        while start < range.end {
+            let end = (start + chunk).min(range.end);
+            for i in start..end {
+                body(i);
+            }
+            start += span * chunk;
+        }
+        self.barrier();
+    }
+
+    /// `schedule(dynamic, chunk)`: threads claim chunks from a shared
+    /// cursor; implicit barrier at the end.
+    pub fn for_dynamic(&self, range: Range<u64>, chunk: u64, mut body: impl FnMut(u64)) {
+        assert!(chunk > 0);
+        match &self.region {
+            None => {
+                for i in range {
+                    body(i);
+                }
+            }
+            Some(r) => {
+                let key = r.dyn_loop_seq.get();
+                r.dyn_loop_seq.set(key + 1);
+                let cursor = r.team.dyn_cursor(key, range.start);
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= range.end {
+                        break;
+                    }
+                    let end = (start + chunk).min(range.end);
+                    for i in start..end {
+                        body(i);
+                    }
+                }
+                self.barrier();
+            }
+        }
+    }
+
+    /// `#pragma omp sections`: section `i` of `count` runs on thread
+    /// `i % span`; implicit barrier at the end.
+    pub fn sections(&self, count: usize, mut body: impl FnMut(usize)) {
+        let span = self.team_size();
+        let idx = self.team_index();
+        let mut i = idx as usize;
+        while i < count {
+            body(i);
+            i += span as usize;
+        }
+        self.barrier();
+    }
+
+    /// `#pragma omp master`: runs only on team slot 0; **no** barrier.
+    pub fn master(&self, body: impl FnOnce()) {
+        if self.team_index() == 0 {
+            body();
+        }
+    }
+
+    /// `#pragma omp single`: one thread runs the body, then an implicit
+    /// barrier. (Deterministically slot 0 — a modeling simplification of
+    /// "first arrival"; the event structure is identical.)
+    pub fn single(&self, body: impl FnOnce()) {
+        if self.team_index() == 0 {
+            body();
+        }
+        self.barrier();
+    }
+
+    /// `single nowait`: no closing barrier.
+    pub fn single_nowait(&self, body: impl FnOnce()) {
+        if self.team_index() == 0 {
+            body();
+        }
+    }
+
+    // ---- reductions ---------------------------------------------------------
+
+    /// Deterministic team reduction (`reduction(op: x)` equivalent): each
+    /// thread deposits `local` in its slot of `partials` (which must hold
+    /// at least `team_size` elements), slot 0 folds the slots in index
+    /// order into `result[0]`, and every thread returns the folded value.
+    /// Barrier-synchronized on both sides, so the result is race-free and
+    /// bit-reproducible regardless of thread scheduling — unlike a naive
+    /// atomic accumulation, whose floating-point fold order varies.
+    #[track_caller]
+    pub fn reduce_with<T: TrackedValue>(
+        &self,
+        partials: &TrackedBuf<T>,
+        result: &TrackedBuf<T>,
+        local: T,
+        combine: impl Fn(T, T) -> T,
+    ) -> T {
+        let span = self.team_size();
+        assert!(
+            partials.len() >= span,
+            "reduce_with needs one partial slot per team member ({span})"
+        );
+        let t = self.team_index();
+        self.write(partials, t, local);
+        self.barrier();
+        self.single(|| {
+            let mut acc = self.read(partials, 0);
+            for i in 1..span {
+                acc = combine(acc, self.read(partials, i));
+            }
+            self.write(result, 0, acc);
+        });
+        self.read(result, 0)
+    }
+
+    /// [`Ctx::reduce_with`] folding with `+`.
+    #[track_caller]
+    pub fn reduce_sum<T>(&self, partials: &TrackedBuf<T>, result: &TrackedBuf<T>, local: T) -> T
+    where
+        T: TrackedValue + std::ops::Add<Output = T>,
+    {
+        self.reduce_with(partials, result, local, |a, b| a + b)
+    }
+
+    // ---- synchronization --------------------------------------------------
+
+    /// `#pragma omp critical(name)`.
+    pub fn critical<R>(&self, name: &str, body: impl FnOnce() -> R) -> R {
+        let lock = self.sim.named_lock(name);
+        self.with_lock(&lock, body)
+    }
+
+    /// Runs `body` holding `lock`, emitting mutex events to the tool.
+    pub fn with_lock<R>(&self, lock: &OmpLock, body: impl FnOnce() -> R) -> R {
+        let guard = lock.lock.lock();
+        self.with_tool(|t, tc| t.mutex_acquired(tc, lock.id));
+        let r = body();
+        self.with_tool(|t, tc| t.mutex_released(tc, lock.id));
+        drop(guard);
+        r
+    }
+
+    // ---- instrumented memory ----------------------------------------------
+
+    /// Instrumented load of `buf[i]`.
+    #[track_caller]
+    pub fn read<T: TrackedValue>(&self, buf: &TrackedBuf<T>, i: u64) -> T {
+        let v = buf.load(i);
+        self.observe(buf.addr_of(i), T::SIZE_BYTES, AccessKind::Read, Location::caller());
+        v
+    }
+
+    /// Instrumented store of `buf[i] = v`.
+    #[track_caller]
+    pub fn write<T: TrackedValue>(&self, buf: &TrackedBuf<T>, i: u64, v: T) {
+        buf.store(i, v);
+        self.observe(buf.addr_of(i), T::SIZE_BYTES, AccessKind::Write, Location::caller());
+    }
+
+    /// Instrumented atomic load (`#pragma omp atomic read`).
+    #[track_caller]
+    pub fn atomic_read<T: TrackedValue>(&self, buf: &TrackedBuf<T>, i: u64) -> T {
+        let v = buf.load(i);
+        self.observe(buf.addr_of(i), T::SIZE_BYTES, AccessKind::AtomicRead, Location::caller());
+        v
+    }
+
+    /// Instrumented atomic store (`#pragma omp atomic write`).
+    #[track_caller]
+    pub fn atomic_write<T: TrackedValue>(&self, buf: &TrackedBuf<T>, i: u64, v: T) {
+        buf.store(i, v);
+        self.observe(buf.addr_of(i), T::SIZE_BYTES, AccessKind::AtomicWrite, Location::caller());
+    }
+
+    /// Instrumented atomic read-modify-write (`#pragma omp atomic`);
+    /// returns the previous value.
+    #[track_caller]
+    pub fn atomic_update<T: TrackedValue>(&self, buf: &TrackedBuf<T>, i: u64, f: impl Fn(T) -> T) -> T {
+        let prev = buf.rmw(i, f);
+        self.observe(buf.addr_of(i), T::SIZE_BYTES, AccessKind::AtomicWrite, Location::caller());
+        prev
+    }
+
+    /// Instrumented `buf[i] += delta` via atomic RMW; returns the previous
+    /// value.
+    #[track_caller]
+    pub fn fetch_add<T>(&self, buf: &TrackedBuf<T>, i: u64, delta: T) -> T
+    where
+        T: TrackedValue + std::ops::Add<Output = T>,
+    {
+        let prev = buf.rmw(i, |v| v + delta);
+        self.observe(buf.addr_of(i), T::SIZE_BYTES, AccessKind::AtomicWrite, Location::caller());
+        prev
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn with_tool(&self, f: impl FnOnce(&dyn Tool, &ThreadContext<'_>)) {
+        let (Some(tool), Some(r)) = (&self.sim.tool, &self.region) else { return };
+        let label = self.label.borrow();
+        let tc = ThreadContext {
+            tid: self.tid,
+            region: r.region,
+            parent_region: r.parent_region,
+            level: r.level,
+            team_index: r.team_index,
+            span: r.span,
+            bid: r.bid.get(),
+            label: &label,
+        };
+        f(tool.as_ref(), &tc);
+    }
+
+    fn observe(&self, addr: u64, size: u8, kind: AccessKind, loc: &'static Location<'static>) {
+        // Sequential (outside-region) accesses are not instrumented — the
+        // paper's pass only instruments loads/stores in parallel regions.
+        if self.region.is_none() || self.sim.tool.is_none() {
+            return;
+        }
+        let pc = self.pc_of(loc);
+        self.with_tool(|t, tc| t.access(tc, MemAccess { addr, size, kind, pc }));
+    }
+
+    fn pc_of(&self, loc: &'static Location<'static>) -> PcId {
+        let key = (loc.file().as_ptr() as usize, loc.line());
+        if let Some(&id) = self.pc_cache.borrow().get(&key) {
+            return id;
+        }
+        let id = self.sim.intern_pc(loc);
+        self.pc_cache.borrow_mut().insert(key, id);
+        id
+    }
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("tid", &self.tid)
+            .field("label", &format_args!("{}", self.label.borrow()))
+            .field("in_parallel", &self.in_parallel())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn master_context_is_sequential() {
+        let sim = OmpSim::new();
+        sim.run(|ctx| {
+            assert!(!ctx.in_parallel());
+            assert_eq!(ctx.team_size(), 1);
+            assert_eq!(format!("{}", ctx.label()), "[0,1]");
+            ctx.barrier(); // no-op
+        });
+    }
+
+    #[test]
+    fn parallel_runs_all_workers() {
+        let sim = OmpSim::new();
+        let hits = AtomicUsize::new(0);
+        sim.run(|ctx| {
+            ctx.parallel(6, |w| {
+                assert!(w.in_parallel());
+                assert_eq!(w.team_size(), 6);
+                assert!(w.team_index() < 6);
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn worker_labels_follow_osl_rules() {
+        let sim = OmpSim::new();
+        let labels = StdMutex::new(Vec::new());
+        sim.run(|ctx| {
+            ctx.parallel(3, |w| {
+                labels.lock().unwrap().push(w.label());
+            });
+            // Post-join master label bumped.
+            assert_eq!(format!("{}", ctx.label()), "[1,1]");
+        });
+        let labels = labels.into_inner().unwrap();
+        assert_eq!(labels.len(), 3);
+        for a in &labels {
+            for b in &labels {
+                if a != b {
+                    assert!(a.concurrent(b), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_regions_are_ordered() {
+        let sim = OmpSim::new();
+        let (l1, l2) = sim.run(|ctx| {
+            let l1 = StdMutex::new(None);
+            ctx.parallel(2, |w| {
+                if w.team_index() == 0 {
+                    *l1.lock().unwrap() = Some(w.label());
+                }
+            });
+            let l2 = StdMutex::new(None);
+            ctx.parallel(2, |w| {
+                if w.team_index() == 0 {
+                    *l2.lock().unwrap() = Some(w.label());
+                }
+            });
+            (l1.into_inner().unwrap().unwrap(), l2.into_inner().unwrap().unwrap())
+        });
+        assert!(l1.sequential(&l2), "{l1} vs {l2}");
+    }
+
+    #[test]
+    fn barrier_bumps_label_and_bid() {
+        let sim = OmpSim::new();
+        let seen = StdMutex::new(Vec::new());
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                let before = w.label();
+                w.barrier();
+                let after = w.label();
+                seen.lock().unwrap().push((before, after));
+            });
+        });
+        for (before, after) in seen.into_inner().unwrap() {
+            assert!(before.sequential(&after));
+            assert_eq!(after.last().unwrap().offset, before.last().unwrap().offset + 4);
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_levels_and_concurrency() {
+        let sim = OmpSim::new();
+        let inner_labels = StdMutex::new(Vec::new());
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.parallel(2, |inner| {
+                    inner_labels.lock().unwrap().push(inner.label());
+                });
+            });
+        });
+        let labels = inner_labels.into_inner().unwrap();
+        assert_eq!(labels.len(), 4);
+        // All inner workers across both inner regions are mutually
+        // concurrent (they hang off concurrent outer threads or are
+        // siblings).
+        for a in &labels {
+            for b in &labels {
+                if a != b {
+                    assert!(a.concurrent(b), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_ids_are_pooled_across_regions() {
+        let sim = OmpSim::new();
+        let round1 = StdMutex::new(Vec::new());
+        let round2 = StdMutex::new(Vec::new());
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                round1.lock().unwrap().push(w.tid());
+            });
+            ctx.parallel(4, |w| {
+                round2.lock().unwrap().push(w.tid());
+            });
+        });
+        let mut r1 = round1.into_inner().unwrap();
+        let mut r2 = round2.into_inner().unwrap();
+        r1.sort_unstable();
+        r2.sort_unstable();
+        assert_eq!(r1, r2, "same pool of tids reused");
+        // Master took tid 0; five distinct tids total.
+        assert_eq!(sim.threads_used(), 5);
+    }
+
+    #[test]
+    fn for_static_partitions_exactly() {
+        let sim = OmpSim::new();
+        let hits = StdMutex::new(vec![0u32; 100]);
+        sim.run(|ctx| {
+            ctx.parallel(7, |w| {
+                w.for_static(0..100, |i| {
+                    hits.lock().unwrap()[i as usize] += 1;
+                });
+            });
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn for_static_empty_range() {
+        let sim = OmpSim::new();
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_static_nowait(10..10, |_| panic!("no iterations"));
+            });
+        });
+    }
+
+    #[test]
+    fn for_static_chunked_covers_range() {
+        let sim = OmpSim::new();
+        let hits = StdMutex::new(vec![0u32; 53]);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_static_chunked(0..53, 5, |i| {
+                    hits.lock().unwrap()[i as usize] += 1;
+                });
+            });
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn for_dynamic_covers_range() {
+        let sim = OmpSim::new();
+        let hits = StdMutex::new(vec![0u32; 97]);
+        sim.run(|ctx| {
+            ctx.parallel(5, |w| {
+                w.for_dynamic(0..97, 4, |i| {
+                    hits.lock().unwrap()[i as usize] += 1;
+                });
+                // A second dynamic loop must get a fresh cursor.
+                w.for_dynamic(0..97, 4, |i| {
+                    hits.lock().unwrap()[i as usize] += 1;
+                });
+            });
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&h| h == 2));
+    }
+
+    #[test]
+    fn master_and_single_run_once() {
+        let sim = OmpSim::new();
+        let m = AtomicUsize::new(0);
+        let s1 = AtomicUsize::new(0);
+        let s2 = AtomicUsize::new(0);
+        sim.run(|ctx| {
+            ctx.parallel(8, |w| {
+                w.master(|| {
+                    m.fetch_add(1, Ordering::Relaxed);
+                });
+                w.single(|| {
+                    s1.fetch_add(1, Ordering::Relaxed);
+                });
+                w.single_nowait(|| {
+                    s2.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(m.load(Ordering::Relaxed), 1);
+        assert_eq!(s1.load(Ordering::Relaxed), 1);
+        assert_eq!(s2.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sections_distribute_all() {
+        let sim = OmpSim::new();
+        let done = StdMutex::new(vec![false; 10]);
+        sim.run(|ctx| {
+            ctx.parallel(3, |w| {
+                w.sections(10, |i| {
+                    done.lock().unwrap()[i] = true;
+                });
+            });
+        });
+        assert!(done.into_inner().unwrap().iter().all(|&d| d));
+    }
+
+    #[test]
+    fn critical_is_mutually_exclusive() {
+        let sim = OmpSim::new();
+        let counter = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(8, |w| {
+                for _ in 0..1000 {
+                    w.critical("sum", || {
+                        let v = w.read(&counter, 0);
+                        w.write(&counter, 0, v + 1);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.get_seq(0), 8000);
+    }
+
+    #[test]
+    fn named_locks_are_shared_anonymous_are_not() {
+        let sim = OmpSim::new();
+        let a = sim.named_lock("x");
+        let b = sim.named_lock("x");
+        let c = sim.named_lock("y");
+        let d = sim.new_lock();
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
+        assert_ne!(c.id(), d.id());
+    }
+
+    #[test]
+    fn fetch_add_is_atomic_across_team() {
+        let sim = OmpSim::new();
+        let counter = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(8, |w| {
+                for _ in 0..5000 {
+                    w.fetch_add(&counter, 0, 1);
+                }
+            });
+        });
+        assert_eq!(counter.get_seq(0), 40_000);
+    }
+
+    #[test]
+    fn target_region_is_a_nested_team() {
+        let sim = OmpSim::new();
+        let labels = StdMutex::new(Vec::new());
+        sim.run(|ctx| {
+            ctx.parallel(2, |host| {
+                host.single_nowait(|| {
+                    host.target(3, |dev| {
+                        assert_eq!(dev.team_size(), 3);
+                        labels.lock().unwrap().push(dev.label());
+                    });
+                });
+                host.barrier();
+            });
+        });
+        let labels = labels.into_inner().unwrap();
+        assert_eq!(labels.len(), 3, "device team ran");
+        // Device threads are nested two levels below the root.
+        assert!(labels.iter().all(|l| l.depth() == 3));
+    }
+
+    #[test]
+    fn reduce_sum_is_deterministic_and_correct() {
+        let run = |threads: usize| {
+            let sim = OmpSim::new();
+            let a = sim.alloc::<f64>(1000, 0.0);
+            for i in 0..1000 {
+                a.set_seq(i, 0.1 * (i as f64 + 1.0));
+            }
+            let partials = sim.alloc::<f64>(threads as u64, 0.0);
+            let result = sim.alloc::<f64>(1, 0.0);
+            let per_thread = StdMutex::new(Vec::new());
+            sim.run(|ctx| {
+                ctx.parallel(threads, |w| {
+                    let mut local = 0.0;
+                    w.for_static_nowait(0..1000, |i| {
+                        local += w.read(&a, i);
+                    });
+                    let total = w.reduce_sum(&partials, &result, local);
+                    per_thread.lock().unwrap().push(total);
+                });
+            });
+            let totals = per_thread.into_inner().unwrap();
+            assert_eq!(totals.len(), threads);
+            assert!(totals.windows(2).all(|p| p[0] == p[1]), "all threads see the result");
+            totals[0]
+        };
+        // Deterministic across runs…
+        assert_eq!(run(4).to_bits(), run(4).to_bits());
+        // …and mathematically right.
+        let expect: f64 = (1..=1000).map(|i| 0.1 * i as f64).sum();
+        assert!((run(3) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_with_min() {
+        let sim = OmpSim::new();
+        let partials = sim.alloc::<i64>(5, 0);
+        let result = sim.alloc::<i64>(1, 0);
+        let got = StdMutex::new(0i64);
+        sim.run(|ctx| {
+            ctx.parallel(5, |w| {
+                let local = 100 - w.team_index() as i64 * 7;
+                let m = w.reduce_with(&partials, &result, local, |a, b| a.min(b));
+                if w.team_index() == 0 {
+                    *got.lock().unwrap() = m;
+                }
+            });
+        });
+        assert_eq!(got.into_inner().unwrap(), 100 - 4 * 7);
+    }
+
+    #[test]
+    // Worker panics surface through thread::scope's generic message.
+    #[should_panic(expected = "scoped thread panicked")]
+    fn reduce_requires_enough_slots() {
+        let sim = OmpSim::new();
+        let partials = sim.alloc::<f64>(2, 0.0);
+        let result = sim.alloc::<f64>(1, 0.0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.reduce_sum(&partials, &result, 1.0);
+            });
+        });
+    }
+
+    #[test]
+    fn footprint_tracking() {
+        let sim = OmpSim::new();
+        let a = sim.alloc::<f64>(1000, 0.0);
+        assert_eq!(sim.declared_footprint(), 8000);
+        let b = sim.alloc_phantom::<f64>(1 << 30, 1024, 0.0);
+        assert_eq!(sim.declared_footprint(), 8000 + (8u64 << 30));
+        drop(b);
+        assert_eq!(sim.declared_footprint(), 8000);
+        assert_eq!(sim.peak_footprint(), 8000 + (8u64 << 30));
+        drop(a);
+    }
+
+    #[test]
+    fn buffers_have_disjoint_address_ranges() {
+        let sim = OmpSim::new();
+        let a = sim.alloc::<u8>(100, 0);
+        let b = sim.alloc::<f64>(10, 0.0);
+        assert!(a.base_addr() + 100 <= b.base_addr());
+        assert_eq!(b.base_addr() % 64, 0);
+    }
+
+    /// A tool that counts callbacks, for interface-contract tests.
+    #[derive(Default)]
+    struct CountingTool {
+        accesses: AtomicUsize,
+        regions: AtomicUsize,
+        barriers: AtomicUsize,
+        threads: AtomicUsize,
+        mutexes: AtomicUsize,
+    }
+
+    impl Tool for CountingTool {
+        fn parallel_begin(&self, _: &ParallelBeginInfo<'_>) {
+            self.regions.fetch_add(1, Ordering::Relaxed);
+        }
+        fn thread_begin(&self, _: &ThreadContext<'_>) {
+            self.threads.fetch_add(1, Ordering::Relaxed);
+        }
+        fn barrier_end(&self, _: &ThreadContext<'_>) {
+            self.barriers.fetch_add(1, Ordering::Relaxed);
+        }
+        fn mutex_acquired(&self, _: &ThreadContext<'_>, _: MutexId) {
+            self.mutexes.fetch_add(1, Ordering::Relaxed);
+        }
+        fn access(&self, ctx: &ThreadContext<'_>, a: MemAccess) {
+            assert!(a.size > 0);
+            assert!(ctx.span > 0);
+            self.accesses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn tool_sees_expected_event_counts() {
+        let tool = Arc::new(CountingTool::default());
+        let sim = OmpSim::with_tool(tool.clone());
+        let buf = sim.alloc::<f64>(64, 0.0);
+        sim.run(|ctx| {
+            // Sequential access: not instrumented.
+            let _ = ctx.read(&buf, 0);
+            ctx.parallel(4, |w| {
+                w.for_static(0..64, |i| {
+                    let v = w.read(&buf, i);
+                    w.write(&buf, i, v + 1.0);
+                });
+                w.critical("c", || {});
+            });
+        });
+        assert_eq!(tool.regions.load(Ordering::Relaxed), 1);
+        assert_eq!(tool.threads.load(Ordering::Relaxed), 4);
+        assert_eq!(tool.accesses.load(Ordering::Relaxed), 128, "64 reads + 64 writes");
+        assert_eq!(tool.barriers.load(Ordering::Relaxed), 4, "for_static barrier x4 threads");
+        assert_eq!(tool.mutexes.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn tracked_ops_compute_correctly_under_instrumentation() {
+        let sim = OmpSim::with_tool(Arc::new(crate::NullTool));
+        let a = sim.alloc::<f64>(128, 0.0);
+        for i in 0..128 {
+            a.set_seq(i, i as f64);
+        }
+        let sum = sim.run(|ctx| {
+            let total = sim.alloc::<f64>(1, 0.0);
+            ctx.parallel(4, |w| {
+                let mut local = 0.0;
+                w.for_static_nowait(0..128, |i| {
+                    local += w.read(&a, i);
+                });
+                w.fetch_add(&total, 0, local);
+                w.barrier();
+            });
+            total.get_seq(0)
+        });
+        assert_eq!(sum, (0..128).sum::<u64>() as f64);
+    }
+
+    #[test]
+    fn pc_interning_distinguishes_lines() {
+        let tool = Arc::new(PcCollector::default());
+        let sim = OmpSim::with_tool(tool.clone());
+        let buf = sim.alloc::<u64>(4, 0);
+        sim.run(|ctx| {
+            ctx.parallel(1, |w| {
+                w.write(&buf, 0, 1); // line A
+                w.write(&buf, 1, 2); // line B
+                w.write(&buf, 2, 3); // line C
+                for _ in 0..3 {
+                    w.write(&buf, 3, 4); // same line, one PC
+                }
+            });
+        });
+        let pcs = tool.pcs.lock().unwrap().clone();
+        let distinct: std::collections::HashSet<_> = pcs.iter().collect();
+        assert_eq!(pcs.len(), 6);
+        assert_eq!(distinct.len(), 4);
+        // The table resolves them to this file.
+        let table = sim.export_pcs();
+        for pc in distinct {
+            assert!(table.resolve(*pc).unwrap().file.ends_with("runtime.rs"));
+        }
+    }
+
+    #[derive(Default)]
+    struct PcCollector {
+        pcs: StdMutex<Vec<PcId>>,
+    }
+
+    impl Tool for PcCollector {
+        fn access(&self, _: &ThreadContext<'_>, a: MemAccess) {
+            self.pcs.lock().unwrap().push(a.pc);
+        }
+    }
+}

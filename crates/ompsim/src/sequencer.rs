@@ -1,0 +1,123 @@
+//! Deterministic cross-thread ordering.
+//!
+//! Several of the paper's phenomena are *schedule-dependent*: Figure 1's
+//! happens-before masking occurs only under interleaving (b); the shadow
+//! eviction example of §II needs the write to land before the reads. A
+//! [`Sequencer`] lets workloads pin such schedules: threads take numbered
+//! turns on a shared ticket counter, so the pinned ordering is identical
+//! on every run — which is what makes the detection comparisons in the
+//! benches reproducible.
+//!
+//! The sequencer is *workload-level* synchronization only: it is invisible
+//! to the tool callbacks (no mutex events), so it orders real time without
+//! creating happens-before edges the detectors could observe. This mirrors
+//! the paper's setting, where schedule artifacts (OS timing) order events
+//! without any program synchronization. Workloads that need a *visible*
+//! HB edge (Figure 1(b)'s lock) use `critical`/locks instead.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A ticket-ordered turnstile.
+#[derive(Debug, Default)]
+pub struct Sequencer {
+    state: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Sequencer {
+    /// A sequencer at ticket 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until the counter reaches `ticket`.
+    pub fn wait_for(&self, ticket: u64) {
+        let mut cur = self.state.lock();
+        while *cur < ticket {
+            self.cv.wait(&mut cur);
+        }
+    }
+
+    /// Advances the counter by one and wakes waiters.
+    pub fn advance(&self) {
+        let mut cur = self.state.lock();
+        *cur += 1;
+        self.cv.notify_all();
+    }
+
+    /// Current ticket value.
+    pub fn current(&self) -> u64 {
+        *self.state.lock()
+    }
+
+    /// Runs `f` as turn `ticket`: waits for the counter to reach it, runs,
+    /// then advances. Using consecutive tickets across threads serializes
+    /// the enclosed actions in ticket order.
+    pub fn turn<R>(&self, ticket: u64, f: impl FnOnce() -> R) -> R {
+        self.wait_for(ticket);
+        let r = f();
+        self.advance();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn turns_serialize_in_ticket_order() {
+        let seq = Sequencer::new();
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            // Spawn in reverse so OS scheduling alone would likely invert.
+            for t in (0..8u64).rev() {
+                let seq = &seq;
+                let order = &order;
+                s.spawn(move || {
+                    seq.turn(t, || order.lock().push(t));
+                });
+            }
+        });
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
+        assert_eq!(seq.current(), 8);
+    }
+
+    #[test]
+    fn wait_for_zero_never_blocks() {
+        let seq = Sequencer::new();
+        seq.wait_for(0);
+    }
+
+    #[test]
+    fn interleaving_is_pinned_exactly() {
+        // Pin: A writes, then B reads, then A writes again.
+        let seq = Sequencer::new();
+        let log = Mutex::new(String::new());
+        std::thread::scope(|s| {
+            let seq = &seq;
+            let log = &log;
+            s.spawn(move || {
+                seq.turn(0, || log.lock().push('a'));
+                seq.turn(2, || log.lock().push('c'));
+            });
+            s.spawn(move || {
+                seq.turn(1, || log.lock().push('b'));
+            });
+        });
+        assert_eq!(*log.lock(), "abc");
+    }
+
+    #[test]
+    fn turn_returns_value() {
+        let seq = Sequencer::new();
+        let n = AtomicUsize::new(0);
+        let v = seq.turn(0, || {
+            n.fetch_add(1, Ordering::Relaxed);
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! The OMPT-like tool callback interface.
+//!
+//! A [`Tool`] observes the runtime the way an OMPT-based tool observes the
+//! OpenMP runtime: region begin/end in the forking thread, per-worker
+//! thread begin/end, barrier crossings split into a pre-wait and post-wait
+//! half (so happens-before tools can publish and then adopt clocks), mutex
+//! transitions, and one callback per instrumented memory access.
+//!
+//! All callbacks are invoked synchronously on the thread that performed
+//! the action, concurrently across threads — tools synchronize their own
+//! state, exactly as OMPT tools must.
+
+use sword_osl::Label;
+use sword_trace::{MemAccess, MutexId, RegionId, ThreadId};
+
+/// Snapshot of a worker's position in the concurrency structure, passed to
+/// every per-thread callback.
+#[derive(Clone, Debug)]
+pub struct ThreadContext<'a> {
+    /// Global (pooled) thread id; owns one log file.
+    pub tid: ThreadId,
+    /// Current parallel region instance.
+    pub region: RegionId,
+    /// Parent region instance, if nested.
+    pub parent_region: Option<RegionId>,
+    /// Nesting level: 1 for a top-level region.
+    pub level: u32,
+    /// This thread's slot in its team (`0..span`).
+    pub team_index: u64,
+    /// Team size.
+    pub span: u64,
+    /// Barrier-interval id: 0 before the first barrier the thread crosses
+    /// in this region.
+    pub bid: u32,
+    /// Full offset-span label, including barrier-generation bumps.
+    pub label: &'a Label,
+}
+
+/// Information about a parallel region at fork time, delivered in the
+/// forking thread before any worker starts.
+#[derive(Clone, Debug)]
+pub struct ParallelBeginInfo<'a> {
+    /// The new region's id.
+    pub region: RegionId,
+    /// Enclosing region, if any.
+    pub parent_region: Option<RegionId>,
+    /// Nesting level of the new region (1 = top level).
+    pub level: u32,
+    /// Team size.
+    pub span: u64,
+    /// The forking thread's label at the fork point (the new workers'
+    /// labels are `fork_label · [i, span]`).
+    pub fork_label: &'a Label,
+    /// The forking thread's id.
+    pub fork_tid: ThreadId,
+}
+
+/// OMPT-like observer. All methods have empty defaults so tools override
+/// only what they need.
+#[allow(unused_variables)]
+pub trait Tool: Send + Sync {
+    /// The instrumented program is about to start.
+    fn program_begin(&self) {}
+
+    /// The instrumented program finished; flush and finalize.
+    fn program_end(&self) {}
+
+    /// A parallel region is being forked (called in the forking thread).
+    fn parallel_begin(&self, info: &ParallelBeginInfo<'_>) {}
+
+    /// The matching join completed (called in the forking thread).
+    fn parallel_end(&self, region: RegionId, fork_tid: ThreadId) {}
+
+    /// A worker entered a region (its first barrier interval starts).
+    fn thread_begin(&self, ctx: &ThreadContext<'_>) {}
+
+    /// A worker is leaving a region (its last barrier interval ends).
+    fn thread_end(&self, ctx: &ThreadContext<'_>) {}
+
+    /// The thread reached a barrier and is about to wait. `ctx.bid` is the
+    /// interval being closed.
+    fn barrier_begin(&self, ctx: &ThreadContext<'_>) {}
+
+    /// Every team member arrived; the thread proceeds. `ctx.bid` and
+    /// `ctx.label` already reflect the new interval.
+    fn barrier_end(&self, ctx: &ThreadContext<'_>) {}
+
+    /// The thread acquired a mutex (holds it during the callback).
+    fn mutex_acquired(&self, ctx: &ThreadContext<'_>, mutex: MutexId) {}
+
+    /// The thread is about to release a mutex (still holds it).
+    fn mutex_released(&self, ctx: &ThreadContext<'_>, mutex: MutexId) {}
+
+    /// An instrumented memory access inside a parallel region.
+    fn access(&self, ctx: &ThreadContext<'_>, access: MemAccess) {}
+}
+
+/// A tool that observes nothing — baseline runs use it implicitly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullTool;
+
+impl Tool for NullTool {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sword_osl::Label;
+
+    #[test]
+    fn default_methods_are_noops() {
+        let t = NullTool;
+        let label = Label::root().fork(0, 2);
+        let ctx = ThreadContext {
+            tid: 0,
+            region: 1,
+            parent_region: None,
+            level: 1,
+            team_index: 0,
+            span: 2,
+            bid: 0,
+            label: &label,
+        };
+        t.program_begin();
+        t.thread_begin(&ctx);
+        t.access(&ctx, MemAccess::new(0, 8, sword_trace::AccessKind::Read, 0));
+        t.barrier_begin(&ctx);
+        t.barrier_end(&ctx);
+        t.mutex_acquired(&ctx, 0);
+        t.mutex_released(&ctx, 0);
+        t.thread_end(&ctx);
+        t.program_end();
+    }
+}

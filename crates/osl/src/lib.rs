@@ -1,0 +1,700 @@
+//! Offset-span labels for concurrency discovery in nested fork-join programs.
+//!
+//! SWORD's offline phase must decide whether two accesses collected by two
+//! different threads *could* have raced, without relying on the
+//! happens-before relation of the particular schedule (which can mask
+//! races, Fig. 1 of the paper). It does so with *offset-span labels*
+//! (Mellor-Crummey, "On-the-fly detection of data races for programs with
+//! nested fork-join parallelism", 1991): every execution point of every
+//! thread is tagged with a sequence of `[offset, span]` pairs describing its
+//! lineage in the fork-join tree, and a purely syntactic comparison of two
+//! labels decides whether the points are sequentially ordered or concurrent.
+//!
+//! The rules implemented here are exactly the ones the paper states (§II):
+//! two labels are **sequential** when either
+//!
+//! * **case 1**: one is a proper prefix of the other, or
+//! * **case 2**: they share a (possibly empty) prefix `P` and continue with
+//!   pairs `[o_x, s]` / `[o_y, s]` of the *same span* such that
+//!   `o_x < o_y` and `o_x ≡ o_y (mod s)`;
+//!
+//! otherwise they are **concurrent**.
+//!
+//! Label construction mirrors the runtime events:
+//!
+//! * the initial thread has label `[0, 1]`;
+//! * a fork of `s` threads from label `L` gives child `i` the label
+//!   `L · [i, s]`;
+//! * after the matching join, the continuing (master) thread bumps the
+//!   offset of its last pair by its span, which orders it after every child
+//!   by case 2;
+//! * a barrier inside a team likewise bumps each member's last pair by the
+//!   span, so successive *barrier intervals* of the same thread slot are
+//!   case-2 sequential.
+//!
+//! Note (also §II of the paper and [`Label::sequential`] docs): OSL alone
+//! deliberately does *not* order different thread slots across a barrier —
+//! within one parallel region that ordering comes from comparing barrier
+//! ids, which the offline analyzer does before ever consulting OSL (or,
+//! equivalently, from [`Label::compare_barrier_aware`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sword_osl::{Label, Ordering};
+//!
+//! // Figure 2 of the paper: a 2-thread outer region whose workers each
+//! // fork a 2-thread inner region.
+//! let root = Label::root();                 // [0,1]
+//! let outer0 = root.fork(0, 2);             // [0,1][0,2]
+//! let outer1 = root.fork(1, 2);             // [0,1][1,2]
+//! let inner_a = outer0.fork(1, 2);          // [0,1][0,2][1,2]
+//!
+//! // Sibling outer threads may race; the inner region races with the
+//! // *other* outer thread (the paper's R3) but is ordered against its
+//! // own forker.
+//! assert_eq!(outer0.compare(&outer1), Ordering::Concurrent);
+//! assert_eq!(inner_a.compare(&outer1), Ordering::Concurrent);
+//! assert_eq!(outer0.compare(&inner_a), Ordering::Before);
+//!
+//! // Barrier crossings bump the innermost offset by the span; the
+//! // barrier-aware comparison orders all slots across it.
+//! let after_barrier = outer1.bump();        // [0,1][3,2]
+//! assert_eq!(outer0.compare_barrier_aware(&after_barrier), Ordering::Before);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// One `[offset, span]` pair of an offset-span label.
+///
+/// `span` is the number of threads spawned by the fork this pair originates
+/// from; `offset` distinguishes siblings and grows by `span` at each
+/// barrier/join crossing, so `offset % span` recovers the thread slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pair {
+    /// Offset within (and across barrier generations of) the fork.
+    pub offset: u64,
+    /// Number of threads spawned by the originating fork. Always ≥ 1.
+    pub span: u64,
+}
+
+impl Pair {
+    /// Creates a pair; `span` must be non-zero.
+    #[inline]
+    pub fn new(offset: u64, span: u64) -> Self {
+        assert!(span > 0, "offset-span pair with zero span");
+        Pair { offset, span }
+    }
+
+    /// The thread slot this pair denotes within its fork (`offset % span`).
+    #[inline]
+    pub fn slot(&self) -> u64 {
+        self.offset % self.span
+    }
+
+    /// How many barrier/join boundaries this pair has crossed
+    /// (`offset / span`).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.offset / self.span
+    }
+}
+
+impl fmt::Debug for Pair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.offset, self.span)
+    }
+}
+
+impl fmt::Display for Pair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.offset, self.span)
+    }
+}
+
+/// Result of comparing two offset-span labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Ordering {
+    /// The labels denote the same execution point.
+    Equal,
+    /// The left label's point is sequentially ordered before the right's.
+    Before,
+    /// The left label's point is sequentially ordered after the right's.
+    After,
+    /// Neither is ordered before the other: the points may race.
+    Concurrent,
+}
+
+impl Ordering {
+    /// `true` when the two points cannot run at the same time.
+    #[inline]
+    pub fn is_sequential(self) -> bool {
+        !matches!(self, Ordering::Concurrent)
+    }
+}
+
+/// An offset-span label: a sequence of [`Pair`]s from the root fork to the
+/// innermost enclosing fork of an execution point.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Label {
+    pairs: Vec<Pair>,
+}
+
+impl Label {
+    /// The label of the initial (master) thread: `[0, 1]`.
+    pub fn root() -> Self {
+        Label { pairs: vec![Pair::new(0, 1)] }
+    }
+
+    /// An empty label. Only useful as a building block for
+    /// [`Label::from_chain`]; an empty label compares as a prefix of every
+    /// other label (hence sequential-before everything).
+    pub fn empty() -> Self {
+        Label { pairs: Vec::new() }
+    }
+
+    /// Builds a label from an explicit chain of `(offset, span)` pairs,
+    /// outermost first. This is how the offline analyzer reconstructs
+    /// labels from the per-barrier-interval metadata rows chained through
+    /// parent-region ids.
+    pub fn from_chain<I: IntoIterator<Item = (u64, u64)>>(chain: I) -> Self {
+        Label { pairs: chain.into_iter().map(|(o, s)| Pair::new(o, s)).collect() }
+    }
+
+    /// The pairs of this label, outermost fork first.
+    #[inline]
+    pub fn pairs(&self) -> &[Pair] {
+        &self.pairs
+    }
+
+    /// Number of pairs, i.e. the nesting depth of forks.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` for labels with no pairs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The innermost pair, if any.
+    #[inline]
+    pub fn last(&self) -> Option<Pair> {
+        self.pairs.last().copied()
+    }
+
+    /// Label of child `index` when this thread forks a team of `span`
+    /// threads: `self · [index, span]`.
+    ///
+    /// `index` must be `< span`.
+    pub fn fork(&self, index: u64, span: u64) -> Label {
+        assert!(span > 0, "fork with zero span");
+        assert!(index < span, "fork child index {index} out of span {span}");
+        let mut pairs = Vec::with_capacity(self.pairs.len() + 1);
+        pairs.extend_from_slice(&self.pairs);
+        pairs.push(Pair::new(index, span));
+        Label { pairs }
+    }
+
+    /// Label of the continuing thread after the join matching its most
+    /// recent fork *or* after a team barrier: the last pair's offset is
+    /// bumped by its span, ordering the new point case-2-after every point
+    /// of the previous generation in the same slot.
+    pub fn bump(&self) -> Label {
+        let mut pairs = self.pairs.clone();
+        let last = pairs.last_mut().expect("bump on empty label");
+        last.offset = last
+            .offset
+            .checked_add(last.span)
+            .expect("offset-span label offset overflow");
+        Label { pairs }
+    }
+
+    /// In-place version of [`Label::bump`], used by the runtime on the hot
+    /// barrier path to avoid reallocating the pair vector.
+    pub fn bump_in_place(&mut self) {
+        let last = self.pairs.last_mut().expect("bump on empty label");
+        last.offset = last
+            .offset
+            .checked_add(last.span)
+            .expect("offset-span label offset overflow");
+    }
+
+    /// Compares two labels per the paper's sequentiality rules.
+    ///
+    /// Returns [`Ordering::Before`]/[`Ordering::After`] for case-1/case-2
+    /// sequential labels, [`Ordering::Equal`] for identical labels, and
+    /// [`Ordering::Concurrent`] otherwise.
+    pub fn compare(&self, other: &Label) -> Ordering {
+        let a = &self.pairs;
+        let b = &other.pairs;
+        let common = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+
+        match (a.len() == common, b.len() == common) {
+            (true, true) => Ordering::Equal,
+            // case 1: one label is a proper prefix of the other. The prefix
+            // denotes the parent's execution point before the fork, which is
+            // sequentially ordered before every descendant's point.
+            (true, false) => Ordering::Before,
+            (false, true) => Ordering::After,
+            (false, false) => {
+                // case 2: first divergent pairs share a span, offsets agree
+                // modulo the span (same thread slot across barrier/join
+                // generations), and the smaller offset comes first.
+                let x = a[common];
+                let y = b[common];
+                if x.span == y.span && x.slot() == y.slot() {
+                    if x.offset < y.offset {
+                        Ordering::Before
+                    } else {
+                        debug_assert!(x.offset > y.offset);
+                        Ordering::After
+                    }
+                } else {
+                    Ordering::Concurrent
+                }
+            }
+        }
+    }
+
+    /// Barrier-aware label comparison used by the offline analyzer.
+    ///
+    /// The paper's analysis combines two orderings: within one parallel
+    /// region, barrier-interval ids order intervals (a barrier orders *all*
+    /// team slots of generation `g` before all slots of `g+1`); across
+    /// regions, offset-span labels do. Since a barrier/join crossing adds
+    /// `span` to the pair's offset, both collapse into one rule on labels:
+    /// at the first divergent pair with equal span, compare *generations*
+    /// (`offset / span`) — different generations are barrier/join-ordered
+    /// regardless of slot; the same generation with different slots is
+    /// concurrent.
+    ///
+    /// This strictly extends [`Label::compare`]'s case 2 (which orders only
+    /// same-slot pairs): every pair `compare` calls sequential stays
+    /// sequential here, and in addition cross-slot pairs separated by a
+    /// barrier become sequential, exactly as the paper's bid pairing makes
+    /// them.
+    pub fn compare_barrier_aware(&self, other: &Label) -> Ordering {
+        let a = &self.pairs;
+        let b = &other.pairs;
+        let common = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+        match (a.len() == common, b.len() == common) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Before,
+            (false, true) => Ordering::After,
+            (false, false) => {
+                let x = a[common];
+                let y = b[common];
+                if x.span == y.span {
+                    match x.generation().cmp(&y.generation()) {
+                        std::cmp::Ordering::Less => Ordering::Before,
+                        std::cmp::Ordering::Greater => Ordering::After,
+                        std::cmp::Ordering::Equal => Ordering::Concurrent,
+                    }
+                } else {
+                    Ordering::Concurrent
+                }
+            }
+        }
+    }
+
+    /// `true` when the two labels are sequentially ordered (or equal).
+    #[inline]
+    pub fn sequential(&self, other: &Label) -> bool {
+        self.compare(other).is_sequential()
+    }
+
+    /// `true` when the two execution points may run at the same time.
+    #[inline]
+    pub fn concurrent(&self, other: &Label) -> bool {
+        !self.sequential(other)
+    }
+
+    /// Serializes the label as a flat `(offset, span)` stream for the trace
+    /// substrate.
+    pub fn to_flat(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.pairs.len() * 2);
+        for p in &self.pairs {
+            out.push(p.offset);
+            out.push(p.span);
+        }
+        out
+    }
+
+    /// Inverse of [`Label::to_flat`]. Returns `None` on odd-length input or
+    /// zero spans.
+    pub fn from_flat(flat: &[u64]) -> Option<Label> {
+        if !flat.len().is_multiple_of(2) {
+            return None;
+        }
+        let mut pairs = Vec::with_capacity(flat.len() / 2);
+        for chunk in flat.chunks_exact(2) {
+            if chunk[1] == 0 {
+                return None;
+            }
+            pairs.push(Pair::new(chunk[0], chunk[1]));
+        }
+        Some(Label { pairs })
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.pairs {
+            write!(f, "{p:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.pairs {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(u64, u64)> for Label {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Self {
+        Label::from_chain(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_label_shape() {
+        let r = Label::root();
+        assert_eq!(r.pairs(), &[Pair::new(0, 1)]);
+        assert_eq!(r.depth(), 1);
+        assert_eq!(format!("{r}"), "[0,1]");
+    }
+
+    #[test]
+    fn paper_example_thread3_label() {
+        // Figure 2 of the paper: Thread 3 carries [0,1][0,2][0,2].
+        let t3 = Label::root().fork(0, 2).fork(0, 2);
+        assert_eq!(format!("{t3}"), "[0,1][0,2][0,2]");
+    }
+
+    #[test]
+    fn equal_labels_are_sequential() {
+        let a = Label::root().fork(1, 4);
+        assert_eq!(a.compare(&a.clone()), Ordering::Equal);
+        assert!(a.sequential(&a.clone()));
+    }
+
+    #[test]
+    fn case1_prefix_is_sequential() {
+        let parent = Label::root();
+        let child = parent.fork(3, 4);
+        assert_eq!(parent.compare(&child), Ordering::Before);
+        assert_eq!(child.compare(&parent), Ordering::After);
+        assert!(parent.sequential(&child));
+    }
+
+    #[test]
+    fn fork_siblings_are_concurrent() {
+        let parent = Label::root();
+        let c0 = parent.fork(0, 2);
+        let c1 = parent.fork(1, 2);
+        assert_eq!(c0.compare(&c1), Ordering::Concurrent);
+        assert_eq!(c1.compare(&c0), Ordering::Concurrent);
+    }
+
+    #[test]
+    fn continuing_master_after_join_is_sequential_after_children() {
+        let parent = Label::root();
+        let children: Vec<_> = (0..4).map(|i| parent.fork(i, 4)).collect();
+        // After the join the master continues; its *next* fork's children
+        // must be ordered after the previous team. The continuation label of
+        // the master is parent.bump() only when the fork pair was pushed on
+        // the master's own label; model the OpenMP pattern: master label L,
+        // team pairs L·[i,s], post-join master label L.bump().
+        let after = parent.bump();
+        for c in &children {
+            assert_eq!(c.compare(&after), Ordering::Before, "{c} vs {after}");
+            assert_eq!(after.compare(c), Ordering::After);
+        }
+    }
+
+    #[test]
+    fn sequential_sibling_regions_are_ordered() {
+        // Two parallel regions executed one after the other by the same
+        // master: every thread of region 1 is before every thread of
+        // region 2, regardless of slot.
+        let master = Label::root();
+        let r1: Vec<_> = (0..3).map(|i| master.fork(i, 3)).collect();
+        let master2 = master.bump();
+        let r2: Vec<_> = (0..3).map(|i| master2.fork(i, 3)).collect();
+        for a in &r1 {
+            for b in &r2 {
+                assert_eq!(a.compare(b), Ordering::Before, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_regions_under_different_parents_are_concurrent() {
+        // Figure 2: races R2/R3 cross barrier intervals of *different*
+        // concurrent inner regions.
+        let root = Label::root();
+        let outer0 = root.fork(0, 2);
+        let outer1 = root.fork(1, 2);
+        let inner_a = outer0.fork(1, 2); // Thread 4-ish
+        let inner_b = outer1.fork(0, 2); // Thread 5-ish
+        assert_eq!(inner_a.compare(&inner_b), Ordering::Concurrent);
+        // ... and the inner thread is concurrent with the *other* outer
+        // thread as well.
+        assert_eq!(inner_a.compare(&outer1), Ordering::Concurrent);
+    }
+
+    #[test]
+    fn barrier_bump_orders_same_slot_generations() {
+        let t = Label::root().fork(2, 4);
+        let t_next = t.bump(); // crossed one barrier
+        assert_eq!(t.compare(&t_next), Ordering::Before);
+        assert_eq!(t_next.compare(&t), Ordering::After);
+        // Two barriers later still ordered.
+        let t_nn = t_next.bump();
+        assert_eq!(t.compare(&t_nn), Ordering::Before);
+        assert_eq!(t_nn.last().unwrap(), Pair::new(10, 4));
+        assert_eq!(t_nn.last().unwrap().slot(), 2);
+        assert_eq!(t_nn.last().unwrap().generation(), 2);
+    }
+
+    #[test]
+    fn barrier_bump_keeps_different_slots_concurrent() {
+        // OSL alone does not order different slots across a barrier; the
+        // analyzer resolves that with barrier-interval ids. Pin the
+        // behaviour so the analyzer's assumption stays true.
+        let a = Label::root().fork(0, 2); // slot 0, generation 0
+        let b = Label::root().fork(1, 2).bump(); // slot 1, generation 1
+        assert_eq!(a.compare(&b), Ordering::Concurrent);
+    }
+
+    #[test]
+    fn barrier_aware_orders_cross_slot_generations() {
+        // Thread 0 interval 0 vs thread 1 interval 1 of the same team:
+        // plain OSL calls them concurrent, the barrier-aware rule orders
+        // them (the barrier synchronized every slot).
+        let a = Label::root().fork(0, 2);
+        let b = Label::root().fork(1, 2).bump();
+        assert_eq!(a.compare(&b), Ordering::Concurrent);
+        assert_eq!(a.compare_barrier_aware(&b), Ordering::Before);
+        assert_eq!(b.compare_barrier_aware(&a), Ordering::After);
+    }
+
+    #[test]
+    fn barrier_aware_same_generation_still_concurrent() {
+        let a = Label::root().fork(0, 4).bump();
+        let b = Label::root().fork(2, 4).bump();
+        assert_eq!(a.compare_barrier_aware(&b), Ordering::Concurrent);
+    }
+
+    #[test]
+    fn barrier_aware_nested_inner_region_vs_later_interval() {
+        // Inner region forked during interval 0 of outer slot 0; its
+        // threads are ordered before outer slot 1's interval-5 accesses.
+        let outer0 = Label::root().fork(0, 2);
+        let inner = outer0.fork(1, 3);
+        let outer1_bid5 = {
+            let mut l = Label::root().fork(1, 2);
+            for _ in 0..5 {
+                l = l.bump();
+            }
+            l
+        };
+        assert_eq!(inner.compare_barrier_aware(&outer1_bid5), Ordering::Before);
+        // But it stays concurrent with the same-generation interval of the
+        // other slot (R3 of Figure 2).
+        let outer1_bid0 = Label::root().fork(1, 2);
+        assert_eq!(inner.compare_barrier_aware(&outer1_bid0), Ordering::Concurrent);
+    }
+
+    #[test]
+    fn bump_in_place_matches_bump() {
+        let a = Label::root().fork(1, 3);
+        let mut b = a.clone();
+        b.bump_in_place();
+        assert_eq!(a.bump(), b);
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let a = Label::root().fork(1, 3).bump().fork(0, 2);
+        let flat = a.to_flat();
+        assert_eq!(Label::from_flat(&flat), Some(a));
+    }
+
+    #[test]
+    fn from_flat_rejects_bad_input() {
+        assert!(Label::from_flat(&[1]).is_none(), "odd length");
+        assert!(Label::from_flat(&[1, 0]).is_none(), "zero span");
+        assert_eq!(Label::from_flat(&[]), Some(Label::empty()));
+    }
+
+    #[test]
+    fn empty_label_is_prefix_of_everything() {
+        let e = Label::empty();
+        let x = Label::root().fork(0, 2);
+        assert_eq!(e.compare(&x), Ordering::Before);
+        assert_eq!(x.compare(&e), Ordering::After);
+        assert_eq!(e.compare(&Label::empty()), Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of span")]
+    fn fork_index_out_of_span_panics() {
+        let _ = Label::root().fork(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero span")]
+    fn zero_span_panics() {
+        let _ = Pair::new(0, 0);
+    }
+
+    #[test]
+    fn deep_nesting_chain() {
+        // A chain of single-thread nested regions is totally ordered.
+        let mut labels = vec![Label::root()];
+        for _ in 0..16 {
+            let next = labels.last().unwrap().fork(0, 1);
+            labels.push(next);
+        }
+        for i in 0..labels.len() {
+            for j in i + 1..labels.len() {
+                assert_eq!(labels[i].compare(&labels[j]), Ordering::Before);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: random small fork trees expressed as labels.
+    fn arb_label() -> impl Strategy<Value = Label> {
+        // Sequence of (slot-ish offset, span, generations) triples.
+        prop::collection::vec((0u64..6, 1u64..5, 0u64..4), 0..5).prop_map(|v| {
+            let mut label = Label::root();
+            for (idx, span, gens) in v {
+                label = label.fork(idx % span, span);
+                for _ in 0..gens {
+                    label = label.bump();
+                }
+            }
+            label
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn compare_is_antisymmetric(a in arb_label(), b in arb_label()) {
+            let ab = a.compare(&b);
+            let ba = b.compare(&a);
+            let expected = match ab {
+                Ordering::Equal => Ordering::Equal,
+                Ordering::Before => Ordering::After,
+                Ordering::After => Ordering::Before,
+                Ordering::Concurrent => Ordering::Concurrent,
+            };
+            prop_assert_eq!(ba, expected);
+        }
+
+        #[test]
+        fn equal_iff_same_pairs(a in arb_label(), b in arb_label()) {
+            prop_assert_eq!(a.compare(&b) == Ordering::Equal, a == b);
+        }
+
+        #[test]
+        fn fork_children_pairwise_concurrent(a in arb_label(), span in 2u64..6) {
+            let kids: Vec<_> = (0..span).map(|i| a.fork(i, span)).collect();
+            for i in 0..kids.len() {
+                for j in 0..kids.len() {
+                    if i != j {
+                        prop_assert_eq!(kids[i].compare(&kids[j]), Ordering::Concurrent);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn parent_before_descendants(a in arb_label(), idx in 0u64..4, span in 4u64..8) {
+            let child = a.fork(idx, span);
+            prop_assert_eq!(a.compare(&child), Ordering::Before);
+            let grandchild = child.fork(0, 2);
+            prop_assert_eq!(a.compare(&grandchild), Ordering::Before);
+        }
+
+        #[test]
+        fn bump_chain_totally_ordered(a in arb_label(), n in 1usize..8) {
+            let mut cur = a.clone();
+            for _ in 0..n {
+                let next = cur.bump();
+                prop_assert_eq!(cur.compare(&next), Ordering::Before);
+                prop_assert_eq!(a.compare(&next), if a == cur { Ordering::Before } else { a.compare(&cur) });
+                cur = next;
+            }
+        }
+
+        #[test]
+        fn barrier_aware_refines_paper_rule(a in arb_label(), b in arb_label()) {
+            // Everything the paper's case 1/2 orders, the barrier-aware
+            // rule orders identically; it may additionally order pairs the
+            // paper handles via bid comparison.
+            let paper = a.compare(&b);
+            let aware = a.compare_barrier_aware(&b);
+            if paper != Ordering::Concurrent {
+                prop_assert_eq!(aware, paper);
+            }
+            // Antisymmetry holds for the aware rule too.
+            let flipped = match aware {
+                Ordering::Equal => Ordering::Equal,
+                Ordering::Before => Ordering::After,
+                Ordering::After => Ordering::Before,
+                Ordering::Concurrent => Ordering::Concurrent,
+            };
+            prop_assert_eq!(b.compare_barrier_aware(&a), flipped);
+        }
+
+        #[test]
+        fn flat_roundtrip_prop(a in arb_label()) {
+            prop_assert_eq!(Label::from_flat(&a.to_flat()), Some(a));
+        }
+
+        #[test]
+        fn sequential_regions_fully_ordered(
+            spans in prop::collection::vec(1u64..5, 1..4),
+        ) {
+            // Master runs several regions back to back; all accesses of
+            // region k precede all accesses of region k+1.
+            let mut master = Label::root();
+            let mut regions: Vec<Vec<Label>> = Vec::new();
+            for &s in &spans {
+                regions.push((0..s).map(|i| master.fork(i, s)).collect());
+                master = master.bump();
+            }
+            for k in 0..regions.len() {
+                for m in k + 1..regions.len() {
+                    for a in &regions[k] {
+                        for b in &regions[m] {
+                            prop_assert_eq!(a.compare(b), Ordering::Before);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

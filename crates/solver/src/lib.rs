@@ -1,0 +1,455 @@
+//! Integer constraint solving for SWORD's strided-interval overlap checks.
+//!
+//! The offline analyzer summarizes consecutive memory accesses into strided
+//! intervals. Two intervals whose `[begin, end]` ranges overlap need not
+//! share an address (Fig. 4 of the paper: interleaved 4-byte accesses with
+//! stride 8), so SWORD checks satisfiability of the constraint system from
+//! §III-B:
+//!
+//! ```text
+//! Δ0·x0 + b0 + s0 = Δ1·x1 + b1 + s1
+//! 0 ≤ x0 ≤ n0        0 ≤ s0 < sz0
+//! 0 ≤ x1 ≤ n1        0 ≤ s1 < sz1
+//! ```
+//!
+//! The paper feeds this to GNU GLPK. That system is a two-variable linear
+//! Diophantine equation per byte-offset difference, so this crate provides
+//! an exact, allocation-free number-theoretic solve ([`strided_overlap`]) as
+//! the production path, plus a small exact-rational branch-and-bound ILP
+//! ([`ilp`]) that accepts the paper's formulation verbatim and is used as a
+//! cross-check and in the solver ablation bench.
+//!
+//! # Example — the paper's Figure 4
+//!
+//! ```
+//! use sword_solver::{strided_overlap, strided_overlap_witness, StridedInterval};
+//!
+//! // T0: 4-byte accesses at 10, 18, 26, 34, 42; T1: at 14, 22, 30, 38, 46.
+//! let t0 = StridedInterval::new(10, 8, 4, 4);
+//! let t1 = StridedInterval::new(14, 8, 4, 4);
+//!
+//! // Their [begin, end) ranges overlap…
+//! assert!(t0.range_overlaps(&t1));
+//! // …but no byte is shared: the interleaved strides never meet.
+//! assert!(!strided_overlap(&t0, &t1));
+//!
+//! // Shift T1 one byte left and the constraint becomes satisfiable,
+//! // with a concrete witness address for the race report.
+//! let t1_shifted = StridedInterval::new(13, 8, 4, 4);
+//! let witness = strided_overlap_witness(&t0, &t1_shifted).unwrap();
+//! assert!(t0.contains(witness) && t1_shifted.contains(witness));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod diophantine;
+pub mod ilp;
+pub mod rational;
+
+pub use diophantine::{solve_linear2, Linear2Solution};
+pub use ilp::{IlpProblem, IlpStatus, Relation};
+
+/// A strided access interval: addresses `{ base + stride*k + j : 0 <= k <=
+/// count, 0 <= j < size }`.
+///
+/// `count` is the number of *additional* elements beyond the first (matching
+/// the paper's `(e - b) / Δ` upper bound for `x`), so an interval with
+/// `count == 0` is a single access of `size` bytes. `stride == 0` is
+/// normalized to a single access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StridedInterval {
+    /// First byte address of the first access.
+    pub base: u64,
+    /// Distance in bytes between consecutive access starts.
+    pub stride: u64,
+    /// Number of accesses after the first (`x` ranges over `0..=count`).
+    pub count: u64,
+    /// Size in bytes of each access (1, 2, 4, 8 for scalar loads/stores).
+    pub size: u64,
+}
+
+impl StridedInterval {
+    /// Creates an interval; `size` must be non-zero. A zero `stride` with
+    /// non-zero `count` collapses to a single access, since every repeat
+    /// touches the same bytes.
+    pub fn new(base: u64, stride: u64, count: u64, size: u64) -> Self {
+        assert!(size > 0, "access size must be non-zero");
+        let (stride, count) = if stride == 0 { (0, 0) } else { (stride, count) };
+        StridedInterval { base, stride, count, size }
+    }
+
+    /// A single access of `size` bytes at `base`.
+    pub fn single(base: u64, size: u64) -> Self {
+        Self::new(base, 0, 0, size)
+    }
+
+    /// First byte covered.
+    #[inline]
+    pub fn begin(&self) -> u64 {
+        self.base
+    }
+
+    /// One past the last byte covered.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.base + self.stride * self.count + self.size
+    }
+
+    /// Number of distinct accesses in the interval.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.count + 1
+    }
+
+    /// Always false; an interval covers at least one access.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` when the interval is *dense*: consecutive accesses touch
+    /// adjacent or overlapping bytes, so the byte range has no holes.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        self.count == 0 || self.stride <= self.size
+    }
+
+    /// `true` when `addr` is one of the bytes touched by this interval.
+    pub fn contains(&self, addr: u64) -> bool {
+        if addr < self.base || addr >= self.end() {
+            return false;
+        }
+        if self.is_dense() {
+            return true;
+        }
+        let off = addr - self.base;
+        off % self.stride < self.size && off / self.stride <= self.count
+    }
+
+    /// Coarse `[begin, end)` range overlap — the necessary condition the
+    /// interval tree uses to find *candidate* racing pairs before the exact
+    /// check.
+    #[inline]
+    pub fn range_overlaps(&self, other: &StridedInterval) -> bool {
+        self.begin() < other.end() && other.begin() < self.end()
+    }
+}
+
+/// Exact check: do two strided intervals share at least one byte address?
+///
+/// This decides satisfiability of the paper's §III-B constraint system. It
+/// first applies the cheap `[begin, end)` range test, then dense/dense fast
+/// paths, and finally solves one bounded linear Diophantine equation per
+/// byte-offset difference `d = s1 - s0 ∈ (-sz0, sz1)` — at most
+/// `sz0 + sz1 - 1 ≤ 15` solves for scalar accesses.
+pub fn strided_overlap(a: &StridedInterval, b: &StridedInterval) -> bool {
+    strided_overlap_witness(a, b).is_some()
+}
+
+/// Like [`strided_overlap`], but returns a concrete shared byte address —
+/// the witness SWORD's race reports print alongside the two source lines.
+pub fn strided_overlap_witness(a: &StridedInterval, b: &StridedInterval) -> Option<u64> {
+    if !a.range_overlaps(b) {
+        return None;
+    }
+    // Dense intervals cover their whole range: range overlap is exact, and
+    // the witness is the first byte of the ranges' intersection.
+    if a.is_dense() && b.is_dense() {
+        return Some(a.begin().max(b.begin()));
+    }
+    // One dense, one strided: find a strided access landing in the dense
+    // range.
+    if a.is_dense() {
+        return dense_vs_strided(a, b);
+    }
+    if b.is_dense() {
+        return dense_vs_strided(b, a);
+    }
+
+    // Both strided with holes: Δ0·x0 + b0 + s0 = Δ1·x1 + b1 + s1
+    // ⇔ Δ0·x0 − Δ1·x1 = (b1 − b0) + d with d = s1 − s0.
+    let d_lo = -(a.size as i128) + 1;
+    let d_hi = b.size as i128 - 1;
+    let rhs_base = b.base as i128 - a.base as i128;
+    for d in d_lo..=d_hi {
+        if let Some(sol) = solve_linear2(
+            a.stride as i128,
+            -(b.stride as i128),
+            rhs_base + d,
+            0,
+            a.count as i128,
+            0,
+            b.count as i128,
+        ) {
+            // Recover byte offsets: s1 - s0 = d with both in range.
+            let s0 = (-d).max(0);
+            let addr = a.base as i128 + a.stride as i128 * sol.x + s0;
+            return Some(addr as u64);
+        }
+    }
+    None
+}
+
+/// `dense` covers a contiguous byte range; finds a byte of `strided`
+/// inside it, if any.
+fn dense_vs_strided(dense: &StridedInterval, strided: &StridedInterval) -> Option<u64> {
+    debug_assert!(dense.is_dense() && !strided.is_dense());
+    let lo = dense.begin();
+    let hi = dense.end(); // exclusive
+    // Access k of `strided` covers [base + k*stride, base + k*stride + size).
+    // It intersects [lo, hi) iff base + k*stride < hi  and  base + k*stride
+    // + size > lo. Solve for k.
+    let stride = strided.stride as i128;
+    let base = strided.base as i128;
+    let size = strided.size as i128;
+    // k > (lo - size - base)/stride  and  k < (hi - base)/stride
+    let k_min = div_ceil_i128(lo as i128 - size - base + 1, stride);
+    let k_max = div_floor_i128(hi as i128 - base - 1, stride);
+    let k_lo = k_min.max(0);
+    let k_hi = k_max.min(strided.count as i128);
+    if k_lo > k_hi {
+        return None;
+    }
+    let access_start = base + k_lo * stride;
+    Some(access_start.max(lo as i128) as u64)
+}
+
+pub(crate) fn div_floor_i128(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b != 0 && a < 0 {
+        q - 1
+    } else {
+        q
+    }
+}
+
+pub(crate) fn div_ceil_i128(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b != 0 && a > 0 {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Builds the paper's §III-B ILP feasibility problem for two intervals, for
+/// use with [`ilp::IlpProblem`]. Variables are `x0, s0, x1, s1` in that
+/// order. Used by tests and the ablation bench to cross-check
+/// [`strided_overlap`] against a general solver, mirroring the paper's GLPK
+/// formulation.
+pub fn overlap_ilp(a: &StridedInterval, b: &StridedInterval) -> IlpProblem {
+    let mut p = IlpProblem::feasibility(4);
+    // Δ0·x0 + s0 − Δ1·x1 − s1 = b1 − b0
+    p.add_constraint(
+        vec![a.stride as i128, 1, -(b.stride as i128), -1],
+        Relation::Eq,
+        b.base as i128 - a.base as i128,
+    );
+    p.set_bounds(0, 0, a.count as i128);
+    p.set_bounds(1, 0, a.size as i128 - 1);
+    p.set_bounds(2, 0, b.count as i128);
+    p.set_bounds(3, 0, b.size as i128 - 1);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure4_disjoint_interleaved() {
+        // T0: 8·x + 10 + s, x ∈ [0,4], s ∈ [0,4) — accesses at 10,18,26,34,42
+        // T1: 8·x + 14 + s — accesses at 14,22,30,38,46. Ranges overlap but
+        // no byte is shared.
+        let t0 = StridedInterval::new(10, 8, 4, 4);
+        let t1 = StridedInterval::new(14, 8, 4, 4);
+        assert!(t0.range_overlaps(&t1), "coarse ranges do overlap");
+        assert!(!strided_overlap(&t0, &t1), "no address in common");
+    }
+
+    #[test]
+    fn shifted_by_one_byte_overlaps() {
+        let t0 = StridedInterval::new(10, 8, 4, 4);
+        let t1 = StridedInterval::new(13, 8, 4, 4); // 13..17 meets 10..14
+        assert!(strided_overlap(&t0, &t1));
+    }
+
+    #[test]
+    fn identical_intervals_overlap() {
+        let t = StridedInterval::new(100, 16, 10, 8);
+        assert!(strided_overlap(&t, &t.clone()));
+    }
+
+    #[test]
+    fn single_accesses() {
+        let a = StridedInterval::single(100, 4);
+        let b = StridedInterval::single(103, 4);
+        let c = StridedInterval::single(104, 4);
+        assert!(strided_overlap(&a, &b));
+        assert!(!strided_overlap(&a, &c));
+        assert!(strided_overlap(&b, &c));
+    }
+
+    #[test]
+    fn dense_vs_strided_cases() {
+        // Dense [0, 40); strided hits 100,.. misses; strided at 36 hits.
+        let dense = StridedInterval::new(0, 1, 39, 1);
+        assert!(dense.is_dense());
+        let far = StridedInterval::new(100, 8, 4, 4);
+        assert!(!strided_overlap(&dense, &far));
+        let touching = StridedInterval::new(36, 64, 3, 4);
+        assert!(strided_overlap(&dense, &touching));
+        // Strided whose first access starts below but reaches into range.
+        let reach = StridedInterval::new(38, 64, 0, 4);
+        assert!(strided_overlap(&dense, &reach));
+    }
+
+    #[test]
+    fn strided_reaching_below_dense_from_left() {
+        // Access covering [28,36) against dense [30,40): overlaps.
+        let dense = StridedInterval::new(30, 1, 9, 1);
+        let s = StridedInterval::new(4, 24, 1, 8); // accesses [4,12), [28,36)
+        assert!(strided_overlap(&dense, &s));
+        let s2 = StridedInterval::new(4, 18, 1, 8); // [4,12), [22,30): just misses
+        assert!(!strided_overlap(&dense, &s2));
+    }
+
+    #[test]
+    fn different_strides_coprime() {
+        // stride 3 from 0 (sz 1), stride 5 from 1 (sz 1): 3x = 5y + 1 →
+        // x=2,y=1 gives 6=6. Counts must reach it.
+        let a = StridedInterval::new(0, 3, 10, 1);
+        let b = StridedInterval::new(1, 5, 10, 1);
+        assert!(strided_overlap(&a, &b));
+        // Tight counts that cannot reach the first meeting point (6):
+        let a2 = StridedInterval::new(0, 3, 1, 1); // {0,3}
+        let b2 = StridedInterval::new(1, 5, 1, 1); // {1,6}
+        assert!(!strided_overlap(&a2, &b2));
+    }
+
+    #[test]
+    fn same_stride_different_phase() {
+        // Both stride 8 size 4; phases 0 and 4: bytes 0..4, 8..12 vs 4..8,
+        // 12..16 — never meet.
+        let a = StridedInterval::new(0, 8, 100, 4);
+        let b = StridedInterval::new(4, 8, 100, 4);
+        assert!(!strided_overlap(&a, &b));
+        // Phase 3: access [3,7) meets [0,4) at byte 3.
+        let c = StridedInterval::new(3, 8, 100, 4);
+        assert!(strided_overlap(&a, &c));
+    }
+
+    #[test]
+    fn contains_matches_definition() {
+        let t = StridedInterval::new(10, 8, 4, 4);
+        let member: Vec<u64> = (10..47).filter(|&a| t.contains(a)).collect();
+        let expect: Vec<u64> = (0..=4u64)
+            .flat_map(|k| (0..4u64).map(move |j| 10 + 8 * k + j))
+            .collect();
+        assert_eq!(member, expect);
+        assert!(!t.contains(9));
+        assert!(!t.contains(46));
+    }
+
+    #[test]
+    fn zero_stride_normalizes() {
+        let t = StridedInterval::new(10, 0, 99, 4);
+        assert_eq!(t.count, 0);
+        assert_eq!(t.end(), 14);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_on_examples() {
+        let cases = [
+            (StridedInterval::new(10, 8, 4, 4), StridedInterval::new(14, 8, 4, 4)),
+            (StridedInterval::new(0, 3, 10, 1), StridedInterval::new(1, 5, 10, 1)),
+            (StridedInterval::new(0, 1, 39, 1), StridedInterval::new(36, 64, 3, 4)),
+        ];
+        for (a, b) in cases {
+            assert_eq!(strided_overlap(&a, &b), strided_overlap(&b, &a));
+        }
+    }
+
+    #[test]
+    fn witness_is_member_of_both() {
+        let cases = [
+            (StridedInterval::new(10, 8, 4, 4), StridedInterval::new(13, 8, 4, 4)),
+            (StridedInterval::new(0, 3, 10, 1), StridedInterval::new(1, 5, 10, 1)),
+            (StridedInterval::new(0, 1, 39, 1), StridedInterval::new(36, 64, 3, 4)),
+            (StridedInterval::new(100, 16, 10, 8), StridedInterval::new(100, 16, 10, 8)),
+            (StridedInterval::new(30, 1, 9, 1), StridedInterval::new(4, 24, 1, 8)),
+        ];
+        for (a, b) in cases {
+            let w = strided_overlap_witness(&a, &b).expect("overlaps");
+            assert!(a.contains(w), "witness {w} not in a={a:?}");
+            assert!(b.contains(w), "witness {w} not in b={b:?}");
+        }
+    }
+
+    #[test]
+    fn div_helpers() {
+        assert_eq!(div_floor_i128(7, 2), 3);
+        assert_eq!(div_floor_i128(-7, 2), -4);
+        assert_eq!(div_ceil_i128(7, 2), 4);
+        assert_eq!(div_ceil_i128(-7, 2), -3);
+        assert_eq!(div_floor_i128(8, 2), 4);
+        assert_eq!(div_ceil_i128(-8, 2), -4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_interval() -> impl Strategy<Value = StridedInterval> {
+        (0u64..2000, 0u64..40, 0u64..30, 1u64..9)
+            .prop_map(|(b, st, c, sz)| StridedInterval::new(b, st, c, sz))
+    }
+
+    /// Brute-force membership oracle.
+    fn bytes_of(t: &StridedInterval) -> std::collections::BTreeSet<u64> {
+        let mut s = std::collections::BTreeSet::new();
+        for k in 0..=t.count {
+            for j in 0..t.size {
+                s.insert(t.base + t.stride * k + j);
+            }
+        }
+        s
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_matches_bruteforce(a in arb_interval(), b in arb_interval()) {
+            let expect = !bytes_of(&a).is_disjoint(&bytes_of(&b));
+            prop_assert_eq!(strided_overlap(&a, &b), expect, "a={:?} b={:?}", a, b);
+            if let Some(w) = strided_overlap_witness(&a, &b) {
+                prop_assert!(a.contains(w) && b.contains(w), "witness {} a={:?} b={:?}", w, a, b);
+            }
+        }
+
+        #[test]
+        fn overlap_symmetric(a in arb_interval(), b in arb_interval()) {
+            prop_assert_eq!(strided_overlap(&a, &b), strided_overlap(&b, &a));
+        }
+
+        #[test]
+        fn contains_matches_bruteforce(a in arb_interval(), addr in 0u64..2500) {
+            prop_assert_eq!(a.contains(addr), bytes_of(&a).contains(&addr));
+        }
+
+        #[test]
+        fn self_overlap(a in arb_interval()) {
+            prop_assert!(strided_overlap(&a, &a.clone()));
+        }
+
+        #[test]
+        fn ilp_agrees_with_diophantine(a in arb_interval(), b in arb_interval()) {
+            let fast = strided_overlap(&a, &b);
+            let general = overlap_ilp(&a, &b).solve() == IlpStatus::Feasible;
+            prop_assert_eq!(fast, general, "a={:?} b={:?}", a, b);
+        }
+    }
+}

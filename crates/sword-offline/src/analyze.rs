@@ -1,0 +1,416 @@
+//! Analysis orchestration: task scheduling, parallel workers, statistics.
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use sword_trace::SessionDir;
+
+use crate::build::{ReaderPool, DEFAULT_CHUNK_BYTES};
+use crate::intervals::{build_structure, intervals_concurrent, Group, Task};
+use crate::load::LoadedSession;
+use crate::race::{check_pair, Race, RaceSet};
+
+/// Which exact-overlap solver to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverChoice {
+    /// Number-theoretic Diophantine solve (production path).
+    Diophantine,
+    /// Branch-and-bound ILP (mirrors the paper's GLPK formulation).
+    Ilp,
+}
+
+/// Analyzer configuration.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Worker threads comparing interval trees (the paper distributes
+    /// this across cluster nodes; we distribute across cores).
+    pub workers: usize,
+    /// Streaming chunk size for log reads.
+    pub chunk_bytes: usize,
+    /// Exact-overlap solver.
+    pub solver: SolverChoice,
+    /// Restrict analysis to these parallel-region ids (`None` = all).
+    /// This is the targeted-analysis mode the per-region metadata enables
+    /// (§III-B: "extract from the log file the chunk of data for a
+    /// specific barrier interval") — useful when re-checking one suspect
+    /// region of a huge production log. Cross-region pairs are analyzed
+    /// only when *both* regions are in focus.
+    pub focus_regions: Option<Vec<u64>>,
+    /// Suppression patterns: a race is dropped from the report when
+    /// *either* of its source locations contains one of these substrings
+    /// (TSan-suppressions style — how a production user silences the
+    /// triaged-benign races like HPCCG's same-value norm write while
+    /// hunting new ones).
+    pub suppressions: Vec<String>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            solver: SolverChoice::Diophantine,
+            focus_regions: None,
+            suppressions: Vec::new(),
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Single-threaded configuration (deterministic scheduling for
+    /// tests/debugging).
+    pub fn sequential() -> Self {
+        AnalysisConfig { workers: 1, ..AnalysisConfig::default() }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the solver.
+    pub fn with_solver(mut self, solver: SolverChoice) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Overrides the streaming chunk size.
+    pub fn with_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.chunk_bytes = bytes.max(1);
+        self
+    }
+
+    /// Restricts analysis to the given region ids.
+    pub fn with_focus_regions(mut self, regions: Vec<u64>) -> Self {
+        self.focus_regions = Some(regions);
+        self
+    }
+
+    /// Adds a suppression pattern (substring of a source location).
+    pub fn with_suppression(mut self, pattern: impl Into<String>) -> Self {
+        self.suppressions.push(pattern.into());
+        self
+    }
+}
+
+/// Aggregate statistics of one analysis run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AnalysisStats {
+    /// Threads (log files) in the session.
+    pub threads: u64,
+    /// Barrier intervals (meta rows).
+    pub barrier_intervals: u64,
+    /// Interval groups (`(pid, bid)` classes).
+    pub groups: u64,
+    /// Comparison tasks executed.
+    pub tasks: u64,
+    /// Interval trees built (includes rebuilds across tasks).
+    pub trees_built: u64,
+    /// Total tree nodes (the paper's `M`).
+    pub nodes: u64,
+    /// Raw access events folded into trees (the paper's `N`).
+    pub events: u64,
+    /// Uncompressed log bytes streamed.
+    pub bytes_read: u64,
+    /// Tree pairs compared.
+    pub tree_pairs: u64,
+    /// Candidate node pairs (coarse range overlap).
+    pub candidate_pairs: u64,
+    /// Exact constraint solves.
+    pub solver_calls: u64,
+    /// Region pairs pruned as sequential.
+    pub region_pairs_skipped: u64,
+    /// Region pairs that produced cross tasks.
+    pub region_pairs_considered: u64,
+    /// Distinct races (source-line pairs).
+    pub races: u64,
+    /// Racy node pairs before dedup.
+    pub racy_node_pairs: u64,
+    /// Distinct races dropped by suppression patterns.
+    pub races_suppressed: u64,
+    /// Total analysis wall time (the paper's single-node OA column).
+    pub wall_secs: f64,
+    /// Longest single task (proxy for the paper's distributed MT column:
+    /// with one task per node, the makespan is the longest task).
+    pub max_task_secs: f64,
+}
+
+/// Analysis output: deduplicated races and statistics.
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    /// Races sorted by source-location pair.
+    pub races: Vec<Race>,
+    /// Run statistics.
+    pub stats: AnalysisStats,
+    /// Wall seconds of every comparison task (unordered), for the
+    /// distributed-analysis model.
+    pub task_secs: Vec<f64>,
+}
+
+impl AnalysisResult {
+    /// Number of distinct races.
+    pub fn race_count(&self) -> usize {
+        self.races.len()
+    }
+
+    /// Models distributing the comparison tasks over `nodes` cluster
+    /// nodes (the paper runs its offline analysis "across a cluster of
+    /// nodes"): longest-processing-time-first greedy assignment, returning
+    /// the makespan. `makespan(1)` ≈ single-node work; with more nodes
+    /// than tasks it converges to the longest task
+    /// ([`AnalysisStats::max_task_secs`]).
+    pub fn makespan(&self, nodes: usize) -> f64 {
+        let nodes = nodes.max(1);
+        let mut sorted = self.task_secs.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let mut loads = vec![0.0f64; nodes];
+        for t in sorted {
+            let min = loads
+                .iter_mut()
+                .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("nodes >= 1");
+            *min += t;
+        }
+        loads.into_iter().fold(0.0, f64::max)
+    }
+}
+
+/// Loads a session directory and analyzes it.
+pub fn analyze(dir: &SessionDir, config: &AnalysisConfig) -> io::Result<AnalysisResult> {
+    let session = LoadedSession::load(dir)?;
+    analyze_loaded(&session, config)
+}
+
+/// Analyzes an already-loaded session.
+pub fn analyze_loaded(
+    session: &LoadedSession,
+    config: &AnalysisConfig,
+) -> io::Result<AnalysisResult> {
+    let start = Instant::now();
+    let structure = build_structure(session);
+    let mut stats = AnalysisStats {
+        threads: session.threads.len() as u64,
+        barrier_intervals: session.interval_count() as u64,
+        groups: structure.groups.len() as u64,
+        tasks: structure.tasks.len() as u64,
+        region_pairs_skipped: structure.region_pairs_skipped,
+        region_pairs_considered: structure.region_pairs_considered,
+        ..AnalysisStats::default()
+    };
+
+    // Targeted analysis: keep only tasks whose regions are in focus.
+    let in_focus = |group: usize| -> bool {
+        match &config.focus_regions {
+            None => true,
+            Some(focus) => focus.contains(&structure.groups[group].pid),
+        }
+    };
+    // Order tasks by file position so each worker's reader pool streams
+    // forward instead of reopening.
+    let mut tasks: Vec<Task> = structure
+        .tasks
+        .iter()
+        .filter(|t| match t {
+            Task::Intra { group } => in_focus(*group),
+            Task::Cross { a, b, .. } => in_focus(*a) && in_focus(*b),
+        })
+        .cloned()
+        .collect();
+    stats.tasks = tasks.len() as u64;
+    let group_pos = |g: usize| -> u64 {
+        structure.groups[g].members.iter().map(|m| m.meta.data_begin).min().unwrap_or(0)
+    };
+    tasks.sort_by_key(|t| match t {
+        Task::Intra { group } => group_pos(*group),
+        Task::Cross { a, b, .. } => group_pos(*a).min(group_pos(*b)),
+    });
+
+    let next = AtomicUsize::new(0);
+    let merged: Mutex<(RaceSet, WorkerStats)> =
+        Mutex::new((RaceSet::new(), WorkerStats::default()));
+    let error: Mutex<Option<io::Error>> = Mutex::new(None);
+    let workers = config.workers.max(1).min(tasks.len().max(1));
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut pool = ReaderPool::new();
+                let mut local_races = RaceSet::new();
+                let mut local = WorkerStats::default();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(idx) else { break };
+                    let t0 = Instant::now();
+                    let result = run_task(
+                        session,
+                        &structure.groups,
+                        task,
+                        config,
+                        &mut pool,
+                        &mut local_races,
+                        &mut local,
+                    );
+                    let dt = t0.elapsed().as_secs_f64();
+                    if dt > local.max_task_secs {
+                        local.max_task_secs = dt;
+                    }
+                    local.task_secs.push(dt);
+                    if let Err(e) = result {
+                        *error.lock() = Some(e);
+                        break;
+                    }
+                }
+                let mut m = merged.lock();
+                m.0.merge(local_races);
+                m.1.merge(&local);
+                drop(m);
+            });
+        }
+    });
+
+    if let Some(e) = error.lock().take() {
+        return Err(e);
+    }
+    let (races, worker_stats) = merged.into_inner();
+    stats.trees_built = worker_stats.trees_built;
+    stats.nodes = worker_stats.nodes;
+    stats.events = worker_stats.events;
+    stats.bytes_read = worker_stats.bytes_read;
+    stats.tree_pairs = worker_stats.tree_pairs;
+    stats.candidate_pairs = worker_stats.candidates;
+    stats.solver_calls = worker_stats.solver_calls;
+    stats.max_task_secs = worker_stats.max_task_secs;
+    stats.racy_node_pairs = races.raw_pairs;
+    let mut race_list = races.into_sorted();
+    if !config.suppressions.is_empty() {
+        let suppressed = |pc: sword_trace::PcId| {
+            let loc = session.pcs.display(pc);
+            config.suppressions.iter().any(|pat| loc.contains(pat.as_str()))
+        };
+        let before = race_list.len();
+        race_list.retain(|r| !suppressed(r.key.pc_lo) && !suppressed(r.key.pc_hi));
+        stats.races_suppressed = (before - race_list.len()) as u64;
+    }
+    stats.races = race_list.len() as u64;
+    stats.wall_secs = start.elapsed().as_secs_f64();
+    Ok(AnalysisResult { races: race_list, stats, task_secs: worker_stats.task_secs })
+}
+
+#[derive(Clone, Debug, Default)]
+struct WorkerStats {
+    trees_built: u64,
+    nodes: u64,
+    events: u64,
+    bytes_read: u64,
+    tree_pairs: u64,
+    candidates: u64,
+    solver_calls: u64,
+    max_task_secs: f64,
+    task_secs: Vec<f64>,
+}
+
+impl WorkerStats {
+    fn merge(&mut self, other: &WorkerStats) {
+        self.trees_built += other.trees_built;
+        self.nodes += other.nodes;
+        self.events += other.events;
+        self.bytes_read += other.bytes_read;
+        self.tree_pairs += other.tree_pairs;
+        self.candidates += other.candidates;
+        self.solver_calls += other.solver_calls;
+        if other.max_task_secs > self.max_task_secs {
+            self.max_task_secs = other.max_task_secs;
+        }
+        self.task_secs.extend_from_slice(&other.task_secs);
+    }
+}
+
+fn build_group_trees(
+    session: &LoadedSession,
+    group: &Group,
+    config: &AnalysisConfig,
+    pool: &mut ReaderPool,
+    stats: &mut WorkerStats,
+) -> io::Result<Vec<(usize, crate::build::BiTree)>> {
+    let mut trees = Vec::with_capacity(group.members.len());
+    for (i, member) in group.members.iter().enumerate() {
+        if member.meta.size == 0 {
+            continue; // empty interval: nothing to race
+        }
+        let tree = pool.build(
+            &session.dir,
+            member.tid,
+            member.meta.data_begin,
+            member.meta.size,
+            config.chunk_bytes,
+        )?;
+        stats.trees_built += 1;
+        stats.nodes += tree.node_count() as u64;
+        stats.events += tree.accesses;
+        stats.bytes_read += tree.bytes_read;
+        if tree.node_count() > 0 {
+            trees.push((i, tree));
+        }
+    }
+    Ok(trees)
+}
+
+fn run_task(
+    session: &LoadedSession,
+    groups: &[Group],
+    task: &Task,
+    config: &AnalysisConfig,
+    pool: &mut ReaderPool,
+    races: &mut RaceSet,
+    stats: &mut WorkerStats,
+) -> io::Result<()> {
+    match *task {
+        Task::Intra { group } => {
+            let g = &groups[group];
+            let trees = build_group_trees(session, g, config, pool, stats)?;
+            for i in 0..trees.len() {
+                for j in i + 1..trees.len() {
+                    stats.tree_pairs += 1;
+                    let pair_stats =
+                        check_pair(&trees[i].1, &trees[j].1, g.pid, config.solver, races);
+                    stats.candidates += pair_stats.candidates;
+                    stats.solver_calls += pair_stats.solver_calls;
+                }
+            }
+        }
+        Task::Cross { a, b, all_concurrent } => {
+            let ga = &groups[a];
+            let gb = &groups[b];
+            // Build in file-position order for the reader pool's sake.
+            let (first, second) = if ga.members.iter().map(|m| m.meta.data_begin).min()
+                <= gb.members.iter().map(|m| m.meta.data_begin).min()
+            {
+                (ga, gb)
+            } else {
+                (gb, ga)
+            };
+            let trees_first = build_group_trees(session, first, config, pool, stats)?;
+            let trees_second = build_group_trees(session, second, config, pool, stats)?;
+            for (ia, ta) in &trees_first {
+                for (ib, tb) in &trees_second {
+                    let ma = &first.members[*ia];
+                    let mb = &second.members[*ib];
+                    if !all_concurrent && !intervals_concurrent(ma, mb) {
+                        continue;
+                    }
+                    if ma.tid == mb.tid {
+                        continue;
+                    }
+                    stats.tree_pairs += 1;
+                    let pair_stats = check_pair(ta, tb, first.pid, config.solver, races);
+                    stats.candidates += pair_stats.candidates;
+                    stats.solver_calls += pair_stats.solver_calls;
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,389 @@
+//! Streaming construction of per-interval summary trees.
+//!
+//! An interval's events are pulled out of the compressed log in bounded
+//! chunks (the paper's streaming algorithm), decoded, and folded into a
+//! [`SummarizingBuilder`]: consecutive same-provenance accesses collapse
+//! into strided interval-tree nodes, mutex acquire/release events maintain
+//! the held-lock set attached to each node.
+
+use std::fs::File;
+use std::io::{self, BufReader};
+
+use sword_itree::{IntervalTree, SummarizingBuilder};
+use sword_trace::{
+    AccessKind, Event, EventDecoder, LogReader, MutexId, PcId, SessionDir, ThreadId,
+};
+
+/// Default streaming chunk: 64 KiB of encoded events at a time.
+pub const DEFAULT_CHUNK_BYTES: usize = 64 << 10;
+
+/// Metadata attached to every tree node: enough to apply the race
+/// conditions and report source locations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AccessMeta {
+    /// Read/write/atomic classification.
+    pub kind: AccessKind,
+    /// Interned source location.
+    pub pc: PcId,
+    /// Index into the owning [`BiTree::mutex_sets`].
+    pub mset: u32,
+}
+
+/// The summarized accesses of one (thread, barrier interval).
+#[derive(Debug)]
+pub struct BiTree {
+    /// Owning thread.
+    pub tid: ThreadId,
+    /// Strided intervals with access metadata.
+    pub tree: IntervalTree<AccessMeta>,
+    /// Interned held-mutex sets (sorted, deduplicated).
+    pub mutex_sets: Vec<Vec<MutexId>>,
+    /// Raw access events folded in (the paper's `N`).
+    pub accesses: u64,
+    /// Encoded bytes consumed.
+    pub bytes_read: u64,
+}
+
+impl BiTree {
+    /// Nodes in the summary tree (the paper's `M ≤ N`).
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// `true` when the two metadata records can race access-wise: at
+    /// least one write, not both atomic, and disjoint mutex sets.
+    pub fn can_race(&self, mine: &AccessMeta, other_tree: &BiTree, theirs: &AccessMeta) -> bool {
+        if !mine.kind.is_write() && !theirs.kind.is_write() {
+            return false;
+        }
+        if mine.kind.is_atomic() && theirs.kind.is_atomic() {
+            return false;
+        }
+        sets_disjoint(
+            &self.mutex_sets[mine.mset as usize],
+            &other_tree.mutex_sets[theirs.mset as usize],
+        )
+    }
+}
+
+fn sets_disjoint(a: &[MutexId], b: &[MutexId]) -> bool {
+    // Both sorted; merge scan.
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
+/// Builds the summary tree for one barrier interval by streaming
+/// `[data_begin, data_begin + size)` out of `reader` in `chunk_bytes`
+/// chunks.
+pub fn build_tree<R: io::Read>(
+    reader: &mut LogReader<R>,
+    tid: ThreadId,
+    data_begin: u64,
+    size: u64,
+    chunk_bytes: usize,
+) -> io::Result<BiTree> {
+    let mut builder: SummarizingBuilder<(PcId, u8, u8, u32), AccessMeta> =
+        SummarizingBuilder::new();
+    let mut decoder = EventDecoder::new();
+    let mut held: Vec<MutexId> = Vec::new();
+    let mut mutex_sets: Vec<Vec<MutexId>> = vec![Vec::new()];
+    let mut current_mset: u32 = 0;
+
+    let mut carry: Vec<u8> = Vec::new();
+    let mut offset = data_begin;
+    let end = data_begin + size;
+    let mut accesses = 0u64;
+
+    while offset < end || !carry.is_empty() {
+        // Top up the carry buffer with the next chunk.
+        if offset < end {
+            let take = ((end - offset) as usize).min(chunk_bytes.max(1));
+            reader.read_range(offset, take as u64, &mut carry)?;
+            offset += take as u64;
+        }
+        // Decode as many complete events as the carry holds.
+        let mut pos = 0usize;
+        loop {
+            let mark = pos;
+            match decoder.decode(&carry, &mut pos) {
+                Ok(event) => {
+                    match event {
+                        Event::Access(a) => {
+                            accesses += 1;
+                            let meta = AccessMeta {
+                                kind: a.kind,
+                                pc: a.pc,
+                                mset: current_mset,
+                            };
+                            builder.insert_with(
+                                (a.pc, a.kind.code(), a.size, current_mset),
+                                a.addr,
+                                a.size as u64,
+                                || meta,
+                            );
+                        }
+                        Event::MutexAcquire(m) => {
+                            if let Err(at) = held.binary_search(&m) {
+                                held.insert(at, m);
+                            }
+                            current_mset = intern_set(&mut mutex_sets, &held);
+                        }
+                        Event::MutexRelease(m) => {
+                            if let Ok(at) = held.binary_search(&m) {
+                                held.remove(at);
+                            }
+                            current_mset = intern_set(&mut mutex_sets, &held);
+                        }
+                    }
+                }
+                Err(_) if offset < end => {
+                    // Partial event at the chunk boundary: keep the tail
+                    // and fetch more bytes. The decoder consumed nothing
+                    // usable past `mark`.
+                    pos = mark;
+                    break;
+                }
+                Err(e) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt event stream in tid {tid}: {e}"),
+                    ));
+                }
+            }
+            if pos >= carry.len() {
+                break;
+            }
+        }
+        carry.drain(..pos);
+        if offset >= end && carry.is_empty() {
+            break;
+        }
+        if offset >= end && !carry.is_empty() && pos == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trailing partial event in tid {tid}"),
+            ));
+        }
+    }
+
+    Ok(BiTree { tid, tree: builder.finish(), mutex_sets, accesses, bytes_read: size })
+}
+
+fn intern_set(sets: &mut Vec<Vec<MutexId>>, held: &[MutexId]) -> u32 {
+    // Linear scan: programs hold a handful of distinct lock sets per
+    // interval.
+    for (i, s) in sets.iter().enumerate() {
+        if s.as_slice() == held {
+            return i as u32;
+        }
+    }
+    sets.push(held.to_vec());
+    (sets.len() - 1) as u32
+}
+
+/// Per-worker pool of open log readers with forward-seek reuse: requests
+/// at non-decreasing offsets stream on; a backward request reopens the
+/// file.
+#[derive(Debug, Default)]
+pub struct ReaderPool {
+    readers: std::collections::HashMap<ThreadId, LogReader<BufReader<File>>>,
+}
+
+impl ReaderPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the tree for one interval, reusing or (re)opening the
+    /// thread's log reader as needed.
+    pub fn build(
+        &mut self,
+        dir: &SessionDir,
+        tid: ThreadId,
+        data_begin: u64,
+        size: u64,
+        chunk_bytes: usize,
+    ) -> io::Result<BiTree> {
+        let reopen = match self.readers.get(&tid) {
+            Some(r) => r.position() > data_begin,
+            None => true,
+        };
+        if reopen {
+            let f = File::open(dir.thread_log(tid))?;
+            self.readers.insert(tid, LogReader::new(BufReader::new(f)));
+        }
+        let reader = self.readers.get_mut(&tid).expect("just inserted");
+        build_tree(reader, tid, data_begin, size, chunk_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sword_trace::{EventEncoder, MemAccess};
+
+    fn encode(events: &[Event]) -> Vec<u8> {
+        let mut enc = EventEncoder::new();
+        let mut buf = Vec::new();
+        for e in events {
+            enc.encode(e, &mut buf);
+        }
+        buf
+    }
+
+    fn tree_from(events: &[Event], chunk: usize) -> BiTree {
+        let bytes = encode(events);
+        // Wrap in a log (single frame).
+        let mut w = sword_trace::LogWriter::new(Vec::new());
+        w.write_block(&bytes).unwrap();
+        let log = w.into_inner();
+        let mut r = LogReader::new(&log[..]);
+        build_tree(&mut r, 0, 0, bytes.len() as u64, chunk).unwrap()
+    }
+
+    fn acc(addr: u64, kind: AccessKind, pc: PcId) -> Event {
+        Event::Access(MemAccess::new(addr, 8, kind, pc))
+    }
+
+    #[test]
+    fn empty_interval() {
+        let t = tree_from(&[], 64);
+        assert_eq!(t.node_count(), 0);
+        assert_eq!(t.accesses, 0);
+    }
+
+    #[test]
+    fn array_sweep_summarizes() {
+        let events: Vec<Event> =
+            (0..1000).map(|i| acc(0x1000 + i * 8, AccessKind::Write, 7)).collect();
+        let t = tree_from(&events, 128);
+        assert_eq!(t.accesses, 1000);
+        assert_eq!(t.node_count(), 1, "one strided node");
+        let (_, iv, meta) = t.tree.iter().next().unwrap();
+        assert_eq!(iv.begin(), 0x1000);
+        assert_eq!(iv.len(), 1000);
+        assert_eq!(meta.pc, 7);
+        assert_eq!(meta.kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn tiny_chunks_equal_big_chunks() {
+        let events: Vec<Event> = (0..200)
+            .flat_map(|i| {
+                [
+                    acc(0x1000 + i * 8, AccessKind::Read, 1),
+                    acc(0x9000 + i * 16, AccessKind::Write, 2),
+                ]
+            })
+            .collect();
+        let small = tree_from(&events, 3); // force partial events at edges
+        let big = tree_from(&events, 1 << 20);
+        assert_eq!(small.accesses, big.accesses);
+        assert_eq!(small.node_count(), big.node_count());
+        let a: Vec<_> = small.tree.iter().map(|(_, iv, m)| (*iv, *m)).collect();
+        let b: Vec<_> = big.tree.iter().map(|(_, iv, m)| (*iv, *m)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutex_sets_attach_to_accesses() {
+        let events = vec![
+            acc(0x10, AccessKind::Write, 1), // no locks
+            Event::MutexAcquire(5),
+            acc(0x20, AccessKind::Write, 2), // {5}
+            Event::MutexAcquire(3),
+            acc(0x30, AccessKind::Write, 3), // {3,5}
+            Event::MutexRelease(5),
+            acc(0x40, AccessKind::Write, 4), // {3}
+            Event::MutexRelease(3),
+            acc(0x50, AccessKind::Write, 5), // {}
+        ];
+        let t = tree_from(&events, 1 << 20);
+        assert_eq!(t.node_count(), 5);
+        let by_pc: std::collections::HashMap<PcId, u32> =
+            t.tree.iter().map(|(_, _, m)| (m.pc, m.mset)).collect();
+        assert_eq!(t.mutex_sets[by_pc[&1] as usize], Vec::<MutexId>::new());
+        assert_eq!(t.mutex_sets[by_pc[&2] as usize], vec![5]);
+        assert_eq!(t.mutex_sets[by_pc[&3] as usize], vec![3, 5]);
+        assert_eq!(t.mutex_sets[by_pc[&4] as usize], vec![3]);
+        assert_eq!(t.mutex_sets[by_pc[&5] as usize], Vec::<MutexId>::new());
+        // Empty set re-interned to the same id.
+        assert_eq!(by_pc[&1], by_pc[&5]);
+    }
+
+    #[test]
+    fn can_race_conditions() {
+        let t = tree_from(
+            &[
+                acc(0x10, AccessKind::Read, 1),
+                acc(0x20, AccessKind::Write, 2),
+                acc(0x30, AccessKind::AtomicWrite, 3),
+                Event::MutexAcquire(9),
+                acc(0x40, AccessKind::Write, 4),
+            ],
+            64,
+        );
+        let meta_of = |pc: PcId| -> AccessMeta {
+            t.tree.iter().find(|(_, _, m)| m.pc == pc).map(|(_, _, m)| *m).unwrap()
+        };
+        let read = meta_of(1);
+        let write = meta_of(2);
+        let awrite = meta_of(3);
+        let locked_write = meta_of(4);
+        assert!(!t.can_race(&read, &t, &read), "read-read never races");
+        assert!(t.can_race(&read, &t, &write));
+        assert!(t.can_race(&write, &t, &write));
+        assert!(!t.can_race(&awrite, &t, &awrite), "atomic-atomic never races");
+        assert!(t.can_race(&awrite, &t, &read), "atomic vs plain still races");
+        assert!(t.can_race(&write, &t, &locked_write), "disjoint lock sets race");
+        assert!(!t.can_race(&locked_write, &t, &locked_write), "common lock protects");
+    }
+
+    #[test]
+    fn interval_slicing_from_shared_log() {
+        // Two intervals back to back in one log; build each from its
+        // range.
+        let ev1: Vec<Event> = (0..50).map(|i| acc(i * 8, AccessKind::Write, 1)).collect();
+        let ev2: Vec<Event> = (0..30).map(|i| acc(0x8000 + i * 4, AccessKind::Read, 2)).collect();
+        let mut enc = EventEncoder::new();
+        let mut b1 = Vec::new();
+        for e in &ev1 {
+            enc.encode(e, &mut b1);
+        }
+        enc.reset();
+        let mut b2 = Vec::new();
+        for e in &ev2 {
+            enc.encode(e, &mut b2);
+        }
+        let mut w = sword_trace::LogWriter::new(Vec::new());
+        w.write_block(&b1).unwrap();
+        w.write_block(&b2).unwrap();
+        let log = w.into_inner();
+
+        let mut r = LogReader::new(&log[..]);
+        let t1 = build_tree(&mut r, 0, 0, b1.len() as u64, 16).unwrap();
+        let t2 =
+            build_tree(&mut r, 0, b1.len() as u64, b2.len() as u64, 16).unwrap();
+        assert_eq!(t1.accesses, 50);
+        assert_eq!(t2.accesses, 30);
+        assert_eq!(t1.node_count(), 1);
+        assert_eq!(t2.node_count(), 1);
+        assert_eq!(t2.tree.iter().next().unwrap().1.begin(), 0x8000);
+    }
+
+    #[test]
+    fn sets_disjoint_logic() {
+        assert!(sets_disjoint(&[], &[]));
+        assert!(sets_disjoint(&[1, 3], &[2, 4]));
+        assert!(!sets_disjoint(&[1, 3], &[3, 4]));
+        assert!(sets_disjoint(&[], &[1]));
+    }
+}

@@ -1,0 +1,359 @@
+//! Concurrency reconstruction: barrier intervals, full offset-span
+//! labels, interval groups, and the enumeration of comparison tasks.
+
+use std::collections::HashMap;
+
+use sword_osl::{Label, Ordering as OslOrdering};
+use sword_trace::{MetaRecord, ThreadId};
+
+use crate::load::LoadedSession;
+
+/// One barrier interval of one thread, with its reconstructed full label.
+#[derive(Clone, Debug)]
+pub struct Interval {
+    /// Owning thread (log file).
+    pub tid: ThreadId,
+    /// The Table-I row.
+    pub meta: MetaRecord,
+    /// Full offset-span label: region fork label · `[offset, span]`.
+    pub label: Label,
+}
+
+/// All barrier intervals of one `(pid, bid)` — the members are pairwise
+/// concurrent (same region generation, different threads).
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// Region id.
+    pub pid: u64,
+    /// Barrier-interval id within the region.
+    pub bid: u32,
+    /// Member intervals, one per participating thread.
+    pub members: Vec<Interval>,
+}
+
+/// A unit of comparison work for the analyzer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Task {
+    /// Compare all member pairs within one group (same region & bid).
+    Intra {
+        /// Group index.
+        group: usize,
+    },
+    /// Compare members across two groups of *different* regions.
+    Cross {
+        /// First group index.
+        a: usize,
+        /// Second group index.
+        b: usize,
+        /// When `true`, every cross pair is concurrent (the regions' fork
+        /// labels already diverge); when `false`, each member pair must be
+        /// checked with the barrier-aware label comparison (ancestor
+        /// nesting).
+        all_concurrent: bool,
+    },
+}
+
+/// The reconstructed concurrency structure.
+#[derive(Debug, Default)]
+pub struct Structure {
+    /// Interval groups.
+    pub groups: Vec<Group>,
+    /// Comparison tasks (group-level).
+    pub tasks: Vec<Task>,
+    /// Region pairs skipped because their fork labels proved them
+    /// sequential (whole cross products pruned).
+    pub region_pairs_skipped: u64,
+    /// Region pairs considered (tasks emitted).
+    pub region_pairs_considered: u64,
+}
+
+/// Reconstructs one interval's full label from its meta row and the
+/// region table.
+pub fn full_label(session: &LoadedSession, row: &MetaRecord) -> Label {
+    let fork = session
+        .regions
+        .get(&row.pid)
+        .map(|r| r.fork_label())
+        .unwrap_or_else(Label::empty);
+    let mut pairs: Vec<(u64, u64)> =
+        fork.pairs().iter().map(|p| (p.offset, p.span)).collect();
+    pairs.push((row.offset, row.span));
+    Label::from_chain(pairs)
+}
+
+/// Builds groups and comparison tasks from loaded meta-data.
+///
+/// Region-pair pruning: for two distinct regions `P`, `Q`, all member
+/// labels share the regions' fork labels as prefixes, so
+///
+/// * if the fork labels diverge (compare concurrent), *every* member pair
+///   diverges identically → one `Cross { all_concurrent: true }` task per
+///   group pair;
+/// * if one fork label is a proper prefix of the other (ancestor
+///   nesting), member verdicts vary → `Cross { all_concurrent: false }`
+///   tasks with per-pair label checks;
+/// * otherwise the fork labels are barrier/join-ordered and so is every
+///   member pair → the whole region pair is skipped.
+pub fn build_structure(session: &LoadedSession) -> Structure {
+    // Group rows by (pid, bid).
+    let mut index: HashMap<(u64, u32), usize> = HashMap::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for (tid, rows) in &session.threads {
+        for row in rows {
+            let key = (row.pid, row.bid);
+            let gidx = *index.entry(key).or_insert_with(|| {
+                groups.push(Group { pid: row.pid, bid: row.bid, members: Vec::new() });
+                groups.len() - 1
+            });
+            groups[gidx].members.push(Interval {
+                tid: *tid,
+                meta: row.clone(),
+                label: full_label(session, row),
+            });
+        }
+    }
+    // Deterministic order regardless of directory iteration.
+    groups.sort_by_key(|g| (g.pid, g.bid));
+
+    let mut tasks = Vec::new();
+    // Intra-group tasks: members of the same (pid, bid) are concurrent
+    // whenever the group has more than one thread.
+    for (i, g) in groups.iter().enumerate() {
+        if g.members.len() > 1 {
+            tasks.push(Task::Intra { group: i });
+        }
+    }
+
+    // Region-level classification.
+    let mut region_groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, g) in groups.iter().enumerate() {
+        region_groups.entry(g.pid).or_default().push(i);
+    }
+    let mut pids: Vec<u64> = region_groups.keys().copied().collect();
+    pids.sort_unstable();
+
+    let fork_label = |pid: u64| -> Label {
+        session
+            .regions
+            .get(&pid)
+            .map(|r| r.fork_label())
+            .unwrap_or_else(Label::empty)
+    };
+
+    let mut skipped = 0u64;
+    let mut considered = 0u64;
+    for (pi, &p) in pids.iter().enumerate() {
+        let fp = fork_label(p);
+        for &q in &pids[pi + 1..] {
+            let fq = fork_label(q);
+            let verdict = fp.compare_barrier_aware(&fq);
+            let is_prefix = is_prefix_related(&fp, &fq);
+            match verdict {
+                OslOrdering::Concurrent => {
+                    considered += 1;
+                    for &ga in &region_groups[&p] {
+                        for &gb in &region_groups[&q] {
+                            tasks.push(Task::Cross { a: ga, b: gb, all_concurrent: true });
+                        }
+                    }
+                }
+                _ if is_prefix => {
+                    // Ancestor nesting (or identical fork labels): member
+                    // pairs must be checked individually.
+                    considered += 1;
+                    for &ga in &region_groups[&p] {
+                        for &gb in &region_groups[&q] {
+                            tasks.push(Task::Cross { a: ga, b: gb, all_concurrent: false });
+                        }
+                    }
+                }
+                _ => {
+                    // Fork labels are barrier/join-ordered at a divergent
+                    // pair → all member pairs inherit the ordering.
+                    skipped += 1;
+                }
+            }
+        }
+    }
+
+    Structure { groups, tasks, region_pairs_skipped: skipped, region_pairs_considered: considered }
+}
+
+/// `true` when one label's pair sequence is a (possibly equal) prefix of
+/// the other's.
+fn is_prefix_related(a: &Label, b: &Label) -> bool {
+    let (short, long) =
+        if a.depth() <= b.depth() { (a.pairs(), b.pairs()) } else { (b.pairs(), a.pairs()) };
+    long[..short.len()] == *short
+}
+
+/// Decides whether two intervals may race, per the barrier-aware
+/// offset-span rule. Used for `Cross { all_concurrent: false }` member
+/// pairs (and directly by tests).
+pub fn intervals_concurrent(a: &Interval, b: &Interval) -> bool {
+    if a.tid == b.tid {
+        return false;
+    }
+    a.label.compare_barrier_aware(&b.label) == OslOrdering::Concurrent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sword_trace::{PcTable, RegionRecord, SessionDir};
+
+    fn meta_row(pid: u64, ppid: Option<u64>, bid: u32, offset: u64, span: u64, level: u32) -> MetaRecord {
+        MetaRecord { pid, ppid, bid, offset, span, level, data_begin: 0, size: 0 }
+    }
+
+    fn session_with(
+        threads: Vec<(ThreadId, Vec<MetaRecord>)>,
+        regions: Vec<RegionRecord>,
+    ) -> LoadedSession {
+        let mut map = HashMap::new();
+        for r in regions {
+            map.insert(r.pid, r);
+        }
+        LoadedSession {
+            dir: SessionDir::new("/nonexistent"),
+            threads,
+            regions: map,
+            pcs: PcTable::new(),
+        }
+    }
+
+    #[test]
+    fn same_region_same_bid_grouped() {
+        // One region, 2 threads, 2 barrier intervals each.
+        let region = RegionRecord { pid: 0, ppid: None, level: 1, span: 2, fork_label: vec![0, 1] };
+        let s = session_with(
+            vec![
+                (0, vec![meta_row(0, None, 0, 0, 2, 1), meta_row(0, None, 1, 2, 2, 1)]),
+                (1, vec![meta_row(0, None, 0, 1, 2, 1), meta_row(0, None, 1, 3, 2, 1)]),
+            ],
+            vec![region],
+        );
+        let st = build_structure(&s);
+        assert_eq!(st.groups.len(), 2);
+        assert!(st.groups.iter().all(|g| g.members.len() == 2));
+        // Two intra tasks, no cross tasks (single region).
+        assert_eq!(st.tasks.len(), 2);
+        assert!(st.tasks.iter().all(|t| matches!(t, Task::Intra { .. })));
+    }
+
+    #[test]
+    fn sequential_regions_pruned() {
+        // Two top-level regions forked one after the other: fork labels
+        // [0,1] and [1,1].
+        let r0 = RegionRecord { pid: 0, ppid: None, level: 1, span: 2, fork_label: vec![0, 1] };
+        let r1 = RegionRecord { pid: 1, ppid: None, level: 1, span: 2, fork_label: vec![1, 1] };
+        let s = session_with(
+            vec![
+                (0, vec![meta_row(0, None, 0, 0, 2, 1), meta_row(1, None, 0, 0, 2, 1)]),
+                (1, vec![meta_row(0, None, 0, 1, 2, 1), meta_row(1, None, 0, 1, 2, 1)]),
+            ],
+            vec![r0, r1],
+        );
+        let st = build_structure(&s);
+        assert_eq!(st.groups.len(), 2);
+        assert_eq!(st.region_pairs_skipped, 1);
+        assert_eq!(st.region_pairs_considered, 0);
+        assert_eq!(st.tasks.len(), 2, "only the intra tasks remain");
+    }
+
+    #[test]
+    fn nested_concurrent_regions_cross_all() {
+        // Outer region 0 forks threads [0,1][i,2]; each forks an inner
+        // region. Inner fork labels [0,1][0,2] and [0,1][1,2] diverge →
+        // concurrent.
+        let outer = RegionRecord { pid: 0, ppid: None, level: 1, span: 2, fork_label: vec![0, 1] };
+        let inner_a =
+            RegionRecord { pid: 1, ppid: Some(0), level: 2, span: 2, fork_label: vec![0, 1, 0, 2] };
+        let inner_b =
+            RegionRecord { pid: 2, ppid: Some(0), level: 2, span: 2, fork_label: vec![0, 1, 1, 2] };
+        let s = session_with(
+            vec![
+                (0, vec![meta_row(0, None, 0, 0, 2, 1)]),
+                (1, vec![meta_row(0, None, 0, 1, 2, 1)]),
+                (2, vec![meta_row(1, Some(0), 0, 0, 2, 2)]),
+                (3, vec![meta_row(1, Some(0), 0, 1, 2, 2)]),
+                (4, vec![meta_row(2, Some(0), 0, 0, 2, 2)]),
+                (5, vec![meta_row(2, Some(0), 0, 1, 2, 2)]),
+            ],
+            vec![outer, inner_a, inner_b],
+        );
+        let st = build_structure(&s);
+        // inner_a vs inner_b: fork labels concurrent → all_concurrent.
+        let cross_ab = st
+            .tasks
+            .iter()
+            .filter(|t| matches!(t, Task::Cross { all_concurrent: true, .. }))
+            .count();
+        assert_eq!(cross_ab, 1);
+        // outer vs inner_a and outer vs inner_b: prefix-related → filtered
+        // cross tasks.
+        let cross_filtered = st
+            .tasks
+            .iter()
+            .filter(|t| matches!(t, Task::Cross { all_concurrent: false, .. }))
+            .count();
+        assert_eq!(cross_filtered, 2);
+    }
+
+    #[test]
+    fn prefix_related_member_filtering() {
+        // Outer thread 0's interval vs its own nested region's threads:
+        // sequential (ancestor). Outer thread 1's interval vs that nested
+        // region: concurrent (R3 of Figure 2).
+        let outer = RegionRecord { pid: 0, ppid: None, level: 1, span: 2, fork_label: vec![0, 1] };
+        let inner =
+            RegionRecord { pid: 1, ppid: Some(0), level: 2, span: 2, fork_label: vec![0, 1, 0, 2] };
+        let s = session_with(
+            vec![
+                (0, vec![meta_row(0, None, 0, 0, 2, 1)]),
+                (1, vec![meta_row(0, None, 0, 1, 2, 1)]),
+                (2, vec![meta_row(1, Some(0), 0, 0, 2, 2)]),
+            ],
+            vec![outer, inner],
+        );
+        let st = build_structure(&s);
+        let outer_group = st.groups.iter().find(|g| g.pid == 0).unwrap();
+        let inner_group = st.groups.iter().find(|g| g.pid == 1).unwrap();
+        let outer0 = outer_group.members.iter().find(|m| m.tid == 0).unwrap();
+        let outer1 = outer_group.members.iter().find(|m| m.tid == 1).unwrap();
+        let inner0 = &inner_group.members[0];
+        assert!(
+            !intervals_concurrent(outer0, inner0),
+            "forker's interval is ordered against its nested region"
+        );
+        assert!(
+            intervals_concurrent(outer1, inner0),
+            "sibling outer thread races with the nested region"
+        );
+    }
+
+    #[test]
+    fn missing_region_record_defaults_to_empty_prefix() {
+        // Robustness: a session without regions.meta still groups by
+        // (pid, bid).
+        let s = session_with(vec![(0, vec![meta_row(7, None, 0, 0, 2, 1)])], vec![]);
+        let st = build_structure(&s);
+        assert_eq!(st.groups.len(), 1);
+        assert_eq!(full_label(&s, &st.groups[0].members[0].meta).depth(), 1);
+    }
+
+    #[test]
+    fn same_tid_never_concurrent() {
+        let a = Interval {
+            tid: 3,
+            meta: meta_row(0, None, 0, 0, 2, 1),
+            label: Label::from_chain([(0, 1), (0, 2)]),
+        };
+        let b = Interval {
+            tid: 3,
+            meta: meta_row(1, None, 0, 1, 2, 1),
+            label: Label::from_chain([(0, 1), (1, 2)]),
+        };
+        assert!(!intervals_concurrent(&a, &b));
+    }
+}

@@ -1,0 +1,41 @@
+//! The SWORD offline race analyzer (§III-B of the paper).
+//!
+//! Consumes a session directory written by `sword-runtime` and reports
+//! data races:
+//!
+//! 1. **Load** the per-thread meta-data files (Table I rows), the region
+//!    table, and the PC table ([`load::LoadedSession`]).
+//! 2. **Reconstruct concurrency**: each barrier interval's full
+//!    offset-span label is its region's fork label extended by the row's
+//!    `[offset, span]` pair; two intervals may race iff their labels
+//!    compare concurrent under the barrier-aware offset-span rule
+//!    ([`sword_osl::Label::compare_barrier_aware`] — case 1/2 of the
+//!    paper plus the bid ordering the paper applies within a region).
+//!    Interval pairs are enumerated region-pair-wise so that sequential
+//!    region pairs are skipped wholesale ([`intervals`]).
+//! 3. **Stream** each interval's events out of the compressed log in
+//!    chunks (never materializing a log in memory) and summarize them
+//!    into an augmented red-black interval tree of strided intervals with
+//!    access metadata — operation, size, PC, held-mutex set ([`build`]).
+//! 4. **Compare** trees of concurrent intervals: coarse range overlap via
+//!    the tree's `max_end` augmentation, then the exact strided-overlap
+//!    constraint (Diophantine solve, or the branch-and-bound ILP that
+//!    mirrors the paper's GLPK formulation), plus the write/atomic/mutex
+//!    side conditions ([`race`]).
+//!
+//! Races are deduplicated by unordered source-location pair, which is how
+//! the paper's tables count them.
+
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod build;
+pub mod intervals;
+pub mod load;
+pub mod race;
+pub mod report;
+
+pub use analyze::{analyze, analyze_loaded, AnalysisConfig, AnalysisResult, AnalysisStats, SolverChoice};
+pub use load::LoadedSession;
+pub use race::{Race, RaceKey};
+pub use report::{render_json, render_text};

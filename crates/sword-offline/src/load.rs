@@ -1,0 +1,100 @@
+//! Session loading: meta-data, region, and PC tables.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader};
+
+use sword_trace::{meta, MetaRecord, PcTable, RegionRecord, SessionDir, ThreadId};
+
+/// Everything the analyzer needs besides the log bytes themselves.
+#[derive(Debug)]
+pub struct LoadedSession {
+    /// The session directory (log files are opened lazily from here).
+    pub dir: SessionDir,
+    /// Per-thread barrier-interval rows, in file order.
+    pub threads: Vec<(ThreadId, Vec<MetaRecord>)>,
+    /// Region table keyed by region id.
+    pub regions: HashMap<u64, RegionRecord>,
+    /// Program-counter table for report rendering (empty if absent).
+    pub pcs: PcTable,
+}
+
+impl LoadedSession {
+    /// Loads the meta-data of a session directory.
+    pub fn load(dir: &SessionDir) -> io::Result<Self> {
+        let mut threads = Vec::new();
+        for tid in dir.thread_ids()? {
+            let rows =
+                meta::read_meta(BufReader::new(File::open(dir.thread_meta(tid))?))?;
+            threads.push((tid, rows));
+        }
+        let regions_vec = if dir.regions_path().exists() {
+            meta::read_regions(BufReader::new(File::open(dir.regions_path())?))?
+        } else {
+            Vec::new()
+        };
+        let mut regions = HashMap::with_capacity(regions_vec.len());
+        for r in regions_vec {
+            regions.insert(r.pid, r);
+        }
+        let pcs = if dir.pcs_path().exists() {
+            PcTable::read_from(BufReader::new(File::open(dir.pcs_path())?))?
+        } else {
+            PcTable::new()
+        };
+        Ok(LoadedSession { dir: dir.clone(), threads, regions, pcs })
+    }
+
+    /// Total barrier intervals across all threads.
+    pub fn interval_count(&self) -> usize {
+        self.threads.iter().map(|(_, rows)| rows.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(tag: &str) -> SessionDir {
+        let dir = std::env::temp_dir()
+            .join(format!("sword-offline-load-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = SessionDir::new(dir);
+        s.create().unwrap();
+        s
+    }
+
+    #[test]
+    fn loads_handwritten_session() {
+        let s = tmp("basic");
+        std::fs::write(s.thread_meta(0), "0\t-\t0\t0\t2\t1\t0\t100\n").unwrap();
+        std::fs::write(s.thread_meta(1), "0\t-\t0\t1\t2\t1\t0\t80\n").unwrap();
+        std::fs::write(s.regions_path(), "0\t-\t1\t2\t0,1\n").unwrap();
+        let mut pcs = PcTable::new();
+        pcs.intern("k.rs", 10);
+        let mut f = File::create(s.pcs_path()).unwrap();
+        pcs.write_to(&mut f).unwrap();
+        f.flush().unwrap();
+
+        let loaded = LoadedSession::load(&s).unwrap();
+        assert_eq!(loaded.threads.len(), 2);
+        assert_eq!(loaded.interval_count(), 2);
+        assert_eq!(loaded.regions.len(), 1);
+        assert_eq!(loaded.regions[&0].span, 2);
+        assert_eq!(loaded.pcs.display(0), "k.rs:10");
+        std::fs::remove_dir_all(loaded.dir.path()).unwrap();
+    }
+
+    #[test]
+    fn missing_optional_tables_are_empty() {
+        let s = tmp("sparse");
+        std::fs::write(s.thread_meta(3), "").unwrap();
+        let loaded = LoadedSession::load(&s).unwrap();
+        assert_eq!(loaded.threads.len(), 1);
+        assert_eq!(loaded.threads[0].0, 3);
+        assert!(loaded.regions.is_empty());
+        assert!(loaded.pcs.is_empty());
+        std::fs::remove_dir_all(loaded.dir.path()).unwrap();
+    }
+}

@@ -1,0 +1,313 @@
+//! Tree-vs-tree race checking and race reports.
+
+use std::collections::HashMap;
+
+use sword_itree::for_each_candidate_pair;
+use sword_solver::{overlap_ilp, strided_overlap_witness, IlpStatus};
+use sword_trace::{AccessKind, PcId, PcTable, ThreadId};
+
+use crate::analyze::SolverChoice;
+use crate::build::BiTree;
+
+/// Dedup key: the unordered pair of source locations, which is how the
+/// paper's tables count races.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RaceKey {
+    /// Smaller PC of the pair.
+    pub pc_lo: PcId,
+    /// Larger PC of the pair.
+    pub pc_hi: PcId,
+}
+
+impl RaceKey {
+    /// Builds the unordered key.
+    pub fn new(a: PcId, b: PcId) -> Self {
+        if a <= b {
+            RaceKey { pc_lo: a, pc_hi: b }
+        } else {
+            RaceKey { pc_lo: b, pc_hi: a }
+        }
+    }
+}
+
+/// One reported data race (deduplicated source-line pair).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Race {
+    /// Dedup key.
+    pub key: RaceKey,
+    /// Access kind at `pc_lo`'s side of the first witness.
+    pub kind_a: AccessKind,
+    /// Access kind at `pc_hi`'s side of the first witness.
+    pub kind_b: AccessKind,
+    /// A concrete shared address from the constraint solve.
+    pub witness_addr: u64,
+    /// Threads of the first witnessing pair.
+    pub tids: (ThreadId, ThreadId),
+    /// Region in which the first witness occurred.
+    pub region: u64,
+    /// How many interval pairs exhibited this source-line pair.
+    pub occurrences: u64,
+}
+
+impl Race {
+    /// Renders the race with resolved source locations.
+    pub fn render(&self, pcs: &PcTable) -> String {
+        format!(
+            "race: {} ({:?}) <-> {} ({:?}) at addr {:#x} [threads {} vs {}, region {}, seen {}x]",
+            pcs.display(self.key.pc_lo),
+            self.kind_a,
+            pcs.display(self.key.pc_hi),
+            self.kind_b,
+            self.witness_addr,
+            self.tids.0,
+            self.tids.1,
+            self.region,
+            self.occurrences
+        )
+    }
+}
+
+/// Mutable race accumulator with source-line-pair dedup.
+#[derive(Debug, Default)]
+pub struct RaceSet {
+    races: HashMap<RaceKey, Race>,
+    /// Dynamic (non-deduplicated) racy node-pair count.
+    pub raw_pairs: u64,
+}
+
+impl RaceSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one racy node pair.
+    pub fn record(&mut self, race: Race) {
+        self.raw_pairs += 1;
+        self.races
+            .entry(race.key)
+            .and_modify(|r| r.occurrences += 1)
+            .or_insert(race);
+    }
+
+    /// Merges another set (parallel workers).
+    pub fn merge(&mut self, other: RaceSet) {
+        self.raw_pairs += other.raw_pairs;
+        for (key, race) in other.races {
+            self.races
+                .entry(key)
+                .and_modify(|r| r.occurrences += race.occurrences)
+                .or_insert(race);
+        }
+    }
+
+    /// Number of distinct races.
+    pub fn len(&self) -> usize {
+        self.races.len()
+    }
+
+    /// `true` when no races were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.races.is_empty()
+    }
+
+    /// Sorted race list.
+    pub fn into_sorted(self) -> Vec<Race> {
+        let mut v: Vec<Race> = self.races.into_values().collect();
+        v.sort_by_key(|r| r.key);
+        v
+    }
+}
+
+/// Statistics of one tree-vs-tree comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairStats {
+    /// Node pairs whose coarse ranges overlapped.
+    pub candidates: u64,
+    /// Exact constraint solves performed.
+    pub solver_calls: u64,
+}
+
+/// Compares two interval trees and records races.
+///
+/// For every candidate pair (coarse `[begin,end)` overlap found through
+/// the augmented tree), applies the access-compatibility conditions and
+/// then the exact strided-overlap constraint with the chosen solver.
+pub fn check_pair(
+    a: &BiTree,
+    b: &BiTree,
+    region: u64,
+    solver: SolverChoice,
+    races: &mut RaceSet,
+) -> PairStats {
+    let mut stats = PairStats::default();
+    for_each_candidate_pair(&a.tree, &b.tree, |ia, ma, ib, mb| {
+        stats.candidates += 1;
+        if !a.can_race(ma, b, mb) {
+            return;
+        }
+        stats.solver_calls += 1;
+        let witness = match solver {
+            SolverChoice::Diophantine => strided_overlap_witness(ia, ib),
+            SolverChoice::Ilp => match overlap_ilp(ia, ib).solve() {
+                IlpStatus::Feasible => strided_overlap_witness(ia, ib),
+                _ => None,
+            },
+        };
+        if let Some(addr) = witness {
+            let key = RaceKey::new(ma.pc, mb.pc);
+            // Keep kinds aligned with the key's (lo, hi) order.
+            let (kind_a, kind_b) =
+                if ma.pc <= mb.pc { (ma.kind, mb.kind) } else { (mb.kind, ma.kind) };
+            races.record(Race {
+                key,
+                kind_a,
+                kind_b,
+                witness_addr: addr,
+                tids: (a.tid, b.tid),
+                region,
+                occurrences: 1,
+            });
+        }
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::AccessMeta;
+    use sword_itree::{IntervalTree, StridedInterval};
+
+    fn tree_of(tid: ThreadId, nodes: &[(StridedInterval, AccessMeta)]) -> BiTree {
+        let mut tree = IntervalTree::new();
+        for (iv, m) in nodes {
+            tree.insert(*iv, *m);
+        }
+        BiTree { tid, tree, mutex_sets: vec![vec![], vec![7]], accesses: nodes.len() as u64, bytes_read: 0 }
+    }
+
+    fn meta(kind: AccessKind, pc: PcId, mset: u32) -> AccessMeta {
+        AccessMeta { kind, pc, mset }
+    }
+
+    #[test]
+    fn write_read_overlap_is_a_race() {
+        let a = tree_of(0, &[(StridedInterval::new(0x100, 8, 99, 8), meta(AccessKind::Write, 1, 0))]);
+        let b = tree_of(1, &[(StridedInterval::new(0x100, 8, 99, 8), meta(AccessKind::Read, 2, 0))]);
+        let mut races = RaceSet::new();
+        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
+        assert_eq!(stats.candidates, 1);
+        assert_eq!(stats.solver_calls, 1);
+        assert_eq!(races.len(), 1);
+        let race = races.into_sorted().pop().unwrap();
+        assert_eq!(race.key, RaceKey::new(1, 2));
+        assert_eq!(race.tids, (0, 1));
+    }
+
+    #[test]
+    fn read_read_is_not_checked() {
+        let a = tree_of(0, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Read, 1, 0))]);
+        let b = tree_of(1, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Read, 2, 0))]);
+        let mut races = RaceSet::new();
+        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
+        assert_eq!(stats.solver_calls, 0);
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn common_lock_suppresses() {
+        let a = tree_of(0, &[(StridedInterval::single(0x100, 8), meta(AccessKind::Write, 1, 1))]);
+        let b = tree_of(1, &[(StridedInterval::single(0x100, 8), meta(AccessKind::Write, 2, 1))]);
+        let mut races = RaceSet::new();
+        check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn figure4_interleaved_strides_no_race() {
+        // Candidate by range, rejected by the exact solve.
+        let a = tree_of(0, &[(StridedInterval::new(10, 8, 4, 4), meta(AccessKind::Write, 1, 0))]);
+        let b = tree_of(1, &[(StridedInterval::new(14, 8, 4, 4), meta(AccessKind::Write, 2, 0))]);
+        let mut races = RaceSet::new();
+        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
+        assert_eq!(stats.candidates, 1);
+        assert_eq!(stats.solver_calls, 1);
+        assert!(races.is_empty());
+        // The ILP solver agrees.
+        let mut races2 = RaceSet::new();
+        check_pair(&a, &b, 0, SolverChoice::Ilp, &mut races2);
+        assert!(races2.is_empty());
+    }
+
+    #[test]
+    fn dedup_by_source_pair() {
+        // Many racing interval pairs from the same two lines → one race.
+        let nodes_a: Vec<_> = (0..10)
+            .map(|k| {
+                (StridedInterval::new(0x1000 + k * 0x100, 8, 9, 8), meta(AccessKind::Write, 1, 0))
+            })
+            .collect();
+        let nodes_b: Vec<_> = (0..10)
+            .map(|k| {
+                (StridedInterval::new(0x1000 + k * 0x100, 8, 9, 8), meta(AccessKind::Read, 2, 0))
+            })
+            .collect();
+        let a = tree_of(0, &nodes_a);
+        let b = tree_of(1, &nodes_b);
+        let mut races = RaceSet::new();
+        check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races.raw_pairs, 10);
+        assert_eq!(races.into_sorted()[0].occurrences, 10);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut s1 = RaceSet::new();
+        let mut s2 = RaceSet::new();
+        let race = Race {
+            key: RaceKey::new(5, 2),
+            kind_a: AccessKind::Write,
+            kind_b: AccessKind::Read,
+            witness_addr: 0x10,
+            tids: (0, 1),
+            region: 0,
+            occurrences: 1,
+        };
+        s1.record(race.clone());
+        s2.record(race.clone());
+        s2.record(Race { key: RaceKey::new(9, 9), ..race.clone() });
+        s1.merge(s2);
+        assert_eq!(s1.len(), 2);
+        assert_eq!(s1.raw_pairs, 3);
+        let sorted = s1.into_sorted();
+        assert_eq!(sorted[0].key, RaceKey::new(2, 5));
+        assert_eq!(sorted[0].occurrences, 2);
+    }
+
+    #[test]
+    fn race_key_is_unordered() {
+        assert_eq!(RaceKey::new(3, 7), RaceKey::new(7, 3));
+    }
+
+    #[test]
+    fn render_resolves_locations() {
+        let mut pcs = PcTable::new();
+        let p1 = pcs.intern("kernel.rs", 10);
+        let p2 = pcs.intern("kernel.rs", 20);
+        let race = Race {
+            key: RaceKey::new(p1, p2),
+            kind_a: AccessKind::Write,
+            kind_b: AccessKind::Read,
+            witness_addr: 0xABC,
+            tids: (2, 5),
+            region: 3,
+            occurrences: 4,
+        };
+        let s = race.render(&pcs);
+        assert!(s.contains("kernel.rs:10"));
+        assert!(s.contains("kernel.rs:20"));
+        assert!(s.contains("0xabc"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Race-report rendering: human-readable text and machine-readable JSON.
+//!
+//! JSON is emitted by hand (no serialization dependency — see DESIGN.md's
+//! dependency policy); the format is stable and documented here:
+//!
+//! ```json
+//! {
+//!   "races": [
+//!     {"pc_lo": "file.rs:10", "pc_hi": "file.rs:20",
+//!      "kind_lo": "Write", "kind_hi": "Read",
+//!      "witness_addr": 268435456, "tids": [1, 2],
+//!      "region": 0, "occurrences": 12}
+//!   ],
+//!   "stats": { "threads": 4, "barrier_intervals": 8, ... }
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use sword_trace::PcTable;
+
+use crate::analyze::AnalysisResult;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an analysis result as JSON.
+pub fn render_json(result: &AnalysisResult, pcs: &PcTable) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"races\": [\n");
+    for (i, race) in result.races.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"pc_lo\": \"{}\", \"pc_hi\": \"{}\", \"kind_lo\": \"{:?}\", \
+             \"kind_hi\": \"{:?}\", \"witness_addr\": {}, \"tids\": [{}, {}], \
+             \"region\": {}, \"occurrences\": {}}}",
+            escape(&pcs.display(race.key.pc_lo)),
+            escape(&pcs.display(race.key.pc_hi)),
+            race.kind_a,
+            race.kind_b,
+            race.witness_addr,
+            race.tids.0,
+            race.tids.1,
+            race.region,
+            race.occurrences
+        );
+        out.push_str(if i + 1 < result.races.len() { ",\n" } else { "\n" });
+    }
+    let s = &result.stats;
+    let _ = write!(
+        out,
+        "  ],\n  \"stats\": {{\"threads\": {}, \"barrier_intervals\": {}, \
+         \"groups\": {}, \"events\": {}, \"nodes\": {}, \"bytes_read\": {}, \
+         \"candidate_pairs\": {}, \"solver_calls\": {}, \"races\": {}, \
+         \"wall_secs\": {:.6}, \"max_task_secs\": {:.6}}}\n}}",
+        s.threads,
+        s.barrier_intervals,
+        s.groups,
+        s.events,
+        s.nodes,
+        s.bytes_read,
+        s.candidate_pairs,
+        s.solver_calls,
+        s.races,
+        s.wall_secs,
+        s.max_task_secs
+    );
+    out.push('\n');
+    out
+}
+
+/// Renders an analysis result as the standard multi-line text report.
+pub fn render_text(result: &AnalysisResult, pcs: &PcTable) -> String {
+    let s = &result.stats;
+    let mut out = format!(
+        "analyzed {} threads, {} barrier intervals, {} events in {:.2}s \
+         ({} tree nodes, {} candidate pairs, {} solver calls)\n",
+        s.threads, s.barrier_intervals, s.events, s.wall_secs, s.nodes, s.candidate_pairs,
+        s.solver_calls
+    );
+    if result.races.is_empty() {
+        out.push_str("no data races detected\n");
+    } else {
+        let _ = writeln!(out, "{} data race(s):", result.races.len());
+        for race in &result.races {
+            let _ = writeln!(out, "  {}", race.render(pcs));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{AnalysisResult, AnalysisStats};
+    use crate::race::{Race, RaceKey};
+    use sword_trace::AccessKind;
+
+    fn sample() -> (AnalysisResult, PcTable) {
+        let mut pcs = PcTable::new();
+        let a = pcs.intern("src/ke\"rnel.rs", 10); // quote needs escaping
+        let b = pcs.intern("src/kernel.rs", 20);
+        let result = AnalysisResult {
+            races: vec![Race {
+                key: RaceKey::new(a, b),
+                kind_a: AccessKind::Write,
+                kind_b: AccessKind::Read,
+                witness_addr: 0x100,
+                tids: (1, 2),
+                region: 0,
+                occurrences: 3,
+            }],
+            stats: AnalysisStats { threads: 2, races: 1, ..Default::default() },
+            task_secs: vec![0.1],
+        };
+        (result, pcs)
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let (result, pcs) = sample();
+        let json = render_json(&result, &pcs);
+        assert!(json.contains("\"races\": ["));
+        assert!(json.contains("\\\"rnel.rs:10"), "quote escaped: {json}");
+        assert!(json.contains("\"witness_addr\": 256"));
+        assert!(json.contains("\"occurrences\": 3"));
+        assert!(json.contains("\"stats\": {"));
+        // Balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_empty_result() {
+        let result =
+            AnalysisResult { races: vec![], stats: AnalysisStats::default(), task_secs: vec![] };
+        let json = render_json(&result, &PcTable::new());
+        assert!(json.contains("\"races\": [\n  ]"));
+    }
+
+    #[test]
+    fn text_report() {
+        let (result, pcs) = sample();
+        let text = render_text(&result, &pcs);
+        assert!(text.contains("1 data race(s)"));
+        assert!(text.contains("kernel.rs:20"));
+        let empty =
+            AnalysisResult { races: vec![], stats: AnalysisStats::default(), task_secs: vec![] };
+        assert!(render_text(&empty, &pcs).contains("no data races detected"));
+    }
+
+    #[test]
+    fn escape_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+}

@@ -1,0 +1,616 @@
+//! End-to-end pipeline tests: instrumented programs run under the SWORD
+//! collector, then the offline analyzer must find exactly the planted
+//! races — and nothing else.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sword_offline::{analyze, AnalysisConfig, AnalysisResult, SolverChoice};
+use sword_ompsim::{OmpSim, Sequencer, SimConfig};
+use sword_runtime::{run_collected, SwordConfig};
+use sword_trace::SessionDir;
+
+fn session_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sword-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs `program` collected, analyzes, cleans up, returns the result.
+fn pipeline(tag: &str, program: impl FnOnce(&OmpSim)) -> AnalysisResult {
+    pipeline_with(tag, AnalysisConfig::sequential(), program)
+}
+
+fn pipeline_with(
+    tag: &str,
+    config: AnalysisConfig,
+    program: impl FnOnce(&OmpSim),
+) -> AnalysisResult {
+    let dir = session_dir(tag);
+    run_collected(SwordConfig::new(&dir), SimConfig::default(), program).expect("collection");
+    let result = analyze(&SessionDir::new(&dir), &config).expect("analysis");
+    std::fs::remove_dir_all(&dir).unwrap();
+    result
+}
+
+#[test]
+fn race_free_loop_is_clean() {
+    let result = pipeline("clean", |sim| {
+        let a = sim.alloc::<f64>(512, 1.0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_static(0..512, |i| {
+                    let v = w.read(&a, i);
+                    w.write(&a, i, v * 2.0);
+                });
+            });
+        });
+    });
+    assert_eq!(result.race_count(), 0, "{:?}", result.races);
+    assert!(result.stats.events > 0);
+}
+
+#[test]
+fn paper_loop_carried_dependency_races() {
+    // §III-B example: a[i] = a[i-1] with 2 threads — one read-write race
+    // at the chunk boundary.
+    let result = pipeline("loopdep", |sim| {
+        let a = sim.alloc::<i64>(1000, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.for_static(1..1000, |i| {
+                    let v = w.read(&a, i - 1);
+                    w.write(&a, i, v);
+                });
+            });
+        });
+    });
+    assert_eq!(result.race_count(), 1, "{:?}", result.races);
+    let race = &result.races[0];
+    assert_ne!(race.key.pc_lo, race.key.pc_hi, "read line vs write line");
+}
+
+#[test]
+fn shared_counter_unprotected_races() {
+    let result = pipeline("counter", |sim| {
+        let c = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                for _ in 0..32 {
+                    let v = w.read(&c, 0);
+                    w.write(&c, 0, v + 1);
+                }
+            });
+        });
+    });
+    // read-write, write-write, and read/write-vs-same-line pairs collapse
+    // to: (read,write) + (write,write) + (read,read is not a race) = 2.
+    assert_eq!(result.race_count(), 2, "{:?}", result.races);
+}
+
+#[test]
+fn critical_section_protects() {
+    let result = pipeline("critical", |sim| {
+        let c = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                for _ in 0..32 {
+                    w.critical("sum", || {
+                        let v = w.read(&c, 0);
+                        w.write(&c, 0, v + 1);
+                    });
+                }
+            });
+        });
+    });
+    assert_eq!(result.race_count(), 0, "{:?}", result.races);
+}
+
+#[test]
+fn distinct_locks_do_not_protect() {
+    // Classic bug: two threads protect the same variable with different
+    // locks.
+    let result = pipeline("two-locks", |sim| {
+        let c = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                let name = if w.team_index() == 0 { "lock_a" } else { "lock_b" };
+                for _ in 0..16 {
+                    w.critical(name, || {
+                        let v = w.read(&c, 0);
+                        w.write(&c, 0, v + 1);
+                    });
+                }
+            });
+        });
+    });
+    assert!(result.race_count() >= 1, "{:?}", result.races);
+}
+
+#[test]
+fn atomics_do_not_race() {
+    let result = pipeline("atomics", |sim| {
+        let c = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                for _ in 0..64 {
+                    w.fetch_add(&c, 0, 1);
+                }
+            });
+        });
+    });
+    assert_eq!(result.race_count(), 0, "{:?}", result.races);
+}
+
+#[test]
+fn atomic_vs_plain_races() {
+    let result = pipeline("atomic-plain", |sim| {
+        let c = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                if w.team_index() == 0 {
+                    for _ in 0..16 {
+                        w.fetch_add(&c, 0, 1);
+                    }
+                } else {
+                    for _ in 0..16 {
+                        let v = w.read(&c, 0);
+                        w.write(&c, 0, v + 1);
+                    }
+                }
+            });
+        });
+    });
+    // atomic-write vs plain-read and atomic-write vs plain-write (plus
+    // plain read/write internal pair is same-thread → not reported).
+    assert!(result.race_count() >= 2, "{:?}", result.races);
+}
+
+#[test]
+fn barrier_separates_phases() {
+    // Phase 1 writes a[i] by thread owner; phase 2 reads a[i+1] — without
+    // the barrier this races, with it it does not.
+    let racy = pipeline("phases-racy", |sim| {
+        let a = sim.alloc::<f64>(256, 0.0);
+        let b = sim.alloc::<f64>(256, 0.0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_static_nowait(0..256, |i| {
+                    w.write(&a, i, i as f64);
+                });
+                w.for_static_nowait(0..255, |i| {
+                    let v = w.read(&a, i + 1);
+                    w.write(&b, i, v);
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert!(racy.race_count() >= 1, "nowait version must race: {:?}", racy.races);
+
+    let clean = pipeline("phases-clean", |sim| {
+        let a = sim.alloc::<f64>(256, 0.0);
+        let b = sim.alloc::<f64>(256, 0.0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_static(0..256, |i| {
+                    w.write(&a, i, i as f64);
+                });
+                w.for_static(0..255, |i| {
+                    let v = w.read(&a, i + 1);
+                    w.write(&b, i, v);
+                });
+            });
+        });
+    });
+    assert_eq!(clean.race_count(), 0, "{:?}", clean.races);
+}
+
+#[test]
+fn disjoint_strided_accesses_do_not_race() {
+    // Figure 4: even/odd element split — ranges overlap, addresses don't.
+    let result = pipeline("strided", |sim| {
+        let a = sim.alloc::<f64>(1024, 0.0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                let start = w.team_index(); // 0 or 1
+                let mut i = start;
+                while i < 1024 {
+                    w.write(&a, i, i as f64);
+                    i += 2;
+                }
+                w.barrier();
+            });
+        });
+    });
+    assert_eq!(result.race_count(), 0, "{:?}", result.races);
+    assert!(result.stats.candidate_pairs > 0, "ranges must have collided coarsely");
+    assert!(result.stats.solver_calls > 0, "the exact solver must have decided");
+}
+
+#[test]
+fn nested_regions_race_across_teams() {
+    // Figure 2's R2/R3: two inner regions under different outer threads
+    // write the same location.
+    let result = pipeline("nested", |sim| {
+        let y = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.parallel(2, |inner| {
+                    inner.write(&y, 0, inner.team_index());
+                });
+            });
+        });
+    });
+    assert!(result.race_count() >= 1, "{:?}", result.races);
+    assert!(result.stats.region_pairs_considered >= 1);
+}
+
+#[test]
+fn nested_region_does_not_race_with_forker() {
+    // A worker forks an inner team that writes x; after the join the
+    // worker itself writes x. Fork/join orders these — no race, even
+    // though they are in different regions.
+    let result = pipeline("nested-seq", |sim| {
+        let x = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(1, |w| {
+                w.parallel(2, |inner| {
+                    inner.master(|| {
+                        inner.write(&x, 0, 1);
+                    });
+                });
+                w.write(&x, 0, 2);
+            });
+        });
+    });
+    assert_eq!(result.race_count(), 0, "{:?}", result.races);
+}
+
+#[test]
+fn hb_masked_schedule_is_still_caught() {
+    // Figure 1(b): thread 0 writes `a` *before* taking the lock; thread 1
+    // reads/writes `a` under the lock afterwards. The schedule creates a
+    // happens-before path (lock release → acquire) that masks the race
+    // from HB detectors; SWORD's offline analysis is schedule-insensitive
+    // and must still flag it.
+    let result = pipeline("hb-mask", |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        let seq = Arc::new(Sequencer::new());
+        sim.run(|ctx| {
+            let seq = &seq;
+            ctx.parallel(2, |w| {
+                if w.team_index() == 0 {
+                    seq.turn(0, || {
+                        w.write(&a, 0, 1); // unprotected write
+                    });
+                    seq.turn(1, || {
+                        w.critical("l", || {}); // release lock after write
+                    });
+                } else {
+                    seq.wait_for(2);
+                    w.critical("l", || {
+                        let v = w.read(&a, 0);
+                        w.write(&a, 0, v + 1);
+                    });
+                }
+            });
+        });
+    });
+    // write(a) vs read(a) and write(a) vs write(a): 2 distinct line pairs.
+    assert_eq!(result.race_count(), 2, "{:?}", result.races);
+}
+
+#[test]
+fn target_region_races_are_caught() {
+    // The paper's future-work extension: a synchronous offload region.
+    // Races *inside* the device team are caught; host work after the
+    // offload is join-ordered against it.
+    let result = pipeline("target", |sim| {
+        let d = sim.alloc::<f64>(64, 0.0);
+        let acc = sim.alloc::<f64>(1, 0.0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |host| {
+                host.single_nowait(|| {
+                    host.target(4, |dev| {
+                        // Device threads race on the accumulator.
+                        dev.for_static(0..64, |i| {
+                            let v = dev.read(&d, i);
+                            dev.write(&d, i, v + 1.0);
+                        });
+                        let v = dev.read(&acc, 0);
+                        dev.write(&acc, 0, v + 1.0);
+                    });
+                    // Host touches the same data after the offload joined:
+                    // ordered, no race with the device team.
+                    let _ = host.read(&acc, 0);
+                });
+                host.barrier();
+            });
+        });
+    });
+    // (R acc, W acc) and (W acc, W acc) inside the device team only.
+    assert_eq!(result.race_count(), 2, "{:?}", result.races);
+}
+
+#[test]
+fn parallel_analysis_matches_sequential() {
+    let make = |tag: &str, cfg: AnalysisConfig| {
+        pipeline_with(tag, cfg, |sim| {
+            let a = sim.alloc::<i64>(2000, 0);
+            let c = sim.alloc::<u64>(1, 0);
+            sim.run(|ctx| {
+                ctx.parallel(4, |w| {
+                    w.for_static(1..2000, |i| {
+                        let v = w.read(&a, i - 1);
+                        w.write(&a, i, v + 1);
+                    });
+                    let v = w.read(&c, 0);
+                    w.write(&c, 0, v + 1);
+                });
+            });
+        })
+    };
+    let seq = make("par-seq", AnalysisConfig::sequential());
+    let par = make("par-par", AnalysisConfig::default().with_workers(8));
+    let keys = |r: &AnalysisResult| -> Vec<_> { r.races.iter().map(|x| x.key).collect() };
+    assert_eq!(keys(&seq), keys(&par));
+    assert_eq!(seq.stats.events, par.stats.events);
+    assert_eq!(seq.stats.trees_built, par.stats.trees_built);
+}
+
+#[test]
+fn ilp_solver_matches_diophantine() {
+    let make = |tag: &str, solver: SolverChoice| {
+        pipeline_with(tag, AnalysisConfig::sequential().with_solver(solver), |sim| {
+            let a = sim.alloc::<f64>(512, 0.0);
+            sim.run(|ctx| {
+                ctx.parallel(2, |w| {
+                    // Interleaved halves with a one-element overlap.
+                    let lo = w.team_index() * 255;
+                    for i in lo..lo + 257 {
+                        w.write(&a, i, 1.0);
+                    }
+                    w.barrier();
+                });
+            });
+        })
+    };
+    let dio = make("ilp-a", SolverChoice::Diophantine);
+    let ilp = make("ilp-b", SolverChoice::Ilp);
+    assert_eq!(dio.race_count(), ilp.race_count());
+    assert!(dio.race_count() >= 1);
+}
+
+#[test]
+fn small_chunks_match_large_chunks() {
+    let make = |tag: &str, chunk: usize| {
+        pipeline_with(tag, AnalysisConfig::sequential().with_chunk_bytes(chunk), |sim| {
+            let a = sim.alloc::<i64>(800, 0);
+            sim.run(|ctx| {
+                ctx.parallel(3, |w| {
+                    w.for_static(1..800, |i| {
+                        let v = w.read(&a, i - 1);
+                        w.write(&a, i, v);
+                    });
+                });
+            });
+        })
+    };
+    let small = make("chunk-small", 7);
+    let large = make("chunk-large", 1 << 20);
+    assert_eq!(small.race_count(), large.race_count());
+    assert_eq!(small.stats.events, large.stats.events);
+    assert_eq!(small.stats.nodes, large.stats.nodes);
+}
+
+#[test]
+fn suppressions_silence_triaged_races() {
+    // Two distinct racy cells; suppressing this test file's path hides
+    // both, suppressing a non-matching pattern hides none.
+    let program = |sim: &OmpSim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.write(&a, 0, w.team_index());
+            });
+        });
+    };
+    let dir = session_dir("suppress");
+    run_collected(SwordConfig::new(&dir), SimConfig::default(), |sim| program(sim)).unwrap();
+    let session = SessionDir::new(&dir);
+
+    let unsuppressed = analyze(&session, &AnalysisConfig::sequential()).unwrap();
+    assert_eq!(unsuppressed.race_count(), 1);
+
+    let miss = analyze(
+        &session,
+        &AnalysisConfig::sequential().with_suppression("no_such_file.rs"),
+    )
+    .unwrap();
+    assert_eq!(miss.race_count(), 1);
+    assert_eq!(miss.stats.races_suppressed, 0);
+
+    let hit = analyze(
+        &session,
+        &AnalysisConfig::sequential().with_suppression("end_to_end.rs"),
+    )
+    .unwrap();
+    assert_eq!(hit.race_count(), 0);
+    assert_eq!(hit.stats.races_suppressed, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_sessions_error_instead_of_panicking() {
+    // A valid session, then three kinds of damage: truncated log, log
+    // bytes corrupted, meta pointing past the end. The analyzer must
+    // return io::Error in each case — never panic, never fabricate races.
+    let dir = session_dir("corrupt");
+    run_collected(SwordConfig::new(&dir), SimConfig::default(), |sim| {
+        let a = sim.alloc::<f64>(2000, 0.0);
+        sim.run(|ctx| {
+            ctx.parallel(3, |w| {
+                w.for_static(0..2000, |i| {
+                    w.write(&a, i, i as f64);
+                });
+            });
+        });
+    })
+    .unwrap();
+    let session = SessionDir::new(&dir);
+    assert!(analyze(&session, &AnalysisConfig::sequential()).is_ok(), "sane before damage");
+
+    let tid0_log = session.thread_log(0).exists().then(|| session.thread_log(0));
+    let victim = tid0_log.unwrap_or_else(|| session.thread_log(1));
+
+    // 1. Truncate the log mid-frame.
+    let original = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &original[..original.len() / 2]).unwrap();
+    assert!(analyze(&session, &AnalysisConfig::sequential()).is_err(), "truncated log");
+
+    // 2. Flip bytes inside the compressed payload.
+    let mut corrupted = original.clone();
+    let mid = corrupted.len() / 2;
+    for b in &mut corrupted[mid..mid + 8.min(original.len() - mid)] {
+        *b ^= 0xA5;
+    }
+    std::fs::write(&victim, &corrupted).unwrap();
+    assert!(analyze(&session, &AnalysisConfig::sequential()).is_err(), "corrupt payload");
+
+    // 3. Restore the log but damage the metadata to reference beyond EOF.
+    std::fs::write(&victim, &original).unwrap();
+    let meta_path = victim.with_extension("meta");
+    let meta_text = std::fs::read_to_string(&meta_path).unwrap();
+    let inflated = meta_text.lines().map(|line| {
+        let mut cols: Vec<String> = line.split('\t').map(str::to_string).collect();
+        let size_idx = cols.len() - 1;
+        cols[size_idx] = "999999999".to_string();
+        cols.join("\t")
+    }).collect::<Vec<_>>().join("\n");
+    std::fs::write(&meta_path, inflated).unwrap();
+    assert!(analyze(&session, &AnalysisConfig::sequential()).is_err(), "meta past EOF");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn focus_regions_restricts_analysis() {
+    // Two racy regions; focusing on one must report only its races (and
+    // do strictly less work).
+    let dir = session_dir("focus");
+    run_collected(SwordConfig::new(&dir), SimConfig::default(), |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        let b = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.write(&a, 0, w.team_index()); // region 0 race
+            });
+            ctx.parallel(2, |w| {
+                w.write(&b, 0, w.team_index()); // region 1 race
+            });
+        });
+    })
+    .unwrap();
+    let session = SessionDir::new(&dir);
+    let all = analyze(&session, &AnalysisConfig::sequential()).unwrap();
+    assert_eq!(all.race_count(), 2);
+    let only_r1 = analyze(
+        &session,
+        &AnalysisConfig::sequential().with_focus_regions(vec![1]),
+    )
+    .unwrap();
+    assert_eq!(only_r1.race_count(), 1);
+    assert!(only_r1.stats.events < all.stats.events, "less log data streamed");
+    let none = analyze(
+        &session,
+        &AnalysisConfig::sequential().with_focus_regions(vec![99]),
+    )
+    .unwrap();
+    assert_eq!(none.race_count(), 0);
+    assert_eq!(none.stats.tasks, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn makespan_model_is_monotone() {
+    let result = pipeline("makespan", |sim| {
+        let a = sim.alloc::<f64>(500, 0.0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                for _phase in 0..6 {
+                    w.for_static(0..500, |i| {
+                        let v = w.read(&a, i);
+                        w.write(&a, i, v + 1.0);
+                    });
+                }
+            });
+        });
+    });
+    assert!(!result.task_secs.is_empty());
+    let total: f64 = result.task_secs.iter().sum();
+    let m1 = result.makespan(1);
+    assert!((m1 - total).abs() < 1e-9, "one node does all the work");
+    let mut prev = m1;
+    for nodes in [2usize, 4, 8, 1000] {
+        let m = result.makespan(nodes);
+        assert!(m <= prev + 1e-12, "makespan must not grow with more nodes");
+        assert!(
+            m >= result.stats.max_task_secs - 1e-12,
+            "bounded below by the longest task"
+        );
+        prev = m;
+    }
+    assert!((result.makespan(100_000) - result.stats.max_task_secs).abs() < 1e-9);
+}
+
+/// Region-count scaling stress (the LULESH blow-up at larger scale).
+/// Ignored by default — run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "several-minute stress run; exercises O(regions^2) region classification"]
+fn region_heavy_session_scales() {
+    let result = pipeline_with("stress-regions", AnalysisConfig::default(), |sim| {
+        let a = sim.alloc::<f64>(64, 0.0);
+        sim.run(|ctx| {
+            for _step in 0..5_000 {
+                ctx.parallel(2, |w| {
+                    w.for_static_nowait(0..64, |i| {
+                        let v = w.read(&a, i);
+                        w.write(&a, i, v + 1.0);
+                    });
+                });
+            }
+        });
+    });
+    assert_eq!(result.race_count(), 0);
+    assert_eq!(result.stats.groups, 5_000);
+    // All 12.5M sequential region pairs pruned by the fork-label check.
+    assert_eq!(result.stats.region_pairs_skipped, 5_000u64 * 4_999 / 2);
+    assert_eq!(result.stats.region_pairs_considered, 0);
+}
+
+#[test]
+fn stats_are_coherent() {
+    let result = pipeline("stats", |sim| {
+        let a = sim.alloc::<f64>(300, 0.0);
+        sim.run(|ctx| {
+            ctx.parallel(3, |w| {
+                w.for_static(0..300, |i| {
+                    w.write(&a, i, 0.0);
+                });
+                w.for_static(0..300, |i| {
+                    let _ = w.read(&a, i);
+                });
+            });
+        });
+    });
+    let s = result.stats;
+    assert_eq!(s.threads, 3);
+    assert_eq!(s.groups, 3, "three barrier intervals");
+    assert_eq!(s.barrier_intervals, 9);
+    assert_eq!(s.events, 600);
+    assert!(s.nodes <= s.events);
+    assert!(s.bytes_read > 0);
+    assert!(s.wall_secs > 0.0);
+    assert!(s.max_task_secs <= s.wall_secs);
+}

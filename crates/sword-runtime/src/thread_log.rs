@@ -1,0 +1,203 @@
+//! Per-thread collection state: the bounded event buffer and the
+//! barrier-interval bookkeeping behind each thread's meta-data file.
+
+use sword_ompsim::ThreadContext;
+use sword_trace::{Event, EventEncoder, MetaRecord};
+
+/// The paper's tuned buffer capacity: 25,000 events (§III-A, chosen to
+/// keep the buffer within L3).
+pub const PAPER_BUFFER_EVENTS: usize = 25_000;
+
+/// Upper bound on one encoded event (tag + size varint + two full
+/// varints), used to size the byte buffer once up front so the hot path
+/// never reallocates.
+const MAX_EVENT_BYTES: usize = 24;
+
+/// A barrier interval currently being collected.
+#[derive(Clone, Debug)]
+pub(crate) struct OpenInterval {
+    pub pid: u64,
+    pub ppid: Option<u64>,
+    pub bid: u32,
+    pub offset: u64,
+    pub span: u64,
+    pub level: u32,
+    pub data_begin: u64,
+}
+
+/// One thread's collection state. Owned by the collector, driven by
+/// callbacks arriving on that thread.
+pub(crate) struct ThreadLog {
+    buffer: Vec<u8>,
+    buffer_events: usize,
+    capacity_events: usize,
+    encoder: EventEncoder,
+    /// Uncompressed log bytes already handed to the writer.
+    flushed: u64,
+    open: Option<OpenInterval>,
+    pub meta: Vec<MetaRecord>,
+    pub events_total: u64,
+    pub flushes: u64,
+}
+
+impl ThreadLog {
+    pub fn new(capacity_events: usize) -> Self {
+        assert!(capacity_events > 0);
+        ThreadLog {
+            buffer: Vec::with_capacity(capacity_events * MAX_EVENT_BYTES),
+            buffer_events: 0,
+            capacity_events,
+            encoder: EventEncoder::new(),
+            flushed: 0,
+            open: None,
+            meta: Vec::new(),
+            events_total: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Uncompressed log offset of the next byte to be written.
+    pub fn offset(&self) -> u64 {
+        self.flushed + self.buffer.len() as u64
+    }
+
+    /// Capacity of the byte buffer (bounded-memory accounting).
+    pub fn buffer_capacity_bytes(&self) -> usize {
+        self.buffer.capacity()
+    }
+
+    /// Opens a new barrier interval described by the thread context.
+    /// Resets the encoder so the interval's byte range decodes standalone.
+    pub fn open_interval(&mut self, ctx: &ThreadContext<'_>) {
+        debug_assert!(self.open.is_none(), "interval already open");
+        let pair = ctx.label.last().expect("worker label has a pair");
+        self.open = Some(OpenInterval {
+            pid: ctx.region,
+            ppid: ctx.parent_region,
+            bid: ctx.bid,
+            offset: pair.offset,
+            span: pair.span,
+            level: ctx.level,
+            data_begin: self.offset(),
+        });
+        self.encoder.reset();
+    }
+
+    /// Closes the open interval, emitting its Table-I row.
+    pub fn close_interval(&mut self) {
+        let open = self.open.take().expect("no interval open");
+        let end = self.offset();
+        self.meta.push(MetaRecord {
+            pid: open.pid,
+            ppid: open.ppid,
+            bid: open.bid,
+            offset: open.offset,
+            span: open.span,
+            level: open.level,
+            data_begin: open.data_begin,
+            size: end - open.data_begin,
+        });
+    }
+
+    /// `true` when an interval is being collected.
+    pub fn interval_open(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Appends one event; returns the filled buffer when it reached
+    /// capacity (the caller ships it to the writer).
+    pub fn push(&mut self, event: &Event) -> Option<Vec<u8>> {
+        self.encoder.encode(event, &mut self.buffer);
+        self.buffer_events += 1;
+        self.events_total += 1;
+        if self.buffer_events >= self.capacity_events {
+            Some(self.take_buffer())
+        } else {
+            None
+        }
+    }
+
+    /// Takes the current buffer contents for flushing (empty → `None`).
+    pub fn drain(&mut self) -> Option<Vec<u8>> {
+        if self.buffer.is_empty() {
+            None
+        } else {
+            Some(self.take_buffer())
+        }
+    }
+
+    fn take_buffer(&mut self) -> Vec<u8> {
+        self.flushed += self.buffer.len() as u64;
+        self.buffer_events = 0;
+        self.flushes += 1;
+        // Replace with an equally-sized buffer so capacity (and thus the
+        // memory bound) is stable across flushes.
+        std::mem::replace(
+            &mut self.buffer,
+            Vec::with_capacity(self.capacity_events * MAX_EVENT_BYTES),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sword_trace::{AccessKind, MemAccess};
+
+    fn access(addr: u64) -> Event {
+        Event::Access(MemAccess::new(addr, 8, AccessKind::Write, 1))
+    }
+
+    #[test]
+    fn buffer_flushes_at_capacity() {
+        let mut log = ThreadLog::new(10);
+        for i in 0..9 {
+            assert!(log.push(&access(i * 8)).is_none());
+        }
+        let flushed = log.push(&access(72)).expect("10th event flushes");
+        assert!(!flushed.is_empty());
+        assert_eq!(log.flushes, 1);
+        assert_eq!(log.events_total, 10);
+        assert_eq!(log.offset(), flushed.len() as u64);
+        // Buffer restarts empty but with the same capacity bound.
+        assert!(log.drain().is_none());
+    }
+
+    #[test]
+    fn drain_returns_partial_buffer() {
+        let mut log = ThreadLog::new(100);
+        log.push(&access(0));
+        log.push(&access(8));
+        let bytes = log.drain().unwrap();
+        assert!(!bytes.is_empty());
+        assert!(log.drain().is_none());
+        assert_eq!(log.offset(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn offsets_continue_across_flushes() {
+        let mut log = ThreadLog::new(4);
+        let mut total = 0u64;
+        for i in 0..10 {
+            if let Some(b) = log.push(&access(i)) {
+                total += b.len() as u64;
+                assert_eq!(log.offset(), total);
+            }
+        }
+        if let Some(b) = log.drain() {
+            total += b.len() as u64;
+        }
+        assert_eq!(log.offset(), total);
+    }
+
+    #[test]
+    fn capacity_is_stable_after_flush() {
+        let mut log = ThreadLog::new(5);
+        let before = log.buffer_capacity_bytes();
+        for i in 0..25 {
+            log.push(&access(i));
+        }
+        assert_eq!(log.buffer_capacity_bytes(), before, "bounded memory");
+        assert_eq!(log.flushes, 5);
+    }
+}

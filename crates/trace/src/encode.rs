@@ -1,0 +1,376 @@
+//! Compact binary encoding of event streams.
+//!
+//! Layout per event (all varints are LEB128):
+//!
+//! ```text
+//! access      := tag(1B) zigzag_varint(addr Δ) varint(pc Δ as zigzag)
+//! mutex_op    := tag(1B) varint(mutex_id)
+//! tag         := size_log2 << 4 | kind_code << 1 | 0   (access)
+//!              | 0x01 | op << 1                        (mutex: op 4=acq, 5=rel)
+//! ```
+//!
+//! Addresses and PCs are delta-encoded against the previous access in the
+//! same *barrier interval*: instrumented loops touch consecutive addresses
+//! from a handful of PCs, so deltas are tiny and highly repetitive, which
+//! is what makes the downstream LZ pass effective. The encoder is reset at
+//! every barrier-interval boundary so each interval's byte range decodes
+//! independently — a requirement of the offline streaming reader, which
+//! extracts `[data_begin, data_begin + size)` slices per Table I records.
+
+use crate::event::{AccessKind, Event, MemAccess};
+
+/// Encoding/decoding error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Stream ended in the middle of an event.
+    Truncated,
+    /// Unknown tag or invalid field.
+    Invalid,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "event stream truncated"),
+            CodecError::Invalid => write!(f, "invalid event encoding"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// Tag layout: bit 0 distinguishes access (0) from mutex op (1).
+const TAG_MUTEX_BIT: u8 = 0x01;
+const MUTEX_ACQUIRE: u8 = 0;
+const MUTEX_RELEASE: u8 = 1;
+
+/// Writes LEB128.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads LEB128 from `buf[*pos..]`.
+#[inline]
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::Invalid);
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Streaming event encoder with per-interval delta state.
+#[derive(Clone, Debug, Default)]
+pub struct EventEncoder {
+    prev_addr: u64,
+    prev_pc: u64,
+}
+
+impl EventEncoder {
+    /// Fresh encoder (state zeroed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets delta state. Must be called at every barrier-interval
+    /// boundary so intervals decode independently.
+    pub fn reset(&mut self) {
+        self.prev_addr = 0;
+        self.prev_pc = 0;
+    }
+
+    /// Appends the encoding of `event` to `out`, returning the encoded
+    /// length in bytes.
+    pub fn encode(&mut self, event: &Event, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        match event {
+            Event::Access(a) => {
+                let size_log2 = match a.size {
+                    1 => 0u8,
+                    2 => 1,
+                    4 => 2,
+                    8 => 3,
+                    16 => 4,
+                    _ => 5, // explicit size follows
+                };
+                let tag = (size_log2 << 4) | (a.kind.code() << 1);
+                out.push(tag);
+                if size_log2 == 5 {
+                    write_varint(out, a.size as u64);
+                }
+                write_varint(out, zigzag(a.addr.wrapping_sub(self.prev_addr) as i64));
+                write_varint(out, zigzag(a.pc as i64 - self.prev_pc as i64));
+                self.prev_addr = a.addr;
+                self.prev_pc = a.pc as u64;
+            }
+            Event::MutexAcquire(id) => {
+                out.push(TAG_MUTEX_BIT | (MUTEX_ACQUIRE << 1));
+                write_varint(out, *id as u64);
+            }
+            Event::MutexRelease(id) => {
+                out.push(TAG_MUTEX_BIT | (MUTEX_RELEASE << 1));
+                write_varint(out, *id as u64);
+            }
+        }
+        out.len() - start
+    }
+}
+
+/// Streaming event decoder mirroring [`EventEncoder`].
+#[derive(Clone, Debug, Default)]
+pub struct EventDecoder {
+    prev_addr: u64,
+    prev_pc: u64,
+}
+
+impl EventDecoder {
+    /// Fresh decoder (state zeroed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets delta state; call at barrier-interval boundaries.
+    pub fn reset(&mut self) {
+        self.prev_addr = 0;
+        self.prev_pc = 0;
+    }
+
+    /// Decodes one event from `buf[*pos..]`, advancing `pos`.
+    pub fn decode(&mut self, buf: &[u8], pos: &mut usize) -> Result<Event, CodecError> {
+        let tag = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if tag & TAG_MUTEX_BIT != 0 {
+            let op = (tag >> 1) & 0x7;
+            let id = read_varint(buf, pos)? as u32;
+            return match op {
+                MUTEX_ACQUIRE => Ok(Event::MutexAcquire(id)),
+                MUTEX_RELEASE => Ok(Event::MutexRelease(id)),
+                _ => Err(CodecError::Invalid),
+            };
+        }
+        let kind = AccessKind::from_code((tag >> 1) & 0x3).ok_or(CodecError::Invalid)?;
+        let size_log2 = tag >> 4;
+        let size = match size_log2 {
+            0 => 1u64,
+            1 => 2,
+            2 => 4,
+            3 => 8,
+            4 => 16,
+            5 => read_varint(buf, pos)?,
+            _ => return Err(CodecError::Invalid),
+        };
+        if size == 0 || size > u8::MAX as u64 {
+            return Err(CodecError::Invalid);
+        }
+        let addr_delta = unzigzag(read_varint(buf, pos)?);
+        let pc_delta = unzigzag(read_varint(buf, pos)?);
+        let addr = self.prev_addr.wrapping_add(addr_delta as u64);
+        let pc_i = self.prev_pc as i64 + pc_delta;
+        if pc_i < 0 || pc_i > u32::MAX as i64 {
+            return Err(CodecError::Invalid);
+        }
+        self.prev_addr = addr;
+        self.prev_pc = pc_i as u64;
+        Ok(Event::Access(MemAccess { addr, size: size as u8, kind, pc: pc_i as u32 }))
+    }
+
+    /// Decodes every event in `buf`.
+    pub fn decode_all(&mut self, buf: &[u8]) -> Result<Vec<Event>, CodecError> {
+        let mut pos = 0;
+        let mut out = Vec::new();
+        while pos < buf.len() {
+            out.push(self.decode(buf, &mut pos)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessKind::*, MemAccess};
+
+    fn roundtrip(events: &[Event]) -> Vec<Event> {
+        let mut enc = EventEncoder::new();
+        let mut buf = Vec::new();
+        for e in events {
+            enc.encode(e, &mut buf);
+        }
+        EventDecoder::new().decode_all(&buf).expect("decode")
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert_eq!(roundtrip(&[]), vec![]);
+    }
+
+    #[test]
+    fn single_events() {
+        let events = vec![
+            Event::Access(MemAccess::new(0x1000, 8, Write, 3)),
+            Event::Access(MemAccess::new(0x0, 1, Read, 0)),
+            Event::Access(MemAccess::new(u64::MAX - 7, 4, AtomicWrite, u32::MAX)),
+            Event::MutexAcquire(0),
+            Event::MutexRelease(u32::MAX),
+        ];
+        assert_eq!(roundtrip(&events), events);
+    }
+
+    #[test]
+    fn sequential_loop_is_tiny() {
+        // 1000 consecutive 8-byte writes from one PC: ~3 bytes per event
+        // before compression.
+        let events: Vec<Event> = (0..1000u64)
+            .map(|i| Event::Access(MemAccess::new(0x10000 + i * 8, 8, Write, 42)))
+            .collect();
+        let mut enc = EventEncoder::new();
+        let mut buf = Vec::new();
+        for e in &events {
+            enc.encode(e, &mut buf);
+        }
+        assert!(buf.len() <= events.len() * 3 + 8, "encoded {} bytes", buf.len());
+        assert_eq!(EventDecoder::new().decode_all(&buf).unwrap(), events);
+    }
+
+    #[test]
+    fn odd_sizes_roundtrip() {
+        let events = vec![
+            Event::Access(MemAccess::new(100, 3, Read, 1)),
+            Event::Access(MemAccess::new(200, 16, Write, 2)),
+            Event::Access(MemAccess::new(300, 255, Read, 3)),
+        ];
+        assert_eq!(roundtrip(&events), events);
+    }
+
+    #[test]
+    fn reset_isolates_intervals() {
+        let mut enc = EventEncoder::new();
+        let mut buf1 = Vec::new();
+        enc.encode(&Event::Access(MemAccess::new(0x5000, 8, Write, 9)), &mut buf1);
+        enc.reset();
+        let mut buf2 = Vec::new();
+        enc.encode(&Event::Access(MemAccess::new(0x5008, 8, Write, 9)), &mut buf2);
+        // Second interval decodes standalone with a fresh decoder.
+        let got = EventDecoder::new().decode_all(&buf2).unwrap();
+        assert_eq!(got, vec![Event::Access(MemAccess::new(0x5008, 8, Write, 9))]);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut enc = EventEncoder::new();
+        let mut buf = Vec::new();
+        enc.encode(&Event::Access(MemAccess::new(0xABCDEF, 8, Read, 77)), &mut buf);
+        for cut in 0..buf.len() {
+            let mut dec = EventDecoder::new();
+            assert!(dec.decode_all(&buf[..cut]).is_err() || cut == 0);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn garbage_does_not_panic() {
+        let mut dec = EventDecoder::new();
+        for seed in 0..64u8 {
+            let buf: Vec<u8> =
+                (0..50u8).map(|i| seed.wrapping_mul(31).wrapping_add(i.wrapping_mul(17))).collect();
+            let _ = dec.decode_all(&buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::event::MemAccess;
+    use proptest::prelude::*;
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        prop_oneof![
+            (any::<u64>(), 1u8..=16, 0u8..4, any::<u32>()).prop_map(|(addr, size, k, pc)| {
+                Event::Access(MemAccess::new(addr, size, AccessKind::from_code(k).unwrap(), pc))
+            }),
+            any::<u32>().prop_map(Event::MutexAcquire),
+            any::<u32>().prop_map(Event::MutexRelease),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn stream_roundtrip(events in prop::collection::vec(arb_event(), 0..300)) {
+            let mut enc = EventEncoder::new();
+            let mut buf = Vec::new();
+            for e in &events {
+                enc.encode(e, &mut buf);
+            }
+            let got = EventDecoder::new().decode_all(&buf).unwrap();
+            prop_assert_eq!(got, events);
+        }
+
+        #[test]
+        fn interval_split_roundtrip(
+            a in prop::collection::vec(arb_event(), 0..100),
+            b in prop::collection::vec(arb_event(), 0..100),
+        ) {
+            // Encode two intervals with a reset between; decode each slice
+            // independently.
+            let mut enc = EventEncoder::new();
+            let mut buf = Vec::new();
+            for e in &a { enc.encode(e, &mut buf); }
+            let split = buf.len();
+            enc.reset();
+            for e in &b { enc.encode(e, &mut buf); }
+            prop_assert_eq!(EventDecoder::new().decode_all(&buf[..split]).unwrap(), a);
+            prop_assert_eq!(EventDecoder::new().decode_all(&buf[split..]).unwrap(), b);
+        }
+
+        #[test]
+        fn decode_garbage_no_panic(buf in prop::collection::vec(any::<u8>(), 0..500)) {
+            let _ = EventDecoder::new().decode_all(&buf);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The event model shared by the online collector and the offline analyzer.
+
+/// Dense global id of a runtime worker thread. Every worker spawned over
+/// the lifetime of a program gets a unique id; each id owns one log file
+/// and one meta-data file, exactly as in the paper.
+pub type ThreadId = u32;
+
+/// Unique id of a parallel region instance (the paper's `pid`).
+pub type RegionId = u64;
+
+/// Id of a mutex / critical-section name / lock variable.
+pub type MutexId = u32;
+
+/// Interned program-counter (source location) id; see [`crate::pc::PcTable`].
+pub type PcId = u32;
+
+/// Kind of an instrumented memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Plain load.
+    Read,
+    /// Plain store.
+    Write,
+    /// Atomic load (cannot race with other atomics).
+    AtomicRead,
+    /// Atomic store or read-modify-write.
+    AtomicWrite,
+}
+
+impl AccessKind {
+    /// `true` for `Write` and `AtomicWrite`.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::AtomicWrite)
+    }
+
+    /// `true` for the atomic kinds.
+    #[inline]
+    pub fn is_atomic(self) -> bool {
+        matches!(self, AccessKind::AtomicRead | AccessKind::AtomicWrite)
+    }
+
+    /// Compact 2-bit code used by the wire encoding.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+            AccessKind::AtomicRead => 2,
+            AccessKind::AtomicWrite => 3,
+        }
+    }
+
+    /// Inverse of [`AccessKind::code`].
+    #[inline]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            2 => AccessKind::AtomicRead,
+            3 => AccessKind::AtomicWrite,
+            _ => return None,
+        })
+    }
+}
+
+/// One instrumented memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// First byte address.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4, or 8 for scalar accesses).
+    pub size: u8,
+    /// Load/store/atomic classification.
+    pub kind: AccessKind,
+    /// Interned source location.
+    pub pc: PcId,
+}
+
+impl MemAccess {
+    /// Convenience constructor.
+    pub fn new(addr: u64, size: u8, kind: AccessKind, pc: PcId) -> Self {
+        debug_assert!(size > 0);
+        MemAccess { addr, size, kind, pc }
+    }
+}
+
+/// One event in a thread's log stream.
+///
+/// Region boundaries and barriers are *not* log events: they delimit
+/// barrier intervals, which live in the meta-data file (Table I). Mutex
+/// operations are in-stream because the offline analyzer replays them to
+/// attach the held-lock set to each access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// An instrumented load/store.
+    Access(MemAccess),
+    /// The thread acquired a mutex (entered `critical`, `omp_set_lock`, …).
+    MutexAcquire(MutexId),
+    /// The thread released a mutex.
+    MutexRelease(MutexId),
+}
+
+impl Event {
+    /// The access payload, if this is an access event.
+    pub fn as_access(&self) -> Option<&MemAccess> {
+        match self {
+            Event::Access(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for k in [
+            AccessKind::Read,
+            AccessKind::Write,
+            AccessKind::AtomicRead,
+            AccessKind::AtomicWrite,
+        ] {
+            assert_eq!(AccessKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(AccessKind::from_code(4), None);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Write.is_write());
+        assert!(AccessKind::AtomicWrite.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::AtomicRead.is_atomic());
+        assert!(!AccessKind::Write.is_atomic());
+    }
+
+    #[test]
+    fn as_access() {
+        let a = MemAccess::new(8, 4, AccessKind::Read, 1);
+        assert_eq!(Event::Access(a).as_access(), Some(&a));
+        assert_eq!(Event::MutexAcquire(0).as_access(), None);
+    }
+}

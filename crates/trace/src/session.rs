@@ -1,0 +1,202 @@
+//! Session directory layout.
+//!
+//! A *session* is one instrumented program execution. Its directory holds:
+//!
+//! ```text
+//! <dir>/thread_<tid>.log    per-thread compressed event log
+//! <dir>/thread_<tid>.meta   per-thread barrier-interval table (Table I)
+//! <dir>/regions.meta        parallel-region table (pid → ppid, fork label)
+//! <dir>/pcs.meta            program-counter table (id → file:line)
+//! <dir>/session.meta        free-form key=value run info
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use crate::event::ThreadId;
+
+/// Handle to a session directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionDir {
+    root: PathBuf,
+}
+
+impl SessionDir {
+    /// Wraps an existing or to-be-created directory path.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        SessionDir { root: root.into() }
+    }
+
+    /// Creates the directory (and parents). Idempotent.
+    pub fn create(&self) -> io::Result<()> {
+        fs::create_dir_all(&self.root)
+    }
+
+    /// Removes every file of a previous session in this directory, so
+    /// stale logs never leak into a new run's analysis.
+    pub fn clean(&self) -> io::Result<()> {
+        if !self.root.exists() {
+            return Ok(());
+        }
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".log") || name.ends_with(".meta") {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of thread `tid`'s log file.
+    pub fn thread_log(&self, tid: ThreadId) -> PathBuf {
+        self.root.join(format!("thread_{tid}.log"))
+    }
+
+    /// Path of thread `tid`'s meta-data file.
+    pub fn thread_meta(&self, tid: ThreadId) -> PathBuf {
+        self.root.join(format!("thread_{tid}.meta"))
+    }
+
+    /// Path of the region table.
+    pub fn regions_path(&self) -> PathBuf {
+        self.root.join("regions.meta")
+    }
+
+    /// Path of the program-counter table.
+    pub fn pcs_path(&self) -> PathBuf {
+        self.root.join("pcs.meta")
+    }
+
+    /// Path of the run-info file.
+    pub fn info_path(&self) -> PathBuf {
+        self.root.join("session.meta")
+    }
+
+    /// Thread ids present in the session, ascending, discovered from the
+    /// meta files on disk.
+    pub fn thread_ids(&self) -> io::Result<Vec<ThreadId>> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix("thread_") {
+                if let Some(num) = rest.strip_suffix(".meta") {
+                    if let Ok(tid) = num.parse::<ThreadId>() {
+                        ids.push(tid);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Total on-disk bytes of all log files (the paper reports log volume
+    /// per benchmark).
+    pub fn log_bytes(&self) -> io::Result<u64> {
+        let mut total = 0;
+        for tid in self.thread_ids()? {
+            let p = self.thread_log(tid);
+            if p.exists() {
+                total += fs::metadata(p)?.len();
+            }
+        }
+        Ok(total)
+    }
+
+    /// Writes the run-info key=value map.
+    pub fn write_info(&self, info: &BTreeMap<String, String>) -> io::Result<()> {
+        let mut f = fs::File::create(self.info_path())?;
+        for (k, v) in info {
+            writeln!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads the run-info key=value map (empty if absent).
+    pub fn read_info(&self) -> io::Result<BTreeMap<String, String>> {
+        let mut map = BTreeMap::new();
+        let path = self.info_path();
+        if !path.exists() {
+            return Ok(map);
+        }
+        for line in BufReader::new(fs::File::open(path)?).lines() {
+            let line = line?;
+            if let Some((k, v)) = line.split_once('=') {
+                map.insert(k.to_string(), v.to_string());
+            }
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("sword-trace-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn layout_paths() {
+        let s = SessionDir::new("/tmp/s");
+        assert_eq!(s.thread_log(3), Path::new("/tmp/s/thread_3.log"));
+        assert_eq!(s.thread_meta(0), Path::new("/tmp/s/thread_0.meta"));
+        assert_eq!(s.regions_path(), Path::new("/tmp/s/regions.meta"));
+        assert_eq!(s.pcs_path(), Path::new("/tmp/s/pcs.meta"));
+    }
+
+    #[test]
+    fn discover_threads_and_clean() {
+        let dir = tmpdir("discover");
+        let s = SessionDir::new(&dir);
+        s.create().unwrap();
+        for tid in [0u32, 2, 7] {
+            fs::write(s.thread_meta(tid), "").unwrap();
+            fs::write(s.thread_log(tid), "x").unwrap();
+        }
+        fs::write(dir.join("unrelated.txt"), "keep").unwrap();
+        assert_eq!(s.thread_ids().unwrap(), vec![0, 2, 7]);
+        assert_eq!(s.log_bytes().unwrap(), 3);
+        s.clean().unwrap();
+        assert!(s.thread_ids().unwrap().is_empty());
+        assert!(dir.join("unrelated.txt").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn info_roundtrip() {
+        let dir = tmpdir("info");
+        let s = SessionDir::new(&dir);
+        s.create().unwrap();
+        let mut info = BTreeMap::new();
+        info.insert("threads".to_string(), "8".to_string());
+        info.insert("buffer_events".to_string(), "25000".to_string());
+        s.write_info(&info).unwrap();
+        assert_eq!(s.read_info().unwrap(), info);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_info_is_empty() {
+        let dir = tmpdir("noinfo");
+        let s = SessionDir::new(&dir);
+        s.create().unwrap();
+        assert!(s.read_info().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

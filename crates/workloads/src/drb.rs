@@ -1,0 +1,891 @@
+//! DataRaceBench-like microbenchmarks (§IV-A of the paper).
+//!
+//! Each kernel keeps the name and race semantics of its DataRaceBench
+//! v1.0 counterpart. `-yes` kernels contain the documented race (plus,
+//! where the paper reports them, the additional *real but undocumented*
+//! races SWORD found — `plusplus-orig-yes`, `privatemissing-orig-yes`);
+//! `-no` kernels are race-free controls used to confirm the absence of
+//! false alarms.
+//!
+//! Kernels whose detection outcome is schedule-dependent pin their
+//! interleaving with a [`Sequencer`] so the paper's comparisons are
+//! reproducible:
+//!
+//! * `nowait-orig-yes` / `privatemissing-orig-yes` reproduce the §II
+//!   shadow-cell **eviction miss**: byte-disjoint reads in the same
+//!   8-byte word flood the four shadow cells between the racing
+//!   accesses, so ARCHER finds nothing while SWORD (which keeps every
+//!   access) reports the races.
+//! * `indirectaccess{1..4}-orig-yes` races do **not manifest** on the
+//!   executed input (data-dependent subscripts) — both dynamic tools
+//!   miss them, exactly as §IV-A reports.
+
+use std::sync::Arc;
+
+use sword_ompsim::{Ctx, OmpSim, Sequencer};
+
+use crate::{RunConfig, Suite, Workload, WorkloadSpec};
+
+/// A workload defined by a spec plus a plain run function — the building
+/// block of all three suites.
+pub struct Kernel {
+    /// Ground truth and metadata.
+    pub spec: WorkloadSpec,
+    /// The kernel body.
+    pub run: fn(&OmpSim, &RunConfig),
+}
+
+impl Workload for Kernel {
+    fn spec(&self) -> WorkloadSpec {
+        self.spec.clone()
+    }
+
+    fn execute(&self, sim: &OmpSim, cfg: &RunConfig) {
+        (self.run)(sim, cfg);
+    }
+}
+
+fn spec(
+    name: &'static str,
+    documented: usize,
+    sword: usize,
+    archer: Option<usize>,
+    notes: &'static str,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        suite: Suite::DataRaceBench,
+        documented_races: documented,
+        sword_races: sword,
+        archer_races: archer,
+        notes,
+    }
+}
+
+/// Round-robin pinned turns: thread `t` runs `body(round)` at ticket
+/// `round · span + t`.
+pub(crate) fn turns(seq: &Sequencer, w: &Ctx<'_>, rounds: u64, mut body: impl FnMut(u64)) {
+    let span = w.team_size();
+    let t = w.team_index();
+    for r in 0..rounds {
+        seq.turn(r * span + t, || body(r));
+    }
+}
+
+// ---- racy kernels ----------------------------------------------------------
+
+fn antidep1_yes(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(1000);
+    let a = sim.alloc::<i64>(n, 1);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            // a[i] = a[i+1] + 1: anti-dependence across chunk boundaries.
+            w.for_static(0..n - 1, |i| {
+                let v = w.read(&a, i + 1);
+                w.write(&a, i, v + 1);
+            });
+        });
+    });
+}
+
+fn antidep2_yes(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(64);
+    let a = sim.alloc::<i64>(n * n, 1);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            // Row-parallel 2D sweep with a cross-row anti-dependence.
+            w.for_static(0..n - 1, |i| {
+                for j in 0..n {
+                    let v = w.read(&a, (i + 1) * n + j);
+                    w.write(&a, i * n + j, v + 1);
+                }
+            });
+        });
+    });
+}
+
+fn indirectaccess_yes(variant: u64) -> fn(&OmpSim, &RunConfig) {
+    // The four DRB variants differ in their subscript tables; on the
+    // executed input all remain injective, so the documented race never
+    // manifests. The variants use distinct phase shifts.
+    match variant {
+        1 => |sim, cfg| indirect_body(sim, cfg, 1),
+        2 => |sim, cfg| indirect_body(sim, cfg, 3),
+        3 => |sim, cfg| indirect_body(sim, cfg, 5),
+        _ => |sim, cfg| indirect_body(sim, cfg, 7),
+    }
+}
+
+fn indirect_body(sim: &OmpSim, cfg: &RunConfig, phase: u64) {
+    let n = cfg.size_or(180);
+    let a = sim.alloc::<f64>(2 * n + phase, 0.0);
+    // Injective subscripts on this input: xa[i] = 2·i + phase.
+    let xa: Vec<u64> = (0..n).map(|i| 2 * i + phase).collect();
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            w.for_static(0..n, |i| {
+                let t = xa[i as usize];
+                let v = w.read(&a, t);
+                w.write(&a, t, v + i as f64);
+            });
+        });
+    });
+}
+
+fn lostupdate1_yes(sim: &OmpSim, cfg: &RunConfig) {
+    let sum = sim.alloc::<u64>(1, 0);
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(cfg.threads, |w| {
+            turns(seq, w, 4, |_| {
+                let v = w.read(&sum, 0);
+                w.write(&sum, 0, v + 1);
+            });
+        });
+    });
+}
+
+fn nowait_yes(sim: &OmpSim, cfg: &RunConfig) {
+    // `#pragma omp for nowait` computes a result; another thread consumes
+    // it before the (missing) barrier. The consuming read races with the
+    // producing write. The filler reads of `word[1]` (byte-disjoint,
+    // same shadow word) evict the write's shadow record, so ARCHER
+    // misses the race; SWORD keeps every access and reports it.
+    let threads = cfg.threads.max(6);
+    let word = sim.alloc::<u32>(2, 0);
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(threads, |w| {
+            let t = w.team_index();
+            let last = w.team_size() - 1;
+            if t == 0 {
+                // Producer: nowait loop writes the result cell.
+                seq.turn(0, || {
+                    w.for_static_nowait(0..1, |_| {
+                        w.write(&word, 0, 42);
+                    });
+                });
+            } else if t < last {
+                // Innocent same-word traffic (reads of word[1]).
+                seq.turn(t, || {
+                    let _ = w.read(&word, 1);
+                });
+            } else {
+                // Consumer reads the result before any barrier.
+                seq.turn(last, || {
+                    let _ = w.read(&word, 0);
+                });
+            }
+            w.barrier();
+        });
+    });
+}
+
+fn privatemissing_yes(sim: &OmpSim, cfg: &RunConfig) {
+    // The loop temporary `tmp` should have been privatized; instead every
+    // thread writes and reads the shared cell. Three participants take
+    // pinned turns, with four filler threads flooding the shadow word
+    // between turns, so ARCHER's four cells never retain a cross-thread
+    // record: it reports nothing, while SWORD reports the documented
+    // write-write race plus the (real, undocumented) write-read race.
+    let _ = cfg;
+    let word = sim.alloc::<u32>(2, 0); // word[0] = tmp, word[1] = filler traffic
+    let a = sim.alloc::<u32>(3, 5);
+    let b = sim.alloc::<u32>(3, 0);
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(7, |w| {
+            let t = w.team_index();
+            if t < 3 {
+                // Participant i takes ticket 5·i.
+                seq.turn(5 * t, || {
+                    let v = w.read(&a, t);
+                    w.write(&word, 0, v); // tmp = a[i]   (the missing private)
+                    let tmp = w.read(&word, 0);
+                    w.write(&b, t, tmp * 2); // b[i] = tmp * 2
+                });
+            } else {
+                // Fillers: after each participant, four byte-disjoint
+                // reads recycle all four shadow cells.
+                for round in 0..2u64 {
+                    seq.turn(5 * round + (t - 2), || {
+                        let _ = w.read(&word, 1);
+                    });
+                }
+            }
+        });
+    });
+}
+
+fn plusplus_yes(sim: &OmpSim, cfg: &RunConfig) {
+    // output[count++] = input[i]: the documented race is on `count`; the
+    // "additional unknown race" all tools report (§IV-A) is the second
+    // line pair on the same counter.
+    let n = cfg.size_or(64);
+    let input = sim.alloc::<u64>(n, 3);
+    let output = sim.alloc::<u64>(n, 0);
+    let count = sim.alloc::<u64>(1, 0);
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(cfg.threads, |w| {
+            let span = w.team_size();
+            turns(seq, w, (n / span).min(4), |_| {
+                let idx = w.read(&count, 0);
+                let v = w.read(&input, idx % n);
+                w.write(&output, idx % n, v);
+                w.write(&count, 0, idx + 1);
+            });
+        });
+    });
+}
+
+fn outputdep_yes(sim: &OmpSim, cfg: &RunConfig) {
+    // x is written by every iteration and read back: output and true
+    // dependences, both documented.
+    let n = cfg.size_or(500);
+    let b = sim.alloc::<i64>(n, 0);
+    let c = sim.alloc::<i64>(n, 2);
+    let x = sim.alloc::<i64>(1, 10);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            w.for_static(0..n, |i| {
+                let xv = w.read(&x, 0);
+                w.write(&b, i, xv);
+                let cv = w.read(&c, i);
+                w.write(&x, 0, cv + i as i64);
+            });
+        });
+    });
+}
+
+fn reductionmissing_yes(sim: &OmpSim, cfg: &RunConfig) {
+    // Sum reduction without the reduction clause: per-thread partials are
+    // accumulated into the shared total unprotected.
+    let n = cfg.size_or(512);
+    let a = sim.alloc::<f64>(n, 1.5);
+    let sum = sim.alloc::<f64>(1, 0.0);
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(cfg.threads, |w| {
+            let mut local = 0.0;
+            w.for_static_nowait(0..n, |i| {
+                local += w.read(&a, i);
+            });
+            turns(seq, w, 1, |_| {
+                let v = w.read(&sum, 0);
+                w.write(&sum, 0, v + local);
+            });
+            w.barrier();
+        });
+    });
+}
+
+fn simdtruedep_yes(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(800);
+    let a = sim.alloc::<i64>(n, 0);
+    let b = sim.alloc::<i64>(n, 1);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            // a[i+1] = a[i] + b[i]: true dependence broken by the
+            // parallel (modeled simd) loop.
+            w.for_static(0..n - 1, |i| {
+                let av = w.read(&a, i);
+                let bv = w.read(&b, i);
+                w.write(&a, i + 1, av + bv);
+            });
+        });
+    });
+}
+
+fn sections1_yes(sim: &OmpSim, cfg: &RunConfig) {
+    let _ = cfg;
+    let v = sim.alloc::<i64>(1, 0);
+    sim.run(|ctx| {
+        ctx.parallel(2, |w| {
+            w.sections(2, |s| {
+                if s == 0 {
+                    w.write(&v, 0, 1);
+                } else {
+                    w.write(&v, 0, 2);
+                }
+            });
+        });
+    });
+}
+
+fn firstprivatemissing_yes(sim: &OmpSim, cfg: &RunConfig) {
+    // `init` should have been firstprivate: the master initializes it
+    // inside the region while every other thread reads it.
+    let n = cfg.size_or(128);
+    let init = sim.alloc::<i64>(1, 0);
+    let out = sim.alloc::<i64>(cfg.threads.max(2) as u64, 0);
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(cfg.threads.max(2), |w| {
+            let t = w.team_index();
+            if t == 0 {
+                seq.turn(0, || {
+                    w.write(&init, 0, n as i64);
+                });
+            } else {
+                seq.turn(t, || {
+                    let v = w.read(&init, 0);
+                    w.write(&out, t, v * 2);
+                });
+            }
+        });
+    });
+}
+
+fn lastprivatemissing_yes(sim: &OmpSim, cfg: &RunConfig) {
+    // The loop's "last value" is consumed before the (nowait-elided)
+    // barrier: write by the last chunk's owner races with the readers.
+    let n = cfg.size_or(256);
+    let x = sim.alloc::<i64>(1, 0);
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(cfg.threads.max(2), |w| {
+            let t = w.team_index();
+            let last = w.team_size() - 1;
+            if t == last {
+                // Owner of the loop's final iteration stores the
+                // would-be lastprivate value, first in the pinned order.
+                seq.turn(0, || {
+                    w.write(&x, 0, (n - 1) as i64);
+                });
+            } else {
+                seq.turn(t + 1, || {
+                    let _ = w.read(&x, 0);
+                });
+            }
+            w.barrier();
+        });
+    });
+}
+
+fn minusminus_yes(sim: &OmpSim, cfg: &RunConfig) {
+    // numNodes--: the decrement mirror of plusplus, draining a worklist
+    // counter without protection.
+    let n = cfg.size_or(32);
+    let remaining = sim.alloc::<i64>(1, 0);
+    remaining.set_seq(0, n as i64);
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(cfg.threads, |w| {
+            turns(seq, w, 3, |_| {
+                let v = w.read(&remaining, 0);
+                w.write(&remaining, 0, v - 1);
+            });
+        });
+    });
+}
+
+fn dynamicschedule_yes(sim: &OmpSim, cfg: &RunConfig) {
+    // schedule(dynamic) worksharing followed by an unsynchronized
+    // completion flag: every thread stores the flag after its share of
+    // the dynamically-claimed work — a write-write race independent of
+    // the (nondeterministic) chunk assignment.
+    let n = cfg.size_or(200);
+    let done_flag = sim.alloc::<u64>(1, 0);
+    let a = sim.alloc::<f64>(n, 1.0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads.max(2), |w| {
+            w.for_dynamic(0..n, 8, |i| {
+                let v = w.read(&a, i);
+                w.write(&a, i, v * 1.5);
+            });
+            // After the loop's barrier: all threads write the flag in the
+            // same barrier interval.
+            w.write(&done_flag, 0, 1);
+            w.barrier();
+        });
+    });
+}
+
+fn differentsize_yes(sim: &OmpSim, cfg: &RunConfig) {
+    // Sub-word precision: thread 0 sweeps all eight bytes of a word with
+    // byte stores; thread 1 stores into byte 3 — overlapping byte ranges
+    // inside one shadow word, a race byte-precise engines must catch.
+    let _ = cfg;
+    let bytes = sim.alloc::<u8>(8, 0);
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(2, |w| {
+            if w.team_index() == 0 {
+                seq.turn(0, || {
+                    for i in 0..8 {
+                        w.write(&bytes, i, 0xFF);
+                    }
+                });
+            } else {
+                seq.turn(1, || {
+                    // Byte 6: still resident in the word's four shadow
+                    // cells after thread 0's eight byte-stores cycled
+                    // them (bytes 4..8 survive).
+                    w.write(&bytes, 6, 7);
+                });
+            }
+        });
+    });
+}
+
+// ---- race-free controls ----------------------------------------------------
+
+fn differentsize_no(sim: &OmpSim, cfg: &RunConfig) {
+    // Two threads write byte-disjoint halves of one 8-byte word (a u32
+    // each): adjacent but NOT overlapping — neither tool may report it
+    // (byte precision within a shadow word).
+    let _ = cfg;
+    let halves = sim.alloc::<u32>(2, 0); // shares one 8-byte shadow word
+    sim.run(|ctx| {
+        ctx.parallel(2, |w| {
+            let t = w.team_index();
+            w.write(&halves, t, t as u32 + 1);
+        });
+    });
+}
+
+fn dynamicschedule_no(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(200);
+    let progress = sim.alloc::<u64>(1, 0);
+    let a = sim.alloc::<f64>(n, 1.0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads.max(2), |w| {
+            w.for_dynamic(0..n, 8, |i| {
+                let v = w.read(&a, i);
+                w.write(&a, i, v * 1.5);
+                w.fetch_add(&progress, 0, 1); // atomic progress: fixed
+            });
+        });
+    });
+}
+
+fn firstprivatemissing_no(sim: &OmpSim, cfg: &RunConfig) {
+    // Initialization hoisted before the region (sequential, not
+    // instrumented) — nothing shared is written in-region.
+    let n = cfg.size_or(128);
+    let init = sim.alloc::<i64>(1, 0);
+    init.set_seq(0, n as i64);
+    let out = sim.alloc::<i64>(cfg.threads.max(2) as u64, 0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads.max(2), |w| {
+            let t = w.team_index();
+            let v = w.read(&init, 0);
+            w.write(&out, t, v * 2);
+        });
+    });
+}
+
+fn lastprivatemissing_no(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(256);
+    let x = sim.alloc::<i64>(1, 0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads.max(2), |w| {
+            // The barrier restored: for_static closes with one.
+            w.for_static(n - 1..n, |i| {
+                w.write(&x, 0, i as i64);
+            });
+            let _ = w.read(&x, 0);
+        });
+    });
+}
+
+fn minusminus_no(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(32);
+    let remaining = sim.alloc::<i64>(1, 0);
+    remaining.set_seq(0, n as i64);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            for _ in 0..3 {
+                w.atomic_update(&remaining, 0, |v| v - 1);
+            }
+        });
+    });
+}
+
+
+fn antidep1_no(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(1000);
+    let a = sim.alloc::<i64>(n, 1);
+    let b = sim.alloc::<i64>(n, 7);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            // Reads and writes target different arrays: no dependence.
+            w.for_static(0..n - 1, |i| {
+                let v = w.read(&b, i + 1);
+                w.write(&a, i, v + 1);
+            });
+        });
+    });
+}
+
+fn indirectaccess_no(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(180);
+    let a = sim.alloc::<f64>(n, 0.0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            // Identity subscripts: provably disjoint.
+            w.for_static(0..n, |i| {
+                let v = w.read(&a, i);
+                w.write(&a, i, v + 1.0);
+            });
+        });
+    });
+}
+
+fn lostupdate1_no(sim: &OmpSim, cfg: &RunConfig) {
+    let sum = sim.alloc::<u64>(1, 0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            for _ in 0..4 {
+                w.critical("lostupdate1_sum", || {
+                    let v = w.read(&sum, 0);
+                    w.write(&sum, 0, v + 1);
+                });
+            }
+        });
+    });
+}
+
+fn nowait_no(sim: &OmpSim, cfg: &RunConfig) {
+    let threads = cfg.threads.max(6);
+    let word = sim.alloc::<u32>(2, 0);
+    sim.run(|ctx| {
+        ctx.parallel(threads, |w| {
+            if w.team_index() == 0 {
+                w.for_static_nowait(0..1, |_| {
+                    w.write(&word, 0, 42);
+                });
+            }
+            // The barrier the `-yes` variant is missing.
+            w.barrier();
+            if w.team_index() == w.team_size() - 1 {
+                let _ = w.read(&word, 0);
+            }
+        });
+    });
+}
+
+fn privatemissing_no(sim: &OmpSim, cfg: &RunConfig) {
+    let _ = cfg;
+    // tmp privatized: one slot per thread.
+    let tmp = sim.alloc::<u32>(8, 0);
+    let a = sim.alloc::<u32>(8, 5);
+    let b = sim.alloc::<u32>(8, 0);
+    sim.run(|ctx| {
+        ctx.parallel(7, |w| {
+            let t = w.team_index();
+            let v = w.read(&a, t);
+            w.write(&tmp, t, v);
+            let tv = w.read(&tmp, t);
+            w.write(&b, t, tv * 2);
+        });
+    });
+}
+
+fn plusplus_no(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(64);
+    let input = sim.alloc::<u64>(n, 3);
+    let output = sim.alloc::<u64>(n, 0);
+    let count = sim.alloc::<u64>(1, 0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            w.for_static(0..n, |i| {
+                // Atomic slot claim: every output index is unique.
+                let idx = w.fetch_add(&count, 0, 1);
+                let v = w.read(&input, i);
+                w.write(&output, idx % n, v);
+            });
+        });
+    });
+}
+
+fn reductionmissing_no(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(512);
+    let a = sim.alloc::<f64>(n, 1.5);
+    let sum = sim.alloc::<f64>(1, 0.0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            let mut local = 0.0;
+            w.for_static_nowait(0..n, |i| {
+                local += w.read(&a, i);
+            });
+            w.fetch_add(&sum, 0, local);
+            w.barrier();
+        });
+    });
+}
+
+fn sections1_no(sim: &OmpSim, cfg: &RunConfig) {
+    let _ = cfg;
+    let v = sim.alloc::<i64>(2, 0);
+    sim.run(|ctx| {
+        ctx.parallel(2, |w| {
+            w.sections(2, |s| {
+                w.write(&v, s as u64, s as i64 + 1);
+            });
+        });
+    });
+}
+
+fn matrixmultiply_no(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(24);
+    let a = sim.alloc::<f64>(n * n, 1.0);
+    let b = sim.alloc::<f64>(n * n, 2.0);
+    let c = sim.alloc::<f64>(n * n, 0.0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            // Row-parallel C = A·B: each thread owns whole rows of C.
+            w.for_static(0..n, |i| {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        acc += w.read(&a, i * n + k) * w.read(&b, k * n + j);
+                    }
+                    w.write(&c, i * n + j, acc);
+                }
+            });
+        });
+    });
+}
+
+fn jacobi2d_no(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(32);
+    let grid = sim.alloc::<f64>(n * n, 0.0);
+    let next = sim.alloc::<f64>(n * n, 0.0);
+    for i in 0..n {
+        grid.set_seq(i, 100.0); // hot top edge
+    }
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            for _step in 0..3 {
+                // for_static's implicit barrier separates read and write
+                // phases of consecutive sweeps.
+                w.for_static(1..n - 1, |i| {
+                    for j in 1..n - 1 {
+                        let s = w.read(&grid, (i - 1) * n + j)
+                            + w.read(&grid, (i + 1) * n + j)
+                            + w.read(&grid, i * n + j - 1)
+                            + w.read(&grid, i * n + j + 1);
+                        w.write(&next, i * n + j, s * 0.25);
+                    }
+                });
+                w.for_static(1..n - 1, |i| {
+                    for j in 1..n - 1 {
+                        let v = w.read(&next, i * n + j);
+                        w.write(&grid, i * n + j, v);
+                    }
+                });
+            }
+        });
+    });
+}
+
+fn outputdep_no(sim: &OmpSim, cfg: &RunConfig) {
+    let n = cfg.size_or(500);
+    let b = sim.alloc::<i64>(n, 0);
+    let c = sim.alloc::<i64>(n, 2);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            // The `x` temporary is simply forwarded: no shared scalar.
+            w.for_static(0..n, |i| {
+                let cv = w.read(&c, i);
+                w.write(&b, i, cv + i as i64);
+            });
+        });
+    });
+}
+
+/// The full DRB-like suite, `-yes` kernels first.
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Kernel {
+            spec: spec("antidep1-orig-yes", 1, 1, Some(1),
+                "anti-dependence a[i] = a[i+1] + 1 across chunk boundaries"),
+            run: antidep1_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("antidep2-orig-yes", 1, 1, Some(1),
+                "2D row sweep with cross-row anti-dependence"),
+            run: antidep2_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("indirectaccess1-orig-yes", 1, 0, Some(0),
+                "subscript-array race that the executed input never manifests"),
+            run: indirectaccess_yes(1),
+        }),
+        Box::new(Kernel {
+            spec: spec("indirectaccess2-orig-yes", 1, 0, Some(0),
+                "variant 2 of the data-dependent subscript race"),
+            run: indirectaccess_yes(2),
+        }),
+        Box::new(Kernel {
+            spec: spec("indirectaccess3-orig-yes", 1, 0, Some(0),
+                "variant 3 of the data-dependent subscript race"),
+            run: indirectaccess_yes(3),
+        }),
+        Box::new(Kernel {
+            spec: spec("indirectaccess4-orig-yes", 1, 0, Some(0),
+                "variant 4 of the data-dependent subscript race"),
+            run: indirectaccess_yes(4),
+        }),
+        Box::new(Kernel {
+            spec: spec("lostupdate1-orig-yes", 1, 2, Some(2),
+                "unprotected shared counter increment (lost update)"),
+            run: lostupdate1_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("nowait-orig-yes", 1, 1, Some(0),
+                "result consumed before the missing barrier; ARCHER's record \
+                 of the producing write is evicted by same-word reads (§II)"),
+            run: nowait_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("privatemissing-orig-yes", 1, 2, Some(0),
+                "missing privatization of a loop temporary; SWORD adds the \
+                 undocumented write-read pair; ARCHER loses all records to \
+                 cell eviction"),
+            run: privatemissing_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("plusplus-orig-yes", 1, 2, Some(2),
+                "output[count++]: documented counter race plus the \
+                 additional unknown (real) race all tools report"),
+            run: plusplus_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("outputdep-orig-yes", 2, 2, None,
+                "shared scalar x: output and true dependences"),
+            run: outputdep_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("reductionmissing-orig-yes", 1, 2, Some(2),
+                "sum reduction without a reduction clause"),
+            run: reductionmissing_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("simdtruedep-orig-yes", 1, 1, Some(1),
+                "simd loop with a true dependence a[i+1] = a[i] + b[i]"),
+            run: simdtruedep_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("sections1-orig-yes", 1, 1, Some(1),
+                "two sections write the same variable"),
+            run: sections1_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("firstprivatemissing-orig-yes", 1, 1, Some(1),
+                "shared init variable written in-region by the master, read by all"),
+            run: firstprivatemissing_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("lastprivatemissing-orig-yes", 1, 1, Some(1),
+                "last loop value consumed before the missing barrier"),
+            run: lastprivatemissing_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("minusminus-orig-yes", 1, 2, Some(2),
+                "worklist counter decremented without protection"),
+            run: minusminus_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("dynamicschedule-orig-yes", 1, 1, Some(1),
+                "dynamic worksharing + unsynchronized completion flag"),
+            run: dynamicschedule_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("differentsize-orig-yes", 1, 1, Some(1),
+                "byte store overlapping a byte-sweep of the same word"),
+            run: differentsize_yes,
+        }),
+        Box::new(Kernel {
+            spec: spec("antidep1-orig-no", 0, 0, Some(0),
+                "race-free control for antidep1"),
+            run: antidep1_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("indirectaccess1-orig-no", 0, 0, Some(0),
+                "identity subscripts: provably disjoint"),
+            run: indirectaccess_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("lostupdate1-orig-no", 0, 0, Some(0),
+                "counter protected by a critical section"),
+            run: lostupdate1_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("nowait-orig-no", 0, 0, Some(0),
+                "the barrier restored before the consuming read"),
+            run: nowait_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("privatemissing-orig-no", 0, 0, Some(0),
+                "temporary privatized (per-thread slot)"),
+            run: privatemissing_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("plusplus-orig-no", 0, 0, Some(0),
+                "atomic slot claim for the output index"),
+            run: plusplus_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("reductionmissing-orig-no", 0, 0, Some(0),
+                "reduction via atomic accumulate"),
+            run: reductionmissing_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("sections1-orig-no", 0, 0, Some(0),
+                "sections write disjoint variables"),
+            run: sections1_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("matrixmultiply-orig-no", 0, 0, Some(0),
+                "row-parallel matrix multiply"),
+            run: matrixmultiply_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("jacobi2d-orig-no", 0, 0, Some(0),
+                "barrier-separated Jacobi sweeps"),
+            run: jacobi2d_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("outputdep-orig-no", 0, 0, Some(0),
+                "race-free control for outputdep"),
+            run: outputdep_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("firstprivatemissing-orig-no", 0, 0, Some(0),
+                "initialization hoisted out of the region"),
+            run: firstprivatemissing_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("lastprivatemissing-orig-no", 0, 0, Some(0),
+                "barrier restored before the consuming read"),
+            run: lastprivatemissing_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("minusminus-orig-no", 0, 0, Some(0),
+                "worklist counter drained atomically"),
+            run: minusminus_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("dynamicschedule-orig-no", 0, 0, Some(0),
+                "dynamic worksharing with atomic progress"),
+            run: dynamicschedule_no,
+        }),
+        Box::new(Kernel {
+            spec: spec("differentsize-orig-no", 0, 0, Some(0),
+                "byte-disjoint halves of one shadow word: adjacency is not overlap"),
+            run: differentsize_no,
+        }),
+    ]
+}

@@ -1,0 +1,172 @@
+//! HPCCG analog: conjugate gradient on a 3D 7-point Laplacian.
+//!
+//! The Mantevo HPCCG mini-app solves a sparse linear system with CG. The
+//! one race both tools report (Table IV) lives here exactly as the paper
+//! describes it: *"a parallel region where all threads are writing the
+//! same value into a shared variable"* — harmless-looking, but undefined
+//! behaviour under the C/C++ memory model.
+//!
+//! Reductions follow the deterministic partial-sums pattern (each thread
+//! deposits its partial, `single` folds them in index order), so the
+//! numerics are bit-reproducible across runs and thread schedules.
+
+use sword_ompsim::{Ctx, OmpSim, TrackedBuf};
+
+use crate::{RunConfig, Suite, Workload, WorkloadSpec};
+
+/// The HPCCG-analog workload.
+pub struct Hpccg;
+
+impl Workload for Hpccg {
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "HPCCG",
+            suite: Suite::Hpc,
+            documented_races: 1,
+            sword_races: 1,
+            archer_races: Some(1),
+            notes: "CG solver; benign-looking same-value write of the \
+                    residual norm by every thread",
+        }
+    }
+
+    fn execute(&self, sim: &OmpSim, cfg: &RunConfig) {
+        run_cg(sim, cfg);
+    }
+}
+
+/// 7-point Laplacian stencil apply: `out = A·v` on the nx³ grid.
+/// Row-parallel, hence race-free; closes with the loop's implicit
+/// barrier.
+fn apply_stencil(w: &Ctx<'_>, nx: u64, v: &TrackedBuf<f64>, out: &TrackedBuf<f64>) {
+    let n = nx * nx * nx;
+    w.for_static(0..n, |p| {
+        let (i, rem) = (p / (nx * nx), p % (nx * nx));
+        let (j, k) = (rem / nx, rem % nx);
+        let mut acc = 26.0 * w.read(v, p);
+        if i > 0 {
+            acc -= w.read(v, p - nx * nx);
+        }
+        if i < nx - 1 {
+            acc -= w.read(v, p + nx * nx);
+        }
+        if j > 0 {
+            acc -= w.read(v, p - nx);
+        }
+        if j < nx - 1 {
+            acc -= w.read(v, p + nx);
+        }
+        if k > 0 {
+            acc -= w.read(v, p - 1);
+        }
+        if k < nx - 1 {
+            acc -= w.read(v, p + 1);
+        }
+        w.write(out, p, acc);
+    });
+}
+
+/// Runs the CG solve; returns the final residual norm (validated in
+/// tests).
+pub fn run_cg(sim: &OmpSim, cfg: &RunConfig) -> f64 {
+    let nx = cfg.size_or(12);
+    let n = nx * nx * nx;
+    let threads = cfg.threads;
+    let iters = 8u64;
+
+    let x = sim.alloc::<f64>(n, 0.0);
+    let b = sim.alloc::<f64>(n, 1.0);
+    let r = sim.alloc::<f64>(n, 0.0);
+    let p = sim.alloc::<f64>(n, 0.0);
+    let ap = sim.alloc::<f64>(n, 0.0);
+    let partial = sim.alloc::<f64>(threads.max(1) as u64, 0.0);
+    let rtrans = sim.alloc::<f64>(1, 0.0);
+    let ptap = sim.alloc::<f64>(1, 0.0);
+    let normr = sim.alloc::<f64>(1, 0.0);
+
+    sim.run(|ctx| {
+        ctx.parallel(threads, |w| {
+            // r = b − A·x = b (x starts at 0); p = r.
+            w.for_static(0..n, |i| {
+                let bi = w.read(&b, i);
+                w.write(&r, i, bi);
+                w.write(&p, i, bi);
+            });
+
+            for _iter in 0..iters {
+                // rtrans = rᵀ·r.
+                let mut local = 0.0;
+                w.for_static_nowait(0..n, |i| {
+                    let ri = w.read(&r, i);
+                    local += ri * ri;
+                });
+                let rt = w.reduce_sum(&partial, &rtrans, local);
+
+                // THE RACE (Table IV): every thread writes the same norm
+                // value into the shared cell, unsynchronized — undefined
+                // behaviour a compiler may legally break.
+                w.write(&normr, 0, rt.sqrt());
+
+                apply_stencil(w, nx, &p, &ap);
+
+                // ptap = pᵀ·A·p.
+                let mut local2 = 0.0;
+                w.for_static_nowait(0..n, |i| {
+                    local2 += w.read(&p, i) * w.read(&ap, i);
+                });
+                let denom = w.reduce_sum(&partial, &ptap, local2);
+                let old_rtrans = w.read(&rtrans, 0);
+                let alpha = if denom.abs() < 1e-300 { 0.0 } else { old_rtrans / denom };
+
+                // x += α·p; r −= α·A·p.
+                w.for_static(0..n, |i| {
+                    let xi = w.read(&x, i);
+                    w.write(&x, i, xi + alpha * w.read(&p, i));
+                    let ri = w.read(&r, i);
+                    w.write(&r, i, ri - alpha * w.read(&ap, i));
+                });
+
+                // New rtrans and β.
+                let mut local3 = 0.0;
+                w.for_static_nowait(0..n, |i| {
+                    let ri = w.read(&r, i);
+                    local3 += ri * ri;
+                });
+                let new_rtrans = w.reduce_sum(&partial, &rtrans, local3);
+                let beta =
+                    if old_rtrans.abs() < 1e-300 { 0.0 } else { new_rtrans / old_rtrans };
+
+                w.for_static(0..n, |i| {
+                    let ri = w.read(&r, i);
+                    let pi = w.read(&p, i);
+                    w.write(&p, i, ri + beta * pi);
+                });
+            }
+        });
+    });
+    normr.get_seq(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cg_reduces_residual() {
+        let sim = OmpSim::new();
+        let norm = run_cg(&sim, &RunConfig { threads: 4, size: 8 });
+        // ‖b‖ = √512 ≈ 22.6; CG must make clear progress in 8 iterations.
+        assert!(norm.is_finite());
+        assert!(norm < 10.0, "residual {norm} too large");
+        assert!(norm >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_norm_across_runs_and_threads() {
+        let run = |threads| {
+            let sim = OmpSim::new();
+            run_cg(&sim, &RunConfig { threads, size: 6 })
+        };
+        assert_eq!(run(3).to_bits(), run(3).to_bits());
+    }
+}

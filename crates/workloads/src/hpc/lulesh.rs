@@ -1,0 +1,143 @@
+//! LULESH analog: an explicit shock-hydrodynamics proxy.
+//!
+//! What matters for the paper's evaluation is LULESH's *shape*: a time
+//! loop issuing many small parallel regions (almost 300,000 in the
+//! paper's runs), which multiplies barrier intervals, log I/O during
+//! collection, and offline-analysis work (Table V's 24-hour row). Each
+//! simulated time step here opens six regions — force, acceleration,
+//! velocity, position, energy, and the Courant time-step reduction — over
+//! a small staggered 1D-of-3D mesh. The physics is simplified but real:
+//! the kernel is race-free, energies stay finite, and the region count is
+//! `6 × steps`, which benches crank up to reproduce the blow-up trend.
+
+use sword_ompsim::OmpSim;
+
+use crate::{RunConfig, Suite, Workload, WorkloadSpec};
+
+/// The LULESH-analog workload. `cfg.size` = number of time steps
+/// (default 40).
+pub struct Lulesh;
+
+impl Workload for Lulesh {
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "LULESH",
+            suite: Suite::Hpc,
+            documented_races: 0,
+            sword_races: 0,
+            archer_races: Some(0),
+            notes: "race-free hydro proxy; six parallel regions per time \
+                    step stress region-heavy collection and analysis",
+        }
+    }
+
+    fn execute(&self, sim: &OmpSim, cfg: &RunConfig) {
+        run_hydro(sim, cfg);
+    }
+}
+
+/// Runs the hydro loop; returns the final total energy (validated in
+/// tests).
+pub fn run_hydro(sim: &OmpSim, cfg: &RunConfig) -> f64 {
+    let steps = cfg.size_or(40);
+    let nelem = 512u64;
+    let nnode = nelem + 1;
+    let threads = cfg.threads;
+
+    // Staggered mesh: element-centred energy/pressure, node-centred
+    // kinematics.
+    let e = sim.alloc::<f64>(nelem, 1.0); // internal energy
+    let p = sim.alloc::<f64>(nelem, 0.0); // pressure
+    let force = sim.alloc::<f64>(nnode, 0.0);
+    let vel = sim.alloc::<f64>(nnode, 0.0);
+    let pos = sim.alloc::<f64>(nnode, 0.0);
+    let dt_partial = sim.alloc::<f64>(threads.max(1) as u64, 0.0);
+    let dt_scratch = sim.alloc::<f64>(1, 0.0);
+    let dt_cell = sim.alloc::<f64>(1, 1e-3);
+    for i in 0..nnode {
+        pos.set_seq(i, i as f64);
+    }
+    // An energy spike in the centre drives the shock.
+    e.set_seq(nelem / 2, 10.0);
+
+    sim.run(|ctx| {
+        for _step in 0..steps {
+            // Region 1: EOS — pressure from energy (gamma-law-ish).
+            ctx.parallel(threads, |w| {
+                w.for_static(0..nelem, |i| {
+                    let ei = w.read(&e, i);
+                    w.write(&p, i, 0.4 * ei.max(0.0));
+                });
+            });
+            // Region 2: nodal forces from pressure gradients.
+            ctx.parallel(threads, |w| {
+                w.for_static(0..nnode, |i| {
+                    let left = if i > 0 { w.read(&p, i - 1) } else { 0.0 };
+                    let right = if i < nelem { w.read(&p, i) } else { 0.0 };
+                    w.write(&force, i, left - right);
+                });
+            });
+            // Region 3: acceleration → velocity (unit nodal mass).
+            ctx.parallel(threads, |w| {
+                let dt = w.read(&dt_cell, 0);
+                w.for_static(0..nnode, |i| {
+                    let v = w.read(&vel, i);
+                    w.write(&vel, i, v + dt * w.read(&force, i));
+                });
+            });
+            // Region 4: position update.
+            ctx.parallel(threads, |w| {
+                let dt = w.read(&dt_cell, 0);
+                w.for_static(0..nnode, |i| {
+                    let x = w.read(&pos, i);
+                    w.write(&pos, i, x + dt * w.read(&vel, i));
+                });
+            });
+            // Region 5: element energy update from pdV work.
+            ctx.parallel(threads, |w| {
+                let dt = w.read(&dt_cell, 0);
+                w.for_static(0..nelem, |i| {
+                    let dv = w.read(&vel, i + 1) - w.read(&vel, i);
+                    let ei = w.read(&e, i);
+                    w.write(&e, i, (ei - dt * w.read(&p, i) * dv).max(0.0));
+                });
+            });
+            // Region 6: Courant condition — deterministic max-reduction
+            // of |v| feeding the next step's dt.
+            ctx.parallel(threads, |w| {
+                let mut local_max_v: f64 = 1e-12;
+                w.for_static_nowait(0..nnode, |i| {
+                    local_max_v = local_max_v.max(w.read(&vel, i).abs());
+                });
+                let max_v = w.reduce_with(&dt_partial, &dt_scratch, local_max_v, f64::max);
+                w.single(|| {
+                    w.write(&dt_cell, 0, (0.1 / max_v).min(1e-3));
+                });
+            });
+        }
+    });
+    (0..nelem).map(|i| e.get_seq(i)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_stays_finite_and_positive() {
+        let sim = OmpSim::new();
+        let total = run_hydro(&sim, &RunConfig { threads: 4, size: 20 });
+        assert!(total.is_finite());
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn region_count_scales_with_steps() {
+        let sim = OmpSim::new();
+        run_hydro(&sim, &RunConfig { threads: 2, size: 7 });
+        // threads_used is a proxy; the region count itself is checked via
+        // the collector in the suite-level tests. Here: the run completed
+        // with the expected thread pool.
+        assert_eq!(sim.threads_used(), 3); // master + 2 workers, pooled
+    }
+}

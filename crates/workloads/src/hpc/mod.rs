@@ -1,0 +1,39 @@
+//! HPC mini-app analogs (§IV-C of the paper).
+//!
+//! Four workloads stand in for the paper's CORAL/Mantevo codes. Each is a
+//! real (scaled-down) computation with the paper's documented race
+//! content and — critically for Figures 7/8 and Table IV — the paper's
+//! *memory structure*: declared footprints grow with problem size (via
+//! phantom tracked buffers, so the virtual footprint can dwarf physical
+//! RAM), every declared byte is touched so footprint-proportional shadow
+//! memory grows as it would in the real tool, and region/barrier counts
+//! match each app's character (LULESH's very many small regions drive
+//! its log-volume and offline-analysis blow-up).
+//!
+//! | analog   | paper code | races (archer / sword)                  |
+//! |----------|-----------|------------------------------------------|
+//! | `hpccg`  | HPCCG     | 1 / 1 — benign same-value shared write   |
+//! | `minife` | miniFE    | 0 / 0                                    |
+//! | `lulesh` | LULESH    | 0 / 0, ~6 regions per time step          |
+//! | `amg2013`| AMG2013   | 4 / 14 — 10 read-write races hidden from |
+//! |          |           | ARCHER by shadow-cell eviction           |
+
+mod amg;
+mod hpccg;
+mod lulesh;
+mod minife;
+
+pub use amg::{amg_baseline_bytes, amg_workload, AMG_SIZES};
+
+use crate::Workload;
+
+/// The fixed-size HPC workloads plus the smallest AMG variant. Benches
+/// sweep AMG sizes explicitly via [`amg_workload`].
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(minife::MiniFe),
+        Box::new(hpccg::Hpccg),
+        Box::new(lulesh::Lulesh),
+        Box::new(amg_workload(10)),
+    ]
+}

@@ -1,0 +1,613 @@
+//! OmpSCR-like kernels (§IV-B of the paper, Table II).
+//!
+//! Real small computations with the documented OmpSCR races. For the six
+//! benchmarks where the paper reports *new undocumented races found by
+//! SWORD* (`c_md`, `c_testPath`, `cpp_qsomp1`, `cpp_qsomp2`, `cpp_qsomp5`,
+//! `cpp_qsomp6`), the extra race is a write-write pair whose executed
+//! schedule routes a lock release→acquire edge between the writes —
+//! masked from the happens-before baseline (Figure 1(b)) but visible to
+//! SWORD's schedule-insensitive analysis, so `sword = archer + 1` on
+//! exactly those rows.
+
+use std::sync::Arc;
+
+use sword_ompsim::{Ctx, OmpSim, Sequencer};
+
+use crate::drb::{turns, Kernel};
+use crate::{RunConfig, Suite, Workload, WorkloadSpec};
+
+fn spec(
+    name: &'static str,
+    documented: usize,
+    sword: usize,
+    archer: Option<usize>,
+    notes: &'static str,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        suite: Suite::OmpScr,
+        documented_races: documented,
+        sword_races: sword,
+        archer_races: archer,
+        notes,
+    }
+}
+
+/// The Figure 1(b) gadget: threads 0 and 1 both write `cell[0]`, with the
+/// pinned schedule inserting a release→acquire edge of `lock_name`
+/// between the writes. One extra write-write source pair for SWORD; HB
+/// masks it from ARCHER. Consumes sequencer tickets
+/// `base..base + 3`.
+fn hb_masked_extra_write(
+    w: &Ctx<'_>,
+    seq: &Sequencer,
+    lock_name: &str,
+    cell: &sword_ompsim::TrackedBuf<f64>,
+    base: u64,
+) {
+    match w.team_index() {
+        0 => {
+            seq.turn(base, || {
+                w.write(cell, 0, 1.0);
+            });
+            seq.turn(base + 1, || {
+                w.critical(lock_name, || {});
+            });
+        }
+        1 => {
+            seq.wait_for(base + 2);
+            w.critical(lock_name, || {});
+            w.write(cell, 0, 2.0);
+            seq.advance();
+        }
+        _ => {
+            // Other threads do not touch the cell; keep the ticket flow
+            // moving past this gadget.
+            seq.wait_for(base + 3);
+        }
+    }
+}
+
+// ---- kernels ---------------------------------------------------------------
+
+fn c_loop_a_bad(sim: &OmpSim, cfg: &RunConfig) {
+    // OmpSCR loopA.badSolution: loop-carried flow dependence parallelized
+    // anyway.
+    let n = cfg.size_or(2000);
+    let a = sim.alloc::<f64>(n, 1.0);
+    let b = sim.alloc::<f64>(n, 0.5);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            w.for_static(1..n, |i| {
+                let prev = w.read(&a, i - 1);
+                let bi = w.read(&b, i);
+                w.write(&a, i, prev * 0.99 + bi);
+            });
+        });
+    });
+}
+
+fn c_loop_b_bad1(sim: &OmpSim, cfg: &RunConfig) {
+    // loopB.badSolution1: dependence at a fixed jump distance.
+    let n = cfg.size_or(2000);
+    let jump = 37;
+    let a = sim.alloc::<f64>(n, 1.0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            w.for_static(jump..n, |i| {
+                let back = w.read(&a, i - jump);
+                w.write(&a, i, back + 1.0);
+            });
+        });
+    });
+}
+
+fn c_loop_b_bad2(sim: &OmpSim, cfg: &RunConfig) {
+    // loopB.badSolution2: the dependence runs backwards.
+    let n = cfg.size_or(2000);
+    let a = sim.alloc::<f64>(n, 1.0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            w.for_static(0..n - 1, |i| {
+                let next = w.read(&a, i + 1);
+                w.write(&a, i, next * 1.01);
+            });
+        });
+    });
+}
+
+fn c_lu(sim: &OmpSim, cfg: &RunConfig) {
+    // Correct parallel LU factorization (row-parallel elimination below
+    // each pivot, barrier per pivot step): race-free.
+    let n = cfg.size_or(28);
+    let m = sim.alloc::<f64>(n * n, 0.0);
+    for i in 0..n {
+        for j in 0..n {
+            let v = if i == j { 4.0 + n as f64 } else { 1.0 / (1.0 + (i + j) as f64) };
+            m.set_seq(i * n + j, v);
+        }
+    }
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            for k in 0..n - 1 {
+                // Rows below the pivot are eliminated in parallel; the
+                // implicit barrier orders pivot steps.
+                w.for_static(k + 1..n, |i| {
+                    let pivot = w.read(&m, k * n + k);
+                    let factor = w.read(&m, i * n + k) / pivot;
+                    w.write(&m, i * n + k, factor);
+                    for j in k + 1..n {
+                        let mkj = w.read(&m, k * n + j);
+                        let mij = w.read(&m, i * n + j);
+                        w.write(&m, i * n + j, mij - factor * mkj);
+                    }
+                });
+            }
+        });
+    });
+}
+
+fn c_mandel(sim: &OmpSim, cfg: &RunConfig) {
+    // Mandelbrot area estimation; the documented race is the unprotected
+    // `numoutside` counter.
+    let n = cfg.size_or(48);
+    let numoutside = sim.alloc::<u64>(1, 0);
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(cfg.threads, |w| {
+            let mut local_outside = 0u64;
+            w.for_static_nowait(0..n * n, |p| {
+                let (i, j) = (p / n, p % n);
+                let cr = -2.0 + 2.5 * (i as f64) / (n as f64);
+                let ci = 1.125 * (j as f64) / (n as f64);
+                let (mut zr, mut zi) = (cr, ci);
+                let mut escaped = false;
+                for _ in 0..80 {
+                    let (r2, i2) = (zr * zr, zi * zi);
+                    if r2 + i2 > 4.0 {
+                        escaped = true;
+                        break;
+                    }
+                    let new_zr = r2 - i2 + cr;
+                    zi = 2.0 * zr * zi + ci;
+                    zr = new_zr;
+                }
+                if escaped {
+                    local_outside += 1;
+                }
+            });
+            // The bug: numoutside += local without protection (pinned so
+            // every tool sees the same interleaving).
+            turns(seq, w, 1, |_| {
+                let v = w.read(&numoutside, 0);
+                w.write(&numoutside, 0, v + local_outside);
+            });
+            w.barrier();
+        });
+    });
+}
+
+fn c_md(sim: &OmpSim, cfg: &RunConfig) {
+    // Molecular dynamics: Lennard-Jones-ish pairwise forces, then the
+    // documented unprotected potential-energy accumulation, plus the
+    // undocumented HB-masked write on the normalization cell.
+    let n = cfg.size_or(96);
+    let pos = sim.alloc::<f64>(n * 3, 0.0);
+    let force = sim.alloc::<f64>(n * 3, 0.0);
+    let pot = sim.alloc::<f64>(1, 0.0);
+    let epot_norm = sim.alloc::<f64>(1, 0.0);
+    for i in 0..n * 3 {
+        pos.set_seq(i, ((i * 2654435761) % 1000) as f64 / 1000.0);
+    }
+    let seq = Arc::new(Sequencer::new());
+    let seq2 = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        let seq2 = &seq2;
+        ctx.parallel(cfg.threads.max(2), |w| {
+            let mut local_pot = 0.0;
+            // Per-particle force accumulation: i-parallel, so force[i]
+            // is thread-private by partition — race-free.
+            w.for_static_nowait(0..n, |i| {
+                let mut f = [0.0f64; 3];
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let mut d2 = 0.0;
+                    let mut d = [0.0f64; 3];
+                    for (k, dk) in d.iter_mut().enumerate() {
+                        *dk = w.read(&pos, i * 3 + k as u64) - w.read(&pos, j * 3 + k as u64);
+                        d2 += *dk * *dk;
+                    }
+                    let inv = 1.0 / (d2 + 0.1);
+                    local_pot += inv;
+                    for (fk, dk) in f.iter_mut().zip(&d) {
+                        *fk += dk * inv;
+                    }
+                }
+                for (k, fk) in f.iter().enumerate() {
+                    w.write(&force, i * 3 + k as u64, *fk);
+                }
+            });
+            // Documented race: pot += local_pot without protection.
+            turns(seq, w, 1, |_| {
+                let v = w.read(&pot, 0);
+                w.write(&pot, 0, v + local_pot);
+            });
+            // Undocumented extra: both "finalizers" write the
+            // normalization cell, HB-masked by the reduction lock.
+            hb_masked_extra_write(w, seq2, "md_norm", &epot_norm, 0);
+            w.barrier();
+        });
+    });
+}
+
+fn c_pi(sim: &OmpSim, cfg: &RunConfig) {
+    // π by midpoint integration with an atomic reduction: race-free.
+    let n = cfg.size_or(20_000);
+    let sum = sim.alloc::<f64>(1, 0.0);
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            let mut local = 0.0;
+            let h = 1.0 / n as f64;
+            w.for_static_nowait(0..n, |i| {
+                let x = h * (i as f64 + 0.5);
+                local += 4.0 / (1.0 + x * x);
+            });
+            w.fetch_add(&sum, 0, local * h);
+            w.barrier();
+        });
+    });
+}
+
+fn c_test_path(sim: &OmpSim, cfg: &RunConfig) {
+    // Staircase path counting over a random grid; the documented race is
+    // the unprotected best-cost update; the undocumented one is the
+    // HB-masked final write of the reported path length.
+    let n = cfg.size_or(40);
+    let grid = sim.alloc::<u64>(n * n, 0);
+    let best = sim.alloc::<u64>(1, u64::MAX / 2);
+    let reported = sim.alloc::<f64>(1, 0.0);
+    for i in 0..n * n {
+        grid.set_seq(i, (i * 1103515245 + 12345) % 97);
+    }
+    let seq = Arc::new(Sequencer::new());
+    let seq2 = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        let seq2 = &seq2;
+        ctx.parallel(cfg.threads.max(2), |w| {
+            // Each thread evaluates a band of candidate start columns.
+            let mut local_best = u64::MAX / 2;
+            w.for_static_nowait(0..n, |start| {
+                let mut cost = 0u64;
+                let mut col = start;
+                for row in 0..n {
+                    cost += w.read(&grid, row * n + col);
+                    col = (col + row) % n;
+                }
+                local_best = local_best.min(cost);
+            });
+            // Documented: check-then-act on the shared best without a
+            // lock (every thread writes the min it computed).
+            turns(seq, w, 1, |_| {
+                let cur = w.read(&best, 0);
+                w.write(&best, 0, cur.min(local_best));
+            });
+            hb_masked_extra_write(w, seq2, "path_report", &reported, 0);
+            w.barrier();
+        });
+    });
+}
+
+/// Shared skeleton of the four `cpp_qsompX` variants: a real parallel
+/// quicksort over an index-partitioned work list, with the documented
+/// unprotected statistics counter and the HB-masked undocumented write.
+/// Variants differ in pivot selection and cutoff, as in OmpSCR.
+fn qsomp(sim: &OmpSim, cfg: &RunConfig, variant: u64) {
+    let n = cfg.size_or(4000);
+    let data = sim.alloc::<i64>(n, 0);
+    let cuts = sim.alloc::<u64>(1, 0); // documented racy statistics counter
+    let depth_cell = sim.alloc::<f64>(1, 0.0); // undocumented HB-masked write
+    let mut x = 88172645463325252u64 ^ (variant * 7919);
+    for i in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        data.set_seq(i, (x % 1_000_000) as i64);
+    }
+    let seq = Arc::new(Sequencer::new());
+    let seq2 = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        let seq2 = &seq2;
+        ctx.parallel(cfg.threads.max(2), |w| {
+            let span = w.team_size();
+            let t = w.team_index();
+            // Band-parallel sort: each thread quicksorts its own band —
+            // the element accesses are disjoint.
+            let lo = t * n / span;
+            let hi = ((t + 1) * n / span).min(n);
+            let mut local_cuts = 0u64;
+            if hi > lo {
+                let mut stack = vec![(lo, hi - 1)];
+                while let Some((l, h)) = stack.pop() {
+                    if l >= h {
+                        continue;
+                    }
+                    // Variant-specific pivot selection.
+                    let pivot_idx = match variant {
+                        1 => h,
+                        2 => l + (h - l) / 2,
+                        5 => l,
+                        _ => l + (h - l) / 3,
+                    };
+                    let pivot = w.read(&data, pivot_idx);
+                    let mut i = l;
+                    let mut j = h;
+                    while i <= j {
+                        while w.read(&data, i) < pivot {
+                            i += 1;
+                        }
+                        while w.read(&data, j) > pivot {
+                            if j == 0 {
+                                break;
+                            }
+                            j -= 1;
+                        }
+                        if i <= j {
+                            let (a, b) = (w.read(&data, i), w.read(&data, j));
+                            w.write(&data, i, b);
+                            w.write(&data, j, a);
+                            i += 1;
+                            if j == 0 {
+                                break;
+                            }
+                            j -= 1;
+                        }
+                    }
+                    local_cuts += 1;
+                    if l < j {
+                        stack.push((l, j));
+                    }
+                    if i < h {
+                        stack.push((i, h));
+                    }
+                }
+            }
+            // Documented race: global partition counter updated without
+            // protection (the OmpSCR counter race).
+            turns(seq, w, 1, |_| {
+                let v = w.read(&cuts, 0);
+                w.write(&cuts, 0, v + local_cuts);
+            });
+            hb_masked_extra_write(w, seq2, qsomp_lock_name(variant), &depth_cell, 0);
+            w.barrier();
+        });
+    });
+}
+
+fn c_fft(sim: &OmpSim, cfg: &RunConfig) {
+    // Iterative radix-2 FFT: butterflies of each stage are disjoint and
+    // stages are barrier-separated — race-free, and a stress test for
+    // the analyzer's strided-interval summarization (power-of-two
+    // strides per stage).
+    let log_n = cfg.size_or(9); // 512 points
+    let n = 1u64 << log_n;
+    let re = sim.alloc::<f64>(n, 0.0);
+    let im = sim.alloc::<f64>(n, 0.0);
+    // Bit-reversed input load (sequential setup).
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - log_n as u32);
+        re.set_seq(j as u64, (i as f64 * 0.1).sin());
+        im.set_seq(j as u64, 0.0);
+    }
+    sim.run(|ctx| {
+        ctx.parallel(cfg.threads, |w| {
+            let mut half = 1u64;
+            while half < n {
+                let step = half * 2;
+                let groups = n / step;
+                // One butterfly group per iteration: group g covers
+                // [g·step, g·step + half) paired with the upper half.
+                w.for_static(0..groups * half, |idx| {
+                    let g = idx / half;
+                    let k = idx % half;
+                    let angle = -std::f64::consts::PI * k as f64 / half as f64;
+                    let (wr, wi) = (angle.cos(), angle.sin());
+                    let a = g * step + k;
+                    let b = a + half;
+                    let (ar, ai) = (w.read(&re, a), w.read(&im, a));
+                    let (br, bi) = (w.read(&re, b), w.read(&im, b));
+                    let (tr, ti) = (br * wr - bi * wi, br * wi + bi * wr);
+                    w.write(&re, a, ar + tr);
+                    w.write(&im, a, ai + ti);
+                    w.write(&re, b, ar - tr);
+                    w.write(&im, b, ai - ti);
+                });
+                half = step;
+            }
+        });
+    });
+}
+
+fn c_jacobi01(sim: &OmpSim, cfg: &RunConfig) {
+    // OmpSCR's jacobi01 shape with its documented bug: the residual
+    // accumulation inside the sweep is unprotected.
+    let n = cfg.size_or(24);
+    let grid = sim.alloc::<f64>(n * n, 0.0);
+    let next = sim.alloc::<f64>(n * n, 0.0);
+    let resid = sim.alloc::<f64>(1, 0.0);
+    for j in 0..n {
+        grid.set_seq(j, 50.0);
+    }
+    let seq = Arc::new(Sequencer::new());
+    sim.run(|ctx| {
+        let seq = &seq;
+        ctx.parallel(cfg.threads, |w| {
+            for _sweep in 0..2 {
+                let mut local = 0.0;
+                w.for_static(1..n - 1, |i| {
+                    for j in 1..n - 1 {
+                        let s = 0.25
+                            * (w.read(&grid, (i - 1) * n + j)
+                                + w.read(&grid, (i + 1) * n + j)
+                                + w.read(&grid, i * n + j - 1)
+                                + w.read(&grid, i * n + j + 1));
+                        let old = w.read(&grid, i * n + j);
+                        w.write(&next, i * n + j, s);
+                        local += (s - old) * (s - old);
+                    }
+                });
+                // The bug: resid += local without protection.
+                turns(seq, w, 1, |_| {
+                    let v = w.read(&resid, 0);
+                    w.write(&resid, 0, v + local);
+                });
+                w.barrier();
+                w.for_static(1..n - 1, |i| {
+                    for j in 1..n - 1 {
+                        let v = w.read(&next, i * n + j);
+                        w.write(&grid, i * n + j, v);
+                    }
+                });
+            }
+        });
+    });
+}
+
+fn c_jacobi02(sim: &OmpSim, cfg: &RunConfig) {
+    // jacobi02: the fixed variant — residual via deterministic team
+    // reduction.
+    let n = cfg.size_or(24);
+    let threads = cfg.threads;
+    let grid = sim.alloc::<f64>(n * n, 0.0);
+    let next = sim.alloc::<f64>(n * n, 0.0);
+    let partials = sim.alloc::<f64>(threads.max(1) as u64, 0.0);
+    let resid = sim.alloc::<f64>(1, 0.0);
+    for j in 0..n {
+        grid.set_seq(j, 50.0);
+    }
+    sim.run(|ctx| {
+        ctx.parallel(threads, |w| {
+            for _sweep in 0..2 {
+                let mut local = 0.0;
+                w.for_static(1..n - 1, |i| {
+                    for j in 1..n - 1 {
+                        let s = 0.25
+                            * (w.read(&grid, (i - 1) * n + j)
+                                + w.read(&grid, (i + 1) * n + j)
+                                + w.read(&grid, i * n + j - 1)
+                                + w.read(&grid, i * n + j + 1));
+                        let old = w.read(&grid, i * n + j);
+                        w.write(&next, i * n + j, s);
+                        local += (s - old) * (s - old);
+                    }
+                });
+                w.reduce_sum(&partials, &resid, local);
+                w.for_static(1..n - 1, |i| {
+                    for j in 1..n - 1 {
+                        let v = w.read(&next, i * n + j);
+                        w.write(&grid, i * n + j, v);
+                    }
+                });
+            }
+        });
+    });
+}
+
+fn qsomp_lock_name(variant: u64) -> &'static str {
+    match variant {
+        1 => "qsomp1_depth",
+        2 => "qsomp2_depth",
+        5 => "qsomp5_depth",
+        _ => "qsomp6_depth",
+    }
+}
+
+/// The full OmpSCR-like suite.
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Kernel {
+            spec: spec("c_loopA.badSolution", 1, 1, Some(1),
+                "loop-carried flow dependence parallelized anyway"),
+            run: c_loop_a_bad,
+        }),
+        Box::new(Kernel {
+            spec: spec("c_loopB.badSolution1", 1, 1, Some(1),
+                "fixed-distance jump dependence"),
+            run: c_loop_b_bad1,
+        }),
+        Box::new(Kernel {
+            spec: spec("c_loopB.badSolution2", 1, 1, Some(1),
+                "backward anti-dependence"),
+            run: c_loop_b_bad2,
+        }),
+        Box::new(Kernel {
+            spec: spec("c_lu", 0, 0, Some(0),
+                "correct pivot-stepped LU factorization (race-free)"),
+            run: c_lu,
+        }),
+        Box::new(Kernel {
+            spec: spec("c_mandel", 1, 2, Some(2),
+                "Mandelbrot area: unprotected numoutside counter"),
+            run: c_mandel,
+        }),
+        Box::new(Kernel {
+            spec: spec("c_md", 1, 3, Some(2),
+                "molecular dynamics: unprotected potential accumulation; \
+                 SWORD adds the HB-masked normalization write (new, real)"),
+            run: c_md,
+        }),
+        Box::new(Kernel {
+            spec: spec("c_pi", 0, 0, Some(0),
+                "π integration with atomic reduction (race-free)"),
+            run: c_pi,
+        }),
+        Box::new(Kernel {
+            spec: spec("c_testPath", 1, 3, Some(2),
+                "path search: unprotected best-cost check-then-act; SWORD \
+                 adds the HB-masked report write (new, real)"),
+            run: c_test_path,
+        }),
+        Box::new(Kernel {
+            spec: spec("cpp_qsomp1", 1, 3, Some(2),
+                "parallel quicksort v1: unprotected partition counter; \
+                 SWORD adds the HB-masked depth write (new, real)"),
+            run: |sim, cfg| qsomp(sim, cfg, 1),
+        }),
+        Box::new(Kernel {
+            spec: spec("cpp_qsomp2", 1, 3, Some(2),
+                "quicksort v2 (median pivot): same counter race + new race"),
+            run: |sim, cfg| qsomp(sim, cfg, 2),
+        }),
+        Box::new(Kernel {
+            spec: spec("cpp_qsomp5", 1, 3, Some(2),
+                "quicksort v5 (first pivot): same counter race + new race"),
+            run: |sim, cfg| qsomp(sim, cfg, 5),
+        }),
+        Box::new(Kernel {
+            spec: spec("cpp_qsomp6", 1, 3, Some(2),
+                "quicksort v6 (third pivot): same counter race + new race"),
+            run: |sim, cfg| qsomp(sim, cfg, 6),
+        }),
+        Box::new(Kernel {
+            spec: spec("c_fft", 0, 0, Some(0),
+                "radix-2 FFT with barrier-separated stages (race-free; \
+                 power-of-two stride stress for summarization)"),
+            run: c_fft,
+        }),
+        Box::new(Kernel {
+            spec: spec("c_jacobi01", 1, 2, Some(2),
+                "Jacobi sweep with an unprotected residual accumulation"),
+            run: c_jacobi01,
+        }),
+        Box::new(Kernel {
+            spec: spec("c_jacobi02", 0, 0, Some(0),
+                "Jacobi with a deterministic reduction (the fixed variant)"),
+            run: c_jacobi02,
+        }),
+    ]
+}

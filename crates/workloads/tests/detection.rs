@@ -1,0 +1,137 @@
+//! Ground-truth validation: every workload is executed under both
+//! detectors, and the observed race counts must match its spec — SWORD
+//! exactly, ARCHER exactly where the spec pins a schedule (and never more
+//! than SWORD elsewhere). No false alarms on race-free kernels by
+//! construction of the specs.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use archer_sim::{ArcherConfig, ArcherTool};
+use sword_offline::{analyze, AnalysisConfig};
+use sword_ompsim::{OmpSim, SimConfig};
+use sword_runtime::{run_collected, SwordConfig};
+use sword_trace::SessionDir;
+use sword_workloads::{drb_workloads, hpc_workloads, ompscr_workloads, RunConfig, Workload};
+
+fn sword_count(w: &dyn Workload, cfg: &RunConfig) -> usize {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "sword-wl-{}-{}",
+        w.spec().name.replace(['.', '/'], "_"),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    run_collected(SwordConfig::new(&dir), SimConfig::default(), |sim| {
+        w.execute(sim, cfg);
+    })
+    .expect("collection");
+    let result = analyze(&SessionDir::new(&dir), &AnalysisConfig::sequential()).expect("analysis");
+    std::fs::remove_dir_all(&dir).unwrap();
+    for race in &result.races {
+        eprintln!("[{}] sword: {:?}", w.spec().name, race.key);
+    }
+    result.race_count()
+}
+
+fn archer_count(w: &dyn Workload, cfg: &RunConfig) -> usize {
+    let tool = Arc::new(ArcherTool::new(ArcherConfig::default()));
+    let sim = OmpSim::with_tool(tool.clone());
+    w.execute(&sim, cfg);
+    tool.races().len()
+}
+
+fn check_suite(workloads: Vec<Box<dyn Workload>>, cfg: &RunConfig) {
+    let mut failures = Vec::new();
+    for w in &workloads {
+        let spec = w.spec();
+        let sword = sword_count(w.as_ref(), cfg);
+        let archer = archer_count(w.as_ref(), cfg);
+        if sword != spec.sword_races {
+            failures.push(format!(
+                "{}: sword found {} races, spec says {}",
+                spec.name, sword, spec.sword_races
+            ));
+        }
+        match spec.archer_races {
+            Some(expected) if archer != expected => {
+                failures.push(format!(
+                    "{}: archer found {} races, spec says {}",
+                    spec.name, archer, expected
+                ));
+            }
+            None if archer > sword => {
+                failures.push(format!(
+                    "{}: archer found {} > sword {}",
+                    spec.name, archer, sword
+                ));
+            }
+            _ => {}
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn datarace_bench_suite_matches_ground_truth() {
+    check_suite(drb_workloads(), &RunConfig::small());
+}
+
+#[test]
+fn ompscr_suite_matches_ground_truth() {
+    check_suite(ompscr_workloads(), &RunConfig::small());
+}
+
+#[test]
+fn hpc_suite_matches_ground_truth() {
+    check_suite(hpc_workloads(), &RunConfig { threads: 6, size: 0 });
+}
+
+/// Table IV / Figure 8 core behaviour: on a 64 MB model node, ARCHER
+/// completes AMG at sizes 10–30 reporting 4 races, runs out of memory at
+/// 40; SWORD's bounded collection completes all sizes and reports 14.
+#[test]
+fn amg_scaling_archer_ooms_sword_survives() {
+    use sword_workloads::hpc::{amg_baseline_bytes, amg_workload};
+    const NODE: u64 = 64 << 20;
+    let cfg = RunConfig { threads: 6, size: 0 };
+
+    for n in [10u64, 30, 40] {
+        let w = amg_workload(n);
+        // ARCHER under the node budget.
+        let tool = Arc::new(ArcherTool::new(ArcherConfig {
+            node_budget: Some(NODE),
+            ..Default::default()
+        }));
+        let sim = OmpSim::with_tool(tool.clone());
+        tool.attach_baseline_source(sim.footprint_handle());
+        w.execute(&sim, &cfg);
+        let stats = tool.stats();
+        if n < 40 {
+            assert!(!stats.oom, "AMG_{n}: archer must fit ({} modeled)", stats.modeled_tool_bytes);
+            assert_eq!(tool.races().len(), 4, "AMG_{n}: archer sees the 4 counter races");
+        } else {
+            assert!(stats.oom, "AMG_40 must exceed the node: baseline {} + tool {}",
+                amg_baseline_bytes(n), stats.modeled_tool_bytes);
+        }
+
+        // SWORD completes every size and finds all 14 races.
+        let sword = sword_count(&w, &cfg);
+        assert_eq!(sword, 14, "AMG_{n}: sword race count");
+    }
+}
+
+#[test]
+fn drb_detection_is_thread_count_robust() {
+    // The pinned kernels must keep their ground truth at a different team
+    // size (8 threads ≈ the paper's smallest configuration).
+    let racy: Vec<_> = drb_workloads()
+        .into_iter()
+        .filter(|w| {
+            matches!(
+                w.spec().name,
+                "nowait-orig-yes" | "privatemissing-orig-yes" | "plusplus-orig-yes"
+            )
+        })
+        .collect();
+    check_suite(racy, &RunConfig::with_threads(8));
+}

@@ -1,0 +1,109 @@
+//! Soundness agreement across detectors and configurations: on race-free
+//! programs both detectors must stay silent at every team size (no false
+//! alarms — the property §IV verifies before any table), and SWORD's
+//! verdicts must be invariant to analysis parallelism and buffer sizing.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sword::archer::{ArcherConfig, ArcherTool};
+use sword::offline::{analyze, AnalysisConfig};
+use sword::ompsim::{OmpSim, SimConfig};
+use sword::runtime::{run_collected, SwordConfig};
+use sword::trace::SessionDir;
+use sword::workloads::{drb_workloads, ompscr_workloads, RunConfig, Workload};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sword-equiv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn race_free_suite() -> Vec<Box<dyn Workload>> {
+    drb_workloads()
+        .into_iter()
+        .chain(ompscr_workloads())
+        .filter(|w| w.spec().sword_races == 0 && w.spec().documented_races == 0)
+        .collect()
+}
+
+#[test]
+fn no_false_alarms_at_any_team_size() {
+    for threads in [2usize, 5, 8] {
+        let cfg = RunConfig::with_threads(threads);
+        for w in race_free_suite() {
+            let name = w.spec().name;
+            // ARCHER.
+            let tool = Arc::new(ArcherTool::new(ArcherConfig::default()));
+            let sim = OmpSim::with_tool(tool.clone());
+            w.execute(&sim, &cfg);
+            assert!(
+                tool.races().is_empty(),
+                "{name}@{threads}: archer false alarm {:?}",
+                tool.races()
+            );
+            // SWORD.
+            let dir = tmp(&format!("{name}-{threads}"));
+            run_collected(SwordConfig::new(&dir), SimConfig::default(), |sim| {
+                w.execute(sim, &cfg);
+            })
+            .unwrap();
+            let result = analyze(&SessionDir::new(&dir), &AnalysisConfig::default()).unwrap();
+            assert_eq!(
+                result.race_count(),
+                0,
+                "{name}@{threads}: sword false alarm {:?}",
+                result.races
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+#[test]
+fn sword_verdicts_invariant_to_buffers_and_workers() {
+    let w = sword::workloads::find_workload("c_md").unwrap();
+    let cfg = RunConfig::small();
+    let mut verdicts = Vec::new();
+    for (buffer, workers) in [(64usize, 1usize), (1024, 4), (25_000, 2)] {
+        let dir = tmp(&format!("inv-{buffer}-{workers}"));
+        run_collected(
+            SwordConfig::new(&dir).buffer_events(buffer),
+            SimConfig::default(),
+            |sim| w.execute(sim, &cfg),
+        )
+        .unwrap();
+        let result = analyze(
+            &SessionDir::new(&dir),
+            &AnalysisConfig::default().with_workers(workers),
+        )
+        .unwrap();
+        let mut keys: Vec<_> = result.races.iter().map(|r| r.key).collect();
+        keys.sort();
+        verdicts.push(keys);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    assert!(
+        verdicts.windows(2).all(|p| p[0] == p[1]),
+        "verdicts changed across configurations: {verdicts:?}"
+    );
+    assert_eq!(verdicts[0].len(), 3, "c_md ground truth");
+}
+
+#[test]
+fn archer_flush_shadow_never_changes_verdicts_here() {
+    // archer-low trades memory for time, not detection capability, on
+    // every suite workload (single-region kernels cannot lose records to
+    // the between-region flush).
+    let cfg = RunConfig::small();
+    for w in drb_workloads() {
+        let run = |flush: bool| {
+            let tool =
+                Arc::new(ArcherTool::new(ArcherConfig { flush_shadow: flush, ..Default::default() }));
+            let sim = OmpSim::with_tool(tool.clone());
+            w.execute(&sim, &cfg);
+            tool.races().len()
+        };
+        assert_eq!(run(false), run(true), "{}", w.spec().name);
+    }
+}
