@@ -35,5 +35,7 @@ mod tool;
 mod vc;
 
 pub use shadow::{ShadowCell, ShadowWord, CELLS_PER_WORD, MODELED_BYTES_PER_WORD};
-pub use tool::{ArcherConfig, ArcherRace, ArcherStats, ArcherTool, EvictionPolicy, ARCHER_FIXED_BYTES};
+pub use tool::{
+    ArcherConfig, ArcherRace, ArcherStats, ArcherTool, EvictionPolicy, ARCHER_FIXED_BYTES,
+};
 pub use vc::VectorClock;

@@ -38,14 +38,7 @@ impl ShadowCell {
     }
 
     /// Builds a cell from an access.
-    pub fn new(
-        tid: ThreadId,
-        epoch: u64,
-        offset: u8,
-        len: u8,
-        kind: AccessKind,
-        pc: PcId,
-    ) -> Self {
+    pub fn new(tid: ThreadId, epoch: u64, offset: u8, len: u8, kind: AccessKind, pc: PcId) -> Self {
         ShadowCell {
             tid,
             epoch,

@@ -315,10 +315,11 @@ impl Tool for ArcherTool {
     fn barrier_begin(&self, ctx: &ThreadContext<'_>) {
         let mut state = self.state.lock();
         let vc = Self::thread_mut(&mut state, ctx.tid).vc.clone();
-        let sync = state
-            .barriers
-            .entry((ctx.region, ctx.bid))
-            .or_insert_with(|| BarrierSync { acc: VectorClock::new(), adopted: 0, span: ctx.span });
+        let sync = state.barriers.entry((ctx.region, ctx.bid)).or_insert_with(|| BarrierSync {
+            acc: VectorClock::new(),
+            adopted: 0,
+            span: ctx.span,
+        });
         sync.acc.join(&vc);
     }
 
@@ -354,11 +355,7 @@ impl Tool for ArcherTool {
     fn mutex_released(&self, ctx: &ThreadContext<'_>, mutex: MutexId) {
         let mut state = self.state.lock();
         let vc = Self::thread_mut(&mut state, ctx.tid).vc.clone();
-        state
-            .locks
-            .entry(mutex)
-            .and_modify(|l| l.join(&vc))
-            .or_insert(vc);
+        state.locks.entry(mutex).and_modify(|l| l.join(&vc)).or_insert(vc);
         Self::tick(&mut state, ctx.tid);
     }
 
@@ -396,10 +393,8 @@ impl Tool for ArcherTool {
                     found.push(((cell.pc), cell.is_write, (word << 3) + offset as u64));
                 }
             }
-            let outcome = entry.store(
-                ShadowCell::new(tid, epoch, offset, len, access.kind, access.pc),
-                victim,
-            );
+            let outcome = entry
+                .store(ShadowCell::new(tid, epoch, offset, len, access.kind, access.pc), victim);
             if outcome == StoreOutcome::Evicted {
                 state.stats.evictions += 1;
             }
@@ -414,17 +409,9 @@ impl Tool for ArcherTool {
                 } else {
                     (other_is_write, access.kind.is_write())
                 };
-                state
-                    .races
-                    .entry((lo, hi))
-                    .and_modify(|r| r.occurrences += 1)
-                    .or_insert(ArcherRace {
-                        pc_lo: lo,
-                        pc_hi: hi,
-                        writes,
-                        addr: racy_addr,
-                        occurrences: 1,
-                    });
+                state.races.entry((lo, hi)).and_modify(|r| r.occurrences += 1).or_insert(
+                    ArcherRace { pc_lo: lo, pc_hi: hi, writes, addr: racy_addr, occurrences: 1 },
+                );
             }
             addr += len as u64;
             remaining -= len as u64;

@@ -47,10 +47,7 @@ impl VectorClock {
     /// `true` when every component of `self` is ≤ the corresponding
     /// component of `other` (self happens-before-or-equals other).
     pub fn le(&self, other: &VectorClock) -> bool {
-        self.clocks
-            .iter()
-            .enumerate()
-            .all(|(tid, &c)| c <= other.get(tid as u32))
+        self.clocks.iter().enumerate().all(|(tid, &c)| c <= other.get(tid as u32))
     }
 
     /// Approximate heap bytes (memory accounting).

@@ -315,9 +315,8 @@ fn shadow_grows_with_footprint_sword_like_bound_does_not() {
 
 #[test]
 fn node_budget_kills_run() {
-    let tool = run_archer(
-        ArcherConfig { node_budget: Some(1 << 20), ..Default::default() },
-        |sim| {
+    let tool =
+        run_archer(ArcherConfig { node_budget: Some(1 << 20), ..Default::default() }, |sim| {
             // Baseline 512 KB; shadow pushes past 1 MB quickly.
             let a = sim.alloc::<f64>(65_536, 0.0);
             sim.run(|ctx| {
@@ -328,8 +327,7 @@ fn node_budget_kills_run() {
                     });
                 });
             });
-        },
-    );
+        });
     // Tell it the baseline after the fact is too late for this test; the
     // budget is tight enough that shadow alone exceeds it.
     assert!(tool.is_oom(), "1 MB node cannot hold 2 MB of shadow cells");

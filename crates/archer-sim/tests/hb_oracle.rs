@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 use archer_sim::{ArcherConfig, ArcherTool};
 use proptest::prelude::*;
-use sword_osl::Label;
 use sword_ompsim::{ThreadContext, Tool};
+use sword_osl::Label;
 use sword_trace::{AccessKind, MemAccess};
 
 const WORD_ADDR: u64 = 0x1000;
@@ -143,10 +143,7 @@ fn oracle(schedule: &[(u32, Op)]) -> BTreeSet<(u32, u32)> {
                 // write replaces either kind, a read only a read) is
                 // overwritten in place; otherwise a new slot is taken.
                 let new_rec = Rec { tid, is_write, epoch, pc };
-                match records
-                    .iter()
-                    .position(|rec| rec.tid == tid && (is_write || !rec.is_write))
-                {
+                match records.iter().position(|rec| rec.tid == tid && (is_write || !rec.is_write)) {
                     Some(i) => records[i] = new_rec,
                     None => records.push(new_rec),
                 }
@@ -175,14 +172,10 @@ fn engine(schedule: &[(u32, Op)]) -> BTreeSet<(u32, u32)> {
         match op {
             Op::Acquire(l) => tool.mutex_acquired(&ctx(tid), l),
             Op::Release(l) => tool.mutex_released(&ctx(tid), l),
-            Op::Read => tool.access(
-                &ctx(tid),
-                MemAccess::new(WORD_ADDR, 8, AccessKind::Read, pc_of(tid, op)),
-            ),
-            Op::Write => tool.access(
-                &ctx(tid),
-                MemAccess::new(WORD_ADDR, 8, AccessKind::Write, pc_of(tid, op)),
-            ),
+            Op::Read => tool
+                .access(&ctx(tid), MemAccess::new(WORD_ADDR, 8, AccessKind::Read, pc_of(tid, op))),
+            Op::Write => tool
+                .access(&ctx(tid), MemAccess::new(WORD_ADDR, 8, AccessKind::Write, pc_of(tid, op))),
         }
     }
     tool.races().iter().map(|r| (r.pc_lo, r.pc_hi)).collect()

@@ -49,10 +49,8 @@ fn main() {
     let t1 = StridedInterval::new(14, 8, 4, 4);
     let t2 = StridedInterval::new(13, 8, 4, 4);
     const REPS: usize = 10_000;
-    let mut micro = Table::new(
-        "Figure 4 constraint, 10k solves",
-        &["solver", "unsat case", "sat case"],
-    );
+    let mut micro =
+        Table::new("Figure 4 constraint, 10k solves", &["solver", "unsat case", "sat case"]);
     let time = |f: &dyn Fn() -> bool| {
         let sw = Stopwatch::start();
         let mut x = false;

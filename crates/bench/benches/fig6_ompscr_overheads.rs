@@ -14,8 +14,16 @@ use sword_workloads::{ompscr_workloads, RunConfig};
 fn main() {
     let mut table = Table::new(
         "Figure 6: OmpSCR geomean runtime / tool memory (dynamic phase)",
-        &["threads", "base time", "archer", "archer-low", "sword DA",
-          "archer mem", "archer-low mem", "sword mem"],
+        &[
+            "threads",
+            "base time",
+            "archer",
+            "archer-low",
+            "sword DA",
+            "archer mem",
+            "archer-low mem",
+            "sword mem",
+        ],
     );
     for &threads in &THREAD_SWEEP {
         let cfg = RunConfig::with_threads(threads);
@@ -26,8 +34,7 @@ fn main() {
             let base = sword_bench::run_baseline(w.as_ref(), &cfg);
             let archer = sword_bench::run_archer(w.as_ref(), &cfg, false, None);
             let archer_low = sword_bench::run_archer(w.as_ref(), &cfg, true, None);
-            let sword =
-                sword_bench::run_sword(w.as_ref(), &cfg, &format!("f6-{threads}-{name}"));
+            let sword = sword_bench::run_sword(w.as_ref(), &cfg, &format!("f6-{threads}-{name}"));
             bt.push(base.secs.max(1e-6));
             at.push(archer.secs.max(1e-6));
             alt.push(archer_low.secs.max(1e-6));

@@ -15,13 +15,19 @@ use sword_workloads::{hpc_workloads, RunConfig, Workload};
 fn main() {
     let mut table = Table::new(
         "Figure 7: HPC slowdown (×baseline) and tool memory",
-        &["benchmark", "threads", "baseline mem", "archer x", "archer-low x", "sword DA x",
-          "archer mem", "sword mem"],
+        &[
+            "benchmark",
+            "threads",
+            "baseline mem",
+            "archer x",
+            "archer-low x",
+            "sword DA x",
+            "archer mem",
+            "sword mem",
+        ],
     );
-    let mut workloads: Vec<Box<dyn Workload>> = hpc_workloads()
-        .into_iter()
-        .filter(|w| !w.spec().name.starts_with("AMG"))
-        .collect();
+    let mut workloads: Vec<Box<dyn Workload>> =
+        hpc_workloads().into_iter().filter(|w| !w.spec().name.starts_with("AMG")).collect();
     workloads.push(Box::new(amg_workload(20)));
 
     for w in &workloads {
@@ -31,11 +37,8 @@ fn main() {
             let base = sword_bench::run_baseline(w.as_ref(), &cfg);
             let archer = sword_bench::run_archer(w.as_ref(), &cfg, false, None);
             let archer_low = sword_bench::run_archer(w.as_ref(), &cfg, true, None);
-            let sword = sword_bench::run_sword(
-                w.as_ref(),
-                &cfg,
-                &format!("f7-{}-{}", spec.name, threads),
-            );
+            let sword =
+                sword_bench::run_sword(w.as_ref(), &cfg, &format!("f7-{}-{}", spec.name, threads));
             let slowdown = |t: f64| format!("{:.1}x", t / base.secs.max(1e-9));
             table.row(&[
                 spec.name.to_string(),

@@ -15,8 +15,16 @@ fn main() {
     let cfg = RunConfig { threads: 6, size: 0 };
     let mut table = Table::new(
         "Figure 8: AMG2013 size sweep on a 64 MB model node",
-        &["size", "baseline", "archer mem", "archer fate", "sword mem", "sword fate",
-          "archer races", "sword races"],
+        &[
+            "size",
+            "baseline",
+            "archer mem",
+            "archer fate",
+            "sword mem",
+            "sword fate",
+            "archer races",
+            "sword races",
+        ],
     );
     let mut prev_archer_mem = 0u64;
     for n in AMG_SIZES {

@@ -1,0 +1,55 @@
+//! Per-stage microbenchmarks of the staged offline pipeline: metadata
+//! polling (`load-meta`), concurrency-structure reconstruction
+//! (`build-structure`), the full staged analysis (`tree-build` +
+//! `compare` + `dedup-report`), and one incremental live-replay poll
+//! cycle. Complements `table3_ompscr_offline`, which reports end-to-end
+//! wall times: this target isolates where those seconds go.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sword_offline::intervals::build_structure;
+use sword_offline::{analyze_loaded, AnalysisConfig, LoadedSession};
+use sword_trace::{SessionDir, SessionPoller};
+use sword_workloads::{find_workload, RunConfig};
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    // One collected session shared by every stage benchmark.
+    let w = find_workload("plusplus-orig-yes").expect("workload");
+    let cfg = RunConfig::small();
+    let dir = sword_bench::bench_session_dir("pipeline-stages");
+    let _ = std::fs::remove_dir_all(&dir);
+    sword_bench::run_collected_session(w.as_ref(), &cfg, &dir);
+    let session = SessionDir::new(&dir);
+    let loaded = LoadedSession::load(&session).expect("load session");
+    let intervals = loaded.interval_count() as u64;
+    let config = AnalysisConfig::sequential();
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.throughput(Throughput::Elements(intervals));
+    group.bench_function("load_meta_poll", |b| {
+        b.iter(|| {
+            let mut poller = SessionPoller::new(&session);
+            poller.poll().expect("poll").interval_count()
+        });
+    });
+    group.bench_function("build_structure", |b| {
+        b.iter(|| build_structure(std::hint::black_box(&loaded)).groups.len());
+    });
+    group.bench_function("analyze_staged", |b| {
+        b.iter(|| analyze_loaded(&loaded, &config).expect("analyze").race_count());
+    });
+    group.bench_function("live_replay", |b| {
+        b.iter(|| {
+            sword_bench::replay_live(&session, "pipeline-stages-replay", &config, usize::MAX).races
+        });
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline_stages
+);
+criterion_main!(benches);

@@ -3,9 +3,12 @@
 //!
 //! Columns mirror the paper's: baseline time, the two ARCHER
 //! configurations (whose analysis is entirely online), SWORD's dynamic
-//! phase (DA), its single-node offline analysis (OA), and the
+//! phase (DA), its single-node offline analysis (OA), the
 //! distributed-analysis proxy MT (the longest single comparison task —
-//! with one task per cluster node, the makespan the paper measures).
+//! with one task per cluster node, the makespan the paper measures), and
+//! the incremental live mode's time-to-first-race (TTFR): the analysis
+//! work spent before the first race surfaces when the session is
+//! analyzed as it is being published, versus the batch OA total.
 
 use sword_bench::{fmt_secs, Table};
 use sword_workloads::{ompscr_workloads, RunConfig};
@@ -14,14 +17,24 @@ fn main() {
     let cfg = RunConfig::small();
     let mut table = Table::new(
         "Table III: OmpSCR offline-analysis overheads",
-        &["benchmark", "base", "archer", "archer-low", "sword DA", "OA", "MT(8 nodes)"],
+        &[
+            "benchmark",
+            "base",
+            "archer",
+            "archer-low",
+            "sword DA",
+            "OA",
+            "MT(8 nodes)",
+            "live TTFR",
+        ],
     );
     for w in ompscr_workloads() {
         let spec = w.spec();
         let base = sword_bench::run_baseline(w.as_ref(), &cfg);
         let archer = sword_bench::run_archer(w.as_ref(), &cfg, false, None);
         let archer_low = sword_bench::run_archer(w.as_ref(), &cfg, true, None);
-        let sword = sword_bench::run_sword(w.as_ref(), &cfg, &format!("t3-{}", spec.name));
+        let (sword, live) =
+            sword_bench::run_sword_live(w.as_ref(), &cfg, &format!("t3-{}", spec.name), 1);
         table.row(&[
             spec.name.to_string(),
             fmt_secs(base.secs),
@@ -30,16 +43,19 @@ fn main() {
             fmt_secs(sword.dynamic_secs),
             fmt_secs(sword.analysis.stats.wall_secs),
             fmt_secs(sword.analysis.makespan(8)),
+            live.first_race_secs.map_or_else(|| "-".to_string(), fmt_secs),
         ]);
         // Paper: OA stays under a minute per benchmark at this scale; MT
         // is milliseconds-to-seconds.
-        assert!(
-            sword.analysis.stats.wall_secs < 60.0,
-            "{}: offline analysis exploded",
-            spec.name
-        );
+        assert!(sword.analysis.stats.wall_secs < 60.0, "{}: offline analysis exploded", spec.name);
         assert!(sword.analysis.stats.max_task_secs <= sword.analysis.stats.wall_secs);
         assert!(sword.analysis.makespan(8) <= sword.analysis.makespan(1) + 1e-9);
+        // Live analysis must agree with batch and, on racy benchmarks,
+        // surface its first race before spending its full analysis time.
+        assert_eq!(live.races, sword.analysis.race_count(), "{}: live != batch", spec.name);
+        if let Some(first) = live.first_race_secs {
+            assert!(first <= live.total_secs + 1e-9);
+        }
     }
     println!("{}", table.render());
 }

@@ -18,10 +18,8 @@ fn main() {
         &["benchmark", "archer", "archer-low", "sword"],
     );
 
-    let fixed: Vec<Box<dyn Workload>> = hpc_workloads()
-        .into_iter()
-        .filter(|w| !w.spec().name.starts_with("AMG"))
-        .collect();
+    let fixed: Vec<Box<dyn Workload>> =
+        hpc_workloads().into_iter().filter(|w| !w.spec().name.starts_with("AMG")).collect();
     for w in &fixed {
         let spec = w.spec();
         let archer = sword_bench::run_archer(w.as_ref(), &cfg, false, Some(node.available()));

@@ -62,8 +62,5 @@ fn main() {
         fmt_secs(lulesh_oa),
         fmt_secs(others_max_oa)
     );
-    assert!(
-        lulesh_oa > others_max_oa,
-        "LULESH's many regions must dominate offline analysis time"
-    );
+    assert!(lulesh_oa > others_max_oa, "LULESH's many regions must dominate offline analysis time");
 }

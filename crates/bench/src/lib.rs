@@ -12,10 +12,10 @@ use std::sync::Arc;
 
 use archer_sim::{ArcherConfig, ArcherStats, ArcherTool};
 use sword_metrics::{NodeModel, Stopwatch};
-use sword_offline::{analyze, AnalysisConfig, AnalysisResult};
+use sword_offline::{analyze, AnalysisConfig, AnalysisResult, LiveAnalyzer};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordConfig, SwordStats};
-use sword_trace::SessionDir;
+use sword_trace::{LiveStatus, SessionDir};
 use sword_workloads::{RunConfig, Workload};
 
 pub use sword_metrics::{format_bytes, geomean, Table};
@@ -74,11 +74,8 @@ pub fn run_archer(
     flush_shadow: bool,
     node_budget: Option<u64>,
 ) -> ArcherRun {
-    let tool = Arc::new(ArcherTool::new(ArcherConfig {
-        flush_shadow,
-        node_budget,
-        ..Default::default()
-    }));
+    let tool =
+        Arc::new(ArcherTool::new(ArcherConfig { flush_shadow, node_budget, ..Default::default() }));
     let sim = OmpSim::with_tool(tool.clone());
     tool.attach_baseline_source(sim.footprint_handle());
     let sw = Stopwatch::start();
@@ -130,6 +127,126 @@ pub fn run_sword_with(
     SwordRun { dynamic_secs, collect, analysis }
 }
 
+/// Collects a workload into `dir` (replacing any previous session) and
+/// leaves the session on disk for the caller to analyze.
+pub fn run_collected_session(w: &dyn Workload, cfg: &RunConfig, dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    run_collected(SwordConfig::new(dir), SimConfig::default(), |sim| {
+        w.execute(sim, cfg);
+    })
+    .expect("sword collection");
+}
+
+/// Result of one live (incremental) analysis replay.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveRun {
+    /// Accumulated analysis seconds at the poll where the first race
+    /// surfaced (`None` if the session is race-free).
+    pub first_race_secs: Option<f64>,
+    /// Total analysis seconds across all polls.
+    pub total_secs: f64,
+    /// Number of watermark publishes replayed.
+    pub polls: usize,
+    /// Final deduplicated race count.
+    pub races: usize,
+}
+
+/// Replays a finished session as a staged sequence of watermark
+/// publishes — logs, regions, and PCs present from the start, each
+/// thread's meta file growing by `step` rows per publish — and drives a
+/// [`LiveAnalyzer`] over the replica, timing only the analysis polls.
+/// This measures time-to-first-race: the incremental analysis work spent
+/// before the first race surfaces, versus the total across all polls.
+pub fn replay_live(src: &SessionDir, tag: &str, config: &AnalysisConfig, step: usize) -> LiveRun {
+    let step = step.max(1);
+    let dir = bench_session_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let dst = SessionDir::new(&dir);
+    dst.create().expect("replica dir");
+    for tid in src.thread_ids().expect("thread ids") {
+        std::fs::copy(src.thread_log(tid), dst.thread_log(tid)).expect("copy log");
+    }
+    for name in ["regions.meta", "pcs.meta"] {
+        let from = src.path().join(name);
+        if from.exists() {
+            std::fs::copy(&from, dst.path().join(name)).expect("copy table");
+        }
+    }
+    let metas: Vec<(sword_trace::ThreadId, Vec<String>)> = src
+        .thread_ids()
+        .expect("thread ids")
+        .into_iter()
+        .map(|tid| {
+            let text = std::fs::read_to_string(src.thread_meta(tid)).expect("read meta");
+            (tid, text.lines().map(str::to_string).collect())
+        })
+        .collect();
+    let max_rows = metas.iter().map(|(_, lines)| lines.len()).max().unwrap_or(0);
+
+    let mut live = LiveAnalyzer::new(&dst, config);
+    let mut run = LiveRun { first_race_secs: None, total_secs: 0.0, polls: 0, races: 0 };
+    let mut revealed = 0usize;
+    let mut generation = 0u64;
+    loop {
+        revealed = revealed.saturating_add(step).min(max_rows);
+        for (tid, lines) in &metas {
+            let n = revealed.min(lines.len());
+            let mut body = lines[..n].join("\n");
+            if n > 0 {
+                body.push('\n');
+            }
+            dst.write_file_atomic(&dst.thread_meta(*tid), body.as_bytes())
+                .expect("publish meta prefix");
+        }
+        generation += 1;
+        dst.write_live(LiveStatus { generation, finished: revealed >= max_rows })
+            .expect("publish watermark");
+        let sw = Stopwatch::start();
+        let delta = live.poll().expect("live poll");
+        run.total_secs += sw.secs();
+        run.polls += 1;
+        if run.first_race_secs.is_none() && delta.total_races > 0 {
+            run.first_race_secs = Some(run.total_secs);
+        }
+        if delta.finished {
+            break;
+        }
+    }
+    run.races = live.race_count();
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+/// Runs a workload under the SWORD collector, then analyzes the session
+/// both ways: one-shot batch (the paper's OA) and a staged live replay
+/// revealing `step` barrier intervals per publish. Returns the batch run
+/// alongside the live time-to-first-race measurement.
+pub fn run_sword_live(
+    w: &dyn Workload,
+    cfg: &RunConfig,
+    tag: &str,
+    step: usize,
+) -> (SwordRun, LiveRun) {
+    let dir = bench_session_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let sw = Stopwatch::start();
+    let (_, collect) = run_collected(
+        SwordConfig::new(&dir).buffer_events(sword_runtime::PAPER_BUFFER_EVENTS),
+        SimConfig::default(),
+        |sim| {
+            w.execute(sim, cfg);
+        },
+    )
+    .expect("sword collection");
+    let dynamic_secs = sw.secs();
+    let src = SessionDir::new(&dir);
+    let config = AnalysisConfig::default();
+    let analysis = analyze(&src, &config).expect("sword analysis");
+    let live = replay_live(&src, &format!("{tag}-live"), &config, step);
+    let _ = std::fs::remove_dir_all(&dir);
+    (SwordRun { dynamic_secs, collect, analysis }, live)
+}
+
 /// Formats seconds for tables (`12.3ms`, `4.56s`).
 pub fn fmt_secs(secs: f64) -> String {
     if secs < 1.0 {
@@ -164,6 +281,17 @@ mod tests {
         let sword = run_sword(w.as_ref(), &cfg, "harness-test");
         assert_eq!(sword.analysis.race_count(), 2);
         assert!(sword.collect.events > 0);
+    }
+
+    #[test]
+    fn live_replay_matches_batch_and_reports_early() {
+        let w = find_workload("plusplus-orig-yes").unwrap();
+        let cfg = RunConfig::small();
+        let (sword, live) = run_sword_live(w.as_ref(), &cfg, "live-harness-test", 1);
+        assert_eq!(live.races, sword.analysis.race_count());
+        assert!(live.polls >= 1);
+        let first = live.first_race_secs.expect("racy workload surfaces a race");
+        assert!(first <= live.total_secs + 1e-9);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! `sword` — command-line front end for the SWORD reproduction.
 //!
 //! ```text
-//! sword run <workload> [--threads N] [--size S] [--session DIR]
+//! sword run <workload> [--threads N] [--size S] [--session DIR] [--live]
 //!     Execute a workload under the SWORD collector.
-//! sword analyze <session-dir> [--workers N] [--ilp]
+//! sword analyze <session-dir> [--workers N] [--ilp] [--stats]
 //!     Offline race analysis of a collected session.
+//! sword watch <session-dir> [--interval-ms N] [--timeout-secs N]
+//!     Incrementally analyze an in-progress session, reporting races as
+//!     their barrier intervals are published.
 //! sword check <workload> [--threads N] [--size S]
 //!     run + analyze in one step, printing races with source locations.
 //! sword compare <workload> [--threads N] [--size S]
@@ -22,10 +25,10 @@ use std::sync::Arc;
 
 use archer_sim::{ArcherConfig, ArcherTool};
 use sword_metrics::{format_bytes, Stopwatch, Table};
-use sword_offline::{analyze, AnalysisConfig, SolverChoice};
+use sword_offline::{analyze, AnalysisConfig, LiveAnalyzer, SolverChoice};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordConfig};
-use sword_trace::SessionDir;
+use sword_trace::{PcTable, SessionDir};
 use sword_workloads::{
     drb_workloads, find_workload, hpc_workloads, ompscr_workloads, RunConfig, Workload,
 };
@@ -45,9 +48,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   sword list
-  sword run <workload> [--threads N] [--size S] [--session DIR]
-  sword analyze <session-dir> [--workers N] [--ilp] [--json]
+  sword run <workload> [--threads N] [--size S] [--session DIR] [--live]
+  sword analyze <session-dir> [--workers N] [--ilp] [--json] [--stats]
                                [--region id,...] [--suppress pat,...]
+  sword watch <session-dir> [--interval-ms N] [--timeout-secs N] [--json]
+                             [--stats] [--ilp] [--region id,...]
+                             [--suppress pat,...]
   sword check <workload> [--threads N] [--size S]
   sword compare <workload> [--threads N] [--size S]
   sword meta <session-dir>";
@@ -104,6 +110,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "list" => cmd_list(),
         "run" => cmd_run(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "watch" => cmd_watch(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "meta" => cmd_meta(&args[1..]),
@@ -117,18 +124,14 @@ fn workload_arg(args: &[String]) -> Result<(Box<dyn Workload>, RunConfig, Flags)
     };
     let w = find_workload(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
     let flags = Flags::parse(&args[1..])?;
-    let cfg = RunConfig {
-        threads: flags.get_usize("threads", 4)?,
-        size: flags.get_u64("size", 0)?,
-    };
+    let cfg =
+        RunConfig { threads: flags.get_usize("threads", 4)?, size: flags.get_u64("size", 0)? };
     Ok((w, cfg, flags))
 }
 
 fn cmd_list() -> Result<(), String> {
-    let mut table = Table::new(
-        "available workloads",
-        &["name", "suite", "documented", "sword races", "notes"],
-    );
+    let mut table =
+        Table::new("available workloads", &["name", "suite", "documented", "sword races", "notes"]);
     for w in drb_workloads().iter().chain(&ompscr_workloads()).chain(&hpc_workloads()) {
         let s = w.spec();
         table.row(&[
@@ -150,8 +153,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .get("session")
         .map(PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("sword-session"));
+    let mut sword_cfg = SwordConfig::new(&session);
+    if flags.has("live") {
+        // Publish watermarked metadata while running, so a concurrent
+        // `sword watch` can analyze the session as it grows.
+        sword_cfg = sword_cfg.live();
+    }
     let sw = Stopwatch::start();
-    let (_, stats) = run_collected(SwordConfig::new(&session), SimConfig::default(), |sim| {
+    let (_, stats) = run_collected(sword_cfg, SimConfig::default(), |sim| {
         w.execute(sim, &cfg);
     })
     .map_err(|e| e.to_string())?;
@@ -185,8 +194,7 @@ fn analysis_config(flags: &Flags) -> Result<AnalysisConfig, String> {
             Some(parsed.map_err(|_| format!("--region expects ids, got `{regions}`"))?);
     }
     if let Some(patterns) = flags.map.get("suppress") {
-        config.suppressions =
-            patterns.split(',').map(|p| p.trim().to_string()).collect();
+        config.suppressions = patterns.split(',').map(|p| p.trim().to_string()).collect();
     }
     Ok(config)
 }
@@ -195,15 +203,31 @@ fn print_analysis(
     session: &SessionDir,
     config: &AnalysisConfig,
     json: bool,
+    stats: bool,
 ) -> Result<usize, String> {
-    let loaded = sword_offline::LoadedSession::load(session).map_err(|e| e.to_string())?;
-    let result = sword_offline::analyze_loaded(&loaded, config).map_err(|e| e.to_string())?;
+    // `analyze` (not `analyze_loaded`) so the discover and load-meta
+    // stages are timed too.
+    let result = analyze(session, config).map_err(|e| e.to_string())?;
+    let pcs = read_pcs(session)?;
     if json {
-        print!("{}", sword_offline::render_json(&result, &loaded.pcs));
+        print!("{}", sword_offline::render_json(&result, &pcs));
     } else {
-        print!("{}", sword_offline::render_text(&result, &loaded.pcs));
+        print!("{}", sword_offline::render_text(&result, &pcs));
+    }
+    if stats {
+        println!("{}", result.stages.render());
     }
     Ok(result.races.len())
+}
+
+/// Loads the session's PC table (empty when the run never wrote one).
+fn read_pcs(session: &SessionDir) -> Result<PcTable, String> {
+    if session.pcs_path().exists() {
+        let f = std::fs::File::open(session.pcs_path()).map_err(|e| e.to_string())?;
+        PcTable::read_from(std::io::BufReader::new(f)).map_err(|e| e.to_string())
+    } else {
+        Ok(PcTable::new())
+    }
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
@@ -212,7 +236,83 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     };
     let flags = Flags::parse(&args[1..])?;
     let config = analysis_config(&flags)?;
-    print_analysis(&SessionDir::new(dir), &config, flags.has("json"))?;
+    print_analysis(&SessionDir::new(dir), &config, flags.has("json"), flags.has("stats"))?;
+    Ok(())
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let Some(dir) = args.first() else {
+        return Err("missing session directory".into());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    let config = analysis_config(&flags)?;
+    let json = flags.has("json");
+    let show_stats = flags.has("stats");
+    let interval = std::time::Duration::from_millis(flags.get_u64("interval-ms", 200)?);
+    let timeout_secs = flags.get_u64("timeout-secs", 0)?; // 0 = no timeout
+    let session = SessionDir::new(dir);
+    if !session.path().exists() {
+        return Err(format!("no such session directory: {dir}"));
+    }
+
+    let mut live = LiveAnalyzer::new(&session, &config);
+    let sw = Stopwatch::start();
+    let mut polls = 0u64;
+    let timed_out = loop {
+        let delta = live.poll().map_err(|e| e.to_string())?;
+        polls += 1;
+        if json {
+            println!(
+                "{{\"poll\": {}, \"generation\": {}, \"new_intervals\": {}, \
+                 \"new_regions\": {}, \"tree_pairs\": {}, \"new_races\": {}, \
+                 \"total_races\": {}, \"finished\": {}}}",
+                polls,
+                delta.generation.map_or("null".into(), |g| g.to_string()),
+                delta.new_intervals,
+                delta.new_regions,
+                delta.tree_pairs,
+                delta.new_races.len(),
+                delta.total_races,
+                delta.finished
+            );
+        } else if delta.new_intervals > 0 || delta.new_regions > 0 || delta.finished {
+            println!(
+                "[watch {:6.1}s] +{} intervals, {} tree pairs, {} race(s) so far{}",
+                sw.secs(),
+                delta.new_intervals,
+                delta.tree_pairs,
+                delta.total_races,
+                if delta.finished { " — session finished" } else { "" }
+            );
+            for race in &delta.new_races {
+                println!("  NEW {}", race.render(live.pcs()));
+            }
+        }
+        if delta.finished {
+            break false;
+        }
+        if timeout_secs > 0 && sw.secs() >= timeout_secs as f64 {
+            break true;
+        }
+        std::thread::sleep(interval);
+    };
+
+    if timed_out && !json {
+        println!(
+            "[watch] timeout after {:.1}s; session still in flight — partial results:",
+            sw.secs()
+        );
+    }
+    let result = live.into_result().map_err(|e| e.to_string())?;
+    let pcs = read_pcs(&session)?;
+    if json {
+        print!("{}", sword_offline::render_json(&result, &pcs));
+    } else {
+        print!("{}", sword_offline::render_text(&result, &pcs));
+    }
+    if show_stats {
+        println!("{}", result.stages.render());
+    }
     Ok(())
 }
 
@@ -225,11 +325,16 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     })
     .map_err(|e| e.to_string())?;
     let config = analysis_config(&flags)?;
-    let found = print_analysis(&SessionDir::new(&session), &config, flags.has("json"))?;
+    let found =
+        print_analysis(&SessionDir::new(&session), &config, flags.has("json"), flags.has("stats"))?;
     let _ = std::fs::remove_dir_all(&session);
     let expected = w.spec().sword_races;
-    println!("\nground truth for {}: {} race(s) — {}", w.spec().name, expected,
-        if found == expected { "MATCH" } else { "MISMATCH" });
+    println!(
+        "\nground truth for {}: {} race(s) — {}",
+        w.spec().name,
+        expected,
+        if found == expected { "MATCH" } else { "MISMATCH" }
+    );
     Ok(())
 }
 
@@ -243,14 +348,13 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let base_secs = sw.secs();
     let footprint = sim.peak_footprint();
 
-    let mut table = Table::new(
-        format!("{name} under each tool"),
-        &["tool", "time", "tool memory", "races"],
-    );
+    let mut table =
+        Table::new(format!("{name} under each tool"), &["tool", "time", "tool memory", "races"]);
     table.row(&["baseline".into(), format!("{base_secs:.3}s"), "-".into(), "-".into()]);
 
     for (label, flush) in [("archer", false), ("archer-low", true)] {
-        let tool = Arc::new(ArcherTool::new(ArcherConfig { flush_shadow: flush, ..Default::default() }));
+        let tool =
+            Arc::new(ArcherTool::new(ArcherConfig { flush_shadow: flush, ..Default::default() }));
         let sim = OmpSim::with_tool(tool.clone());
         tool.attach_baseline_source(sim.footprint_handle());
         let sw = Stopwatch::start();
@@ -292,10 +396,7 @@ fn cmd_meta(args: &[String]) -> Result<(), String> {
     };
     let session = SessionDir::new(dir);
     let loaded = sword_offline::LoadedSession::load(&session).map_err(|e| e.to_string())?;
-    let mut regions = Table::new(
-        "regions.meta",
-        &["pid", "ppid", "level", "span", "fork label"],
-    );
+    let mut regions = Table::new("regions.meta", &["pid", "ppid", "level", "span", "fork label"]);
     let mut sorted: Vec<_> = loaded.regions.values().collect();
     sorted.sort_by_key(|r| r.pid);
     for r in sorted {
@@ -361,6 +462,8 @@ mod tests {
         assert!(run(&s(&["frobnicate"])).is_err());
         assert!(run(&s(&["check", "no-such-workload"])).is_err());
         assert!(run(&s(&["analyze"])).is_err());
+        assert!(run(&s(&["watch"])).is_err());
+        assert!(run(&s(&["watch", "/no/such/session-dir"])).is_err());
     }
 
     #[test]
@@ -380,6 +483,40 @@ mod tests {
         run(&s(&["meta", session.to_str().unwrap()])).expect("meta");
         run(&s(&["analyze", session.to_str().unwrap(), "--workers", "1"])).expect("analyze");
         run(&s(&["analyze", session.to_str().unwrap(), "--json"])).expect("analyze --json");
+        run(&s(&["analyze", session.to_str().unwrap(), "--stats"])).expect("analyze --stats");
         std::fs::remove_dir_all(&session).unwrap();
+    }
+
+    #[test]
+    fn compare_runs_all_tools() {
+        run(&s(&["compare", "c_pi", "--threads", "2"])).expect("compare");
+    }
+
+    #[test]
+    fn watch_pre_written_session() {
+        // A finished live-mode session: watch ingests it in one poll,
+        // reports its race, and exits.
+        let session = std::env::temp_dir().join(format!("sword-cli-watch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&session);
+        run(&s(&["run", "plusplus-orig-yes", "--session", session.to_str().unwrap(), "--live"]))
+            .expect("run --live");
+        run(&s(&["watch", session.to_str().unwrap(), "--stats"])).expect("watch");
+        run(&s(&["watch", session.to_str().unwrap(), "--json"])).expect("watch --json");
+        std::fs::remove_dir_all(&session).unwrap();
+    }
+
+    #[test]
+    fn watch_times_out_on_a_stalled_session() {
+        // A session that claims to be in flight but never progresses:
+        // watch must give up at the timeout and report partial results.
+        let dir = std::env::temp_dir().join(format!("sword-cli-stall-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = SessionDir::new(&dir);
+        session.create().unwrap();
+        std::fs::write(session.thread_meta(0), "").unwrap();
+        session.write_live(sword_trace::LiveStatus { generation: 1, finished: false }).unwrap();
+        run(&s(&["watch", dir.to_str().unwrap(), "--interval-ms", "10", "--timeout-secs", "1"]))
+            .expect("watch --timeout-secs");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

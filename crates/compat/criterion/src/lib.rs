@@ -1,0 +1,237 @@
+//! Offline-build shim for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use: `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros. Measurement is a
+//! plain warmup + timed-batch mean (no bootstrap statistics, plots, or
+//! baselines); results print one line per benchmark. See DESIGN.md,
+//! "Dependency policy".
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Keeps a value (and its computation) out of the optimizer's reach.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units-processed-per-iteration annotation; turns mean times into
+/// throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Drives the timing loop for one benchmark.
+pub struct Bencher {
+    /// (iterations, total elapsed) of the measured batch.
+    measured: Option<(u64, Duration)>,
+    sample_size: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then running a measured batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: one call, then size the batch so measurement stays fast
+        // even for slow routines (the shim favors cheap CI runs over
+        // statistical power).
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed();
+        let target = Duration::from_millis(200);
+        let per_iter = once.max(Duration::from_nanos(1));
+        let iters = (target.as_nanos() / per_iter.as_nanos())
+            .clamp(1, self.sample_size as u128 * 10) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.throughput, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(&full, self.throughput, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { measured: None, sample_size };
+    f(&mut b);
+    match b.measured {
+        Some((iters, total)) => {
+            let mean_ns = total.as_nanos() as f64 / iters as f64;
+            let rate = throughput
+                .map(|t| match t {
+                    Throughput::Elements(n) => {
+                        format!("  {:.1} Melem/s", n as f64 / mean_ns * 1e3)
+                    }
+                    Throughput::Bytes(n) => format!("  {:.1} MB/s", n as f64 / mean_ns * 1e3),
+                })
+                .unwrap_or_default();
+            println!("bench {name:<48} {mean_ns:>12.1} ns/iter ({iters} iters){rate}");
+        }
+        None => println!("bench {name:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the listed groups. Accepts and ignores the
+/// CLI arguments cargo-bench passes (`--bench`, filters).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` / `cargo test --benches` pass harness flags;
+            // the shim runs everything unconditionally.
+            let _args: Vec<String> = std::env::args().collect();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("param", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn driver_runs_benchmarks() {
+        let mut c = Criterion::default().sample_size(5);
+        quick(&mut c);
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = quick
+    );
+
+    #[test]
+    fn grouped_runner_runs() {
+        benches();
+    }
+}

@@ -299,9 +299,7 @@ mod tests {
     #[test]
     fn multi_frame_stream() {
         let mut w = FrameWriter::new(Vec::new());
-        let blocks: Vec<Vec<u8>> = (0..10)
-            .map(|i| vec![i as u8; 1000 * (i + 1)])
-            .collect();
+        let blocks: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 1000 * (i + 1)]).collect();
         for b in &blocks {
             w.write_frame(b).unwrap();
         }

@@ -283,10 +283,7 @@ mod tests {
         compress(&vec![7u8; 1000], &mut c);
         for cut in 0..c.len() {
             let mut d = Vec::new();
-            assert!(
-                decompress(&c[..cut], &mut d).is_err(),
-                "truncation at {cut} not detected"
-            );
+            assert!(decompress(&c[..cut], &mut d).is_err(), "truncation at {cut} not detected");
         }
     }
 

@@ -193,8 +193,7 @@ impl<K: Hash + Eq + Clone, V: Clone> SummarizingBuilder<K, V> {
     /// Finishes the build, flushing unconfirmed pendings, and returns the
     /// tree.
     pub fn finish(mut self) -> IntervalTree<V> {
-        let rings: Vec<[Option<MergeSlot>; MERGE_HISTORY]> =
-            self.last.values().copied().collect();
+        let rings: Vec<[Option<MergeSlot>; MERGE_HISTORY]> = self.last.values().copied().collect();
         for ring in rings {
             for slot in ring.into_iter().flatten() {
                 self.materialize_pending(slot);

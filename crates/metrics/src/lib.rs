@@ -227,8 +227,7 @@ pub fn time_runs<F: FnMut()>(runs: usize, mut f: F) -> RunStats {
 
 /// Formats a byte count for reports (`3.30 MB`, `1.20 GB`, …).
 pub fn format_bytes(bytes: u64) -> String {
-    const UNITS: [(&str, u64); 4] =
-        [("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10), ("B", 1)];
+    const UNITS: [(&str, u64); 4] = [("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10), ("B", 1)];
     for (name, size) in UNITS {
         if bytes >= size {
             return format!("{:.2} {}", bytes as f64 / size as f64, name);
@@ -300,6 +299,114 @@ impl Table {
             line(&mut out, row);
         }
         out
+    }
+}
+
+/// Cumulative counters for one stage of a streaming pipeline.
+///
+/// `busy_secs` is the summed busy time of every worker that executed the
+/// stage (for serial stages this equals wall time; for fanned-out stages
+/// it can exceed wall time — divide by the worker count for an average).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageMetrics {
+    /// Stage name (pipeline position order is kept by [`StageTable`]).
+    pub name: String,
+    /// Summed busy seconds across all executions of this stage.
+    pub busy_secs: f64,
+    /// Work items processed (intervals, tasks, pairs — stage-defined).
+    pub items: u64,
+    /// Payload bytes processed, when the stage is byte-oriented.
+    pub bytes: u64,
+}
+
+impl StageMetrics {
+    /// Items per busy second (0 when no time was recorded).
+    pub fn items_per_sec(&self) -> f64 {
+        if self.busy_secs > 0.0 {
+            self.items as f64 / self.busy_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-stage timing/throughput accumulator for a staged pipeline.
+///
+/// Stages appear in first-recorded order; repeated records under the same
+/// name accumulate, and tables from parallel workers merge associatively,
+/// so each worker can keep a private table and the reducer folds them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageTable {
+    stages: Vec<StageMetrics>,
+}
+
+impl StageTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `secs`/`items`/`bytes` to stage `name`, creating it on first
+    /// use.
+    pub fn record(&mut self, name: &str, secs: f64, items: u64, bytes: u64) {
+        let stage = match self.stages.iter_mut().find(|s| s.name == name) {
+            Some(s) => s,
+            None => {
+                self.stages.push(StageMetrics { name: name.to_string(), ..Default::default() });
+                self.stages.last_mut().expect("just pushed")
+            }
+        };
+        stage.busy_secs += secs;
+        stage.items += items;
+        stage.bytes += bytes;
+    }
+
+    /// Times `f`, charging its duration (plus `items`/`bytes`) to `name`,
+    /// and returns its result.
+    pub fn time<R>(&mut self, name: &str, items: u64, bytes: u64, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.record(name, start.elapsed().as_secs_f64(), items, bytes);
+        result
+    }
+
+    /// Folds another table in (stage order of `self` wins; `other`'s new
+    /// stages append).
+    pub fn merge(&mut self, other: &StageTable) {
+        for s in &other.stages {
+            self.record(&s.name, s.busy_secs, s.items, s.bytes);
+        }
+    }
+
+    /// Looks up one stage.
+    pub fn get(&self, name: &str) -> Option<&StageMetrics> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Stages in pipeline order.
+    pub fn stages(&self) -> &[StageMetrics] {
+        &self.stages
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Renders an aligned per-stage report.
+    pub fn render(&self) -> String {
+        let mut t =
+            Table::new("pipeline stages", &["stage", "busy (s)", "items", "items/s", "bytes"]);
+        for s in &self.stages {
+            t.row(&[
+                s.name.clone(),
+                format!("{:.4}", s.busy_secs),
+                s.items.to_string(),
+                format!("{:.0}", s.items_per_sec()),
+                format_bytes(s.bytes),
+            ]);
+        }
+        t.render()
     }
 }
 
@@ -433,5 +540,48 @@ mod tests {
     fn table_arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row_strs(&["only one"]);
+    }
+
+    #[test]
+    fn stage_table_accumulates_and_orders() {
+        let mut t = StageTable::new();
+        t.record("load-meta", 0.5, 10, 100);
+        t.record("compare", 1.0, 4, 0);
+        t.record("load-meta", 0.5, 5, 50);
+        assert_eq!(t.stages().len(), 2);
+        assert_eq!(t.stages()[0].name, "load-meta");
+        let lm = t.get("load-meta").unwrap();
+        assert_eq!(lm.items, 15);
+        assert_eq!(lm.bytes, 150);
+        assert!((lm.busy_secs - 1.0).abs() < 1e-12);
+        assert!((lm.items_per_sec() - 15.0).abs() < 1e-9);
+        assert!(t.get("missing").is_none());
+    }
+
+    #[test]
+    fn stage_table_merge_is_associative_enough() {
+        let mut a = StageTable::new();
+        a.record("build", 1.0, 2, 0);
+        let mut b = StageTable::new();
+        b.record("compare", 2.0, 3, 0);
+        b.record("build", 1.0, 2, 0);
+        a.merge(&b);
+        assert_eq!(a.get("build").unwrap().items, 4);
+        assert_eq!(a.get("compare").unwrap().items, 3);
+        assert_eq!(a.stages()[0].name, "build", "self's order wins");
+    }
+
+    #[test]
+    fn stage_table_time_charges_closure() {
+        let mut t = StageTable::new();
+        let v = t.time("work", 7, 0, || 42);
+        assert_eq!(v, 42);
+        let s = t.get("work").unwrap();
+        assert_eq!(s.items, 7);
+        assert!(s.busy_secs >= 0.0);
+        assert!(!t.is_empty());
+        let rendered = t.render();
+        assert!(rendered.contains("work"));
+        assert!(rendered.contains("stage"));
     }
 }

@@ -154,7 +154,8 @@ impl OmpSim {
         // cache-line-shaped like real allocators.
         let padded = (bytes + 63) & !63;
         let base = self.next_addr.fetch_add(padded, Ordering::Relaxed);
-        let buf = TrackedBuf::new_internal(base, declared_len, real_len, init, self.footprint.clone());
+        let buf =
+            TrackedBuf::new_internal(base, declared_len, real_len, init, self.footprint.clone());
         self.peak_footprint.fetch_max(self.footprint.load(Ordering::Relaxed), Ordering::Relaxed);
         buf
     }
@@ -656,7 +657,12 @@ impl<'rt> Ctx<'rt> {
     /// Instrumented atomic read-modify-write (`#pragma omp atomic`);
     /// returns the previous value.
     #[track_caller]
-    pub fn atomic_update<T: TrackedValue>(&self, buf: &TrackedBuf<T>, i: u64, f: impl Fn(T) -> T) -> T {
+    pub fn atomic_update<T: TrackedValue>(
+        &self,
+        buf: &TrackedBuf<T>,
+        i: u64,
+        f: impl Fn(T) -> T,
+    ) -> T {
         let prev = buf.rmw(i, f);
         self.observe(buf.addr_of(i), T::SIZE_BYTES, AccessKind::AtomicWrite, Location::caller());
         prev

@@ -207,10 +207,8 @@ impl Label {
     pub fn bump(&self) -> Label {
         let mut pairs = self.pairs.clone();
         let last = pairs.last_mut().expect("bump on empty label");
-        last.offset = last
-            .offset
-            .checked_add(last.span)
-            .expect("offset-span label offset overflow");
+        last.offset =
+            last.offset.checked_add(last.span).expect("offset-span label offset overflow");
         Label { pairs }
     }
 
@@ -218,10 +216,8 @@ impl Label {
     /// barrier path to avoid reallocating the pair vector.
     pub fn bump_in_place(&mut self) {
         let last = self.pairs.last_mut().expect("bump on empty label");
-        last.offset = last
-            .offset
-            .checked_add(last.span)
-            .expect("offset-span label offset overflow");
+        last.offset =
+            last.offset.checked_add(last.span).expect("offset-span label offset overflow");
     }
 
     /// Compares two labels per the paper's sequentiality rules.

@@ -187,12 +187,7 @@ impl IlpProblem {
         }
         let sol = phase1_simplex(n, &rows)?;
         // Undo the shift.
-        Some(
-            sol.iter()
-                .zip(bounds)
-                .map(|(v, &(lo, _))| *v + Rational::int(lo))
-                .collect(),
-        )
+        Some(sol.iter().zip(bounds).map(|(v, &(lo, _))| *v + Rational::int(lo)).collect())
     }
 }
 
@@ -231,9 +226,7 @@ fn phase1_simplex(n: usize, rows: &[(Vec<Rational>, Rational)]) -> Option<Vec<Ra
 
     // Initial pivot: bring z into the basis on the most negative rhs row to
     // restore feasibility.
-    let pivot_row = (0..m)
-        .min_by(|&i, &j| t[i][cols].cmp(&t[j][cols]))
-        .expect("nonempty tableau");
+    let pivot_row = (0..m).min_by(|&i, &j| t[i][cols].cmp(&t[j][cols])).expect("nonempty tableau");
     pivot(&mut t, pivot_row, n, &mut basis);
 
     // Simplex iterations (Bland's rule) minimizing z.
@@ -268,11 +261,8 @@ fn phase1_simplex(n: usize, rows: &[(Vec<Rational>, Rational)]) -> Option<Vec<Ra
     // Feasible iff objective value (min z) is 0. With the convention used,
     // the objective row rhs is -(current objective value) for maximize; we
     // minimized z directly, value = -t[m][cols]? Track via basis instead:
-    let z_value = basis
-        .iter()
-        .position(|&b| b == n)
-        .map(|row| t[row][cols])
-        .unwrap_or(Rational::ZERO);
+    let z_value =
+        basis.iter().position(|&b| b == n).map(|row| t[row][cols]).unwrap_or(Rational::ZERO);
     if !z_value.is_zero() {
         return None;
     }

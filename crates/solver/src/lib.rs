@@ -196,9 +196,9 @@ fn dense_vs_strided(dense: &StridedInterval, strided: &StridedInterval) -> Optio
     debug_assert!(dense.is_dense() && !strided.is_dense());
     let lo = dense.begin();
     let hi = dense.end(); // exclusive
-    // Access k of `strided` covers [base + k*stride, base + k*stride + size).
-    // It intersects [lo, hi) iff base + k*stride < hi  and  base + k*stride
-    // + size > lo. Solve for k.
+                          // Access k of `strided` covers [base + k*stride, base + k*stride + size).
+                          // It intersects [lo, hi) iff base + k*stride < hi  and  base + k*stride
+                          // + size > lo. Solve for k.
     let stride = strided.stride as i128;
     let base = strided.base as i128;
     let size = strided.size as i128;
@@ -345,9 +345,8 @@ mod tests {
     fn contains_matches_definition() {
         let t = StridedInterval::new(10, 8, 4, 4);
         let member: Vec<u64> = (10..47).filter(|&a| t.contains(a)).collect();
-        let expect: Vec<u64> = (0..=4u64)
-            .flat_map(|k| (0..4u64).map(move |j| 10 + 8 * k + j))
-            .collect();
+        let expect: Vec<u64> =
+            (0..=4u64).flat_map(|k| (0..4u64).map(move |j| 10 + 8 * k + j)).collect();
         assert_eq!(member, expect);
         assert!(!t.contains(9));
         assert!(!t.contains(46));

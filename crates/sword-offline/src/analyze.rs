@@ -1,16 +1,17 @@
-//! Analysis orchestration: task scheduling, parallel workers, statistics.
+//! Analysis orchestration: configuration, statistics, and the entry
+//! points that drive the staged pipeline (the private `pipeline` module).
 
 use std::io;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
-use sword_trace::SessionDir;
+use sword_metrics::StageTable;
+use sword_trace::{PcTable, SessionDir};
 
-use crate::build::{ReaderPool, DEFAULT_CHUNK_BYTES};
-use crate::intervals::{build_structure, intervals_concurrent, Group, Task};
+use crate::build::DEFAULT_CHUNK_BYTES;
+use crate::intervals::build_structure;
 use crate::load::LoadedSession;
-use crate::race::{check_pair, Race, RaceSet};
+use crate::pipeline;
+use crate::race::{Race, RaceSet};
 
 /// Which exact-overlap solver to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +149,10 @@ pub struct AnalysisResult {
     /// Wall seconds of every comparison task (unordered), for the
     /// distributed-analysis model.
     pub task_secs: Vec<f64>,
+    /// Per-stage wall time and throughput of the pipeline
+    /// (discover, load-meta, build-structure, pair-schedule, tree-build,
+    /// compare, dedup-report).
+    pub stages: StageTable,
 }
 
 impl AnalysisResult {
@@ -178,10 +183,17 @@ impl AnalysisResult {
     }
 }
 
-/// Loads a session directory and analyzes it.
+/// Loads a session directory and analyzes it, timing the discover and
+/// load-meta stages along with the pipeline proper.
 pub fn analyze(dir: &SessionDir, config: &AnalysisConfig) -> io::Result<AnalysisResult> {
+    let mut stages = StageTable::new();
+    let t0 = Instant::now();
+    let threads = dir.thread_ids()?;
+    stages.record("discover", t0.elapsed().as_secs_f64(), threads.len() as u64, 0);
+    let t0 = Instant::now();
     let session = LoadedSession::load(dir)?;
-    analyze_loaded(&session, config)
+    stages.record("load-meta", t0.elapsed().as_secs_f64(), session.interval_count() as u64, 0);
+    analyze_with_stages(&session, config, stages)
 }
 
 /// Analyzes an already-loaded session.
@@ -189,92 +201,29 @@ pub fn analyze_loaded(
     session: &LoadedSession,
     config: &AnalysisConfig,
 ) -> io::Result<AnalysisResult> {
+    analyze_with_stages(session, config, StageTable::new())
+}
+
+fn analyze_with_stages(
+    session: &LoadedSession,
+    config: &AnalysisConfig,
+    mut stages: StageTable,
+) -> io::Result<AnalysisResult> {
     let start = Instant::now();
+    let t0 = Instant::now();
     let structure = build_structure(session);
+    stages.record("build-structure", t0.elapsed().as_secs_f64(), structure.groups.len() as u64, 0);
     let mut stats = AnalysisStats {
         threads: session.threads.len() as u64,
         barrier_intervals: session.interval_count() as u64,
         groups: structure.groups.len() as u64,
-        tasks: structure.tasks.len() as u64,
         region_pairs_skipped: structure.region_pairs_skipped,
         region_pairs_considered: structure.region_pairs_considered,
         ..AnalysisStats::default()
     };
 
-    // Targeted analysis: keep only tasks whose regions are in focus.
-    let in_focus = |group: usize| -> bool {
-        match &config.focus_regions {
-            None => true,
-            Some(focus) => focus.contains(&structure.groups[group].pid),
-        }
-    };
-    // Order tasks by file position so each worker's reader pool streams
-    // forward instead of reopening.
-    let mut tasks: Vec<Task> = structure
-        .tasks
-        .iter()
-        .filter(|t| match t {
-            Task::Intra { group } => in_focus(*group),
-            Task::Cross { a, b, .. } => in_focus(*a) && in_focus(*b),
-        })
-        .cloned()
-        .collect();
-    stats.tasks = tasks.len() as u64;
-    let group_pos = |g: usize| -> u64 {
-        structure.groups[g].members.iter().map(|m| m.meta.data_begin).min().unwrap_or(0)
-    };
-    tasks.sort_by_key(|t| match t {
-        Task::Intra { group } => group_pos(*group),
-        Task::Cross { a, b, .. } => group_pos(*a).min(group_pos(*b)),
-    });
-
-    let next = AtomicUsize::new(0);
-    let merged: Mutex<(RaceSet, WorkerStats)> =
-        Mutex::new((RaceSet::new(), WorkerStats::default()));
-    let error: Mutex<Option<io::Error>> = Mutex::new(None);
-    let workers = config.workers.max(1).min(tasks.len().max(1));
-
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                let mut pool = ReaderPool::new();
-                let mut local_races = RaceSet::new();
-                let mut local = WorkerStats::default();
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(task) = tasks.get(idx) else { break };
-                    let t0 = Instant::now();
-                    let result = run_task(
-                        session,
-                        &structure.groups,
-                        task,
-                        config,
-                        &mut pool,
-                        &mut local_races,
-                        &mut local,
-                    );
-                    let dt = t0.elapsed().as_secs_f64();
-                    if dt > local.max_task_secs {
-                        local.max_task_secs = dt;
-                    }
-                    local.task_secs.push(dt);
-                    if let Err(e) = result {
-                        *error.lock() = Some(e);
-                        break;
-                    }
-                }
-                let mut m = merged.lock();
-                m.0.merge(local_races);
-                m.1.merge(&local);
-                drop(m);
-            });
-        }
-    });
-
-    if let Some(e) = error.lock().take() {
-        return Err(e);
-    }
-    let (races, worker_stats) = merged.into_inner();
+    let (races, worker_stats, scheduled) = pipeline::run(session, &structure, config, &mut stages)?;
+    stats.tasks = scheduled;
     stats.trees_built = worker_stats.trees_built;
     stats.nodes = worker_stats.nodes;
     stats.events = worker_stats.events;
@@ -283,134 +232,31 @@ pub fn analyze_loaded(
     stats.candidate_pairs = worker_stats.candidates;
     stats.solver_calls = worker_stats.solver_calls;
     stats.max_task_secs = worker_stats.max_task_secs;
+    let race_list = finalize_races(races, &session.pcs, &config.suppressions, &mut stats);
+    stats.wall_secs = start.elapsed().as_secs_f64();
+    Ok(AnalysisResult { races: race_list, stats, task_secs: worker_stats.task_secs, stages })
+}
+
+/// Turns an accumulated race set into the final sorted, suppressed report
+/// list, filling the race-count statistics. Shared by the batch pipeline
+/// and the live analyzer so both report identically.
+pub(crate) fn finalize_races(
+    races: RaceSet,
+    pcs: &PcTable,
+    suppressions: &[String],
+    stats: &mut AnalysisStats,
+) -> Vec<Race> {
     stats.racy_node_pairs = races.raw_pairs;
     let mut race_list = races.into_sorted();
-    if !config.suppressions.is_empty() {
+    if !suppressions.is_empty() {
         let suppressed = |pc: sword_trace::PcId| {
-            let loc = session.pcs.display(pc);
-            config.suppressions.iter().any(|pat| loc.contains(pat.as_str()))
+            let loc = pcs.display(pc);
+            suppressions.iter().any(|pat| loc.contains(pat.as_str()))
         };
         let before = race_list.len();
         race_list.retain(|r| !suppressed(r.key.pc_lo) && !suppressed(r.key.pc_hi));
         stats.races_suppressed = (before - race_list.len()) as u64;
     }
     stats.races = race_list.len() as u64;
-    stats.wall_secs = start.elapsed().as_secs_f64();
-    Ok(AnalysisResult { races: race_list, stats, task_secs: worker_stats.task_secs })
-}
-
-#[derive(Clone, Debug, Default)]
-struct WorkerStats {
-    trees_built: u64,
-    nodes: u64,
-    events: u64,
-    bytes_read: u64,
-    tree_pairs: u64,
-    candidates: u64,
-    solver_calls: u64,
-    max_task_secs: f64,
-    task_secs: Vec<f64>,
-}
-
-impl WorkerStats {
-    fn merge(&mut self, other: &WorkerStats) {
-        self.trees_built += other.trees_built;
-        self.nodes += other.nodes;
-        self.events += other.events;
-        self.bytes_read += other.bytes_read;
-        self.tree_pairs += other.tree_pairs;
-        self.candidates += other.candidates;
-        self.solver_calls += other.solver_calls;
-        if other.max_task_secs > self.max_task_secs {
-            self.max_task_secs = other.max_task_secs;
-        }
-        self.task_secs.extend_from_slice(&other.task_secs);
-    }
-}
-
-fn build_group_trees(
-    session: &LoadedSession,
-    group: &Group,
-    config: &AnalysisConfig,
-    pool: &mut ReaderPool,
-    stats: &mut WorkerStats,
-) -> io::Result<Vec<(usize, crate::build::BiTree)>> {
-    let mut trees = Vec::with_capacity(group.members.len());
-    for (i, member) in group.members.iter().enumerate() {
-        if member.meta.size == 0 {
-            continue; // empty interval: nothing to race
-        }
-        let tree = pool.build(
-            &session.dir,
-            member.tid,
-            member.meta.data_begin,
-            member.meta.size,
-            config.chunk_bytes,
-        )?;
-        stats.trees_built += 1;
-        stats.nodes += tree.node_count() as u64;
-        stats.events += tree.accesses;
-        stats.bytes_read += tree.bytes_read;
-        if tree.node_count() > 0 {
-            trees.push((i, tree));
-        }
-    }
-    Ok(trees)
-}
-
-fn run_task(
-    session: &LoadedSession,
-    groups: &[Group],
-    task: &Task,
-    config: &AnalysisConfig,
-    pool: &mut ReaderPool,
-    races: &mut RaceSet,
-    stats: &mut WorkerStats,
-) -> io::Result<()> {
-    match *task {
-        Task::Intra { group } => {
-            let g = &groups[group];
-            let trees = build_group_trees(session, g, config, pool, stats)?;
-            for i in 0..trees.len() {
-                for j in i + 1..trees.len() {
-                    stats.tree_pairs += 1;
-                    let pair_stats =
-                        check_pair(&trees[i].1, &trees[j].1, g.pid, config.solver, races);
-                    stats.candidates += pair_stats.candidates;
-                    stats.solver_calls += pair_stats.solver_calls;
-                }
-            }
-        }
-        Task::Cross { a, b, all_concurrent } => {
-            let ga = &groups[a];
-            let gb = &groups[b];
-            // Build in file-position order for the reader pool's sake.
-            let (first, second) = if ga.members.iter().map(|m| m.meta.data_begin).min()
-                <= gb.members.iter().map(|m| m.meta.data_begin).min()
-            {
-                (ga, gb)
-            } else {
-                (gb, ga)
-            };
-            let trees_first = build_group_trees(session, first, config, pool, stats)?;
-            let trees_second = build_group_trees(session, second, config, pool, stats)?;
-            for (ia, ta) in &trees_first {
-                for (ib, tb) in &trees_second {
-                    let ma = &first.members[*ia];
-                    let mb = &second.members[*ib];
-                    if !all_concurrent && !intervals_concurrent(ma, mb) {
-                        continue;
-                    }
-                    if ma.tid == mb.tid {
-                        continue;
-                    }
-                    stats.tree_pairs += 1;
-                    let pair_stats = check_pair(ta, tb, first.pid, config.solver, races);
-                    stats.candidates += pair_stats.candidates;
-                    stats.solver_calls += pair_stats.solver_calls;
-                }
-            }
-        }
-    }
-    Ok(())
+    race_list
 }

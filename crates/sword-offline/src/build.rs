@@ -113,36 +113,30 @@ pub fn build_tree<R: io::Read>(
         loop {
             let mark = pos;
             match decoder.decode(&carry, &mut pos) {
-                Ok(event) => {
-                    match event {
-                        Event::Access(a) => {
-                            accesses += 1;
-                            let meta = AccessMeta {
-                                kind: a.kind,
-                                pc: a.pc,
-                                mset: current_mset,
-                            };
-                            builder.insert_with(
-                                (a.pc, a.kind.code(), a.size, current_mset),
-                                a.addr,
-                                a.size as u64,
-                                || meta,
-                            );
-                        }
-                        Event::MutexAcquire(m) => {
-                            if let Err(at) = held.binary_search(&m) {
-                                held.insert(at, m);
-                            }
-                            current_mset = intern_set(&mut mutex_sets, &held);
-                        }
-                        Event::MutexRelease(m) => {
-                            if let Ok(at) = held.binary_search(&m) {
-                                held.remove(at);
-                            }
-                            current_mset = intern_set(&mut mutex_sets, &held);
-                        }
+                Ok(event) => match event {
+                    Event::Access(a) => {
+                        accesses += 1;
+                        let meta = AccessMeta { kind: a.kind, pc: a.pc, mset: current_mset };
+                        builder.insert_with(
+                            (a.pc, a.kind.code(), a.size, current_mset),
+                            a.addr,
+                            a.size as u64,
+                            || meta,
+                        );
                     }
-                }
+                    Event::MutexAcquire(m) => {
+                        if let Err(at) = held.binary_search(&m) {
+                            held.insert(at, m);
+                        }
+                        current_mset = intern_set(&mut mutex_sets, &held);
+                    }
+                    Event::MutexRelease(m) => {
+                        if let Ok(at) = held.binary_search(&m) {
+                            held.remove(at);
+                        }
+                        current_mset = intern_set(&mut mutex_sets, &held);
+                    }
+                },
                 Err(_) if offset < end => {
                     // Partial event at the chunk boundary: keep the tail
                     // and fetch more bytes. The decoder consumed nothing
@@ -370,8 +364,7 @@ mod tests {
 
         let mut r = LogReader::new(&log[..]);
         let t1 = build_tree(&mut r, 0, 0, b1.len() as u64, 16).unwrap();
-        let t2 =
-            build_tree(&mut r, 0, b1.len() as u64, b2.len() as u64, 16).unwrap();
+        let t2 = build_tree(&mut r, 0, b1.len() as u64, b2.len() as u64, 16).unwrap();
         assert_eq!(t1.accesses, 50);
         assert_eq!(t2.accesses, 30);
         assert_eq!(t1.node_count(), 1);

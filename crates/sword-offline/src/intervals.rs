@@ -70,13 +70,17 @@ pub struct Structure {
 /// Reconstructs one interval's full label from its meta row and the
 /// region table.
 pub fn full_label(session: &LoadedSession, row: &MetaRecord) -> Label {
-    let fork = session
-        .regions
-        .get(&row.pid)
-        .map(|r| r.fork_label())
-        .unwrap_or_else(Label::empty);
-    let mut pairs: Vec<(u64, u64)> =
-        fork.pairs().iter().map(|p| (p.offset, p.span)).collect();
+    full_label_from(&session.regions, row)
+}
+
+/// [`full_label`] against a bare region table (the live analyzer grows
+/// its table incrementally, without a [`LoadedSession`]).
+pub fn full_label_from(
+    regions: &HashMap<u64, sword_trace::RegionRecord>,
+    row: &MetaRecord,
+) -> Label {
+    let fork = regions.get(&row.pid).map(|r| r.fork_label()).unwrap_or_else(Label::empty);
+    let mut pairs: Vec<(u64, u64)> = fork.pairs().iter().map(|p| (p.offset, p.span)).collect();
     pairs.push((row.offset, row.span));
     Label::from_chain(pairs)
 }
@@ -133,11 +137,7 @@ pub fn build_structure(session: &LoadedSession) -> Structure {
     pids.sort_unstable();
 
     let fork_label = |pid: u64| -> Label {
-        session
-            .regions
-            .get(&pid)
-            .map(|r| r.fork_label())
-            .unwrap_or_else(Label::empty)
+        session.regions.get(&pid).map(|r| r.fork_label()).unwrap_or_else(Label::empty)
     };
 
     let mut skipped = 0u64;
@@ -181,7 +181,7 @@ pub fn build_structure(session: &LoadedSession) -> Structure {
 
 /// `true` when one label's pair sequence is a (possibly equal) prefix of
 /// the other's.
-fn is_prefix_related(a: &Label, b: &Label) -> bool {
+pub(crate) fn is_prefix_related(a: &Label, b: &Label) -> bool {
     let (short, long) =
         if a.depth() <= b.depth() { (a.pairs(), b.pairs()) } else { (b.pairs(), a.pairs()) };
     long[..short.len()] == *short
@@ -202,7 +202,14 @@ mod tests {
     use super::*;
     use sword_trace::{PcTable, RegionRecord, SessionDir};
 
-    fn meta_row(pid: u64, ppid: Option<u64>, bid: u32, offset: u64, span: u64, level: u32) -> MetaRecord {
+    fn meta_row(
+        pid: u64,
+        ppid: Option<u64>,
+        bid: u32,
+        offset: u64,
+        span: u64,
+        level: u32,
+    ) -> MetaRecord {
         MetaRecord { pid, ppid, bid, offset, span, level, data_begin: 0, size: 0 }
     }
 

@@ -31,11 +31,16 @@
 pub mod analyze;
 pub mod build;
 pub mod intervals;
+pub mod live;
 pub mod load;
+mod pipeline;
 pub mod race;
 pub mod report;
 
-pub use analyze::{analyze, analyze_loaded, AnalysisConfig, AnalysisResult, AnalysisStats, SolverChoice};
+pub use analyze::{
+    analyze, analyze_loaded, AnalysisConfig, AnalysisResult, AnalysisStats, SolverChoice,
+};
+pub use live::{LiveAnalyzer, PollDelta};
 pub use load::LoadedSession;
 pub use race::{Race, RaceKey};
 pub use report::{render_json, render_text};

@@ -1,0 +1,517 @@
+//! Incremental analysis of in-progress sessions.
+//!
+//! [`LiveAnalyzer`] follows a session that a live-publishing collector
+//! (`SwordConfig::live`) is still writing: every [`poll`] ingests the
+//! barrier intervals newly covered by the flush watermark and analyzes
+//! exactly the *new* interval pairs — each new interval against the
+//! intervals already seen (new×old) and against the other arrivals of
+//! the same poll (new×new). Because every unordered interval pair is
+//! compared exactly once, with the same region-pair pruning, per-pair
+//! concurrency checks, and solver as the batch pipeline, the
+//! deduplicated race set grows monotonically toward **exactly** the
+//! batch result: once the session finishes, [`into_result`] equals
+//! `analyze` on the finished directory (same race keys and occurrence
+//! counts, same `tree_pairs`/`candidate_pairs`/`solver_calls`; tree
+//! *build* counters differ because the live path caches trees instead
+//! of rebuilding per task).
+//!
+//! Processing is sequential within a poll (`AnalysisConfig::workers` is
+//! ignored here); interval trees are kept in a bounded LRU cache so a
+//! long watch holds O(budget) nodes, not the whole log.
+//!
+//! [`poll`]: LiveAnalyzer::poll
+//! [`into_result`]: LiveAnalyzer::into_result
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader};
+use std::time::Instant;
+
+use sword_metrics::StageTable;
+use sword_osl::{Label, Ordering as OslOrdering};
+use sword_trace::{PcTable, RegionRecord, SessionDir, SessionPoller, ThreadId};
+
+use crate::analyze::{finalize_races, AnalysisConfig, AnalysisResult, AnalysisStats};
+use crate::build::{BiTree, ReaderPool};
+use crate::intervals::{full_label_from, intervals_concurrent, is_prefix_related, Group, Interval};
+use crate::pipeline::WorkerStats;
+use crate::race::{check_pair, Race, RaceSet};
+
+/// Default node budget of the live tree cache (matches a few thousand
+/// typical intervals without rebuilds while staying bounded).
+const TREE_CACHE_NODES: usize = 64 * 1024;
+
+/// Region-pair classification, mirroring `build_structure`'s task kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RegionVerdict {
+    /// Fork labels diverge concurrent: every member pair races-able.
+    AllConcurrent,
+    /// Prefix-related fork labels: per-pair barrier-aware checks.
+    Filtered,
+    /// Barrier/join-ordered: the whole region pair is pruned.
+    Ordered,
+}
+
+/// Bounded LRU cache of interval trees keyed by `(tid, data_begin)`.
+struct TreeCache {
+    entries: HashMap<(ThreadId, u64), CacheEntry>,
+    clock: u64,
+    nodes_held: usize,
+    node_budget: usize,
+}
+
+struct CacheEntry {
+    last_use: u64,
+    tree: BiTree,
+}
+
+impl TreeCache {
+    fn new(node_budget: usize) -> Self {
+        TreeCache { entries: HashMap::new(), clock: 0, nodes_held: 0, node_budget }
+    }
+
+    /// Builds and caches the tree for `member` unless already present.
+    fn ensure(
+        &mut self,
+        dir: &SessionDir,
+        member: &Interval,
+        chunk_bytes: usize,
+        pool: &mut ReaderPool,
+        stats: &mut WorkerStats,
+    ) -> io::Result<()> {
+        let key = (member.tid, member.meta.data_begin);
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_use = self.clock;
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        let tree =
+            pool.build(dir, member.tid, member.meta.data_begin, member.meta.size, chunk_bytes)?;
+        stats.build_secs += t0.elapsed().as_secs_f64();
+        stats.trees_built += 1;
+        stats.nodes += tree.node_count() as u64;
+        stats.events += tree.accesses;
+        stats.bytes_read += tree.bytes_read;
+        self.nodes_held += tree.node_count();
+        self.entries.insert(key, CacheEntry { last_use: self.clock, tree });
+        Ok(())
+    }
+
+    /// Evicts least-recently-used trees until the node budget holds,
+    /// never touching the pinned keys (the pair currently compared).
+    fn evict(&mut self, pinned: &[(ThreadId, u64)]) {
+        while self.nodes_held > self.node_budget && self.entries.len() > pinned.len() {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| !pinned.contains(k))
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            let Some(key) = victim else { break };
+            if let Some(e) = self.entries.remove(&key) {
+                self.nodes_held -= e.tree.node_count();
+            }
+        }
+    }
+
+    fn get(&self, key: &(ThreadId, u64)) -> Option<&BiTree> {
+        self.entries.get(key).map(|e| &e.tree)
+    }
+}
+
+/// What one [`LiveAnalyzer::poll`] produced.
+#[derive(Clone, Debug, Default)]
+pub struct PollDelta {
+    /// Barrier intervals newly ingested.
+    pub new_intervals: usize,
+    /// Region records newly ingested.
+    pub new_regions: usize,
+    /// Tree pairs compared by this poll.
+    pub tree_pairs: u64,
+    /// Races whose source-line pair was first seen this poll.
+    pub new_races: Vec<Race>,
+    /// Distinct races accumulated so far.
+    pub total_races: usize,
+    /// Live watermark generation at poll time (`None` before the first
+    /// publish and for sessions without a watermark file).
+    pub generation: Option<u64>,
+    /// `true` once the session's metadata is complete — either the
+    /// watermark says `finished` or the session has no watermark at all
+    /// (pre-live sessions are complete by definition).
+    pub finished: bool,
+}
+
+/// Incremental analyzer over a (possibly still running) session.
+pub struct LiveAnalyzer {
+    dir: SessionDir,
+    config: AnalysisConfig,
+    poller: SessionPoller,
+    regions: HashMap<u64, RegionRecord>,
+    pcs: PcTable,
+    pcs_loaded: bool,
+    groups: Vec<Group>,
+    group_index: HashMap<(u64, u32), usize>,
+    /// Region-pair verdicts, keyed by unordered `(min pid, max pid)`.
+    verdicts: HashMap<(u64, u64), RegionVerdict>,
+    races: RaceSet,
+    worker: WorkerStats,
+    stages: StageTable,
+    cache: TreeCache,
+    pool: ReaderPool,
+    poll_secs: Vec<f64>,
+    finished: bool,
+}
+
+impl LiveAnalyzer {
+    /// Creates an analyzer that has ingested nothing yet.
+    pub fn new(dir: &SessionDir, config: &AnalysisConfig) -> Self {
+        LiveAnalyzer {
+            dir: dir.clone(),
+            config: config.clone(),
+            poller: SessionPoller::new(dir),
+            regions: HashMap::new(),
+            pcs: PcTable::new(),
+            pcs_loaded: false,
+            groups: Vec::new(),
+            group_index: HashMap::new(),
+            verdicts: HashMap::new(),
+            races: RaceSet::new(),
+            worker: WorkerStats::default(),
+            stages: StageTable::new(),
+            cache: TreeCache::new(TREE_CACHE_NODES),
+            pool: ReaderPool::new(),
+            poll_secs: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// `true` once a poll has observed the session as complete.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Distinct races accumulated so far.
+    pub fn race_count(&self) -> usize {
+        self.races.len()
+    }
+
+    /// The per-stage timing table accumulated across polls.
+    pub fn stages(&self) -> &StageTable {
+        &self.stages
+    }
+
+    /// The PC table as currently loaded (may be empty until the run
+    /// persists it).
+    pub fn pcs(&self) -> &PcTable {
+        &self.pcs
+    }
+
+    /// Ingests and analyzes everything newly published since the last
+    /// poll.
+    pub fn poll(&mut self) -> io::Result<PollDelta> {
+        let poll_start = Instant::now();
+        let t0 = Instant::now();
+        let session_delta = self.poller.poll()?;
+        self.stages.record(
+            "load-meta",
+            t0.elapsed().as_secs_f64(),
+            session_delta.interval_count() as u64,
+            0,
+        );
+        let mut delta = PollDelta {
+            new_regions: session_delta.new_regions.len(),
+            generation: session_delta.status.map(|s| s.generation),
+            finished: session_delta.status.is_none_or(|s| s.finished),
+            ..PollDelta::default()
+        };
+        self.finished = delta.finished;
+        // Regions first: any pid a new row references is covered by this
+        // (or an earlier) region snapshot, never a later one.
+        for r in session_delta.new_regions {
+            self.regions.insert(r.pid, r);
+        }
+        if !self.pcs_loaded && self.dir.pcs_path().exists() {
+            self.pcs = PcTable::read_from(BufReader::new(File::open(self.dir.pcs_path())?))?;
+            self.pcs_loaded = true;
+        }
+
+        // Label the new intervals and order them by file position so the
+        // reader pool streams forward.
+        let t0 = Instant::now();
+        let mut fresh: Vec<Interval> = Vec::new();
+        for (tid, rows) in session_delta.new_rows {
+            for row in rows {
+                let label = full_label_from(&self.regions, &row);
+                fresh.push(Interval { tid, meta: row, label });
+            }
+        }
+        fresh.sort_by_key(|iv| iv.meta.data_begin);
+        delta.new_intervals = fresh.len();
+        self.stages.record("build-structure", t0.elapsed().as_secs_f64(), fresh.len() as u64, 0);
+
+        let before = self.worker.clone();
+        let mut poll_races = RaceSet::new();
+        for interval in fresh {
+            self.ingest(interval, &mut poll_races)?;
+        }
+        delta.tree_pairs = self.worker.tree_pairs - before.tree_pairs;
+        self.stages.record(
+            "tree-build",
+            self.worker.build_secs - before.build_secs,
+            self.worker.trees_built - before.trees_built,
+            self.worker.bytes_read - before.bytes_read,
+        );
+        self.stages.record(
+            "compare",
+            self.worker.compare_secs - before.compare_secs,
+            delta.tree_pairs,
+            0,
+        );
+
+        // Dedup/report stage: fold this poll's races into the session
+        // set, surfacing the source-line pairs seen for the first time.
+        let t0 = Instant::now();
+        delta.new_races =
+            poll_races.iter().filter(|r| !self.races.contains(&r.key)).cloned().collect();
+        delta.new_races.sort_by_key(|r| r.key);
+        self.races.merge(poll_races);
+        delta.total_races = self.races.len();
+        self.stages.record(
+            "dedup-report",
+            t0.elapsed().as_secs_f64(),
+            delta.new_races.len() as u64,
+            0,
+        );
+        let secs = poll_start.elapsed().as_secs_f64();
+        if secs > self.worker.max_task_secs {
+            self.worker.max_task_secs = secs;
+        }
+        self.poll_secs.push(secs);
+        Ok(delta)
+    }
+
+    /// Polls until the session reports finished, then returns the final
+    /// analysis result. Equivalent to batch `analyze` on the finished
+    /// directory (see the module docs for the exact sense).
+    pub fn into_result(mut self) -> io::Result<AnalysisResult> {
+        if !self.finished {
+            self.poll()?;
+        }
+        if !self.pcs_loaded && self.dir.pcs_path().exists() {
+            self.pcs = PcTable::read_from(BufReader::new(File::open(self.dir.pcs_path())?))?;
+            self.pcs_loaded = true;
+        }
+        // Region-pair accounting over *all* pid pairs, exactly as the
+        // batch structure pass counts them (including pairs no comparison
+        // ever touched, e.g. regions with only empty intervals).
+        let mut pids: Vec<u64> = Vec::new();
+        for g in &self.groups {
+            if !pids.contains(&g.pid) {
+                pids.push(g.pid);
+            }
+        }
+        pids.sort_unstable();
+        let mut skipped = 0u64;
+        let mut considered = 0u64;
+        for (i, &p) in pids.iter().enumerate() {
+            for &q in &pids[i + 1..] {
+                match self.verdict(p, q) {
+                    RegionVerdict::Ordered => skipped += 1,
+                    _ => considered += 1,
+                }
+            }
+        }
+        // Reconstruct the batch task count: one intra task per in-focus
+        // multi-member group, one cross task per group pair of every
+        // considered, in-focus region pair.
+        let in_focus = |pid: u64| -> bool {
+            self.config.focus_regions.as_ref().is_none_or(|f| f.contains(&pid))
+        };
+        let mut tasks = 0u64;
+        for g in &self.groups {
+            if g.members.len() > 1 && in_focus(g.pid) {
+                tasks += 1;
+            }
+        }
+        let mut region_groups: HashMap<u64, u64> = HashMap::new();
+        for g in &self.groups {
+            *region_groups.entry(g.pid).or_insert(0) += 1;
+        }
+        for (i, &p) in pids.iter().enumerate() {
+            for &q in &pids[i + 1..] {
+                if self.verdicts[&(p.min(q), p.max(q))] != RegionVerdict::Ordered
+                    && in_focus(p)
+                    && in_focus(q)
+                {
+                    tasks += region_groups[&p] * region_groups[&q];
+                }
+            }
+        }
+
+        let mut stats = AnalysisStats {
+            threads: self.poller.thread_count() as u64,
+            barrier_intervals: self.poller.rows_seen() as u64,
+            groups: self.groups.len() as u64,
+            tasks,
+            region_pairs_skipped: skipped,
+            region_pairs_considered: considered,
+            trees_built: self.worker.trees_built,
+            nodes: self.worker.nodes,
+            events: self.worker.events,
+            bytes_read: self.worker.bytes_read,
+            tree_pairs: self.worker.tree_pairs,
+            candidate_pairs: self.worker.candidates,
+            solver_calls: self.worker.solver_calls,
+            max_task_secs: self.worker.max_task_secs,
+            wall_secs: self.poll_secs.iter().sum(),
+            ..AnalysisStats::default()
+        };
+        let races = finalize_races(self.races, &self.pcs, &self.config.suppressions, &mut stats);
+        Ok(AnalysisResult { races, stats, task_secs: self.poll_secs, stages: self.stages })
+    }
+
+    fn fork_label(&self, pid: u64) -> Label {
+        self.regions.get(&pid).map(|r| r.fork_label()).unwrap_or_else(Label::empty)
+    }
+
+    /// Region-pair verdict with memoization (fork labels are immutable
+    /// once a region record exists, so the verdict is stable).
+    fn verdict(&mut self, p: u64, q: u64) -> RegionVerdict {
+        let key = (p.min(q), p.max(q));
+        if let Some(v) = self.verdicts.get(&key) {
+            return *v;
+        }
+        let fp = self.fork_label(key.0);
+        let fq = self.fork_label(key.1);
+        let verdict = match fp.compare_barrier_aware(&fq) {
+            OslOrdering::Concurrent => RegionVerdict::AllConcurrent,
+            _ if is_prefix_related(&fp, &fq) => RegionVerdict::Filtered,
+            _ => RegionVerdict::Ordered,
+        };
+        self.verdicts.insert(key, verdict);
+        verdict
+    }
+
+    fn in_focus(&self, pid: u64) -> bool {
+        self.config.focus_regions.as_ref().is_none_or(|f| f.contains(&pid))
+    }
+
+    /// Analyzes one new interval against everything already ingested,
+    /// then adds it to its group.
+    ///
+    /// Partner enumeration mirrors the batch task rules exactly: members
+    /// of the interval's own `(pid, bid)` group are compared
+    /// unconditionally (intra semantics — the batch path applies no tid
+    /// or concurrency check there); groups of the same region but a
+    /// different barrier interval are never compared; groups of other
+    /// regions follow the memoized region-pair verdict — every pair for
+    /// concurrent fork labels (minus same-tid), per-pair barrier-aware
+    /// checks for prefix-related labels, nothing for ordered labels.
+    fn ingest(&mut self, interval: Interval, races: &mut RaceSet) -> io::Result<()> {
+        let pid = interval.meta.pid;
+        let group_key = (pid, interval.meta.bid);
+        let home = *self.group_index.entry(group_key).or_insert_with(|| {
+            self.groups.push(Group { pid, bid: interval.meta.bid, members: Vec::new() });
+            self.groups.len() - 1
+        });
+
+        if interval.meta.size > 0 && self.in_focus(pid) {
+            // Resolve region-pair verdicts first (needs `&mut self` for
+            // the memo table), then enumerate members immutably.
+            let other_pids: Vec<u64> = self
+                .groups
+                .iter()
+                .map(|g| g.pid)
+                .filter(|&p| p != pid && self.in_focus(p))
+                .collect();
+            for p in other_pids {
+                self.verdict(pid, p);
+            }
+            let mut partners: Vec<(usize, usize)> = Vec::new();
+            for (gi, group) in self.groups.iter().enumerate() {
+                let verdict = if gi == home {
+                    // Intra semantics: every member pair counts.
+                    RegionVerdict::AllConcurrent
+                } else if group.pid == pid || !self.in_focus(group.pid) {
+                    continue;
+                } else {
+                    self.verdicts[&(pid.min(group.pid), pid.max(group.pid))]
+                };
+                if verdict == RegionVerdict::Ordered {
+                    continue;
+                }
+                for (mi, member) in group.members.iter().enumerate() {
+                    if member.meta.size == 0 {
+                        continue;
+                    }
+                    match verdict {
+                        RegionVerdict::AllConcurrent => {
+                            // Cross pairs skip same-tid members; intra
+                            // pairs (gi == home) never share a tid, each
+                            // thread contributes one row per (pid, bid).
+                            if gi != home && member.tid == interval.tid {
+                                continue;
+                            }
+                        }
+                        RegionVerdict::Filtered => {
+                            if !intervals_concurrent(&interval, member) {
+                                continue;
+                            }
+                        }
+                        RegionVerdict::Ordered => unreachable!("skipped above"),
+                    }
+                    partners.push((gi, mi));
+                }
+            }
+
+            let new_key = (interval.tid, interval.meta.data_begin);
+            if !partners.is_empty() {
+                self.cache.ensure(
+                    &self.dir,
+                    &interval,
+                    self.config.chunk_bytes,
+                    &mut self.pool,
+                    &mut self.worker,
+                )?;
+            }
+            for (gi, mi) in partners {
+                let member = self.groups[gi].members[mi].clone();
+                let member_key = (member.tid, member.meta.data_begin);
+                self.cache.ensure(
+                    &self.dir,
+                    &member,
+                    self.config.chunk_bytes,
+                    &mut self.pool,
+                    &mut self.worker,
+                )?;
+                self.cache.evict(&[new_key, member_key]);
+                let (Some(ta), Some(tb)) = (self.cache.get(&new_key), self.cache.get(&member_key))
+                else {
+                    continue;
+                };
+                if ta.node_count() == 0 || tb.node_count() == 0 {
+                    continue;
+                }
+                // The batch path tags cross races with the
+                // earlier-positioned region's pid; reproduce that witness.
+                let region = if gi == home {
+                    pid
+                } else if member.meta.data_begin <= interval.meta.data_begin {
+                    self.groups[gi].pid
+                } else {
+                    pid
+                };
+                self.worker.tree_pairs += 1;
+                let t0 = Instant::now();
+                let pair_stats = check_pair(ta, tb, region, self.config.solver, races);
+                self.worker.compare_secs += t0.elapsed().as_secs_f64();
+                self.worker.candidates += pair_stats.candidates;
+                self.worker.solver_calls += pair_stats.solver_calls;
+            }
+        }
+
+        self.groups[home].members.push(interval);
+        Ok(())
+    }
+}

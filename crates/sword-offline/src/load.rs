@@ -24,8 +24,7 @@ impl LoadedSession {
     pub fn load(dir: &SessionDir) -> io::Result<Self> {
         let mut threads = Vec::new();
         for tid in dir.thread_ids()? {
-            let rows =
-                meta::read_meta(BufReader::new(File::open(dir.thread_meta(tid))?))?;
+            let rows = meta::read_meta(BufReader::new(File::open(dir.thread_meta(tid))?))?;
             threads.push((tid, rows));
         }
         let regions_vec = if dir.regions_path().exists() {
@@ -57,8 +56,8 @@ mod tests {
     use std::io::Write;
 
     fn tmp(tag: &str) -> SessionDir {
-        let dir = std::env::temp_dir()
-            .join(format!("sword-offline-load-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("sword-offline-load-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let s = SessionDir::new(dir);
         s.create().unwrap();

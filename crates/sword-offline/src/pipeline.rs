@@ -1,0 +1,299 @@
+//! The staged streaming pipeline behind [`crate::analyze_loaded`].
+//!
+//! The offline phase runs as explicit stages connected by bounded
+//! channels with backpressure:
+//!
+//! ```text
+//! discover ─ load-meta ─ build-structure ─┐            (caller, timed)
+//!                                         ▼
+//!                  pair-schedule ──(task channel)──► workers
+//!                  (filter + sort)                   tree-build
+//!                                                    compare
+//!                                         ┌──(result channel)──┘
+//!                                         ▼
+//!                                    dedup-report
+//!                                 (streaming reducer)
+//! ```
+//!
+//! The scheduler filters tasks to the focus regions and sorts them by
+//! file position so each worker's reader pool streams forward; workers
+//! pull tasks, build interval trees, and compare them; the reducer merges
+//! each task's race set the moment it arrives instead of waiting for a
+//! global barrier. Both channels are bounded at twice the worker count,
+//! so a slow stage throttles its producer rather than buffering the
+//! whole task list or result set.
+
+use std::io;
+use std::time::Instant;
+
+use crossbeam::channel::bounded;
+use sword_metrics::StageTable;
+
+use crate::analyze::AnalysisConfig;
+use crate::build::ReaderPool;
+use crate::intervals::{intervals_concurrent, Group, Structure, Task};
+use crate::load::LoadedSession;
+use crate::race::{check_pair, RaceSet};
+
+/// Per-worker counters, accumulated across tasks and merged by the
+/// reducer.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WorkerStats {
+    pub trees_built: u64,
+    pub nodes: u64,
+    pub events: u64,
+    pub bytes_read: u64,
+    pub tree_pairs: u64,
+    pub candidates: u64,
+    pub solver_calls: u64,
+    pub max_task_secs: f64,
+    pub task_secs: Vec<f64>,
+    /// Wall time inside tree construction (the tree-build stage).
+    pub build_secs: f64,
+    /// Wall time inside tree comparison (the compare stage).
+    pub compare_secs: f64,
+}
+
+impl WorkerStats {
+    pub(crate) fn merge(&mut self, other: &WorkerStats) {
+        self.trees_built += other.trees_built;
+        self.nodes += other.nodes;
+        self.events += other.events;
+        self.bytes_read += other.bytes_read;
+        self.tree_pairs += other.tree_pairs;
+        self.candidates += other.candidates;
+        self.solver_calls += other.solver_calls;
+        if other.max_task_secs > self.max_task_secs {
+            self.max_task_secs = other.max_task_secs;
+        }
+        self.task_secs.extend_from_slice(&other.task_secs);
+        self.build_secs += other.build_secs;
+        self.compare_secs += other.compare_secs;
+    }
+}
+
+/// What one comparison task produced.
+struct TaskOutcome {
+    races: RaceSet,
+    stats: WorkerStats,
+    secs: f64,
+}
+
+/// Runs the scheduler → workers → reducer stages over a reconstructed
+/// structure and returns the merged race set and counters, recording
+/// per-stage wall time and throughput into `stages`.
+pub(crate) fn run(
+    session: &LoadedSession,
+    structure: &Structure,
+    config: &AnalysisConfig,
+    stages: &mut StageTable,
+) -> io::Result<(RaceSet, WorkerStats, u64)> {
+    let workers = config.workers.max(1);
+    let (task_tx, task_rx) = bounded::<Task>(2 * workers);
+    let (result_tx, result_rx) = bounded::<io::Result<TaskOutcome>>(2 * workers);
+
+    let mut races = RaceSet::new();
+    let mut merged = WorkerStats::default();
+    let mut first_error: Option<io::Error> = None;
+    let mut dedup_secs = 0.0f64;
+    let mut outcomes = 0u64;
+
+    let (scheduled, schedule_secs) = std::thread::scope(|s| {
+        // Stage: pair-schedule. Filters to the focus regions, orders tasks
+        // by file position, and feeds them downstream under backpressure.
+        let scheduler = s.spawn(move || {
+            let t0 = Instant::now();
+            let in_focus = |group: usize| -> bool {
+                match &config.focus_regions {
+                    None => true,
+                    Some(focus) => focus.contains(&structure.groups[group].pid),
+                }
+            };
+            let group_pos = |g: usize| -> u64 {
+                structure.groups[g].members.iter().map(|m| m.meta.data_begin).min().unwrap_or(0)
+            };
+            let mut tasks: Vec<Task> = structure
+                .tasks
+                .iter()
+                .filter(|t| match t {
+                    Task::Intra { group } => in_focus(*group),
+                    Task::Cross { a, b, .. } => in_focus(*a) && in_focus(*b),
+                })
+                .cloned()
+                .collect();
+            tasks.sort_by_key(|t| match t {
+                Task::Intra { group } => group_pos(*group),
+                Task::Cross { a, b, .. } => group_pos(*a).min(group_pos(*b)),
+            });
+            let scheduled = tasks.len() as u64;
+            let secs = t0.elapsed().as_secs_f64();
+            for task in tasks {
+                // A send fails only when every worker is gone (error
+                // shutdown); the error itself arrives via the results.
+                if task_tx.send(task).is_err() {
+                    break;
+                }
+            }
+            (scheduled, secs)
+        });
+
+        // Stage: tree-build + compare, on `workers` threads.
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            s.spawn(move || {
+                let mut pool = ReaderPool::new();
+                for task in task_rx.iter() {
+                    let t0 = Instant::now();
+                    let mut task_races = RaceSet::new();
+                    let mut local = WorkerStats::default();
+                    let result = run_task(
+                        session,
+                        &structure.groups,
+                        &task,
+                        config,
+                        &mut pool,
+                        &mut task_races,
+                        &mut local,
+                    );
+                    let secs = t0.elapsed().as_secs_f64();
+                    let msg =
+                        result.map(|()| TaskOutcome { races: task_races, stats: local, secs });
+                    if result_tx.send(msg).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(task_rx);
+        drop(result_tx);
+
+        // Stage: dedup-report. Merges every task's races as it arrives.
+        for msg in result_rx.iter() {
+            match msg {
+                Ok(outcome) => {
+                    let t0 = Instant::now();
+                    races.merge(outcome.races);
+                    merged.merge(&outcome.stats);
+                    if outcome.secs > merged.max_task_secs {
+                        merged.max_task_secs = outcome.secs;
+                    }
+                    merged.task_secs.push(outcome.secs);
+                    outcomes += 1;
+                    dedup_secs += t0.elapsed().as_secs_f64();
+                }
+                // Keep draining after an error so no worker blocks on a
+                // full result channel; the scope still joins everything.
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        scheduler.join().expect("scheduler stage does not panic")
+    });
+
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    stages.record("pair-schedule", schedule_secs, scheduled, 0);
+    stages.record("tree-build", merged.build_secs, merged.trees_built, merged.bytes_read);
+    stages.record("compare", merged.compare_secs, merged.tree_pairs, 0);
+    stages.record("dedup-report", dedup_secs, outcomes, 0);
+    Ok((races, merged, scheduled))
+}
+
+/// Builds the non-empty interval trees of a group's members, tagged with
+/// the member index.
+pub(crate) fn build_group_trees(
+    session: &LoadedSession,
+    group: &Group,
+    config: &AnalysisConfig,
+    pool: &mut ReaderPool,
+    stats: &mut WorkerStats,
+) -> io::Result<Vec<(usize, crate::build::BiTree)>> {
+    let t0 = Instant::now();
+    let mut trees = Vec::with_capacity(group.members.len());
+    for (i, member) in group.members.iter().enumerate() {
+        if member.meta.size == 0 {
+            continue; // empty interval: nothing to race
+        }
+        let tree = pool.build(
+            &session.dir,
+            member.tid,
+            member.meta.data_begin,
+            member.meta.size,
+            config.chunk_bytes,
+        )?;
+        stats.trees_built += 1;
+        stats.nodes += tree.node_count() as u64;
+        stats.events += tree.accesses;
+        stats.bytes_read += tree.bytes_read;
+        if tree.node_count() > 0 {
+            trees.push((i, tree));
+        }
+    }
+    stats.build_secs += t0.elapsed().as_secs_f64();
+    Ok(trees)
+}
+
+/// Executes one comparison task.
+pub(crate) fn run_task(
+    session: &LoadedSession,
+    groups: &[Group],
+    task: &Task,
+    config: &AnalysisConfig,
+    pool: &mut ReaderPool,
+    races: &mut RaceSet,
+    stats: &mut WorkerStats,
+) -> io::Result<()> {
+    match *task {
+        Task::Intra { group } => {
+            let g = &groups[group];
+            let trees = build_group_trees(session, g, config, pool, stats)?;
+            let t0 = Instant::now();
+            for i in 0..trees.len() {
+                for j in i + 1..trees.len() {
+                    stats.tree_pairs += 1;
+                    let pair_stats =
+                        check_pair(&trees[i].1, &trees[j].1, g.pid, config.solver, races);
+                    stats.candidates += pair_stats.candidates;
+                    stats.solver_calls += pair_stats.solver_calls;
+                }
+            }
+            stats.compare_secs += t0.elapsed().as_secs_f64();
+        }
+        Task::Cross { a, b, all_concurrent } => {
+            let ga = &groups[a];
+            let gb = &groups[b];
+            // Build in file-position order for the reader pool's sake.
+            let (first, second) = if ga.members.iter().map(|m| m.meta.data_begin).min()
+                <= gb.members.iter().map(|m| m.meta.data_begin).min()
+            {
+                (ga, gb)
+            } else {
+                (gb, ga)
+            };
+            let trees_first = build_group_trees(session, first, config, pool, stats)?;
+            let trees_second = build_group_trees(session, second, config, pool, stats)?;
+            let t0 = Instant::now();
+            for (ia, ta) in &trees_first {
+                for (ib, tb) in &trees_second {
+                    let ma = &first.members[*ia];
+                    let mb = &second.members[*ib];
+                    if !all_concurrent && !intervals_concurrent(ma, mb) {
+                        continue;
+                    }
+                    if ma.tid == mb.tid {
+                        continue;
+                    }
+                    stats.tree_pairs += 1;
+                    let pair_stats = check_pair(ta, tb, first.pid, config.solver, races);
+                    stats.candidates += pair_stats.candidates;
+                    stats.solver_calls += pair_stats.solver_calls;
+                }
+            }
+            stats.compare_secs += t0.elapsed().as_secs_f64();
+        }
+    }
+    Ok(())
+}

@@ -84,26 +84,30 @@ impl RaceSet {
     /// Records one racy node pair.
     pub fn record(&mut self, race: Race) {
         self.raw_pairs += 1;
-        self.races
-            .entry(race.key)
-            .and_modify(|r| r.occurrences += 1)
-            .or_insert(race);
+        self.races.entry(race.key).and_modify(|r| r.occurrences += 1).or_insert(race);
     }
 
     /// Merges another set (parallel workers).
     pub fn merge(&mut self, other: RaceSet) {
         self.raw_pairs += other.raw_pairs;
         for (key, race) in other.races {
-            self.races
-                .entry(key)
-                .and_modify(|r| r.occurrences += race.occurrences)
-                .or_insert(race);
+            self.races.entry(key).and_modify(|r| r.occurrences += race.occurrences).or_insert(race);
         }
     }
 
     /// Number of distinct races.
     pub fn len(&self) -> usize {
         self.races.len()
+    }
+
+    /// `true` when this source-line pair was already recorded.
+    pub fn contains(&self, key: &RaceKey) -> bool {
+        self.races.contains_key(key)
+    }
+
+    /// Iterates the distinct races in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Race> {
+        self.races.values()
     }
 
     /// `true` when no races were recorded.
@@ -184,7 +188,13 @@ mod tests {
         for (iv, m) in nodes {
             tree.insert(*iv, *m);
         }
-        BiTree { tid, tree, mutex_sets: vec![vec![], vec![7]], accesses: nodes.len() as u64, bytes_read: 0 }
+        BiTree {
+            tid,
+            tree,
+            mutex_sets: vec![vec![], vec![7]],
+            accesses: nodes.len() as u64,
+            bytes_read: 0,
+        }
     }
 
     fn meta(kind: AccessKind, pc: PcId, mset: u32) -> AccessMeta {
@@ -193,8 +203,10 @@ mod tests {
 
     #[test]
     fn write_read_overlap_is_a_race() {
-        let a = tree_of(0, &[(StridedInterval::new(0x100, 8, 99, 8), meta(AccessKind::Write, 1, 0))]);
-        let b = tree_of(1, &[(StridedInterval::new(0x100, 8, 99, 8), meta(AccessKind::Read, 2, 0))]);
+        let a =
+            tree_of(0, &[(StridedInterval::new(0x100, 8, 99, 8), meta(AccessKind::Write, 1, 0))]);
+        let b =
+            tree_of(1, &[(StridedInterval::new(0x100, 8, 99, 8), meta(AccessKind::Read, 2, 0))]);
         let mut races = RaceSet::new();
         let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
         assert_eq!(stats.candidates, 1);

@@ -91,7 +91,12 @@ pub fn render_text(result: &AnalysisResult, pcs: &PcTable) -> String {
     let mut out = format!(
         "analyzed {} threads, {} barrier intervals, {} events in {:.2}s \
          ({} tree nodes, {} candidate pairs, {} solver calls)\n",
-        s.threads, s.barrier_intervals, s.events, s.wall_secs, s.nodes, s.candidate_pairs,
+        s.threads,
+        s.barrier_intervals,
+        s.events,
+        s.wall_secs,
+        s.nodes,
+        s.candidate_pairs,
         s.solver_calls
     );
     if result.races.is_empty() {
@@ -110,6 +115,7 @@ mod tests {
     use super::*;
     use crate::analyze::{AnalysisResult, AnalysisStats};
     use crate::race::{Race, RaceKey};
+    use sword_metrics::StageTable;
     use sword_trace::AccessKind;
 
     fn sample() -> (AnalysisResult, PcTable) {
@@ -128,6 +134,7 @@ mod tests {
             }],
             stats: AnalysisStats { threads: 2, races: 1, ..Default::default() },
             task_secs: vec![0.1],
+            stages: StageTable::new(),
         };
         (result, pcs)
     }
@@ -148,8 +155,12 @@ mod tests {
 
     #[test]
     fn json_empty_result() {
-        let result =
-            AnalysisResult { races: vec![], stats: AnalysisStats::default(), task_secs: vec![] };
+        let result = AnalysisResult {
+            races: vec![],
+            stats: AnalysisStats::default(),
+            task_secs: vec![],
+            stages: StageTable::new(),
+        };
         let json = render_json(&result, &PcTable::new());
         assert!(json.contains("\"races\": [\n  ]"));
     }
@@ -160,8 +171,12 @@ mod tests {
         let text = render_text(&result, &pcs);
         assert!(text.contains("1 data race(s)"));
         assert!(text.contains("kernel.rs:20"));
-        let empty =
-            AnalysisResult { races: vec![], stats: AnalysisStats::default(), task_secs: vec![] };
+        let empty = AnalysisResult {
+            races: vec![],
+            stats: AnalysisStats::default(),
+            task_secs: vec![],
+            stages: StageTable::new(),
+        };
         assert!(render_text(&empty, &pcs).contains("no data races detected"));
     }
 

@@ -423,19 +423,13 @@ fn suppressions_silence_triaged_races() {
     let unsuppressed = analyze(&session, &AnalysisConfig::sequential()).unwrap();
     assert_eq!(unsuppressed.race_count(), 1);
 
-    let miss = analyze(
-        &session,
-        &AnalysisConfig::sequential().with_suppression("no_such_file.rs"),
-    )
-    .unwrap();
+    let miss = analyze(&session, &AnalysisConfig::sequential().with_suppression("no_such_file.rs"))
+        .unwrap();
     assert_eq!(miss.race_count(), 1);
     assert_eq!(miss.stats.races_suppressed, 0);
 
-    let hit = analyze(
-        &session,
-        &AnalysisConfig::sequential().with_suppression("end_to_end.rs"),
-    )
-    .unwrap();
+    let hit =
+        analyze(&session, &AnalysisConfig::sequential().with_suppression("end_to_end.rs")).unwrap();
     assert_eq!(hit.race_count(), 0);
     assert_eq!(hit.stats.races_suppressed, 1);
     std::fs::remove_dir_all(&dir).unwrap();
@@ -482,12 +476,16 @@ fn corrupted_sessions_error_instead_of_panicking() {
     std::fs::write(&victim, &original).unwrap();
     let meta_path = victim.with_extension("meta");
     let meta_text = std::fs::read_to_string(&meta_path).unwrap();
-    let inflated = meta_text.lines().map(|line| {
-        let mut cols: Vec<String> = line.split('\t').map(str::to_string).collect();
-        let size_idx = cols.len() - 1;
-        cols[size_idx] = "999999999".to_string();
-        cols.join("\t")
-    }).collect::<Vec<_>>().join("\n");
+    let inflated = meta_text
+        .lines()
+        .map(|line| {
+            let mut cols: Vec<String> = line.split('\t').map(str::to_string).collect();
+            let size_idx = cols.len() - 1;
+            cols[size_idx] = "999999999".to_string();
+            cols.join("\t")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
     std::fs::write(&meta_path, inflated).unwrap();
     assert!(analyze(&session, &AnalysisConfig::sequential()).is_err(), "meta past EOF");
 
@@ -515,18 +513,12 @@ fn focus_regions_restricts_analysis() {
     let session = SessionDir::new(&dir);
     let all = analyze(&session, &AnalysisConfig::sequential()).unwrap();
     assert_eq!(all.race_count(), 2);
-    let only_r1 = analyze(
-        &session,
-        &AnalysisConfig::sequential().with_focus_regions(vec![1]),
-    )
-    .unwrap();
+    let only_r1 =
+        analyze(&session, &AnalysisConfig::sequential().with_focus_regions(vec![1])).unwrap();
     assert_eq!(only_r1.race_count(), 1);
     assert!(only_r1.stats.events < all.stats.events, "less log data streamed");
-    let none = analyze(
-        &session,
-        &AnalysisConfig::sequential().with_focus_regions(vec![99]),
-    )
-    .unwrap();
+    let none =
+        analyze(&session, &AnalysisConfig::sequential().with_focus_regions(vec![99])).unwrap();
     assert_eq!(none.race_count(), 0);
     assert_eq!(none.stats.tasks, 0);
     std::fs::remove_dir_all(&dir).unwrap();
@@ -555,10 +547,7 @@ fn makespan_model_is_monotone() {
     for nodes in [2usize, 4, 8, 1000] {
         let m = result.makespan(nodes);
         assert!(m <= prev + 1e-12, "makespan must not grow with more nodes");
-        assert!(
-            m >= result.stats.max_task_secs - 1e-12,
-            "bounded below by the longest task"
-        );
+        assert!(m >= result.stats.max_task_secs - 1e-12, "bounded below by the longest task");
         prev = m;
     }
     assert!((result.makespan(100_000) - result.stats.max_task_secs).abs() < 1e-9);

@@ -1,0 +1,294 @@
+//! Incremental (live) analysis must equal one-shot batch analysis.
+//!
+//! The staged-replay harness makes this deterministic: a finished session
+//! is copied into a replica directory whose metadata is then re-published
+//! as growing watermarked prefixes — exactly what a live collector's
+//! publish protocol produces — with a [`LiveAnalyzer`] polled between
+//! steps. Whatever the publish cadence, the final result must match the
+//! batch analyzer on the same data: same deduplicated race set with the
+//! same occurrence counts, and the same comparison-effort counters
+//! (`tree_pairs`, `candidate_pairs`, `solver_calls`). Tree *build*
+//! counters are exempt by design — the live path caches trees across
+//! polls instead of rebuilding per task.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sword_offline::{analyze, AnalysisConfig, AnalysisResult, LiveAnalyzer};
+use sword_ompsim::{OmpSim, SimConfig};
+use sword_runtime::{run_collected, SwordCollector, SwordConfig};
+use sword_trace::{LiveStatus, SessionDir};
+
+fn session_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sword-live-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Collects `program` into a fresh session and returns its directory.
+fn record(tag: &str, program: impl FnOnce(&OmpSim)) -> PathBuf {
+    let dir = session_dir(tag);
+    run_collected(SwordConfig::new(&dir), SimConfig::default(), program).expect("collection");
+    dir
+}
+
+/// Replays a finished session as a staged sequence of watermark
+/// publishes: logs, regions, and PCs are present from the start (regions
+/// may only run ahead of the rows that reference them), while each
+/// thread's meta file grows by `step` rows per publish. The analyzer is
+/// polled after every publish — including empty ones — and its final
+/// result is returned.
+fn staged_replay(
+    src: &SessionDir,
+    tag: &str,
+    config: &AnalysisConfig,
+    step: usize,
+) -> AnalysisResult {
+    let dir = session_dir(tag);
+    let dst = SessionDir::new(&dir);
+    dst.create().expect("replica dir");
+    for tid in src.thread_ids().expect("thread ids") {
+        std::fs::copy(src.thread_log(tid), dst.thread_log(tid)).expect("copy log");
+    }
+    for name in ["regions.meta", "pcs.meta"] {
+        let from = src.path().join(name);
+        if from.exists() {
+            std::fs::copy(from, dst.path().join(name)).expect("copy table");
+        }
+    }
+    let metas: Vec<(sword_trace::ThreadId, Vec<String>)> = src
+        .thread_ids()
+        .expect("thread ids")
+        .into_iter()
+        .map(|tid| {
+            let text = std::fs::read_to_string(src.thread_meta(tid)).expect("read meta");
+            (tid, text.lines().map(str::to_string).collect())
+        })
+        .collect();
+    let max_rows = metas.iter().map(|(_, lines)| lines.len()).max().unwrap_or(0);
+
+    let mut live = LiveAnalyzer::new(&dst, config);
+    let mut revealed = 0usize;
+    let mut generation = 0u64;
+    loop {
+        revealed = revealed.saturating_add(step).min(max_rows);
+        for (tid, lines) in &metas {
+            let n = revealed.min(lines.len());
+            let mut body = lines[..n].join("\n");
+            if n > 0 {
+                body.push('\n');
+            }
+            dst.write_file_atomic(&dst.thread_meta(*tid), body.as_bytes())
+                .expect("publish meta prefix");
+        }
+        generation += 1;
+        dst.write_live(LiveStatus { generation, finished: revealed >= max_rows })
+            .expect("publish watermark");
+        let delta = live.poll().expect("poll");
+        if delta.finished {
+            break;
+        }
+    }
+    // An idle poll after completion must be a no-op.
+    let idle = live.poll().expect("idle poll");
+    assert!(idle.new_intervals == 0 && idle.new_races.is_empty(), "idle poll changed state");
+    let result = live.into_result().expect("live result");
+    std::fs::remove_dir_all(&dir).unwrap();
+    result
+}
+
+/// The equivalence contract: identical race report and identical
+/// comparison effort (tree builds are allowed to differ — the live tree
+/// cache avoids the batch path's per-task rebuilds).
+fn assert_equivalent(live: &AnalysisResult, batch: &AnalysisResult) {
+    let report = |r: &AnalysisResult| -> Vec<_> {
+        r.races.iter().map(|x| (x.key, x.kind_a, x.kind_b, x.occurrences)).collect()
+    };
+    assert_eq!(report(live), report(batch), "race reports diverge");
+    assert_eq!(live.stats.races, batch.stats.races);
+    assert_eq!(live.stats.racy_node_pairs, batch.stats.racy_node_pairs);
+    assert_eq!(live.stats.races_suppressed, batch.stats.races_suppressed);
+    assert_eq!(live.stats.tree_pairs, batch.stats.tree_pairs, "tree pairs");
+    assert_eq!(live.stats.candidate_pairs, batch.stats.candidate_pairs, "candidates");
+    assert_eq!(live.stats.solver_calls, batch.stats.solver_calls, "solver calls");
+    assert_eq!(live.stats.threads, batch.stats.threads);
+    assert_eq!(live.stats.barrier_intervals, batch.stats.barrier_intervals);
+    assert_eq!(live.stats.groups, batch.stats.groups);
+    assert_eq!(live.stats.tasks, batch.stats.tasks);
+    assert_eq!(live.stats.region_pairs_skipped, batch.stats.region_pairs_skipped);
+    assert_eq!(live.stats.region_pairs_considered, batch.stats.region_pairs_considered);
+}
+
+/// A workload with intra-group races, nested concurrent regions (cross
+/// tasks of both kinds), and a sequential region pair to prune.
+fn mixed_workload(sim: &OmpSim) {
+    let a = sim.alloc::<i64>(600, 0);
+    let c = sim.alloc::<u64>(1, 0);
+    let y = sim.alloc::<u64>(1, 0);
+    sim.run(|ctx| {
+        ctx.parallel(3, |w| {
+            w.for_static(1..600, |i| {
+                let v = w.read(&a, i - 1);
+                w.write(&a, i, v + 1);
+            });
+            let v = w.read(&c, 0);
+            w.write(&c, 0, v + 1);
+        });
+        ctx.parallel(2, |w| {
+            w.parallel(2, |inner| {
+                inner.write(&y, 0, inner.team_index());
+            });
+        });
+    });
+}
+
+fn clean_workload(sim: &OmpSim) {
+    let a = sim.alloc::<f64>(512, 1.0);
+    sim.run(|ctx| {
+        ctx.parallel(4, |w| {
+            w.for_static(0..512, |i| {
+                let v = w.read(&a, i);
+                w.write(&a, i, v * 2.0);
+            });
+        });
+    });
+}
+
+#[test]
+fn live_equals_batch_on_racy_workload() {
+    let dir = record("racy", mixed_workload);
+    let src = SessionDir::new(&dir);
+    let config = AnalysisConfig::sequential();
+    let batch = analyze(&src, &config).expect("batch");
+    assert!(batch.race_count() >= 2, "workload must race: {:?}", batch.races);
+    let live = staged_replay(&src, "racy-replay", &config, 1);
+    assert_equivalent(&live, &batch);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn live_equals_batch_on_clean_workload() {
+    let dir = record("clean", clean_workload);
+    let src = SessionDir::new(&dir);
+    let config = AnalysisConfig::sequential();
+    let batch = analyze(&src, &config).expect("batch");
+    assert_eq!(batch.race_count(), 0, "{:?}", batch.races);
+    let live = staged_replay(&src, "clean-replay", &config, 2);
+    assert_equivalent(&live, &batch);
+    assert!(live.stats.events > 0, "log data was actually streamed");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn poll_cadence_is_invariant() {
+    // One row at a time, three at a time, or everything in one publish —
+    // the result must not depend on how the watermark advanced.
+    let dir = record("cadence", mixed_workload);
+    let src = SessionDir::new(&dir);
+    let config = AnalysisConfig::sequential();
+    let batch = analyze(&src, &config).expect("batch");
+    for (tag, step) in [("cadence-1", 1), ("cadence-3", 3), ("cadence-all", usize::MAX)] {
+        let live = staged_replay(&src, tag, &config, step);
+        assert_equivalent(&live, &batch);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn focus_and_suppressions_flow_through_live() {
+    let dir = record("config", |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        let b = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.write(&a, 0, w.team_index());
+            });
+            ctx.parallel(2, |w| {
+                w.write(&b, 0, w.team_index());
+            });
+        });
+    });
+    let src = SessionDir::new(&dir);
+
+    let focus = AnalysisConfig::sequential().with_focus_regions(vec![1]);
+    let batch = analyze(&src, &focus).expect("batch focus");
+    assert_eq!(batch.race_count(), 1);
+    assert_equivalent(&staged_replay(&src, "config-focus", &focus, 1), &batch);
+
+    let suppress = AnalysisConfig::sequential().with_suppression("live_equivalence.rs");
+    let batch = analyze(&src, &suppress).expect("batch suppress");
+    assert_eq!(batch.race_count(), 0);
+    assert_eq!(batch.stats.races_suppressed, 2);
+    assert_equivalent(&staged_replay(&src, "config-suppress", &suppress, 1), &batch);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn chunk_size_is_invariant_in_live_mode() {
+    let dir = record("chunks", mixed_workload);
+    let src = SessionDir::new(&dir);
+    let small =
+        staged_replay(&src, "chunks-small", &AnalysisConfig::sequential().with_chunk_bytes(7), 2);
+    let large = staged_replay(
+        &src,
+        "chunks-large",
+        &AnalysisConfig::sequential().with_chunk_bytes(1 << 20),
+        2,
+    );
+    let keys =
+        |r: &AnalysisResult| -> Vec<_> { r.races.iter().map(|x| (x.key, x.occurrences)).collect() };
+    assert_eq!(keys(&small), keys(&large));
+    assert_eq!(small.stats.candidate_pairs, large.stats.candidate_pairs);
+    assert_eq!(small.stats.events, large.stats.events);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mid_run_polling_reports_races_before_the_run_ends() {
+    // The real collector, not the replay harness: a racy first region is
+    // published mid-run (deterministically, via publish_progress) and the
+    // analyzer polled inside the run must already report the race while
+    // the session is still unfinished and later intervals don't exist yet.
+    let dir = session_dir("midrun");
+    let collector = Arc::new(
+        SwordCollector::new(SwordConfig::new(&dir).sync_flush().buffer_events(1).live())
+            .expect("collector"),
+    );
+    let session = collector.session().clone();
+    let config = AnalysisConfig::sequential();
+    let mut live = LiveAnalyzer::new(&session, &config);
+    let sim = OmpSim::with_tool_and_config(collector.clone(), SimConfig::default());
+    let a = sim.alloc::<u64>(1, 0);
+    let b = sim.alloc::<f64>(128, 0.0);
+    let mut mid = None;
+    sim.run(|ctx| {
+        ctx.parallel(2, |w| {
+            w.write(&a, 0, w.team_index()); // the planted race
+        });
+        collector.publish_progress().expect("publish");
+        let delta = live.poll().expect("mid-run poll");
+        mid = Some((delta.total_races, delta.finished, live.race_count()));
+        // More work after the mid-run observation: a clean region.
+        ctx.parallel(2, |w| {
+            w.for_static(0..128, |i| {
+                w.write(&b, i, i as f64);
+            });
+        });
+    });
+    collector.write_pcs(&sim.export_pcs()).expect("pcs");
+    assert!(collector.take_error().is_none());
+
+    let (mid_races, mid_finished, mid_count) = mid.expect("mid-run observation");
+    assert!(!mid_finished, "session must still be in flight at the mid-run poll");
+    assert!(mid_races >= 1, "the race must surface before the run ends");
+    assert_eq!(mid_races, mid_count);
+
+    // Finish the watch and compare against batch on the final session.
+    let final_delta = live.poll().expect("final poll");
+    assert!(final_delta.finished, "finalize marks the watermark finished");
+    let live_result = live.into_result().expect("live result");
+    let batch = analyze(&session, &config).expect("batch");
+    assert_equivalent(&live_result, &batch);
+    assert_eq!(live_result.race_count(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

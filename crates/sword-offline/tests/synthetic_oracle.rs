@@ -17,8 +17,8 @@ use std::path::PathBuf;
 use proptest::prelude::*;
 use sword_offline::{analyze, AnalysisConfig, SolverChoice};
 use sword_trace::{
-    meta, AccessKind, Event, EventEncoder, LogWriter, MemAccess, MetaRecord, MutexId,
-    RegionRecord, SessionDir,
+    meta, AccessKind, Event, EventEncoder, LogWriter, MemAccess, MetaRecord, MutexId, RegionRecord,
+    SessionDir,
 };
 
 /// One generated access, pre-lock-resolution.
@@ -99,7 +99,8 @@ fn write_session(dir: &PathBuf, threads: &[Vec<Vec<GenAccess>>]) -> SessionDir {
     session.create().unwrap();
     let span = threads.len() as u64;
     for (tid, intervals) in threads.iter().enumerate() {
-        let mut log = LogWriter::new(BufWriter::new(File::create(session.thread_log(tid as u32)).unwrap()));
+        let mut log =
+            LogWriter::new(BufWriter::new(File::create(session.thread_log(tid as u32)).unwrap()));
         let mut rows = Vec::new();
         let mut encoder = EventEncoder::new();
         for (bid, accesses) in intervals.iter().enumerate() {
@@ -160,7 +161,7 @@ fn analyzer_pairs(session: &SessionDir, config: &AnalysisConfig) -> BTreeSet<(u3
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     #[test]
     fn analyzer_matches_bruteforce_oracle(threads in arb_session(), case in 0u32..1000) {

@@ -9,12 +9,13 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use sword_ompsim::{OmpSim, ParallelBeginInfo, SimConfig, ThreadContext, Tool};
 use sword_trace::{
-    meta, Event, LogWriter, MemAccess, MutexId, PcTable, RegionId, RegionRecord,
+    meta, Event, LiveStatus, LogWriter, MemAccess, MutexId, PcTable, RegionId, RegionRecord,
     SessionDir, ThreadId,
 };
 
@@ -30,6 +31,10 @@ pub struct SwordConfig {
     /// Compress and write buffers on a background thread (paper behaviour)
     /// or inline (ablation).
     pub async_flush: bool,
+    /// Publish watermarked metadata snapshots while the run is still
+    /// executing, so a live analyzer can follow along (see
+    /// [`SwordCollector::publish_progress`]).
+    pub live_publish: bool,
 }
 
 impl SwordConfig {
@@ -39,6 +44,7 @@ impl SwordConfig {
             session_dir: session_dir.into(),
             buffer_events: PAPER_BUFFER_EVENTS,
             async_flush: true,
+            live_publish: false,
         }
     }
 
@@ -52,6 +58,12 @@ impl SwordConfig {
     /// Chooses synchronous flushing.
     pub fn sync_flush(mut self) -> Self {
         self.async_flush = false;
+        self
+    }
+
+    /// Enables live metadata publishing during the run.
+    pub fn live(mut self) -> Self {
+        self.live_publish = true;
         self
     }
 }
@@ -101,9 +113,7 @@ enum FlushPath {
         join: Mutex<Option<JoinHandle<io::Result<WriterTotals>>>>,
     },
     /// Inline writes under a lock (ablation mode).
-    Sync {
-        writers: Mutex<HashMap<ThreadId, LogWriter<BufWriter<File>>>>,
-    },
+    Sync { writers: Mutex<HashMap<ThreadId, LogWriter<BufWriter<File>>>> },
 }
 
 /// Unique collector instance ids for the thread-local slot cache.
@@ -118,19 +128,72 @@ thread_local! {
     static SLOT_CACHE: RefCell<Option<SlotCacheEntry>> = const { RefCell::new(None) };
 }
 
+/// How often the async writer republishes live metadata at most.
+const LIVE_PUBLISH_INTERVAL: Duration = Duration::from_millis(25);
+
+/// State shared between the collector facade and the background writer
+/// thread, so either side can take a watermarked metadata snapshot.
+struct Inner {
+    session: SessionDir,
+    slots: Mutex<HashMap<ThreadId, Arc<Mutex<ThreadLog>>>>,
+    regions: Mutex<Vec<RegionRecord>>,
+    /// Durably flushed *uncompressed* log bytes per thread — the live
+    /// watermark. Only rows whose byte range lies entirely below this are
+    /// published mid-run.
+    confirmed: Mutex<HashMap<ThreadId, u64>>,
+    /// Live publish counter (mirrors `live.meta`).
+    generation: AtomicU64,
+    error: Mutex<Option<io::Error>>,
+}
+
+impl Inner {
+    /// Publishes a consistent metadata snapshot covering only durably
+    /// flushed log bytes.
+    ///
+    /// Ordering matters twice over. The *meta rows* are snapshotted before
+    /// the *region table*, so every region id a published row references is
+    /// present in the (equal or newer) region snapshot. On disk the region
+    /// table is then written before the per-thread metas, the mirror image
+    /// of the reader's meta-then-regions order, preserving that guarantee
+    /// across the atomic file replacements.
+    fn publish(&self, finished: bool) -> io::Result<()> {
+        let confirmed: HashMap<ThreadId, u64> = self.confirmed.lock().clone();
+        let slots: Vec<(ThreadId, Arc<Mutex<ThreadLog>>)> = {
+            let map = self.slots.lock();
+            map.iter().map(|(tid, s)| (*tid, Arc::clone(s))).collect()
+        };
+        let mut metas = Vec::with_capacity(slots.len());
+        for (tid, slot) in slots {
+            let limit = confirmed.get(&tid).copied().unwrap_or(0);
+            let log = slot.lock();
+            let rows: Vec<_> =
+                log.meta.iter().take_while(|r| r.data_begin + r.size <= limit).cloned().collect();
+            metas.push((tid, rows));
+        }
+        let regions = self.regions.lock().clone();
+        let mut buf = Vec::new();
+        meta::write_regions(&mut buf, &regions)?;
+        self.session.write_file_atomic(&self.session.regions_path(), &buf)?;
+        for (tid, rows) in &metas {
+            let mut buf = Vec::new();
+            meta::write_meta(&mut buf, rows)?;
+            self.session.write_file_atomic(&self.session.thread_meta(*tid), &buf)?;
+        }
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        self.session.write_live(LiveStatus { generation, finished })
+    }
+}
+
 /// The SWORD online collector. Attach to an [`OmpSim`] as its tool; after
 /// the run, call [`SwordCollector::write_pcs`] and read
 /// [`SwordCollector::stats`].
 pub struct SwordCollector {
     id: u64,
     config: SwordConfig,
-    session: SessionDir,
-    slots: Mutex<HashMap<ThreadId, Arc<Mutex<ThreadLog>>>>,
-    regions: Mutex<Vec<RegionRecord>>,
+    inner: Arc<Inner>,
     region_count: AtomicU64,
     flush: FlushPath,
     writer_totals: Mutex<Option<(u64, u64)>>,
-    error: Mutex<Option<io::Error>>,
     finished: Mutex<bool>,
 }
 
@@ -141,23 +204,42 @@ impl SwordCollector {
         let session = SessionDir::new(&config.session_dir);
         session.create()?;
         session.clean()?;
+        let inner = Arc::new(Inner {
+            session,
+            slots: Mutex::new(HashMap::new()),
+            regions: Mutex::new(Vec::new()),
+            confirmed: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+            error: Mutex::new(None),
+        });
         let flush = if config.async_flush {
             let (tx, rx) = unbounded::<FlushJob>();
-            let dir = session.clone();
-            let join = std::thread::Builder::new()
-                .name("sword-writer".into())
-                .spawn(move || -> io::Result<WriterTotals> {
-                    let mut writers: HashMap<ThreadId, LogWriter<BufWriter<File>>> =
-                        HashMap::new();
+            let shared = Arc::clone(&inner);
+            let live = config.live_publish;
+            let join = std::thread::Builder::new().name("sword-writer".into()).spawn(
+                move || -> io::Result<WriterTotals> {
+                    let mut writers: HashMap<ThreadId, LogWriter<BufWriter<File>>> = HashMap::new();
+                    let mut last_publish = Instant::now();
                     for (tid, block) in rx {
                         let w = match writers.entry(tid) {
                             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                             std::collections::hash_map::Entry::Vacant(e) => {
-                                let f = File::create(dir.thread_log(tid))?;
+                                let f = File::create(shared.session.thread_log(tid))?;
                                 e.insert(LogWriter::new(BufWriter::new(f)))
                             }
                         };
                         w.write_block(&block)?;
+                        if live {
+                            // Flush so the bytes are readable by a
+                            // concurrent analyzer, then raise the
+                            // watermark and (throttled) republish.
+                            w.flush()?;
+                            shared.confirmed.lock().insert(tid, w.offset());
+                            if last_publish.elapsed() >= LIVE_PUBLISH_INTERVAL {
+                                shared.publish(false)?;
+                                last_publish = Instant::now();
+                            }
+                        }
                     }
                     let mut raw = 0;
                     let mut compressed = 0;
@@ -167,7 +249,8 @@ impl SwordCollector {
                         compressed += w.written_bytes();
                     }
                     Ok((raw, compressed))
-                })?;
+                },
+            )?;
             FlushPath::Async { tx: Mutex::new(Some(tx)), join: Mutex::new(Some(join)) }
         } else {
             FlushPath::Sync { writers: Mutex::new(HashMap::new()) }
@@ -175,26 +258,44 @@ impl SwordCollector {
         Ok(SwordCollector {
             id: COLLECTOR_IDS.fetch_add(1, Ordering::Relaxed),
             config,
-            session,
-            slots: Mutex::new(HashMap::new()),
-            regions: Mutex::new(Vec::new()),
+            inner,
             region_count: AtomicU64::new(0),
             flush,
             writer_totals: Mutex::new(None),
-            error: Mutex::new(None),
             finished: Mutex::new(false),
         })
     }
 
     /// The session directory being written.
     pub fn session(&self) -> &SessionDir {
-        &self.session
+        &self.inner.session
+    }
+
+    /// Publishes a watermarked metadata snapshot right now, covering every
+    /// barrier interval whose log bytes are durably flushed.
+    ///
+    /// With synchronous flushing this first flushes all writers inline, so
+    /// the snapshot covers everything logged so far; with the async writer
+    /// it publishes whatever the writer thread has confirmed (which may
+    /// trail the most recent buffers still in flight). The writer thread
+    /// also auto-publishes on a short throttle in live mode, so calling
+    /// this is optional — it exists to force a deterministic publish point.
+    pub fn publish_progress(&self) -> io::Result<()> {
+        if let FlushPath::Sync { writers } = &self.flush {
+            let mut writers = writers.lock();
+            let mut confirmed = self.inner.confirmed.lock();
+            for (tid, w) in writers.iter_mut() {
+                w.flush()?;
+                confirmed.insert(*tid, w.offset());
+            }
+        }
+        self.inner.publish(false)
     }
 
     /// Persists the program-counter table (call after the run, with
     /// [`OmpSim::export_pcs`]).
     pub fn write_pcs(&self, table: &PcTable) -> io::Result<()> {
-        let mut f = BufWriter::new(File::create(self.session.pcs_path())?);
+        let mut f = BufWriter::new(File::create(self.inner.session.pcs_path())?);
         table.write_to(&mut f)?;
         f.flush()
     }
@@ -202,7 +303,7 @@ impl SwordCollector {
     /// First I/O error encountered, if any (the collector drops data after
     /// an error rather than corrupting the session).
     pub fn take_error(&self) -> Option<io::Error> {
-        self.error.lock().take()
+        self.inner.error.lock().take()
     }
 
     /// Run summary. Meaningful after `program_end`.
@@ -211,7 +312,7 @@ impl SwordCollector {
             regions: self.region_count.load(Ordering::Relaxed),
             ..SwordStats::default()
         };
-        let slots = self.slots.lock();
+        let slots = self.inner.slots.lock();
         stats.threads = slots.len() as u64;
         for slot in slots.values() {
             let log = slot.lock();
@@ -238,7 +339,7 @@ impl SwordCollector {
     }
 
     fn record_error(&self, e: io::Error) {
-        self.error.lock().get_or_insert(e);
+        self.inner.error.lock().get_or_insert(e);
     }
 
     fn slot(&self, tid: ThreadId) -> Arc<Mutex<ThreadLog>> {
@@ -250,12 +351,10 @@ impl SwordCollector {
                 }
             }
             let slot = {
-                let mut slots = self.slots.lock();
-                Arc::clone(
-                    slots
-                        .entry(tid)
-                        .or_insert_with(|| Arc::new(Mutex::new(ThreadLog::new(self.config.buffer_events)))),
-                )
+                let mut slots = self.inner.slots.lock();
+                Arc::clone(slots.entry(tid).or_insert_with(|| {
+                    Arc::new(Mutex::new(ThreadLog::new(self.config.buffer_events)))
+                }))
             };
             *cache = Some((self.id, tid, Arc::clone(&slot)));
             slot
@@ -279,7 +378,7 @@ impl SwordCollector {
                     let w = match writers.entry(tid) {
                         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                         std::collections::hash_map::Entry::Vacant(e) => {
-                            let f = File::create(self.session.thread_log(tid))?;
+                            let f = File::create(self.inner.session.thread_log(tid))?;
                             e.insert(LogWriter::new(BufWriter::new(f)))
                         }
                     };
@@ -306,7 +405,7 @@ impl SwordCollector {
     fn finalize(&self) -> io::Result<()> {
         // Drain every thread's remaining buffer.
         let slots: Vec<(ThreadId, Arc<Mutex<ThreadLog>>)> = {
-            let map = self.slots.lock();
+            let map = self.inner.slots.lock();
             map.iter().map(|(tid, s)| (*tid, Arc::clone(s))).collect()
         };
         for (tid, slot) in &slots {
@@ -338,25 +437,23 @@ impl SwordCollector {
             }
         };
         *self.writer_totals.lock() = Some(totals);
-        // Meta files.
-        for (tid, slot) in &slots {
-            let log = slot.lock();
-            let mut f = BufWriter::new(File::create(self.session.thread_meta(*tid))?);
-            meta::write_meta(&mut f, &log.meta)?;
-            f.flush()?;
+        // Every log byte is on disk now, so lift the watermark past all
+        // rows and publish the complete metadata as the final generation.
+        // Regions land before metas and each file is replaced atomically:
+        // a live watcher mid-finalize still sees only consistent states.
+        {
+            let mut confirmed = self.inner.confirmed.lock();
+            for (tid, _) in &slots {
+                confirmed.insert(*tid, u64::MAX);
+            }
         }
-        let mut f = BufWriter::new(File::create(self.session.regions_path())?);
-        meta::write_regions(&mut f, &self.regions.lock())?;
-        f.flush()?;
+        self.inner.publish(true)?;
         // Run info.
         let mut info = std::collections::BTreeMap::new();
         info.insert("buffer_events".to_string(), self.config.buffer_events.to_string());
         info.insert("threads".to_string(), slots.len().to_string());
-        info.insert(
-            "regions".to_string(),
-            self.region_count.load(Ordering::Relaxed).to_string(),
-        );
-        self.session.write_info(&info)?;
+        info.insert("regions".to_string(), self.region_count.load(Ordering::Relaxed).to_string());
+        self.inner.session.write_info(&info)?;
         Ok(())
     }
 }
@@ -375,7 +472,7 @@ impl Tool for SwordCollector {
 
     fn parallel_begin(&self, info: &ParallelBeginInfo<'_>) {
         self.region_count.fetch_add(1, Ordering::Relaxed);
-        self.regions.lock().push(RegionRecord {
+        self.inner.regions.lock().push(RegionRecord {
             pid: info.region,
             ppid: info.parent_region,
             level: info.level,
@@ -452,13 +549,17 @@ mod tests {
     use sword_trace::{read_meta, read_regions, EventDecoder, LogReader};
 
     fn tmp_session(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("sword-collector-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("sword-collector-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
 
-    fn collect_simple(tag: &str, async_flush: bool, buffer_events: usize) -> (SessionDir, SwordStats) {
+    fn collect_simple(
+        tag: &str,
+        async_flush: bool,
+        buffer_events: usize,
+    ) -> (SessionDir, SwordStats) {
         let dir = tmp_session(tag);
         let mut config = SwordConfig::new(&dir).buffer_events(buffer_events);
         if !async_flush {
@@ -503,8 +604,8 @@ mod tests {
     fn meta_rows_cover_log_exactly() {
         let (session, _) = collect_simple("meta", true, 64);
         for tid in session.thread_ids().unwrap() {
-            let rows = read_meta(BufReader::new(File::open(session.thread_meta(tid)).unwrap()))
-                .unwrap();
+            let rows =
+                read_meta(BufReader::new(File::open(session.thread_meta(tid)).unwrap())).unwrap();
             // for_static barrier splits the region into 2 intervals.
             assert_eq!(rows.len(), 2, "tid {tid}");
             assert_eq!(rows[0].bid, 0);
@@ -616,8 +717,8 @@ mod tests {
     fn unwritable_session_path_fails_fast() {
         // A regular file where the session directory should go: creation
         // must fail up front, not mid-run.
-        let path = std::env::temp_dir()
-            .join(format!("sword-collector-blocked-{}", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("sword-collector-blocked-{}", std::process::id()));
         fs::write(&path, "not a directory").unwrap();
         let err = SwordCollector::new(SwordConfig::new(&path));
         assert!(err.is_err(), "creating a session inside a file must fail");
@@ -658,10 +759,8 @@ mod tests {
         let session = SessionDir::new(&dir);
         session.create().unwrap();
         fs::create_dir_all(session.thread_log(1)).unwrap();
-        let result = run_collected(
-            SwordConfig::new(&dir).buffer_events(1),
-            SimConfig::default(),
-            |sim| {
+        let result =
+            run_collected(SwordConfig::new(&dir).buffer_events(1), SimConfig::default(), |sim| {
                 let a = sim.alloc::<u64>(64, 0);
                 sim.run(|ctx| {
                     ctx.parallel(2, |w| {
@@ -670,9 +769,101 @@ mod tests {
                         });
                     });
                 });
-            },
-        );
+            });
         assert!(result.is_err(), "async writer errors must reach the caller");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_publish_exposes_progress_mid_run() {
+        let dir = tmp_session("live");
+        let collector = Arc::new(
+            SwordCollector::new(SwordConfig::new(&dir).sync_flush().buffer_events(1).live())
+                .unwrap(),
+        );
+        let session = collector.session().clone();
+        let sim = OmpSim::with_tool_and_config(collector.clone(), SimConfig::default());
+        let a = sim.alloc::<u64>(64, 0);
+        let mut mid = None;
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.for_static(0..64, |i| {
+                    w.write(&a, i, i);
+                });
+            });
+            collector.publish_progress().unwrap();
+            let status = session.read_live().unwrap().unwrap();
+            let rows: usize = session
+                .thread_ids()
+                .unwrap()
+                .iter()
+                .map(|&tid| {
+                    read_meta(BufReader::new(File::open(session.thread_meta(tid)).unwrap()))
+                        .unwrap()
+                        .len()
+                })
+                .sum();
+            mid = Some((status, rows));
+            ctx.parallel(2, |w| {
+                w.for_static(0..64, |i| {
+                    w.write(&a, i, i + 1);
+                });
+            });
+        });
+        collector.write_pcs(&sim.export_pcs()).unwrap();
+        assert!(collector.take_error().is_none());
+        let (mid_status, mid_rows) = mid.unwrap();
+        assert!(!mid_status.finished);
+        assert!(mid_status.generation >= 1);
+        assert!(mid_rows >= 2, "first region's intervals visible mid-run, got {mid_rows}");
+        let final_status = session.read_live().unwrap().unwrap();
+        assert!(final_status.finished, "finalize marks the session finished");
+        assert!(final_status.generation > mid_status.generation);
+        let final_rows: usize = session
+            .thread_ids()
+            .unwrap()
+            .iter()
+            .map(|&tid| {
+                read_meta(BufReader::new(File::open(session.thread_meta(tid)).unwrap()))
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        assert!(final_rows > mid_rows, "final metadata extends the mid-run prefix");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn async_live_watermark_never_overruns_flushed_bytes() {
+        let dir = tmp_session("live-async");
+        let mut config = SwordConfig::new(&dir).buffer_events(4);
+        config = config.live();
+        let (_, stats) = run_collected(config, SimConfig::default(), |sim| {
+            let a = sim.alloc::<u64>(128, 0);
+            sim.run(|ctx| {
+                ctx.parallel(4, |w| {
+                    w.for_static(0..128, |i| {
+                        w.write(&a, i, i);
+                    });
+                });
+            });
+        })
+        .unwrap();
+        assert!(stats.events > 0);
+        let session = SessionDir::new(&dir);
+        // After finalize, live.meta says finished and the metadata is the
+        // complete, batch-identical view.
+        let status = session.read_live().unwrap().unwrap();
+        assert!(status.finished);
+        for tid in session.thread_ids().unwrap() {
+            let rows =
+                read_meta(BufReader::new(File::open(session.thread_meta(tid)).unwrap())).unwrap();
+            let mut r = LogReader::new(File::open(session.thread_log(tid)).unwrap());
+            let mut all = Vec::new();
+            let total = r.read_to_end(&mut all).unwrap();
+            let covered = rows.last().map_or(0, |r| r.data_begin + r.size);
+            assert_eq!(total, covered, "tid {tid}");
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -117,12 +117,9 @@ mod tests {
 
     #[test]
     fn kind_codes_roundtrip() {
-        for k in [
-            AccessKind::Read,
-            AccessKind::Write,
-            AccessKind::AtomicRead,
-            AccessKind::AtomicWrite,
-        ] {
+        for k in
+            [AccessKind::Read, AccessKind::Write, AccessKind::AtomicRead, AccessKind::AtomicWrite]
+        {
             assert_eq!(AccessKind::from_code(k.code()), Some(k));
         }
         assert_eq!(AccessKind::from_code(4), None);

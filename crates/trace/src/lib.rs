@@ -24,13 +24,15 @@ pub mod event;
 pub mod log;
 pub mod meta;
 pub mod pc;
+pub mod poll;
 pub mod session;
 
+pub use encode::CodecError;
 pub use encode::{EventDecoder, EventEncoder};
 pub use event::{AccessKind, Event, MemAccess, MutexId, PcId, RegionId, ThreadId};
-pub use encode::CodecError;
 pub use log::{LogReader, LogWriter};
 pub use meta::{read_meta, read_regions, write_meta, write_regions, MetaParseError};
 pub use meta::{MetaRecord, RegionRecord};
 pub use pc::{PcTable, SourceLoc};
-pub use session::SessionDir;
+pub use poll::{SessionDelta, SessionPoller};
+pub use session::{LiveStatus, SessionDir};

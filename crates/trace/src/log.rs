@@ -87,7 +87,12 @@ pub struct LogReader<R: Read> {
 impl<R: Read> LogReader<R> {
     /// Wraps `inner`.
     pub fn new(inner: R) -> Self {
-        LogReader { frames: FrameReader::new(inner), window: Vec::new(), window_start: 0, eof: false }
+        LogReader {
+            frames: FrameReader::new(inner),
+            window: Vec::new(),
+            window_start: 0,
+            eof: false,
+        }
     }
 
     /// Uncompressed offset of the oldest byte still readable; requests
@@ -287,9 +292,7 @@ mod tests {
     #[test]
     fn compresses_event_like_data() {
         // Delta-encoded event streams are byte-repetitive; expect >2x.
-        let block: Vec<u8> = (0..25_000u32)
-            .flat_map(|_| [0x31u8, 0x10, 0x02])
-            .collect();
+        let block: Vec<u8> = (0..25_000u32).flat_map(|_| [0x31u8, 0x10, 0x02]).collect();
         let mut w = LogWriter::new(Vec::new());
         w.write_block(&block).unwrap();
         assert!(w.ratio() > 10.0, "ratio {}", w.ratio());

@@ -67,8 +67,7 @@ impl MetaRecord {
         };
         let pid = parse_u64(field("pid")?, "pid")?;
         let ppid_raw = field("ppid")?;
-        let ppid =
-            if ppid_raw == "-" { None } else { Some(parse_u64(ppid_raw, "ppid")?) };
+        let ppid = if ppid_raw == "-" { None } else { Some(parse_u64(ppid_raw, "ppid")?) };
         let bid = parse_u64(field("bid")?, "bid")? as u32;
         let offset = parse_u64(field("offset")?, "offset")?;
         let span = parse_u64(field("span")?, "span")?;
@@ -103,6 +102,10 @@ pub struct RegionRecord {
 
 impl RegionRecord {
     /// The forking thread's label as an [`sword_osl::Label`].
+    ///
+    /// Infallible because [`RegionRecord::parse_line`] rejects flat labels
+    /// `from_flat` would reject (odd length, zero spans) — corrupted
+    /// region tables surface as parse errors, never here.
     pub fn fork_label(&self) -> Label {
         Label::from_flat(&self.fork_label).expect("region record holds a valid label")
     }
@@ -128,8 +131,7 @@ impl RegionRecord {
         };
         let pid = parse_u64(field("pid")?, "pid")?;
         let ppid_raw = field("ppid")?;
-        let ppid =
-            if ppid_raw == "-" { None } else { Some(parse_u64(ppid_raw, "ppid")?) };
+        let ppid = if ppid_raw == "-" { None } else { Some(parse_u64(ppid_raw, "ppid")?) };
         let level = parse_u64(field("level")?, "level")? as u32;
         let span = parse_u64(field("span")?, "span")?;
         let label_raw = it.next().unwrap_or("");
@@ -140,6 +142,11 @@ impl RegionRecord {
             }
         }
         if fork_label.len() % 2 != 0 {
+            return Err(MetaParseError::BadField("fork_label"));
+        }
+        // A zero span inside the label would make `fork_label()` panic
+        // later; corrupted tables must fail here, at the I/O boundary.
+        if fork_label.chunks_exact(2).any(|pair| pair[1] == 0) {
             return Err(MetaParseError::BadField("fork_label"));
         }
         if span == 0 {
@@ -276,13 +283,8 @@ mod tests {
 
     #[test]
     fn region_line_roundtrip() {
-        let r = RegionRecord {
-            pid: 7,
-            ppid: Some(2),
-            level: 2,
-            span: 8,
-            fork_label: vec![0, 1, 3, 4],
-        };
+        let r =
+            RegionRecord { pid: 7, ppid: Some(2), level: 2, span: 8, fork_label: vec![0, 1, 3, 4] };
         assert_eq!(RegionRecord::parse_line(&r.to_line()).unwrap(), r);
         assert_eq!(r.fork_label().pairs().len(), 2);
     }
@@ -301,11 +303,45 @@ mod tests {
     }
 
     #[test]
+    fn region_rejects_zero_span_in_label() {
+        // Would otherwise panic later in `fork_label()`.
+        assert!(RegionRecord::parse_line("0\t-\t1\t4\t1,0").is_err());
+        assert!(RegionRecord::parse_line("0\t-\t1\t4\t0,1,2,0").is_err());
+    }
+
+    #[test]
     fn file_roundtrip() {
         let records = vec![
-            MetaRecord { pid: 0, ppid: None, bid: 0, offset: 0, span: 24, level: 1, data_begin: 0, size: 50_000 },
-            MetaRecord { pid: 0, ppid: None, bid: 1, offset: 24, span: 24, level: 1, data_begin: 50_000, size: 75_000 },
-            MetaRecord { pid: 1, ppid: None, bid: 0, offset: 0, span: 24, level: 1, data_begin: 125_000, size: 10_000 },
+            MetaRecord {
+                pid: 0,
+                ppid: None,
+                bid: 0,
+                offset: 0,
+                span: 24,
+                level: 1,
+                data_begin: 0,
+                size: 50_000,
+            },
+            MetaRecord {
+                pid: 0,
+                ppid: None,
+                bid: 1,
+                offset: 24,
+                span: 24,
+                level: 1,
+                data_begin: 50_000,
+                size: 75_000,
+            },
+            MetaRecord {
+                pid: 1,
+                ppid: None,
+                bid: 0,
+                offset: 0,
+                span: 24,
+                level: 1,
+                data_begin: 125_000,
+                size: 10_000,
+            },
         ];
         let mut buf = Vec::new();
         write_meta(&mut buf, &records).unwrap();
@@ -347,15 +383,8 @@ mod proptests {
             any::<u64>(),
             any::<u64>(),
         )
-            .prop_map(|(pid, ppid, bid, offset, span, level, data_begin, size)| MetaRecord {
-                pid,
-                ppid,
-                bid,
-                offset,
-                span,
-                level,
-                data_begin,
-                size,
+            .prop_map(|(pid, ppid, bid, offset, span, level, data_begin, size)| {
+                MetaRecord { pid, ppid, bid, offset, span, level, data_begin, size }
             })
     }
 

@@ -1,0 +1,224 @@
+//! Incremental metadata reading for in-progress sessions.
+//!
+//! The collector publishes watermarked metadata snapshots: each
+//! `thread_<tid>.meta` rewrite (atomic, via tmp+rename) covers exactly
+//! the barrier intervals whose log bytes are durably flushed, and each
+//! publish is a *prefix extension* of the previous one — rows are only
+//! ever appended. [`SessionPoller`] exploits that: every [`poll`]
+//! re-reads the small metadata files and returns only the rows and
+//! regions not seen before, so a live analyzer can ingest new barrier
+//! intervals while the run is still executing.
+//!
+//! [`poll`]: SessionPoller::poll
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader};
+
+use crate::event::ThreadId;
+use crate::meta::{read_meta, read_regions, MetaRecord, RegionRecord};
+use crate::session::{LiveStatus, SessionDir};
+
+/// What one poll of an in-progress session produced.
+#[derive(Clone, Debug, Default)]
+pub struct SessionDelta {
+    /// Newly published barrier-interval rows, per thread, in file order.
+    /// Threads appear in ascending tid order; a thread with no new rows
+    /// is omitted.
+    pub new_rows: Vec<(ThreadId, Vec<MetaRecord>)>,
+    /// Newly published region records.
+    pub new_regions: Vec<RegionRecord>,
+    /// The watermark status at poll time (`None` before the first
+    /// publish of a live session, and for sessions written without live
+    /// publishing).
+    pub status: Option<LiveStatus>,
+}
+
+impl SessionDelta {
+    /// Total new barrier intervals in this delta.
+    pub fn interval_count(&self) -> usize {
+        self.new_rows.iter().map(|(_, rows)| rows.len()).sum()
+    }
+
+    /// `true` when the poll surfaced nothing new.
+    pub fn is_empty(&self) -> bool {
+        self.new_rows.is_empty() && self.new_regions.is_empty()
+    }
+}
+
+/// Re-pollable metadata reader over a [`SessionDir`].
+///
+/// Safe against concurrent publishing because published files are
+/// replaced atomically and only ever extended; a poll that interleaves
+/// with a publish sees either the old or the new snapshot of each file,
+/// both of which are consistent prefixes of the final metadata.
+#[derive(Debug)]
+pub struct SessionPoller {
+    dir: SessionDir,
+    /// Meta rows already returned, per thread.
+    consumed: HashMap<ThreadId, usize>,
+    /// Region records already returned.
+    regions_consumed: usize,
+    /// Polls performed.
+    polls: u64,
+}
+
+impl SessionPoller {
+    /// Creates a poller that has seen nothing yet.
+    pub fn new(dir: &SessionDir) -> Self {
+        SessionPoller { dir: dir.clone(), consumed: HashMap::new(), regions_consumed: 0, polls: 0 }
+    }
+
+    /// The session being polled.
+    pub fn dir(&self) -> &SessionDir {
+        &self.dir
+    }
+
+    /// Number of polls performed so far.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Threads with at least one returned row.
+    pub fn thread_count(&self) -> usize {
+        self.consumed.len()
+    }
+
+    /// Total rows returned so far.
+    pub fn rows_seen(&self) -> usize {
+        self.consumed.values().sum()
+    }
+
+    /// Reads the current metadata snapshot and returns everything not
+    /// returned by earlier polls.
+    ///
+    /// Errors if a metadata file *shrank* between polls — that means the
+    /// directory was rewritten by a different run mid-watch, and any
+    /// incremental state derived from it is invalid.
+    pub fn poll(&mut self) -> io::Result<SessionDelta> {
+        self.polls += 1;
+        // Status first: a publish completing after this read only delays
+        // rows to the next poll, it never loses them.
+        let status = self.dir.read_live()?;
+        let mut delta = SessionDelta { status, ..SessionDelta::default() };
+        for tid in self.dir.thread_ids()? {
+            let rows = read_meta(BufReader::new(File::open(self.dir.thread_meta(tid))?))?;
+            let seen = self.consumed.entry(tid).or_insert(0);
+            if rows.len() < *seen {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "thread {tid} metadata shrank from {} to {} rows: session was rewritten mid-watch",
+                        seen,
+                        rows.len()
+                    ),
+                ));
+            }
+            if rows.len() > *seen {
+                delta.new_rows.push((tid, rows[*seen..].to_vec()));
+                *seen = rows.len();
+            }
+        }
+        if self.dir.regions_path().exists() {
+            let regions = read_regions(BufReader::new(File::open(self.dir.regions_path())?))?;
+            if regions.len() < self.regions_consumed {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "region table shrank: session was rewritten mid-watch",
+                ));
+            }
+            if regions.len() > self.regions_consumed {
+                delta.new_regions = regions[self.regions_consumed..].to_vec();
+                self.regions_consumed = regions.len();
+            }
+        }
+        Ok(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> SessionDir {
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("sword-trace-poll-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let s = SessionDir::new(dir);
+        s.create().unwrap();
+        s
+    }
+
+    fn row(pid: u64, bid: u32, offset: u64, begin: u64, size: u64) -> String {
+        format!("{pid}\t-\t{bid}\t{offset}\t2\t1\t{begin}\t{size}\n")
+    }
+
+    #[test]
+    fn incremental_rows_surface_once() {
+        let s = tmp("inc");
+        fs::write(s.thread_meta(0), row(0, 0, 0, 0, 10)).unwrap();
+        fs::write(s.thread_meta(1), "").unwrap();
+        let mut p = SessionPoller::new(&s);
+        let d1 = p.poll().unwrap();
+        assert_eq!(d1.interval_count(), 1);
+        assert_eq!(d1.new_rows[0].0, 0);
+        // Nothing new: empty delta.
+        let d2 = p.poll().unwrap();
+        assert!(d2.is_empty());
+        // Appending extends the prefix; only the new rows come back.
+        fs::write(s.thread_meta(0), format!("{}{}", row(0, 0, 0, 0, 10), row(0, 1, 2, 10, 5)))
+            .unwrap();
+        fs::write(s.thread_meta(1), row(0, 0, 1, 0, 7)).unwrap();
+        let d3 = p.poll().unwrap();
+        assert_eq!(d3.interval_count(), 2);
+        assert_eq!(d3.new_rows.len(), 2);
+        assert_eq!(d3.new_rows[0].1[0].bid, 1);
+        assert_eq!(p.rows_seen(), 3);
+        assert_eq!(p.thread_count(), 2);
+        assert_eq!(p.polls(), 3);
+        fs::remove_dir_all(s.path()).unwrap();
+    }
+
+    #[test]
+    fn regions_and_status_flow_through() {
+        let s = tmp("regions");
+        fs::write(s.thread_meta(0), "").unwrap();
+        let mut p = SessionPoller::new(&s);
+        assert_eq!(p.poll().unwrap().status, None);
+        fs::write(s.regions_path(), "0\t-\t1\t2\t0,1\n").unwrap();
+        s.write_live(LiveStatus { generation: 1, finished: false }).unwrap();
+        let d = p.poll().unwrap();
+        assert_eq!(d.new_regions.len(), 1);
+        assert_eq!(d.status, Some(LiveStatus { generation: 1, finished: false }));
+        fs::write(s.regions_path(), "0\t-\t1\t2\t0,1\n1\t0\t2\t2\t0,1,0,2\n").unwrap();
+        s.write_live(LiveStatus { generation: 2, finished: true }).unwrap();
+        let d = p.poll().unwrap();
+        assert_eq!(d.new_regions.len(), 1);
+        assert_eq!(d.new_regions[0].pid, 1);
+        assert!(d.status.unwrap().finished);
+        fs::remove_dir_all(s.path()).unwrap();
+    }
+
+    #[test]
+    fn shrinking_metadata_is_an_error() {
+        let s = tmp("shrink");
+        fs::write(s.thread_meta(0), format!("{}{}", row(0, 0, 0, 0, 4), row(0, 1, 2, 4, 4)))
+            .unwrap();
+        let mut p = SessionPoller::new(&s);
+        p.poll().unwrap();
+        fs::write(s.thread_meta(0), row(0, 0, 0, 0, 4)).unwrap();
+        assert!(p.poll().is_err(), "prefix property violated must error");
+        fs::remove_dir_all(s.path()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_rows_error_not_panic() {
+        let s = tmp("corrupt");
+        fs::write(s.thread_meta(0), "garbage\tnot\ta\trow\n").unwrap();
+        let mut p = SessionPoller::new(&s);
+        assert!(p.poll().is_err());
+        fs::remove_dir_all(s.path()).unwrap();
+    }
+}

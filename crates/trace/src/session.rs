@@ -81,6 +81,58 @@ impl SessionDir {
         self.root.join("session.meta")
     }
 
+    /// Path of the live-progress watermark file (see [`LiveStatus`]).
+    pub fn live_path(&self) -> PathBuf {
+        self.root.join("live.meta")
+    }
+
+    /// Atomically replaces `path` with `bytes` via a temporary file and
+    /// rename, so concurrent readers only ever observe complete snapshots
+    /// — the write discipline of the live watermark protocol.
+    pub fn write_file_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Publishes the live watermark status (atomic).
+    pub fn write_live(&self, status: LiveStatus) -> io::Result<()> {
+        let body = format!(
+            "generation={}\nfinished={}\n",
+            status.generation,
+            if status.finished { 1 } else { 0 }
+        );
+        self.write_file_atomic(&self.live_path(), body.as_bytes())
+    }
+
+    /// Reads the live watermark status; `None` when the collector never
+    /// published one (pre-watermark sessions are treated as finished).
+    pub fn read_live(&self) -> io::Result<Option<LiveStatus>> {
+        let path = self.live_path();
+        if !path.exists() {
+            return Ok(None);
+        }
+        let mut status = LiveStatus::default();
+        for line in BufReader::new(fs::File::open(path)?).lines() {
+            let line = line?;
+            match line.split_once('=') {
+                Some(("generation", v)) => {
+                    status.generation = v.parse().map_err(|_| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("live.meta: bad generation {v:?}"),
+                        )
+                    })?;
+                }
+                Some(("finished", v)) => status.finished = v.trim() == "1",
+                _ => {}
+            }
+        }
+        Ok(Some(status))
+    }
+
     /// Thread ids present in the session, ascending, discovered from the
     /// meta files on disk.
     pub fn thread_ids(&self) -> io::Result<Vec<ThreadId>> {
@@ -140,13 +192,28 @@ impl SessionDir {
     }
 }
 
+/// Progress marker of an in-flight session.
+///
+/// The collector bumps `generation` on every watermark publish (each one
+/// an atomic rewrite of the meta files covering only durably flushed log
+/// bytes) and sets `finished` once the final metadata is on disk. Readers
+/// poll this file to learn when re-reading the metadata is worthwhile and
+/// when the session is complete.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveStatus {
+    /// Publish counter (monotonically increasing within one run).
+    pub generation: u64,
+    /// `true` once the session's final metadata has been written.
+    pub finished: bool,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("sword-trace-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("sword-trace-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -197,6 +264,46 @@ mod tests {
         let s = SessionDir::new(&dir);
         s.create().unwrap();
         assert!(s.read_info().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_status_roundtrip() {
+        let dir = tmpdir("live");
+        let s = SessionDir::new(&dir);
+        s.create().unwrap();
+        assert_eq!(s.read_live().unwrap(), None, "absent before first publish");
+        s.write_live(LiveStatus { generation: 3, finished: false }).unwrap();
+        assert_eq!(s.read_live().unwrap(), Some(LiveStatus { generation: 3, finished: false }));
+        s.write_live(LiveStatus { generation: 4, finished: true }).unwrap();
+        assert_eq!(s.read_live().unwrap(), Some(LiveStatus { generation: 4, finished: true }));
+        // clean() removes the watermark with the other metadata.
+        s.clean().unwrap();
+        assert_eq!(s.read_live().unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_live_status_is_an_error() {
+        let dir = tmpdir("live-bad");
+        let s = SessionDir::new(&dir);
+        s.create().unwrap();
+        fs::write(s.live_path(), "generation=not-a-number\n").unwrap();
+        assert!(s.read_live().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_without_partials() {
+        let dir = tmpdir("atomic");
+        let s = SessionDir::new(&dir);
+        s.create().unwrap();
+        let p = dir.join("target.meta");
+        s.write_file_atomic(&p, b"first").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"first");
+        s.write_file_atomic(&p, b"second-longer").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"second-longer");
+        assert!(!dir.join("target.meta.tmp").exists(), "tmp file renamed away");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

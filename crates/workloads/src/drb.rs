@@ -512,7 +512,6 @@ fn minusminus_no(sim: &OmpSim, cfg: &RunConfig) {
     });
 }
 
-
 fn antidep1_no(sim: &OmpSim, cfg: &RunConfig) {
     let n = cfg.size_or(1000);
     let a = sim.alloc::<i64>(n, 1);
@@ -709,182 +708,309 @@ fn outputdep_no(sim: &OmpSim, cfg: &RunConfig) {
 pub fn all() -> Vec<Box<dyn Workload>> {
     vec![
         Box::new(Kernel {
-            spec: spec("antidep1-orig-yes", 1, 1, Some(1),
-                "anti-dependence a[i] = a[i+1] + 1 across chunk boundaries"),
+            spec: spec(
+                "antidep1-orig-yes",
+                1,
+                1,
+                Some(1),
+                "anti-dependence a[i] = a[i+1] + 1 across chunk boundaries",
+            ),
             run: antidep1_yes,
         }),
         Box::new(Kernel {
-            spec: spec("antidep2-orig-yes", 1, 1, Some(1),
-                "2D row sweep with cross-row anti-dependence"),
+            spec: spec(
+                "antidep2-orig-yes",
+                1,
+                1,
+                Some(1),
+                "2D row sweep with cross-row anti-dependence",
+            ),
             run: antidep2_yes,
         }),
         Box::new(Kernel {
-            spec: spec("indirectaccess1-orig-yes", 1, 0, Some(0),
-                "subscript-array race that the executed input never manifests"),
+            spec: spec(
+                "indirectaccess1-orig-yes",
+                1,
+                0,
+                Some(0),
+                "subscript-array race that the executed input never manifests",
+            ),
             run: indirectaccess_yes(1),
         }),
         Box::new(Kernel {
-            spec: spec("indirectaccess2-orig-yes", 1, 0, Some(0),
-                "variant 2 of the data-dependent subscript race"),
+            spec: spec(
+                "indirectaccess2-orig-yes",
+                1,
+                0,
+                Some(0),
+                "variant 2 of the data-dependent subscript race",
+            ),
             run: indirectaccess_yes(2),
         }),
         Box::new(Kernel {
-            spec: spec("indirectaccess3-orig-yes", 1, 0, Some(0),
-                "variant 3 of the data-dependent subscript race"),
+            spec: spec(
+                "indirectaccess3-orig-yes",
+                1,
+                0,
+                Some(0),
+                "variant 3 of the data-dependent subscript race",
+            ),
             run: indirectaccess_yes(3),
         }),
         Box::new(Kernel {
-            spec: spec("indirectaccess4-orig-yes", 1, 0, Some(0),
-                "variant 4 of the data-dependent subscript race"),
+            spec: spec(
+                "indirectaccess4-orig-yes",
+                1,
+                0,
+                Some(0),
+                "variant 4 of the data-dependent subscript race",
+            ),
             run: indirectaccess_yes(4),
         }),
         Box::new(Kernel {
-            spec: spec("lostupdate1-orig-yes", 1, 2, Some(2),
-                "unprotected shared counter increment (lost update)"),
+            spec: spec(
+                "lostupdate1-orig-yes",
+                1,
+                2,
+                Some(2),
+                "unprotected shared counter increment (lost update)",
+            ),
             run: lostupdate1_yes,
         }),
         Box::new(Kernel {
-            spec: spec("nowait-orig-yes", 1, 1, Some(0),
+            spec: spec(
+                "nowait-orig-yes",
+                1,
+                1,
+                Some(0),
                 "result consumed before the missing barrier; ARCHER's record \
-                 of the producing write is evicted by same-word reads (§II)"),
+                 of the producing write is evicted by same-word reads (§II)",
+            ),
             run: nowait_yes,
         }),
         Box::new(Kernel {
-            spec: spec("privatemissing-orig-yes", 1, 2, Some(0),
+            spec: spec(
+                "privatemissing-orig-yes",
+                1,
+                2,
+                Some(0),
                 "missing privatization of a loop temporary; SWORD adds the \
                  undocumented write-read pair; ARCHER loses all records to \
-                 cell eviction"),
+                 cell eviction",
+            ),
             run: privatemissing_yes,
         }),
         Box::new(Kernel {
-            spec: spec("plusplus-orig-yes", 1, 2, Some(2),
+            spec: spec(
+                "plusplus-orig-yes",
+                1,
+                2,
+                Some(2),
                 "output[count++]: documented counter race plus the \
-                 additional unknown (real) race all tools report"),
+                 additional unknown (real) race all tools report",
+            ),
             run: plusplus_yes,
         }),
         Box::new(Kernel {
-            spec: spec("outputdep-orig-yes", 2, 2, None,
-                "shared scalar x: output and true dependences"),
+            spec: spec(
+                "outputdep-orig-yes",
+                2,
+                2,
+                None,
+                "shared scalar x: output and true dependences",
+            ),
             run: outputdep_yes,
         }),
         Box::new(Kernel {
-            spec: spec("reductionmissing-orig-yes", 1, 2, Some(2),
-                "sum reduction without a reduction clause"),
+            spec: spec(
+                "reductionmissing-orig-yes",
+                1,
+                2,
+                Some(2),
+                "sum reduction without a reduction clause",
+            ),
             run: reductionmissing_yes,
         }),
         Box::new(Kernel {
-            spec: spec("simdtruedep-orig-yes", 1, 1, Some(1),
-                "simd loop with a true dependence a[i+1] = a[i] + b[i]"),
+            spec: spec(
+                "simdtruedep-orig-yes",
+                1,
+                1,
+                Some(1),
+                "simd loop with a true dependence a[i+1] = a[i] + b[i]",
+            ),
             run: simdtruedep_yes,
         }),
         Box::new(Kernel {
-            spec: spec("sections1-orig-yes", 1, 1, Some(1),
-                "two sections write the same variable"),
+            spec: spec("sections1-orig-yes", 1, 1, Some(1), "two sections write the same variable"),
             run: sections1_yes,
         }),
         Box::new(Kernel {
-            spec: spec("firstprivatemissing-orig-yes", 1, 1, Some(1),
-                "shared init variable written in-region by the master, read by all"),
+            spec: spec(
+                "firstprivatemissing-orig-yes",
+                1,
+                1,
+                Some(1),
+                "shared init variable written in-region by the master, read by all",
+            ),
             run: firstprivatemissing_yes,
         }),
         Box::new(Kernel {
-            spec: spec("lastprivatemissing-orig-yes", 1, 1, Some(1),
-                "last loop value consumed before the missing barrier"),
+            spec: spec(
+                "lastprivatemissing-orig-yes",
+                1,
+                1,
+                Some(1),
+                "last loop value consumed before the missing barrier",
+            ),
             run: lastprivatemissing_yes,
         }),
         Box::new(Kernel {
-            spec: spec("minusminus-orig-yes", 1, 2, Some(2),
-                "worklist counter decremented without protection"),
+            spec: spec(
+                "minusminus-orig-yes",
+                1,
+                2,
+                Some(2),
+                "worklist counter decremented without protection",
+            ),
             run: minusminus_yes,
         }),
         Box::new(Kernel {
-            spec: spec("dynamicschedule-orig-yes", 1, 1, Some(1),
-                "dynamic worksharing + unsynchronized completion flag"),
+            spec: spec(
+                "dynamicschedule-orig-yes",
+                1,
+                1,
+                Some(1),
+                "dynamic worksharing + unsynchronized completion flag",
+            ),
             run: dynamicschedule_yes,
         }),
         Box::new(Kernel {
-            spec: spec("differentsize-orig-yes", 1, 1, Some(1),
-                "byte store overlapping a byte-sweep of the same word"),
+            spec: spec(
+                "differentsize-orig-yes",
+                1,
+                1,
+                Some(1),
+                "byte store overlapping a byte-sweep of the same word",
+            ),
             run: differentsize_yes,
         }),
         Box::new(Kernel {
-            spec: spec("antidep1-orig-no", 0, 0, Some(0),
-                "race-free control for antidep1"),
+            spec: spec("antidep1-orig-no", 0, 0, Some(0), "race-free control for antidep1"),
             run: antidep1_no,
         }),
         Box::new(Kernel {
-            spec: spec("indirectaccess1-orig-no", 0, 0, Some(0),
-                "identity subscripts: provably disjoint"),
+            spec: spec(
+                "indirectaccess1-orig-no",
+                0,
+                0,
+                Some(0),
+                "identity subscripts: provably disjoint",
+            ),
             run: indirectaccess_no,
         }),
         Box::new(Kernel {
-            spec: spec("lostupdate1-orig-no", 0, 0, Some(0),
-                "counter protected by a critical section"),
+            spec: spec(
+                "lostupdate1-orig-no",
+                0,
+                0,
+                Some(0),
+                "counter protected by a critical section",
+            ),
             run: lostupdate1_no,
         }),
         Box::new(Kernel {
-            spec: spec("nowait-orig-no", 0, 0, Some(0),
-                "the barrier restored before the consuming read"),
+            spec: spec(
+                "nowait-orig-no",
+                0,
+                0,
+                Some(0),
+                "the barrier restored before the consuming read",
+            ),
             run: nowait_no,
         }),
         Box::new(Kernel {
-            spec: spec("privatemissing-orig-no", 0, 0, Some(0),
-                "temporary privatized (per-thread slot)"),
+            spec: spec(
+                "privatemissing-orig-no",
+                0,
+                0,
+                Some(0),
+                "temporary privatized (per-thread slot)",
+            ),
             run: privatemissing_no,
         }),
         Box::new(Kernel {
-            spec: spec("plusplus-orig-no", 0, 0, Some(0),
-                "atomic slot claim for the output index"),
+            spec: spec("plusplus-orig-no", 0, 0, Some(0), "atomic slot claim for the output index"),
             run: plusplus_no,
         }),
         Box::new(Kernel {
-            spec: spec("reductionmissing-orig-no", 0, 0, Some(0),
-                "reduction via atomic accumulate"),
+            spec: spec(
+                "reductionmissing-orig-no",
+                0,
+                0,
+                Some(0),
+                "reduction via atomic accumulate",
+            ),
             run: reductionmissing_no,
         }),
         Box::new(Kernel {
-            spec: spec("sections1-orig-no", 0, 0, Some(0),
-                "sections write disjoint variables"),
+            spec: spec("sections1-orig-no", 0, 0, Some(0), "sections write disjoint variables"),
             run: sections1_no,
         }),
         Box::new(Kernel {
-            spec: spec("matrixmultiply-orig-no", 0, 0, Some(0),
-                "row-parallel matrix multiply"),
+            spec: spec("matrixmultiply-orig-no", 0, 0, Some(0), "row-parallel matrix multiply"),
             run: matrixmultiply_no,
         }),
         Box::new(Kernel {
-            spec: spec("jacobi2d-orig-no", 0, 0, Some(0),
-                "barrier-separated Jacobi sweeps"),
+            spec: spec("jacobi2d-orig-no", 0, 0, Some(0), "barrier-separated Jacobi sweeps"),
             run: jacobi2d_no,
         }),
         Box::new(Kernel {
-            spec: spec("outputdep-orig-no", 0, 0, Some(0),
-                "race-free control for outputdep"),
+            spec: spec("outputdep-orig-no", 0, 0, Some(0), "race-free control for outputdep"),
             run: outputdep_no,
         }),
         Box::new(Kernel {
-            spec: spec("firstprivatemissing-orig-no", 0, 0, Some(0),
-                "initialization hoisted out of the region"),
+            spec: spec(
+                "firstprivatemissing-orig-no",
+                0,
+                0,
+                Some(0),
+                "initialization hoisted out of the region",
+            ),
             run: firstprivatemissing_no,
         }),
         Box::new(Kernel {
-            spec: spec("lastprivatemissing-orig-no", 0, 0, Some(0),
-                "barrier restored before the consuming read"),
+            spec: spec(
+                "lastprivatemissing-orig-no",
+                0,
+                0,
+                Some(0),
+                "barrier restored before the consuming read",
+            ),
             run: lastprivatemissing_no,
         }),
         Box::new(Kernel {
-            spec: spec("minusminus-orig-no", 0, 0, Some(0),
-                "worklist counter drained atomically"),
+            spec: spec("minusminus-orig-no", 0, 0, Some(0), "worklist counter drained atomically"),
             run: minusminus_no,
         }),
         Box::new(Kernel {
-            spec: spec("dynamicschedule-orig-no", 0, 0, Some(0),
-                "dynamic worksharing with atomic progress"),
+            spec: spec(
+                "dynamicschedule-orig-no",
+                0,
+                0,
+                Some(0),
+                "dynamic worksharing with atomic progress",
+            ),
             run: dynamicschedule_no,
         }),
         Box::new(Kernel {
-            spec: spec("differentsize-orig-no", 0, 0, Some(0),
-                "byte-disjoint halves of one shadow word: adjacency is not overlap"),
+            spec: spec(
+                "differentsize-orig-no",
+                0,
+                0,
+                Some(0),
+                "byte-disjoint halves of one shadow word: adjacency is not overlap",
+            ),
             run: differentsize_no,
         }),
     ]

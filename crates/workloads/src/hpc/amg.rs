@@ -54,11 +54,21 @@ pub fn amg_baseline_bytes(n: u64) -> u64 {
 /// paper's sweeps; any `n ≥ 2` works).
 pub fn amg_workload(n: u64) -> Kernel {
     let (name, run): (&'static str, fn(&OmpSim, &RunConfig)) = match n {
-        10 => ("AMG2013_10", |sim, cfg| { run_amg(sim, cfg, 10); }),
-        20 => ("AMG2013_20", |sim, cfg| { run_amg(sim, cfg, 20); }),
-        30 => ("AMG2013_30", |sim, cfg| { run_amg(sim, cfg, 30); }),
-        40 => ("AMG2013_40", |sim, cfg| { run_amg(sim, cfg, 40); }),
-        _ => ("AMG2013", |sim, cfg| { run_amg(sim, cfg, cfg.size_or(10)); }),
+        10 => ("AMG2013_10", |sim, cfg| {
+            run_amg(sim, cfg, 10);
+        }),
+        20 => ("AMG2013_20", |sim, cfg| {
+            run_amg(sim, cfg, 20);
+        }),
+        30 => ("AMG2013_30", |sim, cfg| {
+            run_amg(sim, cfg, 30);
+        }),
+        40 => ("AMG2013_40", |sim, cfg| {
+            run_amg(sim, cfg, 40);
+        }),
+        _ => ("AMG2013", |sim, cfg| {
+            run_amg(sim, cfg, cfg.size_or(10));
+        }),
     };
     Kernel {
         spec: WorkloadSpec {
@@ -106,7 +116,7 @@ pub fn run_amg(sim: &OmpSim, cfg: &RunConfig, n: u64) -> f64 {
     let points = n * n * n;
     let decl = points * POINT_ELEMS;
     let threads = cfg.threads.max(6); // the statistics region needs 6 roles
-    // Per-point refined state: declared n³-proportional, bounded backing.
+                                      // Per-point refined state: declared n³-proportional, bounded backing.
     let u = sim.alloc_phantom::<f64>(decl, REAL_BACKING.min(decl as usize), 0.0);
     let f = sim.alloc_phantom::<f64>(decl, REAL_BACKING.min(decl as usize), 0.0);
     let r = sim.alloc_phantom::<f64>(decl, REAL_BACKING.min(decl as usize), 0.0);
@@ -165,8 +175,7 @@ pub fn run_amg(sim: &OmpSim, cfg: &RunConfig, n: u64) -> f64 {
                     let clen = levels[lvl].0;
                     let flen = levels[lvl - 1].0;
                     let fine_stride = if lvl == 1 { POINT_ELEMS } else { 1 };
-                    let fine_r: &TrackedBuf<f64> =
-                        if lvl == 1 { &r } else { &levels[lvl - 1].3 };
+                    let fine_r: &TrackedBuf<f64> = if lvl == 1 { &r } else { &levels[lvl - 1].3 };
                     let cu = &levels[lvl].1;
                     let cf = &levels[lvl].2;
                     let cr = &levels[lvl].3;

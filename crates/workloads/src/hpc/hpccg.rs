@@ -133,8 +133,7 @@ pub fn run_cg(sim: &OmpSim, cfg: &RunConfig) -> f64 {
                     local3 += ri * ri;
                 });
                 let new_rtrans = w.reduce_sum(&partial, &rtrans, local3);
-                let beta =
-                    if old_rtrans.abs() < 1e-300 { 0.0 } else { new_rtrans / old_rtrans };
+                let beta = if old_rtrans.abs() < 1e-300 { 0.0 } else { new_rtrans / old_rtrans };
 
                 w.for_static(0..n, |i| {
                     let ri = w.read(&r, i);

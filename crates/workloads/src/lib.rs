@@ -139,11 +139,7 @@ mod tests {
             assert!(!spec.name.is_empty());
             assert!(!spec.notes.is_empty(), "{} needs a story", spec.name);
             if let Some(archer) = spec.archer_races {
-                assert!(
-                    archer <= spec.sword_races,
-                    "{}: archer may never exceed sword",
-                    spec.name
-                );
+                assert!(archer <= spec.sword_races, "{}: archer may never exceed sword", spec.name);
             }
         }
     }

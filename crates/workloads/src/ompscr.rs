@@ -531,82 +531,133 @@ fn qsomp_lock_name(variant: u64) -> &'static str {
 pub fn all() -> Vec<Box<dyn Workload>> {
     vec![
         Box::new(Kernel {
-            spec: spec("c_loopA.badSolution", 1, 1, Some(1),
-                "loop-carried flow dependence parallelized anyway"),
+            spec: spec(
+                "c_loopA.badSolution",
+                1,
+                1,
+                Some(1),
+                "loop-carried flow dependence parallelized anyway",
+            ),
             run: c_loop_a_bad,
         }),
         Box::new(Kernel {
-            spec: spec("c_loopB.badSolution1", 1, 1, Some(1),
-                "fixed-distance jump dependence"),
+            spec: spec("c_loopB.badSolution1", 1, 1, Some(1), "fixed-distance jump dependence"),
             run: c_loop_b_bad1,
         }),
         Box::new(Kernel {
-            spec: spec("c_loopB.badSolution2", 1, 1, Some(1),
-                "backward anti-dependence"),
+            spec: spec("c_loopB.badSolution2", 1, 1, Some(1), "backward anti-dependence"),
             run: c_loop_b_bad2,
         }),
         Box::new(Kernel {
-            spec: spec("c_lu", 0, 0, Some(0),
-                "correct pivot-stepped LU factorization (race-free)"),
+            spec: spec("c_lu", 0, 0, Some(0), "correct pivot-stepped LU factorization (race-free)"),
             run: c_lu,
         }),
         Box::new(Kernel {
-            spec: spec("c_mandel", 1, 2, Some(2),
-                "Mandelbrot area: unprotected numoutside counter"),
+            spec: spec(
+                "c_mandel",
+                1,
+                2,
+                Some(2),
+                "Mandelbrot area: unprotected numoutside counter",
+            ),
             run: c_mandel,
         }),
         Box::new(Kernel {
-            spec: spec("c_md", 1, 3, Some(2),
+            spec: spec(
+                "c_md",
+                1,
+                3,
+                Some(2),
                 "molecular dynamics: unprotected potential accumulation; \
-                 SWORD adds the HB-masked normalization write (new, real)"),
+                 SWORD adds the HB-masked normalization write (new, real)",
+            ),
             run: c_md,
         }),
         Box::new(Kernel {
-            spec: spec("c_pi", 0, 0, Some(0),
-                "π integration with atomic reduction (race-free)"),
+            spec: spec("c_pi", 0, 0, Some(0), "π integration with atomic reduction (race-free)"),
             run: c_pi,
         }),
         Box::new(Kernel {
-            spec: spec("c_testPath", 1, 3, Some(2),
+            spec: spec(
+                "c_testPath",
+                1,
+                3,
+                Some(2),
                 "path search: unprotected best-cost check-then-act; SWORD \
-                 adds the HB-masked report write (new, real)"),
+                 adds the HB-masked report write (new, real)",
+            ),
             run: c_test_path,
         }),
         Box::new(Kernel {
-            spec: spec("cpp_qsomp1", 1, 3, Some(2),
+            spec: spec(
+                "cpp_qsomp1",
+                1,
+                3,
+                Some(2),
                 "parallel quicksort v1: unprotected partition counter; \
-                 SWORD adds the HB-masked depth write (new, real)"),
+                 SWORD adds the HB-masked depth write (new, real)",
+            ),
             run: |sim, cfg| qsomp(sim, cfg, 1),
         }),
         Box::new(Kernel {
-            spec: spec("cpp_qsomp2", 1, 3, Some(2),
-                "quicksort v2 (median pivot): same counter race + new race"),
+            spec: spec(
+                "cpp_qsomp2",
+                1,
+                3,
+                Some(2),
+                "quicksort v2 (median pivot): same counter race + new race",
+            ),
             run: |sim, cfg| qsomp(sim, cfg, 2),
         }),
         Box::new(Kernel {
-            spec: spec("cpp_qsomp5", 1, 3, Some(2),
-                "quicksort v5 (first pivot): same counter race + new race"),
+            spec: spec(
+                "cpp_qsomp5",
+                1,
+                3,
+                Some(2),
+                "quicksort v5 (first pivot): same counter race + new race",
+            ),
             run: |sim, cfg| qsomp(sim, cfg, 5),
         }),
         Box::new(Kernel {
-            spec: spec("cpp_qsomp6", 1, 3, Some(2),
-                "quicksort v6 (third pivot): same counter race + new race"),
+            spec: spec(
+                "cpp_qsomp6",
+                1,
+                3,
+                Some(2),
+                "quicksort v6 (third pivot): same counter race + new race",
+            ),
             run: |sim, cfg| qsomp(sim, cfg, 6),
         }),
         Box::new(Kernel {
-            spec: spec("c_fft", 0, 0, Some(0),
+            spec: spec(
+                "c_fft",
+                0,
+                0,
+                Some(0),
                 "radix-2 FFT with barrier-separated stages (race-free; \
-                 power-of-two stride stress for summarization)"),
+                 power-of-two stride stress for summarization)",
+            ),
             run: c_fft,
         }),
         Box::new(Kernel {
-            spec: spec("c_jacobi01", 1, 2, Some(2),
-                "Jacobi sweep with an unprotected residual accumulation"),
+            spec: spec(
+                "c_jacobi01",
+                1,
+                2,
+                Some(2),
+                "Jacobi sweep with an unprotected residual accumulation",
+            ),
             run: c_jacobi01,
         }),
         Box::new(Kernel {
-            spec: spec("c_jacobi02", 0, 0, Some(0),
-                "Jacobi with a deterministic reduction (the fixed variant)"),
+            spec: spec(
+                "c_jacobi02",
+                0,
+                0,
+                Some(0),
+                "Jacobi with a deterministic reduction (the fixed variant)",
+            ),
             run: c_jacobi02,
         }),
     ]

@@ -60,10 +60,7 @@ fn check_suite(workloads: Vec<Box<dyn Workload>>, cfg: &RunConfig) {
                 ));
             }
             None if archer > sword => {
-                failures.push(format!(
-                    "{}: archer found {} > sword {}",
-                    spec.name, archer, sword
-                ));
+                failures.push(format!("{}: archer found {} > sword {}", spec.name, archer, sword));
             }
             _ => {}
         }
@@ -110,8 +107,12 @@ fn amg_scaling_archer_ooms_sword_survives() {
             assert!(!stats.oom, "AMG_{n}: archer must fit ({} modeled)", stats.modeled_tool_bytes);
             assert_eq!(tool.races().len(), 4, "AMG_{n}: archer sees the 4 counter races");
         } else {
-            assert!(stats.oom, "AMG_40 must exceed the node: baseline {} + tool {}",
-                amg_baseline_bytes(n), stats.modeled_tool_bytes);
+            assert!(
+                stats.oom,
+                "AMG_40 must exceed the node: baseline {} + tool {}",
+                amg_baseline_bytes(n),
+                stats.modeled_tool_bytes
+            );
         }
 
         // SWORD completes every size and finds all 14 races.

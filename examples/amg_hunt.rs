@@ -65,8 +65,7 @@ fn main() {
             w.execute(sim, &cfg);
         })
         .expect("collection");
-        let result =
-            analyze(&SessionDir::new(&dir), &AnalysisConfig::default()).expect("analysis");
+        let result = analyze(&SessionDir::new(&dir), &AnalysisConfig::default()).expect("analysis");
         let _ = std::fs::remove_dir_all(&dir);
         println!(
             "  sword:  {} races, {} bounded collector memory, {} logs on disk",

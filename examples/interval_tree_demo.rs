@@ -57,8 +57,14 @@ fn main() {
         let t = b.finish();
         println!("thread {}..{}: {} accesses -> {} tree nodes", lo, hi, (hi - lo) * 2, t.len());
         for (_, iv, label) in t.iter() {
-            println!("    [{:#06x}, {:#06x}) stride {} x{}  {}", iv.begin(), iv.end(),
-                iv.stride, iv.len(), label);
+            println!(
+                "    [{:#06x}, {:#06x}) stride {} x{}  {}",
+                iv.begin(),
+                iv.end(),
+                iv.stride,
+                iv.len(),
+                label
+            );
         }
         trees.push(t);
     }

@@ -88,11 +88,7 @@ fn main() {
     // The write-write pairs on y (R1 within each inner team collapses
     // with R2 across teams when the source lines coincide; the two
     // distinct y-writing lines give distinct pairs) and the x pair (R3).
-    assert!(
-        result.race_count() >= 3,
-        "R1/R2 (y) and R3 (x) must all be found: {:?}",
-        result.races
-    );
+    assert!(result.race_count() >= 3, "R1/R2 (y) and R3 (x) must all be found: {:?}", result.races);
     // And the analyzer must NOT report z (private slots) — check by
     // confirming every reported witness address hits x or y.
     let _ = std::fs::remove_dir_all(&dir);

@@ -68,7 +68,9 @@ fn main() {
     let result = analyze_loaded(&loaded, &AnalysisConfig::default()).expect("analysis");
     println!(
         "  {} barrier intervals, {} accesses, {} tree nodes, {} solver calls\n",
-        result.stats.barrier_intervals, result.stats.events, result.stats.nodes,
+        result.stats.barrier_intervals,
+        result.stats.events,
+        result.stats.nodes,
         result.stats.solver_calls
     );
 

@@ -67,17 +67,13 @@ fn sword_verdicts_invariant_to_buffers_and_workers() {
     let mut verdicts = Vec::new();
     for (buffer, workers) in [(64usize, 1usize), (1024, 4), (25_000, 2)] {
         let dir = tmp(&format!("inv-{buffer}-{workers}"));
-        run_collected(
-            SwordConfig::new(&dir).buffer_events(buffer),
-            SimConfig::default(),
-            |sim| w.execute(sim, &cfg),
-        )
+        run_collected(SwordConfig::new(&dir).buffer_events(buffer), SimConfig::default(), |sim| {
+            w.execute(sim, &cfg)
+        })
         .unwrap();
-        let result = analyze(
-            &SessionDir::new(&dir),
-            &AnalysisConfig::default().with_workers(workers),
-        )
-        .unwrap();
+        let result =
+            analyze(&SessionDir::new(&dir), &AnalysisConfig::default().with_workers(workers))
+                .unwrap();
         let mut keys: Vec<_> = result.races.iter().map(|r| r.key).collect();
         keys.sort();
         verdicts.push(keys);
@@ -98,8 +94,10 @@ fn archer_flush_shadow_never_changes_verdicts_here() {
     let cfg = RunConfig::small();
     for w in drb_workloads() {
         let run = |flush: bool| {
-            let tool =
-                Arc::new(ArcherTool::new(ArcherConfig { flush_shadow: flush, ..Default::default() }));
+            let tool = Arc::new(ArcherTool::new(ArcherConfig {
+                flush_shadow: flush,
+                ..Default::default()
+            }));
             let sim = OmpSim::with_tool(tool.clone());
             w.execute(&sim, &cfg);
             tool.races().len()

@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use sword::offline::{analyze, AnalysisConfig, LoadedSession};
 use sword::ompsim::{OmpSim, SimConfig};
 use sword::runtime::{run_collected, SwordConfig, SwordStats};
-use sword::trace::{read_meta, EventDecoder, Event, LogReader, SessionDir};
+use sword::trace::{read_meta, Event, EventDecoder, LogReader, SessionDir};
 
 fn tmp(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("sword-integ-{tag}-{}", std::process::id()));
@@ -105,9 +105,8 @@ fn analysis_is_idempotent_and_stream_insensitive() {
     let r1 = analyze(&session, &AnalysisConfig::sequential()).unwrap();
     let r2 = analyze(&session, &AnalysisConfig::sequential()).unwrap();
     let r3 = analyze(&session, &AnalysisConfig::sequential().with_chunk_bytes(11)).unwrap();
-    let keys = |r: &sword::offline::AnalysisResult| -> Vec<_> {
-        r.races.iter().map(|x| x.key).collect()
-    };
+    let keys =
+        |r: &sword::offline::AnalysisResult| -> Vec<_> { r.races.iter().map(|x| x.key).collect() };
     assert_eq!(keys(&r1), keys(&r2));
     assert_eq!(keys(&r1), keys(&r3));
     assert_eq!(r1.stats.events, r3.stats.events);
