@@ -1,0 +1,162 @@
+//! Online-collection hot-path microbenchmarks.
+//!
+//! The paper's data-collection overhead (§IV, Figures 6–7) is dominated
+//! by three inner loops: encoding events into the bounded buffer,
+//! compressing filled buffers, and writing frames. This target measures
+//! each in isolation on an OmpSCR-style event mix, and pins the PR's
+//! headline claim: the accelerated [`Compressor`] (skip trigger, wide
+//! copies, recycled hash table) must beat the seed greedy codec by at
+//! least 1.5× on compression throughput (asserted at 1.2× so a loaded
+//! CI machine does not flake; EXPERIMENTS.md records the measured
+//! margin).
+//!
+//! Run with `cargo bench -p sword-bench --bench collector_hot_path`.
+
+use sword_bench::Table;
+use sword_compress::{compress_greedy, decompress, Compressor, FrameWriter};
+use sword_metrics::Stopwatch;
+use sword_trace::{AccessKind, Event, EventEncoder, MemAccess};
+
+/// An OmpSCR-style interval: a few hot PCs doing strided array sweeps
+/// with reads and writes interleaved, punctuated by critical sections —
+/// the event shape `c_md`/`c_pi`/`c_mandel` produce. ~1 MB encoded at
+/// 200k iterations, i.e. several full 25k-event paper buffers.
+fn ompscr_events(n: usize) -> Vec<Event> {
+    let mut events = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        if i % 97 == 96 {
+            events.push(Event::MutexAcquire(1));
+            events.push(Event::Access(MemAccess::new(0x7000, 8, AccessKind::Write, 90)));
+            events.push(Event::MutexRelease(1));
+            continue;
+        }
+        let pc = 40 + (i % 4) as u32;
+        let kind = if i % 3 == 0 { AccessKind::Read } else { AccessKind::Write };
+        let addr = 0x100000 + (i % 5) * 0x2000 + i * 8;
+        events.push(Event::Access(MemAccess::new(addr, 8, kind, pc)));
+    }
+    events
+}
+
+fn encode_block(events: &[Event]) -> Vec<u8> {
+    let mut enc = EventEncoder::new();
+    let mut buf = Vec::new();
+    for e in events {
+        enc.encode(e, &mut buf);
+    }
+    buf
+}
+
+/// Best-of-`iters` seconds for one run of `f` (best-of defeats CI noise).
+fn best_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let sw = Stopwatch::start();
+        f();
+        best = best.min(sw.secs());
+    }
+    best
+}
+
+fn mbps(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / 1e6 / secs.max(1e-9)
+}
+
+fn main() {
+    const EVENTS: usize = 200_000;
+    const ITERS: usize = 30;
+    let events = ompscr_events(EVENTS);
+    let block = encode_block(&events);
+
+    let mut table = Table::new(
+        format!("collector hot path ({} events, {} byte block)", events.len(), block.len()),
+        &["stage", "throughput", "ratio", "notes"],
+    );
+
+    // Event encoding (the per-access cost on the app thread).
+    let mut sink = Vec::with_capacity(block.len() + 64);
+    let enc_secs = best_secs(ITERS, || {
+        sink.clear();
+        let mut enc = EventEncoder::new();
+        for e in &events {
+            enc.encode(e, &mut sink);
+        }
+    });
+    table.row(&[
+        "encode".into(),
+        format!("{:.0} Mevents/s", events.len() as f64 / 1e6 / enc_secs.max(1e-9)),
+        "-".into(),
+        format!("{:.0} MB/s encoded", mbps(block.len(), enc_secs)),
+    ]);
+
+    // Seed greedy codec (retained as `compress_greedy`).
+    let mut out = Vec::new();
+    let greedy_secs = best_secs(ITERS, || {
+        out.clear();
+        compress_greedy(&block, &mut out);
+    });
+    let greedy_len = out.len();
+    table.row(&[
+        "compress (seed greedy)".into(),
+        format!("{:.0} MB/s", mbps(block.len(), greedy_secs)),
+        format!("{:.2}x", block.len() as f64 / greedy_len as f64),
+        "hash table zeroed per block".into(),
+    ]);
+
+    // Accelerated codec with a reused, worker-owned Compressor.
+    let mut comp = Compressor::new();
+    let accel_secs = best_secs(ITERS, || {
+        out.clear();
+        comp.compress(&block, &mut out);
+    });
+    let accel_len = out.len();
+    let speedup = greedy_secs / accel_secs.max(1e-9);
+    table.row(&[
+        "compress (accelerated)".into(),
+        format!("{:.0} MB/s", mbps(block.len(), accel_secs)),
+        format!("{:.2}x", block.len() as f64 / accel_len as f64),
+        format!("{speedup:.2}x over seed"),
+    ]);
+
+    // Decompression (the offline analyzer's ingest cost).
+    let compressed = out.clone();
+    let mut plain = Vec::new();
+    let dec_secs = best_secs(ITERS, || {
+        plain.clear();
+        decompress(&compressed, &mut plain).unwrap();
+    });
+    assert_eq!(plain, block, "roundtrip");
+    table.row(&[
+        "decompress".into(),
+        format!("{:.0} MB/s", mbps(block.len(), dec_secs)),
+        "-".into(),
+        "wide copies".into(),
+    ]);
+
+    // End-to-end flush: frame encoding + buffered write, as one
+    // compression worker sees it.
+    let flush_secs = best_secs(ITERS, || {
+        let mut w = FrameWriter::new(Vec::with_capacity(compressed.len() + 64));
+        w.write_frame(&block).unwrap();
+    });
+    table.row(&[
+        "flush (frame + write)".into(),
+        format!("{:.0} MB/s", mbps(block.len(), flush_secs)),
+        "-".into(),
+        "per-buffer handoff cost".into(),
+    ]);
+
+    println!("{}", table.render());
+    println!(
+        "accelerated codec speedup over seed greedy: {speedup:.2}x \
+         (target >= 1.5x, CI floor 1.2x)"
+    );
+    assert!(
+        speedup >= 1.2,
+        "accelerated codec must outrun the seed greedy codec: {speedup:.2}x < 1.2x"
+    );
+    assert!(
+        accel_len as f64 <= greedy_len as f64 * 1.10,
+        "speed must not cost ratio: accelerated {accel_len} vs greedy {greedy_len}"
+    );
+}

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! sword run <workload> [--threads N] [--size S] [--session DIR] [--live]
-//!     Execute a workload under the SWORD collector.
+//!     Execute a workload under the SWORD collector. `--stats` prints the
+//!     flush-path counters (stalls, compression busy time, ratio).
 //! sword analyze <session-dir> [--workers N] [--ilp] [--stats]
-//!     Offline race analysis of a collected session.
+//!     Offline race analysis of a collected session. `--stats` adds the
+//!     stage table and, when recorded, the run's flush-path counters.
 //! sword watch <session-dir> [--interval-ms N] [--timeout-secs N]
 //!     Incrementally analyze an in-progress session, reporting races as
 //!     their barrier intervals are published.
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   sword list
   sword run <workload> [--threads N] [--size S] [--session DIR] [--live]
+                        [--stats]
   sword analyze <session-dir> [--workers N] [--ilp] [--json] [--stats]
                                [--region id,...] [--suppress pat,...]
   sword watch <session-dir> [--interval-ms N] [--timeout-secs N] [--json]
@@ -177,6 +180,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         stats.compression_ratio()
     );
     println!("  bounded tool mem:  {}", format_bytes(stats.tool_memory_bytes));
+    if flags.has("stats") {
+        println!("\n{}", stats.flush.render());
+    }
     println!("\nnext: sword analyze {}", session.display());
     Ok(())
 }
@@ -216,6 +222,13 @@ fn print_analysis(
     }
     if stats {
         println!("{}", result.stages.render());
+        // The collector leaves its flush-path counters in the session
+        // info file; older sessions without them just skip the table.
+        if let Some(flush) =
+            session.read_info().ok().and_then(|info| sword_metrics::FlushSnapshot::from_info(&info))
+        {
+            println!("{}", flush.render());
+        }
     }
     Ok(result.races.len())
 }
@@ -478,8 +491,11 @@ mod tests {
     fn run_then_meta_then_analyze() {
         let session = std::env::temp_dir().join(format!("sword-cli-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&session);
-        run(&s(&["run", "sections1-orig-yes", "--session", session.to_str().unwrap()]))
-            .expect("run");
+        run(&s(&["run", "sections1-orig-yes", "--session", session.to_str().unwrap(), "--stats"]))
+            .expect("run --stats");
+        // The collector persisted its flush counters for `analyze --stats`.
+        let info = SessionDir::new(&session).read_info().expect("info");
+        assert!(sword_metrics::FlushSnapshot::from_info(&info).is_some());
         run(&s(&["meta", session.to_str().unwrap()])).expect("meta");
         run(&s(&["analyze", session.to_str().unwrap(), "--workers", "1"])).expect("analyze");
         run(&s(&["analyze", session.to_str().unwrap(), "--json"])).expect("analyze --json");

@@ -5,10 +5,14 @@
 //! compared LZO, Snappy, and LZ4, found them interchangeable for this
 //! workload, and picked LZO for integration convenience. This crate is the
 //! stand-in: a byte-oriented LZ77-family codec of the same family —
-//! greedy hash-table match finding, LZ4-style token stream — plus a framed
-//! block format ([`FrameWriter`]/[`FrameReader`]) with a stored-block
-//! fallback so incompressible data never expands by more than the 13-byte
-//! frame header.
+//! hash-table match finding with an LZ4-style token stream, skip-trigger
+//! acceleration over incompressible runs, and a reusable [`Compressor`]
+//! scratch struct so worker threads never re-zero the hash table per
+//! block — plus a framed block format ([`FrameWriter`]/[`FrameReader`])
+//! with a stored-block fallback so incompressible data never expands by
+//! more than the 13-byte frame header. [`encode_frame_into`] exposes the
+//! frame encoder directly for compression worker pools that hand finished
+//! frame bytes to a separate ordered I/O thread.
 //!
 //! Trace data (varint-packed deltas of addresses and program counters) is
 //! highly repetitive, so ratios on real logs are typically far above 10×;
@@ -38,7 +42,7 @@ use std::io::{self, Read, Write};
 
 mod lz;
 
-pub use lz::{compress, decompress, max_compressed_len, DecodeError};
+pub use lz::{compress, compress_greedy, decompress, max_compressed_len, Compressor, DecodeError};
 
 /// Magic bytes opening every frame: "SWLZ".
 pub const FRAME_MAGIC: [u8; 4] = *b"SWLZ";
@@ -50,11 +54,42 @@ pub const FRAME_HEADER_LEN: usize = 13;
 /// Flag: payload is stored uncompressed.
 const FLAG_STORED: u8 = 1;
 
+/// Encodes `block` as one complete frame (header + payload) appended to
+/// `out`, reusing `compressor`'s scratch state. Falls back to a stored
+/// payload when compression does not help. Returns the number of frame
+/// bytes appended.
+///
+/// This is the allocation-free building block behind
+/// [`FrameWriter::write_frame`]; compression worker pools call it directly
+/// to encode frames off the I/O thread and hand finished bytes to an
+/// ordered writer.
+pub fn encode_frame_into(compressor: &mut Compressor, block: &[u8], out: &mut Vec<u8>) -> usize {
+    assert!(block.len() <= u32::MAX as usize, "frame too large");
+    let start = out.len();
+    out.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+    compressor.compress(block, out);
+    let mut payload_len = out.len() - start - FRAME_HEADER_LEN;
+    let mut flags = 0u8;
+    if payload_len >= block.len() {
+        out.truncate(start + FRAME_HEADER_LEN);
+        out.extend_from_slice(block);
+        payload_len = block.len();
+        flags = FLAG_STORED;
+    }
+    let header = &mut out[start..start + FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&FRAME_MAGIC);
+    header[4..8].copy_from_slice(&(block.len() as u32).to_le_bytes());
+    header[8..12].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    header[12] = flags;
+    out.len() - start
+}
+
 /// Writes length-prefixed compressed frames to an underlying writer. One
 /// frame corresponds to one flushed event buffer.
 #[derive(Debug)]
 pub struct FrameWriter<W: Write> {
     inner: W,
+    compressor: Compressor,
     scratch: Vec<u8>,
     raw_bytes: u64,
     written_bytes: u64,
@@ -64,33 +99,41 @@ pub struct FrameWriter<W: Write> {
 impl<W: Write> FrameWriter<W> {
     /// Wraps `inner`.
     pub fn new(inner: W) -> Self {
-        FrameWriter { inner, scratch: Vec::new(), raw_bytes: 0, written_bytes: 0, frames: 0 }
+        FrameWriter {
+            inner,
+            compressor: Compressor::new(),
+            scratch: Vec::new(),
+            raw_bytes: 0,
+            written_bytes: 0,
+            frames: 0,
+        }
     }
 
-    /// Compresses `block` and writes one frame. Falls back to a stored
+    /// Compresses `block` and writes one frame, reusing this writer's
+    /// [`Compressor`] scratch state across calls. Falls back to a stored
     /// frame when compression does not help. Returns the number of bytes
     /// written to the underlying writer (header included).
     pub fn write_frame(&mut self, block: &[u8]) -> io::Result<usize> {
-        assert!(block.len() <= u32::MAX as usize, "frame too large");
         self.scratch.clear();
-        compress(block, &mut self.scratch);
-        let (payload, flags): (&[u8], u8) = if self.scratch.len() < block.len() {
-            (&self.scratch, 0)
-        } else {
-            (block, FLAG_STORED)
-        };
-        let mut header = [0u8; FRAME_HEADER_LEN];
-        header[..4].copy_from_slice(&FRAME_MAGIC);
-        header[4..8].copy_from_slice(&(block.len() as u32).to_le_bytes());
-        header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        header[12] = flags;
-        self.inner.write_all(&header)?;
-        self.inner.write_all(payload)?;
-        let total = FRAME_HEADER_LEN + payload.len();
+        encode_frame_into(&mut self.compressor, block, &mut self.scratch);
+        let total = self.scratch.len();
+        self.inner.write_all(&self.scratch)?;
         self.raw_bytes += block.len() as u64;
         self.written_bytes += total as u64;
         self.frames += 1;
         Ok(total)
+    }
+
+    /// Writes frame bytes already produced by [`encode_frame_into`]
+    /// (compressed elsewhere, e.g. by a worker pool), keeping this
+    /// writer's ratio accounting consistent. `raw_len` is the block's
+    /// uncompressed length.
+    pub fn write_encoded_frame(&mut self, frame: &[u8], raw_len: u64) -> io::Result<usize> {
+        self.inner.write_all(frame)?;
+        self.raw_bytes += raw_len;
+        self.written_bytes += frame.len() as u64;
+        self.frames += 1;
+        Ok(frame.len())
     }
 
     /// Flushes the underlying writer.
@@ -368,6 +411,47 @@ mod tests {
         let mut r = FrameReader::new(&b""[..]);
         let mut out = Vec::new();
         assert_eq!(r.read_frame(&mut out).unwrap(), None);
+    }
+
+    #[test]
+    fn encode_frame_into_matches_write_frame() {
+        let blocks: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            vec![7u8; 5000],
+            (0..4000u32).flat_map(|i| i.to_le_bytes()).collect(),
+            b"mixed mixed mixed 123456".to_vec(),
+        ];
+        let mut w = FrameWriter::new(Vec::new());
+        for b in &blocks {
+            w.write_frame(b).unwrap();
+        }
+        let via_writer = w.into_inner();
+
+        let mut comp = Compressor::new();
+        let mut via_encode = Vec::new();
+        for b in &blocks {
+            encode_frame_into(&mut comp, b, &mut via_encode);
+        }
+        assert_eq!(via_writer, via_encode, "both paths emit identical frame streams");
+    }
+
+    #[test]
+    fn write_encoded_frame_accounting_and_decode() {
+        let block = vec![3u8; 10_000];
+        let mut comp = Compressor::new();
+        let mut frame = Vec::new();
+        let n = encode_frame_into(&mut comp, &block, &mut frame);
+        assert_eq!(n, frame.len());
+
+        let mut w = FrameWriter::new(Vec::new());
+        w.write_encoded_frame(&frame, block.len() as u64).unwrap();
+        assert_eq!(w.raw_bytes(), block.len() as u64);
+        assert_eq!(w.written_bytes(), frame.len() as u64);
+        assert_eq!(w.frames(), 1);
+        let bytes = w.into_inner();
+        let mut out = Vec::new();
+        FrameReader::new(&bytes[..]).read_frame(&mut out).unwrap();
+        assert_eq!(out, block);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The LZ77 codec: greedy hash-table match finding with an LZ4-style token
-//! stream.
+//! The LZ77 codec: hash-table match finding with an LZ4-style token
+//! stream, an acceleration (skip-trigger) search, and wide match copies.
 //!
 //! Encoded stream grammar (all lengths little-endian where multi-byte):
 //!
@@ -15,6 +15,22 @@
 //!   (1-based; ≤ 65535), so matches may overlap themselves, which encodes
 //!   RLE runs efficiently — important for the long runs of identical event
 //!   headers in SWORD logs.
+//!
+//! Two compressors emit this format:
+//!
+//! * [`Compressor`] — the production path. Its hash table is allocated
+//!   once and recycled across blocks via an epoch base (entries below the
+//!   current block's base are stale), match candidates are confirmed with
+//!   one 4-byte load, matches are extended 8 bytes per step, and a
+//!   skip-trigger accelerates over incompressible runs (every
+//!   `2^SKIP_TRIGGER` consecutive misses grow the probe stride by one
+//!   byte, so pseudo-random input costs ~1 probe per `stride` bytes
+//!   instead of one per byte).
+//! * [`compress_greedy`] — the original byte-at-a-time greedy matcher
+//!   with a freshly allocated table per call, retained as the reference
+//!   implementation for differential tests and the `collector_hot_path`
+//!   before/after bench. Both emit valid streams for the same grammar and
+//!   decode under the same [`decompress`].
 
 /// Minimum match length worth encoding (token + offset = 3 bytes).
 const MIN_MATCH: usize = 4;
@@ -23,6 +39,14 @@ const MAX_OFFSET: usize = 65_535;
 /// log2 of the hash table size.
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Probe-miss budget before the search stride grows by one byte: the
+/// stride is `1 + misses / 2^SKIP_TRIGGER`, LZ4's acceleration scheme.
+const SKIP_TRIGGER: u32 = 6;
+/// Upper bound accepted for a single decoded literal/match run. No
+/// stream our compressors emit comes close (runs are bounded by the
+/// block size, and blocks by the frame format's u32 `raw_len`); anything
+/// larger is adversarial input trying to force a huge reservation.
+const MAX_DECODE_RUN: usize = 1 << 30;
 
 /// Errors from [`decompress`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,6 +55,9 @@ pub enum DecodeError {
     Truncated,
     /// A match referenced data before the start of the output.
     BadOffset,
+    /// A length-extension chain claimed a run larger than any valid
+    /// stream can contain (adversarial input; refused before reserving).
+    Oversize,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -38,6 +65,7 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "compressed stream truncated"),
             DecodeError::BadOffset => write!(f, "match offset out of range"),
+            DecodeError::Oversize => write!(f, "length chain exceeds decodable bounds"),
         }
     }
 }
@@ -51,13 +79,134 @@ pub fn max_compressed_len(len: usize) -> usize {
 }
 
 #[inline]
-fn hash4(bytes: &[u8]) -> usize {
-    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+fn hash4(v: u32) -> usize {
     (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
 }
 
-/// Compresses `input`, appending to `out`.
+#[inline]
+fn read_u32(input: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes(input[pos..pos + 4].try_into().expect("4 bytes"))
+}
+
+#[inline]
+fn read_u64(input: &[u8], pos: usize) -> u64 {
+    u64::from_le_bytes(input[pos..pos + 8].try_into().expect("8 bytes"))
+}
+
+/// Length of the common prefix of `input[a..]` and `input[b..]` (with
+/// `a < b`), compared 8 bytes at a time; the first differing byte is
+/// located with a trailing-zeros count instead of a byte loop.
+#[inline]
+fn common_prefix(input: &[u8], mut a: usize, mut b: usize) -> usize {
+    let n = input.len();
+    let start = b;
+    while b + 8 <= n {
+        let x = read_u64(input, a) ^ read_u64(input, b);
+        if x != 0 {
+            return b - start + (x.trailing_zeros() >> 3) as usize;
+        }
+        a += 8;
+        b += 8;
+    }
+    while b < n && input[a] == input[b] {
+        a += 1;
+        b += 1;
+    }
+    b - start
+}
+
+/// Reusable compression state: one hash table per compressor, recycled
+/// across blocks without re-zeroing.
+///
+/// The table maps 4-byte-prefix hashes to `base + position`; `base` is
+/// advanced past every compressed block, so entries written by earlier
+/// blocks compare below the current block's base and read as empty. The
+/// table is only re-zeroed when `base` approaches `u32::MAX` (once per
+/// ~4 GiB compressed), making per-block setup O(1) instead of the
+/// O(HASH_SIZE) clear the greedy reference pays.
+#[derive(Clone, Debug)]
+pub struct Compressor {
+    table: Vec<u32>,
+    base: u32,
+}
+
+impl Default for Compressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compressor {
+    /// A fresh compressor (allocates the hash table once).
+    pub fn new() -> Self {
+        Compressor { table: vec![0; HASH_SIZE], base: 1 }
+    }
+
+    /// Compresses `input` as one standalone stream, appending to `out`.
+    pub fn compress(&mut self, input: &[u8], out: &mut Vec<u8>) {
+        out.reserve(input.len() / 2 + 16);
+        let n = input.len();
+        // Claim this block's epoch range [base, base + n); wrap by
+        // re-zeroing when u32 positions would run out.
+        if self.base as u64 + n as u64 >= u32::MAX as u64 {
+            self.table.fill(0);
+            self.base = 1;
+        }
+        let base = self.base;
+        self.base += n as u32;
+
+        let mut pos = 0usize;
+        let mut literal_start = 0usize;
+        let mut probes = 1u32 << SKIP_TRIGGER;
+        while pos + MIN_MATCH <= n {
+            let here = read_u32(input, pos);
+            let h = hash4(here);
+            let entry = self.table[h];
+            self.table[h] = base + pos as u32;
+            if entry >= base {
+                let candidate = (entry - base) as usize;
+                if pos - candidate <= MAX_OFFSET && read_u32(input, candidate) == here {
+                    let len =
+                        MIN_MATCH + common_prefix(input, candidate + MIN_MATCH, pos + MIN_MATCH);
+                    emit_sequence(out, &input[literal_start..pos], pos - candidate, len);
+                    pos += len;
+                    literal_start = pos;
+                    // Keep the table warm at the match tail so adjacent
+                    // repeats chain without per-byte hashing.
+                    if pos + MIN_MATCH <= n && pos >= 2 {
+                        let p = pos - 2;
+                        self.table[hash4(read_u32(input, p))] = base + p as u32;
+                    }
+                    probes = 1 << SKIP_TRIGGER;
+                    continue;
+                }
+            }
+            // Miss: accelerate over incompressible data — the stride
+            // grows by one byte per 2^SKIP_TRIGGER consecutive misses.
+            pos += (probes >> SKIP_TRIGGER) as usize;
+            probes += 1;
+        }
+        // Terminal literal run (match_len nibble = 0).
+        emit_sequence(out, &input[literal_start..], 0, 0);
+    }
+}
+
+/// Compresses `input`, appending to `out`, with one-shot scratch state.
+/// Hot paths should hold a [`Compressor`] instead and reuse its table.
 pub fn compress(input: &[u8], out: &mut Vec<u8>) {
+    Compressor::new().compress(input, out);
+}
+
+/// The original greedy byte-at-a-time compressor (the seed codec),
+/// retained unchanged as a differential-testing reference and the
+/// baseline of the `collector_hot_path` bench. Emits the same stream
+/// grammar as [`Compressor::compress`]; outputs from either decode under
+/// [`decompress`].
+pub fn compress_greedy(input: &[u8], out: &mut Vec<u8>) {
+    let greedy_hash = |bytes: &[u8]| -> usize {
+        let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+    };
     out.reserve(input.len() / 2 + 16);
     // Positions of previous occurrences of 4-byte prefixes.
     let mut table = vec![usize::MAX; HASH_SIZE];
@@ -66,7 +215,7 @@ pub fn compress(input: &[u8], out: &mut Vec<u8>) {
     let n = input.len();
 
     while pos + MIN_MATCH <= n {
-        let h = hash4(&input[pos..]);
+        let h = greedy_hash(&input[pos..]);
         let candidate = table[h];
         table[h] = pos;
         if candidate != usize::MAX
@@ -84,7 +233,7 @@ pub fn compress(input: &[u8], out: &mut Vec<u8>) {
             let step = (len / 4).max(1);
             let mut p = pos + 1;
             while p + MIN_MATCH <= n && p < pos + len {
-                table[hash4(&input[p..])] = p;
+                table[greedy_hash(&input[p..])] = p;
                 p += step;
             }
             pos += len;
@@ -143,9 +292,16 @@ pub fn decompress(input: &[u8], out: &mut Vec<u8>) -> Result<(), DecodeError> {
         let mut lit_len = (token >> 4) as usize;
         let match_code_nibble = (token & 0x0F) as usize;
         if lit_len == 15 {
-            lit_len += read_chain(input, &mut pos)?;
+            // Literals come from the input itself, so cap the chain by
+            // the bytes actually remaining — a claim past that is a
+            // truncation however large the chain says it is, and the cap
+            // keeps the arithmetic below overflow-free.
+            let remaining = n - pos;
+            lit_len = lit_len
+                .checked_add(read_chain(input, &mut pos, remaining)?)
+                .ok_or(DecodeError::Oversize)?;
         }
-        if pos + lit_len > n {
+        if lit_len > n - pos {
             return Err(DecodeError::Truncated);
         }
         out.extend_from_slice(&input[pos..pos + lit_len]);
@@ -159,7 +315,12 @@ pub fn decompress(input: &[u8], out: &mut Vec<u8>) -> Result<(), DecodeError> {
         }
         let mut match_code = match_code_nibble;
         if match_code == 15 {
-            match_code += read_chain(input, &mut pos)?;
+            // Match bytes are synthesized into the output, so the
+            // remaining-input cap does not apply; refuse runs beyond
+            // MAX_DECODE_RUN before reserving anything.
+            match_code = match_code
+                .checked_add(read_chain(input, &mut pos, MAX_DECODE_RUN)?)
+                .ok_or(DecodeError::Oversize)?;
         }
         let match_len = match_code + MIN_MATCH - 1;
         if pos + 2 > n {
@@ -170,22 +331,45 @@ pub fn decompress(input: &[u8], out: &mut Vec<u8>) -> Result<(), DecodeError> {
         if offset == 0 || offset > out.len() - base {
             return Err(DecodeError::BadOffset);
         }
-        // Byte-by-byte copy: offsets smaller than the length self-overlap
-        // (RLE semantics).
         let start = out.len() - offset;
-        for i in 0..match_len {
-            let b = out[start + i];
-            out.push(b);
+        if offset >= match_len {
+            // Disjoint source: one wide append.
+            out.extend_from_within(start..start + match_len);
+        } else {
+            // Self-overlapping match (RLE semantics): the bytes in
+            // `out[start..]` form an `offset`-periodic pattern. Appending
+            // a prefix of that region preserves the period, and each
+            // append doubles the available source, so the copy completes
+            // in O(log(match_len / offset)) wide appends instead of
+            // byte-at-a-time pushes.
+            out.reserve(match_len);
+            let mut remaining = match_len;
+            let mut avail = offset;
+            while remaining > 0 {
+                let step = avail.min(remaining);
+                out.extend_from_within(start..start + step);
+                remaining -= step;
+                avail += step;
+            }
         }
     }
 }
 
-fn read_chain(input: &[u8], pos: &mut usize) -> Result<usize, DecodeError> {
+/// Reads a 255-chain, refusing totals above `cap` (adversarial chains
+/// otherwise force huge downstream reservations).
+fn read_chain(input: &[u8], pos: &mut usize, cap: usize) -> Result<usize, DecodeError> {
     let mut total = 0usize;
     loop {
         let b = *input.get(*pos).ok_or(DecodeError::Truncated)?;
         *pos += 1;
         total += b as usize;
+        if total > cap {
+            return Err(if cap == MAX_DECODE_RUN {
+                DecodeError::Oversize
+            } else {
+                DecodeError::Truncated
+            });
+        }
         if b != 255 {
             return Ok(total);
         }
@@ -310,11 +494,101 @@ mod tests {
 
     #[test]
     fn max_compressed_len_holds() {
-        let mut worst = Vec::new();
         // Incompressible: every 4-gram unique.
         let data: Vec<u8> = (0..30_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut worst = Vec::new();
         compress(&data, &mut worst);
         assert!(worst.len() <= max_compressed_len(data.len()));
+        let mut worst_greedy = Vec::new();
+        compress_greedy(&data, &mut worst_greedy);
+        assert!(worst_greedy.len() <= max_compressed_len(data.len()));
+    }
+
+    #[test]
+    fn compressor_reuse_across_blocks() {
+        // One Compressor over many different blocks: stale table entries
+        // from earlier blocks must never alias into later ones.
+        let mut comp = Compressor::new();
+        let blocks: Vec<Vec<u8>> = (0..32u8)
+            .map(|seed| {
+                let mut x = seed as u64 + 1;
+                (0..5000)
+                    .map(|i| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        if i % 7 < 3 {
+                            seed
+                        } else {
+                            (x >> 33) as u8
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        for block in &blocks {
+            let mut c = Vec::new();
+            comp.compress(block, &mut c);
+            let mut d = Vec::new();
+            decompress(&c, &mut d).unwrap();
+            assert_eq!(&d, block);
+        }
+    }
+
+    #[test]
+    fn compressor_epoch_wrap_resets_table() {
+        // Force the epoch counter to the wrap threshold and compress
+        // across it: the table re-zero must keep streams standalone.
+        let mut comp = Compressor::new();
+        comp.base = u32::MAX - 100;
+        let data: Vec<u8> = b"wrap-around-pattern-".iter().cycle().take(4000).copied().collect();
+        for _ in 0..3 {
+            let mut c = Vec::new();
+            comp.compress(&data, &mut c);
+            let mut d = Vec::new();
+            decompress(&c, &mut d).unwrap();
+            assert_eq!(d, data);
+        }
+    }
+
+    #[test]
+    fn adversarial_literal_chain_rejected_without_reservation() {
+        // Token claims a literal run of ~4 GB backed by 3 input bytes:
+        // must fail fast as truncation, never reserve.
+        let mut stream = vec![0xF0u8];
+        stream.extend(std::iter::repeat_n(0xFF, 3));
+        stream.push(0x00);
+        let mut d = Vec::new();
+        assert_eq!(decompress(&stream, &mut d), Err(DecodeError::Truncated));
+        assert!(d.capacity() < 1 << 20, "no giant reservation: {}", d.capacity());
+    }
+
+    #[test]
+    fn adversarial_match_chain_rejected() {
+        // A tiny valid prefix, then a match whose 255-chain claims more
+        // than MAX_DECODE_RUN bytes: Oversize, not an allocation attempt.
+        let mut stream = vec![0x4F, b'a', b'b', b'c', b'd']; // 4 literals, match chain follows
+        let chain_bytes = MAX_DECODE_RUN / 255 + 2;
+        stream.extend(std::iter::repeat_n(0xFF, chain_bytes));
+        stream.push(0x00);
+        stream.extend_from_slice(&1u16.to_le_bytes());
+        let mut d = Vec::new();
+        assert_eq!(decompress(&stream, &mut d), Err(DecodeError::Oversize));
+        assert!(d.capacity() < 1 << 20, "no giant reservation: {}", d.capacity());
+    }
+
+    #[test]
+    fn decompress_appends_overlapping_doubling() {
+        // Offsets 1..=9 against lengths around the doubling boundaries.
+        for offset in 1usize..10 {
+            for extra in [0usize, 1, 7, 8, 9, 63, 64, 255, 256, 1000] {
+                let pattern: Vec<u8> = (0..offset as u8).collect();
+                let mut data = pattern.clone();
+                let match_len = MIN_MATCH + extra;
+                for i in 0..match_len {
+                    data.push(pattern[i % offset]);
+                }
+                assert_eq!(roundtrip(&data), data, "offset {offset} extra {extra}");
+            }
+        }
     }
 }
 
@@ -322,6 +596,27 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+
+    /// Structured data shaped like encoded event streams: short repeated
+    /// records with occasional noise.
+    fn arb_eventish() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 1..6), 1usize..300, any::<u8>()),
+            0..30,
+        )
+        .prop_map(|chunks| {
+            let mut data = Vec::new();
+            for (record, repeats, noise) in chunks {
+                for i in 0..repeats {
+                    data.extend_from_slice(&record);
+                    if i % 17 == 0 {
+                        data.push(noise);
+                    }
+                }
+            }
+            data
+        })
+    }
 
     proptest! {
         #[test]
@@ -347,6 +642,59 @@ mod proptests {
             let mut d = Vec::new();
             decompress(&c, &mut d).unwrap();
             prop_assert_eq!(d, data);
+        }
+
+        #[test]
+        fn accelerated_roundtrip_structured(data in arb_eventish()) {
+            let mut comp = Compressor::new();
+            let mut c = Vec::new();
+            comp.compress(&data, &mut c);
+            prop_assert!(c.len() <= max_compressed_len(data.len()));
+            let mut d = Vec::new();
+            decompress(&c, &mut d).unwrap();
+            prop_assert_eq!(d, data);
+        }
+
+        /// Format compatibility: the seed greedy compressor's streams
+        /// must keep decoding under the rewritten decompressor.
+        #[test]
+        fn greedy_streams_decode_under_new_decompressor(
+            data in prop::collection::vec(any::<u8>(), 0..20_000),
+        ) {
+            let mut c = Vec::new();
+            compress_greedy(&data, &mut c);
+            prop_assert!(c.len() <= max_compressed_len(data.len()));
+            let mut d = Vec::new();
+            decompress(&c, &mut d).unwrap();
+            prop_assert_eq!(d, data);
+        }
+
+        #[test]
+        fn greedy_structured_streams_decode(data in arb_eventish()) {
+            let mut c = Vec::new();
+            compress_greedy(&data, &mut c);
+            let mut d = Vec::new();
+            decompress(&c, &mut d).unwrap();
+            prop_assert_eq!(d, data);
+        }
+
+        /// One reused Compressor over a block sequence behaves exactly
+        /// like fresh per-block compressors.
+        #[test]
+        fn reused_compressor_matches_fresh(
+            blocks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..4000), 0..8),
+        ) {
+            let mut shared = Compressor::new();
+            for block in &blocks {
+                let mut reused = Vec::new();
+                shared.compress(block, &mut reused);
+                let mut fresh = Vec::new();
+                Compressor::new().compress(block, &mut fresh);
+                prop_assert_eq!(&reused, &fresh, "reuse must not change the stream");
+                let mut d = Vec::new();
+                decompress(&reused, &mut d).unwrap();
+                prop_assert_eq!(&d, block);
+            }
         }
 
         #[test]

@@ -244,6 +244,66 @@ fn chunk_size_is_invariant_in_live_mode() {
 }
 
 #[test]
+fn live_watermarks_only_cover_durable_bytes() {
+    // With the async flush pipeline (pool → compression workers → ordered
+    // writer), the published watermark is allowed to trail the buffers
+    // still in flight but must never run ahead of the file: at every
+    // publish point, each visible meta row's byte range has to be readable
+    // back from the on-disk log, while the writer is still racing.
+    use std::fs::File;
+    use std::io::BufReader;
+    use sword_trace::{read_meta, EventDecoder, LogReader};
+
+    let dir = session_dir("durable");
+    let collector = Arc::new(
+        SwordCollector::new(SwordConfig::new(&dir).buffer_events(2).compress_workers(2).live())
+            .expect("collector"),
+    );
+    let session = collector.session().clone();
+    let sim = OmpSim::with_tool_and_config(collector.clone(), SimConfig::default());
+    let a = sim.alloc::<u64>(256, 0);
+    let mut checked_rows = 0usize;
+    sim.run(|ctx| {
+        for _round in 0..5 {
+            ctx.parallel(4, |w| {
+                w.for_static(0..256, |i| {
+                    w.write(&a, i, i);
+                });
+            });
+            collector.publish_progress().expect("publish");
+            for tid in session.thread_ids().expect("tids") {
+                let meta = session.thread_meta(tid);
+                if !meta.exists() {
+                    continue;
+                }
+                let rows = read_meta(BufReader::new(File::open(meta).unwrap())).expect("meta");
+                let Some(last) = rows.last() else { continue };
+                // One read over everything the watermark claims: EOF here
+                // would mean the watermark covered bytes not yet on disk.
+                let mut reader = LogReader::new(File::open(session.thread_log(tid)).unwrap());
+                let mut bytes = Vec::new();
+                reader
+                    .read_range(0, last.data_begin + last.size, &mut bytes)
+                    .expect("published bytes must be durably readable");
+                for row in &rows {
+                    let range =
+                        &bytes[row.data_begin as usize..(row.data_begin + row.size) as usize];
+                    EventDecoder::new().decode_all(range).expect("published interval decodes");
+                    checked_rows += 1;
+                }
+            }
+        }
+    });
+    collector.write_pcs(&sim.export_pcs()).expect("pcs");
+    assert!(collector.take_error().is_none());
+    assert!(checked_rows > 0, "mid-run publishes exposed at least one interval");
+    // After finalize the watermark is final and complete.
+    let status = session.read_live().expect("live").expect("status");
+    assert!(status.finished);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn mid_run_polling_reports_races_before_the_run_ends() {
     // The real collector, not the replay harness: a racy first region is
     // published mid-run (deterministically, via publish_progress) and the

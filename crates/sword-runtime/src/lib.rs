@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 mod collector;
+mod pool;
 mod thread_log;
 
 pub use collector::{run_collected, SwordCollector, SwordConfig, SwordStats};

@@ -11,7 +11,7 @@ pub const PAPER_BUFFER_EVENTS: usize = 25_000;
 /// Upper bound on one encoded event (tag + size varint + two full
 /// varints), used to size the byte buffer once up front so the hot path
 /// never reallocates.
-const MAX_EVENT_BYTES: usize = 24;
+pub(crate) const MAX_EVENT_BYTES: usize = 24;
 
 /// A barrier interval currently being collected.
 #[derive(Clone, Debug)]
@@ -41,10 +41,19 @@ pub(crate) struct ThreadLog {
 }
 
 impl ThreadLog {
+    /// A log that owns its own buffer (tests and pool-less callers).
+    #[cfg(test)]
     pub fn new(capacity_events: usize) -> Self {
         assert!(capacity_events > 0);
+        Self::with_buffer(capacity_events, Vec::with_capacity(capacity_events * MAX_EVENT_BYTES))
+    }
+
+    /// A log filling `initial` (a pool buffer); subsequent buffers arrive
+    /// via [`ThreadLog::swap_buffer`].
+    pub fn with_buffer(capacity_events: usize, initial: Vec<u8>) -> Self {
+        assert!(capacity_events > 0);
         ThreadLog {
-            buffer: Vec::with_capacity(capacity_events * MAX_EVENT_BYTES),
+            buffer: initial,
             buffer_events: 0,
             capacity_events,
             encoder: EventEncoder::new(),
@@ -61,7 +70,9 @@ impl ThreadLog {
         self.flushed + self.buffer.len() as u64
     }
 
-    /// Capacity of the byte buffer (bounded-memory accounting).
+    /// Capacity of the byte buffer (the pool owns bounded-memory
+    /// accounting now; this remains for tests).
+    #[cfg(test)]
     pub fn buffer_capacity_bytes(&self) -> usize {
         self.buffer.capacity()
     }
@@ -104,38 +115,37 @@ impl ThreadLog {
         self.open.is_some()
     }
 
-    /// Appends one event; returns the filled buffer when it reached
-    /// capacity (the caller ships it to the writer).
-    pub fn push(&mut self, event: &Event) -> Option<Vec<u8>> {
+    /// Appends one event; returns `true` when the buffer reached capacity
+    /// (the caller acquires a drained pool buffer and calls
+    /// [`ThreadLog::swap_buffer`]).
+    #[must_use = "a full buffer must be swapped out and shipped"]
+    pub fn push(&mut self, event: &Event) -> bool {
         self.encoder.encode(event, &mut self.buffer);
         self.buffer_events += 1;
         self.events_total += 1;
-        if self.buffer_events >= self.capacity_events {
-            Some(self.take_buffer())
-        } else {
-            None
-        }
+        self.buffer_events >= self.capacity_events
     }
 
-    /// Takes the current buffer contents for flushing (empty → `None`).
+    /// Double-buffer handoff: installs the drained `fresh` buffer and
+    /// returns the filled one for shipping.
+    pub fn swap_buffer(&mut self, fresh: Vec<u8>) -> Vec<u8> {
+        debug_assert!(fresh.is_empty(), "swap target must be drained");
+        self.flushed += self.buffer.len() as u64;
+        self.buffer_events = 0;
+        self.flushes += 1;
+        std::mem::replace(&mut self.buffer, fresh)
+    }
+
+    /// Takes the current buffer contents for the final flush (empty →
+    /// `None`). The replacement is an empty non-allocating `Vec`: drains
+    /// happen once, at end of run, after which the log only serves
+    /// metadata reads.
     pub fn drain(&mut self) -> Option<Vec<u8>> {
         if self.buffer.is_empty() {
             None
         } else {
-            Some(self.take_buffer())
+            Some(self.swap_buffer(Vec::new()))
         }
-    }
-
-    fn take_buffer(&mut self) -> Vec<u8> {
-        self.flushed += self.buffer.len() as u64;
-        self.buffer_events = 0;
-        self.flushes += 1;
-        // Replace with an equally-sized buffer so capacity (and thus the
-        // memory bound) is stable across flushes.
-        std::mem::replace(
-            &mut self.buffer,
-            Vec::with_capacity(self.capacity_events * MAX_EVENT_BYTES),
-        )
     }
 }
 
@@ -152,22 +162,24 @@ mod tests {
     fn buffer_flushes_at_capacity() {
         let mut log = ThreadLog::new(10);
         for i in 0..9 {
-            assert!(log.push(&access(i * 8)).is_none());
+            assert!(!log.push(&access(i * 8)));
         }
-        let flushed = log.push(&access(72)).expect("10th event flushes");
+        assert!(log.push(&access(72)), "10th event fills the buffer");
+        let fresh = Vec::with_capacity(log.buffer_capacity_bytes());
+        let flushed = log.swap_buffer(fresh);
         assert!(!flushed.is_empty());
         assert_eq!(log.flushes, 1);
         assert_eq!(log.events_total, 10);
         assert_eq!(log.offset(), flushed.len() as u64);
-        // Buffer restarts empty but with the same capacity bound.
+        // Buffer restarts empty after the swap.
         assert!(log.drain().is_none());
     }
 
     #[test]
     fn drain_returns_partial_buffer() {
         let mut log = ThreadLog::new(100);
-        log.push(&access(0));
-        log.push(&access(8));
+        assert!(!log.push(&access(0)));
+        assert!(!log.push(&access(8)));
         let bytes = log.drain().unwrap();
         assert!(!bytes.is_empty());
         assert!(log.drain().is_none());
@@ -177,9 +189,11 @@ mod tests {
     #[test]
     fn offsets_continue_across_flushes() {
         let mut log = ThreadLog::new(4);
+        let cap = log.buffer_capacity_bytes();
         let mut total = 0u64;
         for i in 0..10 {
-            if let Some(b) = log.push(&access(i)) {
+            if log.push(&access(i)) {
+                let b = log.swap_buffer(Vec::with_capacity(cap));
                 total += b.len() as u64;
                 assert_eq!(log.offset(), total);
             }
@@ -191,11 +205,18 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_stable_after_flush() {
+    fn capacity_is_stable_across_swaps() {
         let mut log = ThreadLog::new(5);
         let before = log.buffer_capacity_bytes();
+        // Two buffers rotating, exactly as the pool drives double
+        // buffering: swap in the spare, drain the filled one, repeat.
+        let mut spare = Vec::with_capacity(before);
         for i in 0..25 {
-            log.push(&access(i));
+            if log.push(&access(i)) {
+                let mut filled = log.swap_buffer(std::mem::take(&mut spare));
+                filled.clear();
+                spare = filled;
+            }
         }
         assert_eq!(log.buffer_capacity_bytes(), before, "bounded memory");
         assert_eq!(log.flushes, 5);

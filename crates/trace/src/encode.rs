@@ -122,14 +122,25 @@ impl EventEncoder {
                     _ => 5, // explicit size follows
                 };
                 let tag = (size_log2 << 4) | (a.kind.code() << 1);
-                out.push(tag);
-                if size_log2 == 5 {
-                    write_varint(out, a.size as u64);
-                }
-                write_varint(out, zigzag(a.addr.wrapping_sub(self.prev_addr) as i64));
-                write_varint(out, zigzag(a.pc as i64 - self.prev_pc as i64));
+                let zz_addr = zigzag(a.addr.wrapping_sub(self.prev_addr) as i64);
+                let zz_pc = zigzag(a.pc as i64 - self.prev_pc as i64);
                 self.prev_addr = a.addr;
                 self.prev_pc = a.pc as u64;
+                // Fast path for the dominant shape: a power-of-two-sized
+                // access whose address and PC deltas both fit one varint
+                // byte — a strided loop body re-touching nearby memory
+                // from the same few PCs. One branch, one 3-byte append,
+                // byte-identical to the general path below.
+                if size_log2 != 5 && zz_addr < 0x80 && zz_pc < 0x80 {
+                    out.extend_from_slice(&[tag, zz_addr as u8, zz_pc as u8]);
+                } else {
+                    out.push(tag);
+                    if size_log2 == 5 {
+                        write_varint(out, a.size as u64);
+                    }
+                    write_varint(out, zz_addr);
+                    write_varint(out, zz_pc);
+                }
             }
             Event::MutexAcquire(id) => {
                 out.push(TAG_MUTEX_BIT | (MUTEX_ACQUIRE << 1));
@@ -312,6 +323,74 @@ mod tests {
         }
     }
 
+    /// The general path only, no fast-path branch: the reference the
+    /// fast path must match byte for byte.
+    pub(super) fn encode_reference(events: &[Event]) -> Vec<u8> {
+        let mut prev_addr = 0u64;
+        let mut prev_pc = 0u64;
+        let mut out = Vec::new();
+        for event in events {
+            match event {
+                Event::Access(a) => {
+                    let size_log2 = match a.size {
+                        1 => 0u8,
+                        2 => 1,
+                        4 => 2,
+                        8 => 3,
+                        16 => 4,
+                        _ => 5,
+                    };
+                    out.push((size_log2 << 4) | (a.kind.code() << 1));
+                    if size_log2 == 5 {
+                        write_varint(&mut out, a.size as u64);
+                    }
+                    write_varint(&mut out, zigzag(a.addr.wrapping_sub(prev_addr) as i64));
+                    write_varint(&mut out, zigzag(a.pc as i64 - prev_pc as i64));
+                    prev_addr = a.addr;
+                    prev_pc = a.pc as u64;
+                }
+                Event::MutexAcquire(id) => {
+                    out.push(TAG_MUTEX_BIT | (MUTEX_ACQUIRE << 1));
+                    write_varint(&mut out, *id as u64);
+                }
+                Event::MutexRelease(id) => {
+                    out.push(TAG_MUTEX_BIT | (MUTEX_RELEASE << 1));
+                    write_varint(&mut out, *id as u64);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fast_path_matches_general_path() {
+        // Mix small deltas (fast path), large deltas, backwards strides
+        // (negative deltas near the 1-byte zigzag boundary), odd sizes,
+        // and mutex ops.
+        let mut events = Vec::new();
+        for i in 0..200u64 {
+            events.push(Event::Access(MemAccess::new(0x1000 + i * 8, 8, Write, 42)));
+        }
+        for i in 0..64u64 {
+            // zigzag(±63/±64) straddles the single-byte boundary.
+            let addr = 0x9000u64.wrapping_add((i as i64 * 63 - 2048) as u64);
+            events.push(Event::Access(MemAccess::new(addr, 4, Read, (40 + i % 3) as u32)));
+        }
+        events.push(Event::Access(MemAccess::new(u64::MAX - 7, 16, AtomicWrite, u32::MAX)));
+        events.push(Event::MutexAcquire(7));
+        events.push(Event::Access(MemAccess::new(0, 3, Read, 0)));
+        events.push(Event::MutexRelease(7));
+        events.push(Event::Access(MemAccess::new(0x4, 1, Write, 1)));
+
+        let mut enc = EventEncoder::new();
+        let mut got = Vec::new();
+        for e in &events {
+            enc.encode(e, &mut got);
+        }
+        assert_eq!(got, encode_reference(&events), "fast path must not change the stream");
+        assert_eq!(EventDecoder::new().decode_all(&got).unwrap(), events);
+    }
+
     #[test]
     fn garbage_does_not_panic() {
         let mut dec = EventDecoder::new();
@@ -371,6 +450,19 @@ mod proptests {
         #[test]
         fn decode_garbage_no_panic(buf in prop::collection::vec(any::<u8>(), 0..500)) {
             let _ = EventDecoder::new().decode_all(&buf);
+        }
+
+        /// Fast-path encodings are byte-identical to the general path for
+        /// arbitrary event streams (the branch may only skip work, never
+        /// change the stream).
+        #[test]
+        fn fast_path_stream_identical(events in prop::collection::vec(arb_event(), 0..300)) {
+            let mut enc = EventEncoder::new();
+            let mut buf = Vec::new();
+            for e in &events {
+                enc.encode(e, &mut buf);
+            }
+            prop_assert_eq!(buf, super::tests::encode_reference(&events));
         }
     }
 }

@@ -43,6 +43,20 @@ impl<W: Write> LogWriter<W> {
         Ok(())
     }
 
+    /// Writes a frame already encoded by
+    /// [`sword_compress::encode_frame_into`] — the hand-off point for
+    /// compression worker pools that encode off the I/O thread. `raw_len`
+    /// is the block's uncompressed length; empty blocks are skipped to
+    /// match [`LogWriter::write_block`].
+    pub fn write_encoded_block(&mut self, frame: &[u8], raw_len: u64) -> io::Result<()> {
+        if raw_len == 0 {
+            return Ok(());
+        }
+        self.frames.write_encoded_frame(frame, raw_len)?;
+        self.uncompressed_offset += raw_len;
+        Ok(())
+    }
+
     /// Flushes the underlying writer.
     pub fn flush(&mut self) -> io::Result<()> {
         self.frames.flush()
@@ -205,6 +219,30 @@ mod tests {
         w.write_block(&[2; 50]).unwrap();
         assert_eq!(w.offset(), 150);
         assert_eq!(w.raw_bytes(), 150);
+    }
+
+    #[test]
+    fn encoded_blocks_interleave_with_plain_blocks() {
+        // A stream mixing inline-compressed and pre-encoded frames must be
+        // indistinguishable to the reader, with offsets tracking raw bytes.
+        let a = vec![1u8; 800];
+        let b: Vec<u8> = (0..900u32).map(|i| (i * 13) as u8).collect();
+        let c = vec![3u8; 700];
+        let mut w = LogWriter::new(Vec::new());
+        w.write_block(&a).unwrap();
+        let mut comp = sword_compress::Compressor::new();
+        let mut frame = Vec::new();
+        sword_compress::encode_frame_into(&mut comp, &b, &mut frame);
+        w.write_encoded_block(&frame, b.len() as u64).unwrap();
+        w.write_encoded_block(&[], 0).unwrap(); // empty: no-op
+        w.write_block(&c).unwrap();
+        assert_eq!(w.offset(), (a.len() + b.len() + c.len()) as u64);
+        assert_eq!(w.raw_bytes(), w.offset());
+        let log = w.into_inner();
+        let mut r = LogReader::new(&log[..]);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, [a, b, c].concat());
     }
 
     #[test]
