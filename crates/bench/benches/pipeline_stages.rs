@@ -32,7 +32,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
         });
     });
     group.bench_function("build_structure", |b| {
-        b.iter(|| build_structure(std::hint::black_box(&loaded)).groups.len());
+        b.iter(|| build_structure(std::hint::black_box(&loaded)).unwrap().groups.len());
     });
     group.bench_function("analyze_staged", |b| {
         b.iter(|| analyze_loaded(&loaded, &config).expect("analyze").race_count());

@@ -16,6 +16,11 @@
 //!     Run baseline, ARCHER (both configs), and SWORD; print a summary.
 //! sword meta <session-dir>
 //!     Pretty-print a session's Table-I metadata and region table.
+//! sword fuzz [--seed N] [--iters N] [--team N] [--fault-inject]
+//!            [--corpus DIR]
+//!     Differential-testing campaign: generated programs through SWORD
+//!     (batch + live), ARCHER, and the ground-truth oracle; failures are
+//!     shrunk to minimal reproducers. Nonzero exit on any divergence.
 //! sword list
 //!     List available workloads with their ground truth.
 //! ```
@@ -26,14 +31,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use archer_sim::{ArcherConfig, ArcherTool};
+use sword_fuzz_gen::{run_fuzz, FuzzOptions};
 use sword_metrics::{format_bytes, Stopwatch, Table};
 use sword_offline::{analyze, AnalysisConfig, LiveAnalyzer, SolverChoice};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordConfig};
 use sword_trace::{PcTable, SessionDir};
-use sword_workloads::{
-    drb_workloads, find_workload, hpc_workloads, ompscr_workloads, RunConfig, Workload,
-};
+use sword_workloads::{all_workloads, find_workload, RunConfig, Workload};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,7 +63,9 @@ const USAGE: &str = "usage:
                              [--suppress pat,...]
   sword check <workload> [--threads N] [--size S]
   sword compare <workload> [--threads N] [--size S]
-  sword meta <session-dir>";
+  sword meta <session-dir>
+  sword fuzz [--seed N] [--iters N] [--team N] [--fault-inject]
+             [--corpus DIR]";
 
 /// Minimal flag parser: `--key value` pairs after positional args.
 struct Flags {
@@ -117,6 +123,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "check" => cmd_check(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "meta" => cmd_meta(&args[1..]),
+        "fuzz" => cmd_fuzz(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -135,7 +142,7 @@ fn workload_arg(args: &[String]) -> Result<(Box<dyn Workload>, RunConfig, Flags)
 fn cmd_list() -> Result<(), String> {
     let mut table =
         Table::new("available workloads", &["name", "suite", "documented", "sword races", "notes"]);
-    for w in drb_workloads().iter().chain(&ompscr_workloads()).chain(&hpc_workloads()) {
+    for w in all_workloads() {
         let s = w.spec();
         table.row(&[
             s.name.to_string(),
@@ -444,6 +451,51 @@ fn cmd_meta(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let defaults = FuzzOptions::default();
+    let opts = FuzzOptions {
+        seed: flags.get_u64("seed", defaults.seed)?,
+        iters: flags.get_u64("iters", defaults.iters)?,
+        teams: match flags.map.get("team") {
+            None => defaults.teams,
+            Some(v) => {
+                vec![v.parse().map_err(|_| format!("--team expects a number, got `{v}`"))?]
+            }
+        },
+        fault_inject: flags.has("fault-inject"),
+        corpus_dir: flags.map.get("corpus").map(PathBuf::from),
+    };
+    println!(
+        "fuzzing: {} iterations from seed {}, teams {:?}{}",
+        opts.iters,
+        opts.seed,
+        opts.teams,
+        if opts.fault_inject { ", with fault injection" } else { "" }
+    );
+    let sw = Stopwatch::start();
+    let every = (opts.iters / 10).max(25);
+    let summary = run_fuzz(&opts, |i, so_far| {
+        if (i + 1) % every == 0 {
+            println!(
+                "  [{:5}/{}] {} racy, {} oracle pairs, {} failure(s), {:.1}s",
+                i + 1,
+                opts.iters,
+                so_far.programs_with_races,
+                so_far.oracle_pairs,
+                so_far.failures.len(),
+                sw.secs()
+            );
+        }
+    });
+    println!("{}", summary.render());
+    if summary.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} detector divergence(s) — see reproducers above", summary.failures.len()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +553,14 @@ mod tests {
         run(&s(&["analyze", session.to_str().unwrap(), "--json"])).expect("analyze --json");
         run(&s(&["analyze", session.to_str().unwrap(), "--stats"])).expect("analyze --stats");
         std::fs::remove_dir_all(&session).unwrap();
+    }
+
+    #[test]
+    fn fuzz_smoke_is_clean_and_deterministic() {
+        run(&s(&["fuzz", "--seed", "7", "--iters", "4", "--team", "2"])).expect("fuzz");
+        // Bad flag values fail up front, before any iteration runs.
+        assert!(run(&s(&["fuzz", "--iters", "many"])).is_err());
+        assert!(run(&s(&["fuzz", "--team", "x"])).is_err());
     }
 
     #[test]

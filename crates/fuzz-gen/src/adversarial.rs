@@ -1,0 +1,202 @@
+//! Generator of adversarial compressed inputs: hand-built LZ streams and
+//! frame files that target each validation path of `sword-compress`.
+//!
+//! These are *constructed from the stream grammar* (token nibbles,
+//! 255-chains, little-endian offsets, 13-byte frame headers), not mutated
+//! real data, so each case pins one specific decoder check. The
+//! integration suite (`tests/compress_hardening.rs`) replays every case as
+//! a named regression test; the unit tests here assert the expected error
+//! class for each.
+
+use sword_compress::{frame_compress, DecodeError, FRAME_HEADER_LEN};
+
+/// A raw LZ stream that must make [`sword_compress::decompress`] return
+/// the given error — and never panic or loop.
+pub struct EvilStream {
+    /// Stable case name (used by the regression tests).
+    pub name: &'static str,
+    /// The stream bytes.
+    pub bytes: Vec<u8>,
+    /// The exact error the decoder must report.
+    pub expect: DecodeError,
+}
+
+/// Every adversarial raw-stream case.
+pub fn evil_streams() -> Vec<EvilStream> {
+    let mut cases = vec![
+        EvilStream {
+            name: "empty-stream",
+            // A valid stream always ends with an explicit terminal
+            // sequence; zero bytes cannot.
+            bytes: Vec::new(),
+            expect: DecodeError::Truncated,
+        },
+        EvilStream {
+            name: "literals-promised-but-missing",
+            // Token claims 5 literals, only 2 follow.
+            bytes: vec![0x50, b'a', b'b'],
+            expect: DecodeError::Truncated,
+        },
+        EvilStream {
+            name: "literal-chain-cut-at-token",
+            // Literal-length nibble 15 demands a 255-chain; input ends.
+            bytes: vec![0xF0],
+            expect: DecodeError::Truncated,
+        },
+        EvilStream {
+            name: "literal-chain-exceeds-input",
+            // Chain totals 510+15 literals with 2 bytes of input left.
+            bytes: vec![0xF0, 255, 255],
+            expect: DecodeError::Truncated,
+        },
+        EvilStream {
+            name: "match-offset-zero",
+            // One literal, then a match whose offset is 0.
+            bytes: vec![0x11, b'a', 0x00, 0x00],
+            expect: DecodeError::BadOffset,
+        },
+        EvilStream {
+            name: "match-offset-beyond-output",
+            // One literal written, match claims offset 9.
+            bytes: vec![0x11, b'a', 0x09, 0x00],
+            expect: DecodeError::BadOffset,
+        },
+        EvilStream {
+            name: "match-truncated-at-offset",
+            // Match sequence ends before its 2-byte offset.
+            bytes: vec![0x11, b'a', 0x09],
+            expect: DecodeError::Truncated,
+        },
+        EvilStream {
+            name: "data-after-terminal",
+            // Terminal token (match nibble 0) with trailing bytes.
+            bytes: vec![0x10, b'a', 0x00],
+            expect: DecodeError::Truncated,
+        },
+    ];
+    cases.push(EvilStream {
+        name: "match-chain-exceeds-decode-run",
+        bytes: oversize_match_chain(),
+        expect: DecodeError::Oversize,
+    });
+    cases
+}
+
+/// A match-length 255-chain whose total passes `MAX_DECODE_RUN` (1 GiB of
+/// claimed output): token with match nibble 15, then enough 0xFF chain
+/// bytes that the cumulative total exceeds the cap mid-chain.
+fn oversize_match_chain() -> Vec<u8> {
+    const MAX_DECODE_RUN: usize = 1 << 30; // mirrors the decoder's cap
+    let mut bytes = vec![0x0F];
+    bytes.resize(1 + MAX_DECODE_RUN / 255 + 1, 0xFF);
+    bytes
+}
+
+/// A framed file (as read back by the log reader) that must produce an
+/// `io::Error` — never a panic, never silently-wrong output.
+pub struct EvilFrame {
+    /// Stable case name.
+    pub name: &'static str,
+    /// The file bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Every adversarial framed-file case. Built by compressing real payloads
+/// with [`frame_compress`] and then breaking one header or payload
+/// invariant at a time. Cases may span multiple frames, so consumers
+/// should read them with `FrameReader::read_to_end`.
+pub fn evil_frames() -> Vec<EvilFrame> {
+    let payload: Vec<u8> = (0..200u16).flat_map(|i| [b'x', (i % 7) as u8]).collect();
+    let pristine = frame_compress(&payload);
+    assert!(pristine.len() > FRAME_HEADER_LEN);
+
+    let mut cases = Vec::new();
+
+    let mut bad_magic = pristine.clone();
+    bad_magic[0] ^= 0xFF;
+    cases.push(EvilFrame { name: "bad-magic", bytes: bad_magic });
+
+    cases.push(EvilFrame {
+        name: "truncated-header",
+        bytes: pristine[..FRAME_HEADER_LEN / 2].to_vec(),
+    });
+
+    let mut short_raw_len = pristine.clone();
+    // Shrink the claimed decompressed length (bytes 4..8, LE) by one:
+    // whatever the payload decodes to now mismatches.
+    short_raw_len[4] = short_raw_len[4].wrapping_sub(1);
+    cases.push(EvilFrame { name: "raw-len-mismatch", bytes: short_raw_len });
+
+    let mut short_payload = pristine.clone();
+    short_payload.truncate(pristine.len() - 1);
+    cases.push(EvilFrame { name: "payload-cut-short", bytes: short_payload });
+
+    // Flip the payload's first *token* byte: its nibbles encode run
+    // lengths, so the stream desynchronizes and the frame's raw-length
+    // check (or the decoder itself) must fire. Flipping a *literal* byte
+    // instead would be undetectable by design — the format carries length
+    // framing, not checksums — which is exactly why the session fault
+    // injector corrupts frame headers, not payload bodies.
+    let mut corrupt_token = pristine.clone();
+    corrupt_token[FRAME_HEADER_LEN] ^= 0xFF;
+    cases.push(EvilFrame { name: "payload-token-flip", bytes: corrupt_token });
+
+    // A stored frame (incompressible payload) whose payload_len no longer
+    // equals raw_len.
+    let noise: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+    let mut stored_mismatch = frame_compress(&noise);
+    stored_mismatch[8] = stored_mismatch[8].wrapping_add(1);
+    cases.push(EvilFrame { name: "stored-length-mismatch", bytes: stored_mismatch });
+
+    // Garbage after a valid frame: a second "frame" of magic-less junk.
+    let mut trailing = pristine;
+    trailing.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3]);
+    cases.push(EvilFrame { name: "trailing-garbage-frame", bytes: trailing });
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sword_compress::{decompress, frame_decompress, FrameReader, FRAME_MAGIC};
+
+    #[test]
+    fn every_evil_stream_reports_its_expected_error() {
+        for case in evil_streams() {
+            let mut out = Vec::new();
+            let got = decompress(&case.bytes, &mut out);
+            assert_eq!(got, Err(case.expect), "case {}", case.name);
+        }
+    }
+
+    #[test]
+    fn every_evil_frame_is_rejected_with_a_clean_error() {
+        for case in evil_frames() {
+            let mut out = Vec::new();
+            let err = FrameReader::new(&case.bytes[..])
+                .read_to_end(&mut out)
+                .expect_err(&format!("case {} must not decode", case.name));
+            // The message must be a real diagnosis, not a panic caught
+            // upstream.
+            assert!(!err.to_string().is_empty(), "case {}", case.name);
+        }
+    }
+
+    #[test]
+    fn single_frame_cases_also_fail_the_one_shot_helper() {
+        for case in evil_frames() {
+            if case.name == "trailing-garbage-frame" {
+                continue; // one-shot helper reads only the first frame
+            }
+            frame_decompress(&case.bytes)
+                .expect_err(&format!("case {} must not decode", case.name));
+        }
+    }
+
+    #[test]
+    fn magic_constant_matches_the_stream_grammar_assumed_here() {
+        assert_eq!(FRAME_MAGIC, *b"SWLZ");
+        assert_eq!(FRAME_HEADER_LEN, 13);
+    }
+}

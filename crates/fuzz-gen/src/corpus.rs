@@ -1,0 +1,139 @@
+//! Corpus persistence: minimized programs as `.prog` text files.
+//!
+//! A corpus file is the program's [`crate::program`] text form preceded by
+//! `#`-comment lines (provenance, the violation text, a Rust rendering of
+//! the reproducer). `tests/corpus/` at the repository root is seeded with
+//! generator-minimized programs and replayed through every detector on
+//! each `cargo test` run; fuzz campaigns append shrunk failures here.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use std::fs;
+
+use crate::program::Program;
+
+/// Writes `prog` as `dir/name.prog`, prefixing one `#` comment line per
+/// entry of `notes` (multi-line notes are split). Creates `dir` as needed
+/// and returns the file path.
+pub fn save(dir: &Path, name: &str, prog: &Program, notes: &[String]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.prog"));
+    let mut text = String::new();
+    for note in notes {
+        for line in note.lines() {
+            text.push_str("# ");
+            text.push_str(line);
+            text.push('\n');
+        }
+    }
+    text.push_str(&prog.to_text());
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Loads every `.prog` file in `dir`, sorted by file stem. Comment lines
+/// are stripped by the program parser.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, Program)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_none_or(|e| e != "prog") {
+            continue;
+        }
+        let name = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let text = fs::read_to_string(&path)?;
+        let prog = Program::parse(&text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+        })?;
+        out.push((name, prog));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// The checked-in seed corpus: ten generator-minimized programs mixing
+/// racy/race-free and flat/nested shapes. Deterministic, so the files
+/// under `tests/corpus/` can be regenerated and diffed.
+pub fn seeded_entries() -> Vec<(String, Program)> {
+    use crate::gen::{generate, GenConfig};
+    use crate::oracle;
+    use crate::shrink::shrink;
+
+    let mut out = Vec::new();
+    let mut racy = 0usize;
+    let mut quiet = 0usize;
+    // Walk seeds in order, keeping the first 5 racy and first 5 race-free
+    // programs, each minimized while preserving its exact oracle verdict
+    // set (so minimization cannot flip its class).
+    for seed in 0u64..10_000 {
+        if racy == 5 && quiet == 5 {
+            break;
+        }
+        let team = [2u64, 4, 8][(seed % 3) as usize];
+        let prog = generate(seed, &GenConfig::with_team(team));
+        let pairs = oracle::analyze(&prog).pairs;
+        let is_racy = !pairs.is_empty();
+        if (is_racy && racy == 5) || (!is_racy && quiet == 5) {
+            continue;
+        }
+        let small = shrink(&prog, |p| oracle::analyze(p).pairs == pairs);
+        let class = if is_racy {
+            racy += 1;
+            "racy"
+        } else {
+            quiet += 1;
+            "quiet"
+        };
+        let nested = if small.regions.iter().any(region_has_nesting) { "nested" } else { "flat" };
+        out.push((format!("seed{seed:03}-team{team}-{class}-{nested}"), small));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn region_has_nesting(r: &crate::program::Region) -> bool {
+    r.body.iter().any(|s| matches!(s, crate::program::Stmt::Nested(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::unique_dir;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn save_then_load_roundtrips_with_notes() {
+        let dir = unique_dir("corpus");
+        let prog = generate(7, &GenConfig::default());
+        let notes = vec!["first note".to_string(), "multi\nline\nnote".to_string()];
+        let path = save(&dir, "case-a", &prog, &notes).unwrap();
+        assert!(path.ends_with("case-a.prog"));
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, "case-a");
+        assert_eq!(loaded[0].1, prog);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_dir_is_sorted_by_name() {
+        let dir = unique_dir("corpus");
+        for name in ["zz", "aa", "mm"] {
+            save(&dir, name, &generate(1, &GenConfig::default()), &[]).unwrap();
+        }
+        let names: Vec<String> = load_dir(&dir).unwrap().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["aa", "mm", "zz"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_corpus_has_ten_programs_in_both_classes() {
+        let entries = seeded_entries();
+        assert_eq!(entries.len(), 10);
+        let racy = entries.iter().filter(|(n, _)| n.contains("-racy-")).count();
+        assert_eq!(racy, 5);
+        // Deterministic across calls.
+        assert_eq!(entries, seeded_entries());
+    }
+}

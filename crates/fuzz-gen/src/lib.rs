@@ -1,0 +1,42 @@
+//! Generative differential testing for the SWORD reproduction.
+//!
+//! This crate closes the loop the unit suites cannot: instead of checking
+//! detectors against hand-picked programs, it *generates* random
+//! structured OpenMP-like programs ([`gen`]), computes their exact racy
+//! statement pairs from program structure alone ([`oracle`] — offset-span
+//! concurrency plus access-set intersection, independent of either
+//! detector's implementation), replays them deterministically on the
+//! `ompsim` runtime ([`exec`]), and diffs every detector's verdicts
+//! against the oracle ([`driver`]):
+//!
+//! - SWORD (collector → compressed session → offline analysis) must match
+//!   the oracle **exactly**, in both batch and incremental (live) modes;
+//! - ARCHER's shadow-cell verdicts must be a **subset** of the oracle
+//!   (two-slot shadow cells forget accesses, but must never invent one).
+//!
+//! Failures shrink to minimal reproducers ([`shrink()`]) persisted as text
+//! corpus entries ([`corpus`]). A fault-injection mode ([`fault`])
+//! corrupts session files (truncation, header bit flips, record
+//! reordering) and asserts graceful degradation: clean error or partial
+//! report, never a wrong verdict, never a panic. [`adversarial`] builds
+//! hostile compressed inputs straight from the stream grammar for the
+//! decoder-hardening regression suite.
+//!
+//! Entry points: `sword fuzz` in the CLI, [`driver::run_fuzz`] from code,
+//! and the `corpus_replay` / `compress_hardening` integration tests.
+
+pub mod adversarial;
+pub mod corpus;
+pub mod driver;
+pub mod exec;
+pub mod fault;
+pub mod gen;
+pub mod oracle;
+pub mod program;
+pub mod shrink;
+
+pub use driver::{check_program, run_fuzz, CheckReport, FuzzOptions, FuzzSummary, Verdicts};
+pub use gen::{generate, GenConfig};
+pub use oracle::Oracle;
+pub use program::Program;
+pub use shrink::shrink;

@@ -1,0 +1,524 @@
+//! The ground-truth oracle: computes, from the program AST alone, the
+//! exact racy statement-pair set the detectors are checked against, plus
+//! the schedule plan the interpreter replays.
+//!
+//! ## Independence
+//!
+//! The oracle never touches collector, log, or analyzer code. It walks the
+//! AST structurally, maintaining per-virtual-thread offset-span labels via
+//! `sword_osl` exactly as the runtime/collector pair does (fork at region
+//! entry; barrier bumps for access intervals; join bumps only for nested
+//! fork labels — see the internal `Member` state), evaluates every index expression to a
+//! concrete element, and then applies the textbook race definition to the flat
+//! access set: two accesses race iff they hit the same element, at least
+//! one writes, they are not both atomic, they hold no common lock, their
+//! labels compare concurrent — and they run on *different pooled thread
+//! ids* (see below). Everything is computed from first principles over
+//! `Vec`/`BTreeSet`; the only shared code is the `Label` arithmetic
+//! itself, which is the property under test.
+//!
+//! ## Schedule pinning and thread-id reuse
+//!
+//! The plan assigns every dynamic access a global ticket (statement-major:
+//! per statement, per team slot, per iteration), and every region fork a
+//! fork/join ticket pair so whole nested-region lifecycles — including
+//! pooled thread-id acquire/release — are serialized. That makes runtime
+//! tid assignment a deterministic function of the AST, which the oracle
+//! replays with its own tid-pool simulation. The payoff: sibling nested
+//! teams deterministically *reuse* pooled tids, and accesses sharing a tid
+//! are invisible as races to any per-thread-log detector (SWORD pairs
+//! distinct logs; ARCHER's clocks collapse same-tid accesses). The oracle
+//! therefore reports the racy pairs of the *pinned schedule* — the exact
+//! set a sound-and-complete detector observes in this run.
+
+use std::collections::{BTreeSet, HashMap};
+
+use sword_osl::{Label, Ordering as OslOrdering};
+use sword_trace::AccessKind;
+
+use crate::program::{Access, Program, Region, Stmt};
+
+/// One planned dynamic access of one virtual thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedAccess {
+    /// Global schedule ticket.
+    pub ticket: u64,
+    /// Statement id.
+    pub stmt: u32,
+    /// Target buffer.
+    pub buf: u8,
+    /// Concrete element index.
+    pub elem: u64,
+    /// Access flavour.
+    pub kind: AccessKind,
+}
+
+/// One op in a virtual thread's program-order op list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadOp {
+    /// Perform the access at its ticket.
+    Access(PlannedAccess),
+    /// Fork a region whose members are vids `base_vid..base_vid + span`.
+    /// The forker waits for `fork_ticket` before forking (the new team's
+    /// slot 0 advances it once spawned) and claims `join_ticket` after
+    /// the join, serializing sibling fork/join lifecycles.
+    Fork {
+        /// First member vid.
+        base_vid: usize,
+        /// Ticket gating the fork (and its tid acquisition).
+        fork_ticket: u64,
+        /// Ticket claimed after the join (and its tid release).
+        join_ticket: u64,
+    },
+}
+
+/// The full execution plan: per-vid op lists in program order. Vid 0 is
+/// the master context; member vids are assigned contiguously at each fork
+/// in slot order.
+#[derive(Clone, Debug, Default)]
+pub struct Plan {
+    /// Op list per virtual thread.
+    pub per_vid: Vec<Vec<ThreadOp>>,
+    /// One past the last ticket; the sequencer must land here.
+    pub total_tickets: u64,
+}
+
+/// Oracle output for one program.
+#[derive(Clone, Debug)]
+pub struct Oracle {
+    /// The schedule plan for the interpreter.
+    pub plan: Plan,
+    /// Ground-truth racy statement pairs, unordered (`lo ≤ hi`;
+    /// `lo == hi` means two dynamic instances of the same statement).
+    pub pairs: BTreeSet<(u32, u32)>,
+    /// Total dynamic access instances.
+    pub instances: usize,
+    /// Pooled thread ids the team threads use (master's excluded),
+    /// ascending — the predicted set of per-thread session logs.
+    pub tids: Vec<u32>,
+}
+
+/// One dynamic access instance with everything the race rule needs.
+struct Instance {
+    stmt: u32,
+    tid: u32,
+    buf: u8,
+    elem: u64,
+    kind: AccessKind,
+    lock: Option<u32>,
+    label: Label,
+}
+
+/// Mirror of `OmpSim`'s pooled thread-id allocator (sorted free list,
+/// monotone fresh counter). Valid because the plan's fork/join tickets
+/// serialize every acquire/release.
+#[derive(Default)]
+struct TidPool {
+    free: Vec<u32>,
+    next: u32,
+    used: BTreeSet<u32>,
+}
+
+impl TidPool {
+    fn acquire(&mut self, n: u64) -> Vec<u32> {
+        self.free.sort_unstable();
+        let take = (n as usize).min(self.free.len());
+        let mut ids: Vec<u32> = self.free.drain(..take).collect();
+        while ids.len() < n as usize {
+            ids.push(self.next);
+            self.next += 1;
+        }
+        self.used.extend(ids.iter().copied());
+        ids
+    }
+
+    fn release(&mut self, ids: &[u32]) {
+        self.free.extend_from_slice(ids);
+    }
+}
+
+/// One live team member during the walk.
+///
+/// `label` mirrors both the runtime `Ctx` label and the interval label
+/// SWORD reconstructs from the member's meta rows
+/// (`fork_label · [slot + bid·span, span]`): it bumps only at barriers.
+/// Joins are tracked by `forks` instead — the member's `k`-th nested fork
+/// gets fork label `label.fork_point(k)`, whose span-1 pair orders the
+/// member's sequential teams without making a join look like a barrier to
+/// sibling members (the unsoundness an earlier fuzz campaign exposed).
+struct Member {
+    vid: usize,
+    slot: u64,
+    tid: u32,
+    label: Label,
+    forks: u64,
+}
+
+struct Walker<'p> {
+    buffers: &'p [u64],
+    per_vid: Vec<Vec<ThreadOp>>,
+    instances: Vec<Instance>,
+    next_ticket: u64,
+    pool: TidPool,
+}
+
+/// Runs the oracle on `prog`.
+pub fn analyze(prog: &Program) -> Oracle {
+    let mut w = Walker {
+        buffers: &prog.buffers,
+        per_vid: vec![Vec::new()],
+        instances: Vec::new(),
+        next_ticket: 0,
+        pool: TidPool::default(),
+    };
+    let master_tid = w.pool.acquire(1)[0];
+    let master_label = Label::root();
+    for (k, region) in prog.regions.iter().enumerate() {
+        w.fork_region(0, &master_label.fork_point(k as u64), region);
+    }
+    w.pool.release(&[master_tid]);
+
+    let pairs = racy_pairs(&w.instances);
+    let tids = w.pool.used.iter().copied().filter(|&t| t != master_tid).collect();
+    Oracle {
+        instances: w.instances.len(),
+        pairs,
+        tids,
+        plan: Plan { per_vid: w.per_vid, total_tickets: w.next_ticket },
+    }
+}
+
+impl Walker<'_> {
+    fn take_ticket(&mut self) -> u64 {
+        let t = self.next_ticket;
+        self.next_ticket += 1;
+        t
+    }
+
+    fn fork_region(&mut self, parent_vid: usize, fork_label: &Label, region: &Region) {
+        let fork_ticket = self.take_ticket();
+        let tids = self.pool.acquire(region.threads);
+        let base_vid = self.per_vid.len();
+        let mut members: Vec<Member> = (0..region.threads)
+            .map(|i| {
+                self.per_vid.push(Vec::new());
+                Member {
+                    vid: base_vid + i as usize,
+                    slot: i,
+                    tid: tids[i as usize],
+                    label: fork_label.fork(i, region.threads),
+                    forks: 0,
+                }
+            })
+            .collect();
+        for stmt in &region.body {
+            self.stmt(stmt, region.threads, &mut members);
+        }
+        let join_ticket = self.take_ticket();
+        self.pool.release(&tids);
+        self.per_vid[parent_vid].push(ThreadOp::Fork { base_vid, fork_ticket, join_ticket });
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, span: u64, members: &mut [Member]) {
+        match stmt {
+            Stmt::Access(a) => {
+                for m in members.iter() {
+                    self.record(m, a, 0, None);
+                }
+            }
+            Stmt::Barrier => bump_all(members),
+            Stmt::For { n, nowait, body } => {
+                // Mirrors `Ctx::for_static_nowait`'s contiguous chunking.
+                let chunk = n.div_ceil(span);
+                for m in members.iter() {
+                    let lo = (m.slot * chunk).min(*n);
+                    let hi = ((m.slot + 1) * chunk).min(*n);
+                    for v in lo..hi {
+                        for a in body {
+                            self.record(m, a, v, None);
+                        }
+                    }
+                }
+                if !*nowait {
+                    bump_all(members);
+                }
+            }
+            Stmt::Sections { count, body } => {
+                for m in members.iter() {
+                    let mut s = m.slot;
+                    while s < *count {
+                        for a in body {
+                            self.record(m, a, s, None);
+                        }
+                        s += span;
+                    }
+                }
+                bump_all(members);
+            }
+            Stmt::Master { body } => {
+                for a in body {
+                    self.record(&members[0], a, 0, None);
+                }
+            }
+            Stmt::Single { nowait, body } => {
+                for a in body {
+                    self.record(&members[0], a, 0, None);
+                }
+                if !*nowait {
+                    bump_all(members);
+                }
+            }
+            Stmt::Critical { lock, body } => {
+                for m in members.iter() {
+                    for a in body {
+                        self.record(m, a, 0, Some(*lock));
+                    }
+                }
+            }
+            Stmt::Nested(r) => {
+                for m in members.iter_mut() {
+                    let fl = m.label.fork_point(m.forks);
+                    self.fork_region(m.vid, &fl, r);
+                    // The join advances the fork sequence only; the
+                    // member's own label is untouched (a join is not a
+                    // barrier — it orders nothing for siblings).
+                    m.forks += 1;
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, m: &Member, a: &Access, var: u64, lock: Option<u32>) {
+        let len = self.buffers[a.buf as usize];
+        let elem = a.index.eval(m.slot, var, len);
+        let ticket = self.take_ticket();
+        self.per_vid[m.vid].push(ThreadOp::Access(PlannedAccess {
+            ticket,
+            stmt: a.id,
+            buf: a.buf,
+            elem,
+            kind: a.kind,
+        }));
+        self.instances.push(Instance {
+            stmt: a.id,
+            tid: m.tid,
+            buf: a.buf,
+            elem,
+            kind: a.kind,
+            lock,
+            label: m.label.clone(),
+        });
+    }
+}
+
+fn bump_all(members: &mut [Member]) {
+    for m in members {
+        m.label.bump_in_place();
+    }
+}
+
+/// The race rule over the flat instance set. Accesses are all 8-byte
+/// aligned `u64` elements, so "overlapping addresses" degenerates to
+/// "same (buffer, element)" and instances are bucketed accordingly.
+fn racy_pairs(instances: &[Instance]) -> BTreeSet<(u32, u32)> {
+    let mut buckets: HashMap<(u8, u64), Vec<usize>> = HashMap::new();
+    for (i, inst) in instances.iter().enumerate() {
+        buckets.entry((inst.buf, inst.elem)).or_default().push(i);
+    }
+    let mut pairs = BTreeSet::new();
+    for idxs in buckets.values() {
+        for (k, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[k + 1..] {
+                let (a, b) = (&instances[i], &instances[j]);
+                // Same pooled tid ⇒ same log ⇒ sequential to every
+                // per-thread detector (covers same-vid trivially).
+                if a.tid == b.tid {
+                    continue;
+                }
+                if !(a.kind.is_write() || b.kind.is_write()) {
+                    continue;
+                }
+                if a.kind.is_atomic() && b.kind.is_atomic() {
+                    continue;
+                }
+                if a.lock.is_some() && a.lock == b.lock {
+                    continue;
+                }
+                if a.label.compare_barrier_aware(&b.label) == OslOrdering::Concurrent {
+                    pairs.insert((a.stmt.min(b.stmt), a.stmt.max(b.stmt)));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::IndexExpr;
+
+    fn prog(threads: u64, body: Vec<Stmt>) -> Program {
+        Program { buffers: vec![8], regions: vec![Region { threads, body }] }
+    }
+
+    fn acc(id: u32, kind: AccessKind, index: IndexExpr) -> Access {
+        Access { id, buf: 0, kind, index }
+    }
+
+    fn pairs_of(p: &Program) -> Vec<(u32, u32)> {
+        analyze(p).pairs.into_iter().collect()
+    }
+
+    #[test]
+    fn shared_constant_write_races() {
+        let p = prog(2, vec![Stmt::Access(acc(0, AccessKind::Write, IndexExpr::Const(0)))]);
+        assert_eq!(pairs_of(&p), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn tid_strided_writes_are_race_free() {
+        let p = prog(
+            4,
+            vec![Stmt::Access(acc(0, AccessKind::Write, IndexExpr::Tid { stride: 1, off: 0 }))],
+        );
+        assert_eq!(pairs_of(&p), vec![]);
+    }
+
+    #[test]
+    fn barrier_orders_write_against_later_read() {
+        let p = prog(
+            2,
+            vec![
+                Stmt::Access(acc(0, AccessKind::Write, IndexExpr::Const(0))),
+                Stmt::Barrier,
+                Stmt::Access(acc(1, AccessKind::Read, IndexExpr::Const(0))),
+            ],
+        );
+        // The writes race with each other; reads don't race with anything.
+        assert_eq!(pairs_of(&p), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn same_lock_protects_different_locks_do_not() {
+        let w = |id, lock| Stmt::Critical {
+            lock,
+            body: vec![acc(id, AccessKind::Write, IndexExpr::Const(0))],
+        };
+        assert_eq!(pairs_of(&prog(2, vec![w(0, 0)])), vec![]);
+        assert_eq!(pairs_of(&prog(2, vec![w(0, 0), w(1, 1)])), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn atomic_pairs_are_silent_mixed_pairs_race() {
+        let aw = Stmt::Access(acc(0, AccessKind::AtomicWrite, IndexExpr::Const(0)));
+        assert_eq!(pairs_of(&prog(2, vec![aw.clone()])), vec![]);
+        let w = Stmt::Access(acc(1, AccessKind::Write, IndexExpr::Const(0)));
+        assert_eq!(pairs_of(&prog(2, vec![aw, w])), vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn single_nowait_races_single_does_not() {
+        let body = |id| vec![acc(id, AccessKind::Write, IndexExpr::Const(0))];
+        let read = Stmt::Access(acc(1, AccessKind::Read, IndexExpr::Const(0)));
+        let with_barrier =
+            prog(2, vec![Stmt::Single { nowait: false, body: body(0) }, read.clone()]);
+        assert_eq!(pairs_of(&with_barrier), vec![]);
+        let nowait = prog(2, vec![Stmt::Single { nowait: true, body: body(0) }, read]);
+        // Slot 0's own read shares its tid; only the other slot's pairs.
+        assert_eq!(pairs_of(&nowait), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn static_chunks_partition_iterations() {
+        // 8 iterations over 4 threads, elem = iteration: disjoint chunks.
+        let p = prog(
+            4,
+            vec![Stmt::For {
+                n: 8,
+                nowait: false,
+                body: vec![acc(0, AccessKind::Write, IndexExpr::Var { stride: 1, off: 0 })],
+            }],
+        );
+        assert_eq!(pairs_of(&p), vec![]);
+    }
+
+    #[test]
+    fn sibling_nested_teams_reuse_tids_and_mask_races() {
+        // Two outer threads each fork a 1-thread nested team writing
+        // b[0]. The teams are label-concurrent, but the serialized
+        // fork/join lifecycle reuses the same pooled tid for both, so no
+        // detector can see the pair — and the oracle must agree.
+        let inner = Region {
+            threads: 1,
+            body: vec![Stmt::Access(acc(0, AccessKind::Write, IndexExpr::Const(0)))],
+        };
+        let p = prog(2, vec![Stmt::Nested(inner)]);
+        let o = analyze(&p);
+        assert_eq!(o.pairs, BTreeSet::new());
+        // master=0 held throughout; outer team takes 1,2; both nested
+        // teams take 3.
+        assert_eq!(o.tids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_teams_race_across_levels_and_with_each_other() {
+        // Outer slot 0 writes b[0] (master); every outer slot then forks a
+        // 2-thread team writing b[0]. The master write is ordered against
+        // slot 0's own team (label prefix) but races slot 1's team; the
+        // team members race within and across sibling teams (the sibling
+        // teams share the pooled tid *set* {3,4} but pair cross-wise on
+        // distinct tids).
+        let inner = Region {
+            threads: 2,
+            body: vec![Stmt::Access(acc(1, AccessKind::Write, IndexExpr::Const(0)))],
+        };
+        let p = prog(
+            2,
+            vec![
+                Stmt::Master { body: vec![acc(0, AccessKind::Write, IndexExpr::Const(0))] },
+                Stmt::Nested(inner),
+            ],
+        );
+        let o = analyze(&p);
+        assert_eq!(o.pairs.into_iter().collect::<Vec<_>>(), vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn plan_tickets_are_a_permutation_and_ops_are_ordered() {
+        let p = crate::gen::generate(11, &crate::gen::GenConfig::default());
+        let o = analyze(&p);
+        let mut tickets = Vec::new();
+        for ops in &o.plan.per_vid {
+            let mut prev = None;
+            for op in ops {
+                let first = match op {
+                    ThreadOp::Access(a) => {
+                        tickets.push(a.ticket);
+                        a.ticket
+                    }
+                    ThreadOp::Fork { fork_ticket, join_ticket, base_vid } => {
+                        assert!(*base_vid < o.plan.per_vid.len());
+                        tickets.push(*fork_ticket);
+                        tickets.push(*join_ticket);
+                        *fork_ticket
+                    }
+                };
+                assert!(prev.is_none_or(|p| p < first), "per-vid ops out of ticket order");
+                prev = Some(first);
+            }
+        }
+        tickets.sort_unstable();
+        let expect: Vec<u64> = (0..o.plan.total_tickets).collect();
+        assert_eq!(tickets, expect, "tickets must be a permutation of 0..total");
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let p = crate::gen::generate(5, &crate::gen::GenConfig::default());
+        let (a, b) = (analyze(&p), analyze(&p));
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.tids, b.tids);
+        assert_eq!(a.plan.total_tickets, b.plan.total_tickets);
+    }
+}

@@ -1,0 +1,615 @@
+//! The generated-program AST and its two serializations: a line-oriented
+//! corpus format (parsed back by [`Program::parse`]) and a re-runnable
+//! Rust rendering for bug reports.
+//!
+//! Programs are deliberately a *structured* subset of what `ompsim` can
+//! express: every construct's dynamic behaviour (which thread touches
+//! which element, under which label and lock set) is a pure function of
+//! the AST, which is what lets the oracle compute the exact racy-pair set
+//! without running either detector. Nondeterministic constructs
+//! (`for_dynamic`) are excluded by design.
+
+use sword_trace::AccessKind;
+
+/// Virtual source file all generated statements are attributed to. Access
+/// ids map to lines as `line = id + 1`, so detector reports resolve back
+/// to statements.
+pub const SITE_FILE: &str = "fuzz.gen";
+
+/// A whole generated program: shared buffers plus a sequence of top-level
+/// parallel regions executed from the master context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Element counts of the shared `u64` buffers (`b0`, `b1`, …).
+    pub buffers: Vec<u64>,
+    /// Top-level parallel regions, run one after another.
+    pub regions: Vec<Region>,
+}
+
+/// One parallel region: a team size and a statement list every team
+/// member executes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Team size (≥ 1; the generator emits ≥ 2).
+    pub threads: u64,
+    /// Body statements, executed in order by every member.
+    pub body: Vec<Stmt>,
+}
+
+/// A body statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Every team member performs this access once.
+    Access(Access),
+    /// Explicit team barrier.
+    Barrier,
+    /// `for schedule(static)` over `0..n`; body accesses see the loop
+    /// index as `var`. Implicit barrier unless `nowait`.
+    For { n: u64, nowait: bool, body: Vec<Access> },
+    /// `sections(count)`; body accesses see the section index as `var`.
+    /// Implicit barrier.
+    Sections { count: u64, body: Vec<Access> },
+    /// Slot 0 only, no barrier.
+    Master { body: Vec<Access> },
+    /// Slot 0 only; implicit barrier unless `nowait`.
+    Single { nowait: bool, body: Vec<Access> },
+    /// Every member performs the accesses holding the named lock.
+    Critical { lock: u32, body: Vec<Access> },
+    /// A nested parallel region forked by every member.
+    Nested(Region),
+}
+
+/// One instrumented access statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Statement id — the virtual line (`id + 1`) in [`SITE_FILE`].
+    pub id: u32,
+    /// Target buffer index.
+    pub buf: u8,
+    /// Read/write/atomic flavour.
+    pub kind: AccessKind,
+    /// Element index expression.
+    pub index: IndexExpr,
+}
+
+/// Element index expressions, always reduced modulo the buffer length so
+/// any generated expression is in bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexExpr {
+    /// The constant `k` — every evaluation collides.
+    Const(u64),
+    /// `team_index * stride + off` — disjoint per thread when the stride
+    /// is non-zero and the buffer is wide enough.
+    Tid { stride: u64, off: u64 },
+    /// `var * stride + off` over the loop/section variable (0 outside
+    /// loops and sections).
+    Var { stride: u64, off: u64 },
+}
+
+impl IndexExpr {
+    /// Evaluates to a concrete element index for a buffer of `len`
+    /// elements.
+    pub fn eval(&self, team_index: u64, var: u64, len: u64) -> u64 {
+        let raw = match *self {
+            IndexExpr::Const(k) => k,
+            IndexExpr::Tid { stride, off } => team_index * stride + off,
+            IndexExpr::Var { stride, off } => var * stride + off,
+        };
+        raw % len.max(1)
+    }
+
+    fn render(&self) -> String {
+        match *self {
+            IndexExpr::Const(k) => format!("c{k}"),
+            IndexExpr::Tid { stride, off } => format!("tid*{stride}+{off}"),
+            IndexExpr::Var { stride, off } => format!("var*{stride}+{off}"),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        if let Some(k) = s.strip_prefix('c') {
+            return Ok(IndexExpr::Const(parse_num(k)?));
+        }
+        let (base, rest) = if let Some(r) = s.strip_prefix("tid*") {
+            (false, r)
+        } else if let Some(r) = s.strip_prefix("var*") {
+            (true, r)
+        } else {
+            return Err(format!("bad index expr `{s}`"));
+        };
+        let (stride, off) = rest.split_once('+').ok_or_else(|| format!("bad index expr `{s}`"))?;
+        let (stride, off) = (parse_num(stride)?, parse_num(off)?);
+        Ok(if base { IndexExpr::Var { stride, off } } else { IndexExpr::Tid { stride, off } })
+    }
+}
+
+fn kind_token(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Read => "r",
+        AccessKind::Write => "w",
+        AccessKind::AtomicRead => "ar",
+        AccessKind::AtomicWrite => "aw",
+    }
+}
+
+fn parse_kind(s: &str) -> Result<AccessKind, String> {
+    Ok(match s {
+        "r" => AccessKind::Read,
+        "w" => AccessKind::Write,
+        "ar" => AccessKind::AtomicRead,
+        "aw" => AccessKind::AtomicWrite,
+        other => return Err(format!("bad access kind `{other}`")),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number `{s}`"))
+}
+
+impl Access {
+    fn render(&self) -> String {
+        format!(
+            "access {} {} b{} {}",
+            self.id,
+            kind_token(self.kind),
+            self.buf,
+            self.index.render()
+        )
+    }
+
+    fn parse(toks: &[&str]) -> Result<Self, String> {
+        if toks.len() != 4 {
+            return Err(format!("access wants `access <id> <kind> b<buf> <expr>`, got {toks:?}"));
+        }
+        let buf = toks[2].strip_prefix('b').ok_or_else(|| format!("bad buffer `{}`", toks[2]))?;
+        Ok(Access {
+            id: parse_num(toks[0])?,
+            kind: parse_kind(toks[1])?,
+            buf: parse_num(buf)?,
+            index: IndexExpr::parse(toks[3])?,
+        })
+    }
+}
+
+impl Program {
+    /// Largest access id in the program (`None` when it has no accesses).
+    pub fn max_id(&self) -> Option<u32> {
+        fn acc_max(body: &[Access]) -> Option<u32> {
+            body.iter().map(|a| a.id).max()
+        }
+        fn stmt_max(s: &Stmt) -> Option<u32> {
+            match s {
+                Stmt::Access(a) => Some(a.id),
+                Stmt::Barrier => None,
+                Stmt::For { body, .. }
+                | Stmt::Sections { body, .. }
+                | Stmt::Master { body }
+                | Stmt::Single { body, .. }
+                | Stmt::Critical { body, .. } => acc_max(body),
+                Stmt::Nested(r) => r.body.iter().filter_map(stmt_max).max(),
+            }
+        }
+        self.regions.iter().flat_map(|r| r.body.iter()).filter_map(stmt_max).max()
+    }
+
+    /// All lock ids used by `Critical` statements, ascending and deduped.
+    pub fn locks(&self) -> Vec<u32> {
+        fn walk(body: &[Stmt], out: &mut Vec<u32>) {
+            for s in body {
+                match s {
+                    Stmt::Critical { lock, .. } => out.push(*lock),
+                    Stmt::Nested(r) => walk(&r.body, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for r in &self.regions {
+            walk(&r.body, &mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Serializes to the line-oriented corpus format.
+    pub fn to_text(&self) -> String {
+        fn accesses(out: &mut String, body: &[Access], pad: &str) {
+            for a in body {
+                out.push_str(pad);
+                out.push_str(&a.render());
+                out.push('\n');
+            }
+        }
+        fn stmts(out: &mut String, body: &[Stmt], depth: usize) {
+            let pad = "  ".repeat(depth);
+            let inner = "  ".repeat(depth + 1);
+            for s in body {
+                match s {
+                    Stmt::Access(a) => {
+                        out.push_str(&pad);
+                        out.push_str(&a.render());
+                        out.push('\n');
+                    }
+                    Stmt::Barrier => {
+                        out.push_str(&format!("{pad}barrier\n"));
+                    }
+                    Stmt::For { n, nowait, body } => {
+                        let tail = if *nowait { " nowait" } else { "" };
+                        out.push_str(&format!("{pad}for {n}{tail}\n"));
+                        accesses(out, body, &inner);
+                        out.push_str(&format!("{pad}end\n"));
+                    }
+                    Stmt::Sections { count, body } => {
+                        out.push_str(&format!("{pad}sections {count}\n"));
+                        accesses(out, body, &inner);
+                        out.push_str(&format!("{pad}end\n"));
+                    }
+                    Stmt::Master { body } => {
+                        out.push_str(&format!("{pad}master\n"));
+                        accesses(out, body, &inner);
+                        out.push_str(&format!("{pad}end\n"));
+                    }
+                    Stmt::Single { nowait, body } => {
+                        let tail = if *nowait { " nowait" } else { "" };
+                        out.push_str(&format!("{pad}single{tail}\n"));
+                        accesses(out, body, &inner);
+                        out.push_str(&format!("{pad}end\n"));
+                    }
+                    Stmt::Critical { lock, body } => {
+                        out.push_str(&format!("{pad}critical {lock}\n"));
+                        accesses(out, body, &inner);
+                        out.push_str(&format!("{pad}end\n"));
+                    }
+                    Stmt::Nested(r) => {
+                        out.push_str(&format!("{pad}region {}\n", r.threads));
+                        stmts(out, &r.body, depth + 1);
+                        out.push_str(&format!("{pad}end\n"));
+                    }
+                }
+            }
+        }
+        let mut out = String::from("fuzz-prog v1\n");
+        for len in &self.buffers {
+            out.push_str(&format!("buf {len}\n"));
+        }
+        for r in &self.regions {
+            out.push_str(&format!("region {}\n", r.threads));
+            stmts(&mut out, &r.body, 1);
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Parses the corpus format. Lines starting with `#` are comments.
+    pub fn parse(text: &str) -> Result<Program, String> {
+        let mut lines =
+            text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).peekable();
+        if lines.next() != Some("fuzz-prog v1") {
+            return Err("missing `fuzz-prog v1` header".into());
+        }
+        let mut buffers = Vec::new();
+        while let Some(line) = lines.peek() {
+            let Some(len) = line.strip_prefix("buf ") else { break };
+            buffers.push(parse_num(len.trim())?);
+            lines.next();
+        }
+
+        // Accesses-only block bodies (for/sections/master/single/critical).
+        fn access_block<'a>(
+            lines: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>,
+        ) -> Result<Vec<Access>, String> {
+            let mut body = Vec::new();
+            loop {
+                let Some(line) = lines.next() else {
+                    return Err("unterminated block (missing `end`)".into());
+                };
+                if line == "end" {
+                    return Ok(body);
+                }
+                let toks: Vec<&str> = line.split_whitespace().collect();
+                match toks.first() {
+                    Some(&"access") => body.push(Access::parse(&toks[1..])?),
+                    _ => return Err(format!("expected `access …` or `end`, got `{line}`")),
+                }
+            }
+        }
+
+        fn stmt_block<'a>(
+            lines: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>,
+        ) -> Result<Vec<Stmt>, String> {
+            let mut body = Vec::new();
+            loop {
+                let Some(line) = lines.next() else {
+                    return Err("unterminated region (missing `end`)".into());
+                };
+                if line == "end" {
+                    return Ok(body);
+                }
+                let toks: Vec<&str> = line.split_whitespace().collect();
+                match toks.first().copied() {
+                    Some("access") => body.push(Stmt::Access(Access::parse(&toks[1..])?)),
+                    Some("barrier") => body.push(Stmt::Barrier),
+                    Some("for") if toks.len() >= 2 => {
+                        let nowait = toks.get(2) == Some(&"nowait");
+                        let n = parse_num(toks[1])?;
+                        body.push(Stmt::For { n, nowait, body: access_block(lines)? });
+                    }
+                    Some("sections") if toks.len() == 2 => {
+                        let count = parse_num(toks[1])?;
+                        body.push(Stmt::Sections { count, body: access_block(lines)? });
+                    }
+                    Some("master") => body.push(Stmt::Master { body: access_block(lines)? }),
+                    Some("single") => {
+                        let nowait = toks.get(1) == Some(&"nowait");
+                        body.push(Stmt::Single { nowait, body: access_block(lines)? });
+                    }
+                    Some("critical") if toks.len() == 2 => {
+                        let lock = parse_num(toks[1])?;
+                        body.push(Stmt::Critical { lock, body: access_block(lines)? });
+                    }
+                    Some("region") if toks.len() == 2 => {
+                        let threads = parse_num::<u64>(toks[1])?;
+                        if threads == 0 {
+                            return Err("region needs threads ≥ 1".into());
+                        }
+                        body.push(Stmt::Nested(Region { threads, body: stmt_block(lines)? }));
+                    }
+                    _ => return Err(format!("unrecognized statement `{line}`")),
+                }
+            }
+        }
+
+        let mut regions = Vec::new();
+        while let Some(line) = lines.next() {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks.as_slice() {
+                ["region", threads] => {
+                    let threads: u64 = parse_num(threads)?;
+                    if threads == 0 {
+                        return Err("region needs threads ≥ 1".into());
+                    }
+                    regions.push(Region { threads, body: stmt_block(&mut lines)? });
+                }
+                _ => return Err(format!("expected `region <threads>`, got `{line}`")),
+            }
+        }
+        if buffers.is_empty() {
+            return Err("program needs at least one buffer".into());
+        }
+        if buffers.contains(&0) {
+            return Err("buffer length must be ≥ 1".into());
+        }
+        let prog = Program { buffers, regions };
+        for a in prog.all_accesses() {
+            if (a.buf as usize) >= prog.buffers.len() {
+                return Err(format!("access {} targets missing buffer b{}", a.id, a.buf));
+            }
+        }
+        Ok(prog)
+    }
+
+    /// Every access statement in the program, in syntactic order.
+    pub fn all_accesses(&self) -> Vec<Access> {
+        fn walk(body: &[Stmt], out: &mut Vec<Access>) {
+            for s in body {
+                match s {
+                    Stmt::Access(a) => out.push(*a),
+                    Stmt::Barrier => {}
+                    Stmt::For { body, .. }
+                    | Stmt::Sections { body, .. }
+                    | Stmt::Master { body }
+                    | Stmt::Single { body, .. }
+                    | Stmt::Critical { body, .. } => out.extend(body.iter().copied()),
+                    Stmt::Nested(r) => walk(&r.body, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for r in &self.regions {
+            walk(&r.body, &mut out);
+        }
+        out
+    }
+
+    /// Renders the program as a standalone Rust snippet over `ompsim`,
+    /// suitable for pasting into a test when reproducing a divergence.
+    pub fn to_rust(&self) -> String {
+        fn index_rust(e: &IndexExpr, len: u64, var: &str) -> String {
+            match *e {
+                IndexExpr::Const(k) => format!("{}", k % len.max(1)),
+                IndexExpr::Tid { stride, off } => {
+                    format!("(w.team_index() * {stride} + {off}) % {len}")
+                }
+                IndexExpr::Var { stride, off } => format!("({var} * {stride} + {off}) % {len}"),
+            }
+        }
+        fn access_rust(out: &mut String, a: &Access, lens: &[u64], pad: &str, var: &str) {
+            let len = lens[a.buf as usize];
+            let idx = index_rust(&a.index, len, var);
+            let b = format!("b{}", a.buf);
+            let line = match a.kind {
+                AccessKind::Read => format!("let _ = w.read(&{b}, {idx});"),
+                AccessKind::Write => format!("w.write(&{b}, {idx}, 1);"),
+                AccessKind::AtomicRead => format!("let _ = w.atomic_read(&{b}, {idx});"),
+                AccessKind::AtomicWrite => format!("w.atomic_write(&{b}, {idx}, 1);"),
+            };
+            out.push_str(&format!("{pad}{line} // s{}\n", a.id));
+        }
+        fn stmts_rust(out: &mut String, body: &[Stmt], lens: &[u64], depth: usize) {
+            let pad = "    ".repeat(depth);
+            let inner = "    ".repeat(depth + 1);
+            for s in body {
+                match s {
+                    Stmt::Access(a) => access_rust(out, a, lens, &pad, "0"),
+                    Stmt::Barrier => out.push_str(&format!("{pad}w.barrier();\n")),
+                    Stmt::For { n, nowait, body } => {
+                        let call = if *nowait { "for_static_nowait" } else { "for_static" };
+                        out.push_str(&format!("{pad}w.{call}(0..{n}, |i| {{\n"));
+                        for a in body {
+                            access_rust(out, a, lens, &inner, "i");
+                        }
+                        out.push_str(&format!("{pad}}});\n"));
+                    }
+                    Stmt::Sections { count, body } => {
+                        out.push_str(&format!("{pad}w.sections({count}, |s| {{\n"));
+                        for a in body {
+                            access_rust(out, a, lens, &inner, "(s as u64)");
+                        }
+                        out.push_str(&format!("{pad}}});\n"));
+                    }
+                    Stmt::Master { body } => {
+                        out.push_str(&format!("{pad}w.master(|| {{\n"));
+                        for a in body {
+                            access_rust(out, a, lens, &inner, "0");
+                        }
+                        out.push_str(&format!("{pad}}});\n"));
+                    }
+                    Stmt::Single { nowait, body } => {
+                        let call = if *nowait { "single_nowait" } else { "single" };
+                        out.push_str(&format!("{pad}w.{call}(|| {{\n"));
+                        for a in body {
+                            access_rust(out, a, lens, &inner, "0");
+                        }
+                        out.push_str(&format!("{pad}}});\n"));
+                    }
+                    Stmt::Critical { lock, body } => {
+                        out.push_str(&format!("{pad}w.critical(\"L{lock}\", || {{\n"));
+                        for a in body {
+                            access_rust(out, a, lens, &inner, "0");
+                        }
+                        out.push_str(&format!("{pad}}});\n"));
+                    }
+                    Stmt::Nested(r) => {
+                        out.push_str(&format!("{pad}w.parallel({}, |w| {{\n", r.threads));
+                        stmts_rust(out, &r.body, lens, depth + 1);
+                        out.push_str(&format!("{pad}}});\n"));
+                    }
+                }
+            }
+        }
+        let mut out = String::from("let sim = OmpSim::new(); // attach the detector under test\n");
+        for (i, len) in self.buffers.iter().enumerate() {
+            out.push_str(&format!("let b{i} = sim.alloc::<u64>({len}, 0);\n"));
+        }
+        out.push_str("sim.run(|ctx| {\n");
+        for r in &self.regions {
+            out.push_str(&format!("    ctx.parallel({}, |w| {{\n", r.threads));
+            stmts_rust(&mut out, &r.body, &self.buffers, 2);
+            out.push_str("    });\n");
+        }
+        out.push_str("});\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> Program {
+        Program {
+            buffers: vec![8, 4],
+            regions: vec![Region {
+                threads: 2,
+                body: vec![
+                    Stmt::Access(Access {
+                        id: 0,
+                        buf: 0,
+                        kind: AccessKind::Write,
+                        index: IndexExpr::Tid { stride: 1, off: 0 },
+                    }),
+                    Stmt::Barrier,
+                    Stmt::For {
+                        n: 6,
+                        nowait: true,
+                        body: vec![Access {
+                            id: 1,
+                            buf: 0,
+                            kind: AccessKind::Read,
+                            index: IndexExpr::Var { stride: 1, off: 1 },
+                        }],
+                    },
+                    Stmt::Critical {
+                        lock: 0,
+                        body: vec![Access {
+                            id: 2,
+                            buf: 1,
+                            kind: AccessKind::Write,
+                            index: IndexExpr::Const(3),
+                        }],
+                    },
+                    Stmt::Nested(Region {
+                        threads: 2,
+                        body: vec![Stmt::Access(Access {
+                            id: 3,
+                            buf: 1,
+                            kind: AccessKind::AtomicWrite,
+                            index: IndexExpr::Const(0),
+                        })],
+                    }),
+                    Stmt::Single {
+                        nowait: false,
+                        body: vec![Access {
+                            id: 4,
+                            buf: 0,
+                            kind: AccessKind::Read,
+                            index: IndexExpr::Const(2),
+                        }],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let p = sample();
+        let text = p.to_text();
+        assert_eq!(Program::parse(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Program::parse("").is_err());
+        assert!(Program::parse("fuzz-prog v1\nbuf 4\nregion 2\n").is_err(), "missing end");
+        assert!(Program::parse("fuzz-prog v1\nregion 2\nend\n").is_err(), "no buffers");
+        assert!(
+            Program::parse("fuzz-prog v1\nbuf 4\nregion 2\naccess 0 w b9 c0\nend\n").is_err(),
+            "buffer out of range"
+        );
+        assert!(Program::parse("fuzz-prog v1\nbuf 4\nregion 0\nend\n").is_err(), "zero team");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let mut text = String::from("# seed 7\n\n");
+        text.push_str(&sample().to_text());
+        assert_eq!(Program::parse(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn index_eval_wraps_modulo_len() {
+        assert_eq!(IndexExpr::Const(11).eval(0, 0, 8), 3);
+        assert_eq!(IndexExpr::Tid { stride: 2, off: 1 }.eval(3, 0, 4), 3);
+        assert_eq!(IndexExpr::Var { stride: 1, off: 0 }.eval(0, 9, 8), 1);
+    }
+
+    #[test]
+    fn helpers_see_every_access() {
+        let p = sample();
+        assert_eq!(p.max_id(), Some(4));
+        assert_eq!(p.locks(), vec![0]);
+        assert_eq!(p.all_accesses().len(), 5);
+    }
+
+    #[test]
+    fn rust_rendering_mentions_every_statement() {
+        let rust = sample().to_rust();
+        for id in 0..5 {
+            assert!(rust.contains(&format!("// s{id}")), "statement {id} missing:\n{rust}");
+        }
+        assert!(rust.contains("ctx.parallel(2"));
+        assert!(rust.contains("w.critical(\"L0\""));
+    }
+}

@@ -1,0 +1,284 @@
+//! Delta-debugging shrinker: reduces a failing program to a minimal
+//! reproducer under a caller-supplied predicate.
+//!
+//! Candidate edits, tried most-aggressive first each round:
+//!
+//! 1. drop a whole top-level region;
+//! 2. drop a statement (recursing into nested regions);
+//! 3. shrink a top-level team to 2 threads;
+//! 4. halve a `for` trip count / `sections` count;
+//! 5. drop one access from a compound statement's body;
+//! 6. drop unused buffers (renumbering the survivors).
+//!
+//! The loop restarts from the strongest edits after every accepted
+//! candidate and stops when no candidate reproduces, or after a bounded
+//! number of predicate evaluations (each evaluation may run the full
+//! differential pipeline, so attempts — not rounds — are the cost unit).
+
+use std::collections::BTreeSet;
+
+use crate::program::{Access, Program, Region, Stmt};
+
+/// Upper bound on predicate evaluations per shrink.
+const MAX_ATTEMPTS: usize = 150;
+
+/// Shrinks `prog` while `reproduces` stays true. The input itself must
+/// reproduce (callers establish that before shrinking); the result always
+/// reproduces unless the predicate is flaky.
+pub fn shrink(prog: &Program, mut reproduces: impl FnMut(&Program) -> bool) -> Program {
+    let mut cur = prog.clone();
+    let mut attempts = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&cur) {
+            if attempts >= MAX_ATTEMPTS {
+                return cur;
+            }
+            attempts += 1;
+            if reproduces(&cand) {
+                cur = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// All one-step reductions of `p`, strongest first. Every candidate is a
+/// structurally valid program (non-empty regions and bodies).
+pub fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    if p.regions.len() > 1 {
+        for i in 0..p.regions.len() {
+            let mut q = p.clone();
+            q.regions.remove(i);
+            out.push(q);
+        }
+    }
+    for i in 0..p.regions.len() {
+        for r in region_candidates(&p.regions[i]) {
+            let mut q = p.clone();
+            q.regions[i] = r;
+            out.push(q);
+        }
+    }
+    for i in 0..p.regions.len() {
+        if p.regions[i].threads > 2 {
+            let mut q = p.clone();
+            q.regions[i].threads = 2;
+            out.push(q);
+        }
+    }
+    if let Some(q) = drop_unused_buffers(p) {
+        out.push(q);
+    }
+    out
+}
+
+fn region_candidates(r: &Region) -> Vec<Region> {
+    let mut out = Vec::new();
+    if r.body.len() > 1 {
+        for i in 0..r.body.len() {
+            let mut q = r.clone();
+            q.body.remove(i);
+            out.push(q);
+        }
+    }
+    for i in 0..r.body.len() {
+        for s in stmt_candidates(&r.body[i]) {
+            let mut q = r.clone();
+            q.body[i] = s;
+            out.push(q);
+        }
+    }
+    out
+}
+
+fn stmt_candidates(s: &Stmt) -> Vec<Stmt> {
+    match s {
+        Stmt::Access(_) | Stmt::Barrier => Vec::new(),
+        Stmt::For { n, nowait, body } => {
+            let mut out = Vec::new();
+            if *n > 1 {
+                out.push(Stmt::For { n: *n / 2, nowait: *nowait, body: body.clone() });
+            }
+            for b in drop_one(body) {
+                out.push(Stmt::For { n: *n, nowait: *nowait, body: b });
+            }
+            out
+        }
+        Stmt::Sections { count, body } => {
+            let mut out = Vec::new();
+            if *count > 1 {
+                out.push(Stmt::Sections { count: *count / 2, body: body.clone() });
+            }
+            for b in drop_one(body) {
+                out.push(Stmt::Sections { count: *count, body: b });
+            }
+            out
+        }
+        Stmt::Master { body } => {
+            drop_one(body).into_iter().map(|b| Stmt::Master { body: b }).collect()
+        }
+        Stmt::Single { nowait, body } => {
+            drop_one(body).into_iter().map(|b| Stmt::Single { nowait: *nowait, body: b }).collect()
+        }
+        Stmt::Critical { lock, body } => {
+            drop_one(body).into_iter().map(|b| Stmt::Critical { lock: *lock, body: b }).collect()
+        }
+        Stmt::Nested(r) => region_candidates(r).into_iter().map(Stmt::Nested).collect(),
+    }
+}
+
+/// Every body with exactly one access removed (only when more than one
+/// remains — compound statements keep a non-empty body).
+fn drop_one(body: &[Access]) -> Vec<Vec<Access>> {
+    if body.len() <= 1 {
+        return Vec::new();
+    }
+    (0..body.len())
+        .map(|i| {
+            let mut b = body.to_vec();
+            b.remove(i);
+            b
+        })
+        .collect()
+}
+
+/// Removes buffers no access touches, renumbering the survivors; `None`
+/// when every buffer is used.
+fn drop_unused_buffers(p: &Program) -> Option<Program> {
+    let used: BTreeSet<u8> = p.all_accesses().iter().map(|a| a.buf).collect();
+    if used.len() == p.buffers.len() {
+        return None;
+    }
+    let remap: Vec<Option<u8>> = {
+        let mut next = 0u8;
+        (0..p.buffers.len() as u8)
+            .map(|b| {
+                if used.contains(&b) {
+                    let n = next;
+                    next += 1;
+                    Some(n)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    let mut q = p.clone();
+    q.buffers = p
+        .buffers
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| used.contains(&(*i as u8)))
+        .map(|(_, &len)| len)
+        .collect();
+    if q.buffers.is_empty() {
+        // A program with no accesses at all keeps one buffer so it stays
+        // parseable.
+        q.buffers.push(p.buffers[0]);
+    }
+    for region in &mut q.regions {
+        remap_region(region, &remap);
+    }
+    Some(q)
+}
+
+fn remap_region(r: &mut Region, remap: &[Option<u8>]) {
+    for s in &mut r.body {
+        match s {
+            Stmt::Access(a) => remap_access(a, remap),
+            Stmt::Barrier => {}
+            Stmt::For { body, .. }
+            | Stmt::Sections { body, .. }
+            | Stmt::Master { body }
+            | Stmt::Single { body, .. }
+            | Stmt::Critical { body, .. } => {
+                for a in body {
+                    remap_access(a, remap);
+                }
+            }
+            Stmt::Nested(inner) => remap_region(inner, remap),
+        }
+    }
+}
+
+fn remap_access(a: &mut Access, remap: &[Option<u8>]) {
+    if let Some(Some(new)) = remap.get(a.buf as usize) {
+        a.buf = *new;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::oracle;
+
+    #[test]
+    fn shrinks_a_racy_program_to_something_small_and_still_racy() {
+        // Find a generated program with at least one racy pair.
+        let (prog, pairs) = (0..50u64)
+            .find_map(|seed| {
+                let p = generate(seed, &GenConfig::default());
+                let o = oracle::analyze(&p);
+                (!o.pairs.is_empty()).then_some((p, o.pairs))
+            })
+            .expect("some seed in 0..50 must generate a racy program");
+        let keep = pairs.iter().next().copied().unwrap();
+        let small = shrink(&prog, |p| oracle::analyze(p).pairs.contains(&keep));
+        let small_oracle = oracle::analyze(&small);
+        assert!(small_oracle.pairs.contains(&keep));
+        assert!(small_oracle.instances <= oracle::analyze(&prog).instances);
+        // Minimality at this predicate: no one-step reduction reproduces.
+        for cand in candidates(&small) {
+            assert!(
+                !oracle::analyze(&cand).pairs.contains(&keep),
+                "shrink left an improvable candidate"
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let p = generate(9, &GenConfig::default());
+        let f = |q: &Program| !oracle::analyze(q).pairs.is_empty();
+        if !f(&p) {
+            return; // nothing to shrink for this seed
+        }
+        assert_eq!(shrink(&p, f), shrink(&p, f));
+    }
+
+    #[test]
+    fn candidates_stay_structurally_valid() {
+        for seed in 0..20u64 {
+            let p = generate(seed, &GenConfig::default());
+            for cand in candidates(&p) {
+                let text = cand.to_text();
+                let back = Program::parse(&text)
+                    .unwrap_or_else(|e| panic!("seed {seed}: invalid candidate: {e}\n{text}"));
+                assert_eq!(back, cand);
+                // And the oracle accepts it.
+                let _ = oracle::analyze(&cand);
+            }
+        }
+    }
+
+    #[test]
+    fn unused_buffers_are_dropped_and_renumbered() {
+        let mut p = generate(4, &GenConfig::default());
+        p.buffers.push(16); // guaranteed-unused extra buffer
+        let q = drop_unused_buffers(&p).expect("extra buffer must be droppable");
+        assert_eq!(q.buffers.len(), p.buffers.len() - 1);
+        let max_buf = q.all_accesses().iter().map(|a| a.buf).max().unwrap_or(0);
+        assert!((max_buf as usize) < q.buffers.len());
+        // Element mapping is preserved for every access (same lengths).
+        let po = oracle::analyze(&p);
+        let qo = oracle::analyze(&q);
+        assert_eq!(po.pairs, qo.pairs);
+    }
+}

@@ -122,6 +122,7 @@ impl OmpSim {
             tid: master_tid,
             label: RefCell::new(Label::root()),
             region: None,
+            fork_seq: Cell::new(0),
             pc_cache: RefCell::new(HashMap::new()),
         };
         let r = f(&ctx);
@@ -208,6 +209,18 @@ impl OmpSim {
     /// Snapshot of the program-counter table for session persistence.
     pub fn export_pcs(&self) -> PcTable {
         self.pc_table.lock().clone()
+    }
+
+    /// Interns a synthetic source location and returns its id.
+    ///
+    /// Programs executed through an interpreter (the fuzz generator's
+    /// driver, for instance) have no distinct Rust call sites — every
+    /// access would collapse onto the interpreter's one `read`/`write`
+    /// line. Such callers intern one virtual site per *program* statement
+    /// up front and attribute accesses through the `*_pc` methods of
+    /// [`Ctx`], so race reports keep per-statement identities.
+    pub fn intern_site(&self, file: &str, line: u32) -> PcId {
+        self.pc_table.lock().intern(file, line)
     }
 
     fn intern_pc(&self, loc: &'static Location<'static>) -> PcId {
@@ -315,6 +328,12 @@ pub struct Ctx<'rt> {
     tid: ThreadId,
     label: RefCell<Label>,
     region: Option<RegionInfo>,
+    /// Number of nested regions this thread has forked (and joined) so
+    /// far. Each fork's label is `label · [fork_seq, 1]` — see
+    /// [`Label::fork_point`]: the span-1 pair orders this thread's
+    /// successive teams without making the join look like a barrier
+    /// crossing to sibling members.
+    fork_seq: Cell<u64>,
     pc_cache: RefCell<HashMap<(usize, u32), PcId>>,
 }
 
@@ -365,7 +384,7 @@ impl<'rt> Ctx<'rt> {
             Some(r) => (Some(r.region), r.level + 1),
             None => (None, 1),
         };
-        let fork_label = self.label.borrow().clone();
+        let fork_label = self.label.borrow().fork_point(self.fork_seq.get());
         if let Some(t) = &self.sim.tool {
             t.parallel_begin(&ParallelBeginInfo {
                 region,
@@ -400,6 +419,7 @@ impl<'rt> Ctx<'rt> {
                             team,
                             dyn_loop_seq: Cell::new(0),
                         }),
+                        fork_seq: Cell::new(0),
                         pc_cache: RefCell::new(HashMap::new()),
                     };
                     ctx.with_tool(|t, tc| t.thread_begin(tc));
@@ -409,7 +429,12 @@ impl<'rt> Ctx<'rt> {
             }
         });
         self.sim.release_tids(&tids);
-        self.label.borrow_mut().bump_in_place();
+        // The join orders this thread's next fork after the finished team
+        // via the fork-sequence component; the thread's own label must NOT
+        // bump — a join is not a barrier, and bumping here would make this
+        // thread's later subtrees look barrier-ordered against *sibling*
+        // members' accesses in the offline analysis.
+        self.fork_seq.set(self.fork_seq.get() + 1);
         if let Some(t) = &self.sim.tool {
             t.parallel_end(region, self.tid);
         }
@@ -680,6 +705,39 @@ impl<'rt> Ctx<'rt> {
         prev
     }
 
+    // ---- explicit-PC instrumented memory ----------------------------------
+    //
+    // Variants of the accessors above for interpreted programs: the caller
+    // supplies a pre-interned site (see `OmpSim::intern_site`) instead of
+    // relying on `#[track_caller]`, so distinct *program* statements stay
+    // distinct in race reports even when one Rust line executes them all.
+
+    /// Instrumented load of `buf[i]` attributed to site `pc`.
+    pub fn read_pc<T: TrackedValue>(&self, buf: &TrackedBuf<T>, i: u64, pc: PcId) -> T {
+        let v = buf.load(i);
+        self.observe_pc(buf.addr_of(i), T::SIZE_BYTES, AccessKind::Read, pc);
+        v
+    }
+
+    /// Instrumented store of `buf[i] = v` attributed to site `pc`.
+    pub fn write_pc<T: TrackedValue>(&self, buf: &TrackedBuf<T>, i: u64, v: T, pc: PcId) {
+        buf.store(i, v);
+        self.observe_pc(buf.addr_of(i), T::SIZE_BYTES, AccessKind::Write, pc);
+    }
+
+    /// Instrumented atomic load attributed to site `pc`.
+    pub fn atomic_read_pc<T: TrackedValue>(&self, buf: &TrackedBuf<T>, i: u64, pc: PcId) -> T {
+        let v = buf.load(i);
+        self.observe_pc(buf.addr_of(i), T::SIZE_BYTES, AccessKind::AtomicRead, pc);
+        v
+    }
+
+    /// Instrumented atomic store attributed to site `pc`.
+    pub fn atomic_write_pc<T: TrackedValue>(&self, buf: &TrackedBuf<T>, i: u64, v: T, pc: PcId) {
+        buf.store(i, v);
+        self.observe_pc(buf.addr_of(i), T::SIZE_BYTES, AccessKind::AtomicWrite, pc);
+    }
+
     // ---- internals --------------------------------------------------------
 
     fn with_tool(&self, f: impl FnOnce(&dyn Tool, &ThreadContext<'_>)) {
@@ -705,6 +763,13 @@ impl<'rt> Ctx<'rt> {
             return;
         }
         let pc = self.pc_of(loc);
+        self.with_tool(|t, tc| t.access(tc, MemAccess { addr, size, kind, pc }));
+    }
+
+    fn observe_pc(&self, addr: u64, size: u8, kind: AccessKind, pc: PcId) {
+        if self.region.is_none() || self.sim.tool.is_none() {
+            return;
+        }
         self.with_tool(|t, tc| t.access(tc, MemAccess { addr, size, kind, pc }));
     }
 
@@ -769,8 +834,15 @@ mod tests {
             ctx.parallel(3, |w| {
                 labels.lock().unwrap().push(w.label());
             });
-            // Post-join master label bumped.
-            assert_eq!(format!("{}", ctx.label()), "[1,1]");
+            // A join does not bump the master's label (it is not a
+            // barrier); the next fork is ordered by the fork-sequence
+            // component instead.
+            assert_eq!(format!("{}", ctx.label()), "[0,1]");
+            ctx.parallel(1, |w| {
+                // Second region: fork-point pair [1,1] between the root
+                // label and the member pair.
+                assert_eq!(format!("{}", w.label()), "[0,1][1,1][0,1]");
+            });
         });
         let labels = labels.into_inner().unwrap();
         assert_eq!(labels.len(), 3);
@@ -1023,8 +1095,9 @@ mod tests {
         });
         let labels = labels.into_inner().unwrap();
         assert_eq!(labels.len(), 3, "device team ran");
-        // Device threads are nested two levels below the root.
-        assert!(labels.iter().all(|l| l.depth() == 3));
+        // Device threads are nested two levels below the root; each level
+        // contributes a fork-point pair plus the member pair.
+        assert!(labels.iter().all(|l| l.depth() == 5));
     }
 
     #[test]
@@ -1224,5 +1297,35 @@ mod tests {
         fn access(&self, _: &ThreadContext<'_>, a: MemAccess) {
             self.pcs.lock().unwrap().push(a.pc);
         }
+    }
+
+    #[test]
+    fn explicit_pc_accessors_attribute_to_interned_sites() {
+        let tool = Arc::new(PcCollector::default());
+        let sim = OmpSim::with_tool(tool.clone());
+        let buf = sim.alloc::<u64>(4, 0);
+        let site_a = sim.intern_site("gen", 1);
+        let site_b = sim.intern_site("gen", 2);
+        assert_eq!(sim.intern_site("gen", 1), site_a, "interning is idempotent");
+        sim.run(|ctx| {
+            ctx.parallel(1, |w| {
+                // One Rust line, two program sites.
+                for (site, i) in [(site_a, 0), (site_b, 1)] {
+                    w.write_pc(&buf, i, 7, site);
+                    assert_eq!(w.read_pc(&buf, i, site), 7);
+                }
+                w.atomic_write_pc(&buf, 2, 9, site_a);
+                assert_eq!(w.atomic_read_pc(&buf, 2, site_b), 9);
+            });
+            // Outside a region the explicit-PC path is uninstrumented too.
+            ctx.write_pc(&buf, 3, 1, site_a);
+        });
+        let pcs = tool.pcs.lock().unwrap().clone();
+        assert_eq!(pcs.len(), 6);
+        assert_eq!(pcs.iter().filter(|&&p| p == site_a).count(), 3);
+        assert_eq!(pcs.iter().filter(|&&p| p == site_b).count(), 3);
+        let table = sim.export_pcs();
+        assert_eq!(table.resolve(site_b).unwrap().line, 2);
+        assert_eq!(table.resolve(site_b).unwrap().file, "gen");
     }
 }

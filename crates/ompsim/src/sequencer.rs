@@ -38,10 +38,22 @@ impl Sequencer {
         }
     }
 
-    /// Advances the counter by one and wakes waiters.
+    /// Advances the counter by one and wakes waiters. Saturating, so
+    /// advancing a poisoned sequencer stays poisoned instead of wrapping.
     pub fn advance(&self) {
         let mut cur = self.state.lock();
-        *cur += 1;
+        *cur = cur.saturating_add(1);
+        self.cv.notify_all();
+    }
+
+    /// Releases every present and future waiter permanently by jumping the
+    /// counter to `u64::MAX`. Used when a turn-taking participant dies
+    /// (panics) so that siblings blocked on later tickets drain and the
+    /// enclosing join can observe the original failure instead of
+    /// deadlocking.
+    pub fn poison(&self) {
+        let mut cur = self.state.lock();
+        *cur = u64::MAX;
         self.cv.notify_all();
     }
 
@@ -107,6 +119,22 @@ mod tests {
             });
         });
         assert_eq!(*log.lock(), "abc");
+    }
+
+    #[test]
+    fn poison_releases_all_waiters_and_saturates() {
+        let seq = Sequencer::new();
+        std::thread::scope(|s| {
+            let seq = &seq;
+            for t in [5u64, 900, u64::MAX] {
+                s.spawn(move || seq.wait_for(t));
+            }
+            s.spawn(move || seq.poison());
+        });
+        assert_eq!(seq.current(), u64::MAX);
+        seq.advance();
+        assert_eq!(seq.current(), u64::MAX, "advance past poison must saturate");
+        seq.wait_for(u64::MAX);
     }
 
     #[test]

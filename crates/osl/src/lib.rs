@@ -23,14 +23,15 @@
 //! Label construction mirrors the runtime events:
 //!
 //! * the initial thread has label `[0, 1]`;
-//! * a fork of `s` threads from label `L` gives child `i` the label
-//!   `L · [i, s]`;
-//! * after the matching join, the continuing (master) thread bumps the
-//!   offset of its last pair by its span, which orders it after every child
-//!   by case 2;
-//! * a barrier inside a team likewise bumps each member's last pair by the
-//!   span, so successive *barrier intervals* of the same thread slot are
-//!   case-2 sequential.
+//! * a thread's `k`-th fork (0-based) of `s` threads from label `L` gives
+//!   child `i` the label `L · [k, 1] · [i, s]` — the span-1
+//!   [`Label::fork_point`] pair makes the join ordering between the
+//!   thread's successive teams a case-2 ordering (`[k,1]` before
+//!   `[k+1,1]`, same slot) without touching the thread's own pair;
+//! * a barrier inside a team bumps each member's last pair by the span, so
+//!   successive *barrier intervals* of the same thread slot are case-2
+//!   sequential (and cross-slot intervals are ordered by
+//!   [`Label::compare_barrier_aware`]).
 //!
 //! Note (also §II of the paper and [`Label::sequential`] docs): OSL alone
 //! deliberately does *not* order different thread slots across a barrier —
@@ -200,10 +201,30 @@ impl Label {
         Label { pairs }
     }
 
-    /// Label of the continuing thread after the join matching its most
-    /// recent fork *or* after a team barrier: the last pair's offset is
-    /// bumped by its span, ordering the new point case-2-after every point
-    /// of the previous generation in the same slot.
+    /// Label of the fork *point* of this thread's `seq`-th fork (0-based):
+    /// `self · [seq, 1]`. Children of that fork are labeled
+    /// `self.fork_point(seq).fork(i, span)`.
+    ///
+    /// The span-1 pair keeps sequential forks by the same thread ordered —
+    /// `[k, 1]` and `[k+1, 1]` share slot 0, so case 2 orders the whole
+    /// earlier subtree before the later one (the join between them is real
+    /// program order) — while subtrees forked by *different* threads still
+    /// diverge at the forkers' own pairs and stay concurrent. Encoding the
+    /// join as a bump of the forker's own pair instead (the pre-fix
+    /// construction) made a join look like a barrier generation to
+    /// [`Label::compare_barrier_aware`], wrongly ordering a member's later
+    /// forks against *sibling* members' accesses.
+    pub fn fork_point(&self, seq: u64) -> Label {
+        let mut pairs = Vec::with_capacity(self.pairs.len() + 1);
+        pairs.extend_from_slice(&self.pairs);
+        pairs.push(Pair::new(seq, 1));
+        Label { pairs }
+    }
+
+    /// Label of the continuing thread after a team barrier: the last
+    /// pair's offset is bumped by its span, ordering the new point
+    /// case-2-after every point of the previous generation in the same
+    /// slot. (Joins are *not* bumps — see [`Label::fork_point`].)
     pub fn bump(&self) -> Label {
         let mut pairs = self.pairs.clone();
         let last = pairs.last_mut().expect("bump on empty label");
@@ -262,12 +283,20 @@ impl Label {
     /// The paper's analysis combines two orderings: within one parallel
     /// region, barrier-interval ids order intervals (a barrier orders *all*
     /// team slots of generation `g` before all slots of `g+1`); across
-    /// regions, offset-span labels do. Since a barrier/join crossing adds
+    /// regions, offset-span labels do. Since a barrier crossing adds
     /// `span` to the pair's offset, both collapse into one rule on labels:
     /// at the first divergent pair with equal span, compare *generations*
-    /// (`offset / span`) — different generations are barrier/join-ordered
+    /// (`offset / span`) — different generations are barrier-ordered
     /// regardless of slot; the same generation with different slots is
     /// concurrent.
+    ///
+    /// Soundness of the cross-slot rule relies on offsets growing **only**
+    /// at barriers: a barrier genuinely synchronizes every slot of the
+    /// team, so `generation` differences are real orderings. Joins must
+    /// therefore never bump a member's pair — they are encoded as span-1
+    /// [`Label::fork_point`] components instead, which this rule orders
+    /// only within one forker's own sequence (slot 0 vs slot 0), exactly
+    /// the ordering a join provides.
     ///
     /// This strictly extends [`Label::compare`]'s case 2 (which orders only
     /// same-slot pairs): every pair `compare` calls sequential stays
@@ -514,6 +543,50 @@ mod tests {
         // other slot (R3 of Figure 2).
         let outer1_bid0 = Label::root().fork(1, 2);
         assert_eq!(inner.compare_barrier_aware(&outer1_bid0), Ordering::Concurrent);
+    }
+
+    #[test]
+    fn fork_point_orders_one_threads_sequential_teams() {
+        // Thread [0,1][1,2] forks two teams back to back; every access of
+        // the first is ordered before every access of the second by plain
+        // case 2 on the span-1 fork-point pair.
+        let member = Label::root().fork(1, 2);
+        let team_a: Vec<_> = (0..2).map(|i| member.fork_point(0).fork(i, 2)).collect();
+        let team_b: Vec<_> = (0..2).map(|i| member.fork_point(1).fork(i, 2)).collect();
+        for a in &team_a {
+            for b in &team_b {
+                assert_eq!(a.compare(b), Ordering::Before, "{a} vs {b}");
+                assert_eq!(a.compare_barrier_aware(b), Ordering::Before);
+            }
+        }
+        // The forker itself is ordered against both teams (prefix rule).
+        assert_eq!(member.compare(&team_b[0]), Ordering::Before);
+    }
+
+    #[test]
+    fn fork_point_keeps_sibling_subtrees_concurrent() {
+        // The unsoundness the fuzzer caught: member 1's *second* nested
+        // team must stay concurrent with member 0's accesses — the joins
+        // member 1 performed do not synchronize member 0. Under the old
+        // join-bumps-the-member-pair construction, member 1's label became
+        // [0,1][3,2] (generation 1), and the barrier-aware rule read that
+        // join as a barrier, wrongly ordering the pair.
+        let member0 = Label::root().fork(0, 2);
+        let member1 = Label::root().fork(1, 2);
+        let m1_second_team = member1.fork_point(1).fork(0, 2);
+        assert_eq!(member0.compare(&m1_second_team), Ordering::Concurrent);
+        assert_eq!(member0.compare_barrier_aware(&m1_second_team), Ordering::Concurrent);
+        // Cross-forker teams with different fork counts: also concurrent.
+        let m0_first_team = member0.fork_point(0).fork(1, 2);
+        assert_eq!(m0_first_team.compare_barrier_aware(&m1_second_team), Ordering::Concurrent);
+        // A real barrier still orders: member 0's post-barrier fork vs
+        // member 1's pre-barrier team.
+        let m0_post_barrier_team = member0.bump().fork_point(1).fork(0, 2);
+        let m1_pre_barrier_team = member1.fork_point(0).fork(0, 2);
+        assert_eq!(
+            m1_pre_barrier_team.compare_barrier_aware(&m0_post_barrier_team),
+            Ordering::Before
+        );
     }
 
     #[test]

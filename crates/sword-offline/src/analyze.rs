@@ -211,7 +211,7 @@ fn analyze_with_stages(
 ) -> io::Result<AnalysisResult> {
     let start = Instant::now();
     let t0 = Instant::now();
-    let structure = build_structure(session);
+    let structure = build_structure(session)?;
     stages.record("build-structure", t0.elapsed().as_secs_f64(), structure.groups.len() as u64, 0);
     let mut stats = AnalysisStats {
         threads: session.threads.len() as u64,

@@ -2,6 +2,7 @@
 //! labels, interval groups, and the enumeration of comparison tasks.
 
 use std::collections::HashMap;
+use std::io;
 
 use sword_osl::{Label, Ordering as OslOrdering};
 use sword_trace::{MetaRecord, ThreadId};
@@ -69,7 +70,13 @@ pub struct Structure {
 
 /// Reconstructs one interval's full label from its meta row and the
 /// region table.
-pub fn full_label(session: &LoadedSession, row: &MetaRecord) -> Label {
+///
+/// A row whose region record is missing is `InvalidData`: without the
+/// fork label the interval cannot be placed in the concurrency
+/// structure, and guessing (an empty prefix) would make it look
+/// root-level and falsely concurrent with everything — a truncated
+/// region table must degrade to a clean error, never to invented races.
+pub fn full_label(session: &LoadedSession, row: &MetaRecord) -> io::Result<Label> {
     full_label_from(&session.regions, row)
 }
 
@@ -78,11 +85,20 @@ pub fn full_label(session: &LoadedSession, row: &MetaRecord) -> Label {
 pub fn full_label_from(
     regions: &HashMap<u64, sword_trace::RegionRecord>,
     row: &MetaRecord,
-) -> Label {
-    let fork = regions.get(&row.pid).map(|r| r.fork_label()).unwrap_or_else(Label::empty);
+) -> io::Result<Label> {
+    let Some(region) = regions.get(&row.pid) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "meta row references region {} absent from the region table (truncated session?)",
+                row.pid
+            ),
+        ));
+    };
+    let fork = region.fork_label();
     let mut pairs: Vec<(u64, u64)> = fork.pairs().iter().map(|p| (p.offset, p.span)).collect();
     pairs.push((row.offset, row.span));
-    Label::from_chain(pairs)
+    Ok(Label::from_chain(pairs))
 }
 
 /// Builds groups and comparison tasks from loaded meta-data.
@@ -98,7 +114,7 @@ pub fn full_label_from(
 ///   tasks with per-pair label checks;
 /// * otherwise the fork labels are barrier/join-ordered and so is every
 ///   member pair → the whole region pair is skipped.
-pub fn build_structure(session: &LoadedSession) -> Structure {
+pub fn build_structure(session: &LoadedSession) -> io::Result<Structure> {
     // Group rows by (pid, bid).
     let mut index: HashMap<(u64, u32), usize> = HashMap::new();
     let mut groups: Vec<Group> = Vec::new();
@@ -112,7 +128,7 @@ pub fn build_structure(session: &LoadedSession) -> Structure {
             groups[gidx].members.push(Interval {
                 tid: *tid,
                 meta: row.clone(),
-                label: full_label(session, row),
+                label: full_label(session, row)?,
             });
         }
     }
@@ -176,7 +192,12 @@ pub fn build_structure(session: &LoadedSession) -> Structure {
         }
     }
 
-    Structure { groups, tasks, region_pairs_skipped: skipped, region_pairs_considered: considered }
+    Ok(Structure {
+        groups,
+        tasks,
+        region_pairs_skipped: skipped,
+        region_pairs_considered: considered,
+    })
 }
 
 /// `true` when one label's pair sequence is a (possibly equal) prefix of
@@ -240,7 +261,7 @@ mod tests {
             ],
             vec![region],
         );
-        let st = build_structure(&s);
+        let st = build_structure(&s).unwrap();
         assert_eq!(st.groups.len(), 2);
         assert!(st.groups.iter().all(|g| g.members.len() == 2));
         // Two intra tasks, no cross tasks (single region).
@@ -261,7 +282,7 @@ mod tests {
             ],
             vec![r0, r1],
         );
-        let st = build_structure(&s);
+        let st = build_structure(&s).unwrap();
         assert_eq!(st.groups.len(), 2);
         assert_eq!(st.region_pairs_skipped, 1);
         assert_eq!(st.region_pairs_considered, 0);
@@ -289,7 +310,7 @@ mod tests {
             ],
             vec![outer, inner_a, inner_b],
         );
-        let st = build_structure(&s);
+        let st = build_structure(&s).unwrap();
         // inner_a vs inner_b: fork labels concurrent → all_concurrent.
         let cross_ab = st
             .tasks
@@ -323,7 +344,7 @@ mod tests {
             ],
             vec![outer, inner],
         );
-        let st = build_structure(&s);
+        let st = build_structure(&s).unwrap();
         let outer_group = st.groups.iter().find(|g| g.pid == 0).unwrap();
         let inner_group = st.groups.iter().find(|g| g.pid == 1).unwrap();
         let outer0 = outer_group.members.iter().find(|m| m.tid == 0).unwrap();
@@ -340,13 +361,17 @@ mod tests {
     }
 
     #[test]
-    fn missing_region_record_defaults_to_empty_prefix() {
-        // Robustness: a session without regions.meta still groups by
-        // (pid, bid).
+    fn missing_region_record_is_invalid_data() {
+        // A meta row whose region record is gone (truncated region
+        // table) must fail cleanly: an empty-prefix fallback would make
+        // the interval look root-level and invent races. Found by the
+        // fuzzer's truncate-regions fault injection.
         let s = session_with(vec![(0, vec![meta_row(7, None, 0, 0, 2, 1)])], vec![]);
-        let st = build_structure(&s);
-        assert_eq!(st.groups.len(), 1);
-        assert_eq!(full_label(&s, &st.groups[0].members[0].meta).depth(), 1);
+        let err = build_structure(&s).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("region 7"), "{err}");
+        let err = full_label(&s, &meta_row(7, None, 0, 0, 2, 1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

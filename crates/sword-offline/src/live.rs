@@ -242,7 +242,7 @@ impl LiveAnalyzer {
         let mut fresh: Vec<Interval> = Vec::new();
         for (tid, rows) in session_delta.new_rows {
             for row in rows {
-                let label = full_label_from(&self.regions, &row);
+                let label = full_label_from(&self.regions, &row)?;
                 fresh.push(Interval { tid, meta: row, label });
             }
         }

@@ -985,8 +985,9 @@ mod tests {
         assert_eq!(inner.len(), 2);
         for r in inner {
             assert_eq!(r.level, 2);
-            // Fork label extends the outer fork label by one pair.
-            assert_eq!(r.fork_label.len(), outer.fork_label.len() + 2);
+            // Fork label extends the outer fork label by two pairs: the
+            // forking member's own pair and its span-1 fork-point pair.
+            assert_eq!(r.fork_label.len(), outer.fork_label.len() + 4);
         }
         fs::remove_dir_all(&dir).unwrap();
     }

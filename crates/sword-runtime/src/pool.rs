@@ -155,6 +155,47 @@ mod tests {
     }
 
     #[test]
+    fn blocked_acquire_stall_accounting_is_monotone_and_nonzero() {
+        // Mirrors the collector's push_event pattern: time each acquire
+        // that hits the budget and feed it to FlushCounters::add_stall.
+        // The counter must be non-zero after the first real stall and
+        // strictly monotone across rounds — a regression to zero or a
+        // plateau means backpressure is no longer being measured.
+        let pool = Arc::new(BufferPool::new(32, 2));
+        let counters = sword_metrics::FlushCounters::default();
+        let mut last_stall = 0u64;
+        for round in 0..3 {
+            let held = (pool.acquire(), pool.acquire());
+            let p = Arc::clone(&pool);
+            let waiter = std::thread::spawn(move || {
+                let start = std::time::Instant::now();
+                let buf = p.acquire();
+                (buf, start.elapsed().as_nanos() as u64)
+            });
+            // Give the waiter time to actually block at the budget.
+            std::thread::sleep(Duration::from_millis(20));
+            pool.release(held.0);
+            let (buf, nanos) = waiter.join().unwrap();
+            counters.add_stall(nanos);
+            let snap = counters.snapshot();
+            assert!(snap.stall_nanos > 0, "round {round}: stall not recorded");
+            assert!(
+                snap.stall_nanos > last_stall,
+                "round {round}: stall time must grow ({} -> {})",
+                last_stall,
+                snap.stall_nanos
+            );
+            last_stall = snap.stall_nanos;
+            pool.release(held.1);
+            pool.release(buf);
+            assert_eq!(pool.created(), 2, "round {round}: blocked, never over budget");
+        }
+        // Each blocked round waited ~20ms; the accumulated stall must be
+        // in that order of magnitude, not a timer artifact.
+        assert!(last_stall >= 3 * 10_000_000, "total stall {last_stall}ns implausibly small");
+    }
+
+    #[test]
     fn concurrent_acquire_release_stays_within_budget() {
         let pool = Arc::new(BufferPool::new(16, 8));
         std::thread::scope(|s| {

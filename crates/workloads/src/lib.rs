@@ -119,13 +119,17 @@ pub fn hpc_workloads() -> Vec<Box<dyn Workload>> {
     hpc::all()
 }
 
+/// Every workload across all suites, in suite order (DRB, OmpSCR, HPC).
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    let mut all = drb_workloads();
+    all.extend(ompscr_workloads());
+    all.extend(hpc_workloads());
+    all
+}
+
 /// Looks a workload up by name across all suites.
 pub fn find_workload(name: &str) -> Option<Box<dyn Workload>> {
-    drb_workloads()
-        .into_iter()
-        .chain(ompscr_workloads())
-        .chain(hpc_workloads())
-        .find(|w| w.spec().name == name)
+    all_workloads().into_iter().find(|w| w.spec().name == name)
 }
 
 #[cfg(test)]

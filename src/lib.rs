@@ -55,11 +55,13 @@
 //! | [`archer`] | `archer-sim` | the ARCHER/TSan happens-before baseline |
 //! | [`workloads`] | `sword-workloads` | DRB / OmpSCR / HPC benchmark suites (§IV) |
 //! | [`metrics`] | `sword-metrics` | memory gauges, node model, timing |
+//! | [`fuzz`] | `sword-fuzz-gen` | generative differential testing: program fuzzer, race oracle, fault injection |
 
 #![forbid(unsafe_code)]
 
 pub use archer_sim as archer;
 pub use sword_compress as compress;
+pub use sword_fuzz_gen as fuzz;
 pub use sword_itree as itree;
 pub use sword_metrics as metrics;
 pub use sword_offline as offline;

@@ -1,0 +1,160 @@
+//! Named regression tests for `decompress` / frame-reading hardening,
+//! replaying the generator-produced adversarial corpus from
+//! `sword::fuzz::adversarial`. Each test pins one decoder validation
+//! path by case name so a future behavior change fails with the exact
+//! grammar violation it regressed on, not just "some case broke".
+
+use sword::compress::{decompress, frame_decompress, DecodeError, FrameReader};
+use sword::fuzz::adversarial::{evil_frames, evil_streams};
+
+/// Looks a raw-stream case up by name and asserts its exact error class.
+fn assert_stream(name: &str, expect: DecodeError) {
+    let case = evil_streams()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("adversarial corpus lost case `{name}`"));
+    assert_eq!(case.expect, expect, "case `{name}` re-classified in the corpus");
+    let mut out = Vec::new();
+    assert_eq!(decompress(&case.bytes, &mut out), Err(expect), "case `{name}`");
+}
+
+/// Looks a framed-file case up by name and asserts both readers reject it.
+fn assert_frame(name: &str) {
+    let case = evil_frames()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("adversarial corpus lost case `{name}`"));
+    let mut out = Vec::new();
+    let err = FrameReader::new(&case.bytes[..])
+        .read_to_end(&mut out)
+        .expect_err(&format!("case `{name}` must not decode"));
+    // Validation failures report InvalidData; a payload cut mid-read
+    // surfaces the underlying short read instead. Both are clean errors.
+    assert!(
+        matches!(err.kind(), std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof),
+        "case `{name}`: unexpected error kind {:?}: {err}",
+        err.kind()
+    );
+    if name != "trailing-garbage-frame" {
+        // The one-shot helper reads a single frame, so trailing garbage
+        // is invisible to it; every other case must fail there too.
+        frame_decompress(&case.bytes).expect_err(&format!("case `{name}` one-shot"));
+    }
+}
+
+#[test]
+fn empty_stream_is_truncated() {
+    assert_stream("empty-stream", DecodeError::Truncated);
+}
+
+#[test]
+fn missing_literals_are_truncated() {
+    assert_stream("literals-promised-but-missing", DecodeError::Truncated);
+}
+
+#[test]
+fn literal_length_chain_cut_at_token_is_truncated() {
+    assert_stream("literal-chain-cut-at-token", DecodeError::Truncated);
+}
+
+#[test]
+fn literal_length_chain_exceeding_input_is_truncated() {
+    assert_stream("literal-chain-exceeds-input", DecodeError::Truncated);
+}
+
+#[test]
+fn zero_match_offset_is_a_bad_offset() {
+    assert_stream("match-offset-zero", DecodeError::BadOffset);
+}
+
+#[test]
+fn match_offset_beyond_output_is_a_bad_offset() {
+    assert_stream("match-offset-beyond-output", DecodeError::BadOffset);
+}
+
+#[test]
+fn match_truncated_at_its_offset_is_truncated() {
+    assert_stream("match-truncated-at-offset", DecodeError::Truncated);
+}
+
+#[test]
+fn bytes_after_the_terminal_token_are_truncated() {
+    assert_stream("data-after-terminal", DecodeError::Truncated);
+}
+
+#[test]
+fn match_chain_past_the_decode_run_cap_is_oversize() {
+    // The headline hardening property: a 4-byte stream must not be able
+    // to demand gigabytes of output. The cap fires mid-chain, before any
+    // allocation proportional to the claimed length.
+    assert_stream("match-chain-exceeds-decode-run", DecodeError::Oversize);
+}
+
+#[test]
+fn frame_with_corrupt_magic_is_rejected() {
+    assert_frame("bad-magic");
+}
+
+#[test]
+fn frame_with_truncated_header_is_rejected() {
+    assert_frame("truncated-header");
+}
+
+#[test]
+fn frame_with_wrong_raw_length_is_rejected() {
+    assert_frame("raw-len-mismatch");
+}
+
+#[test]
+fn frame_with_payload_cut_short_is_rejected() {
+    assert_frame("payload-cut-short");
+}
+
+#[test]
+fn frame_with_flipped_token_byte_is_rejected() {
+    assert_frame("payload-token-flip");
+}
+
+#[test]
+fn stored_frame_with_length_mismatch_is_rejected() {
+    assert_frame("stored-length-mismatch");
+}
+
+#[test]
+fn garbage_after_a_valid_frame_is_rejected() {
+    assert_frame("trailing-garbage-frame");
+}
+
+#[test]
+fn corpus_and_this_suite_enumerate_the_same_cases() {
+    // If a new adversarial case is added to the generator, this fails
+    // until a named test above covers it.
+    let streams: Vec<&str> = evil_streams().iter().map(|c| c.name).collect();
+    let frames: Vec<&str> = evil_frames().iter().map(|c| c.name).collect();
+    assert_eq!(
+        streams,
+        [
+            "empty-stream",
+            "literals-promised-but-missing",
+            "literal-chain-cut-at-token",
+            "literal-chain-exceeds-input",
+            "match-offset-zero",
+            "match-offset-beyond-output",
+            "match-truncated-at-offset",
+            "data-after-terminal",
+            "match-chain-exceeds-decode-run",
+        ]
+    );
+    assert_eq!(
+        frames,
+        [
+            "bad-magic",
+            "truncated-header",
+            "raw-len-mismatch",
+            "payload-cut-short",
+            "payload-token-flip",
+            "stored-length-mismatch",
+            "trailing-garbage-frame",
+        ]
+    );
+}

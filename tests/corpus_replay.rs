@@ -1,0 +1,88 @@
+//! Replays the checked-in fuzz corpus (`tests/corpus/*.prog`) through the
+//! full differential pipeline on every `cargo test`: each program runs
+//! under SWORD (batch and live) and ARCHER, and every verdict is diffed
+//! against the ground-truth oracle.
+//!
+//! The corpus is generator-derived: `seeded_entries()` deterministically
+//! picks the first 5 racy and first 5 race-free generated programs and
+//! shrinks each while preserving its exact oracle verdict set. A
+//! regeneration guard keeps the checked-in files byte-identical to what
+//! the current generator produces; to refresh after an intentional
+//! generator change, run
+//! `UPDATE_CORPUS=1 cargo test --test corpus_replay`.
+
+use std::path::PathBuf;
+
+use sword::fuzz::check_program;
+use sword::fuzz::corpus::{load_dir, save, seeded_entries};
+use sword::fuzz::oracle;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus")
+}
+
+#[test]
+fn checked_in_corpus_matches_the_generator() {
+    let dir = corpus_dir();
+    let expected = seeded_entries();
+    if std::env::var_os("UPDATE_CORPUS").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "prog") {
+                std::fs::remove_file(path).unwrap();
+            }
+        }
+        for (name, prog) in &expected {
+            let pairs = oracle::analyze(prog).pairs;
+            let notes = vec![format!("generator-seeded reproducer; oracle pairs: {pairs:?}")];
+            save(&dir, name, prog, &notes).unwrap();
+        }
+    }
+
+    let loaded = load_dir(&dir).unwrap_or_else(|e| panic!("corpus dir {dir:?}: {e}"));
+    let loaded_names: Vec<&str> = loaded.iter().map(|(n, _)| n.as_str()).collect();
+    let expected_names: Vec<&str> = expected.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        loaded_names, expected_names,
+        "checked-in corpus out of sync with the generator — \
+         rerun with UPDATE_CORPUS=1 if the generator changed on purpose"
+    );
+    for ((name, on_disk), (_, generated)) in loaded.iter().zip(&expected) {
+        assert_eq!(
+            on_disk.to_text(),
+            generated.to_text(),
+            "corpus entry `{name}` drifted from the generator"
+        );
+    }
+}
+
+#[test]
+fn corpus_has_both_classes_nested_and_flat() {
+    let loaded = load_dir(&corpus_dir()).unwrap();
+    assert_eq!(loaded.len(), 10);
+    let racy = loaded.iter().filter(|(n, _)| n.contains("-racy-")).count();
+    let quiet = loaded.iter().filter(|(n, _)| n.contains("-quiet-")).count();
+    assert_eq!((racy, quiet), (5, 5));
+    assert!(loaded.iter().any(|(n, _)| n.ends_with("-nested")), "no nested program in corpus");
+    assert!(loaded.iter().any(|(n, _)| n.ends_with("-flat")), "no flat program in corpus");
+    // Names encode the class the oracle must still agree with.
+    for (name, prog) in &loaded {
+        let pairs = oracle::analyze(prog).pairs;
+        assert_eq!(
+            name.contains("-racy-"),
+            !pairs.is_empty(),
+            "corpus entry `{name}` changed verdict class: oracle pairs {pairs:?}"
+        );
+    }
+}
+
+#[test]
+fn corpus_replays_cleanly_through_both_detectors() {
+    let loaded = load_dir(&corpus_dir()).unwrap();
+    assert!(!loaded.is_empty(), "empty corpus — nothing was replayed");
+    for (name, prog) in &loaded {
+        let report = check_program(prog, false);
+        assert!(report.ok(), "corpus entry `{name}` diverged:\n  {}", report.failures.join("\n  "));
+    }
+}

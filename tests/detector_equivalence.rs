@@ -13,8 +13,13 @@ use sword::runtime::{run_collected, SwordConfig};
 use sword::trace::SessionDir;
 use sword::workloads::{drb_workloads, ompscr_workloads, RunConfig, Workload};
 
+/// A session directory unique to this call, not just this process: tests
+/// in this binary run concurrently, and a stale same-named dir from an
+/// earlier aborted run must not be mistaken for ours either.
 fn tmp(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("sword-equiv-{tag}-{}", std::process::id()));
+    static NEXT: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sword-equiv-{tag}-{}-{n}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }

@@ -176,7 +176,7 @@ fn offline_label_reconstruction_matches_runtime_labels() {
     let mut reconstructed: Vec<(u32, String)> = Vec::new();
     for (_, rows) in &loaded.threads {
         for row in rows {
-            let label = sword::offline::intervals::full_label(&loaded, row);
+            let label = sword::offline::intervals::full_label(&loaded, row).unwrap();
             reconstructed.push((row.bid, format!("{label}")));
         }
     }
