@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sword_metrics::MemGauge;
 use sword_ompsim::{ParallelBeginInfo, ThreadContext, Tool};
 use sword_trace::{MemAccess, MutexId, PcId, PcTable, RegionId, ThreadId};
 
@@ -35,6 +36,11 @@ pub struct ArcherConfig {
     pub node_budget: Option<u64>,
     /// Shadow-cell eviction victim selection.
     pub eviction: EvictionPolicy,
+    /// Live gauge of modeled tool memory (fixed arena + shadow words +
+    /// vector clocks), updated on every accounting pass. Share a clone
+    /// with a metrics registry so the Figure 6–8 memory rows read the
+    /// same measured value the node model charges.
+    pub mem_gauge: MemGauge,
 }
 
 impl Default for ArcherConfig {
@@ -43,6 +49,7 @@ impl Default for ArcherConfig {
             flush_shadow: false,
             node_budget: None,
             eviction: EvictionPolicy::RoundRobin,
+            mem_gauge: MemGauge::new(),
         }
     }
 }
@@ -250,6 +257,10 @@ impl ArcherTool {
         if modeled > state.stats.modeled_tool_bytes {
             state.stats.modeled_tool_bytes = modeled;
         }
+        // The gauge tracks the figures' quantity (fixed arena included):
+        // its live value falls on shadow flushes, its peak is what the
+        // memory rows report.
+        config.mem_gauge.set(ARCHER_FIXED_BYTES + modeled);
         if let Some(budget) = config.node_budget {
             let baseline = match &state.baseline_source {
                 Some(src) => src.load(std::sync::atomic::Ordering::Relaxed),

@@ -374,3 +374,41 @@ fn stats_shape() {
     assert!(!s.oom);
     assert!(s.modeled_tool_bytes >= 64 * 32);
 }
+
+#[test]
+fn mem_gauge_tracks_modeled_memory_live_and_peak() {
+    // The config's gauge must report exactly what the figures plot: its
+    // peak equals modeled_total_bytes(), and a shadow flush (archer-low)
+    // pulls the live value back down while the peak survives.
+    let gauge = sword_metrics::MemGauge::new();
+    let config =
+        ArcherConfig { flush_shadow: true, mem_gauge: gauge.clone(), ..Default::default() };
+    let tool = run_archer(config, |sim| {
+        let a = sim.alloc::<u64>(4096, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.for_static(0..4096, |i| {
+                    w.write(&a, i, i);
+                });
+            });
+        });
+        // Second independent region: the flush between regions must have
+        // dropped the live shadow charge before it refills.
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.for_static(0..8, |i| {
+                    w.write(&a, i, i);
+                });
+            });
+        });
+    });
+    let stats = tool.stats();
+    assert!(stats.flushes >= 1, "archer-low flushed between regions");
+    assert_eq!(gauge.peak(), stats.modeled_total_bytes(), "gauge peak is the figures' quantity");
+    assert!(
+        gauge.live() < gauge.peak(),
+        "post-flush refill stays below the big region's peak ({} vs {})",
+        gauge.live(),
+        gauge.peak()
+    );
+}

@@ -15,6 +15,8 @@
 use sword_bench::Table;
 use sword_compress::{compress_greedy, decompress, Compressor, FrameWriter};
 use sword_metrics::Stopwatch;
+use sword_obs::json::Value;
+use sword_runtime::{run_collected, SwordConfig, SwordStats};
 use sword_trace::{AccessKind, Event, EventEncoder, MemAccess};
 
 /// An OmpSCR-style interval: a few hot PCs doing strided array sweeps
@@ -60,6 +62,79 @@ fn best_secs(iters: usize, mut f: impl FnMut()) -> f64 {
 
 fn mbps(bytes: usize, secs: f64) -> f64 {
     bytes as f64 / 1e6 / secs.max(1e-9)
+}
+
+/// A short end-to-end collected run whose flush counters go into the
+/// machine-readable artifact alongside the microbench numbers.
+fn flush_counter_run() -> (f64, SwordStats) {
+    let dir = std::env::temp_dir().join(format!("sword-hotpath-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sw = Stopwatch::start();
+    let (_, stats) = run_collected(
+        SwordConfig::new(&dir).buffer_events(4096),
+        sword_ompsim::SimConfig::default(),
+        |sim| {
+            let n = 40_000u64;
+            let a = sim.alloc::<u64>(n, 0);
+            sim.run(|ctx| {
+                ctx.parallel(4, |w| {
+                    w.for_static(0..n, |i| w.write(&a, i, i));
+                })
+            });
+        },
+    )
+    .expect("collected run");
+    let secs = sw.secs();
+    let _ = std::fs::remove_dir_all(&dir);
+    (secs, stats)
+}
+
+/// Writes `BENCH_collector.json` (CI uploads it as an artifact):
+/// microbench throughput + codec speedup + the flush counters of a real
+/// collected run.
+fn write_artifact(
+    encode_mevents_per_s: f64,
+    greedy_mbps: f64,
+    accel_mbps: f64,
+    speedup: f64,
+    ratio: f64,
+    decompress_mbps: f64,
+) {
+    let (secs, stats) = flush_counter_run();
+    let f = &stats.flush;
+    let obj = |pairs: Vec<(&str, Value)>| {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let json = obj(vec![
+        ("bench", "collector_hot_path".into()),
+        ("encode_mevents_per_s", encode_mevents_per_s.into()),
+        ("compress_greedy_mbps", greedy_mbps.into()),
+        ("compress_accel_mbps", accel_mbps.into()),
+        ("speedup_over_seed", speedup.into()),
+        ("compression_ratio", ratio.into()),
+        ("decompress_mbps", decompress_mbps.into()),
+        (
+            "collected_run",
+            obj(vec![
+                ("events", stats.events.into()),
+                ("events_per_s", (stats.events as f64 / secs.max(1e-9)).into()),
+                ("flushes", f.flushes.into()),
+                ("stall_nanos", f.stall_nanos.into()),
+                ("compress_nanos", f.compress_nanos.into()),
+                ("write_nanos", f.write_nanos.into()),
+                ("raw_bytes", f.raw_bytes.into()),
+                ("compressed_bytes", f.compressed_bytes.into()),
+                ("tool_memory_bytes", stats.tool_memory_bytes.into()),
+            ]),
+        ),
+    ]);
+    // `cargo bench` runs with the package dir as cwd; anchor the
+    // artifact at the workspace root so CI can pick it up by name.
+    let out = std::env::var("BENCH_COLLECTOR_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_collector.json").to_string()
+    });
+    std::fs::write(&out, json.render()).expect("write BENCH_collector.json");
+    println!("wrote {out}");
 }
 
 fn main() {
@@ -158,5 +233,14 @@ fn main() {
     assert!(
         accel_len as f64 <= greedy_len as f64 * 1.10,
         "speed must not cost ratio: accelerated {accel_len} vs greedy {greedy_len}"
+    );
+
+    write_artifact(
+        events.len() as f64 / 1e6 / enc_secs.max(1e-9),
+        mbps(block.len(), greedy_secs),
+        mbps(block.len(), accel_secs),
+        speedup,
+        block.len() as f64 / accel_len as f64,
+        mbps(block.len(), dec_secs),
     );
 }

@@ -39,9 +39,11 @@ fn main() {
             at.push(archer.secs.max(1e-6));
             alt.push(archer_low.secs.max(1e-6));
             st.push(sword.dynamic_secs.max(1e-6));
-            am.push(archer.stats.modeled_total_bytes().max(1) as f64);
-            alm.push(archer_low.stats.modeled_total_bytes().max(1) as f64);
-            sm.push(sword.collect.tool_memory_bytes.max(1) as f64);
+            // Memory rows come from the live gauges: the archer runs'
+            // MemGauge peaks and the collector gauge in the registry.
+            am.push(archer.mem.peak().max(1) as f64);
+            alm.push(archer_low.mem.peak().max(1) as f64);
+            sm.push(sword.collector_mem_bytes().max(1) as f64);
         }
         let g = |v: &[f64]| geomean(v).unwrap();
         table.row(&[

@@ -47,17 +47,19 @@ fn main() {
                 slowdown(archer.secs),
                 slowdown(archer_low.secs),
                 slowdown(sword.dynamic_secs),
-                format_bytes(archer.stats.modeled_total_bytes()),
-                format_bytes(sword.collect.tool_memory_bytes),
+                // Memory cells from the live gauges (archer MemGauge
+                // peak, collector gauge in sword's registry).
+                format_bytes(archer.mem.peak()),
+                format_bytes(sword.collector_mem_bytes()),
             ]);
             // SWORD's bound: collection memory stays (far) below ARCHER's
             // footprint-proportional shadow on every HPC code.
             assert!(
-                sword.collect.tool_memory_bytes < archer.stats.modeled_total_bytes(),
+                sword.collector_mem_bytes() < archer.mem.peak(),
                 "{}: sword {} !< archer {}",
                 spec.name,
-                sword.collect.tool_memory_bytes,
-                archer.stats.modeled_total_bytes()
+                sword.collector_mem_bytes(),
+                archer.mem.peak()
             );
         }
     }

@@ -32,24 +32,27 @@ fn main() {
         let archer = sword_bench::run_archer(&w, &cfg, false, Some(node.available()));
         let sword = sword_bench::run_sword(&w, &cfg, &format!("f8-amg{n}"));
         let baseline = amg_baseline_bytes(n);
-        let sword_place = node.place(baseline, sword.collect.tool_memory_bytes);
+        // Memory cells come from the live gauges (archer's MemGauge
+        // peak, the collector gauge in sword's registry).
+        let sword_mem = sword.collector_mem_bytes();
+        let sword_place = node.place(baseline, sword_mem);
         assert!(matches!(sword_place, Placement::Fits { .. }), "sword must fit at {n}");
         table.row(&[
             format!("{n}^3"),
             format_bytes(baseline),
-            format_bytes(archer.stats.modeled_total_bytes()),
+            format_bytes(archer.mem.peak()),
             if archer.stats.oom { "OOM".into() } else { "fits".into() },
-            format_bytes(sword.collect.tool_memory_bytes),
+            format_bytes(sword_mem),
             "fits".into(),
             fmt_races(archer.races, archer.stats.oom),
             sword.analysis.race_count().to_string(),
         ]);
         if !archer.stats.oom {
             assert!(
-                archer.stats.modeled_total_bytes() > prev_archer_mem,
+                archer.mem.peak() > prev_archer_mem,
                 "archer memory must grow with the problem size"
             );
-            prev_archer_mem = archer.stats.modeled_total_bytes();
+            prev_archer_mem = archer.mem.peak();
         }
         if n == 40 {
             assert!(archer.stats.oom, "the paper's OOM point");

@@ -11,7 +11,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use archer_sim::{ArcherConfig, ArcherStats, ArcherTool};
-use sword_metrics::{NodeModel, Stopwatch};
+use sword_metrics::{MemGauge, NodeModel, Stopwatch};
+use sword_obs::Obs;
 use sword_offline::{analyze, AnalysisConfig, AnalysisResult, LiveAnalyzer};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordConfig, SwordStats};
@@ -63,6 +64,9 @@ pub struct ArcherRun {
     pub stats: ArcherStats,
     /// Distinct races found (possibly truncated by an OOM kill).
     pub races: usize,
+    /// Live memory gauge the engine updated during the run; the figures
+    /// read their memory rows from `mem.peak()`.
+    pub mem: MemGauge,
 }
 
 /// Runs a workload under the ARCHER baseline. `flush_shadow` selects the
@@ -74,14 +78,19 @@ pub fn run_archer(
     flush_shadow: bool,
     node_budget: Option<u64>,
 ) -> ArcherRun {
-    let tool =
-        Arc::new(ArcherTool::new(ArcherConfig { flush_shadow, node_budget, ..Default::default() }));
+    let mem = MemGauge::new();
+    let tool = Arc::new(ArcherTool::new(ArcherConfig {
+        flush_shadow,
+        node_budget,
+        mem_gauge: mem.clone(),
+        ..Default::default()
+    }));
     let sim = OmpSim::with_tool(tool.clone());
     tool.attach_baseline_source(sim.footprint_handle());
     let sw = Stopwatch::start();
     w.execute(&sim, cfg);
     let secs = sw.secs();
-    ArcherRun { secs, stats: tool.stats(), races: tool.races().len() }
+    ArcherRun { secs, stats: tool.stats(), races: tool.races().len(), mem }
 }
 
 /// Result of one SWORD run (dynamic collection + offline analysis).
@@ -94,6 +103,25 @@ pub struct SwordRun {
     /// Offline analysis output (races + stats incl. OA wall time and the
     /// MT max-task proxy).
     pub analysis: AnalysisResult,
+    /// Observability handles shared by the collector and the analyzer;
+    /// the figures read their memory rows from the registry gauges.
+    pub obs: Obs,
+}
+
+impl SwordRun {
+    /// Collector tool memory from the registry gauge
+    /// (`sword_collector_tool_mem_bytes`), i.e. the same bounded
+    /// footprint `collect.tool_memory_bytes` reports, but sourced from
+    /// the live metrics registry as the figures require.
+    pub fn collector_mem_bytes(&self) -> u64 {
+        self.obs
+            .registry
+            .snapshot()
+            .into_iter()
+            .find(|(name, _)| name == "sword_collector_tool_mem_bytes")
+            .map(|(_, v)| v as u64)
+            .unwrap_or(0)
+    }
 }
 
 /// Runs a workload under the SWORD collector, then analyzes the session.
@@ -112,9 +140,10 @@ pub fn run_sword_with(
 ) -> SwordRun {
     let dir = bench_session_dir(tag);
     let _ = std::fs::remove_dir_all(&dir);
+    let obs = Obs::new();
     let sw = Stopwatch::start();
     let (_, collect) = run_collected(
-        SwordConfig::new(&dir).buffer_events(buffer_events),
+        SwordConfig::new(&dir).buffer_events(buffer_events).with_obs(obs.clone()),
         SimConfig::default(),
         |sim| {
             w.execute(sim, cfg);
@@ -122,9 +151,13 @@ pub fn run_sword_with(
     )
     .expect("sword collection");
     let dynamic_secs = sw.secs();
-    let analysis = analyze(&SessionDir::new(&dir), analysis_config).expect("sword analysis");
+    let ac = match analysis_config.obs {
+        Some(_) => analysis_config.clone(),
+        None => analysis_config.clone().with_obs(obs.clone()),
+    };
+    let analysis = analyze(&SessionDir::new(&dir), &ac).expect("sword analysis");
     let _ = std::fs::remove_dir_all(&dir);
-    SwordRun { dynamic_secs, collect, analysis }
+    SwordRun { dynamic_secs, collect, analysis, obs }
 }
 
 /// Collects a workload into `dir` (replacing any previous session) and
@@ -229,9 +262,12 @@ pub fn run_sword_live(
 ) -> (SwordRun, LiveRun) {
     let dir = bench_session_dir(tag);
     let _ = std::fs::remove_dir_all(&dir);
+    let obs = Obs::new();
     let sw = Stopwatch::start();
     let (_, collect) = run_collected(
-        SwordConfig::new(&dir).buffer_events(sword_runtime::PAPER_BUFFER_EVENTS),
+        SwordConfig::new(&dir)
+            .buffer_events(sword_runtime::PAPER_BUFFER_EVENTS)
+            .with_obs(obs.clone()),
         SimConfig::default(),
         |sim| {
             w.execute(sim, cfg);
@@ -240,11 +276,11 @@ pub fn run_sword_live(
     .expect("sword collection");
     let dynamic_secs = sw.secs();
     let src = SessionDir::new(&dir);
-    let config = AnalysisConfig::default();
+    let config = AnalysisConfig::default().with_obs(obs.clone());
     let analysis = analyze(&src, &config).expect("sword analysis");
     let live = replay_live(&src, &format!("{tag}-live"), &config, step);
     let _ = std::fs::remove_dir_all(&dir);
-    (SwordRun { dynamic_secs, collect, analysis }, live)
+    (SwordRun { dynamic_secs, collect, analysis, obs }, live)
 }
 
 /// Formats seconds for tables (`12.3ms`, `4.56s`).
@@ -278,9 +314,11 @@ mod tests {
         assert!(base.secs >= 0.0);
         let archer = run_archer(w.as_ref(), &cfg, false, None);
         assert_eq!(archer.races, 2);
+        assert_eq!(archer.mem.peak(), archer.stats.modeled_total_bytes());
         let sword = run_sword(w.as_ref(), &cfg, "harness-test");
         assert_eq!(sword.analysis.race_count(), 2);
         assert!(sword.collect.events > 0);
+        assert_eq!(sword.collector_mem_bytes(), sword.collect.tool_memory_bytes);
     }
 
     #[test]

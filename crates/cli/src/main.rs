@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! sword run <workload> [--threads N] [--size S] [--session DIR] [--live]
-//!     Execute a workload under the SWORD collector. `--stats` prints the
-//!     flush-path counters (stalls, compression busy time, ratio).
-//! sword analyze <session-dir> [--workers N] [--ilp] [--stats]
+//!     Execute a workload under the SWORD collector. `--obs` journals
+//!     spans/metrics to `<session>/obs.jsonl`; `--stats` prints the
+//!     metrics-registry snapshot (flush counters, pool gauges, memory).
+//! sword analyze <session-dir> [--workers N] [--ilp] [--stats] [--obs]
 //!     Offline race analysis of a collected session. `--stats` adds the
-//!     stage table and, when recorded, the run's flush-path counters.
-//! sword watch <session-dir> [--interval-ms N] [--timeout-secs N]
+//!     stage table and, when recorded, the run's flush-path counters;
+//!     `--obs` appends pipeline spans to the session's journal.
+//! sword watch <session-dir> [--interval-ms N] [--timeout-secs N] [--obs]
 //!     Incrementally analyze an in-progress session, reporting races as
 //!     their barrier intervals are published.
+//! sword trace export <session-dir> [--format chrome] [--out FILE]
+//!     Convert the session's observability journal to a Chrome
+//!     `trace_event` file (chrome://tracing, ui.perfetto.dev).
+//! sword report <session-dir> [--top N]
+//!     Consolidated run report: flush path, pipeline stages, memory
+//!     peaks vs the paper's 3.3 MB/thread bound, hottest spans.
 //! sword check <workload> [--threads N] [--size S]
 //!     run + analyze in one step, printing races with source locations.
 //! sword compare <workload> [--threads N] [--size S]
@@ -33,6 +41,7 @@ use std::sync::Arc;
 use archer_sim::{ArcherConfig, ArcherTool};
 use sword_fuzz_gen::{run_fuzz, FuzzOptions};
 use sword_metrics::{format_bytes, Stopwatch, Table};
+use sword_obs::{ExportFormat, JournalSink, Layer, Obs, ReportInput};
 use sword_offline::{analyze, AnalysisConfig, LiveAnalyzer, SolverChoice};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordConfig};
@@ -55,17 +64,20 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   sword list
   sword run <workload> [--threads N] [--size S] [--session DIR] [--live]
-                        [--stats]
+                        [--stats] [--obs]
   sword analyze <session-dir> [--workers N] [--ilp] [--json] [--stats]
-                               [--region id,...] [--suppress pat,...]
+                               [--obs] [--region id,...]
+                               [--suppress pat,...]
   sword watch <session-dir> [--interval-ms N] [--timeout-secs N] [--json]
-                             [--stats] [--ilp] [--region id,...]
+                             [--stats] [--obs] [--ilp] [--region id,...]
                              [--suppress pat,...]
+  sword trace export <session-dir> [--format chrome] [--out FILE]
+  sword report <session-dir> [--top N]
   sword check <workload> [--threads N] [--size S]
   sword compare <workload> [--threads N] [--size S]
   sword meta <session-dir>
   sword fuzz [--seed N] [--iters N] [--team N] [--fault-inject]
-             [--corpus DIR]";
+             [--corpus DIR] [--obs]";
 
 /// Minimal flag parser: `--key value` pairs after positional args.
 struct Flags {
@@ -120,6 +132,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "watch" => cmd_watch(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "report" => cmd_report(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "meta" => cmd_meta(&args[1..]),
@@ -156,6 +170,35 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
+/// Renders the metrics-registry snapshot as a table (the `--stats` view).
+fn render_registry(obs: &Obs) -> String {
+    let mut table = Table::new("metrics registry", &["metric", "value"]);
+    for (name, value) in obs.registry.snapshot() {
+        let cell = if value.fract() == 0.0 && value.abs() < 1e15 {
+            format!("{}", value as i64)
+        } else {
+            format!("{value:.3}")
+        };
+        table.row(&[name, cell]);
+    }
+    table.render()
+}
+
+/// Appends the drained journal (plus a final metrics snapshot) to the
+/// session's `obs.jsonl`, creating it when the collection ran without
+/// `--obs`.
+fn append_journal(session: &SessionDir, obs: &Obs) -> Result<(), String> {
+    obs.snapshot_to_journal();
+    let path = session.obs_path();
+    let mut sink =
+        if path.exists() { JournalSink::append(&path) } else { JournalSink::create(&path) }
+            .map_err(|e| e.to_string())?;
+    let mut dropped = 0u64;
+    sink.drain_from(&obs.journal, &mut dropped).map_err(|e| e.to_string())?;
+    println!("observability journal: {}", path.display());
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let (w, cfg, flags) = workload_arg(args)?;
     let session: PathBuf = flags
@@ -169,8 +212,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         // `sword watch` can analyze the session as it grows.
         sword_cfg = sword_cfg.live();
     }
+    // `--stats` reads the metrics registry, so it needs the obs handles
+    // attached even when the journal itself was not asked for.
+    let obs = (flags.has("obs") || flags.has("stats")).then(Obs::new);
+    if let Some(o) = &obs {
+        sword_cfg = sword_cfg.with_obs(o.clone());
+    }
+    let cli_journal = obs.as_ref().map(|o| o.journal.for_thread(Layer::Cli, "cli"));
     let sw = Stopwatch::start();
     let (_, stats) = run_collected(sword_cfg, SimConfig::default(), |sim| {
+        // Scoped so the workload span closes (and is journaled) before
+        // the collector finalizes and drains the rings to obs.jsonl.
+        let _span =
+            cli_journal.as_ref().map(|j| j.span("workload").arg("threads", cfg.threads as f64));
         w.execute(sim, &cfg);
     })
     .map_err(|e| e.to_string())?;
@@ -187,8 +241,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         stats.compression_ratio()
     );
     println!("  bounded tool mem:  {}", format_bytes(stats.tool_memory_bytes));
-    if flags.has("stats") {
-        println!("\n{}", stats.flush.render());
+    if let Some(o) = &obs {
+        if flags.has("stats") {
+            println!("\n{}", render_registry(o));
+        }
+        if flags.has("obs") {
+            // The collector's final drain ran at program end, before the
+            // CLI workload span closed — append the leftover ring
+            // contents (and a post-run snapshot) to the journal.
+            append_journal(&SessionDir::new(&session), o)?;
+            println!("next: sword trace export {0}  |  sword report {0}", session.display());
+        }
     }
     println!("\nnext: sword analyze {}", session.display());
     Ok(())
@@ -236,6 +299,9 @@ fn print_analysis(
         {
             println!("{}", flush.render());
         }
+        if let Some(o) = &config.obs {
+            println!("{}", render_registry(o));
+        }
     }
     Ok(result.races.len())
 }
@@ -255,8 +321,16 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         return Err("missing session directory".into());
     };
     let flags = Flags::parse(&args[1..])?;
-    let config = analysis_config(&flags)?;
-    print_analysis(&SessionDir::new(dir), &config, flags.has("json"), flags.has("stats"))?;
+    let mut config = analysis_config(&flags)?;
+    let obs = flags.has("obs").then(Obs::new);
+    if let Some(o) = &obs {
+        config = config.with_obs(o.clone());
+    }
+    let session = SessionDir::new(dir);
+    print_analysis(&session, &config, flags.has("json"), flags.has("stats"))?;
+    if let Some(o) = &obs {
+        append_journal(&session, o)?;
+    }
     Ok(())
 }
 
@@ -265,7 +339,11 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         return Err("missing session directory".into());
     };
     let flags = Flags::parse(&args[1..])?;
-    let config = analysis_config(&flags)?;
+    let mut config = analysis_config(&flags)?;
+    let obs = flags.has("obs").then(Obs::new);
+    if let Some(o) = &obs {
+        config = config.with_obs(o.clone());
+    }
     let json = flags.has("json");
     let show_stats = flags.has("stats");
     let interval = std::time::Duration::from_millis(flags.get_u64("interval-ms", 200)?);
@@ -332,7 +410,80 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
     }
     if show_stats {
         println!("{}", result.stages.render());
+        if let Some(o) = &obs {
+            println!("{}", render_registry(o));
+        }
     }
+    if let Some(o) = &obs {
+        append_journal(&session, o)?;
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first() else {
+        return Err("missing trace subcommand (try `sword trace export <session-dir>`)".into());
+    };
+    if sub != "export" {
+        return Err(format!("unknown trace subcommand `{sub}` (supported: export)"));
+    }
+    let Some(dir) = args.get(1) else {
+        return Err("missing session directory".into());
+    };
+    let flags = Flags::parse(&args[2..])?;
+    let format = flags.map.get("format").map(String::as_str).unwrap_or("chrome");
+    let ExportFormat::Chrome = ExportFormat::from_name(format)
+        .ok_or_else(|| format!("unknown trace format `{format}` (supported: chrome)"))?;
+    let session = SessionDir::new(dir);
+    let journal_path = session.obs_path();
+    if !journal_path.exists() {
+        return Err(format!(
+            "no observability journal at {} — collect with `sword run --obs` or add one with \
+             `sword analyze --obs`",
+            journal_path.display()
+        ));
+    }
+    let read = sword_obs::read_journal(&journal_path).map_err(|e| e.to_string())?;
+    if read.truncated_tail {
+        eprintln!("warning: torn final journal line (run ended abruptly); exporting intact prefix");
+    }
+    let out = flags
+        .map
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| session.path().join("trace.json"));
+    sword_obs::write_chrome_trace(&out, &read.events).map_err(|e| e.to_string())?;
+    println!("exported {} journal event(s) to {}", read.events.len(), out.display());
+    println!("open in chrome://tracing or https://ui.perfetto.dev");
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let Some(dir) = args.first() else {
+        return Err("missing session directory".into());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    let top_n = flags.get_usize("top", 10)?;
+    let session = SessionDir::new(dir);
+    let journal_path = session.obs_path();
+    if !journal_path.exists() {
+        return Err(format!(
+            "no observability journal at {} — collect with `sword run --obs` or add one with \
+             `sword analyze --obs`",
+            journal_path.display()
+        ));
+    }
+    let read = sword_obs::read_journal(&journal_path).map_err(|e| e.to_string())?;
+    let info = session.read_info().unwrap_or_default();
+    print!(
+        "{}",
+        sword_obs::render_report(&ReportInput {
+            events: read.events,
+            info,
+            truncated_tail: read.truncated_tail,
+            top_n,
+        })
+    );
     Ok(())
 }
 
@@ -473,6 +624,9 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         opts.teams,
         if opts.fault_inject { ", with fault injection" } else { "" }
     );
+    let obs = flags.has("obs").then(Obs::new);
+    let fuzz_journal = obs.as_ref().map(|o| o.journal.for_thread(Layer::Cli, "fuzz"));
+    let campaign_start = fuzz_journal.as_ref().map(|j| j.now_us());
     let sw = Stopwatch::start();
     let every = (opts.iters / 10).max(25);
     let summary = run_fuzz(&opts, |i, so_far| {
@@ -486,9 +640,39 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
                 so_far.failures.len(),
                 sw.secs()
             );
+            if let Some(j) = &fuzz_journal {
+                j.instant(
+                    "fuzz-progress",
+                    vec![
+                        ("iter".to_string(), (i + 1) as f64),
+                        ("failures".to_string(), so_far.failures.len() as f64),
+                    ],
+                );
+            }
         }
     });
     println!("{}", summary.render());
+    if let (Some(o), Some(j), Some(start)) = (&obs, &fuzz_journal, campaign_start) {
+        let dur = j.now_us().saturating_sub(start);
+        j.span_closed(
+            "fuzz-campaign",
+            start,
+            dur,
+            vec![
+                ("iters".to_string(), opts.iters as f64),
+                ("failures".to_string(), summary.failures.len() as f64),
+            ],
+        );
+        // The fuzzer has no session directory; its journal goes to a
+        // standalone file next to the corpus (or in the temp dir).
+        let out_dir = opts.corpus_dir.clone().unwrap_or_else(std::env::temp_dir);
+        std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+        let out = out_dir.join("fuzz-obs.jsonl");
+        let mut sink = JournalSink::create(&out).map_err(|e| e.to_string())?;
+        let mut dropped = 0u64;
+        sink.drain_from(&o.journal, &mut dropped).map_err(|e| e.to_string())?;
+        println!("observability journal: {}", out.display());
+    }
     if summary.failures.is_empty() {
         Ok(())
     } else {
@@ -579,6 +763,131 @@ mod tests {
         run(&s(&["watch", session.to_str().unwrap(), "--stats"])).expect("watch");
         run(&s(&["watch", session.to_str().unwrap(), "--json"])).expect("watch --json");
         std::fs::remove_dir_all(&session).unwrap();
+    }
+
+    #[test]
+    fn obs_run_analyze_export_report_end_to_end() {
+        use sword_obs::json::Value;
+
+        let session = std::env::temp_dir().join(format!("sword-cli-obs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&session);
+        let dir = session.to_str().unwrap();
+        run(&s(&["run", "plusplus-orig-yes", "--session", dir, "--obs", "--stats"]))
+            .expect("run --obs");
+        run(&s(&["analyze", dir, "--obs", "--stats"])).expect("analyze --obs");
+        run(&s(&["trace", "export", dir, "--format", "chrome"])).expect("trace export");
+        run(&s(&["report", dir, "--top", "5"])).expect("report");
+
+        // The exported trace carries spans from all three layers, with
+        // proper nesting per (pid, tid) lane.
+        let text = std::fs::read_to_string(session.join("trace.json")).expect("trace.json");
+        let doc = sword_obs::json::parse(&text).expect("valid chrome trace JSON");
+        let events = doc.get("traceEvents").and_then(Value::as_arr).expect("traceEvents");
+        let spans: Vec<(u64, u64, u64, u64)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .map(|e| {
+                (
+                    e.get("pid").and_then(Value::as_u64).unwrap(),
+                    e.get("tid").and_then(Value::as_u64).unwrap(),
+                    e.get("ts").and_then(Value::as_u64).unwrap(),
+                    e.get("dur").and_then(Value::as_u64).unwrap(),
+                )
+            })
+            .collect();
+        for pid in [Layer::Runtime.pid(), Layer::Offline.pid(), Layer::Cli.pid()] {
+            assert!(
+                spans.iter().any(|(p, ..)| *p == pid),
+                "expected complete spans from layer pid {pid}"
+            );
+        }
+        // Nesting: two spans on the same lane either nest or are
+        // disjoint — partial overlap would mean corrupt span bounds.
+        for (i, a) in spans.iter().enumerate() {
+            for b in &spans[i + 1..] {
+                if (a.0, a.1) != (b.0, b.1) {
+                    continue;
+                }
+                let (a0, a1) = (a.2, a.2 + a.3);
+                let (b0, b1) = (b.2, b.2 + b.3);
+                let disjoint = a1 <= b0 || b1 <= a0;
+                let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+                assert!(
+                    disjoint || nested,
+                    "partially overlapping spans on pid {} tid {}: [{a0},{a1}) vs [{b0},{b1})",
+                    a.0,
+                    a.1
+                );
+            }
+        }
+        // Per-thread ordering: each lane's instant events appear in
+        // nondecreasing timestamp order (ring drains preserve program
+        // order within a thread).
+        let mut last_instant: std::collections::BTreeMap<(u64, u64), u64> = Default::default();
+        for e in events {
+            if e.get("ph").and_then(Value::as_str) != Some("i") {
+                continue;
+            }
+            let key = (
+                e.get("pid").and_then(Value::as_u64).unwrap(),
+                e.get("tid").and_then(Value::as_u64).unwrap(),
+            );
+            let ts = e.get("ts").and_then(Value::as_u64).unwrap();
+            if let Some(prev) = last_instant.insert(key, ts) {
+                assert!(prev <= ts, "instants out of order on lane {key:?}");
+            }
+        }
+
+        // The report sources its memory section from the journaled
+        // registry snapshots (collector gauge + analyzer tree gauges)
+        // and checks them against the paper's per-thread bound.
+        let read = sword_obs::read_journal(&SessionDir::new(&session).obs_path()).unwrap();
+        let info = SessionDir::new(&session).read_info().unwrap();
+        let report = sword_obs::render_report(&ReportInput {
+            events: read.events,
+            info,
+            truncated_tail: read.truncated_tail,
+            top_n: 10,
+        });
+        assert!(report.contains("sword_collector_tool_mem_bytes"), "collector gauge:\n{report}");
+        assert!(report.contains("sword_analyzer_tree_mem_peak_bytes"), "tree gauge:\n{report}");
+        assert!(report.contains("within"), "memory must sit within the paper bound:\n{report}");
+        assert!(report.contains("3.30 MB"), "per-thread bound quoted:\n{report}");
+
+        // Error paths: unknown format, journal-less session.
+        assert!(run(&s(&["trace", "export", dir, "--format", "svg"])).is_err());
+        let bare = std::env::temp_dir().join(format!("sword-cli-bare-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&bare);
+        SessionDir::new(&bare).create().unwrap();
+        assert!(run(&s(&["report", bare.to_str().unwrap()])).is_err());
+        assert!(run(&s(&["trace", "export", bare.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&bare).unwrap();
+        std::fs::remove_dir_all(&session).unwrap();
+    }
+
+    #[test]
+    fn fuzz_obs_writes_standalone_journal() {
+        let corpus = std::env::temp_dir().join(format!("sword-fuzz-obs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&corpus);
+        run(&s(&[
+            "fuzz",
+            "--seed",
+            "3",
+            "--iters",
+            "2",
+            "--team",
+            "2",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--obs",
+        ]))
+        .expect("fuzz --obs");
+        let read = sword_obs::read_journal(&corpus.join("fuzz-obs.jsonl")).expect("fuzz journal");
+        assert!(
+            read.events.iter().any(|e| e.layer == Layer::Cli && e.name == "fuzz-campaign"),
+            "campaign span journaled"
+        );
+        std::fs::remove_dir_all(&corpus).unwrap();
     }
 
     #[test]

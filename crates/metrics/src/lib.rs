@@ -75,6 +75,14 @@ impl MemGauge {
         }
     }
 
+    /// Sets the live value directly, keeping the peak (for tools that
+    /// recompute a modeled total rather than tracking alloc/free deltas,
+    /// e.g. archer-sim's shadow/VC accounting).
+    pub fn set(&self, bytes: u64) {
+        self.inner.live.store(bytes, Ordering::Relaxed);
+        self.inner.peak.fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// Currently live bytes.
     pub fn live(&self) -> u64 {
         self.inner.live.load(Ordering::Relaxed)
@@ -230,7 +238,12 @@ pub fn format_bytes(bytes: u64) -> String {
     const UNITS: [(&str, u64); 4] = [("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10), ("B", 1)];
     for (name, size) in UNITS {
         if bytes >= size {
-            return format!("{:.2} {}", bytes as f64 / size as f64, name);
+            // Plain bytes are exact: no fractional digits.
+            return if size == 1 {
+                format!("{bytes} {name}")
+            } else {
+                format!("{:.2} {}", bytes as f64 / size as f64, name)
+            };
         }
     }
     "0 B".to_string()
@@ -572,6 +585,17 @@ mod tests {
     }
 
     #[test]
+    fn gauge_set_keeps_peak() {
+        let g = MemGauge::new();
+        g.set(500);
+        g.set(200);
+        assert_eq!(g.live(), 200);
+        assert_eq!(g.peak(), 500);
+        g.set(900);
+        assert_eq!((g.live(), g.peak()), (900, 900));
+    }
+
+    #[test]
     fn gauge_is_shared_across_clones() {
         let g = MemGauge::new();
         let g2 = g.clone();
@@ -651,7 +675,8 @@ mod tests {
     #[test]
     fn format_bytes_units() {
         assert_eq!(format_bytes(0), "0 B");
-        assert_eq!(format_bytes(512), "512.00 B");
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(1023), "1023 B");
         assert_eq!(format_bytes(2 << 20), "2.00 MB");
         assert_eq!(format_bytes(3 << 30), "3.00 GB");
         assert_eq!(format_bytes((33 << 20) / 10), "3.30 MB");

@@ -1,0 +1,187 @@
+//! Trace export: journal events → Chrome `trace_event` JSON.
+//!
+//! The output loads directly in `chrome://tracing` or Perfetto. Each
+//! [`Layer`](crate::Layer) becomes a synthetic process row, each
+//! recording thread a
+//! named thread row; spans become complete (`"X"`) events, instants
+//! become `"i"` events, and `metrics` snapshots become counter (`"C"`)
+//! tracks so gauges render as area charts over the timeline.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::journal::JournalEvent;
+use crate::json::Value;
+
+/// Supported export formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// Chrome `trace_event` JSON (array-of-events object form).
+    Chrome,
+}
+
+impl ExportFormat {
+    /// Parses a `--format` flag value.
+    pub fn from_name(s: &str) -> Option<ExportFormat> {
+        match s {
+            "chrome" => Some(ExportFormat::Chrome),
+            _ => None,
+        }
+    }
+}
+
+/// Converts journal events into a Chrome `trace_event` document.
+pub fn chrome_trace(events: &[JournalEvent]) -> Value {
+    let mut out = Vec::new();
+    // Assign stable integer tids per (layer, thread label) in
+    // first-seen order, and emit metadata naming events up front.
+    let mut tids: BTreeMap<(u64, String), u64> = BTreeMap::new();
+    let mut next_tid = 1;
+    let mut seen_pids: Vec<u64> = Vec::new();
+    for event in events {
+        let pid = event.layer.pid();
+        if !seen_pids.contains(&pid) {
+            seen_pids.push(pid);
+            out.push(metadata_event(
+                "process_name",
+                pid,
+                0,
+                format!("sword: {}", event.layer.as_str()),
+            ));
+        }
+        let key = (pid, event.thread.clone());
+        if !tids.contains_key(&key) {
+            tids.insert(key.clone(), next_tid);
+            out.push(metadata_event("thread_name", pid, next_tid, event.thread.clone()));
+            out.push(Value::Obj(vec![
+                ("name".to_string(), Value::Str("thread_sort_index".to_string())),
+                ("ph".to_string(), Value::Str("M".to_string())),
+                ("pid".to_string(), Value::Num(pid as f64)),
+                ("tid".to_string(), Value::Num(next_tid as f64)),
+                (
+                    "args".to_string(),
+                    Value::Obj(vec![("sort_index".to_string(), Value::Num(next_tid as f64))]),
+                ),
+            ]));
+            next_tid += 1;
+        }
+        let tid = tids[&key];
+        out.push(trace_event(event, pid, tid));
+    }
+    Value::Obj(vec![
+        ("traceEvents".to_string(), Value::Arr(out)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ])
+}
+
+fn metadata_event(name: &str, pid: u64, tid: u64, value: String) -> Value {
+    Value::Obj(vec![
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::Num(pid as f64)),
+        ("tid".to_string(), Value::Num(tid as f64)),
+        ("args".to_string(), Value::Obj(vec![("name".to_string(), Value::Str(value))])),
+    ])
+}
+
+fn trace_event(event: &JournalEvent, pid: u64, tid: u64) -> Value {
+    let args: Vec<(String, Value)> =
+        event.args.iter().map(|(k, v)| (k.clone(), Value::Num(*v))).collect();
+    let mut pairs = vec![
+        ("name".to_string(), Value::Str(event.name.clone())),
+        ("cat".to_string(), Value::Str(event.layer.as_str().to_string())),
+        ("pid".to_string(), Value::Num(pid as f64)),
+        ("tid".to_string(), Value::Num(tid as f64)),
+        ("ts".to_string(), Value::Num(event.t_us as f64)),
+    ];
+    match event.dur_us {
+        Some(dur) => {
+            pairs.push(("ph".to_string(), Value::Str("X".to_string())));
+            pairs.push(("dur".to_string(), Value::Num(dur as f64)));
+        }
+        None if event.name == "metrics" => {
+            pairs.push(("ph".to_string(), Value::Str("C".to_string())));
+        }
+        None => {
+            pairs.push(("ph".to_string(), Value::Str("i".to_string())));
+            pairs.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+    }
+    if !args.is_empty() {
+        pairs.push(("args".to_string(), Value::Obj(args)));
+    }
+    Value::Obj(pairs)
+}
+
+/// Renders journal events to a Chrome trace file.
+pub fn write_chrome_trace(path: &Path, events: &[JournalEvent]) -> io::Result<()> {
+    let doc = chrome_trace(events);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(doc.render().as_bytes())?;
+    file.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Layer;
+
+    fn ev(layer: Layer, thread: &str, name: &str, t: u64, dur: Option<u64>) -> JournalEvent {
+        JournalEvent {
+            layer,
+            thread: thread.to_string(),
+            name: name.to_string(),
+            t_us: t,
+            dur_us: dur,
+            args: vec![("bytes".to_string(), 10.0)],
+        }
+    }
+
+    #[test]
+    fn export_shapes_spans_instants_and_counters() {
+        let events = vec![
+            ev(Layer::Runtime, "app-0", "flush-handoff", 5, Some(20)),
+            ev(Layer::Runtime, "writer", "write", 10, Some(3)),
+            ev(Layer::Offline, "analyzer", "build-structure", 40, Some(8)),
+            JournalEvent {
+                layer: Layer::Cli,
+                thread: "metrics".to_string(),
+                name: "metrics".to_string(),
+                t_us: 50,
+                dur_us: None,
+                args: vec![("queue".to_string(), 2.0)],
+            },
+            ev(Layer::Runtime, "app-0", "publish", 60, None),
+        ];
+        let doc = chrome_trace(&events);
+        let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+
+        // 3 process_name + 4 thread_name + 4 sort_index + 5 events.
+        assert_eq!(items.len(), 16);
+        let phase = |v: &Value| v.get("ph").unwrap().as_str().unwrap().to_string();
+        let by_name = |n: &str| {
+            items.iter().find(|v| v.get("name").unwrap().as_str() == Some(n)).unwrap().clone()
+        };
+        assert_eq!(phase(&by_name("flush-handoff")), "X");
+        assert_eq!(by_name("flush-handoff").get("dur").unwrap().as_u64(), Some(20));
+        assert_eq!(phase(&by_name("metrics")), "C");
+        assert_eq!(phase(&by_name("publish")), "i");
+
+        // Layers map to distinct pids; same thread label shares a tid.
+        assert_eq!(by_name("flush-handoff").get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(by_name("build-structure").get("pid").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            by_name("flush-handoff").get("tid").unwrap().as_u64(),
+            by_name("publish").get("tid").unwrap().as_u64()
+        );
+        assert_ne!(
+            by_name("flush-handoff").get("tid").unwrap().as_u64(),
+            by_name("write").get("tid").unwrap().as_u64()
+        );
+
+        // Round-trips through our own parser (valid JSON).
+        let text = doc.render();
+        assert_eq!(crate::json::parse(&text).unwrap(), doc);
+    }
+}

@@ -1,0 +1,85 @@
+//! Structured observability for the SWORD stack.
+//!
+//! The tool's headline claim is operational — a bounded `N x (B + C)`
+//! footprint and a flush path off the app's critical path — so the
+//! observability layer obeys the same discipline it measures:
+//!
+//! - [`journal`]: scoped spans and instant events recorded into bounded
+//!   per-thread ring buffers (overflow drops and counts, never grows),
+//!   drained incrementally to a JSONL file next to the session so a
+//!   crashed run's telemetry survives for postmortem.
+//! - [`registry`]: named counter/gauge/histogram handles plus
+//!   read-on-demand sources wrapping the pre-existing ad-hoc metrics
+//!   (`FlushCounters`, `MemGauge`, pool occupancy), with Prometheus text
+//!   exposition and periodic snapshots appended to the journal.
+//! - [`export`]: `sword trace export --format chrome` renders the
+//!   journal as a Chrome `trace_event` timeline (one process row per
+//!   layer, one thread row per recording thread).
+//! - [`report`]: `sword report` renders a consolidated run report —
+//!   flush path, pipeline stages, memory peaks against the paper's
+//!   3.3 MB/thread bound, and the hottest spans.
+//!
+//! The crate is std-only (the journal must be readable without any
+//! external JSON dependency, so [`json`] carries a minimal parser).
+
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod journal;
+pub mod json;
+pub mod registry;
+pub mod report;
+
+pub use export::{chrome_trace, write_chrome_trace, ExportFormat};
+pub use journal::{
+    read_journal, Journal, JournalEvent, JournalRead, JournalSink, Layer, Span, ThreadJournal,
+    DEFAULT_RING_CAPACITY,
+};
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use report::{render_report, ReportInput, PAPER_PER_THREAD_BOUND_BYTES};
+
+/// One observability context: a journal plus a registry, shared by every
+/// layer of a run (the collector, the offline pass, and the CLI clone
+/// the same handle).
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    /// The span/event journal.
+    pub journal: Journal,
+    /// The metrics registry.
+    pub registry: Registry,
+}
+
+impl Obs {
+    /// Creates a fresh context with default ring capacity.
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// Creates a context with a custom per-thread ring capacity.
+    pub fn with_ring_capacity(capacity: usize) -> Obs {
+        Obs { journal: Journal::new(capacity), registry: Registry::new() }
+    }
+
+    /// Appends a registry snapshot event to the journal, so the next
+    /// drain persists it (renders as counter tracks in the Chrome
+    /// export).
+    pub fn snapshot_to_journal(&self) {
+        self.journal.record(self.registry.snapshot_event(&self.journal));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_to_journal_lands_in_drain() {
+        let obs = Obs::new();
+        obs.registry.counter("n", "help").add(2);
+        obs.snapshot_to_journal();
+        let events = obs.journal.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "metrics");
+        assert_eq!(events[0].args, vec![("n".to_string(), 2.0)]);
+    }
+}

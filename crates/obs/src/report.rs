@@ -1,0 +1,291 @@
+//! Consolidated run report: flush path, pipeline stages, memory peaks
+//! against the paper's per-thread bound, and the top-N hottest spans —
+//! all derived from the session's journal and info file.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::journal::{JournalEvent, Layer};
+
+/// The paper's per-thread tool-memory bound: two 25,000-event buffers
+/// plus runtime bookkeeping, quoted as "less than 3.3 MB per thread"
+/// (PAPER.md §IV).
+pub const PAPER_PER_THREAD_BOUND_BYTES: u64 = 3_460_300;
+
+/// Inputs to [`render_report`].
+#[derive(Clone, Debug, Default)]
+pub struct ReportInput {
+    /// Journal events (possibly from a torn journal).
+    pub events: Vec<JournalEvent>,
+    /// Session `session.meta` key/value info, when available.
+    pub info: BTreeMap<String, String>,
+    /// True when the journal had a torn final line.
+    pub truncated_tail: bool,
+    /// How many hottest spans to list.
+    pub top_n: usize,
+}
+
+struct SpanAgg {
+    layer: Layer,
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// Renders the consolidated run report as plain text.
+pub fn render_report(input: &ReportInput) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SWORD run report");
+    let _ = writeln!(out, "================");
+
+    // --- Journal overview -------------------------------------------------
+    let mut per_layer: BTreeMap<Layer, u64> = BTreeMap::new();
+    let mut dropped = 0u64;
+    for e in &input.events {
+        *per_layer.entry(e.layer).or_insert(0) += 1;
+        if e.name == "dropped_events" {
+            dropped += e.args.iter().find(|(k, _)| k == "count").map_or(0, |(_, v)| *v as u64);
+        }
+    }
+    let layers: Vec<String> =
+        per_layer.iter().map(|(layer, n)| format!("{} {}", layer.as_str(), n)).collect();
+    let _ = writeln!(
+        out,
+        "journal: {} events ({})",
+        input.events.len(),
+        if layers.is_empty() { "empty".to_string() } else { layers.join(", ") }
+    );
+    if dropped > 0 {
+        let _ = writeln!(out, "journal: {dropped} events dropped at ring capacity");
+    }
+    if input.truncated_tail {
+        let _ = writeln!(out, "journal: torn final line skipped (run ended abruptly)");
+    }
+
+    // --- Flush path (from persisted session info) -------------------------
+    if let Some(flushes) = input.info.get("flush_count") {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "flush path");
+        let _ = writeln!(out, "----------");
+        let get = |k: &str| input.info.get(k).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+        let raw = get("flush_raw_bytes");
+        let compressed = get("flush_compressed_bytes");
+        let ratio = if compressed > 0 { raw as f64 / compressed as f64 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "flushes {flushes}  raw {}  compressed {}  ratio {ratio:.2}x",
+            format_bytes(raw),
+            format_bytes(compressed),
+        );
+        let _ = writeln!(
+            out,
+            "app-thread stall {:.2} ms  compress {:.2} ms  write {:.2} ms",
+            get("flush_stall_nanos") as f64 / 1e6,
+            get("flush_compress_nanos") as f64 / 1e6,
+            get("flush_write_nanos") as f64 / 1e6,
+        );
+    }
+
+    // --- Pipeline stages (offline-layer spans, aggregated) ----------------
+    let stage_rows = aggregate_spans(&input.events, Some(Layer::Offline));
+    if !stage_rows.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "offline pipeline stages");
+        let _ = writeln!(out, "-----------------------");
+        for (name, agg) in &stage_rows {
+            let _ = writeln!(
+                out,
+                "{name:<18} calls {:<6} total {:>9.2} ms  max {:>8.2} ms",
+                agg.count,
+                agg.total_us as f64 / 1e3,
+                agg.max_us as f64 / 1e3,
+            );
+        }
+    }
+
+    // --- Memory peaks vs the paper bound ----------------------------------
+    let snapshot = last_metrics_snapshot(&input.events);
+    let mem_keys: Vec<(String, f64)> = snapshot
+        .iter()
+        .filter(|(k, _)| k.contains("bytes") && !k.starts_with("flush_"))
+        .cloned()
+        .collect();
+    if !mem_keys.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "memory");
+        let _ = writeln!(out, "------");
+        let threads = input.info.get("threads").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+        let bound = threads * PAPER_PER_THREAD_BOUND_BYTES;
+        for (name, value) in &mem_keys {
+            let bytes = *value as u64;
+            let mut line = format!("{name:<34} {:>12}", format_bytes(bytes));
+            if bound > 0 && name.contains("mem") {
+                let verdict = if bytes <= bound { "within" } else { "EXCEEDS" };
+                let _ = write!(
+                    line,
+                    "  ({verdict} {threads}x{} = {} bound)",
+                    format_bytes(PAPER_PER_THREAD_BOUND_BYTES),
+                    format_bytes(bound),
+                );
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    // --- Hottest spans ----------------------------------------------------
+    let mut hottest: Vec<(String, SpanAgg)> = aggregate_spans(&input.events, None);
+    hottest.sort_by_key(|(_, agg)| std::cmp::Reverse(agg.total_us));
+    if !hottest.is_empty() {
+        let top_n = if input.top_n == 0 { 10 } else { input.top_n };
+        let _ = writeln!(out);
+        let _ = writeln!(out, "hottest spans (top {})", top_n.min(hottest.len()));
+        let _ = writeln!(out, "-------------");
+        for (name, agg) in hottest.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "{:<8} {name:<22} calls {:<7} total {:>9.2} ms  max {:>8.2} ms",
+                agg.layer.as_str(),
+                agg.count,
+                agg.total_us as f64 / 1e3,
+                agg.max_us as f64 / 1e3,
+            );
+        }
+    }
+    out
+}
+
+fn aggregate_spans(events: &[JournalEvent], layer: Option<Layer>) -> Vec<(String, SpanAgg)> {
+    let mut rows: Vec<(String, SpanAgg)> = Vec::new();
+    for e in events {
+        let Some(dur) = e.dur_us else { continue };
+        if layer.is_some_and(|l| e.layer != l) {
+            continue;
+        }
+        match rows.iter_mut().find(|(name, agg)| *name == e.name && agg.layer == e.layer) {
+            Some((_, agg)) => {
+                agg.count += 1;
+                agg.total_us += dur;
+                agg.max_us = agg.max_us.max(dur);
+            }
+            None => rows.push((
+                e.name.clone(),
+                SpanAgg { layer: e.layer, count: 1, total_us: dur, max_us: dur },
+            )),
+        }
+    }
+    rows
+}
+
+/// The merged view of all `metrics` snapshot events: the latest value
+/// per key, in first-seen key order. Journals accumulate snapshots from
+/// several registries (the collector's at run time, the analyzer's when
+/// `analyze --obs` appends), so folding — rather than taking only the
+/// final event — keeps every layer's gauges visible.
+pub fn last_metrics_snapshot(events: &[JournalEvent]) -> Vec<(String, f64)> {
+    let mut merged: Vec<(String, f64)> = Vec::new();
+    for e in events.iter().filter(|e| e.name == "metrics") {
+        for (key, value) in &e.args {
+            match merged.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v = *value,
+                None => merged.push((key.clone(), *value)),
+            }
+        }
+    }
+    merged
+}
+
+/// Human-readable byte count; integral bytes below 1 KiB.
+fn format_bytes(bytes: u64) -> String {
+    const UNITS: [(&str, u64); 4] = [("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10), ("B", 1)];
+    for (name, size) in UNITS {
+        if bytes >= size {
+            return if size == 1 {
+                format!("{bytes} {name}")
+            } else {
+                format!("{:.2} {}", bytes as f64 / size as f64, name)
+            };
+        }
+    }
+    "0 B".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(layer: Layer, thread: &str, name: &str, t: u64, dur: u64) -> JournalEvent {
+        JournalEvent {
+            layer,
+            thread: thread.to_string(),
+            name: name.to_string(),
+            t_us: t,
+            dur_us: Some(dur),
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut info = BTreeMap::new();
+        info.insert("threads".to_string(), "4".to_string());
+        info.insert("flush_count".to_string(), "12".to_string());
+        info.insert("flush_raw_bytes".to_string(), "1048576".to_string());
+        info.insert("flush_compressed_bytes".to_string(), "262144".to_string());
+        info.insert("flush_stall_nanos".to_string(), "5000000".to_string());
+        info.insert("flush_compress_nanos".to_string(), "9000000".to_string());
+        info.insert("flush_write_nanos".to_string(), "2000000".to_string());
+        let events = vec![
+            span(Layer::Runtime, "app-0", "flush-handoff", 0, 100),
+            span(Layer::Runtime, "app-0", "flush-handoff", 200, 300),
+            span(Layer::Offline, "analyzer", "build-structure", 500, 900),
+            JournalEvent {
+                layer: Layer::Cli,
+                thread: "metrics".to_string(),
+                name: "metrics".to_string(),
+                t_us: 999,
+                dur_us: None,
+                args: vec![
+                    ("sword_collector_tool_mem_bytes".to_string(), 2_000_000.0),
+                    ("sword_oa_tree_mem_bytes_peak".to_string(), 40_000.0),
+                    ("flush_raw_bytes".to_string(), 1.0),
+                ],
+            },
+            JournalEvent {
+                layer: Layer::Cli,
+                thread: "journal".to_string(),
+                name: "dropped_events".to_string(),
+                t_us: 1000,
+                dur_us: None,
+                args: vec![("count".to_string(), 3.0)],
+            },
+        ];
+        let report = render_report(&ReportInput { events, info, truncated_tail: true, top_n: 5 });
+        assert!(report.contains("flush path"));
+        assert!(report.contains("ratio 4.00x"));
+        assert!(report.contains("build-structure"));
+        assert!(report.contains("sword_collector_tool_mem_bytes"));
+        assert!(report.contains("within 4x3.30 MB"));
+        assert!(report.contains("hottest spans"));
+        assert!(report.contains("flush-handoff"));
+        assert!(report.contains("3 events dropped at ring capacity"));
+        assert!(report.contains("torn final line"));
+        // flush_ keys from snapshots are excluded from the memory table.
+        assert!(!report.contains("flush_raw_bytes        "));
+    }
+
+    #[test]
+    fn bound_verdict_flags_excess() {
+        let mut info = BTreeMap::new();
+        info.insert("threads".to_string(), "1".to_string());
+        let events = vec![JournalEvent {
+            layer: Layer::Cli,
+            thread: "metrics".to_string(),
+            name: "metrics".to_string(),
+            t_us: 0,
+            dur_us: None,
+            args: vec![("sword_collector_tool_mem_bytes".to_string(), 1e9)],
+        }];
+        let report = render_report(&ReportInput { events, info, truncated_tail: false, top_n: 3 });
+        assert!(report.contains("EXCEEDS"));
+    }
+}

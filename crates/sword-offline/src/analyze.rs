@@ -4,7 +4,8 @@
 use std::io;
 use std::time::Instant;
 
-use sword_metrics::StageTable;
+use sword_metrics::{MemGauge, StageTable};
+use sword_obs::{Layer, Obs, ThreadJournal};
 use sword_trace::{PcTable, SessionDir};
 
 use crate::build::DEFAULT_CHUNK_BYTES;
@@ -45,6 +46,14 @@ pub struct AnalysisConfig {
     /// triaged-benign races like HPCCG's same-value norm write while
     /// hunting new ones).
     pub suppressions: Vec<String>,
+    /// Observability sink (`--obs`): pipeline stages and per-task spans
+    /// go to its journal, solver latency and tree memory to its registry.
+    /// `None` (the default) keeps the analyzer entirely uninstrumented.
+    pub obs: Option<Obs>,
+    /// Live bytes held in interval trees, updated as workers (or the
+    /// live analyzer's cache) build and drop trees. Shared by `clone`;
+    /// its peak is the analyzer's measured tree memory (Figures 6–8).
+    pub mem_gauge: MemGauge,
 }
 
 impl Default for AnalysisConfig {
@@ -55,6 +64,8 @@ impl Default for AnalysisConfig {
             solver: SolverChoice::Diophantine,
             focus_regions: None,
             suppressions: Vec::new(),
+            obs: None,
+            mem_gauge: MemGauge::new(),
         }
     }
 }
@@ -94,6 +105,44 @@ impl AnalysisConfig {
     pub fn with_suppression(mut self, pattern: impl Into<String>) -> Self {
         self.suppressions.push(pattern.into());
         self
+    }
+
+    /// Attaches an observability sink (journal + metrics registry).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The analyzer's journal recorder for `thread`, when `--obs` is on.
+    pub(crate) fn journal_for(&self, thread: impl Into<String>) -> Option<ThreadJournal> {
+        self.obs.as_ref().map(|o| o.journal.for_thread(Layer::Offline, thread))
+    }
+
+    /// The solver-latency histogram handle, when `--obs` is on.
+    pub(crate) fn solver_hist(&self) -> Option<sword_obs::Histogram> {
+        self.obs.as_ref().map(|o| {
+            o.registry
+                .histogram("sword_solver_call_nanos", "Exact strided-overlap solve latency (ns)")
+        })
+    }
+
+    /// Registers the tree-memory gauge as registry sources (idempotent:
+    /// re-registering replaces the previous closure over the same gauge).
+    pub(crate) fn register_mem_sources(&self) {
+        if let Some(obs) = &self.obs {
+            let g = self.mem_gauge.clone();
+            obs.registry.source(
+                "sword_analyzer_tree_mem_bytes",
+                "Live bytes held in the analyzer's interval trees",
+                move || g.live() as f64,
+            );
+            let g = self.mem_gauge.clone();
+            obs.registry.source(
+                "sword_analyzer_tree_mem_peak_bytes",
+                "Peak bytes held in the analyzer's interval trees",
+                move || g.peak() as f64,
+            );
+        }
     }
 }
 
@@ -183,16 +232,36 @@ impl AnalysisResult {
     }
 }
 
+/// Records one finished stage into the analyzer's journal (no-op when
+/// observability is off): the span covers `[start of stage, now]` on the
+/// given recorder, with one summary argument.
+pub(crate) fn journal_stage(
+    journal: &Option<ThreadJournal>,
+    name: &str,
+    start_us: Option<u64>,
+    arg: (&str, f64),
+) {
+    if let (Some(j), Some(start)) = (journal, start_us) {
+        let dur = j.now_us().saturating_sub(start);
+        j.span_closed(name, start, dur, vec![(arg.0.to_string(), arg.1)]);
+    }
+}
+
 /// Loads a session directory and analyzes it, timing the discover and
 /// load-meta stages along with the pipeline proper.
 pub fn analyze(dir: &SessionDir, config: &AnalysisConfig) -> io::Result<AnalysisResult> {
+    let journal = config.journal_for("analyzer");
     let mut stages = StageTable::new();
     let t0 = Instant::now();
+    let s0 = journal.as_ref().map(|j| j.now_us());
     let threads = dir.thread_ids()?;
     stages.record("discover", t0.elapsed().as_secs_f64(), threads.len() as u64, 0);
+    journal_stage(&journal, "discover", s0, ("threads", threads.len() as f64));
     let t0 = Instant::now();
+    let s0 = journal.as_ref().map(|j| j.now_us());
     let session = LoadedSession::load(dir)?;
     stages.record("load-meta", t0.elapsed().as_secs_f64(), session.interval_count() as u64, 0);
+    journal_stage(&journal, "load-meta", s0, ("intervals", session.interval_count() as f64));
     analyze_with_stages(&session, config, stages)
 }
 
@@ -210,9 +279,13 @@ fn analyze_with_stages(
     mut stages: StageTable,
 ) -> io::Result<AnalysisResult> {
     let start = Instant::now();
+    let journal = config.journal_for("analyzer");
+    config.register_mem_sources();
     let t0 = Instant::now();
+    let s0 = journal.as_ref().map(|j| j.now_us());
     let structure = build_structure(session)?;
     stages.record("build-structure", t0.elapsed().as_secs_f64(), structure.groups.len() as u64, 0);
+    journal_stage(&journal, "build-structure", s0, ("groups", structure.groups.len() as f64));
     let mut stats = AnalysisStats {
         threads: session.threads.len() as u64,
         barrier_intervals: session.interval_count() as u64,

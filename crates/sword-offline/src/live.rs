@@ -27,7 +27,8 @@ use std::fs::File;
 use std::io::{self, BufReader};
 use std::time::Instant;
 
-use sword_metrics::StageTable;
+use sword_metrics::{MemGauge, StageTable};
+use sword_obs::{Gauge, Histogram, ThreadJournal};
 use sword_osl::{Label, Ordering as OslOrdering};
 use sword_trace::{PcTable, RegionRecord, SessionDir, SessionPoller, ThreadId};
 
@@ -58,6 +59,9 @@ struct TreeCache {
     clock: u64,
     nodes_held: usize,
     node_budget: usize,
+    /// Cached tree bytes, charged on insert and credited on eviction, so
+    /// the analyzer's memory gauge covers the live path's cache too.
+    mem: MemGauge,
 }
 
 struct CacheEntry {
@@ -66,8 +70,8 @@ struct CacheEntry {
 }
 
 impl TreeCache {
-    fn new(node_budget: usize) -> Self {
-        TreeCache { entries: HashMap::new(), clock: 0, nodes_held: 0, node_budget }
+    fn new(node_budget: usize, mem: MemGauge) -> Self {
+        TreeCache { entries: HashMap::new(), clock: 0, nodes_held: 0, node_budget, mem }
     }
 
     /// Builds and caches the tree for `member` unless already present.
@@ -94,6 +98,7 @@ impl TreeCache {
         stats.events += tree.accesses;
         stats.bytes_read += tree.bytes_read;
         self.nodes_held += tree.node_count();
+        self.mem.alloc(tree.approx_bytes());
         self.entries.insert(key, CacheEntry { last_use: self.clock, tree });
         Ok(())
     }
@@ -111,6 +116,7 @@ impl TreeCache {
             let Some(key) = victim else { break };
             if let Some(e) = self.entries.remove(&key) {
                 self.nodes_held -= e.tree.node_count();
+                self.mem.free(e.tree.approx_bytes());
             }
         }
     }
@@ -161,11 +167,26 @@ pub struct LiveAnalyzer {
     pool: ReaderPool,
     poll_secs: Vec<f64>,
     finished: bool,
+    /// `--obs` recorders (all `None` when observability is off): the
+    /// poller's journal thread, the publish-staleness gauge, and the
+    /// solver-latency histogram shared with the batch pipeline.
+    journal: Option<ThreadJournal>,
+    lag_gauge: Option<Gauge>,
+    solver_hist: Option<Histogram>,
 }
 
 impl LiveAnalyzer {
     /// Creates an analyzer that has ingested nothing yet.
     pub fn new(dir: &SessionDir, config: &AnalysisConfig) -> Self {
+        config.register_mem_sources();
+        let journal = config.journal_for("live-poller");
+        let lag_gauge = config.obs.as_ref().map(|o| {
+            o.registry.gauge(
+                "sword_live_poller_lag_us",
+                "Age of the newest watermark publish when the poller ingested it (us)",
+            )
+        });
+        let solver_hist = config.solver_hist();
         LiveAnalyzer {
             dir: dir.clone(),
             config: config.clone(),
@@ -179,10 +200,13 @@ impl LiveAnalyzer {
             races: RaceSet::new(),
             worker: WorkerStats::default(),
             stages: StageTable::new(),
-            cache: TreeCache::new(TREE_CACHE_NODES),
+            cache: TreeCache::new(TREE_CACHE_NODES, config.mem_gauge.clone()),
             pool: ReaderPool::new(),
             poll_secs: Vec::new(),
             finished: false,
+            journal,
+            lag_gauge,
+            solver_hist,
         }
     }
 
@@ -211,6 +235,18 @@ impl LiveAnalyzer {
     /// poll.
     pub fn poll(&mut self) -> io::Result<PollDelta> {
         let poll_start = Instant::now();
+        let span_start = self.journal.as_ref().map(|j| j.now_us());
+        // Poller lag: how stale the newest publish is at the moment the
+        // poller ingests it — the watermark file's age. A growing value
+        // means polls are falling behind the collector's publish cadence.
+        if let Some(gauge) = &self.lag_gauge {
+            if let Ok(age) = std::fs::metadata(self.dir.live_path())
+                .and_then(|m| m.modified())
+                .map(|t| t.elapsed().unwrap_or_default())
+            {
+                gauge.set(age.as_micros() as u64);
+            }
+        }
         let t0 = Instant::now();
         let session_delta = self.poller.poll()?;
         self.stages.record(
@@ -288,6 +324,19 @@ impl LiveAnalyzer {
             self.worker.max_task_secs = secs;
         }
         self.poll_secs.push(secs);
+        if let (Some(j), Some(start)) = (&self.journal, span_start) {
+            let dur = j.now_us().saturating_sub(start);
+            j.span_closed(
+                "poll",
+                start,
+                dur,
+                vec![
+                    ("new_intervals".to_string(), delta.new_intervals as f64),
+                    ("tree_pairs".to_string(), delta.tree_pairs as f64),
+                    ("new_races".to_string(), delta.new_races.len() as f64),
+                ],
+            );
+        }
         Ok(delta)
     }
 
@@ -504,7 +553,14 @@ impl LiveAnalyzer {
                 };
                 self.worker.tree_pairs += 1;
                 let t0 = Instant::now();
-                let pair_stats = check_pair(ta, tb, region, self.config.solver, races);
+                let pair_stats = check_pair(
+                    ta,
+                    tb,
+                    region,
+                    self.config.solver,
+                    races,
+                    self.solver_hist.as_ref(),
+                );
                 self.worker.compare_secs += t0.elapsed().as_secs_f64();
                 self.worker.candidates += pair_stats.candidates;
                 self.worker.solver_calls += pair_stats.solver_calls;

@@ -28,8 +28,9 @@ use std::time::Instant;
 
 use crossbeam::channel::bounded;
 use sword_metrics::StageTable;
+use sword_obs::Histogram;
 
-use crate::analyze::AnalysisConfig;
+use crate::analyze::{journal_stage, AnalysisConfig};
 use crate::build::ReaderPool;
 use crate::intervals::{intervals_concurrent, Group, Structure, Task};
 use crate::load::LoadedSession;
@@ -102,6 +103,8 @@ pub(crate) fn run(
         // Stage: pair-schedule. Filters to the focus regions, orders tasks
         // by file position, and feeds them downstream under backpressure.
         let scheduler = s.spawn(move || {
+            let journal = config.journal_for("oa-scheduler");
+            let s0 = journal.as_ref().map(|j| j.now_us());
             let t0 = Instant::now();
             let in_focus = |group: usize| -> bool {
                 match &config.focus_regions {
@@ -127,6 +130,7 @@ pub(crate) fn run(
             });
             let scheduled = tasks.len() as u64;
             let secs = t0.elapsed().as_secs_f64();
+            journal_stage(&journal, "pair-schedule", s0, ("tasks", scheduled as f64));
             for task in tasks {
                 // A send fails only when every worker is gone (error
                 // shutdown); the error itself arrives via the results.
@@ -138,12 +142,15 @@ pub(crate) fn run(
         });
 
         // Stage: tree-build + compare, on `workers` threads.
-        for _ in 0..workers {
+        for wi in 0..workers {
             let task_rx = task_rx.clone();
             let result_tx = result_tx.clone();
             s.spawn(move || {
                 let mut pool = ReaderPool::new();
+                let journal = config.journal_for(format!("oa-worker-{wi}"));
+                let solver_hist = config.solver_hist();
                 for task in task_rx.iter() {
+                    let s0 = journal.as_ref().map(|j| j.now_us());
                     let t0 = Instant::now();
                     let mut task_races = RaceSet::new();
                     let mut local = WorkerStats::default();
@@ -155,8 +162,10 @@ pub(crate) fn run(
                         &mut pool,
                         &mut task_races,
                         &mut local,
+                        solver_hist.as_ref(),
                     );
                     let secs = t0.elapsed().as_secs_f64();
+                    journal_stage(&journal, "task", s0, ("tree_pairs", local.tree_pairs as f64));
                     let msg =
                         result.map(|()| TaskOutcome { races: task_races, stats: local, secs });
                     if result_tx.send(msg).is_err() {
@@ -169,6 +178,8 @@ pub(crate) fn run(
         drop(result_tx);
 
         // Stage: dedup-report. Merges every task's races as it arrives.
+        let reduce_journal = config.journal_for("oa-reducer");
+        let reduce_s0 = reduce_journal.as_ref().map(|j| j.now_us());
         for msg in result_rx.iter() {
             match msg {
                 Ok(outcome) => {
@@ -189,6 +200,7 @@ pub(crate) fn run(
                 }
             }
         }
+        journal_stage(&reduce_journal, "dedup-report", reduce_s0, ("outcomes", outcomes as f64));
         scheduler.join().expect("scheduler stage does not panic")
     });
 
@@ -203,7 +215,8 @@ pub(crate) fn run(
 }
 
 /// Builds the non-empty interval trees of a group's members, tagged with
-/// the member index.
+/// the member index. Retained trees are charged to the analyzer's memory
+/// gauge; [`release_trees`] credits them back when the task drops them.
 pub(crate) fn build_group_trees(
     session: &LoadedSession,
     group: &Group,
@@ -229,6 +242,7 @@ pub(crate) fn build_group_trees(
         stats.events += tree.accesses;
         stats.bytes_read += tree.bytes_read;
         if tree.node_count() > 0 {
+            config.mem_gauge.alloc(tree.approx_bytes());
             trees.push((i, tree));
         }
     }
@@ -236,7 +250,17 @@ pub(crate) fn build_group_trees(
     Ok(trees)
 }
 
+/// Credits a task's trees back to the memory gauge as they go out of
+/// scope, so the gauge's live value tracks trees actually held across
+/// all workers and its peak is the analyzer's measured tree memory.
+fn release_trees(config: &AnalysisConfig, trees: &[(usize, crate::build::BiTree)]) {
+    for (_, tree) in trees {
+        config.mem_gauge.free(tree.approx_bytes());
+    }
+}
+
 /// Executes one comparison task.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_task(
     session: &LoadedSession,
     groups: &[Group],
@@ -245,6 +269,7 @@ pub(crate) fn run_task(
     pool: &mut ReaderPool,
     races: &mut RaceSet,
     stats: &mut WorkerStats,
+    solver_hist: Option<&Histogram>,
 ) -> io::Result<()> {
     match *task {
         Task::Intra { group } => {
@@ -254,13 +279,20 @@ pub(crate) fn run_task(
             for i in 0..trees.len() {
                 for j in i + 1..trees.len() {
                     stats.tree_pairs += 1;
-                    let pair_stats =
-                        check_pair(&trees[i].1, &trees[j].1, g.pid, config.solver, races);
+                    let pair_stats = check_pair(
+                        &trees[i].1,
+                        &trees[j].1,
+                        g.pid,
+                        config.solver,
+                        races,
+                        solver_hist,
+                    );
                     stats.candidates += pair_stats.candidates;
                     stats.solver_calls += pair_stats.solver_calls;
                 }
             }
             stats.compare_secs += t0.elapsed().as_secs_f64();
+            release_trees(config, &trees);
         }
         Task::Cross { a, b, all_concurrent } => {
             let ga = &groups[a];
@@ -287,12 +319,15 @@ pub(crate) fn run_task(
                         continue;
                     }
                     stats.tree_pairs += 1;
-                    let pair_stats = check_pair(ta, tb, first.pid, config.solver, races);
+                    let pair_stats =
+                        check_pair(ta, tb, first.pid, config.solver, races, solver_hist);
                     stats.candidates += pair_stats.candidates;
                     stats.solver_calls += pair_stats.solver_calls;
                 }
             }
             stats.compare_secs += t0.elapsed().as_secs_f64();
+            release_trees(config, &trees_first);
+            release_trees(config, &trees_second);
         }
     }
     Ok(())

@@ -1,8 +1,10 @@
 //! Tree-vs-tree race checking and race reports.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use sword_itree::for_each_candidate_pair;
+use sword_obs::Histogram;
 use sword_solver::{overlap_ilp, strided_overlap_witness, IlpStatus};
 use sword_trace::{AccessKind, PcId, PcTable, ThreadId};
 
@@ -137,12 +139,18 @@ pub struct PairStats {
 /// For every candidate pair (coarse `[begin,end)` overlap found through
 /// the augmented tree), applies the access-compatibility conditions and
 /// then the exact strided-overlap constraint with the chosen solver.
+///
+/// `solver_nanos`, when present, receives the latency of every exact
+/// solve (the registry's `sword_solver_call_nanos` histogram); timing is
+/// taken only around the solver itself, so candidate filtering stays
+/// unmeasured and uninstrumented runs pay nothing.
 pub fn check_pair(
     a: &BiTree,
     b: &BiTree,
     region: u64,
     solver: SolverChoice,
     races: &mut RaceSet,
+    solver_nanos: Option<&Histogram>,
 ) -> PairStats {
     let mut stats = PairStats::default();
     for_each_candidate_pair(&a.tree, &b.tree, |ia, ma, ib, mb| {
@@ -151,6 +159,7 @@ pub fn check_pair(
             return;
         }
         stats.solver_calls += 1;
+        let t0 = solver_nanos.map(|_| Instant::now());
         let witness = match solver {
             SolverChoice::Diophantine => strided_overlap_witness(ia, ib),
             SolverChoice::Ilp => match overlap_ilp(ia, ib).solve() {
@@ -158,6 +167,9 @@ pub fn check_pair(
                 _ => None,
             },
         };
+        if let (Some(hist), Some(t0)) = (solver_nanos, t0) {
+            hist.record(t0.elapsed().as_nanos() as u64);
+        }
         if let Some(addr) = witness {
             let key = RaceKey::new(ma.pc, mb.pc);
             // Keep kinds aligned with the key's (lo, hi) order.
@@ -208,9 +220,11 @@ mod tests {
         let b =
             tree_of(1, &[(StridedInterval::new(0x100, 8, 99, 8), meta(AccessKind::Read, 2, 0))]);
         let mut races = RaceSet::new();
-        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
+        let hist = Histogram::default();
+        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races, Some(&hist));
         assert_eq!(stats.candidates, 1);
         assert_eq!(stats.solver_calls, 1);
+        assert_eq!(hist.count(), 1, "each exact solve records one latency sample");
         assert_eq!(races.len(), 1);
         let race = races.into_sorted().pop().unwrap();
         assert_eq!(race.key, RaceKey::new(1, 2));
@@ -222,7 +236,7 @@ mod tests {
         let a = tree_of(0, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Read, 1, 0))]);
         let b = tree_of(1, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Read, 2, 0))]);
         let mut races = RaceSet::new();
-        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
+        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races, None);
         assert_eq!(stats.solver_calls, 0);
         assert!(races.is_empty());
     }
@@ -232,7 +246,7 @@ mod tests {
         let a = tree_of(0, &[(StridedInterval::single(0x100, 8), meta(AccessKind::Write, 1, 1))]);
         let b = tree_of(1, &[(StridedInterval::single(0x100, 8), meta(AccessKind::Write, 2, 1))]);
         let mut races = RaceSet::new();
-        check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
+        check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races, None);
         assert!(races.is_empty());
     }
 
@@ -242,13 +256,13 @@ mod tests {
         let a = tree_of(0, &[(StridedInterval::new(10, 8, 4, 4), meta(AccessKind::Write, 1, 0))]);
         let b = tree_of(1, &[(StridedInterval::new(14, 8, 4, 4), meta(AccessKind::Write, 2, 0))]);
         let mut races = RaceSet::new();
-        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
+        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races, None);
         assert_eq!(stats.candidates, 1);
         assert_eq!(stats.solver_calls, 1);
         assert!(races.is_empty());
         // The ILP solver agrees.
         let mut races2 = RaceSet::new();
-        check_pair(&a, &b, 0, SolverChoice::Ilp, &mut races2);
+        check_pair(&a, &b, 0, SolverChoice::Ilp, &mut races2, None);
         assert!(races2.is_empty());
     }
 
@@ -268,7 +282,7 @@ mod tests {
         let a = tree_of(0, &nodes_a);
         let b = tree_of(1, &nodes_b);
         let mut races = RaceSet::new();
-        check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races);
+        check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races, None);
         assert_eq!(races.len(), 1);
         assert_eq!(races.raw_pairs, 10);
         assert_eq!(races.into_sorted()[0].occurrences, 10);

@@ -603,3 +603,73 @@ fn stats_are_coherent() {
     assert!(s.wall_secs > 0.0);
     assert!(s.max_task_secs <= s.wall_secs);
 }
+
+#[test]
+fn obs_journals_every_stage_and_gauges_tree_memory() {
+    // An instrumented analysis must journal every pipeline stage with
+    // Offline-layer attribution, record solver latencies, and measure a
+    // non-zero tree-memory peak through the shared gauge.
+    use sword_obs::{Layer, Obs};
+
+    let obs = Obs::new();
+    let config = AnalysisConfig::sequential().with_obs(obs.clone());
+    let result = pipeline_with("obs-stages", config.clone(), |sim| {
+        let a = sim.alloc::<i64>(1000, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.for_static(1..1000, |i| {
+                    let prev = w.read(&a, i - 1);
+                    w.write(&a, i, prev + 1);
+                });
+            });
+        });
+    });
+    assert_eq!(result.race_count(), 1);
+
+    let events = obs.journal.drain();
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.layer == Layer::Offline), "analyzer spans are Offline-layer");
+    for stage in ["discover", "load-meta", "build-structure", "pair-schedule", "dedup-report"] {
+        assert!(
+            events.iter().any(|e| e.name == stage && e.dur_us.is_some()),
+            "missing stage span {stage:?}"
+        );
+    }
+    let task_span = events.iter().find(|e| e.name == "task").expect("per-task worker span");
+    assert!(task_span.thread.starts_with("oa-worker-"), "got {:?}", task_span.thread);
+
+    let snapshot: std::collections::BTreeMap<String, f64> =
+        obs.registry.snapshot().into_iter().collect();
+    assert_eq!(
+        snapshot["sword_solver_call_nanos_count"], result.stats.solver_calls as f64,
+        "every exact solve lands in the latency histogram"
+    );
+    assert!(snapshot["sword_analyzer_tree_mem_peak_bytes"] > 0.0);
+    assert_eq!(
+        snapshot["sword_analyzer_tree_mem_bytes"], 0.0,
+        "all trees released once analysis finishes"
+    );
+    assert_eq!(config.mem_gauge.live(), 0);
+    assert!(config.mem_gauge.peak() > 0);
+}
+
+#[test]
+fn uninstrumented_analysis_records_nothing() {
+    // The default config must stay observability-free: no journal, no
+    // registry, no gauges beyond the (inert) shared MemGauge.
+    let config = AnalysisConfig::sequential();
+    assert!(config.obs.is_none());
+    let result = pipeline_with("obs-off", config.clone(), |sim| {
+        let a = sim.alloc::<i64>(100, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.for_static(0..100, |i| {
+                    w.write(&a, i, 1);
+                });
+            });
+        });
+    });
+    assert_eq!(result.race_count(), 0);
+    // The gauge still balances even when nobody reads it.
+    assert_eq!(config.mem_gauge.live(), 0);
+}

@@ -36,6 +36,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sword_compress::{encode_frame_into, Compressor};
 use sword_metrics::{FlushCounters, FlushSnapshot};
+use sword_obs::{Gauge, JournalSink, Layer, Obs, ThreadJournal};
 use sword_ompsim::{OmpSim, ParallelBeginInfo, SimConfig, ThreadContext, Tool};
 use sword_trace::{
     meta, Event, LiveStatus, LogWriter, MemAccess, MutexId, PcTable, RegionId, RegionRecord,
@@ -62,6 +63,12 @@ pub struct SwordConfig {
     /// Compression workers between the app threads and the ordered file
     /// writer (async mode only; at least 1).
     pub compress_workers: usize,
+    /// Observability context. When set, the collector journals spans
+    /// (flush handoffs, compression, writes) to `<session>/obs.jsonl`,
+    /// registers its flush/pool/memory metrics as registry sources, and
+    /// writes `<session>/metrics.prom` at finalize. `None` (default)
+    /// records nothing beyond the always-on [`FlushCounters`].
+    pub obs: Option<Obs>,
 }
 
 /// Default compression-worker count: a small slice of the machine, since
@@ -79,7 +86,15 @@ impl SwordConfig {
             async_flush: true,
             live_publish: false,
             compress_workers: default_compress_workers(),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability context (shared with the caller, who can
+    /// snapshot its registry or append more layers to its journal).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Overrides the compression-worker count (clamped to at least one).
@@ -191,6 +206,54 @@ thread_local! {
 /// How often the async writer republishes live metadata at most.
 const LIVE_PUBLISH_INTERVAL: Duration = Duration::from_millis(25);
 
+/// How often the async writer drains the journal rings to disk and
+/// appends a registry snapshot — the crash-durability cadence: a killed
+/// run's journal is at most this stale.
+const OBS_FLUSH_INTERVAL: Duration = Duration::from_millis(250);
+
+/// The collector's observability context: the shared [`Obs`] handle plus
+/// the journal sink writing `<session>/obs.jsonl`.
+struct CollectorObs {
+    obs: Obs,
+    sink: Mutex<(JournalSink, u64)>,
+}
+
+impl CollectorObs {
+    /// Drains journal rings to the sink (tolerating I/O failure: telemetry
+    /// must never fail the run).
+    fn flush_journal(&self) {
+        let mut guard = self.sink.lock();
+        let (sink, last_dropped) = &mut *guard;
+        let _ = sink.drain_from(&self.obs.journal, last_dropped);
+    }
+
+    /// Appends a registry snapshot to the journal, then drains to disk.
+    fn snapshot_and_flush(&self) {
+        self.obs.snapshot_to_journal();
+        self.flush_journal();
+    }
+}
+
+/// Observability state owned by the writer thread: per-write spans, the
+/// queue-depth gauge, and the periodic journal drain.
+struct WriterObs {
+    ctx: Arc<CollectorObs>,
+    journal: ThreadJournal,
+    queue_depth: Gauge,
+    last_flush: Instant,
+}
+
+impl WriterObs {
+    /// Called once per received job with the reorder-buffer depth.
+    fn note_queue(&mut self, depth: usize) {
+        self.queue_depth.set(depth as u64);
+        if self.last_flush.elapsed() >= OBS_FLUSH_INTERVAL {
+            self.ctx.snapshot_and_flush();
+            self.last_flush = Instant::now();
+        }
+    }
+}
+
 /// State shared between the collector facade and the background writer
 /// thread, so either side can take a watermarked metadata snapshot.
 struct Inner {
@@ -256,14 +319,27 @@ fn compression_worker(
     writer_tx: Sender<WriteJob>,
     pool: Arc<BufferPool>,
     counters: Arc<FlushCounters>,
+    journal: Option<ThreadJournal>,
 ) {
     let mut compressor = Compressor::new();
     for job in rx {
+        let t0 = journal.as_ref().map(ThreadJournal::now_us);
         let start = Instant::now();
         let mut frame = Vec::new();
         encode_frame_into(&mut compressor, &job.block, &mut frame);
         let raw_len = job.block.len() as u64;
         counters.add_compress(elapsed_nanos(start), raw_len, frame.len() as u64);
+        if let (Some(journal), Some(t0)) = (&journal, t0) {
+            journal.span_closed(
+                "compress",
+                t0,
+                journal.now_us().saturating_sub(t0),
+                vec![
+                    ("raw_bytes".to_string(), raw_len as f64),
+                    ("frame_bytes".to_string(), frame.len() as f64),
+                ],
+            );
+        }
         pool.release(job.block);
         let _ = writer_tx.send(WriteJob { seq: job.seq, tid: job.tid, raw_len, frame });
     }
@@ -278,8 +354,10 @@ fn write_one(
     live: bool,
     writers: &mut HashMap<ThreadId, LogWriter<BufWriter<File>>>,
     last_publish: &mut Instant,
+    obs: Option<&WriterObs>,
     job: WriteJob,
 ) -> io::Result<()> {
+    let t0 = obs.map(|o| o.journal.now_us());
     let start = Instant::now();
     let w = match writers.entry(job.tid) {
         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
@@ -290,6 +368,14 @@ fn write_one(
     };
     w.write_encoded_block(&job.frame, job.raw_len)?;
     counters.add_write(elapsed_nanos(start));
+    if let (Some(o), Some(t0)) = (obs, t0) {
+        o.journal.span_closed(
+            "write",
+            t0,
+            o.journal.now_us().saturating_sub(t0),
+            vec![("frame_bytes".to_string(), job.frame.len() as f64)],
+        );
+    }
     if live {
         // Flush so the bytes are readable by a concurrent analyzer, then
         // raise the watermark and (throttled) republish.
@@ -301,6 +387,64 @@ fn write_one(
         }
     }
     Ok(())
+}
+
+/// Registers the collector's always-on metrics as registry sources:
+/// flush-path counters, pool occupancy, and the bounded tool-memory
+/// figure. Sources are read-on-demand closures over the existing atomics,
+/// so registration adds zero hot-path work — the registry is a naming and
+/// export layer, not a second accounting mechanism.
+fn register_collector_sources(
+    obs: &Obs,
+    counters: &Arc<FlushCounters>,
+    pool: &Arc<BufferPool>,
+    inner: &Arc<Inner>,
+) {
+    let reg = &obs.registry;
+    let c = Arc::clone(counters);
+    reg.source("sword_flushes_total", "buffer flush handoffs", move || c.snapshot().flushes as f64);
+    let c = Arc::clone(counters);
+    reg.source("sword_flush_stall_nanos", "app-thread backpressure stall time", move || {
+        c.snapshot().stall_nanos as f64
+    });
+    let c = Arc::clone(counters);
+    reg.source("sword_flush_compress_nanos", "compression busy time", move || {
+        c.snapshot().compress_nanos as f64
+    });
+    let c = Arc::clone(counters);
+    reg.source("sword_flush_write_nanos", "file-writer busy time", move || {
+        c.snapshot().write_nanos as f64
+    });
+    let c = Arc::clone(counters);
+    reg.source("sword_flush_raw_bytes", "uncompressed bytes flushed", move || {
+        c.snapshot().raw_bytes as f64
+    });
+    let c = Arc::clone(counters);
+    reg.source("sword_flush_compressed_bytes", "compressed bytes written", move || {
+        c.snapshot().compressed_bytes as f64
+    });
+    let p = Arc::clone(pool);
+    reg.source("sword_pool_buffers_free", "drained spare buffers in the pool", move || {
+        p.occupancy().0 as f64
+    });
+    let p = Arc::clone(pool);
+    reg.source("sword_pool_buffers_created", "buffers created (in use + spare)", move || {
+        p.occupancy().1 as f64
+    });
+    let p = Arc::clone(pool);
+    reg.source("sword_pool_buffer_budget", "pool budget (2*threads + workers)", move || {
+        p.occupancy().2 as f64
+    });
+    let p = Arc::clone(pool);
+    let i = Arc::clone(inner);
+    reg.source(
+        "sword_collector_tool_mem_bytes",
+        "bounded collector footprint: pool capacity + per-thread bookkeeping",
+        move || {
+            let slots = i.slots.lock().len() as u64;
+            (p.created_bytes() + slots * std::mem::size_of::<ThreadLog>() as u64) as f64
+        },
+    );
 }
 
 #[inline]
@@ -323,6 +467,7 @@ pub struct SwordCollector {
     flush_seq: AtomicU64,
     writer_totals: Mutex<Option<(u64, u64)>>,
     finished: Mutex<bool>,
+    obs: Option<Arc<CollectorObs>>,
 }
 
 impl SwordCollector {
@@ -346,6 +491,15 @@ impl SwordCollector {
         // as each registers (double buffering) — see `slot`.
         let pool =
             Arc::new(BufferPool::new(config.buffer_events.max(1) * MAX_EVENT_BYTES, worker_count));
+        let obs_ctx = match &config.obs {
+            Some(obs) => {
+                let sink = JournalSink::create(inner.session.obs_path())?;
+                let ctx = Arc::new(CollectorObs { obs: obs.clone(), sink: Mutex::new((sink, 0)) });
+                register_collector_sources(obs, &counters, &pool, &inner);
+                Some(ctx)
+            }
+            None => None,
+        };
         let flush = if config.async_flush {
             let (tx, rx) = unbounded::<FlushJob>();
             let (writer_tx, writer_rx) = unbounded::<WriteJob>();
@@ -355,10 +509,13 @@ impl SwordCollector {
                 let writer_tx = writer_tx.clone();
                 let pool = Arc::clone(&pool);
                 let counters = Arc::clone(&counters);
+                let journal = obs_ctx
+                    .as_ref()
+                    .map(|ctx| ctx.obs.journal.for_thread(Layer::Runtime, format!("compress-{i}")));
                 workers.push(
-                    std::thread::Builder::new()
-                        .name(format!("sword-compress-{i}"))
-                        .spawn(move || compression_worker(rx, writer_tx, pool, counters))?,
+                    std::thread::Builder::new().name(format!("sword-compress-{i}")).spawn(
+                        move || compression_worker(rx, writer_tx, pool, counters, journal),
+                    )?,
                 );
             }
             // Workers hold the only remaining writer_tx clones: the writer
@@ -368,6 +525,15 @@ impl SwordCollector {
             let shared = Arc::clone(&inner);
             let writer_counters = Arc::clone(&counters);
             let live = config.live_publish;
+            let mut writer_obs = obs_ctx.as_ref().map(|ctx| WriterObs {
+                ctx: Arc::clone(ctx),
+                journal: ctx.obs.journal.for_thread(Layer::Runtime, "writer"),
+                queue_depth: ctx
+                    .obs
+                    .registry
+                    .gauge("sword_writer_queue_depth", "frames waiting in the reorder buffer"),
+                last_flush: Instant::now(),
+            });
             let writer = std::thread::Builder::new().name("sword-writer".into()).spawn(
                 move || -> io::Result<WriterTotals> {
                     let mut writers: HashMap<ThreadId, LogWriter<BufWriter<File>>> = HashMap::new();
@@ -376,6 +542,9 @@ impl SwordCollector {
                     let mut last_publish = Instant::now();
                     for job in writer_rx {
                         pending.insert(job.seq, job);
+                        if let Some(o) = writer_obs.as_mut() {
+                            o.note_queue(pending.len());
+                        }
                         // Write every contiguous frame; later sequence
                         // numbers wait here until the gap fills, keeping
                         // each thread's log in production order.
@@ -387,6 +556,7 @@ impl SwordCollector {
                                 live,
                                 &mut writers,
                                 &mut last_publish,
+                                writer_obs.as_ref(),
                                 job,
                             )?;
                         }
@@ -401,6 +571,7 @@ impl SwordCollector {
                             live,
                             &mut writers,
                             &mut last_publish,
+                            writer_obs.as_ref(),
                             job,
                         )?;
                     }
@@ -433,7 +604,13 @@ impl SwordCollector {
             flush_seq: AtomicU64::new(0),
             writer_totals: Mutex::new(None),
             finished: Mutex::new(false),
+            obs: obs_ctx,
         })
+    }
+
+    /// The attached observability context, if any.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_deref().map(|ctx| &ctx.obs)
     }
 
     /// The session directory being written.
@@ -535,7 +712,11 @@ impl SwordCollector {
                     // so this initial acquire never blocks.
                     self.pool.grow_budget(2);
                     let initial = self.pool.acquire();
-                    Arc::new(Mutex::new(ThreadLog::with_buffer(self.config.buffer_events, initial)))
+                    let mut log = ThreadLog::with_buffer(self.config.buffer_events, initial);
+                    log.obs = self.obs.as_ref().map(|ctx| {
+                        ctx.obs.journal.for_thread(Layer::Runtime, format!("app-{tid}"))
+                    });
+                    Arc::new(Mutex::new(log))
                 }))
             };
             *cache = Some((self.id, tid, Arc::clone(&slot)));
@@ -597,10 +778,26 @@ impl SwordCollector {
                 // drained one. `acquire` only blocks when the whole pool
                 // budget is in flight (I/O slower than event production);
                 // that backpressure stall is what `stall_nanos` measures.
+                // The journal records only here, at flush boundaries —
+                // once per ~buffer_events events, never per event.
+                let t0 = log.obs.as_ref().map(ThreadJournal::now_us);
                 let start = Instant::now();
                 let fresh = self.pool.acquire();
-                self.counters.add_stall(elapsed_nanos(start));
-                Some(log.swap_buffer(fresh))
+                let stall = elapsed_nanos(start);
+                self.counters.add_stall(stall);
+                let block = log.swap_buffer(fresh);
+                if let (Some(tj), Some(t0)) = (&log.obs, t0) {
+                    tj.span_closed(
+                        "flush-handoff",
+                        t0,
+                        tj.now_us().saturating_sub(t0),
+                        vec![
+                            ("bytes".to_string(), block.len() as f64),
+                            ("stall_ns".to_string(), stall as f64),
+                        ],
+                    );
+                }
+                Some(block)
             } else {
                 None
             }
@@ -672,6 +869,18 @@ impl SwordCollector {
         // joined), so the offline analyzer can report them post-hoc.
         self.counters.snapshot().to_info(&mut info);
         self.inner.session.write_info(&info)?;
+        // Close out the observability side: a finalize marker, one last
+        // registry snapshot, the remaining journal rings, and the
+        // Prometheus exposition file.
+        if let Some(ctx) = &self.obs {
+            let journal = ctx.obs.journal.for_thread(Layer::Runtime, "collector");
+            journal.instant("finalize", vec![("threads".to_string(), slots.len() as f64)]);
+            ctx.snapshot_and_flush();
+            self.inner.session.write_file_atomic(
+                &self.inner.session.metrics_path(),
+                ctx.obs.registry.render_prometheus().as_bytes(),
+            )?;
+        }
         Ok(())
     }
 }
@@ -1152,6 +1361,58 @@ mod tests {
             let covered = rows.last().map_or(0, |r| r.data_begin + r.size);
             assert_eq!(total, covered, "tid {tid}");
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn obs_run_journals_all_flush_roles_and_writes_prom() {
+        let dir = tmp_session("obs");
+        let obs = Obs::new();
+        let config = SwordConfig::new(&dir).buffer_events(16).with_obs(obs.clone());
+        let (_, stats) = run_collected(config, SimConfig::default(), |sim| {
+            let a = sim.alloc::<u64>(512, 0);
+            sim.run(|ctx| {
+                ctx.parallel(4, |w| {
+                    w.for_static(0..512, |i| {
+                        w.write(&a, i, i);
+                    });
+                });
+            });
+        })
+        .unwrap();
+        let session = SessionDir::new(&dir);
+
+        // The journal is on disk, complete, and carries spans from every
+        // flush-path role: app threads, compression workers, the writer.
+        let read = sword_obs::read_journal(&session.obs_path()).unwrap();
+        assert!(!read.truncated_tail);
+        let span_names: Vec<&str> =
+            read.events.iter().filter(|e| e.dur_us.is_some()).map(|e| e.name.as_str()).collect();
+        for expected in ["flush-handoff", "compress", "write"] {
+            assert!(span_names.contains(&expected), "missing {expected} span");
+        }
+        assert!(read
+            .events
+            .iter()
+            .filter(|e| e.dur_us.is_some())
+            .all(|e| e.layer == Layer::Runtime));
+        assert!(read.events.iter().any(|e| e.name == "finalize"));
+
+        // The final registry snapshot agrees with the run's stats.
+        let snap = read.events.iter().rev().find(|e| e.name == "metrics").expect("snapshot");
+        let lookup = |name: &str| {
+            snap.args.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(f64::NAN)
+        };
+        assert_eq!(lookup("sword_flushes_total") as u64, stats.flushes);
+        assert_eq!(lookup("sword_flush_raw_bytes") as u64, stats.raw_bytes);
+        assert_eq!(lookup("sword_collector_tool_mem_bytes") as u64, stats.tool_memory_bytes);
+        assert!(lookup("sword_pool_buffers_created") >= 1.0);
+
+        // Prometheus exposition written at finalize.
+        let prom = fs::read_to_string(session.metrics_path()).unwrap();
+        assert!(prom.contains("# TYPE sword_collector_tool_mem_bytes gauge"));
+        assert!(prom.contains("sword_flushes_total"));
+        assert!(prom.contains("sword_writer_queue_depth"));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -92,6 +92,13 @@ impl BufferPool {
     pub fn created(&self) -> usize {
         self.state.lock().created
     }
+
+    /// Pool occupancy for the metrics registry: (drained spares waiting,
+    /// buffers created, budget).
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        let state = self.state.lock();
+        (state.free.len(), state.created, state.budget)
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Per-thread collection state: the bounded event buffer and the
 //! barrier-interval bookkeeping behind each thread's meta-data file.
 
+use sword_obs::ThreadJournal;
 use sword_ompsim::ThreadContext;
 use sword_trace::{Event, EventEncoder, MetaRecord};
 
@@ -38,6 +39,9 @@ pub(crate) struct ThreadLog {
     pub meta: Vec<MetaRecord>,
     pub events_total: u64,
     pub flushes: u64,
+    /// Observability recorder for this app thread (`--obs` runs only).
+    /// Records only at flush boundaries, never per event.
+    pub obs: Option<ThreadJournal>,
 }
 
 impl ThreadLog {
@@ -62,6 +66,7 @@ impl ThreadLog {
             meta: Vec::new(),
             events_total: 0,
             flushes: 0,
+            obs: None,
         }
     }
 

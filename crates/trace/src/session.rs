@@ -8,6 +8,8 @@
 //! <dir>/regions.meta        parallel-region table (pid → ppid, fork label)
 //! <dir>/pcs.meta            program-counter table (id → file:line)
 //! <dir>/session.meta        free-form key=value run info
+//! <dir>/obs.jsonl           observability journal (spans/events, JSONL)
+//! <dir>/metrics.prom        Prometheus text exposition of the registry
 //! ```
 
 use std::collections::BTreeMap;
@@ -44,7 +46,11 @@ impl SessionDir {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if name.ends_with(".log") || name.ends_with(".meta") {
+            if name.ends_with(".log")
+                || name.ends_with(".meta")
+                || name.ends_with(".jsonl")
+                || name.ends_with(".prom")
+            {
                 fs::remove_file(entry.path())?;
             }
         }
@@ -84,6 +90,16 @@ impl SessionDir {
     /// Path of the live-progress watermark file (see [`LiveStatus`]).
     pub fn live_path(&self) -> PathBuf {
         self.root.join("live.meta")
+    }
+
+    /// Path of the observability journal (JSONL spans/events).
+    pub fn obs_path(&self) -> PathBuf {
+        self.root.join("obs.jsonl")
+    }
+
+    /// Path of the Prometheus text-exposition metrics file.
+    pub fn metrics_path(&self) -> PathBuf {
+        self.root.join("metrics.prom")
     }
 
     /// Atomically replaces `path` with `bytes` via a temporary file and

@@ -55,6 +55,7 @@
 //! | [`archer`] | `archer-sim` | the ARCHER/TSan happens-before baseline |
 //! | [`workloads`] | `sword-workloads` | DRB / OmpSCR / HPC benchmark suites (§IV) |
 //! | [`metrics`] | `sword-metrics` | memory gauges, node model, timing |
+//! | [`obs`] | `sword-obs` | span journal, metrics registry, Chrome trace export, run reports |
 //! | [`fuzz`] | `sword-fuzz-gen` | generative differential testing: program fuzzer, race oracle, fault injection |
 
 #![forbid(unsafe_code)]
@@ -64,6 +65,7 @@ pub use sword_compress as compress;
 pub use sword_fuzz_gen as fuzz;
 pub use sword_itree as itree;
 pub use sword_metrics as metrics;
+pub use sword_obs as obs;
 pub use sword_offline as offline;
 pub use sword_ompsim as ompsim;
 pub use sword_osl as osl;
