@@ -15,9 +15,17 @@
 //! sword trace export <session-dir> [--format chrome] [--out FILE]
 //!     Convert the session's observability journal to a Chrome
 //!     `trace_event` file (chrome://tracing, ui.perfetto.dev).
-//! sword report <session-dir> [--top N]
+//! sword report <session-dir> [--top N] [--html [FILE]]
 //!     Consolidated run report: flush path, pipeline stages, memory
-//!     peaks vs the paper's 3.3 MB/thread bound, hottest spans.
+//!     peaks vs the paper's 3.3 MB/thread bound, per-site compare
+//!     attribution (hot sites), hottest spans, and the race table.
+//!     `--html` writes a single self-contained dashboard instead.
+//! sword explain <session-dir> <race-id>
+//!     Full evidence chain for one reported race: the two accesses with
+//!     their barrier-interval coordinates, the offset-span label
+//!     derivation of why the intervals are concurrent, the solver's
+//!     concrete index witness, and the byte ranges in the per-thread
+//!     logs. Race ids are the positions in `sword analyze` output.
 //! sword check <workload> [--threads N] [--size S]
 //!     run + analyze in one step, printing races with source locations.
 //! sword compare <workload> [--threads N] [--size S]
@@ -41,7 +49,9 @@ use std::sync::Arc;
 use archer_sim::{ArcherConfig, ArcherTool};
 use sword_fuzz_gen::{run_fuzz, FuzzOptions};
 use sword_metrics::{format_bytes, Stopwatch, Table};
-use sword_obs::{ExportFormat, JournalSink, Layer, Obs, ReportInput};
+use sword_obs::{
+    render_html, ExportFormat, HtmlInput, HtmlRace, JournalSink, Layer, Obs, ReportInput, SiteTable,
+};
 use sword_offline::{analyze, AnalysisConfig, LiveAnalyzer, SolverChoice};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordConfig};
@@ -72,7 +82,8 @@ const USAGE: &str = "usage:
                              [--stats] [--obs] [--ilp] [--region id,...]
                              [--suppress pat,...]
   sword trace export <session-dir> [--format chrome] [--out FILE]
-  sword report <session-dir> [--top N]
+  sword report <session-dir> [--top N] [--html [FILE]]
+  sword explain <session-dir> <race-id> [--ilp] [--workers N]
   sword check <workload> [--threads N] [--size S]
   sword compare <workload> [--threads N] [--size S]
   sword meta <session-dir>
@@ -134,6 +145,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "watch" => cmd_watch(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "report" => cmd_report(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "meta" => cmd_meta(&args[1..]),
@@ -323,12 +335,23 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(&args[1..])?;
     let mut config = analysis_config(&flags)?;
     let obs = flags.has("obs").then(Obs::new);
+    // Per-site attribution rides along with the journal: the compare
+    // stage's counters become labeled gauges in the registry, and the
+    // final snapshot carries them into obs.jsonl for `sword report`.
+    let sites = obs.as_ref().map(|_| SiteTable::new());
     if let Some(o) = &obs {
         config = config.with_obs(o.clone());
+    }
+    if let Some(st) = &sites {
+        config = config.with_site_attribution(st.clone());
     }
     let session = SessionDir::new(dir);
     print_analysis(&session, &config, flags.has("json"), flags.has("stats"))?;
     if let Some(o) = &obs {
+        if let Some(st) = &sites {
+            let pcs = read_pcs(&session)?;
+            st.publish(&o.registry, |pc| pcs.display(pc));
+        }
         append_journal(&session, o)?;
     }
     Ok(())
@@ -341,8 +364,12 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(&args[1..])?;
     let mut config = analysis_config(&flags)?;
     let obs = flags.has("obs").then(Obs::new);
+    let sites = obs.as_ref().map(|_| SiteTable::new());
     if let Some(o) = &obs {
         config = config.with_obs(o.clone());
+    }
+    if let Some(st) = &sites {
+        config = config.with_site_attribution(st.clone());
     }
     let json = flags.has("json");
     let show_stats = flags.has("stats");
@@ -403,6 +430,9 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
     }
     let result = live.into_result().map_err(|e| e.to_string())?;
     let pcs = read_pcs(&session)?;
+    if let (Some(o), Some(st)) = (&obs, &sites) {
+        st.publish(&o.registry, |pc| pcs.display(pc));
+    }
     if json {
         print!("{}", sword_offline::render_json(&result, &pcs));
     } else {
@@ -464,27 +494,109 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     };
     let flags = Flags::parse(&args[1..])?;
     let top_n = flags.get_usize("top", 10)?;
+    let html = flags.has("html") || flags.map.contains_key("html");
     let session = SessionDir::new(dir);
     let journal_path = session.obs_path();
-    if !journal_path.exists() {
-        return Err(format!(
-            "no observability journal at {} — collect with `sword run --obs` or add one with \
-             `sword analyze --obs`",
+    // A session without a journal still gets the skeleton (session info
+    // plus the race table) — only the stage/memory/hot-site sections
+    // need journaled events.
+    let (events, truncated_tail) = if journal_path.exists() {
+        let read = sword_obs::read_journal(&journal_path).map_err(|e| e.to_string())?;
+        (read.events, read.truncated_tail)
+    } else {
+        eprintln!(
+            "warning: no observability journal at {} — stage, memory, and hot-site sections \
+             will be empty; collect with `sword run --obs` or add one with `sword analyze --obs`",
             journal_path.display()
-        ));
-    }
-    let read = sword_obs::read_journal(&journal_path).map_err(|e| e.to_string())?;
+        );
+        (Vec::new(), false)
+    };
     let info = session.read_info().unwrap_or_default();
-    print!(
-        "{}",
-        sword_obs::render_report(&ReportInput {
-            events: read.events,
-            info,
-            truncated_tail: read.truncated_tail,
-            top_n,
-        })
-    );
+    // The race table and evidence cards come from a fresh sequential
+    // analysis of the session's logs (cheap relative to collection, and
+    // deterministic — race ids match `sword explain`).
+    let race_config = AnalysisConfig::sequential();
+    let (analysis, pcs) = match analyze(&session, &race_config) {
+        Ok(result) => (Some(result), read_pcs(&session)?),
+        Err(e) => {
+            eprintln!("warning: race analysis unavailable ({e}); omitting the race section");
+            (None, PcTable::new())
+        }
+    };
+    let report = ReportInput { events, info, truncated_tail, top_n };
+    if html {
+        let races: Vec<HtmlRace> = analysis
+            .as_ref()
+            .map(|result| {
+                result
+                    .races
+                    .iter()
+                    .enumerate()
+                    .map(|(id, race)| HtmlRace {
+                        id,
+                        title: race.render(&pcs),
+                        occurrences: race.occurrences,
+                        detail: race.render_evidence(&pcs),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let input = HtmlInput {
+            title: format!("SWORD session report — {}", session.path().display()),
+            report,
+            races,
+        };
+        let out = flags
+            .map
+            .get("html")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| session.path().join("report.html"));
+        std::fs::write(&out, render_html(&input)).map_err(|e| e.to_string())?;
+        println!("wrote HTML dashboard to {}", out.display());
+        return Ok(());
+    }
+    print!("{}", sword_obs::render_report(&report));
+    if let Some(result) = &analysis {
+        if result.races.is_empty() {
+            println!("data races: none detected");
+        } else {
+            println!("data races ({}):", result.races.len());
+            for (id, race) in result.races.iter().enumerate() {
+                println!("  #{id}  {}", race.render(&pcs));
+            }
+            println!(
+                "  (full evidence chains: sword explain {} <race-id>)",
+                session.path().display()
+            );
+        }
+    }
     Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let Some(dir) = args.first() else {
+        return Err("missing session directory".into());
+    };
+    let Some(id_arg) = args.get(1) else {
+        return Err("missing race id (ids are the positions in `sword analyze` output)".into());
+    };
+    let id: usize =
+        id_arg.parse().map_err(|_| format!("race id must be a number, got `{id_arg}`"))?;
+    let flags = Flags::parse(&args[2..])?;
+    let config = analysis_config(&flags)?;
+    let session = SessionDir::new(dir);
+    let result = analyze(&session, &config).map_err(|e| e.to_string())?;
+    let pcs = read_pcs(&session)?;
+    match sword_offline::render_explain(&result, &pcs, id) {
+        Some(text) => {
+            print!("{text}");
+            Ok(())
+        }
+        None => Err(format!(
+            "race id {id} out of range — the analysis found {} race(s)",
+            result.races.len()
+        )),
+    }
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
@@ -713,6 +825,9 @@ mod tests {
         assert!(run(&s(&["analyze"])).is_err());
         assert!(run(&s(&["watch"])).is_err());
         assert!(run(&s(&["watch", "/no/such/session-dir"])).is_err());
+        assert!(run(&s(&["explain"])).is_err());
+        assert!(run(&s(&["explain", "/tmp/whatever"])).is_err(), "missing race id");
+        assert!(run(&s(&["explain", "/tmp/whatever", "zero"])).is_err(), "non-numeric id");
     }
 
     #[test]
@@ -777,6 +892,21 @@ mod tests {
         run(&s(&["analyze", dir, "--obs", "--stats"])).expect("analyze --obs");
         run(&s(&["trace", "export", dir, "--format", "chrome"])).expect("trace export");
         run(&s(&["report", dir, "--top", "5"])).expect("report");
+        run(&s(&["explain", dir, "0"])).expect("explain race 0");
+        assert!(run(&s(&["explain", dir, "99"])).is_err(), "out-of-range race id");
+
+        // The HTML dashboard is self-contained and carries one card per
+        // reported race plus hot-site rows sourced from the journaled
+        // site gauges.
+        run(&s(&["report", dir, "--html"])).expect("report --html");
+        let html = std::fs::read_to_string(session.join("report.html")).expect("report.html");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        // plusplus-orig-yes dedups to two source pairs (read-write and
+        // write-write on the shared counter) — one card each.
+        assert_eq!(html.matches("<details class=\"race\"").count(), 2, "one card per race");
+        assert!(html.contains("Hot sites"), "hot-site section present");
+        let journal = std::fs::read_to_string(SessionDir::new(&session).obs_path()).unwrap();
+        assert!(journal.contains("sword_site_pairs{site="), "site gauges journaled");
 
         // The exported trace carries spans from all three layers, with
         // proper nesting per (pid, tid) lane.
@@ -859,7 +989,9 @@ mod tests {
         let bare = std::env::temp_dir().join(format!("sword-cli-bare-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&bare);
         SessionDir::new(&bare).create().unwrap();
-        assert!(run(&s(&["report", bare.to_str().unwrap()])).is_err());
+        // A journal-less session still reports a skeleton (warning only);
+        // trace export has nothing to convert and stays an error.
+        run(&s(&["report", bare.to_str().unwrap()])).expect("bare report skeleton");
         assert!(run(&s(&["trace", "export", bare.to_str().unwrap()])).is_err());
         std::fs::remove_dir_all(&bare).unwrap();
         std::fs::remove_dir_all(&session).unwrap();

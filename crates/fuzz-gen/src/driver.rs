@@ -125,9 +125,9 @@ pub fn check_program(prog: &Program, fault_inject: bool) -> CheckReport {
 
     let dir = unique_dir("check");
     match catch(|| run_sword(prog, &oracle, &dir)) {
-        Ok(Ok((batch, live))) => {
-            report.verdicts.sword_batch = batch;
-            report.verdicts.sword_live = live;
+        Ok(Ok(out)) => {
+            report.verdicts.sword_batch = out.batch;
+            report.verdicts.sword_live = out.live;
             if report.verdicts.sword_batch != oracle.pairs {
                 report.failures.push(diff_failure(
                     "sword batch != oracle",
@@ -140,6 +140,17 @@ pub fn check_program(prog: &Program, fault_inject: bool) -> CheckReport {
                     "sword live != sword batch",
                     &report.verdicts.sword_live,
                     &report.verdicts.sword_batch,
+                ));
+            }
+            // Provenance must not depend on how the analysis was driven:
+            // every race's full evidence chain (coordinates, label
+            // derivation, solver witness, log byte ranges) is required to
+            // be byte-identical between batch and live ingestion.
+            if out.live_evidence != out.batch_evidence {
+                report.failures.push(format!(
+                    "sword live evidence != batch evidence\nbatch:\n{}\nlive:\n{}",
+                    out.batch_evidence.join("---\n"),
+                    out.live_evidence.join("---\n")
                 ));
             }
             if fault_inject {
@@ -172,13 +183,24 @@ pub fn check_program(prog: &Program, fault_inject: bool) -> CheckReport {
     report
 }
 
+/// SWORD's verdicts plus the fully rendered evidence chain of every race,
+/// in sorted race order, from both analysis modes.
+struct SwordOutcome {
+    batch: BTreeSet<StmtPair>,
+    live: BTreeSet<StmtPair>,
+    /// `render` + `render_evidence` per race — the exact text `sword
+    /// explain` would print, used for batch/live byte-identity.
+    batch_evidence: Vec<String>,
+    live_evidence: Vec<String>,
+}
+
 /// Collects a session for `prog` in `dir`, then analyzes it both in batch
-/// and incrementally, returning `(batch, live)` statement-pair sets.
+/// and incrementally.
 fn run_sword(
     prog: &Program,
     oracle: &Oracle,
     dir: &std::path::Path,
-) -> Result<(BTreeSet<StmtPair>, BTreeSet<StmtPair>), PipelineError> {
+) -> Result<SwordOutcome, PipelineError> {
     let cfg = SwordConfig::new(dir).buffer_events(128).live();
     let ((), _stats) =
         run_collected(cfg, SimConfig::default(), |sim| run_program(sim, prog, &oracle.plan))?;
@@ -204,7 +226,15 @@ fn run_sword(
     let live_result = live.into_result()?;
     let live_pairs =
         stmt_pairs(&session, live_result.races.iter().map(|r| (r.key.pc_lo, r.key.pc_hi)))?;
-    Ok((batch_pairs, live_pairs))
+    let pcs = PcTable::read_from(BufReader::new(fs::File::open(session.pcs_path())?))?;
+    let chain =
+        |r: &sword_offline::Race| format!("{}\n{}", r.render(&pcs), r.render_evidence(&pcs));
+    Ok(SwordOutcome {
+        batch: batch_pairs,
+        live: live_pairs,
+        batch_evidence: batch.races.iter().map(chain).collect(),
+        live_evidence: live_result.races.iter().map(chain).collect(),
+    })
 }
 
 /// Runs `prog` under ARCHER and returns its verdicts as statement pairs.

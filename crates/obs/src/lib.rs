@@ -17,7 +17,12 @@
 //!   layer, one thread row per recording thread).
 //! - [`report`]: `sword report` renders a consolidated run report —
 //!   flush path, pipeline stages, memory peaks against the paper's
-//!   3.3 MB/thread bound, and the hottest spans.
+//!   3.3 MB/thread bound, hot sites, and the hottest spans.
+//! - [`sites`]: per-source-site attribution of compare-stage work
+//!   (accesses scanned, pairs checked, solver calls, races), published
+//!   through the registry as labeled gauges.
+//! - [`html`]: `sword report --html` renders the same data as a single
+//!   self-contained HTML dashboard with one expandable card per race.
 //!
 //! The crate is std-only (the journal must be readable without any
 //! external JSON dependency, so [`json`] carries a minimal parser).
@@ -25,18 +30,22 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod html;
 pub mod journal;
 pub mod json;
 pub mod registry;
 pub mod report;
+pub mod sites;
 
 pub use export::{chrome_trace, write_chrome_trace, ExportFormat};
+pub use html::{render_html, HtmlInput, HtmlRace};
 pub use journal::{
     read_journal, Journal, JournalEvent, JournalRead, JournalSink, Layer, Span, ThreadJournal,
     DEFAULT_RING_CAPACITY,
 };
 pub use registry::{Counter, Gauge, Histogram, Registry};
-pub use report::{render_report, ReportInput, PAPER_PER_THREAD_BOUND_BYTES};
+pub use report::{render_report, span_rows, ReportInput, SpanRow, PAPER_PER_THREAD_BOUND_BYTES};
+pub use sites::{hot_sites_from_metrics, HotSite, SiteCounters, SiteId, SiteStats, SiteTable};
 
 /// One observability context: a journal plus a registry, shared by every
 /// layer of a run (the collector, the offline pass, and the CLI clone

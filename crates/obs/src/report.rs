@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::journal::{JournalEvent, Layer};
+use crate::sites::hot_sites_from_metrics;
 
 /// The paper's per-thread tool-memory bound: two 25,000-event buffers
 /// plus runtime bookkeeping, quoted as "less than 3.3 MB per thread"
@@ -25,11 +26,20 @@ pub struct ReportInput {
     pub top_n: usize,
 }
 
-struct SpanAgg {
-    layer: Layer,
-    count: u64,
-    total_us: u64,
-    max_us: u64,
+/// One aggregated span row: every completed span of one name within a
+/// layer, folded. Shared by the text report and the HTML dashboard.
+#[derive(Clone, Debug)]
+pub struct SpanRow {
+    /// Recording layer.
+    pub layer: Layer,
+    /// Span name.
+    pub name: String,
+    /// Completed spans folded in.
+    pub count: u64,
+    /// Sum of durations.
+    pub total_us: u64,
+    /// Longest single span.
+    pub max_us: u64,
 }
 
 /// Renders the consolidated run report as plain text.
@@ -87,15 +97,16 @@ pub fn render_report(input: &ReportInput) -> String {
     }
 
     // --- Pipeline stages (offline-layer spans, aggregated) ----------------
-    let stage_rows = aggregate_spans(&input.events, Some(Layer::Offline));
+    let stage_rows = span_rows(&input.events, Some(Layer::Offline));
     if !stage_rows.is_empty() {
         let _ = writeln!(out);
         let _ = writeln!(out, "offline pipeline stages");
         let _ = writeln!(out, "-----------------------");
-        for (name, agg) in &stage_rows {
+        for agg in &stage_rows {
             let _ = writeln!(
                 out,
-                "{name:<18} calls {:<6} total {:>9.2} ms  max {:>8.2} ms",
+                "{:<18} calls {:<6} total {:>9.2} ms  max {:>8.2} ms",
+                agg.name,
                 agg.count,
                 agg.total_us as f64 / 1e3,
                 agg.max_us as f64 / 1e3,
@@ -132,19 +143,37 @@ pub fn render_report(input: &ReportInput) -> String {
         }
     }
 
+    // --- Hot sites (compare-stage attribution) ----------------------------
+    let hot = hot_sites_from_metrics(&snapshot);
+    if !hot.is_empty() {
+        let top_n = if input.top_n == 0 { 10 } else { input.top_n };
+        let _ = writeln!(out);
+        let _ =
+            writeln!(out, "hot sites (compare-stage attribution, top {})", top_n.min(hot.len()));
+        let _ = writeln!(out, "---------");
+        for h in hot.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "{:<28} scanned {:<9} pairs {:<8} solves {:<8} racy pairs {}",
+                h.site, h.stats.scanned, h.stats.pairs, h.stats.solver_calls, h.stats.races,
+            );
+        }
+    }
+
     // --- Hottest spans ----------------------------------------------------
-    let mut hottest: Vec<(String, SpanAgg)> = aggregate_spans(&input.events, None);
-    hottest.sort_by_key(|(_, agg)| std::cmp::Reverse(agg.total_us));
+    let mut hottest: Vec<SpanRow> = span_rows(&input.events, None);
+    hottest.sort_by_key(|agg| std::cmp::Reverse(agg.total_us));
     if !hottest.is_empty() {
         let top_n = if input.top_n == 0 { 10 } else { input.top_n };
         let _ = writeln!(out);
         let _ = writeln!(out, "hottest spans (top {})", top_n.min(hottest.len()));
         let _ = writeln!(out, "-------------");
-        for (name, agg) in hottest.iter().take(top_n) {
+        for agg in hottest.iter().take(top_n) {
             let _ = writeln!(
                 out,
-                "{:<8} {name:<22} calls {:<7} total {:>9.2} ms  max {:>8.2} ms",
+                "{:<8} {:<22} calls {:<7} total {:>9.2} ms  max {:>8.2} ms",
                 agg.layer.as_str(),
+                agg.name,
                 agg.count,
                 agg.total_us as f64 / 1e3,
                 agg.max_us as f64 / 1e3,
@@ -154,23 +183,28 @@ pub fn render_report(input: &ReportInput) -> String {
     out
 }
 
-fn aggregate_spans(events: &[JournalEvent], layer: Option<Layer>) -> Vec<(String, SpanAgg)> {
-    let mut rows: Vec<(String, SpanAgg)> = Vec::new();
+/// Aggregates completed spans by `(layer, name)`, optionally restricted
+/// to one layer, in first-seen order.
+pub fn span_rows(events: &[JournalEvent], layer: Option<Layer>) -> Vec<SpanRow> {
+    let mut rows: Vec<SpanRow> = Vec::new();
     for e in events {
         let Some(dur) = e.dur_us else { continue };
         if layer.is_some_and(|l| e.layer != l) {
             continue;
         }
-        match rows.iter_mut().find(|(name, agg)| *name == e.name && agg.layer == e.layer) {
-            Some((_, agg)) => {
+        match rows.iter_mut().find(|agg| agg.name == e.name && agg.layer == e.layer) {
+            Some(agg) => {
                 agg.count += 1;
                 agg.total_us += dur;
                 agg.max_us = agg.max_us.max(dur);
             }
-            None => rows.push((
-                e.name.clone(),
-                SpanAgg { layer: e.layer, count: 1, total_us: dur, max_us: dur },
-            )),
+            None => rows.push(SpanRow {
+                layer: e.layer,
+                name: e.name.clone(),
+                count: 1,
+                total_us: dur,
+                max_us: dur,
+            }),
         }
     }
     rows
@@ -195,7 +229,7 @@ pub fn last_metrics_snapshot(events: &[JournalEvent]) -> Vec<(String, f64)> {
 }
 
 /// Human-readable byte count; integral bytes below 1 KiB.
-fn format_bytes(bytes: u64) -> String {
+pub(crate) fn format_bytes(bytes: u64) -> String {
     const UNITS: [(&str, u64); 4] = [("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10), ("B", 1)];
     for (name, size) in UNITS {
         if bytes >= size {
@@ -271,6 +305,30 @@ mod tests {
         assert!(report.contains("torn final line"));
         // flush_ keys from snapshots are excluded from the memory table.
         assert!(!report.contains("flush_raw_bytes        "));
+    }
+
+    #[test]
+    fn hot_sites_section_renders_from_snapshot() {
+        let events = vec![JournalEvent {
+            layer: Layer::Cli,
+            thread: "metrics".to_string(),
+            name: "metrics".to_string(),
+            t_us: 0,
+            dur_us: None,
+            args: vec![
+                ("sword_site_pairs{site=\"kernel.rs:10\"}".to_string(), 42.0),
+                ("sword_site_races{site=\"kernel.rs:10\"}".to_string(), 2.0),
+            ],
+        }];
+        let report = render_report(&ReportInput {
+            events,
+            info: BTreeMap::new(),
+            truncated_tail: false,
+            top_n: 5,
+        });
+        assert!(report.contains("hot sites"), "{report}");
+        assert!(report.contains("kernel.rs:10"), "{report}");
+        assert!(report.contains("pairs 42"), "{report}");
     }
 
     #[test]

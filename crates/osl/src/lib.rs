@@ -367,6 +367,84 @@ impl Label {
     }
 }
 
+/// Renders the step-by-step derivation of
+/// [`Label::compare_barrier_aware`] as human-readable lines — the
+/// "why are these two intervals concurrent (or ordered)" part of a race
+/// evidence chain. The last line always states the verdict, which by
+/// construction matches `a.compare_barrier_aware(b)`.
+pub fn explain_concurrency(a: &Label, b: &Label) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(format!("label A = {a}"));
+    out.push(format!("label B = {b}"));
+    let pa = a.pairs();
+    let pb = b.pairs();
+    let common = pa.iter().zip(pb.iter()).take_while(|(x, y)| x == y).count();
+    if common == 0 {
+        out.push("no common prefix".to_string());
+    } else {
+        let prefix: String = pa[..common].iter().map(|p| p.to_string()).collect();
+        out.push(format!("common prefix ({common} pair{}) = {prefix}", plural(common)));
+    }
+    match (pa.len() == common, pb.len() == common) {
+        (true, true) => {
+            out.push("labels are identical => same execution point (EQUAL)".to_string())
+        }
+        (true, false) => out.push(
+            "A is a proper prefix of B: A is the forker's point before the fork \
+             => ordered BEFORE (case 1)"
+                .to_string(),
+        ),
+        (false, true) => out.push(
+            "B is a proper prefix of A: B is the forker's point before the fork \
+             => ordered AFTER (case 1)"
+                .to_string(),
+        ),
+        (false, false) => {
+            let x = pa[common];
+            let y = pb[common];
+            out.push(format!("first divergent pair: {x} vs {y}"));
+            if x.span == y.span {
+                let (gx, gy) = (x.generation(), y.generation());
+                out.push(format!(
+                    "same span {}: compare barrier generations {gx} = {}/{} vs {gy} = {}/{}",
+                    x.span, x.offset, x.span, y.offset, y.span
+                ));
+                match gx.cmp(&gy) {
+                    std::cmp::Ordering::Less => out.push(format!(
+                        "generation {gx} < {gy}: a barrier synchronized every team slot \
+                         between them => ordered BEFORE"
+                    )),
+                    std::cmp::Ordering::Greater => out.push(format!(
+                        "generation {gx} > {gy}: a barrier synchronized every team slot \
+                         between them => ordered AFTER"
+                    )),
+                    std::cmp::Ordering::Equal => out.push(format!(
+                        "equal generation {gx}, different slots {} vs {}: \
+                         no barrier or join orders them => CONCURRENT",
+                        x.slot(),
+                        y.slot()
+                    )),
+                }
+            } else {
+                out.push(format!(
+                    "different spans {} vs {}: the points sit in sibling fork subtrees \
+                     with no ordering fork point => CONCURRENT",
+                    x.span, y.span
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
 impl fmt::Debug for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for p in &self.pairs {
@@ -633,6 +711,31 @@ mod tests {
     }
 
     #[test]
+    fn explanation_names_the_divergence() {
+        let a = Label::root().fork(0, 2);
+        let b = Label::root().fork(1, 2);
+        let lines = explain_concurrency(&a, &b);
+        assert_eq!(lines[0], "label A = [0,1][0,2]");
+        assert_eq!(lines[1], "label B = [0,1][1,2]");
+        assert!(lines[2].contains("common prefix (1 pair) = [0,1]"));
+        assert!(lines[3].contains("[0,2] vs [1,2]"));
+        assert!(lines.last().unwrap().contains("CONCURRENT"));
+    }
+
+    #[test]
+    fn explanation_covers_prefix_and_barrier_cases() {
+        let parent = Label::root();
+        let child = parent.fork(1, 2);
+        assert!(explain_concurrency(&parent, &child).last().unwrap().contains("BEFORE"));
+        assert!(explain_concurrency(&child, &parent).last().unwrap().contains("AFTER"));
+        let a = Label::root().fork(0, 2);
+        let b = Label::root().fork(1, 2).bump();
+        let lines = explain_concurrency(&a, &b);
+        assert!(lines.iter().any(|l| l.contains("generation")));
+        assert!(lines.last().unwrap().contains("BEFORE"));
+    }
+
+    #[test]
     fn deep_nesting_chain() {
         // A chain of single-thread nested regions is totally ordered.
         let mut labels = vec![Label::root()];
@@ -741,6 +844,19 @@ mod proptests {
         #[test]
         fn flat_roundtrip_prop(a in arb_label()) {
             prop_assert_eq!(Label::from_flat(&a.to_flat()), Some(a));
+        }
+
+        #[test]
+        fn explanation_verdict_matches_comparison(a in arb_label(), b in arb_label()) {
+            let verdict = match a.compare_barrier_aware(&b) {
+                Ordering::Equal => "EQUAL",
+                Ordering::Before => "BEFORE",
+                Ordering::After => "AFTER",
+                Ordering::Concurrent => "CONCURRENT",
+            };
+            let lines = explain_concurrency(&a, &b);
+            prop_assert!(lines.last().unwrap().contains(verdict),
+                "{:?} vs {:?}: expected {} in {:?}", a, b, verdict, lines);
         }
 
         #[test]

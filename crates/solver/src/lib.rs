@@ -133,6 +133,41 @@ impl StridedInterval {
     pub fn range_overlaps(&self, other: &StridedInterval) -> bool {
         self.begin() < other.end() && other.begin() < self.end()
     }
+
+    /// Solves `addr = base + stride*x + s` for a contained address,
+    /// returning the access index `x` (`0 <= x <= count`) and the byte
+    /// offset `s` within that access (`0 <= s < size`). A dense interval
+    /// may cover `addr` through several accesses; the smallest covering
+    /// index is returned. `None` when `addr` is not covered.
+    pub fn locate(&self, addr: u64) -> Option<(u64, u64)> {
+        if !self.contains(addr) {
+            return None;
+        }
+        let off = addr - self.base;
+        if self.stride == 0 {
+            return Some((0, off));
+        }
+        let x = (off / self.stride).min(self.count);
+        Some((x, off - x * self.stride))
+    }
+}
+
+/// The solver's concrete model of one satisfiable overlap constraint
+/// (§III-B): the shared byte address plus the per-interval access index
+/// and byte offset reaching it, i.e.
+/// `addr = a.base + a.stride*x0 + s0 = b.base + b.stride*x1 + s1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct OverlapWitness {
+    /// The shared byte address.
+    pub addr: u64,
+    /// Access index into the first interval (`0 <= x0 <= a.count`).
+    pub x0: u64,
+    /// Byte offset within that access (`0 <= s0 < a.size`).
+    pub s0: u64,
+    /// Access index into the second interval.
+    pub x1: u64,
+    /// Byte offset within that access.
+    pub s1: u64,
 }
 
 /// Exact check: do two strided intervals share at least one byte address?
@@ -188,6 +223,21 @@ pub fn strided_overlap_witness(a: &StridedInterval, b: &StridedInterval) -> Opti
         }
     }
     None
+}
+
+/// Like [`strided_overlap_witness`], but resolves the witness address
+/// back into both intervals' index spaces, producing the full variable
+/// assignment `(x0, s0, x1, s1)` of the §III-B constraint system — what a
+/// race report needs to show *which* loop iterations collide, not just
+/// which byte.
+pub fn strided_overlap_witness_full(
+    a: &StridedInterval,
+    b: &StridedInterval,
+) -> Option<OverlapWitness> {
+    let addr = strided_overlap_witness(a, b)?;
+    let (x0, s0) = a.locate(addr).expect("witness address is a member of a");
+    let (x1, s1) = b.locate(addr).expect("witness address is a member of b");
+    Some(OverlapWitness { addr, x0, s0, x1, s1 })
 }
 
 /// `dense` covers a contiguous byte range; finds a byte of `strided`
@@ -388,6 +438,37 @@ mod tests {
     }
 
     #[test]
+    fn locate_solves_the_access_equation() {
+        let t = StridedInterval::new(10, 8, 4, 4);
+        assert_eq!(t.locate(10), Some((0, 0)));
+        assert_eq!(t.locate(13), Some((0, 3)));
+        assert_eq!(t.locate(26), Some((2, 0)));
+        assert_eq!(t.locate(45), Some((4, 3)));
+        assert_eq!(t.locate(14), None, "hole between accesses");
+        assert_eq!(t.locate(9), None);
+        // Dense with stride < size: the smallest covering index wins.
+        let d = StridedInterval::new(0, 2, 3, 4);
+        assert_eq!(d.locate(3), Some((1, 1)));
+        // Single access.
+        let s = StridedInterval::single(100, 8);
+        assert_eq!(s.locate(105), Some((0, 5)));
+    }
+
+    #[test]
+    fn full_witness_assigns_all_four_variables() {
+        let a = StridedInterval::new(10, 8, 4, 4);
+        let b = StridedInterval::new(13, 8, 4, 4);
+        let w = strided_overlap_witness_full(&a, &b).expect("overlaps");
+        assert_eq!(w.addr, a.base + a.stride * w.x0 + w.s0);
+        assert_eq!(w.addr, b.base + b.stride * w.x1 + w.s1);
+        assert!(w.x0 <= a.count && w.s0 < a.size);
+        assert!(w.x1 <= b.count && w.s1 < b.size);
+        // Disjoint interleavings yield no witness at all.
+        let c = StridedInterval::new(14, 8, 4, 4);
+        assert!(strided_overlap_witness_full(&a, &c).is_none());
+    }
+
+    #[test]
     fn div_helpers() {
         assert_eq!(div_floor_i128(7, 2), 3);
         assert_eq!(div_floor_i128(-7, 2), -4);
@@ -442,6 +523,30 @@ mod proptests {
         #[test]
         fn self_overlap(a in arb_interval()) {
             prop_assert!(strided_overlap(&a, &a.clone()));
+        }
+
+        #[test]
+        fn locate_roundtrips_every_member(a in arb_interval()) {
+            for k in 0..=a.count {
+                for j in 0..a.size {
+                    let addr = a.base + a.stride * k + j;
+                    let (x, s) = a.locate(addr).expect("member address");
+                    prop_assert_eq!(a.base + a.stride * x + s, addr);
+                    prop_assert!(x <= a.count && s < a.size);
+                }
+            }
+        }
+
+        #[test]
+        fn full_witness_satisfies_constraints(a in arb_interval(), b in arb_interval()) {
+            if let Some(w) = strided_overlap_witness_full(&a, &b) {
+                prop_assert_eq!(w.addr, a.base + a.stride * w.x0 + w.s0);
+                prop_assert_eq!(w.addr, b.base + b.stride * w.x1 + w.s1);
+                prop_assert!(w.x0 <= a.count && w.s0 < a.size);
+                prop_assert!(w.x1 <= b.count && w.s1 < b.size);
+            } else {
+                prop_assert!(!strided_overlap(&a, &b));
+            }
         }
 
         #[test]

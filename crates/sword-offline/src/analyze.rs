@@ -50,6 +50,13 @@ pub struct AnalysisConfig {
     /// go to its journal, solver latency and tree memory to its registry.
     /// `None` (the default) keeps the analyzer entirely uninstrumented.
     pub obs: Option<Obs>,
+    /// Per-source-site attribution table. When present, `compare` workers
+    /// accumulate per-PC counters (accesses scanned, pairs checked,
+    /// solver calls, races) and fold them in here; `None` (the default)
+    /// keeps the compare hot path attribution-free. Separate from `obs`
+    /// so the overhead of attribution itself can be measured against a
+    /// clean baseline.
+    pub sites: Option<sword_obs::SiteTable>,
     /// Live bytes held in interval trees, updated as workers (or the
     /// live analyzer's cache) build and drop trees. Shared by `clone`;
     /// its peak is the analyzer's measured tree memory (Figures 6–8).
@@ -65,6 +72,7 @@ impl Default for AnalysisConfig {
             focus_regions: None,
             suppressions: Vec::new(),
             obs: None,
+            sites: None,
             mem_gauge: MemGauge::new(),
         }
     }
@@ -113,6 +121,14 @@ impl AnalysisConfig {
         self
     }
 
+    /// Attaches a per-site attribution table; compare workers will fold
+    /// per-PC counters into it. Whole-table totals are additionally
+    /// registered as registry sources when `--obs` is also on.
+    pub fn with_site_attribution(mut self, sites: sword_obs::SiteTable) -> Self {
+        self.sites = Some(sites);
+        self
+    }
+
     /// The analyzer's journal recorder for `thread`, when `--obs` is on.
     pub(crate) fn journal_for(&self, thread: impl Into<String>) -> Option<ThreadJournal> {
         self.obs.as_ref().map(|o| o.journal.for_thread(Layer::Offline, thread))
@@ -142,6 +158,9 @@ impl AnalysisConfig {
                 "Peak bytes held in the analyzer's interval trees",
                 move || g.peak() as f64,
             );
+            if let Some(sites) = &self.sites {
+                sites.register_totals(&obs.registry);
+            }
         }
     }
 }

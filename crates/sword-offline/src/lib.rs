@@ -42,5 +42,5 @@ pub use analyze::{
 };
 pub use live::{LiveAnalyzer, PollDelta};
 pub use load::LoadedSession;
-pub use race::{Race, RaceKey};
-pub use report::{render_json, render_text};
+pub use race::{AccessSite, Evidence, Race, RaceKey};
+pub use report::{render_explain, render_json, render_text};

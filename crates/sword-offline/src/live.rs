@@ -28,7 +28,7 @@ use std::io::{self, BufReader};
 use std::time::Instant;
 
 use sword_metrics::{MemGauge, StageTable};
-use sword_obs::{Gauge, Histogram, ThreadJournal};
+use sword_obs::{Gauge, Histogram, SiteCounters, ThreadJournal};
 use sword_osl::{Label, Ordering as OslOrdering};
 use sword_trace::{PcTable, RegionRecord, SessionDir, SessionPoller, ThreadId};
 
@@ -173,6 +173,9 @@ pub struct LiveAnalyzer {
     journal: Option<ThreadJournal>,
     lag_gauge: Option<Gauge>,
     solver_hist: Option<Histogram>,
+    /// Per-site attribution accumulator (`AnalysisConfig::sites`),
+    /// folded into the shared table by [`LiveAnalyzer::into_result`].
+    site_acc: Option<SiteCounters>,
 }
 
 impl LiveAnalyzer {
@@ -207,6 +210,7 @@ impl LiveAnalyzer {
             journal,
             lag_gauge,
             solver_hist,
+            site_acc: config.sites.as_ref().map(|_| SiteCounters::new()),
         }
     }
 
@@ -350,6 +354,9 @@ impl LiveAnalyzer {
         if !self.pcs_loaded && self.dir.pcs_path().exists() {
             self.pcs = PcTable::read_from(BufReader::new(File::open(self.dir.pcs_path())?))?;
             self.pcs_loaded = true;
+        }
+        if let (Some(table), Some(acc)) = (&self.config.sites, self.site_acc.take()) {
+            table.absorb(acc);
         }
         // Region-pair accounting over *all* pid pairs, exactly as the
         // batch structure pass counts them (including pairs no comparison
@@ -542,24 +549,17 @@ impl LiveAnalyzer {
                 if ta.node_count() == 0 || tb.node_count() == 0 {
                     continue;
                 }
-                // The batch path tags cross races with the
-                // earlier-positioned region's pid; reproduce that witness.
-                let region = if gi == home {
-                    pid
-                } else if member.meta.data_begin <= interval.meta.data_begin {
-                    self.groups[gi].pid
-                } else {
-                    pid
-                };
                 self.worker.tree_pairs += 1;
                 let t0 = Instant::now();
                 let pair_stats = check_pair(
                     ta,
+                    &interval,
                     tb,
-                    region,
+                    &member,
                     self.config.solver,
                     races,
                     self.solver_hist.as_ref(),
+                    self.site_acc.as_mut(),
                 );
                 self.worker.compare_secs += t0.elapsed().as_secs_f64();
                 self.worker.candidates += pair_stats.candidates;

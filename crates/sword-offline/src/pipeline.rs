@@ -28,7 +28,7 @@ use std::time::Instant;
 
 use crossbeam::channel::bounded;
 use sword_metrics::StageTable;
-use sword_obs::Histogram;
+use sword_obs::{Histogram, SiteCounters};
 
 use crate::analyze::{journal_stage, AnalysisConfig};
 use crate::build::ReaderPool;
@@ -149,6 +149,9 @@ pub(crate) fn run(
                 let mut pool = ReaderPool::new();
                 let journal = config.journal_for(format!("oa-worker-{wi}"));
                 let solver_hist = config.solver_hist();
+                // Per-worker attribution accumulator (lock-free on the
+                // hot path), folded into the shared table once at exit.
+                let mut site_acc = config.sites.as_ref().map(|_| SiteCounters::new());
                 for task in task_rx.iter() {
                     let s0 = journal.as_ref().map(|j| j.now_us());
                     let t0 = Instant::now();
@@ -163,6 +166,7 @@ pub(crate) fn run(
                         &mut task_races,
                         &mut local,
                         solver_hist.as_ref(),
+                        &mut site_acc,
                     );
                     let secs = t0.elapsed().as_secs_f64();
                     journal_stage(&journal, "task", s0, ("tree_pairs", local.tree_pairs as f64));
@@ -171,6 +175,9 @@ pub(crate) fn run(
                     if result_tx.send(msg).is_err() {
                         break;
                     }
+                }
+                if let (Some(table), Some(acc)) = (&config.sites, site_acc.take()) {
+                    table.absorb(acc);
                 }
             });
         }
@@ -270,6 +277,7 @@ pub(crate) fn run_task(
     races: &mut RaceSet,
     stats: &mut WorkerStats,
     solver_hist: Option<&Histogram>,
+    sites: &mut Option<SiteCounters>,
 ) -> io::Result<()> {
     match *task {
         Task::Intra { group } => {
@@ -281,11 +289,13 @@ pub(crate) fn run_task(
                     stats.tree_pairs += 1;
                     let pair_stats = check_pair(
                         &trees[i].1,
+                        &g.members[trees[i].0],
                         &trees[j].1,
-                        g.pid,
+                        &g.members[trees[j].0],
                         config.solver,
                         races,
                         solver_hist,
+                        sites.as_mut(),
                     );
                     stats.candidates += pair_stats.candidates;
                     stats.solver_calls += pair_stats.solver_calls;
@@ -319,8 +329,16 @@ pub(crate) fn run_task(
                         continue;
                     }
                     stats.tree_pairs += 1;
-                    let pair_stats =
-                        check_pair(ta, tb, first.pid, config.solver, races, solver_hist);
+                    let pair_stats = check_pair(
+                        ta,
+                        ma,
+                        tb,
+                        mb,
+                        config.solver,
+                        races,
+                        solver_hist,
+                        sites.as_mut(),
+                    );
                     stats.candidates += pair_stats.candidates;
                     stats.solver_calls += pair_stats.solver_calls;
                 }

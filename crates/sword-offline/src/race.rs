@@ -1,15 +1,20 @@
-//! Tree-vs-tree race checking and race reports.
+//! Tree-vs-tree race checking, evidence chains, and race reports.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::time::Instant;
 
 use sword_itree::for_each_candidate_pair;
-use sword_obs::Histogram;
-use sword_solver::{overlap_ilp, strided_overlap_witness, IlpStatus};
+use sword_obs::{Histogram, SiteCounters};
+use sword_osl::explain_concurrency;
+use sword_solver::{
+    overlap_ilp, strided_overlap_witness_full, IlpStatus, OverlapWitness, StridedInterval,
+};
 use sword_trace::{AccessKind, PcId, PcTable, ThreadId};
 
 use crate::analyze::SolverChoice;
-use crate::build::BiTree;
+use crate::build::{AccessMeta, BiTree};
+use crate::intervals::Interval;
 
 /// Dedup key: the unordered pair of source locations, which is how the
 /// paper's tables count races.
@@ -32,6 +37,57 @@ impl RaceKey {
     }
 }
 
+/// One witnessing access of a race: where it ran, why its interval is
+/// concurrent with the partner's, and where its raw events live.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessSite {
+    /// Interned source location.
+    pub pc: PcId,
+    /// Read/write/atomic classification.
+    pub kind: AccessKind,
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// Parallel region id of the barrier interval.
+    pub pid: u64,
+    /// Barrier-interval id within the region.
+    pub bid: u32,
+    /// The interval's full offset-span label, rendered (`[0,1][1,2]`).
+    pub label: String,
+    /// The summarized strided access the solver reasoned about.
+    pub interval: StridedInterval,
+    /// First byte of the interval's events in `thread_{tid}.log`.
+    pub log_begin: u64,
+    /// One past the last byte of the interval's events.
+    pub log_end: u64,
+    /// The solver witness's access index into [`AccessSite::interval`]
+    /// (`addr = base + stride*index + byte`).
+    pub index: u64,
+    /// The solver witness's byte offset within that access.
+    pub byte: u64,
+}
+
+/// The full evidence chain of one reported race: both witnessing
+/// accesses (in canonical order, see [`check_pair`]), the offset-span
+/// derivation of why their intervals are concurrent, and the solver's
+/// concrete model of the overlap constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evidence {
+    /// Canonically-first witnessing access.
+    pub a: AccessSite,
+    /// Canonically-second witnessing access.
+    pub b: AccessSite,
+    /// The `osl` derivation lines (see `sword_osl::explain_concurrency`)
+    /// for the two intervals' labels.
+    pub concurrency: Vec<String>,
+    /// The solver's variable assignment: `witness.addr = a.interval.base
+    /// + a.interval.stride * witness.x0 + witness.s0`, same for side b.
+    pub witness: OverlapWitness,
+}
+
+/// Ordering key of one evidence side within the session (see
+/// [`Race::side_pos`]).
+type SidePos = (u64, u32, u64, ThreadId, PcId, u8, u64, u64, u64, u64);
+
 /// One reported data race (deduplicated source-line pair).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Race {
@@ -49,6 +105,9 @@ pub struct Race {
     pub region: u64,
     /// How many interval pairs exhibited this source-line pair.
     pub occurrences: u64,
+    /// Evidence chain of the first witnessing pair (canonical session
+    /// order — independent of worker scheduling).
+    pub evidence: Evidence,
 }
 
 impl Race {
@@ -67,9 +126,96 @@ impl Race {
             self.occurrences
         )
     }
+
+    /// Renders the full evidence chain as indented text (the body of
+    /// `sword explain` and of an HTML race card).
+    pub fn render_evidence(&self, pcs: &PcTable) -> String {
+        let ev = &self.evidence;
+        let mut out = String::new();
+        let side = |out: &mut String, name: &str, s: &AccessSite| {
+            out.push_str(&format!(
+                "{name}: {} ({:?}) on thread {}\n",
+                pcs.display(s.pc),
+                s.kind,
+                s.tid
+            ));
+            out.push_str(&format!(
+                "  barrier interval: region {}, interval {}, label {}\n",
+                s.pid, s.bid, s.label
+            ));
+            out.push_str(&format!(
+                "  access pattern: base {:#x}, stride {}, count {}, size {} ({} accesses)\n",
+                s.interval.base,
+                s.interval.stride,
+                s.interval.count,
+                s.interval.size,
+                s.interval.len()
+            ));
+            out.push_str(&format!(
+                "  log bytes: [{}, {}) of thread_{}.log\n",
+                s.log_begin, s.log_end, s.tid
+            ));
+        };
+        side(&mut out, "side A", &ev.a);
+        side(&mut out, "side B", &ev.b);
+        out.push_str("concurrency (offset-span labels):\n");
+        for line in &ev.concurrency {
+            out.push_str(&format!("  {line}\n"));
+        }
+        let w = &ev.witness;
+        out.push_str("solver witness (overlap constraint model):\n");
+        out.push_str(&format!(
+            "  addr {:#x} = A.base {:#x} + A.stride {} * x0 {} + s0 {}\n",
+            w.addr, ev.a.interval.base, ev.a.interval.stride, w.x0, w.s0
+        ));
+        out.push_str(&format!(
+            "  addr {:#x} = B.base {:#x} + B.stride {} * x1 {} + s1 {}\n",
+            w.addr, ev.b.interval.base, ev.b.interval.stride, w.x1, w.s1
+        ));
+        out.push_str(&format!(
+            "occurrences: {} interval pair{} exhibited this source pair (first shown)\n",
+            self.occurrences,
+            if self.occurrences == 1 { "" } else { "s" }
+        ));
+        out
+    }
+
+    /// Canonical session position of one evidence side: barrier-interval
+    /// coordinates first, then the access identity within the interval —
+    /// two different node pairs of the *same* two intervals must not tie,
+    /// or batch and live could keep different witnesses.
+    fn side_pos(s: &AccessSite) -> SidePos {
+        (
+            s.pid,
+            s.bid,
+            s.log_begin,
+            s.tid,
+            s.pc,
+            s.kind.code(),
+            s.interval.base,
+            s.interval.stride,
+            s.interval.count,
+            s.interval.size,
+        )
+    }
+
+    /// Deterministic "how early in the session is this witness" rank:
+    /// a witnessing *pair* exists once its later interval exists, so the
+    /// primary component is the later side's position. Independent of
+    /// worker scheduling and of batch-vs-live processing order, which is
+    /// what makes "keep the first occurrence" reproducible.
+    fn rank(&self) -> (SidePos, SidePos, u64, u64) {
+        let pa = Self::side_pos(&self.evidence.a);
+        let pb = Self::side_pos(&self.evidence.b);
+        let (lo, hi) = if pa <= pb { (pa, pb) } else { (pb, pa) };
+        (hi, lo, self.evidence.witness.addr, self.region)
+    }
 }
 
 /// Mutable race accumulator with source-line-pair dedup.
+///
+/// Dedup keeps the evidence of the *first* occurrence in canonical
+/// session order (see `Race::rank`) and counts every occurrence.
 #[derive(Debug, Default)]
 pub struct RaceSet {
     races: HashMap<RaceKey, Race>,
@@ -86,14 +232,39 @@ impl RaceSet {
     /// Records one racy node pair.
     pub fn record(&mut self, race: Race) {
         self.raw_pairs += 1;
-        self.races.entry(race.key).and_modify(|r| r.occurrences += 1).or_insert(race);
+        match self.races.entry(race.key) {
+            Entry::Occupied(mut e) => {
+                let r = e.get_mut();
+                r.occurrences += 1;
+                if race.rank() < r.rank() {
+                    let occurrences = r.occurrences;
+                    *r = race;
+                    r.occurrences = occurrences;
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(race);
+            }
+        }
     }
 
     /// Merges another set (parallel workers).
     pub fn merge(&mut self, other: RaceSet) {
         self.raw_pairs += other.raw_pairs;
         for (key, race) in other.races {
-            self.races.entry(key).and_modify(|r| r.occurrences += race.occurrences).or_insert(race);
+            match self.races.entry(key) {
+                Entry::Occupied(mut e) => {
+                    let r = e.get_mut();
+                    let occurrences = r.occurrences + race.occurrences;
+                    if race.rank() < r.rank() {
+                        *r = race;
+                    }
+                    r.occurrences = occurrences;
+                }
+                Entry::Vacant(v) => {
+                    v.insert(race);
+                }
+            }
         }
     }
 
@@ -134,66 +305,173 @@ pub struct PairStats {
     pub solver_calls: u64,
 }
 
-/// Compares two interval trees and records races.
+/// Canonical ordering key of one side of a candidate node pair. Every
+/// field is scheduling-independent, and the two sides of a `check_pair`
+/// always come from different threads, so the key is a strict total
+/// order over the pair.
+fn side_key(
+    ctx: &Interval,
+    iv: &StridedInterval,
+    meta: &AccessMeta,
+) -> (PcId, ThreadId, u64, u32, u64, u64, u64, u64, u64, u8) {
+    (
+        meta.pc,
+        ctx.tid,
+        ctx.meta.pid,
+        ctx.meta.bid,
+        ctx.meta.data_begin,
+        iv.base,
+        iv.stride,
+        iv.count,
+        iv.size,
+        meta.kind.code(),
+    )
+}
+
+/// Compares two interval trees and records races with evidence.
 ///
 /// For every candidate pair (coarse `[begin,end)` overlap found through
 /// the augmented tree), applies the access-compatibility conditions and
 /// then the exact strided-overlap constraint with the chosen solver.
 ///
+/// Before the solve, the two sides are put into a *canonical order* (the
+/// `side_key` tuple), so the witness the solver returns — and hence
+/// the whole evidence chain — is identical no matter which argument
+/// order a caller used. This is what makes batch (multi-worker,
+/// nondeterministic reduction order) and live (ingest order) analysis
+/// produce byte-identical evidence.
+///
+/// `ca`/`cb` carry each tree's barrier-interval provenance (labels, log
+/// byte ranges) into the evidence record.
+///
 /// `solver_nanos`, when present, receives the latency of every exact
 /// solve (the registry's `sword_solver_call_nanos` histogram); timing is
 /// taken only around the solver itself, so candidate filtering stays
 /// unmeasured and uninstrumented runs pay nothing.
+///
+/// `sites`, when present, accumulates per-PC attribution (accesses
+/// scanned, pairs checked, solver calls, racy pairs).
+#[allow(clippy::too_many_arguments)]
 pub fn check_pair(
     a: &BiTree,
+    ca: &Interval,
     b: &BiTree,
-    region: u64,
+    cb: &Interval,
     solver: SolverChoice,
     races: &mut RaceSet,
     solver_nanos: Option<&Histogram>,
+    sites: Option<&mut SiteCounters>,
 ) -> PairStats {
     let mut stats = PairStats::default();
+    let mut sites = sites;
+    // The reported region is derived from the intervals themselves (not
+    // caller bookkeeping, which differs between batch group enumeration
+    // and live ingest order): the smaller region id of the two sides.
+    let region = ca.meta.pid.min(cb.meta.pid);
     for_each_candidate_pair(&a.tree, &b.tree, |ia, ma, ib, mb| {
         stats.candidates += 1;
+        if let Some(s) = sites.as_deref_mut() {
+            s.candidate(ma.pc, ia.len(), mb.pc, ib.len());
+        }
         if !a.can_race(ma, b, mb) {
             return;
         }
         stats.solver_calls += 1;
+        if let Some(s) = sites.as_deref_mut() {
+            s.solve(ma.pc, mb.pc);
+        }
+        // Canonical side order: the solve and its witness must not
+        // depend on which tree was the caller's `a`.
+        let ((i0, m0, c0), (i1, m1, c1)) = if side_key(ca, ia, ma) <= side_key(cb, ib, mb) {
+            ((ia, ma, ca), (ib, mb, cb))
+        } else {
+            ((ib, mb, cb), (ia, ma, ca))
+        };
         let t0 = solver_nanos.map(|_| Instant::now());
         let witness = match solver {
-            SolverChoice::Diophantine => strided_overlap_witness(ia, ib),
-            SolverChoice::Ilp => match overlap_ilp(ia, ib).solve() {
-                IlpStatus::Feasible => strided_overlap_witness(ia, ib),
+            SolverChoice::Diophantine => strided_overlap_witness_full(i0, i1),
+            SolverChoice::Ilp => match overlap_ilp(i0, i1).solve() {
+                IlpStatus::Feasible => strided_overlap_witness_full(i0, i1),
                 _ => None,
             },
         };
         if let (Some(hist), Some(t0)) = (solver_nanos, t0) {
             hist.record(t0.elapsed().as_nanos() as u64);
         }
-        if let Some(addr) = witness {
-            let key = RaceKey::new(ma.pc, mb.pc);
+        if let Some(w) = witness {
+            if let Some(s) = sites.as_deref_mut() {
+                s.race(m0.pc, m1.pc);
+            }
+            let key = RaceKey::new(m0.pc, m1.pc);
             // Keep kinds aligned with the key's (lo, hi) order.
             let (kind_a, kind_b) =
-                if ma.pc <= mb.pc { (ma.kind, mb.kind) } else { (mb.kind, ma.kind) };
+                if m0.pc <= m1.pc { (m0.kind, m1.kind) } else { (m1.kind, m0.kind) };
+            let site = |iv: &StridedInterval, meta: &AccessMeta, ctx: &Interval, x: u64, s: u64| {
+                AccessSite {
+                    pc: meta.pc,
+                    kind: meta.kind,
+                    tid: ctx.tid,
+                    pid: ctx.meta.pid,
+                    bid: ctx.meta.bid,
+                    label: ctx.label.to_string(),
+                    interval: *iv,
+                    log_begin: ctx.meta.data_begin,
+                    log_end: ctx.meta.data_begin + ctx.meta.size,
+                    index: x,
+                    byte: s,
+                }
+            };
             races.record(Race {
                 key,
                 kind_a,
                 kind_b,
-                witness_addr: addr,
-                tids: (a.tid, b.tid),
+                witness_addr: w.addr,
+                tids: (c0.tid, c1.tid),
                 region,
                 occurrences: 1,
+                evidence: Evidence {
+                    a: site(i0, m0, c0, w.x0, w.s0),
+                    b: site(i1, m1, c1, w.x1, w.s1),
+                    concurrency: explain_concurrency(&c0.label, &c1.label),
+                    witness: w,
+                },
             });
         }
     });
     stats
 }
 
+/// Test helper: a synthetic evidence record for Race-literal tests
+/// across the crate.
+#[cfg(test)]
+pub(crate) fn test_evidence(pc_a: PcId, pc_b: PcId, addr: u64) -> Evidence {
+    let site = |pc: PcId, tid: ThreadId| AccessSite {
+        pc,
+        kind: AccessKind::Write,
+        tid,
+        pid: 0,
+        bid: 0,
+        label: format!("[0,1][{tid},8]"),
+        interval: StridedInterval::single(addr, 8),
+        log_begin: tid as u64 * 1000,
+        log_end: tid as u64 * 1000 + 100,
+        index: 0,
+        byte: 0,
+    };
+    Evidence {
+        a: site(pc_a, 0),
+        b: site(pc_b, 1),
+        concurrency: vec!["synthetic".to_string()],
+        witness: OverlapWitness { addr, x0: 0, s0: 0, x1: 0, s1: 0 },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::build::AccessMeta;
-    use sword_itree::{IntervalTree, StridedInterval};
+    use sword_itree::IntervalTree;
+    use sword_osl::Label;
+    use sword_trace::MetaRecord;
 
     fn tree_of(tid: ThreadId, nodes: &[(StridedInterval, AccessMeta)]) -> BiTree {
         let mut tree = IntervalTree::new();
@@ -209,6 +487,25 @@ mod tests {
         }
     }
 
+    /// Barrier-interval provenance of a test tree: slot `tid` of one
+    /// 8-wide top-level region.
+    pub(crate) fn ctx_of(tid: ThreadId) -> Interval {
+        Interval {
+            tid,
+            meta: MetaRecord {
+                pid: 0,
+                ppid: None,
+                bid: 0,
+                offset: tid as u64,
+                span: 8,
+                level: 1,
+                data_begin: tid as u64 * 1000,
+                size: 100,
+            },
+            label: Label::root().fork(tid as u64, 8),
+        }
+    }
+
     fn meta(kind: AccessKind, pc: PcId, mset: u32) -> AccessMeta {
         AccessMeta { kind, pc, mset }
     }
@@ -221,7 +518,16 @@ mod tests {
             tree_of(1, &[(StridedInterval::new(0x100, 8, 99, 8), meta(AccessKind::Read, 2, 0))]);
         let mut races = RaceSet::new();
         let hist = Histogram::default();
-        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races, Some(&hist));
+        let stats = check_pair(
+            &a,
+            &ctx_of(0),
+            &b,
+            &ctx_of(1),
+            SolverChoice::Diophantine,
+            &mut races,
+            Some(&hist),
+            None,
+        );
         assert_eq!(stats.candidates, 1);
         assert_eq!(stats.solver_calls, 1);
         assert_eq!(hist.count(), 1, "each exact solve records one latency sample");
@@ -229,6 +535,65 @@ mod tests {
         let race = races.into_sorted().pop().unwrap();
         assert_eq!(race.key, RaceKey::new(1, 2));
         assert_eq!(race.tids, (0, 1));
+        // Evidence carries both coordinates and the solver model.
+        assert_eq!(race.evidence.a.tid, 0);
+        assert_eq!(race.evidence.b.tid, 1);
+        assert_eq!(race.evidence.a.label, "[0,1][0,8]");
+        assert_eq!(race.evidence.a.log_begin, 0);
+        assert_eq!(race.evidence.a.log_end, 100);
+        assert_eq!(race.evidence.b.log_begin, 1000);
+        assert_eq!(race.evidence.witness.addr, race.witness_addr);
+        assert!(race.evidence.concurrency.last().unwrap().contains("CONCURRENT"));
+        // The witness model is internally consistent.
+        let w = &race.evidence.witness;
+        let ea = &race.evidence.a;
+        assert_eq!(ea.interval.base + ea.interval.stride * w.x0 + w.s0, w.addr);
+        assert_eq!(ea.index, w.x0);
+        assert_eq!(ea.byte, w.s0);
+    }
+
+    #[test]
+    fn evidence_is_argument_order_independent() {
+        // The whole point of canonical side ordering: swapping the
+        // caller's argument order must not change the recorded race.
+        let a =
+            tree_of(0, &[(StridedInterval::new(0x100, 16, 50, 8), meta(AccessKind::Write, 3, 0))]);
+        let b =
+            tree_of(1, &[(StridedInterval::new(0x108, 16, 50, 8), meta(AccessKind::Write, 9, 0))]);
+        let mut fwd = RaceSet::new();
+        check_pair(&a, &ctx_of(0), &b, &ctx_of(1), SolverChoice::Diophantine, &mut fwd, None, None);
+        let mut rev = RaceSet::new();
+        check_pair(&b, &ctx_of(1), &a, &ctx_of(0), SolverChoice::Diophantine, &mut rev, None, None);
+        assert_eq!(fwd.into_sorted(), rev.into_sorted());
+    }
+
+    #[test]
+    fn site_counters_attribute_compare_work() {
+        let a =
+            tree_of(0, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Write, 1, 0))]);
+        let b = tree_of(1, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Read, 2, 0))]);
+        let mut races = RaceSet::new();
+        let mut sites = SiteCounters::new();
+        check_pair(
+            &a,
+            &ctx_of(0),
+            &b,
+            &ctx_of(1),
+            SolverChoice::Diophantine,
+            &mut races,
+            None,
+            Some(&mut sites),
+        );
+        let table = sword_obs::SiteTable::new();
+        table.absorb(sites);
+        let snap = table.snapshot();
+        assert_eq!(snap.len(), 2);
+        let (pc1, pc2) = (snap[0].1, snap[1].1);
+        assert_eq!(pc1.scanned, 10, "interval.len() accesses credited");
+        assert_eq!(pc1.pairs, 1);
+        assert_eq!(pc1.solver_calls, 1);
+        assert_eq!(pc1.races, 1);
+        assert_eq!(pc1, pc2, "both sides credited symmetrically");
     }
 
     #[test]
@@ -236,7 +601,16 @@ mod tests {
         let a = tree_of(0, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Read, 1, 0))]);
         let b = tree_of(1, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Read, 2, 0))]);
         let mut races = RaceSet::new();
-        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races, None);
+        let stats = check_pair(
+            &a,
+            &ctx_of(0),
+            &b,
+            &ctx_of(1),
+            SolverChoice::Diophantine,
+            &mut races,
+            None,
+            None,
+        );
         assert_eq!(stats.solver_calls, 0);
         assert!(races.is_empty());
     }
@@ -246,7 +620,16 @@ mod tests {
         let a = tree_of(0, &[(StridedInterval::single(0x100, 8), meta(AccessKind::Write, 1, 1))]);
         let b = tree_of(1, &[(StridedInterval::single(0x100, 8), meta(AccessKind::Write, 2, 1))]);
         let mut races = RaceSet::new();
-        check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races, None);
+        check_pair(
+            &a,
+            &ctx_of(0),
+            &b,
+            &ctx_of(1),
+            SolverChoice::Diophantine,
+            &mut races,
+            None,
+            None,
+        );
         assert!(races.is_empty());
     }
 
@@ -256,13 +639,22 @@ mod tests {
         let a = tree_of(0, &[(StridedInterval::new(10, 8, 4, 4), meta(AccessKind::Write, 1, 0))]);
         let b = tree_of(1, &[(StridedInterval::new(14, 8, 4, 4), meta(AccessKind::Write, 2, 0))]);
         let mut races = RaceSet::new();
-        let stats = check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races, None);
+        let stats = check_pair(
+            &a,
+            &ctx_of(0),
+            &b,
+            &ctx_of(1),
+            SolverChoice::Diophantine,
+            &mut races,
+            None,
+            None,
+        );
         assert_eq!(stats.candidates, 1);
         assert_eq!(stats.solver_calls, 1);
         assert!(races.is_empty());
         // The ILP solver agrees.
         let mut races2 = RaceSet::new();
-        check_pair(&a, &b, 0, SolverChoice::Ilp, &mut races2, None);
+        check_pair(&a, &ctx_of(0), &b, &ctx_of(1), SolverChoice::Ilp, &mut races2, None, None);
         assert!(races2.is_empty());
     }
 
@@ -282,10 +674,59 @@ mod tests {
         let a = tree_of(0, &nodes_a);
         let b = tree_of(1, &nodes_b);
         let mut races = RaceSet::new();
-        check_pair(&a, &b, 0, SolverChoice::Diophantine, &mut races, None);
+        check_pair(
+            &a,
+            &ctx_of(0),
+            &b,
+            &ctx_of(1),
+            SolverChoice::Diophantine,
+            &mut races,
+            None,
+            None,
+        );
         assert_eq!(races.len(), 1);
         assert_eq!(races.raw_pairs, 10);
-        assert_eq!(races.into_sorted()[0].occurrences, 10);
+        let race = &races.into_sorted()[0];
+        assert_eq!(race.occurrences, 10);
+        // Dedup fairness: the kept witness is the earliest racy node pair
+        // (smallest witness address here — same interval coordinates).
+        assert_eq!(race.evidence.witness.addr, 0x1000);
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence_regardless_of_arrival_order() {
+        let early = Race {
+            key: RaceKey::new(1, 2),
+            kind_a: AccessKind::Write,
+            kind_b: AccessKind::Read,
+            witness_addr: 0x10,
+            tids: (0, 1),
+            region: 0,
+            occurrences: 1,
+            evidence: test_evidence(1, 2, 0x10),
+        };
+        let mut late = early.clone();
+        late.evidence.a.log_begin = 5000;
+        late.evidence.a.bid = 3;
+        late.witness_addr = 0x99;
+
+        // Record late first, then early: the early witness must win.
+        let mut s1 = RaceSet::new();
+        s1.record(late.clone());
+        s1.record(early.clone());
+        let r1 = s1.into_sorted().pop().unwrap();
+        assert_eq!(r1.occurrences, 2);
+        assert_eq!(r1.evidence, early.evidence);
+
+        // Same via merge (worker arrival order).
+        let mut s2 = RaceSet::new();
+        s2.record(late);
+        let mut s3 = RaceSet::new();
+        s3.record(early.clone());
+        s2.merge(s3);
+        let r2 = s2.into_sorted().pop().unwrap();
+        assert_eq!(r2.occurrences, 2);
+        assert_eq!(r2.evidence, early.evidence);
     }
 
     #[test]
@@ -300,6 +741,7 @@ mod tests {
             tids: (0, 1),
             region: 0,
             occurrences: 1,
+            evidence: test_evidence(2, 5, 0x10),
         };
         s1.record(race.clone());
         s2.record(race.clone());
@@ -330,10 +772,17 @@ mod tests {
             tids: (2, 5),
             region: 3,
             occurrences: 4,
+            evidence: test_evidence(p1, p2, 0xABC),
         };
         let s = race.render(&pcs);
         assert!(s.contains("kernel.rs:10"));
         assert!(s.contains("kernel.rs:20"));
         assert!(s.contains("0xabc"));
+        let body = race.render_evidence(&pcs);
+        assert!(body.contains("side A: kernel.rs:10"));
+        assert!(body.contains("side B: kernel.rs:20"));
+        assert!(body.contains("log bytes: [0, 100) of thread_0.log"));
+        assert!(body.contains("solver witness"));
+        assert!(body.contains("4 interval pairs"));
     }
 }

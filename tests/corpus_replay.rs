@@ -86,3 +86,61 @@ fn corpus_replays_cleanly_through_both_detectors() {
         assert!(report.ok(), "corpus entry `{name}` diverged:\n  {}", report.failures.join("\n  "));
     }
 }
+
+#[test]
+fn explain_rendering_pins_the_full_evidence_chain() {
+    use std::io::BufReader;
+
+    use sword::fuzz::exec::run_program;
+    use sword::offline::{analyze, render_explain, AnalysisConfig};
+    use sword::ompsim::SimConfig;
+    use sword::runtime::{run_collected, SwordConfig};
+    use sword::trace::{PcTable, SessionDir};
+
+    let loaded = load_dir(&corpus_dir()).unwrap();
+    let (_, prog) = loaded
+        .iter()
+        .find(|(n, _)| n == "seed000-team2-racy-nested")
+        .expect("pinned corpus entry present");
+    let o = oracle::analyze(prog);
+    let dir = std::env::temp_dir().join(format!("sword-explain-pin-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    run_collected(SwordConfig::new(&dir), SimConfig::default(), |sim| {
+        run_program(sim, prog, &o.plan)
+    })
+    .unwrap();
+    let session = SessionDir::new(&dir);
+    let result = analyze(&session, &AnalysisConfig::sequential()).unwrap();
+    let pcs = PcTable::read_from(BufReader::new(std::fs::File::open(session.pcs_path()).unwrap()))
+        .unwrap();
+    let text = render_explain(&result, &pcs, 0).expect("corpus program has a race to explain");
+    std::fs::remove_dir_all(&dir).unwrap();
+    // The full rendering is pinned: any drift in evidence collection,
+    // canonical side ordering, dedup fairness, label explanation, or the
+    // solver witness shows up as a diff here.
+    let expected = "\
+race #0 of 19
+race: fuzz.gen:4 (Write) <-> fuzz.gen:4 (Write) at addr 0x10000010 [threads 3 vs 4, region 1, seen 4x]
+
+side A: fuzz.gen:4 (Write) on thread 3
+  barrier interval: region 1, interval 0, label [0,1][0,1][0,2][0,1][0,2]
+  access pattern: base 0x10000010, stride 0, count 0, size 8 (1 accesses)
+  log bytes: [0, 14) of thread_3.log
+side B: fuzz.gen:4 (Write) on thread 4
+  barrier interval: region 1, interval 0, label [0,1][0,1][0,2][0,1][1,2]
+  access pattern: base 0x10000010, stride 0, count 0, size 8 (1 accesses)
+  log bytes: [0, 14) of thread_4.log
+concurrency (offset-span labels):
+  label A = [0,1][0,1][0,2][0,1][0,2]
+  label B = [0,1][0,1][0,2][0,1][1,2]
+  common prefix (4 pairs) = [0,1][0,1][0,2][0,1]
+  first divergent pair: [0,2] vs [1,2]
+  same span 2: compare barrier generations 0 = 0/2 vs 0 = 1/2
+  equal generation 0, different slots 0 vs 1: no barrier or join orders them => CONCURRENT
+solver witness (overlap constraint model):
+  addr 0x10000010 = A.base 0x10000010 + A.stride 0 * x0 0 + s0 0
+  addr 0x10000010 = B.base 0x10000010 + B.stride 0 * x1 0 + s1 0
+occurrences: 4 interval pairs exhibited this source pair (first shown)
+";
+    assert_eq!(text, expected, "pinned explain rendering drifted");
+}

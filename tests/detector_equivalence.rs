@@ -92,6 +92,48 @@ fn sword_verdicts_invariant_to_buffers_and_workers() {
 }
 
 #[test]
+fn evidence_chains_identical_between_batch_and_live() {
+    // Provenance must survive both analysis paths byte-for-byte: the
+    // race list, each race's headline, and the full evidence chain
+    // (interval coordinates, label derivation, solver witness, log byte
+    // ranges) may not depend on whether the session was analyzed in one
+    // batch or ingested incrementally. Generated programs get the same
+    // check on every fuzz iteration (see `sword_fuzz_gen::driver`); this
+    // covers the real benchmark kernels.
+    use std::io::BufReader;
+    use sword::offline::LiveAnalyzer;
+    use sword::trace::PcTable;
+
+    for name in ["plusplus-orig-yes", "c_md"] {
+        let w = sword::workloads::find_workload(name).unwrap();
+        let cfg = RunConfig::small();
+        let dir = tmp(&format!("ev-{name}"));
+        run_collected(SwordConfig::new(&dir).live(), SimConfig::default(), |sim| {
+            w.execute(sim, &cfg)
+        })
+        .unwrap();
+        let session = SessionDir::new(&dir);
+        let batch = analyze(&session, &AnalysisConfig::default()).unwrap();
+        assert!(!batch.races.is_empty(), "{name}: expected races to compare evidence on");
+
+        let live_cfg = AnalysisConfig::sequential();
+        let mut live = LiveAnalyzer::new(&session, &live_cfg);
+        while !live.poll().unwrap().finished {}
+        let live_result = live.into_result().unwrap();
+
+        let pcs =
+            PcTable::read_from(BufReader::new(std::fs::File::open(session.pcs_path()).unwrap()))
+                .unwrap();
+        let chain =
+            |r: &sword::offline::Race| format!("{}\n{}", r.render(&pcs), r.render_evidence(&pcs));
+        let batch_ev: Vec<String> = batch.races.iter().map(chain).collect();
+        let live_ev: Vec<String> = live_result.races.iter().map(chain).collect();
+        assert_eq!(batch_ev, live_ev, "{name}: batch and live evidence diverged");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
 fn archer_flush_shadow_never_changes_verdicts_here() {
     // archer-low trades memory for time, not detection capability, on
     // every suite workload (single-region kernels cannot lose records to
