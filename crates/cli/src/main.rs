@@ -55,7 +55,7 @@ use sword_obs::{
 use sword_offline::{analyze, AnalysisConfig, LiveAnalyzer, SolverChoice};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordConfig};
-use sword_trace::{PcTable, SessionDir};
+use sword_trace::{PcTable, ReadMode, SessionDir};
 use sword_workloads::{all_workloads, find_workload, RunConfig, Workload};
 
 fn main() -> ExitCode {
@@ -78,9 +78,13 @@ const USAGE: &str = "usage:
   sword analyze <session-dir> [--workers N] [--ilp] [--json] [--stats]
                                [--obs] [--region id,...]
                                [--suppress pat,...]
+                               [--read-mode mapped|buffered]
+                               [--no-verdict-cache]
   sword watch <session-dir> [--interval-ms N] [--timeout-secs N] [--json]
                              [--stats] [--obs] [--ilp] [--region id,...]
                              [--suppress pat,...]
+                             [--read-mode mapped|buffered]
+                             [--no-verdict-cache]
   sword trace export <session-dir> [--format chrome] [--out FILE]
   sword report <session-dir> [--top N] [--html [FILE]]
   sword explain <session-dir> <race-id> [--ilp] [--workers N]
@@ -283,6 +287,13 @@ fn analysis_config(flags: &Flags) -> Result<AnalysisConfig, String> {
     }
     if let Some(patterns) = flags.map.get("suppress") {
         config.suppressions = patterns.split(',').map(|p| p.trim().to_string()).collect();
+    }
+    if let Some(mode) = flags.map.get("read-mode") {
+        config.read_mode = ReadMode::parse(mode)
+            .ok_or_else(|| format!("--read-mode expects mapped|buffered, got `{mode}`"))?;
+    }
+    if flags.has("no-verdict-cache") {
+        config.verdict_cache = false;
     }
     Ok(config)
 }
@@ -851,6 +862,14 @@ mod tests {
         run(&s(&["analyze", session.to_str().unwrap(), "--workers", "1"])).expect("analyze");
         run(&s(&["analyze", session.to_str().unwrap(), "--json"])).expect("analyze --json");
         run(&s(&["analyze", session.to_str().unwrap(), "--stats"])).expect("analyze --stats");
+        run(&s(&["analyze", session.to_str().unwrap(), "--read-mode", "buffered"]))
+            .expect("analyze --read-mode buffered");
+        run(&s(&["analyze", session.to_str().unwrap(), "--no-verdict-cache"]))
+            .expect("analyze --no-verdict-cache");
+        assert!(
+            run(&s(&["analyze", session.to_str().unwrap(), "--read-mode", "weird"])).is_err(),
+            "unknown read mode is rejected"
+        );
         std::fs::remove_dir_all(&session).unwrap();
     }
 

@@ -285,6 +285,73 @@ fn bad_data(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+/// One frame parsed *in place* from a byte image: the payload borrows the
+/// image, so stored frames can be consumed zero-copy and compressed frames
+/// decompressed straight into a caller-recycled arena. This is the
+/// decode-into counterpart of [`FrameReader`], for readers that hold a
+/// whole log image in memory instead of streaming it.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameView<'a> {
+    /// Uncompressed length of the frame's block.
+    pub raw_len: usize,
+    /// The frame's payload bytes, borrowed from the image.
+    pub payload: &'a [u8],
+    /// `true` when the payload *is* the block (stored uncompressed).
+    pub stored: bool,
+}
+
+impl FrameView<'_> {
+    /// Decompresses this frame's block into `arena`, replacing its
+    /// contents but keeping its allocation — the recycled-arena decode
+    /// path. Stored frames copy; for those prefer using
+    /// [`FrameView::payload`] directly (no copy at all). Length-checked
+    /// like [`FrameReader::read_frame`].
+    pub fn decode_into(&self, arena: &mut Vec<u8>) -> io::Result<()> {
+        arena.clear();
+        if self.stored {
+            arena.extend_from_slice(self.payload);
+        } else {
+            decompress(self.payload, arena)
+                .map_err(|e| bad_data(&format!("corrupt frame: {e}")))?;
+        }
+        if arena.len() != self.raw_len {
+            return Err(bad_data("decompressed length mismatch"));
+        }
+        Ok(())
+    }
+}
+
+/// Parses the frame starting at `buf[0]`, returning its borrowed
+/// [`FrameView`] and the total encoded bytes it occupies (header +
+/// payload). Returns `Ok(None)` on an empty `buf` (clean end of image).
+///
+/// A header torn mid-way is `InvalidData`; a payload extending past the
+/// image is `UnexpectedEof` — the same split [`FrameReader`] reports on a
+/// truncated stream, so mapped and streamed readers degrade alike.
+pub fn parse_frame(buf: &[u8]) -> io::Result<Option<(FrameView<'_>, usize)>> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(bad_data("truncated frame header"));
+    }
+    if buf[..4] != FRAME_MAGIC {
+        return Err(bad_data("bad frame magic"));
+    }
+    let raw_len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+    let payload_len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    let flags = buf[12];
+    let end =
+        FRAME_HEADER_LEN.checked_add(payload_len).filter(|&end| end <= buf.len()).ok_or_else(
+            || io::Error::new(io::ErrorKind::UnexpectedEof, "frame payload past end of image"),
+        )?;
+    let stored = flags & FLAG_STORED != 0;
+    if stored && payload_len != raw_len {
+        return Err(bad_data("stored frame length mismatch"));
+    }
+    Ok(Some((FrameView { raw_len, payload: &buf[FRAME_HEADER_LEN..end], stored }, end)))
+}
+
 /// One-shot helper: compress `data` into a standalone frame byte vector.
 pub fn frame_compress(data: &[u8]) -> Vec<u8> {
     let mut w = FrameWriter::new(Vec::new());
@@ -452,6 +519,67 @@ mod tests {
         let mut out = Vec::new();
         FrameReader::new(&bytes[..]).read_frame(&mut out).unwrap();
         assert_eq!(out, block);
+    }
+
+    #[test]
+    fn parse_frame_walks_an_image_zero_copy() {
+        let mut w = FrameWriter::new(Vec::new());
+        let repetitive = vec![5u8; 4000]; // compresses
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let noisy: Vec<u8> = (0..600)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect(); // stores
+        w.write_frame(&repetitive).unwrap();
+        w.write_frame(&noisy).unwrap();
+        let image = w.into_inner();
+
+        let (f1, n1) = parse_frame(&image).unwrap().unwrap();
+        assert!(!f1.stored);
+        assert_eq!(f1.raw_len, repetitive.len());
+        let mut arena = Vec::new();
+        f1.decode_into(&mut arena).unwrap();
+        assert_eq!(arena, repetitive);
+
+        let (f2, n2) = parse_frame(&image[n1..]).unwrap().unwrap();
+        assert!(f2.stored, "noisy block falls back to stored");
+        assert_eq!(f2.payload, &noisy[..], "stored payload borrows the image");
+        f2.decode_into(&mut arena).unwrap();
+        assert_eq!(arena, noisy);
+
+        assert_eq!(n1 + n2, image.len());
+        assert!(parse_frame(&image[n1 + n2..]).unwrap().is_none(), "clean end of image");
+    }
+
+    #[test]
+    fn parse_frame_reports_torn_images() {
+        let image = frame_compress(&vec![9u8; 5000]);
+        // Torn header: InvalidData.
+        let err = parse_frame(&image[..7]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Torn payload: UnexpectedEof, like a truncated stream read.
+        let err = parse_frame(&image[..image.len() - 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Flipped magic: InvalidData.
+        let mut bad = image.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(parse_frame(&bad).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn decode_into_recycles_the_arena() {
+        let a = frame_compress(&vec![1u8; 3000]);
+        let b = frame_compress(&vec![2u8; 2000]);
+        let mut arena = Vec::new();
+        let (fa, _) = parse_frame(&a).unwrap().unwrap();
+        fa.decode_into(&mut arena).unwrap();
+        let cap = arena.capacity();
+        let (fb, _) = parse_frame(&b).unwrap().unwrap();
+        fb.decode_into(&mut arena).unwrap();
+        assert_eq!(arena, vec![2u8; 2000]);
+        assert_eq!(arena.capacity(), cap, "smaller block reuses the allocation");
     }
 
     #[test]

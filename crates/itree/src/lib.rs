@@ -41,8 +41,10 @@
 
 #![forbid(unsafe_code)]
 
+mod hash;
 mod tree;
 
+pub use hash::{FxBuildHasher, FxHasher};
 pub use sword_solver::{strided_overlap, StridedInterval};
 pub use tree::{IntervalTree, NodeRef};
 
@@ -89,6 +91,14 @@ const MAX_STRIDE_BYTES: u64 = 4096;
 #[derive(Clone, Copy, Debug)]
 struct MergeSlot {
     node: NodeRef,
+    /// Authoritative interval of this progression. The tree node lags
+    /// behind while a run is open (see `dirty`), so the per-access hot
+    /// path never touches the tree: extension decisions read and write
+    /// this copy, and the accumulated extent is flushed in one
+    /// `extend_interval` when the slot retires.
+    iv: StridedInterval,
+    /// Whether `iv` has extensions the tree node has not seen yet.
+    dirty: bool,
     /// A second element observed after a single access, held back until a
     /// third access confirms the stride (or the slot is retired, at which
     /// point it is materialized as its own node).
@@ -104,18 +114,46 @@ struct MergeSlot {
 /// progressions per key and extends one when the next access continues
 /// its (confirmed) arithmetic progression, which is exactly the shape
 /// instrumented array loops emit.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SummarizingBuilder<K: Hash + Eq + Clone, V> {
     tree: IntervalTree<V>,
-    /// Most-recent-first ring of live progressions per key.
-    last: HashMap<K, [Option<MergeSlot>; MERGE_HISTORY]>,
+    /// Most-recent-first rings of live progressions, one per distinct
+    /// key, indexed by [`SummarizingBuilder::index`].
+    rings: Vec<[Option<MergeSlot>; MERGE_HISTORY]>,
+    /// Key → ring index. Hashed with [`FxBuildHasher`]: the key is a few
+    /// machine words hashed once per recorded access, where SipHash's
+    /// setup cost dominates the lookup.
+    index: HashMap<K, u32, FxBuildHasher>,
+    /// Direct-mapped one-way cache in front of `index`, indexed by the
+    /// key hash's high bits — the per-access fast path. An instrumented
+    /// loop body cycles through a handful of source lines (a 5-operand
+    /// stencil touches 5 keys per iteration), so almost every access
+    /// resolves here with one compare instead of a map probe.
+    memo: Vec<Option<(K, u32)>>,
     accesses: u64,
 }
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for SummarizingBuilder<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Entries in the [`SummarizingBuilder::memo`] direct map. Sized for the
+/// working set of distinct source lines a compiled loop nest touches
+/// between barriers; collisions just fall back to the map probe.
+const KEY_CACHE_WAYS: usize = 64;
 
 impl<K: Hash + Eq + Clone, V: Clone> SummarizingBuilder<K, V> {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        SummarizingBuilder { tree: IntervalTree::new(), last: HashMap::new(), accesses: 0 }
+        SummarizingBuilder {
+            tree: IntervalTree::new(),
+            rings: Vec::new(),
+            index: HashMap::default(),
+            memo: vec![None; KEY_CACHE_WAYS],
+            accesses: 0,
+        }
     }
 
     /// Number of raw accesses inserted (the paper's `N`).
@@ -129,6 +167,33 @@ impl<K: Hash + Eq + Clone, V: Clone> SummarizingBuilder<K, V> {
         self.tree.len()
     }
 
+    /// The ring index for `key`, creating an empty ring for a fresh key.
+    /// Resolves through the direct-mapped key cache before probing the
+    /// map.
+    #[inline]
+    fn ring_of(&mut self, key: &K) -> u32 {
+        // The Fx multiply concentrates entropy in the high bits; the low
+        // bits of a product are too regular to index with.
+        let h = std::hash::BuildHasher::hash_one(&FxBuildHasher, key);
+        let mi = (h >> 58) as usize & (KEY_CACHE_WAYS - 1);
+        if let Some((k, ri)) = &self.memo[mi] {
+            if k == key {
+                return *ri;
+            }
+        }
+        let ri = match self.index.get(key) {
+            Some(&ri) => ri,
+            None => {
+                let ri = self.rings.len() as u32;
+                self.rings.push([None; MERGE_HISTORY]);
+                self.index.insert(key.clone(), ri);
+                ri
+            }
+        };
+        self.memo[mi] = Some((key.clone(), ri));
+        ri
+    }
+
     /// Inserts one access of `size` bytes at `addr` with merge key `key`.
     /// `value` is stored only when a new node is created (merged accesses
     /// share the representative's value).
@@ -140,70 +205,78 @@ impl<K: Hash + Eq + Clone, V: Clone> SummarizingBuilder<K, V> {
         value: impl FnOnce() -> V,
     ) -> MergeOutcome {
         self.accesses += 1;
-        if let Some(ring) = self.last.get_mut(&key) {
-            for i in 0..MERGE_HISTORY {
-                let Some(slot) = ring[i] else { continue };
-                let iv = *self.tree.interval(slot.node);
-                if iv.size != size {
-                    continue;
-                }
-                let outcome = match_slot(&iv, slot.pending, addr);
-                let result = match outcome {
-                    SlotMatch::None => continue,
-                    SlotMatch::Covered => MergeOutcome::Duplicate(slot.node),
-                    SlotMatch::Extend(extended) => {
-                        self.tree.extend_interval(slot.node, extended);
-                        ring[i] = Some(MergeSlot { node: slot.node, pending: None });
-                        MergeOutcome::Extended(slot.node)
-                    }
-                    SlotMatch::Pend => {
-                        ring[i] = Some(MergeSlot { node: slot.node, pending: Some(addr) });
-                        MergeOutcome::Extended(slot.node)
-                    }
-                    SlotMatch::PendingRepeat => MergeOutcome::Duplicate(slot.node),
-                };
-                // Promote the hit to the front of the ring.
-                ring[..=i].rotate_right(1);
-                return result;
+        let ri = self.ring_of(&key) as usize;
+        for i in 0..MERGE_HISTORY {
+            let Some(slot) = self.rings[ri][i] else { continue };
+            if slot.iv.size != size {
+                continue;
             }
+            let outcome = match_slot(&slot.iv, slot.pending, addr);
+            let ring = &mut self.rings[ri];
+            let result = match outcome {
+                SlotMatch::None => continue,
+                SlotMatch::Covered => MergeOutcome::Duplicate(slot.node),
+                SlotMatch::Extend(extended) => {
+                    ring[i] = Some(MergeSlot {
+                        node: slot.node,
+                        iv: extended,
+                        dirty: true,
+                        pending: None,
+                    });
+                    MergeOutcome::Extended(slot.node)
+                }
+                SlotMatch::Pend => {
+                    ring[i] = Some(MergeSlot { pending: Some(addr), ..slot });
+                    MergeOutcome::Extended(slot.node)
+                }
+                SlotMatch::PendingRepeat => MergeOutcome::Duplicate(slot.node),
+            };
+            // Promote the hit to the front of the ring.
+            self.rings[ri][..=i].rotate_right(1);
+            return result;
         }
         // No progression matched: start a new one, retiring the oldest.
-        let node = self.tree.insert(StridedInterval::single(addr, size), value());
-        let ring = self.last.entry(key).or_default();
+        let iv = StridedInterval::single(addr, size);
+        let node = self.tree.insert(iv, value());
+        let ring = &mut self.rings[ri];
         let retired = ring[MERGE_HISTORY - 1];
         ring.rotate_right(1);
-        ring[0] = Some(MergeSlot { node, pending: None });
+        ring[0] = Some(MergeSlot { node, iv, dirty: false, pending: None });
         if let Some(slot) = retired {
-            self.materialize_pending(slot);
+            self.retire(slot);
         }
         MergeOutcome::New(node)
     }
 
-    /// A retired slot's unconfirmed second element still represents a
-    /// real access: give it its own single node (sharing the
-    /// representative's value).
-    fn materialize_pending(&mut self, slot: MergeSlot) {
+    /// Flushes a slot leaving the ring: writes its accumulated extent to
+    /// the tree node in one `extend_interval`, and gives an unconfirmed
+    /// second element its own single node (it still represents a real
+    /// access, sharing the representative's value).
+    fn retire(&mut self, slot: MergeSlot) {
+        if slot.dirty {
+            self.tree.extend_interval(slot.node, slot.iv);
+        }
         if let Some(p) = slot.pending {
-            let iv = *self.tree.interval(slot.node);
             let value = self.tree.value(slot.node).clone();
-            self.tree.insert(StridedInterval::single(p, iv.size), value);
+            self.tree.insert(StridedInterval::single(p, slot.iv.size), value);
         }
     }
 
-    /// Finishes the build, flushing unconfirmed pendings, and returns the
-    /// tree.
+    /// Finishes the build, flushing open progressions and unconfirmed
+    /// pendings, and returns the tree.
     pub fn finish(mut self) -> IntervalTree<V> {
-        let rings: Vec<[Option<MergeSlot>; MERGE_HISTORY]> = self.last.values().copied().collect();
+        let rings = std::mem::take(&mut self.rings);
         for ring in rings {
             for slot in ring.into_iter().flatten() {
-                self.materialize_pending(slot);
+                self.retire(slot);
             }
         }
         self.tree
     }
 
     /// Read access to the tree under construction. Note: pending second
-    /// elements are not yet visible here.
+    /// elements and the unflushed extents of still-open progressions are
+    /// not yet visible here.
     pub fn tree(&self) -> &IntervalTree<V> {
         &self.tree
     }
@@ -409,7 +482,8 @@ mod tests {
             b.insert_with(1, i * 32, 8, || ());
         }
         assert_eq!(b.node_count(), 1);
-        assert_eq!(*b.tree().iter().next().unwrap().1, iv(0, 32, 99, 8));
+        let t = b.finish();
+        assert_eq!(*t.iter().next().unwrap().1, iv(0, 32, 99, 8));
     }
 
     #[test]

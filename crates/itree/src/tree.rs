@@ -112,7 +112,7 @@ impl<V> IntervalTree<V> {
             "extend_interval must preserve the begin address"
         );
         self.nodes[idx as usize].interval = interval;
-        self.fix_max_up(idx);
+        self.fix_max_up_value(idx);
     }
 
     /// Inserts an interval with its value; returns a handle to the node.
@@ -235,7 +235,9 @@ impl<V> IntervalTree<V> {
     }
 
     #[inline]
-    fn recompute_max(&mut self, idx: u32) {
+    /// Recomputes a node's `max_end` from its interval and children,
+    /// returning whether the stored value changed.
+    fn recompute_max(&mut self, idx: u32) -> bool {
         let node = &self.nodes[idx as usize];
         let mut m = node.interval.end();
         if node.left != NIL {
@@ -244,12 +246,33 @@ impl<V> IntervalTree<V> {
         if node.right != NIL {
             m = m.max(self.nodes[node.right as usize].max_end);
         }
+        let changed = self.nodes[idx as usize].max_end != m;
         self.nodes[idx as usize].max_end = m;
+        changed
     }
 
+    /// Repairs `max_end` from `idx` all the way to the root. Structural
+    /// edits (insert splice, delete transplant) can leave several nodes
+    /// along the path stale at once, so no early exit is sound here.
     fn fix_max_up(&mut self, mut idx: u32) {
         while idx != NIL {
             self.recompute_max(idx);
+            idx = self.nodes[idx as usize].parent;
+        }
+    }
+
+    /// Repairs `max_end` upward after a pure value change at `idx` (no
+    /// structural edit), stopping at the first node whose stored value
+    /// is already correct: every other node's max was consistent before,
+    /// and a node whose value is unchanged feeds its ancestors identical
+    /// inputs. Interval extension — the summarizer's per-access hot path
+    /// — usually settles within a step or two instead of walking the
+    /// full depth.
+    fn fix_max_up_value(&mut self, mut idx: u32) {
+        while idx != NIL {
+            if !self.recompute_max(idx) {
+                return;
+            }
             idx = self.nodes[idx as usize].parent;
         }
     }

@@ -564,9 +564,135 @@ impl StageTable {
     }
 }
 
+/// Number of log2 buckets in a [`DurationHist`] (1 µs up to ~17 min).
+const DURATION_BUCKETS: usize = 40;
+
+/// Lower bound of the first [`DurationHist`] bucket, in seconds.
+const DURATION_FLOOR_SECS: f64 = 1e-6;
+
+/// Fixed-footprint duration histogram with log2 buckets.
+///
+/// Replaces unbounded per-task `Vec<f64>` sample lists on the analysis
+/// hot path: each sample lands in one of 40 log2 buckets
+/// (powers of two above 1 µs), which keep both a count and a summed
+/// duration so the bucket mean is exact enough for scheduling models
+/// while the total and maximum stay exact. Histograms from parallel
+/// workers merge associatively.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DurationHist {
+    counts: [u64; DURATION_BUCKETS],
+    sums: [f64; DURATION_BUCKETS],
+    max_secs: f64,
+}
+
+impl Default for DurationHist {
+    fn default() -> Self {
+        DurationHist { counts: [0; DURATION_BUCKETS], sums: [0.0; DURATION_BUCKETS], max_secs: 0.0 }
+    }
+}
+
+impl DurationHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(secs: f64) -> usize {
+        if secs.is_nan() || secs <= DURATION_FLOOR_SECS {
+            return 0;
+        }
+        let exp = (secs / DURATION_FLOOR_SECS).log2().ceil() as usize;
+        exp.min(DURATION_BUCKETS - 1)
+    }
+
+    /// Records one duration (negative/NaN samples clamp to the floor
+    /// bucket with a zero contribution to the sum).
+    pub fn record(&mut self, secs: f64) {
+        let secs = if secs.is_finite() && secs > 0.0 { secs } else { 0.0 };
+        let b = Self::bucket_of(secs);
+        self.counts[b] += 1;
+        self.sums[b] += secs;
+        if secs > self.max_secs {
+            self.max_secs = secs;
+        }
+    }
+
+    /// Folds another histogram in.
+    pub fn merge(&mut self, other: &DurationHist) {
+        for b in 0..DURATION_BUCKETS {
+            self.counts[b] += other.counts[b];
+            self.sums[b] += other.sums[b];
+        }
+        if other.max_secs > self.max_secs {
+            self.max_secs = other.max_secs;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact sum of all recorded durations.
+    pub fn total_secs(&self) -> f64 {
+        self.sums.iter().sum()
+    }
+
+    /// Exact maximum recorded duration (0 when empty).
+    pub fn max_secs(&self) -> f64 {
+        self.max_secs
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Non-empty buckets as `(mean_secs, count)` pairs, cheapest first.
+    ///
+    /// The bucket mean (`sum / count`) preserves the histogram total
+    /// exactly, so a scheduling model summing `mean * count` over every
+    /// bucket reproduces [`Self::total_secs`].
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..DURATION_BUCKETS)
+            .filter(|&b| self.counts[b] > 0)
+            .map(|b| (self.sums[b] / self.counts[b] as f64, self.counts[b]))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn duration_hist_totals_are_exact() {
+        let mut h = DurationHist::new();
+        for s in [0.0001, 0.003, 0.003, 1.5, 0.0] {
+            h.record(s);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.total_secs() - 1.5061).abs() < 1e-12);
+        assert_eq!(h.max_secs(), 1.5);
+        let rebuilt: f64 = h.buckets().map(|(mean, n)| mean * n as f64).sum();
+        assert!((rebuilt - h.total_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_hist_merge_matches_sequential_records() {
+        let mut a = DurationHist::new();
+        let mut b = DurationHist::new();
+        let mut all = DurationHist::new();
+        for (i, s) in [1e-7, 2e-6, 0.5, 0.25, 3.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*s);
+            } else {
+                b.record(*s);
+            }
+            all.record(*s);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
 
     #[test]
     fn gauge_tracks_live_and_peak() {

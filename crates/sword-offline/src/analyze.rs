@@ -4,15 +4,16 @@
 use std::io;
 use std::time::Instant;
 
-use sword_metrics::{MemGauge, StageTable};
+use sword_metrics::{DurationHist, MemGauge, StageTable};
 use sword_obs::{Layer, Obs, ThreadJournal};
-use sword_trace::{PcTable, SessionDir};
+use sword_trace::{ImageCache, PcTable, ReadMode, SessionDir, SourceStats};
 
 use crate::build::DEFAULT_CHUNK_BYTES;
-use crate::intervals::build_structure;
+use crate::intervals::build_structure_with;
 use crate::load::LoadedSession;
 use crate::pipeline;
 use crate::race::{Race, RaceSet};
+use crate::verdicts::VerdictCache;
 
 /// Which exact-overlap solver to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +62,28 @@ pub struct AnalysisConfig {
     /// live analyzer's cache) build and drop trees. Shared by `clone`;
     /// its peak is the analyzer's measured tree memory (Figures 6–8).
     pub mem_gauge: MemGauge,
+    /// How per-thread logs are read: zero-copy mapped images (default)
+    /// or buffered forward streaming (`--read-mode buffered`).
+    pub read_mode: ReadMode,
+    /// Shared log-source activity counters (bytes mapped, arena reuse),
+    /// surfaced as registry rows when `--obs` is on.
+    pub source_stats: SourceStats,
+    /// Shared store of loaded log images: every worker's reader pool
+    /// draws from it, so each log file is read once per analysis rather
+    /// than once per worker. Fresh (empty) per config by default.
+    pub image_cache: ImageCache,
+    /// Memoize region-pair and solver verdicts across structurally
+    /// identical work (`--no-verdict-cache` turns this off; verdicts and
+    /// evidence are identical either way, only the work is).
+    pub verdict_cache: bool,
+    /// Node budget of the analysis core's interval-tree cache — one per
+    /// batch worker, one for the live analyzer. Intervals touched by many
+    /// comparison tasks are built once per cache instead of once per
+    /// task; `0` disables reuse (every task rebuilds its trees, the
+    /// pre-core shape). Statistics count logical tree requests either
+    /// way, so results and counters are identical — only the measured
+    /// tree-build time changes.
+    pub tree_cache_nodes: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -74,6 +97,11 @@ impl Default for AnalysisConfig {
             obs: None,
             sites: None,
             mem_gauge: MemGauge::new(),
+            read_mode: ReadMode::default(),
+            source_stats: SourceStats::new(),
+            image_cache: ImageCache::new(),
+            verdict_cache: true,
+            tree_cache_nodes: crate::build::TREE_CACHE_NODES,
         }
     }
 }
@@ -121,6 +149,25 @@ impl AnalysisConfig {
         self
     }
 
+    /// Overrides the log read mode (mapped vs buffered).
+    pub fn with_read_mode(mut self, mode: ReadMode) -> Self {
+        self.read_mode = mode;
+        self
+    }
+
+    /// Enables or disables the shared verdict cache.
+    pub fn with_verdict_cache(mut self, enabled: bool) -> Self {
+        self.verdict_cache = enabled;
+        self
+    }
+
+    /// Overrides the per-worker tree-cache node budget (`0` disables
+    /// tree reuse entirely).
+    pub fn with_tree_cache_nodes(mut self, nodes: usize) -> Self {
+        self.tree_cache_nodes = nodes;
+        self
+    }
+
     /// Attaches a per-site attribution table; compare workers will fold
     /// per-PC counters into it. Whole-table totals are additionally
     /// registered as registry sources when `--obs` is also on.
@@ -161,6 +208,50 @@ impl AnalysisConfig {
             if let Some(sites) = &self.sites {
                 sites.register_totals(&obs.registry);
             }
+        }
+    }
+
+    /// Registers the analysis core's activity rows (idempotent, like
+    /// [`AnalysisConfig::register_mem_sources`]): log bytes mapped, arena
+    /// recycling, and the verdict cache's hit accounting.
+    pub(crate) fn register_core_sources(&self, cache: &VerdictCache) {
+        if let Some(obs) = &self.obs {
+            let s = self.source_stats.clone();
+            obs.registry.source(
+                "sword_log_mapped_bytes",
+                "Log bytes held as zero-copy in-memory images",
+                move || s.bytes_mapped() as f64,
+            );
+            let s = self.source_stats.clone();
+            obs.registry.source(
+                "sword_arena_reuse_total",
+                "Frame decodes that recycled an existing decompression arena",
+                move || s.arena_reuses() as f64,
+            );
+            let s = self.source_stats.clone();
+            obs.registry.source(
+                "sword_arena_alloc_total",
+                "Frame decodes that had to grow a decompression arena",
+                move || s.arena_allocs() as f64,
+            );
+            let c = cache.clone();
+            obs.registry.source(
+                "sword_verdict_cache_hits_total",
+                "Region-pair and solver verdicts answered from the shared memo",
+                move || (c.region_hits() + c.solve_hits()) as f64,
+            );
+            let c = cache.clone();
+            obs.registry.source(
+                "sword_verdict_cache_misses_total",
+                "Region-pair and solver verdicts actually computed",
+                move || (c.region_misses() + c.solve_misses()) as f64,
+            );
+            let c = cache.clone();
+            obs.registry.source(
+                "sword_verdict_cache_hit_rate",
+                "Fraction of verdict lookups answered from the shared memo",
+                move || c.hit_rate(),
+            );
         }
     }
 }
@@ -214,9 +305,9 @@ pub struct AnalysisResult {
     pub races: Vec<Race>,
     /// Run statistics.
     pub stats: AnalysisStats,
-    /// Wall seconds of every comparison task (unordered), for the
-    /// distributed-analysis model.
-    pub task_secs: Vec<f64>,
+    /// Fixed-bucket histogram of per-task wall seconds, for the
+    /// distributed-analysis model (bounded regardless of task count).
+    pub task_hist: DurationHist,
     /// Per-stage wall time and throughput of the pipeline
     /// (discover, load-meta, build-structure, pair-schedule, tree-build,
     /// compare, dedup-report).
@@ -231,23 +322,30 @@ impl AnalysisResult {
 
     /// Models distributing the comparison tasks over `nodes` cluster
     /// nodes (the paper runs its offline analysis "across a cluster of
-    /// nodes"): longest-processing-time-first greedy assignment, returning
-    /// the makespan. `makespan(1)` ≈ single-node work; with more nodes
-    /// than tasks it converges to the longest task
-    /// ([`AnalysisStats::max_task_secs`]).
+    /// nodes"): longest-processing-time-first greedy assignment over the
+    /// task histogram's bucket means, returning the makespan.
+    /// `makespan(1)` is exactly the total task time (bucket means
+    /// preserve the sum); with more nodes than tasks it converges to the
+    /// longest task ([`AnalysisStats::max_task_secs`], which the
+    /// histogram keeps exactly).
     pub fn makespan(&self, nodes: usize) -> f64 {
         let nodes = nodes.max(1);
-        let mut sorted = self.task_secs.clone();
-        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let mut sorted: Vec<(f64, u64)> = self.task_hist.buckets().collect();
+        sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let mut loads = vec![0.0f64; nodes];
-        for t in sorted {
-            let min = loads
-                .iter_mut()
-                .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
-                .expect("nodes >= 1");
-            *min += t;
+        for (mean, count) in sorted {
+            for _ in 0..count {
+                let min = loads
+                    .iter_mut()
+                    .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                    .expect("nodes >= 1");
+                *min += mean;
+            }
         }
-        loads.into_iter().fold(0.0, f64::max)
+        // Bucket means smooth individual samples, but no schedule can
+        // beat the longest task; clamping to the exact maximum keeps the
+        // many-node limit exact.
+        loads.into_iter().fold(0.0, f64::max).max(self.task_hist.max_secs())
     }
 }
 
@@ -300,9 +398,11 @@ fn analyze_with_stages(
     let start = Instant::now();
     let journal = config.journal_for("analyzer");
     config.register_mem_sources();
+    let cache = VerdictCache::new(config.verdict_cache);
+    config.register_core_sources(&cache);
     let t0 = Instant::now();
     let s0 = journal.as_ref().map(|j| j.now_us());
-    let structure = build_structure(session)?;
+    let structure = build_structure_with(session, &cache)?;
     stages.record("build-structure", t0.elapsed().as_secs_f64(), structure.groups.len() as u64, 0);
     journal_stage(&journal, "build-structure", s0, ("groups", structure.groups.len() as f64));
     let mut stats = AnalysisStats {
@@ -314,7 +414,8 @@ fn analyze_with_stages(
         ..AnalysisStats::default()
     };
 
-    let (races, worker_stats, scheduled) = pipeline::run(session, &structure, config, &mut stages)?;
+    let (races, worker_stats, scheduled) =
+        pipeline::run(session, &structure, config, &cache, &mut stages)?;
     stats.tasks = scheduled;
     stats.trees_built = worker_stats.trees_built;
     stats.nodes = worker_stats.nodes;
@@ -326,7 +427,7 @@ fn analyze_with_stages(
     stats.max_task_secs = worker_stats.max_task_secs;
     let race_list = finalize_races(races, &session.pcs, &config.suppressions, &mut stats);
     stats.wall_secs = start.elapsed().as_secs_f64();
-    Ok(AnalysisResult { races: race_list, stats, task_secs: worker_stats.task_secs, stages })
+    Ok(AnalysisResult { races: race_list, stats, task_hist: worker_stats.task_hist, stages })
 }
 
 /// Turns an accumulated race set into the final sorted, suppressed report

@@ -8,6 +8,7 @@ use sword_osl::{Label, Ordering as OslOrdering};
 use sword_trace::{MetaRecord, ThreadId};
 
 use crate::load::LoadedSession;
+use crate::verdicts::{RegionVerdict, VerdictCache};
 
 /// One barrier interval of one thread, with its reconstructed full label.
 #[derive(Clone, Debug)]
@@ -115,6 +116,17 @@ pub fn full_label_from(
 /// * otherwise the fork labels are barrier/join-ordered and so is every
 ///   member pair → the whole region pair is skipped.
 pub fn build_structure(session: &LoadedSession) -> io::Result<Structure> {
+    build_structure_with(session, &VerdictCache::disabled())
+}
+
+/// [`build_structure`] with region-pair classification routed through a
+/// shared [`VerdictCache`] — the batch pipeline and the live analyzer
+/// both key their verdicts on fork-label structure, so a structure built
+/// here warms the same memo `check_pair` workers consult.
+pub fn build_structure_with(
+    session: &LoadedSession,
+    cache: &VerdictCache,
+) -> io::Result<Structure> {
     // Group rows by (pid, bid).
     let mut index: HashMap<(u64, u32), usize> = HashMap::new();
     let mut groups: Vec<Group> = Vec::new();
@@ -162,10 +174,8 @@ pub fn build_structure(session: &LoadedSession) -> io::Result<Structure> {
         let fp = fork_label(p);
         for &q in &pids[pi + 1..] {
             let fq = fork_label(q);
-            let verdict = fp.compare_barrier_aware(&fq);
-            let is_prefix = is_prefix_related(&fp, &fq);
-            match verdict {
-                OslOrdering::Concurrent => {
+            match cache.region_verdict(&fp, &fq) {
+                RegionVerdict::AllConcurrent => {
                     considered += 1;
                     for &ga in &region_groups[&p] {
                         for &gb in &region_groups[&q] {
@@ -173,7 +183,7 @@ pub fn build_structure(session: &LoadedSession) -> io::Result<Structure> {
                         }
                     }
                 }
-                _ if is_prefix => {
+                RegionVerdict::Filtered => {
                     // Ancestor nesting (or identical fork labels): member
                     // pairs must be checked individually.
                     considered += 1;
@@ -183,7 +193,7 @@ pub fn build_structure(session: &LoadedSession) -> io::Result<Structure> {
                         }
                     }
                 }
-                _ => {
+                RegionVerdict::Ordered => {
                     // Fork labels are barrier/join-ordered at a divergent
                     // pair → all member pairs inherit the ordering.
                     skipped += 1;

@@ -36,6 +36,7 @@ pub mod load;
 mod pipeline;
 pub mod race;
 pub mod report;
+pub mod verdicts;
 
 pub use analyze::{
     analyze, analyze_loaded, AnalysisConfig, AnalysisResult, AnalysisStats, SolverChoice,
@@ -44,3 +45,4 @@ pub use live::{LiveAnalyzer, PollDelta};
 pub use load::LoadedSession;
 pub use race::{AccessSite, Evidence, Race, RaceKey};
 pub use report::{render_explain, render_json, render_text};
+pub use verdicts::{RegionVerdict, VerdictCache};

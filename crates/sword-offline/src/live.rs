@@ -27,104 +27,17 @@ use std::fs::File;
 use std::io::{self, BufReader};
 use std::time::Instant;
 
-use sword_metrics::{MemGauge, StageTable};
+use sword_metrics::{DurationHist, StageTable};
 use sword_obs::{Gauge, Histogram, SiteCounters, ThreadJournal};
-use sword_osl::{Label, Ordering as OslOrdering};
-use sword_trace::{PcTable, RegionRecord, SessionDir, SessionPoller, ThreadId};
+use sword_osl::Label;
+use sword_trace::{PcTable, RegionRecord, SessionDir, SessionPoller};
 
 use crate::analyze::{finalize_races, AnalysisConfig, AnalysisResult, AnalysisStats};
-use crate::build::{BiTree, ReaderPool};
-use crate::intervals::{full_label_from, intervals_concurrent, is_prefix_related, Group, Interval};
+use crate::build::{ReaderPool, TreeCache};
+use crate::intervals::{full_label_from, intervals_concurrent, Group, Interval};
 use crate::pipeline::WorkerStats;
 use crate::race::{check_pair, Race, RaceSet};
-
-/// Default node budget of the live tree cache (matches a few thousand
-/// typical intervals without rebuilds while staying bounded).
-const TREE_CACHE_NODES: usize = 64 * 1024;
-
-/// Region-pair classification, mirroring `build_structure`'s task kinds.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum RegionVerdict {
-    /// Fork labels diverge concurrent: every member pair races-able.
-    AllConcurrent,
-    /// Prefix-related fork labels: per-pair barrier-aware checks.
-    Filtered,
-    /// Barrier/join-ordered: the whole region pair is pruned.
-    Ordered,
-}
-
-/// Bounded LRU cache of interval trees keyed by `(tid, data_begin)`.
-struct TreeCache {
-    entries: HashMap<(ThreadId, u64), CacheEntry>,
-    clock: u64,
-    nodes_held: usize,
-    node_budget: usize,
-    /// Cached tree bytes, charged on insert and credited on eviction, so
-    /// the analyzer's memory gauge covers the live path's cache too.
-    mem: MemGauge,
-}
-
-struct CacheEntry {
-    last_use: u64,
-    tree: BiTree,
-}
-
-impl TreeCache {
-    fn new(node_budget: usize, mem: MemGauge) -> Self {
-        TreeCache { entries: HashMap::new(), clock: 0, nodes_held: 0, node_budget, mem }
-    }
-
-    /// Builds and caches the tree for `member` unless already present.
-    fn ensure(
-        &mut self,
-        dir: &SessionDir,
-        member: &Interval,
-        chunk_bytes: usize,
-        pool: &mut ReaderPool,
-        stats: &mut WorkerStats,
-    ) -> io::Result<()> {
-        let key = (member.tid, member.meta.data_begin);
-        self.clock += 1;
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.last_use = self.clock;
-            return Ok(());
-        }
-        let t0 = Instant::now();
-        let tree =
-            pool.build(dir, member.tid, member.meta.data_begin, member.meta.size, chunk_bytes)?;
-        stats.build_secs += t0.elapsed().as_secs_f64();
-        stats.trees_built += 1;
-        stats.nodes += tree.node_count() as u64;
-        stats.events += tree.accesses;
-        stats.bytes_read += tree.bytes_read;
-        self.nodes_held += tree.node_count();
-        self.mem.alloc(tree.approx_bytes());
-        self.entries.insert(key, CacheEntry { last_use: self.clock, tree });
-        Ok(())
-    }
-
-    /// Evicts least-recently-used trees until the node budget holds,
-    /// never touching the pinned keys (the pair currently compared).
-    fn evict(&mut self, pinned: &[(ThreadId, u64)]) {
-        while self.nodes_held > self.node_budget && self.entries.len() > pinned.len() {
-            let victim = self
-                .entries
-                .iter()
-                .filter(|(k, _)| !pinned.contains(k))
-                .min_by_key(|(_, e)| e.last_use)
-                .map(|(k, _)| *k);
-            let Some(key) = victim else { break };
-            if let Some(e) = self.entries.remove(&key) {
-                self.nodes_held -= e.tree.node_count();
-                self.mem.free(e.tree.approx_bytes());
-            }
-        }
-    }
-
-    fn get(&self, key: &(ThreadId, u64)) -> Option<&BiTree> {
-        self.entries.get(key).map(|e| &e.tree)
-    }
-}
+use crate::verdicts::{RegionVerdict, VerdictCache};
 
 /// What one [`LiveAnalyzer::poll`] produced.
 #[derive(Clone, Debug, Default)]
@@ -158,14 +71,19 @@ pub struct LiveAnalyzer {
     pcs_loaded: bool,
     groups: Vec<Group>,
     group_index: HashMap<(u64, u32), usize>,
-    /// Region-pair verdicts, keyed by unordered `(min pid, max pid)`.
+    /// Region-pair verdicts, keyed by unordered `(min pid, max pid)` — a
+    /// pid-level fast path in front of the structural [`VerdictCache`].
     verdicts: HashMap<(u64, u64), RegionVerdict>,
+    /// The shared structural verdict memo (region classification by fork
+    /// label shape plus solver witnesses), identical to the batch
+    /// pipeline's.
+    verdict_cache: VerdictCache,
     races: RaceSet,
     worker: WorkerStats,
     stages: StageTable,
     cache: TreeCache,
     pool: ReaderPool,
-    poll_secs: Vec<f64>,
+    poll_hist: DurationHist,
     finished: bool,
     /// `--obs` recorders (all `None` when observability is off): the
     /// poller's journal thread, the publish-staleness gauge, and the
@@ -190,6 +108,8 @@ impl LiveAnalyzer {
             )
         });
         let solver_hist = config.solver_hist();
+        let verdict_cache = VerdictCache::new(config.verdict_cache);
+        config.register_core_sources(&verdict_cache);
         LiveAnalyzer {
             dir: dir.clone(),
             config: config.clone(),
@@ -200,12 +120,17 @@ impl LiveAnalyzer {
             groups: Vec::new(),
             group_index: HashMap::new(),
             verdicts: HashMap::new(),
+            verdict_cache,
             races: RaceSet::new(),
             worker: WorkerStats::default(),
             stages: StageTable::new(),
-            cache: TreeCache::new(TREE_CACHE_NODES, config.mem_gauge.clone()),
-            pool: ReaderPool::new(),
-            poll_secs: Vec::new(),
+            cache: TreeCache::new(config.tree_cache_nodes, config.mem_gauge.clone()),
+            pool: ReaderPool::with_mode(
+                config.read_mode,
+                config.source_stats.clone(),
+                config.image_cache.clone(),
+            ),
+            poll_hist: DurationHist::new(),
             finished: false,
             journal,
             lag_gauge,
@@ -327,7 +252,7 @@ impl LiveAnalyzer {
         if secs > self.worker.max_task_secs {
             self.worker.max_task_secs = secs;
         }
-        self.poll_secs.push(secs);
+        self.poll_hist.record(secs);
         if let (Some(j), Some(start)) = (&self.journal, span_start) {
             let dur = j.now_us().saturating_sub(start);
             j.span_closed(
@@ -420,19 +345,22 @@ impl LiveAnalyzer {
             candidate_pairs: self.worker.candidates,
             solver_calls: self.worker.solver_calls,
             max_task_secs: self.worker.max_task_secs,
-            wall_secs: self.poll_secs.iter().sum(),
+            wall_secs: self.poll_hist.total_secs(),
             ..AnalysisStats::default()
         };
         let races = finalize_races(self.races, &self.pcs, &self.config.suppressions, &mut stats);
-        Ok(AnalysisResult { races, stats, task_secs: self.poll_secs, stages: self.stages })
+        Ok(AnalysisResult { races, stats, task_hist: self.poll_hist, stages: self.stages })
     }
 
     fn fork_label(&self, pid: u64) -> Label {
         self.regions.get(&pid).map(|r| r.fork_label()).unwrap_or_else(Label::empty)
     }
 
-    /// Region-pair verdict with memoization (fork labels are immutable
-    /// once a region record exists, so the verdict is stable).
+    /// Region-pair verdict with pid-level memoization (fork labels are
+    /// immutable once a region record exists, so the verdict is stable);
+    /// misses classify through the shared structural [`VerdictCache`], so
+    /// regions with identical fork-label shapes resolve once across the
+    /// whole watch.
     fn verdict(&mut self, p: u64, q: u64) -> RegionVerdict {
         let key = (p.min(q), p.max(q));
         if let Some(v) = self.verdicts.get(&key) {
@@ -440,11 +368,7 @@ impl LiveAnalyzer {
         }
         let fp = self.fork_label(key.0);
         let fq = self.fork_label(key.1);
-        let verdict = match fp.compare_barrier_aware(&fq) {
-            OslOrdering::Concurrent => RegionVerdict::AllConcurrent,
-            _ if is_prefix_related(&fp, &fq) => RegionVerdict::Filtered,
-            _ => RegionVerdict::Ordered,
-        };
+        let verdict = self.verdict_cache.region_verdict(&fp, &fq);
         self.verdicts.insert(key, verdict);
         verdict
     }
@@ -529,6 +453,7 @@ impl LiveAnalyzer {
                     self.config.chunk_bytes,
                     &mut self.pool,
                     &mut self.worker,
+                    false,
                 )?;
             }
             for (gi, mi) in partners {
@@ -540,6 +465,7 @@ impl LiveAnalyzer {
                     self.config.chunk_bytes,
                     &mut self.pool,
                     &mut self.worker,
+                    false,
                 )?;
                 self.cache.evict(&[new_key, member_key]);
                 let (Some(ta), Some(tb)) = (self.cache.get(&new_key), self.cache.get(&member_key))
@@ -557,6 +483,7 @@ impl LiveAnalyzer {
                     tb,
                     &member,
                     self.config.solver,
+                    &self.verdict_cache,
                     races,
                     self.solver_hist.as_ref(),
                     self.site_acc.as_mut(),

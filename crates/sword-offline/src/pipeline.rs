@@ -1,40 +1,46 @@
 //! The staged streaming pipeline behind [`crate::analyze_loaded`].
 //!
-//! The offline phase runs as explicit stages connected by bounded
-//! channels with backpressure:
+//! The offline phase runs as explicit stages:
 //!
 //! ```text
 //! discover ─ load-meta ─ build-structure ─┐            (caller, timed)
 //!                                         ▼
-//!                  pair-schedule ──(task channel)──► workers
-//!                  (filter + sort)                   tree-build
-//!                                                    compare
+//!                  pair-schedule ──(per-worker deques)──► workers
+//!                  (filter + sort + deal)  + stealing    tree-build
+//!                                                        compare
 //!                                         ┌──(result channel)──┘
 //!                                         ▼
 //!                                    dedup-report
 //!                                 (streaming reducer)
 //! ```
 //!
-//! The scheduler filters tasks to the focus regions and sorts them by
-//! file position so each worker's reader pool streams forward; workers
-//! pull tasks, build interval trees, and compare them; the reducer merges
-//! each task's race set the moment it arrives instead of waiting for a
-//! global barrier. Both channels are bounded at twice the worker count,
-//! so a slow stage throttles its producer rather than buffering the
-//! whole task list or result set.
+//! The scheduler filters tasks to the focus regions, sorts them by file
+//! position so each worker's reader pool streams forward, and deals
+//! contiguous chunks into one deque per worker. Workers drain their own
+//! deque front-to-back (preserving the position ordering) and steal a
+//! batch from the back of a victim's deque when they run dry, so the
+//! pool stays saturated even when task costs are skewed. Results stream
+//! through a bounded channel into a reducer that merges each task's race
+//! set the moment it arrives instead of waiting for a global barrier.
 
+use std::collections::VecDeque;
 use std::io;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crossbeam::channel::bounded;
-use sword_metrics::StageTable;
+use sword_metrics::{DurationHist, StageTable};
 use sword_obs::{Histogram, SiteCounters};
 
 use crate::analyze::{journal_stage, AnalysisConfig};
-use crate::build::ReaderPool;
+use crate::build::{ReaderPool, TreeCache};
 use crate::intervals::{intervals_concurrent, Group, Structure, Task};
 use crate::load::LoadedSession;
 use crate::race::{check_pair, RaceSet};
+use crate::verdicts::VerdictCache;
+
+/// Most tasks a worker grabs from a victim's deque in one steal.
+const STEAL_BATCH: usize = 16;
 
 /// Per-worker counters, accumulated across tasks and merged by the
 /// reducer.
@@ -48,7 +54,8 @@ pub(crate) struct WorkerStats {
     pub candidates: u64,
     pub solver_calls: u64,
     pub max_task_secs: f64,
-    pub task_secs: Vec<f64>,
+    /// Fixed-footprint histogram of per-task durations.
+    pub task_hist: DurationHist,
     /// Wall time inside tree construction (the tree-build stage).
     pub build_secs: f64,
     /// Wall time inside tree comparison (the compare stage).
@@ -67,7 +74,7 @@ impl WorkerStats {
         if other.max_task_secs > self.max_task_secs {
             self.max_task_secs = other.max_task_secs;
         }
-        self.task_secs.extend_from_slice(&other.task_secs);
+        self.task_hist.merge(&other.task_hist);
         self.build_secs += other.build_secs;
         self.compare_secs += other.compare_secs;
     }
@@ -80,6 +87,37 @@ struct TaskOutcome {
     secs: f64,
 }
 
+/// Pops the next task for worker `wi`: its own deque's front first, and
+/// when that runs dry, a batch stolen from the back of the first
+/// non-empty victim (back-stealing leaves the victim the file positions
+/// it was already streaming toward). Tasks are only ever dealt before
+/// the workers start, so an all-empty sweep means the pool is drained.
+fn next_task(deques: &[Mutex<VecDeque<Task>>], wi: usize) -> Option<Task> {
+    if let Some(t) = deques[wi].lock().expect("task deque lock").pop_front() {
+        return Some(t);
+    }
+    let n = deques.len();
+    for off in 1..n {
+        let vi = (wi + off) % n;
+        let mut stolen: VecDeque<Task> = VecDeque::new();
+        {
+            let mut victim = deques[vi].lock().expect("task deque lock");
+            let grab = victim.len().div_ceil(2).min(STEAL_BATCH);
+            for _ in 0..grab {
+                let t = victim.pop_back().expect("grab bounded by len");
+                stolen.push_front(t);
+            }
+        }
+        if let Some(first) = stolen.pop_front() {
+            if !stolen.is_empty() {
+                deques[wi].lock().expect("task deque lock").extend(stolen);
+            }
+            return Some(first);
+        }
+    }
+    None
+}
+
 /// Runs the scheduler → workers → reducer stages over a reconstructed
 /// structure and returns the merged race set and counters, recording
 /// per-stage wall time and throughput into `stages`.
@@ -87,10 +125,51 @@ pub(crate) fn run(
     session: &LoadedSession,
     structure: &Structure,
     config: &AnalysisConfig,
+    cache: &VerdictCache,
     stages: &mut StageTable,
 ) -> io::Result<(RaceSet, WorkerStats, u64)> {
     let workers = config.workers.max(1);
-    let (task_tx, task_rx) = bounded::<Task>(2 * workers);
+
+    // Stage: pair-schedule. Filters tasks to the focus regions, orders
+    // them by file position (group positions are computed once up front,
+    // not re-derived inside the sort comparator), and deals contiguous
+    // chunks into per-worker deques.
+    let sched_journal = config.journal_for("oa-scheduler");
+    let sched_s0 = sched_journal.as_ref().map(|j| j.now_us());
+    let sched_t0 = Instant::now();
+    let in_focus = |group: usize| -> bool {
+        match &config.focus_regions {
+            None => true,
+            Some(focus) => focus.contains(&structure.groups[group].pid),
+        }
+    };
+    let group_pos: Vec<u64> = structure
+        .groups
+        .iter()
+        .map(|g| g.members.iter().map(|m| m.meta.data_begin).min().unwrap_or(0))
+        .collect();
+    let mut tasks: Vec<Task> = structure
+        .tasks
+        .iter()
+        .filter(|t| match t {
+            Task::Intra { group } => in_focus(*group),
+            Task::Cross { a, b, .. } => in_focus(*a) && in_focus(*b),
+        })
+        .cloned()
+        .collect();
+    tasks.sort_by_key(|t| match t {
+        Task::Intra { group } => group_pos[*group],
+        Task::Cross { a, b, .. } => group_pos[*a].min(group_pos[*b]),
+    });
+    let scheduled = tasks.len() as u64;
+    let deques: Vec<Mutex<VecDeque<Task>>> = {
+        let chunk = tasks.len().div_ceil(workers).max(1);
+        let mut dealt = tasks.into_iter();
+        (0..workers).map(|_| Mutex::new(dealt.by_ref().take(chunk).collect())).collect()
+    };
+    let schedule_secs = sched_t0.elapsed().as_secs_f64();
+    journal_stage(&sched_journal, "pair-schedule", sched_s0, ("tasks", scheduled as f64));
+
     let (result_tx, result_rx) = bounded::<io::Result<TaskOutcome>>(2 * workers);
 
     let mut races = RaceSet::new();
@@ -99,60 +178,27 @@ pub(crate) fn run(
     let mut dedup_secs = 0.0f64;
     let mut outcomes = 0u64;
 
-    let (scheduled, schedule_secs) = std::thread::scope(|s| {
-        // Stage: pair-schedule. Filters to the focus regions, orders tasks
-        // by file position, and feeds them downstream under backpressure.
-        let scheduler = s.spawn(move || {
-            let journal = config.journal_for("oa-scheduler");
-            let s0 = journal.as_ref().map(|j| j.now_us());
-            let t0 = Instant::now();
-            let in_focus = |group: usize| -> bool {
-                match &config.focus_regions {
-                    None => true,
-                    Some(focus) => focus.contains(&structure.groups[group].pid),
-                }
-            };
-            let group_pos = |g: usize| -> u64 {
-                structure.groups[g].members.iter().map(|m| m.meta.data_begin).min().unwrap_or(0)
-            };
-            let mut tasks: Vec<Task> = structure
-                .tasks
-                .iter()
-                .filter(|t| match t {
-                    Task::Intra { group } => in_focus(*group),
-                    Task::Cross { a, b, .. } => in_focus(*a) && in_focus(*b),
-                })
-                .cloned()
-                .collect();
-            tasks.sort_by_key(|t| match t {
-                Task::Intra { group } => group_pos(*group),
-                Task::Cross { a, b, .. } => group_pos(*a).min(group_pos(*b)),
-            });
-            let scheduled = tasks.len() as u64;
-            let secs = t0.elapsed().as_secs_f64();
-            journal_stage(&journal, "pair-schedule", s0, ("tasks", scheduled as f64));
-            for task in tasks {
-                // A send fails only when every worker is gone (error
-                // shutdown); the error itself arrives via the results.
-                if task_tx.send(task).is_err() {
-                    break;
-                }
-            }
-            (scheduled, secs)
-        });
-
+    std::thread::scope(|s| {
         // Stage: tree-build + compare, on `workers` threads.
         for wi in 0..workers {
-            let task_rx = task_rx.clone();
             let result_tx = result_tx.clone();
+            let deques = &deques;
             s.spawn(move || {
-                let mut pool = ReaderPool::new();
+                let mut pool = ReaderPool::with_mode(
+                    config.read_mode,
+                    config.source_stats.clone(),
+                    config.image_cache.clone(),
+                );
+                // Per-worker tree cache: intervals shared by the worker's
+                // tasks are built once, not once per task. Its drop
+                // credits the memory gauge before the scope joins.
+                let mut trees = TreeCache::new(config.tree_cache_nodes, config.mem_gauge.clone());
                 let journal = config.journal_for(format!("oa-worker-{wi}"));
                 let solver_hist = config.solver_hist();
                 // Per-worker attribution accumulator (lock-free on the
                 // hot path), folded into the shared table once at exit.
                 let mut site_acc = config.sites.as_ref().map(|_| SiteCounters::new());
-                for task in task_rx.iter() {
+                while let Some(task) = next_task(deques, wi) {
                     let s0 = journal.as_ref().map(|j| j.now_us());
                     let t0 = Instant::now();
                     let mut task_races = RaceSet::new();
@@ -162,7 +208,9 @@ pub(crate) fn run(
                         &structure.groups,
                         &task,
                         config,
+                        cache,
                         &mut pool,
+                        &mut trees,
                         &mut task_races,
                         &mut local,
                         solver_hist.as_ref(),
@@ -181,7 +229,6 @@ pub(crate) fn run(
                 }
             });
         }
-        drop(task_rx);
         drop(result_tx);
 
         // Stage: dedup-report. Merges every task's races as it arrives.
@@ -196,7 +243,7 @@ pub(crate) fn run(
                     if outcome.secs > merged.max_task_secs {
                         merged.max_task_secs = outcome.secs;
                     }
-                    merged.task_secs.push(outcome.secs);
+                    merged.task_hist.record(outcome.secs);
                     outcomes += 1;
                     dedup_secs += t0.elapsed().as_secs_f64();
                 }
@@ -208,7 +255,6 @@ pub(crate) fn run(
             }
         }
         journal_stage(&reduce_journal, "dedup-report", reduce_s0, ("outcomes", outcomes as f64));
-        scheduler.join().expect("scheduler stage does not panic")
     });
 
     if let Some(e) = first_error {
@@ -221,59 +267,42 @@ pub(crate) fn run(
     Ok((races, merged, scheduled))
 }
 
-/// Builds the non-empty interval trees of a group's members, tagged with
-/// the member index. Retained trees are charged to the analyzer's memory
-/// gauge; [`release_trees`] credits them back when the task drops them.
-pub(crate) fn build_group_trees(
+/// Ensures the trees of a group's non-empty members are in the worker's
+/// cache, returning each such member's index and cache key. Cache hits
+/// still charge the logical build counters (see [`TreeCache::ensure`]),
+/// so the merged statistics are identical whatever the cache geometry.
+fn ensure_group_trees(
     session: &LoadedSession,
     group: &Group,
     config: &AnalysisConfig,
     pool: &mut ReaderPool,
+    trees: &mut TreeCache,
     stats: &mut WorkerStats,
-) -> io::Result<Vec<(usize, crate::build::BiTree)>> {
-    let t0 = Instant::now();
-    let mut trees = Vec::with_capacity(group.members.len());
+) -> io::Result<Vec<(usize, (sword_trace::ThreadId, u64))>> {
+    let mut keys = Vec::with_capacity(group.members.len());
     for (i, member) in group.members.iter().enumerate() {
         if member.meta.size == 0 {
             continue; // empty interval: nothing to race
         }
-        let tree = pool.build(
-            &session.dir,
-            member.tid,
-            member.meta.data_begin,
-            member.meta.size,
-            config.chunk_bytes,
-        )?;
-        stats.trees_built += 1;
-        stats.nodes += tree.node_count() as u64;
-        stats.events += tree.accesses;
-        stats.bytes_read += tree.bytes_read;
-        if tree.node_count() > 0 {
-            config.mem_gauge.alloc(tree.approx_bytes());
-            trees.push((i, tree));
-        }
+        trees.ensure(&session.dir, member, config.chunk_bytes, pool, stats, true)?;
+        keys.push((i, (member.tid, member.meta.data_begin)));
     }
-    stats.build_secs += t0.elapsed().as_secs_f64();
-    Ok(trees)
+    Ok(keys)
 }
 
-/// Credits a task's trees back to the memory gauge as they go out of
-/// scope, so the gauge's live value tracks trees actually held across
-/// all workers and its peak is the analyzer's measured tree memory.
-fn release_trees(config: &AnalysisConfig, trees: &[(usize, crate::build::BiTree)]) {
-    for (_, tree) in trees {
-        config.mem_gauge.free(tree.approx_bytes());
-    }
-}
-
-/// Executes one comparison task.
+/// Executes one comparison task against the worker's tree cache: the
+/// task's trees are ensured (built on miss, reused on hit), the cache is
+/// trimmed to budget with the task's keys pinned, and every qualifying
+/// pair is compared out of the cache.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_task(
     session: &LoadedSession,
     groups: &[Group],
     task: &Task,
     config: &AnalysisConfig,
+    cache: &VerdictCache,
     pool: &mut ReaderPool,
+    trees: &mut TreeCache,
     races: &mut RaceSet,
     stats: &mut WorkerStats,
     solver_hist: Option<&Histogram>,
@@ -282,17 +311,27 @@ pub(crate) fn run_task(
     match *task {
         Task::Intra { group } => {
             let g = &groups[group];
-            let trees = build_group_trees(session, g, config, pool, stats)?;
+            let keys = ensure_group_trees(session, g, config, pool, trees, stats)?;
+            let pinned: Vec<_> = keys.iter().map(|(_, k)| *k).collect();
+            trees.evict(&pinned);
             let t0 = Instant::now();
-            for i in 0..trees.len() {
-                for j in i + 1..trees.len() {
+            for i in 0..keys.len() {
+                for j in i + 1..keys.len() {
+                    let (ia, ka) = keys[i];
+                    let (ib, kb) = keys[j];
+                    let (ta, tb) =
+                        (trees.get(&ka).expect("pinned"), trees.get(&kb).expect("pinned"));
+                    if ta.node_count() == 0 || tb.node_count() == 0 {
+                        continue;
+                    }
                     stats.tree_pairs += 1;
                     let pair_stats = check_pair(
-                        &trees[i].1,
-                        &g.members[trees[i].0],
-                        &trees[j].1,
-                        &g.members[trees[j].0],
+                        ta,
+                        &g.members[ia],
+                        tb,
+                        &g.members[ib],
                         config.solver,
+                        cache,
                         races,
                         solver_hist,
                         sites.as_mut(),
@@ -302,7 +341,6 @@ pub(crate) fn run_task(
                 }
             }
             stats.compare_secs += t0.elapsed().as_secs_f64();
-            release_trees(config, &trees);
         }
         Task::Cross { a, b, all_concurrent } => {
             let ga = &groups[a];
@@ -315,17 +353,25 @@ pub(crate) fn run_task(
             } else {
                 (gb, ga)
             };
-            let trees_first = build_group_trees(session, first, config, pool, stats)?;
-            let trees_second = build_group_trees(session, second, config, pool, stats)?;
+            let keys_first = ensure_group_trees(session, first, config, pool, trees, stats)?;
+            let keys_second = ensure_group_trees(session, second, config, pool, trees, stats)?;
+            let pinned: Vec<_> =
+                keys_first.iter().chain(keys_second.iter()).map(|(_, k)| *k).collect();
+            trees.evict(&pinned);
             let t0 = Instant::now();
-            for (ia, ta) in &trees_first {
-                for (ib, tb) in &trees_second {
-                    let ma = &first.members[*ia];
-                    let mb = &second.members[*ib];
+            for &(ia, ka) in &keys_first {
+                for &(ib, kb) in &keys_second {
+                    let ma = &first.members[ia];
+                    let mb = &second.members[ib];
                     if !all_concurrent && !intervals_concurrent(ma, mb) {
                         continue;
                     }
                     if ma.tid == mb.tid {
+                        continue;
+                    }
+                    let (ta, tb) =
+                        (trees.get(&ka).expect("pinned"), trees.get(&kb).expect("pinned"));
+                    if ta.node_count() == 0 || tb.node_count() == 0 {
                         continue;
                     }
                     stats.tree_pairs += 1;
@@ -335,6 +381,7 @@ pub(crate) fn run_task(
                         tb,
                         mb,
                         config.solver,
+                        cache,
                         races,
                         solver_hist,
                         sites.as_mut(),
@@ -344,8 +391,6 @@ pub(crate) fn run_task(
                 }
             }
             stats.compare_secs += t0.elapsed().as_secs_f64();
-            release_trees(config, &trees_first);
-            release_trees(config, &trees_second);
         }
     }
     Ok(())

@@ -7,14 +7,13 @@ use std::time::Instant;
 use sword_itree::for_each_candidate_pair;
 use sword_obs::{Histogram, SiteCounters};
 use sword_osl::explain_concurrency;
-use sword_solver::{
-    overlap_ilp, strided_overlap_witness_full, IlpStatus, OverlapWitness, StridedInterval,
-};
+use sword_solver::{OverlapWitness, StridedInterval};
 use sword_trace::{AccessKind, PcId, PcTable, ThreadId};
 
 use crate::analyze::SolverChoice;
 use crate::build::{AccessMeta, BiTree};
 use crate::intervals::Interval;
+use crate::verdicts::VerdictCache;
 
 /// Dedup key: the unordered pair of source locations, which is how the
 /// paper's tables count races.
@@ -351,6 +350,13 @@ fn side_key(
 ///
 /// `sites`, when present, accumulates per-PC attribution (accesses
 /// scanned, pairs checked, solver calls, racy pairs).
+///
+/// `cache` memoizes exact solves across structurally-identical interval
+/// pairs (in canonical side order, so the memoized witness is exactly
+/// the witness a fresh solve would return). `solver_calls` counts
+/// *logical* solves — memo hits included — which is what keeps the
+/// batch/live counter contract independent of cache state; the latency
+/// histogram records actual computes only.
 #[allow(clippy::too_many_arguments)]
 pub fn check_pair(
     a: &BiTree,
@@ -358,6 +364,7 @@ pub fn check_pair(
     b: &BiTree,
     cb: &Interval,
     solver: SolverChoice,
+    cache: &VerdictCache,
     races: &mut RaceSet,
     solver_nanos: Option<&Histogram>,
     sites: Option<&mut SiteCounters>,
@@ -387,17 +394,14 @@ pub fn check_pair(
         } else {
             ((ib, mb, cb), (ia, ma, ca))
         };
-        let t0 = solver_nanos.map(|_| Instant::now());
-        let witness = match solver {
-            SolverChoice::Diophantine => strided_overlap_witness_full(i0, i1),
-            SolverChoice::Ilp => match overlap_ilp(i0, i1).solve() {
-                IlpStatus::Feasible => strided_overlap_witness_full(i0, i1),
-                _ => None,
-            },
-        };
-        if let (Some(hist), Some(t0)) = (solver_nanos, t0) {
-            hist.record(t0.elapsed().as_nanos() as u64);
-        }
+        let witness = cache.solve(solver, i0, i1, &mut |compute| {
+            let t0 = solver_nanos.map(|_| Instant::now());
+            let w = compute();
+            if let (Some(hist), Some(t0)) = (solver_nanos, t0) {
+                hist.record(t0.elapsed().as_nanos() as u64);
+            }
+            w
+        });
         if let Some(w) = witness {
             if let Some(s) = sites.as_deref_mut() {
                 s.race(m0.pc, m1.pc);
@@ -524,6 +528,7 @@ mod tests {
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            &VerdictCache::disabled(),
             &mut races,
             Some(&hist),
             None,
@@ -556,14 +561,38 @@ mod tests {
     fn evidence_is_argument_order_independent() {
         // The whole point of canonical side ordering: swapping the
         // caller's argument order must not change the recorded race.
+        // A shared *enabled* cache makes the second call a memo hit, so
+        // this also proves memoized evidence equals computed evidence.
+        let shared = VerdictCache::new(true);
         let a =
             tree_of(0, &[(StridedInterval::new(0x100, 16, 50, 8), meta(AccessKind::Write, 3, 0))]);
         let b =
             tree_of(1, &[(StridedInterval::new(0x108, 16, 50, 8), meta(AccessKind::Write, 9, 0))]);
         let mut fwd = RaceSet::new();
-        check_pair(&a, &ctx_of(0), &b, &ctx_of(1), SolverChoice::Diophantine, &mut fwd, None, None);
+        check_pair(
+            &a,
+            &ctx_of(0),
+            &b,
+            &ctx_of(1),
+            SolverChoice::Diophantine,
+            &shared,
+            &mut fwd,
+            None,
+            None,
+        );
         let mut rev = RaceSet::new();
-        check_pair(&b, &ctx_of(1), &a, &ctx_of(0), SolverChoice::Diophantine, &mut rev, None, None);
+        check_pair(
+            &b,
+            &ctx_of(1),
+            &a,
+            &ctx_of(0),
+            SolverChoice::Diophantine,
+            &shared,
+            &mut rev,
+            None,
+            None,
+        );
+        assert_eq!(shared.solve_hits(), 1, "the swapped call hit the memo");
         assert_eq!(fwd.into_sorted(), rev.into_sorted());
     }
 
@@ -580,6 +609,7 @@ mod tests {
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            &VerdictCache::disabled(),
             &mut races,
             None,
             Some(&mut sites),
@@ -607,6 +637,7 @@ mod tests {
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            &VerdictCache::disabled(),
             &mut races,
             None,
             None,
@@ -626,6 +657,7 @@ mod tests {
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            &VerdictCache::disabled(),
             &mut races,
             None,
             None,
@@ -645,6 +677,7 @@ mod tests {
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            &VerdictCache::disabled(),
             &mut races,
             None,
             None,
@@ -654,7 +687,17 @@ mod tests {
         assert!(races.is_empty());
         // The ILP solver agrees.
         let mut races2 = RaceSet::new();
-        check_pair(&a, &ctx_of(0), &b, &ctx_of(1), SolverChoice::Ilp, &mut races2, None, None);
+        check_pair(
+            &a,
+            &ctx_of(0),
+            &b,
+            &ctx_of(1),
+            SolverChoice::Ilp,
+            &VerdictCache::disabled(),
+            &mut races2,
+            None,
+            None,
+        );
         assert!(races2.is_empty());
     }
 
@@ -680,6 +723,7 @@ mod tests {
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            &VerdictCache::disabled(),
             &mut races,
             None,
             None,

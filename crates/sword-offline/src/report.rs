@@ -176,8 +176,16 @@ mod tests {
     use super::*;
     use crate::analyze::{AnalysisResult, AnalysisStats};
     use crate::race::{Race, RaceKey};
-    use sword_metrics::StageTable;
+    use sword_metrics::{DurationHist, StageTable};
     use sword_trace::AccessKind;
+
+    fn sample_hist(secs: &[f64]) -> DurationHist {
+        let mut h = DurationHist::new();
+        for &s in secs {
+            h.record(s);
+        }
+        h
+    }
 
     fn sample() -> (AnalysisResult, PcTable) {
         let mut pcs = PcTable::new();
@@ -195,7 +203,7 @@ mod tests {
                 evidence: crate::race::test_evidence(a, b, 0x100),
             }],
             stats: AnalysisStats { threads: 2, races: 1, ..Default::default() },
-            task_secs: vec![0.1],
+            task_hist: sample_hist(&[0.1]),
             stages: StageTable::new(),
         };
         (result, pcs)
@@ -236,7 +244,7 @@ mod tests {
         let result = AnalysisResult {
             races: vec![],
             stats: AnalysisStats::default(),
-            task_secs: vec![],
+            task_hist: DurationHist::new(),
             stages: StageTable::new(),
         };
         let json = render_json(&result, &PcTable::new());
@@ -252,7 +260,7 @@ mod tests {
         let empty = AnalysisResult {
             races: vec![],
             stats: AnalysisStats::default(),
-            task_secs: vec![],
+            task_hist: DurationHist::new(),
             stages: StageTable::new(),
         };
         assert!(render_text(&empty, &pcs).contains("no data races detected"));

@@ -1,0 +1,309 @@
+//! Shared verdict memoization for the analysis core.
+//!
+//! Both analysis front-ends — the batch pipeline and the live analyzer —
+//! spend their time answering two kinds of questions over and over:
+//!
+//! * **Region-pair verdicts**: given two parallel regions' fork labels,
+//!   are all their member-interval pairs concurrent, ordered, or does
+//!   each pair need its own barrier-aware check? The answer depends only
+//!   on the two labels' *structural identity* (their flat offset-span
+//!   pair chains), so sessions with many structurally-identical region
+//!   pairs (every iteration of a fork loop, every fuzz-corpus clone)
+//!   re-derive the same verdict.
+//! * **Solver verdicts**: given two strided intervals in canonical side
+//!   order, does the exact overlap constraint have a witness? The solver
+//!   is a pure function of `(i0, i1)`, so structurally-identical interval
+//!   pairs — the common case when the same loop body runs in every
+//!   barrier interval — always produce the *same witness*, which is what
+//!   keeps memoized evidence byte-identical to recomputed evidence.
+//!
+//! [`VerdictCache`] memoizes both, shared by reference across pipeline
+//! workers and polls. The cache can be disabled (`--no-verdict-cache`),
+//! which turns every lookup into a plain compute — the equivalence tests
+//! assert identical races and evidence with the cache on, off, batch,
+//! and live.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+
+use sword_osl::{Label, Ordering as OslOrdering};
+use sword_solver::{
+    overlap_ilp, strided_overlap_witness_full, IlpStatus, OverlapWitness, StridedInterval,
+};
+
+use crate::analyze::SolverChoice;
+use crate::intervals::is_prefix_related;
+
+/// Region-pair classification, mirroring `build_structure`'s task kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionVerdict {
+    /// Fork labels diverge concurrent: every member pair races-able.
+    AllConcurrent,
+    /// Prefix-related fork labels: per-pair barrier-aware checks.
+    Filtered,
+    /// Barrier/join-ordered: the whole region pair is pruned.
+    Ordered,
+}
+
+/// Unordered structural key of a region pair: the two fork labels'
+/// flat pair chains, smaller chain first (classification is symmetric).
+type RegionKey = (Vec<u64>, Vec<u64>);
+
+/// Structural key of a solver query: solver discriminant plus both
+/// intervals *in canonical side order* (the witness depends on order, and
+/// `check_pair` always queries canonically).
+type SolveKey = (u8, StridedInterval, StridedInterval);
+
+/// The wrapper [`VerdictCache::solve`] runs around actual solver
+/// computations only (never cache hits): callers hang latency recording
+/// off it.
+pub type SolveHook<'a> =
+    &'a mut dyn FnMut(&dyn Fn() -> Option<OverlapWitness>) -> Option<OverlapWitness>;
+
+/// Number of solver-memo shards (keeps worker contention low without a
+/// concurrent map dependency).
+const SOLVE_SHARDS: usize = 16;
+
+#[derive(Debug, Default)]
+struct Counters {
+    region_hits: AtomicU64,
+    region_misses: AtomicU64,
+    solve_hits: AtomicU64,
+    solve_misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: bool,
+    regions: Mutex<HashMap<RegionKey, RegionVerdict>>,
+    solves: Vec<Mutex<HashMap<SolveKey, Option<OverlapWitness>>>>,
+    counters: Counters,
+}
+
+/// Shared, cheaply-clonable verdict memo (see the module docs).
+#[derive(Clone, Debug)]
+pub struct VerdictCache {
+    inner: Arc<Inner>,
+}
+
+impl Default for VerdictCache {
+    fn default() -> Self {
+        VerdictCache::new(true)
+    }
+}
+
+impl VerdictCache {
+    /// A fresh cache; `enabled = false` makes every lookup a plain
+    /// compute (the memo-free baseline).
+    pub fn new(enabled: bool) -> Self {
+        VerdictCache {
+            inner: Arc::new(Inner {
+                enabled,
+                regions: Mutex::new(HashMap::new()),
+                solves: (0..SOLVE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// A disabled cache (every lookup computes).
+    pub fn disabled() -> Self {
+        VerdictCache::new(false)
+    }
+
+    /// `true` when memoization is on.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Classifies a region pair by its fork labels, memoized on the
+    /// unordered pair of flat label chains.
+    pub fn region_verdict(&self, a: &Label, b: &Label) -> RegionVerdict {
+        if !self.inner.enabled {
+            return classify(a, b);
+        }
+        let (fa, fb) = (a.to_flat(), b.to_flat());
+        let key = if fa <= fb { (fa, fb) } else { (fb, fa) };
+        let mut memo = self.inner.regions.lock().expect("region memo poisoned");
+        if let Some(v) = memo.get(&key) {
+            self.inner.counters.region_hits.fetch_add(1, AtomicOrdering::Relaxed);
+            return *v;
+        }
+        self.inner.counters.region_misses.fetch_add(1, AtomicOrdering::Relaxed);
+        let verdict = classify(a, b);
+        memo.insert(key, verdict);
+        verdict
+    }
+
+    /// Solves the exact overlap constraint for `(i0, i1)` — canonical
+    /// side order — memoized on the pair's structural identity. The
+    /// solver is pure, so a memoized witness is *the* witness the solver
+    /// would return, and evidence built from it is byte-identical.
+    ///
+    /// `on_compute` runs around actual solves only (latency histograms
+    /// must not record cache hits).
+    pub fn solve(
+        &self,
+        solver: SolverChoice,
+        i0: &StridedInterval,
+        i1: &StridedInterval,
+        on_compute: SolveHook<'_>,
+    ) -> Option<OverlapWitness> {
+        let compute = || match solver {
+            SolverChoice::Diophantine => strided_overlap_witness_full(i0, i1),
+            SolverChoice::Ilp => match overlap_ilp(i0, i1).solve() {
+                IlpStatus::Feasible => strided_overlap_witness_full(i0, i1),
+                _ => None,
+            },
+        };
+        if !self.inner.enabled {
+            return on_compute(&compute);
+        }
+        let key: SolveKey = (solver as u8, *i0, *i1);
+        let shard = &self.inner.solves[shard_of(&key)];
+        if let Some(w) = shard.lock().expect("solver memo poisoned").get(&key) {
+            self.inner.counters.solve_hits.fetch_add(1, AtomicOrdering::Relaxed);
+            return *w;
+        }
+        // Compute outside the shard lock: a concurrent duplicate solve is
+        // cheaper than serializing every distinct solve in the shard.
+        self.inner.counters.solve_misses.fetch_add(1, AtomicOrdering::Relaxed);
+        let witness = on_compute(&compute);
+        shard.lock().expect("solver memo poisoned").insert(key, witness);
+        witness
+    }
+
+    /// Region-verdict memo hits so far.
+    pub fn region_hits(&self) -> u64 {
+        self.inner.counters.region_hits.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Region-verdict memo misses (actual classifications) so far.
+    pub fn region_misses(&self) -> u64 {
+        self.inner.counters.region_misses.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Solver memo hits so far.
+    pub fn solve_hits(&self) -> u64 {
+        self.inner.counters.solve_hits.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Solver memo misses (actual solves) so far.
+    pub fn solve_misses(&self) -> u64 {
+        self.inner.counters.solve_misses.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Fraction of all verdict lookups (region + solver) answered from
+    /// the memo; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.region_hits() + self.solve_hits();
+        let total = hits + self.region_misses() + self.solve_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+fn shard_of(key: &SolveKey) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SOLVE_SHARDS
+}
+
+/// The (symmetric) region-pair classification itself.
+fn classify(a: &Label, b: &Label) -> RegionVerdict {
+    match a.compare_barrier_aware(b) {
+        OslOrdering::Concurrent => RegionVerdict::AllConcurrent,
+        _ if is_prefix_related(a, b) => RegionVerdict::Filtered,
+        _ => RegionVerdict::Ordered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lbl(chain: &[(u64, u64)]) -> Label {
+        Label::from_chain(chain.iter().copied())
+    }
+
+    #[test]
+    fn region_verdicts_match_direct_classification() {
+        let cache = VerdictCache::new(true);
+        let cases = [
+            (lbl(&[(0, 1), (0, 2)]), lbl(&[(0, 1), (1, 2)]), RegionVerdict::AllConcurrent),
+            (lbl(&[(0, 1)]), lbl(&[(0, 1), (0, 2)]), RegionVerdict::Filtered),
+            (lbl(&[(0, 1)]), lbl(&[(1, 1)]), RegionVerdict::Ordered),
+        ];
+        for (a, b, want) in &cases {
+            assert_eq!(cache.region_verdict(a, b), *want);
+            assert_eq!(cache.region_verdict(b, a), *want, "classification is symmetric");
+            assert_eq!(VerdictCache::disabled().region_verdict(a, b), *want);
+        }
+        assert_eq!(cache.region_misses(), 3, "one classification per distinct pair");
+        assert_eq!(cache.region_hits(), 3, "swapped operands hit the unordered key");
+    }
+
+    #[test]
+    fn solver_memo_returns_the_computed_witness() {
+        let cache = VerdictCache::new(true);
+        let i0 = StridedInterval::new(0x100, 8, 99, 8);
+        let i1 = StridedInterval::new(0x104, 8, 99, 4);
+        let computes = std::cell::Cell::new(0u32);
+        let mut run = |f: &dyn Fn() -> Option<OverlapWitness>| {
+            computes.set(computes.get() + 1);
+            f()
+        };
+        let w1 = cache.solve(SolverChoice::Diophantine, &i0, &i1, &mut run);
+        let w2 = cache.solve(SolverChoice::Diophantine, &i0, &i1, &mut run);
+        assert_eq!(computes.get(), 1, "second lookup is a memo hit");
+        assert_eq!(w1, w2);
+        assert_eq!(w1, strided_overlap_witness_full(&i0, &i1), "memo returns the pure result");
+        assert_eq!(cache.solve_hits(), 1);
+        assert_eq!(cache.solve_misses(), 1);
+        // Disjoint pair memoizes its None too.
+        let far = StridedInterval::single(0x9999, 1);
+        assert_eq!(cache.solve(SolverChoice::Diophantine, &i0, &far, &mut run), None);
+        assert_eq!(cache.solve(SolverChoice::Diophantine, &i0, &far, &mut run), None);
+        assert_eq!(computes.get(), 2);
+        // The two solver choices memoize separately.
+        let w3 = cache.solve(SolverChoice::Ilp, &i0, &i1, &mut run);
+        assert_eq!(computes.get(), 3);
+        assert_eq!(w3, w1, "both solvers agree on the witness");
+    }
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let cache = VerdictCache::disabled();
+        let i0 = StridedInterval::new(0x100, 8, 9, 8);
+        let computes = std::cell::Cell::new(0u32);
+        let mut run = |f: &dyn Fn() -> Option<OverlapWitness>| {
+            computes.set(computes.get() + 1);
+            f()
+        };
+        cache.solve(SolverChoice::Diophantine, &i0, &i0, &mut run);
+        cache.solve(SolverChoice::Diophantine, &i0, &i0, &mut run);
+        assert_eq!(computes.get(), 2);
+        assert_eq!(cache.solve_hits() + cache.solve_misses(), 0, "no accounting when disabled");
+        assert_eq!(cache.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_combines_both_memos() {
+        let cache = VerdictCache::new(true);
+        let a = lbl(&[(0, 1), (0, 2)]);
+        let b = lbl(&[(0, 1), (1, 2)]);
+        cache.region_verdict(&a, &b); // miss
+        cache.region_verdict(&a, &b); // hit
+        cache.region_verdict(&a, &b); // hit
+        let i = StridedInterval::new(0, 8, 9, 8);
+        let mut run = |f: &dyn Fn() -> Option<OverlapWitness>| f();
+        cache.solve(SolverChoice::Diophantine, &i, &i, &mut run); // miss
+        cache.solve(SolverChoice::Diophantine, &i, &i, &mut run); // hit
+        assert!((cache.hit_rate() - 3.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -539,8 +539,8 @@ fn makespan_model_is_monotone() {
             });
         });
     });
-    assert!(!result.task_secs.is_empty());
-    let total: f64 = result.task_secs.iter().sum();
+    assert!(result.task_hist.count() > 0);
+    let total: f64 = result.task_hist.total_secs();
     let m1 = result.makespan(1);
     assert!((m1 - total).abs() < 1e-9, "one node does all the work");
     let mut prev = m1;

@@ -180,6 +180,39 @@ fn live_equals_batch_on_clean_workload() {
 }
 
 #[test]
+fn analysis_core_variants_are_byte_identical() {
+    // The shared analysis core must not let its fast paths leak into the
+    // report: mapped vs buffered log reading, memoized vs recomputed
+    // verdicts, and batch vs live driving must all produce the same
+    // races with byte-identical rendered evidence chains.
+    let dir = record("variants", mixed_workload);
+    let src = SessionDir::new(&dir);
+    let pcs = sword_trace::PcTable::read_from(std::io::BufReader::new(
+        std::fs::File::open(src.pcs_path()).expect("pcs"),
+    ))
+    .expect("pc table");
+    let chains = |r: &AnalysisResult| -> Vec<String> {
+        r.races.iter().map(|x| format!("{}\n{}", x.render(&pcs), x.render_evidence(&pcs))).collect()
+    };
+    let baseline = analyze(&src, &AnalysisConfig::sequential()).expect("default batch");
+    assert!(baseline.race_count() >= 2, "workload must race");
+    let buffered = analyze(
+        &src,
+        &AnalysisConfig::sequential().with_read_mode(sword_trace::ReadMode::Buffered),
+    )
+    .expect("buffered batch");
+    let uncached =
+        analyze(&src, &AnalysisConfig::sequential().with_verdict_cache(false)).expect("uncached");
+    let live = staged_replay(&src, "variants-replay", &AnalysisConfig::sequential(), 2);
+    for (name, variant) in [("buffered", &buffered), ("cache-disabled", &uncached), ("live", &live)]
+    {
+        assert_equivalent(variant, &baseline);
+        assert_eq!(chains(variant), chains(&baseline), "{name} evidence diverged");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn poll_cadence_is_invariant() {
     // One row at a time, three at a time, or everything in one publish —
     // the result must not depend on how the watermark advanced.

@@ -61,6 +61,38 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
 /// Reads LEB128 from `buf[*pos..]`.
 #[inline]
 pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    // Unrolled path for varints up to 5 bytes (35 payload bits — every
+    // realistic address or PC delta) when that many bytes are in hand:
+    // one bounds check instead of one per byte. Longer varints and
+    // buffer tails fall through to the loop below, which re-reads from
+    // the untouched `*pos` and accepts exactly the same encodings.
+    if let &[b0, b1, b2, b3, b4, ..] = &buf[*pos..] {
+        let mut v = (b0 & 0x7F) as u64;
+        if b0 & 0x80 == 0 {
+            *pos += 1;
+            return Ok(v);
+        }
+        v |= ((b1 & 0x7F) as u64) << 7;
+        if b1 & 0x80 == 0 {
+            *pos += 2;
+            return Ok(v);
+        }
+        v |= ((b2 & 0x7F) as u64) << 14;
+        if b2 & 0x80 == 0 {
+            *pos += 3;
+            return Ok(v);
+        }
+        v |= ((b3 & 0x7F) as u64) << 21;
+        if b3 & 0x80 == 0 {
+            *pos += 4;
+            return Ok(v);
+        }
+        v |= ((b4 & 0x7F) as u64) << 28;
+        if b4 & 0x80 == 0 {
+            *pos += 5;
+            return Ok(v);
+        }
+    }
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -176,6 +208,30 @@ impl EventDecoder {
 
     /// Decodes one event from `buf[*pos..]`, advancing `pos`.
     pub fn decode(&mut self, buf: &[u8], pos: &mut usize) -> Result<Event, CodecError> {
+        // Fast path mirroring the encoder's 3-byte form: a
+        // power-of-two-sized access whose address and PC deltas each fit
+        // one varint byte. Decodes without the varint loops; any
+        // condition miss falls through to the general path below, which
+        // re-reads from `*pos` and accepts exactly the same streams.
+        if let &[tag, b1, b2, ..] = &buf[*pos..] {
+            if tag & TAG_MUTEX_BIT == 0 && (tag >> 4) <= 4 && b1 < 0x80 && b2 < 0x80 {
+                if let Some(kind) = AccessKind::from_code((tag >> 1) & 0x3) {
+                    let addr = self.prev_addr.wrapping_add(unzigzag(b1 as u64) as u64);
+                    let pc_i = self.prev_pc as i64 + unzigzag(b2 as u64);
+                    if (0..=u32::MAX as i64).contains(&pc_i) {
+                        *pos += 3;
+                        self.prev_addr = addr;
+                        self.prev_pc = pc_i as u64;
+                        return Ok(Event::Access(MemAccess {
+                            addr,
+                            size: 1 << (tag >> 4),
+                            kind,
+                            pc: pc_i as u32,
+                        }));
+                    }
+                }
+            }
+        }
         let tag = *buf.get(*pos).ok_or(CodecError::Truncated)?;
         *pos += 1;
         if tag & TAG_MUTEX_BIT != 0 {
@@ -389,6 +445,18 @@ mod tests {
         }
         assert_eq!(got, encode_reference(&events), "fast path must not change the stream");
         assert_eq!(EventDecoder::new().decode_all(&got).unwrap(), events);
+    }
+
+    #[test]
+    fn decode_fast_path_rejects_pc_underflow() {
+        // A 3-byte access whose PC delta would drive the PC negative must
+        // take the general path's error, not wrap: tag for size=8 write,
+        // addr delta 0, pc delta zigzag(-1) = 1.
+        let buf = [3u8 << 4 | Write.code() << 1, 0, 1];
+        let mut dec = EventDecoder::new();
+        let mut pos = 0;
+        assert!(matches!(dec.decode(&buf, &mut pos), Err(CodecError::Invalid)));
+        assert_eq!(dec.prev_pc, 0, "failed decode must not update delta state");
     }
 
     #[test]

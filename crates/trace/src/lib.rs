@@ -26,6 +26,7 @@ pub mod meta;
 pub mod pc;
 pub mod poll;
 pub mod session;
+pub mod source;
 
 pub use encode::CodecError;
 pub use encode::{EventDecoder, EventEncoder};
@@ -36,3 +37,4 @@ pub use meta::{MetaRecord, RegionRecord};
 pub use pc::{PcTable, SourceLoc};
 pub use poll::{SessionDelta, SessionPoller};
 pub use session::{LiveStatus, SessionDir};
+pub use source::{ImageCache, LogSource, MappedLog, ReadMode, SourceStats, StreamSource};

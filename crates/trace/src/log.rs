@@ -119,8 +119,17 @@ impl<R: Read> LogReader<R> {
     /// (appending). Requests must not go backwards past data already
     /// discarded.
     pub fn read_range(&mut self, begin: u64, len: u64, out: &mut Vec<u8>) -> io::Result<()> {
+        let slice = self.range_ref(begin, len)?;
+        out.extend_from_slice(slice);
+        Ok(())
+    }
+
+    /// Like [`LogReader::read_range`], but hands back the range as a
+    /// borrowed slice of the streaming window — the zero-copy read path.
+    /// The slice is valid until the next call on this reader.
+    pub fn range_ref(&mut self, begin: u64, len: u64) -> io::Result<&[u8]> {
         if len == 0 {
-            return Ok(());
+            return Ok(&[]);
         }
         if begin < self.window_start {
             return Err(io::Error::new(
@@ -168,8 +177,7 @@ impl<R: Read> LogReader<R> {
             }
         }
         let lo = (begin - self.window_start) as usize;
-        out.extend_from_slice(&self.window[lo..lo + len as usize]);
-        Ok(())
+        Ok(&self.window[lo..lo + len as usize])
     }
 
     /// Decompresses the remainder of the stream into `out`; returns bytes
