@@ -144,8 +144,9 @@ fn main() {
         let obj = |pairs: Vec<(&str, Value)>| {
             Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
         };
-        let mode_obj = |m: &ModeRun| {
+        let mode_obj = |m: &ModeRun, cache: &str| {
             obj(vec![
+                ("cache", cache.into()),
                 ("window_secs", m.stage_secs.into()),
                 ("busy_secs", m.busy_secs.into()),
                 ("items", m.stage_items.into()),
@@ -158,8 +159,8 @@ fn main() {
         entries.push(obj(vec![
             ("workload", name.into()),
             ("workers", (WORKERS as u64).into()),
-            ("before_buffered_uncached", mode_obj(&before)),
-            ("after_mapped_cached", mode_obj(&after)),
+            ("before_buffered_uncached", mode_obj(&before, "off")),
+            ("after_mapped_cached", mode_obj(&after, "on")),
             ("stage_throughput_speedup", speedup.into()),
         ]));
 

@@ -52,7 +52,7 @@ use sword_metrics::{format_bytes, Stopwatch, Table};
 use sword_obs::{
     render_html, ExportFormat, HtmlInput, HtmlRace, JournalSink, Layer, Obs, ReportInput, SiteTable,
 };
-use sword_offline::{analyze, AnalysisConfig, LiveAnalyzer, SolverChoice};
+use sword_offline::{analyze, AnalysisConfig, FunnelConfig, LiveAnalyzer, SolverChoice};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordConfig};
 use sword_trace::{PcTable, ReadMode, SessionDir};
@@ -80,11 +80,13 @@ const USAGE: &str = "usage:
                                [--suppress pat,...]
                                [--read-mode mapped|buffered]
                                [--no-verdict-cache]
+                               [--solver-tiers all|none|gcd,prescreen,bbox,batch]
   sword watch <session-dir> [--interval-ms N] [--timeout-secs N] [--json]
                              [--stats] [--obs] [--ilp] [--region id,...]
                              [--suppress pat,...]
                              [--read-mode mapped|buffered]
                              [--no-verdict-cache]
+                             [--solver-tiers all|none|gcd,prescreen,bbox,batch]
   sword trace export <session-dir> [--format chrome] [--out FILE]
   sword report <session-dir> [--top N] [--html [FILE]]
   sword explain <session-dir> <race-id> [--ilp] [--workers N]
@@ -294,6 +296,9 @@ fn analysis_config(flags: &Flags) -> Result<AnalysisConfig, String> {
     }
     if flags.has("no-verdict-cache") {
         config.verdict_cache = false;
+    }
+    if let Some(spec) = flags.map.get("solver-tiers") {
+        config.funnel = FunnelConfig::parse(spec)?;
     }
     Ok(config)
 }
@@ -866,9 +871,17 @@ mod tests {
             .expect("analyze --read-mode buffered");
         run(&s(&["analyze", session.to_str().unwrap(), "--no-verdict-cache"]))
             .expect("analyze --no-verdict-cache");
+        run(&s(&["analyze", session.to_str().unwrap(), "--solver-tiers", "none"]))
+            .expect("analyze --solver-tiers none");
+        run(&s(&["analyze", session.to_str().unwrap(), "--solver-tiers", "gcd,batch"]))
+            .expect("analyze --solver-tiers gcd,batch");
         assert!(
             run(&s(&["analyze", session.to_str().unwrap(), "--read-mode", "weird"])).is_err(),
             "unknown read mode is rejected"
+        );
+        assert!(
+            run(&s(&["analyze", session.to_str().unwrap(), "--solver-tiers", "warp"])).is_err(),
+            "unknown solver tier is rejected"
         );
         std::fs::remove_dir_all(&session).unwrap();
     }

@@ -163,6 +163,16 @@ pub fn check_program(prog: &Program, fault_inject: bool) -> CheckReport {
                     out.uncached_evidence.join("---\n")
                 ));
             }
+            // The screening funnel may only skip work the solver would
+            // reject anyway: masking every screen off must reproduce the
+            // default run's evidence chains byte for byte.
+            if out.nofunnel_evidence != out.batch_evidence {
+                report.failures.push(format!(
+                    "sword funnel-off evidence != batch evidence\nbatch:\n{}\nfunnel-off:\n{}",
+                    out.batch_evidence.join("---\n"),
+                    out.nofunnel_evidence.join("---\n")
+                ));
+            }
             if fault_inject {
                 crate::fault::inject(
                     &oracle,
@@ -204,6 +214,8 @@ struct SwordOutcome {
     live_evidence: Vec<String>,
     /// The same chains from a `with_verdict_cache(false)` batch run.
     uncached_evidence: Vec<String>,
+    /// The same chains with every solver-funnel screen masked off.
+    nofunnel_evidence: Vec<String>,
 }
 
 /// Collects a session for `prog` in `dir`, then analyzes it both in batch
@@ -220,6 +232,10 @@ fn run_sword(
     let batch = analyze(&session, &AnalysisConfig::default())?;
     let batch_pairs = stmt_pairs(&session, batch.races.iter().map(|r| (r.key.pc_lo, r.key.pc_hi)))?;
     let uncached = analyze(&session, &AnalysisConfig::default().with_verdict_cache(false))?;
+    let nofunnel = analyze(
+        &session,
+        &AnalysisConfig::default().with_funnel(sword_offline::FunnelConfig::NONE),
+    )?;
 
     let live_cfg = AnalysisConfig::sequential();
     let mut live = LiveAnalyzer::new(&session, &live_cfg);
@@ -248,6 +264,7 @@ fn run_sword(
         batch_evidence: batch.races.iter().map(chain).collect(),
         live_evidence: live_result.races.iter().map(chain).collect(),
         uncached_evidence: uncached.races.iter().map(chain).collect(),
+        nofunnel_evidence: nofunnel.races.iter().map(chain).collect(),
     })
 }
 

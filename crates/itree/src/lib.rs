@@ -45,7 +45,7 @@ mod hash;
 mod tree;
 
 pub use hash::{FxBuildHasher, FxHasher};
-pub use sword_solver::{strided_overlap, StridedInterval};
+pub use sword_solver::{strided_overlap, Fingerprint, StridedInterval};
 pub use tree::{IntervalTree, NodeRef};
 
 use std::collections::HashMap;
@@ -351,6 +351,21 @@ where
     for (_, ia, va) in a.iter() {
         b.for_each_range_overlap(ia.begin(), ia.end(), |_, ib, vb| {
             f(ia, va, ib, vb);
+        });
+    }
+}
+
+/// Like [`for_each_candidate_pair`], but hands the caller each node's
+/// cached stride-class [`Fingerprint`] so the congruence pre-screen can run
+/// during the walk without recomputing `base % stride` per pair.
+pub fn for_each_candidate_pair_fp<VA, VB, F>(a: &IntervalTree<VA>, b: &IntervalTree<VB>, mut f: F)
+where
+    F: FnMut(&StridedInterval, Fingerprint, &VA, &StridedInterval, Fingerprint, &VB),
+{
+    for (ha, ia, va) in a.iter() {
+        let fa = a.fingerprint(ha);
+        b.for_each_range_overlap(ia.begin(), ia.end(), |hb, ib, vb| {
+            f(ia, fa, va, ib, b.fingerprint(hb), vb);
         });
     }
 }

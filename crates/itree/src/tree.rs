@@ -6,7 +6,7 @@
 //! classic CLRS "interval tree" (§14.3), which the paper cites for its
 //! offline phase.
 
-use sword_solver::StridedInterval;
+use sword_solver::{Fingerprint, StridedInterval};
 
 /// Sentinel index meaning "no node".
 pub(crate) const NIL: u32 = u32::MAX;
@@ -22,6 +22,12 @@ pub(crate) struct Node<V> {
     pub interval: StridedInterval,
     pub value: V,
     pub max_end: u64,
+    /// Packed stride-class fingerprint of `interval` (see
+    /// [`Fingerprint::pack`]), kept in sync on every interval update so the
+    /// candidate walk can run the congruence pre-screen without
+    /// re-dividing. Packed to 32 bits so it rides in the node's padding —
+    /// growing the node measurably slows the walk on big trees.
+    pub fp: u32,
     pub parent: u32,
     pub left: u32,
     pub right: u32,
@@ -100,6 +106,24 @@ impl<V> IntervalTree<V> {
         &mut self.nodes[handle.0 as usize].value
     }
 
+    /// The stride-class fingerprint cached for the interval at `handle`.
+    #[inline]
+    pub fn fingerprint(&self, handle: NodeRef) -> Fingerprint {
+        let node = &self.nodes[handle.0 as usize];
+        Fingerprint::unpack(node.fp, &node.interval)
+    }
+
+    /// The bounding box of all stored intervals: the smallest begin and the
+    /// largest end, or `None` for an empty tree. O(log n) (leftmost descent
+    /// plus the root's `max_end` augmentation).
+    pub fn bounds(&self) -> Option<(u64, u64)> {
+        if self.root == NIL {
+            return None;
+        }
+        let min_begin = self.nodes[self.minimum(self.root) as usize].interval.begin();
+        Some((min_begin, self.nodes[self.root as usize].max_end))
+    }
+
     /// Replaces the interval at `handle`. The new interval must keep the
     /// same begin address (summarization only ever extends the tail end of
     /// an interval), so the BST order is untouched; `max_end` augmentation
@@ -112,6 +136,7 @@ impl<V> IntervalTree<V> {
             "extend_interval must preserve the begin address"
         );
         self.nodes[idx as usize].interval = interval;
+        self.nodes[idx as usize].fp = Fingerprint::of(&interval).pack();
         self.fix_max_up_value(idx);
     }
 
@@ -218,6 +243,7 @@ impl<V> IntervalTree<V> {
             interval,
             value,
             max_end,
+            fp: Fingerprint::of(&interval).pack(),
             parent: NIL,
             left: NIL,
             right: NIL,
@@ -595,6 +621,7 @@ impl<V> IntervalTree<V> {
         assert_eq!(lb, rb, "black height mismatch");
         let expect_max = node.interval.end().max(lmax).max(rmax);
         assert_eq!(node.max_end, expect_max, "max_end augmentation stale at {idx}");
+        assert_eq!(node.fp, Fingerprint::of(&node.interval).pack(), "fingerprint stale at {idx}");
         let black = lb + usize::from(node.color == Color::Black);
         (black, lc + rc + 1, 0, expect_max)
     }

@@ -6,7 +6,8 @@
 //! `x = x₀ + t·(b/g)`, `y = y₀ − t·(a/g)`; intersecting the two box bounds
 //! yields a `t`-range that is non-empty iff the system is satisfiable.
 
-use crate::{div_ceil_i128, div_floor_i128};
+use crate::funnel::gcd_u64;
+use crate::{div_ceil_i128, div_floor_i128, OverlapWitness, StridedInterval};
 
 /// A solution to a bounded 2-variable linear Diophantine equation, plus the
 /// parametrization of the full solution family.
@@ -138,6 +139,62 @@ pub fn solve_linear2(
             })
         }
     }
+}
+
+/// The canonical minimal witness for a holey×holey overlap, constructed
+/// directly from the extended-Euclid solution — no `locate` round-trip.
+///
+/// Scans byte-offset differences `d = s1 − s0` over the window
+/// `[1−a.size, b.size−1]` in ascending order and solves one bounded
+/// Diophantine equation per admissible `d`; the first solution yields the
+/// witness `(addr, x0 = x, s0 = max(−d, 0), x1 = y, s1 = max(d, 0))`.
+/// Because holey intervals have `size < stride`, these offsets are exactly
+/// what `locate(addr)` would recover, so the result is byte-identical to
+/// the reference `strided_overlap_witness_full` path.
+///
+/// With `step_gcd` the scan steps only over `d ≡ b.base − a.base (mod
+/// gcd(Δ0, Δ1))` — every skipped `d` fails the solver's divisibility test,
+/// so the first hit (and thus the witness) is unchanged; `step_gcd: false`
+/// reproduces the naive unit-step scan for ablation measurement.
+pub fn holey_witness(
+    a: &StridedInterval,
+    b: &StridedInterval,
+    step_gcd: bool,
+) -> Option<OverlapWitness> {
+    debug_assert!(!a.is_dense() && !b.is_dense(), "dense pairs are decided by earlier tiers");
+    let d_lo = -(a.size as i128) + 1;
+    let d_hi = b.size as i128 - 1;
+    let rhs_base = b.base as i128 - a.base as i128;
+    let (mut d, step) = if step_gcd {
+        // Smallest d ≥ d_lo with (rhs_base + d) ≡ 0 (mod g).
+        let g = gcd_u64(a.stride, b.stride) as i128;
+        (d_lo + (-(rhs_base + d_lo)).rem_euclid(g), g)
+    } else {
+        (d_lo, 1)
+    };
+    while d <= d_hi {
+        if let Some(sol) = solve_linear2(
+            a.stride as i128,
+            -(b.stride as i128),
+            rhs_base + d,
+            0,
+            a.count as i128,
+            0,
+            b.count as i128,
+        ) {
+            let s0 = (-d).max(0) as u64;
+            let s1 = d.max(0) as u64;
+            let x0 = sol.x as u64;
+            let x1 = sol.y as u64;
+            let addr = a.base + a.stride * x0 + s0;
+            debug_assert_eq!(addr, b.base + b.stride * x1 + s1);
+            debug_assert_eq!(a.locate(addr), Some((x0, s0)));
+            debug_assert_eq!(b.locate(addr), Some((x1, s1)));
+            return Some(OverlapWitness { addr, x0, s0, x1, s1 });
+        }
+        d += step;
+    }
+    None
 }
 
 /// Range of `t` with `lo ≤ v0 + t·step ≤ hi`. `step` may be negative but

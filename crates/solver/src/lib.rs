@@ -43,10 +43,12 @@
 #![forbid(unsafe_code)]
 
 pub mod diophantine;
+pub mod funnel;
 pub mod ilp;
 pub mod rational;
 
-pub use diophantine::{solve_linear2, Linear2Solution};
+pub use diophantine::{holey_witness, solve_linear2, Linear2Solution};
+pub use funnel::{congruence_admissible, solve_tiered, solve_tiered_ilp, Fingerprint, Tier};
 pub use ilp::{IlpProblem, IlpStatus, Relation};
 
 /// A strided access interval: addresses `{ base + stride*k + j : 0 <= k <=
@@ -178,11 +180,17 @@ pub struct OverlapWitness {
 /// byte-offset difference `d = s1 - s0 ∈ (-sz0, sz1)` — at most
 /// `sz0 + sz1 - 1 ≤ 15` solves for scalar accesses.
 pub fn strided_overlap(a: &StridedInterval, b: &StridedInterval) -> bool {
-    strided_overlap_witness(a, b).is_some()
+    solve_tiered(a, b, true).0.is_some()
 }
 
 /// Like [`strided_overlap`], but returns a concrete shared byte address —
 /// the witness SWORD's race reports print alongside the two source lines.
+///
+/// This is the *reference implementation* that defines the canonical
+/// witness: ascending unit-step scan over byte-offset differences, first
+/// satisfiable equation wins. The production path
+/// ([`strided_overlap_witness_full`] → [`funnel::solve_tiered`]) is
+/// proptested to reproduce it byte-for-byte through every tier.
 pub fn strided_overlap_witness(a: &StridedInterval, b: &StridedInterval) -> Option<u64> {
     if !a.range_overlaps(b) {
         return None;
@@ -229,20 +237,19 @@ pub fn strided_overlap_witness(a: &StridedInterval, b: &StridedInterval) -> Opti
 /// back into both intervals' index spaces, producing the full variable
 /// assignment `(x0, s0, x1, s1)` of the §III-B constraint system — what a
 /// race report needs to show *which* loop iterations collide, not just
-/// which byte.
+/// which byte. Dispatches through the screening funnel
+/// ([`funnel::solve_tiered`]); the result is byte-identical to locating
+/// the reference witness.
 pub fn strided_overlap_witness_full(
     a: &StridedInterval,
     b: &StridedInterval,
 ) -> Option<OverlapWitness> {
-    let addr = strided_overlap_witness(a, b)?;
-    let (x0, s0) = a.locate(addr).expect("witness address is a member of a");
-    let (x1, s1) = b.locate(addr).expect("witness address is a member of b");
-    Some(OverlapWitness { addr, x0, s0, x1, s1 })
+    solve_tiered(a, b, true).0
 }
 
 /// `dense` covers a contiguous byte range; finds a byte of `strided`
 /// inside it, if any.
-fn dense_vs_strided(dense: &StridedInterval, strided: &StridedInterval) -> Option<u64> {
+pub(crate) fn dense_vs_strided(dense: &StridedInterval, strided: &StridedInterval) -> Option<u64> {
     debug_assert!(dense.is_dense() && !strided.is_dense());
     let lo = dense.begin();
     let hi = dense.end(); // exclusive
@@ -554,6 +561,58 @@ mod proptests {
             let fast = strided_overlap(&a, &b);
             let general = overlap_ilp(&a, &b).solve() == IlpStatus::Feasible;
             prop_assert_eq!(fast, general, "a={:?} b={:?}", a, b);
+        }
+
+        /// The reference witness: legacy unit-step scan + locate. Every
+        /// funnel configuration must reproduce it byte-for-byte.
+        #[test]
+        fn every_tier_matches_oracle_and_reference_witness(
+            a in arb_interval(), b in arb_interval()
+        ) {
+            let oracle = !bytes_of(&a).is_disjoint(&bytes_of(&b));
+            let reference = strided_overlap_witness(&a, &b).map(|addr| {
+                let (x0, s0) = a.locate(addr).unwrap();
+                let (x1, s1) = b.locate(addr).unwrap();
+                OverlapWitness { addr, x0, s0, x1, s1 }
+            });
+            prop_assert_eq!(reference.is_some(), oracle, "reference vs oracle a={:?} b={:?}", a, b);
+            for gcd_screen in [true, false] {
+                let (dio, dio_tier) = solve_tiered(&a, &b, gcd_screen);
+                prop_assert_eq!(dio, reference,
+                    "solve_tiered(gcd={}) tier={:?} a={:?} b={:?}", gcd_screen, dio_tier, a, b);
+                let (ilp, ilp_tier) = solve_tiered_ilp(&a, &b, gcd_screen);
+                prop_assert_eq!(ilp, reference,
+                    "solve_tiered_ilp(gcd={}) tier={:?} a={:?} b={:?}", gcd_screen, ilp_tier, a, b);
+            }
+        }
+
+        /// The walk-level fingerprint screen may only reject pairs the
+        /// oracle also rejects (it is a pure pre-filter).
+        #[test]
+        fn congruence_screen_never_rejects_an_overlap(
+            a in arb_interval(), b in arb_interval()
+        ) {
+            let admissible = congruence_admissible(
+                &a, Fingerprint::of(&a), &b, Fingerprint::of(&b));
+            if !admissible {
+                prop_assert!(bytes_of(&a).is_disjoint(&bytes_of(&b)),
+                    "screen rejected an overlapping pair a={:?} b={:?}", a, b);
+            }
+        }
+
+        /// The direct Diophantine constructor equals the reference on the
+        /// holey×holey residue, gcd stepping on or off.
+        #[test]
+        fn holey_witness_is_canonical(a in arb_interval(), b in arb_interval()) {
+            if !a.is_dense() && !b.is_dense() && a.range_overlaps(&b) {
+                let reference = strided_overlap_witness(&a, &b).map(|addr| {
+                    let (x0, s0) = a.locate(addr).unwrap();
+                    let (x1, s1) = b.locate(addr).unwrap();
+                    OverlapWitness { addr, x0, s0, x1, s1 }
+                });
+                prop_assert_eq!(holey_witness(&a, &b, true), reference, "gcd step a={:?} b={:?}", a, b);
+                prop_assert_eq!(holey_witness(&a, &b, false), reference, "unit step a={:?} b={:?}", a, b);
+            }
         }
     }
 }

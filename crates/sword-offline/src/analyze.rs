@@ -24,6 +24,124 @@ pub enum SolverChoice {
     Ilp,
 }
 
+/// Which screening layers of the solver funnel are active. Screens are
+/// pure rejects/reorderings: verdicts, witnesses, and candidate counts are
+/// byte-identical whatever the mask — only `solver_calls` vs
+/// `prescreened_pairs` bookkeeping and the measured time move. The dense
+/// closed-form tiers are *not* maskable; they define the canonical witness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FunnelConfig {
+    /// Solver-level congruence reject for holey×holey pairs, plus gcd
+    /// stepping inside the Diophantine scan.
+    pub gcd: bool,
+    /// Walk-level stride-class fingerprint screen: candidates rejected by
+    /// the congruence test never reach the verdict cache.
+    pub prescreen: bool,
+    /// Per-region bounding-box reject in `check_pair`: tree pairs whose
+    /// bounding boxes are disjoint skip the candidate walk entirely.
+    pub bbox: bool,
+    /// Batch surviving pairs per tree pair and sort them by stride class
+    /// before solving, making tier dispatch branch-predictable.
+    pub batch: bool,
+}
+
+impl Default for FunnelConfig {
+    fn default() -> Self {
+        FunnelConfig::ALL
+    }
+}
+
+impl FunnelConfig {
+    /// Every screening layer on (the production default).
+    pub const ALL: FunnelConfig =
+        FunnelConfig { gcd: true, prescreen: true, bbox: true, batch: true };
+    /// Every screening layer off (the pre-funnel shape, for ablation).
+    pub const NONE: FunnelConfig =
+        FunnelConfig { gcd: false, prescreen: false, bbox: false, batch: false };
+
+    /// Parses a `--solver-tiers` spec: `all`, `none`, or a comma-separated
+    /// list of the screens to enable (`gcd`, `prescreen`, `bbox`, `batch`).
+    pub fn parse(spec: &str) -> Result<FunnelConfig, String> {
+        match spec {
+            "all" => return Ok(FunnelConfig::ALL),
+            "none" => return Ok(FunnelConfig::NONE),
+            _ => {}
+        }
+        let mut cfg = FunnelConfig::NONE;
+        for part in spec.split(',') {
+            match part.trim() {
+                "gcd" => cfg.gcd = true,
+                "prescreen" => cfg.prescreen = true,
+                "bbox" => cfg.bbox = true,
+                "batch" => cfg.batch = true,
+                other => {
+                    return Err(format!(
+                        "unknown solver tier '{other}' (expected all, none, or a \
+                         comma-list of gcd/prescreen/bbox/batch)"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Renders the spec back (`all`, `none`, or the enabled comma-list).
+    pub fn render(&self) -> String {
+        if *self == FunnelConfig::ALL {
+            return "all".to_string();
+        }
+        if *self == FunnelConfig::NONE {
+            return "none".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.gcd {
+            parts.push("gcd");
+        }
+        if self.prescreen {
+            parts.push("prescreen");
+        }
+        if self.bbox {
+            parts.push("bbox");
+        }
+        if self.batch {
+            parts.push("batch");
+        }
+        parts.join(",")
+    }
+}
+
+/// Shared per-tier decision counters (`sword_solver_tier{tier=…}`).
+/// Logical-charging like the rest of the analysis core: a memoized answer
+/// records the tier that originally decided the pair, so counts are
+/// identical cache on or off, batch or live.
+#[derive(Clone, Debug, Default)]
+pub struct TierCounters {
+    counts: std::sync::Arc<[std::sync::atomic::AtomicU64; sword_solver::Tier::ALL.len()]>,
+}
+
+impl TierCounters {
+    /// A fresh zeroed counter set.
+    pub fn new() -> Self {
+        TierCounters::default()
+    }
+
+    /// Records one pair decided by `tier`.
+    #[inline]
+    pub fn record(&self, tier: sword_solver::Tier) {
+        self.counts[tier.index()].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Pairs decided by `tier` so far.
+    pub fn get(&self, tier: sword_solver::Tier) -> u64 {
+        self.counts[tier.index()].load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// All `(tier, count)` rows in funnel order.
+    pub fn snapshot(&self) -> Vec<(sword_solver::Tier, u64)> {
+        sword_solver::Tier::ALL.iter().map(|&t| (t, self.get(t))).collect()
+    }
+}
+
 /// Analyzer configuration.
 #[derive(Clone, Debug)]
 pub struct AnalysisConfig {
@@ -34,6 +152,12 @@ pub struct AnalysisConfig {
     pub chunk_bytes: usize,
     /// Exact-overlap solver.
     pub solver: SolverChoice,
+    /// Which screening layers of the solver funnel are active
+    /// (`--solver-tiers`; results are identical for every mask).
+    pub funnel: FunnelConfig,
+    /// Shared per-tier decision counters, surfaced as
+    /// `sword_solver_tier{tier=…}` registry rows when `--obs` is on.
+    pub tiers: TierCounters,
     /// Restrict analysis to these parallel-region ids (`None` = all).
     /// This is the targeted-analysis mode the per-region metadata enables
     /// (§III-B: "extract from the log file the chunk of data for a
@@ -92,6 +216,8 @@ impl Default for AnalysisConfig {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             solver: SolverChoice::Diophantine,
+            funnel: FunnelConfig::ALL,
+            tiers: TierCounters::new(),
             focus_regions: None,
             suppressions: Vec::new(),
             obs: None,
@@ -122,6 +248,12 @@ impl AnalysisConfig {
     /// Overrides the solver.
     pub fn with_solver(mut self, solver: SolverChoice) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Overrides the funnel screen mask (`--solver-tiers`).
+    pub fn with_funnel(mut self, funnel: FunnelConfig) -> Self {
+        self.funnel = funnel;
         self
     }
 
@@ -252,6 +384,14 @@ impl AnalysisConfig {
                 "Fraction of verdict lookups answered from the shared memo",
                 move || c.hit_rate(),
             );
+            for tier in sword_solver::Tier::ALL {
+                let t = self.tiers.clone();
+                obs.registry.source(
+                    &format!("sword_solver_tier{{tier=\"{}\"}}", tier.as_str()),
+                    "Candidate pairs decided by this layer of the solver funnel",
+                    move || t.get(tier) as f64,
+                );
+            }
         }
     }
 }
@@ -281,6 +421,10 @@ pub struct AnalysisStats {
     pub candidate_pairs: u64,
     /// Exact constraint solves.
     pub solver_calls: u64,
+    /// Candidate pairs rejected by the walk-level fingerprint screen
+    /// before reaching the solver (`solver_calls + prescreened_pairs` is
+    /// invariant across funnel masks).
+    pub prescreened_pairs: u64,
     /// Region pairs pruned as sequential.
     pub region_pairs_skipped: u64,
     /// Region pairs that produced cross tasks.
@@ -424,6 +568,7 @@ fn analyze_with_stages(
     stats.tree_pairs = worker_stats.tree_pairs;
     stats.candidate_pairs = worker_stats.candidates;
     stats.solver_calls = worker_stats.solver_calls;
+    stats.prescreened_pairs = worker_stats.prescreened;
     stats.max_task_secs = worker_stats.max_task_secs;
     let race_list = finalize_races(races, &session.pcs, &config.suppressions, &mut stats);
     stats.wall_secs = start.elapsed().as_secs_f64();

@@ -39,7 +39,8 @@ pub mod report;
 pub mod verdicts;
 
 pub use analyze::{
-    analyze, analyze_loaded, AnalysisConfig, AnalysisResult, AnalysisStats, SolverChoice,
+    analyze, analyze_loaded, AnalysisConfig, AnalysisResult, AnalysisStats, FunnelConfig,
+    SolverChoice, TierCounters,
 };
 pub use live::{LiveAnalyzer, PollDelta};
 pub use load::LoadedSession;

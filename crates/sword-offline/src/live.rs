@@ -36,7 +36,7 @@ use crate::analyze::{finalize_races, AnalysisConfig, AnalysisResult, AnalysisSta
 use crate::build::{ReaderPool, TreeCache};
 use crate::intervals::{full_label_from, intervals_concurrent, Group, Interval};
 use crate::pipeline::WorkerStats;
-use crate::race::{check_pair, Race, RaceSet};
+use crate::race::{check_pair, CompareCtx, Race, RaceSet};
 use crate::verdicts::{RegionVerdict, VerdictCache};
 
 /// What one [`LiveAnalyzer::poll`] produced.
@@ -344,6 +344,7 @@ impl LiveAnalyzer {
             tree_pairs: self.worker.tree_pairs,
             candidate_pairs: self.worker.candidates,
             solver_calls: self.worker.solver_calls,
+            prescreened_pairs: self.worker.prescreened,
             max_task_secs: self.worker.max_task_secs,
             wall_secs: self.poll_hist.total_secs(),
             ..AnalysisStats::default()
@@ -482,8 +483,12 @@ impl LiveAnalyzer {
                     &interval,
                     tb,
                     &member,
-                    self.config.solver,
-                    &self.verdict_cache,
+                    &CompareCtx {
+                        solver: self.config.solver,
+                        funnel: self.config.funnel,
+                        cache: &self.verdict_cache,
+                        tiers: &self.config.tiers,
+                    },
                     races,
                     self.solver_hist.as_ref(),
                     self.site_acc.as_mut(),
@@ -491,6 +496,7 @@ impl LiveAnalyzer {
                 self.worker.compare_secs += t0.elapsed().as_secs_f64();
                 self.worker.candidates += pair_stats.candidates;
                 self.worker.solver_calls += pair_stats.solver_calls;
+                self.worker.prescreened += pair_stats.prescreened;
             }
         }
 

@@ -36,7 +36,7 @@ use crate::analyze::{journal_stage, AnalysisConfig};
 use crate::build::{ReaderPool, TreeCache};
 use crate::intervals::{intervals_concurrent, Group, Structure, Task};
 use crate::load::LoadedSession;
-use crate::race::{check_pair, RaceSet};
+use crate::race::{check_pair, CompareCtx, RaceSet};
 use crate::verdicts::VerdictCache;
 
 /// Most tasks a worker grabs from a victim's deque in one steal.
@@ -53,6 +53,10 @@ pub(crate) struct WorkerStats {
     pub tree_pairs: u64,
     pub candidates: u64,
     pub solver_calls: u64,
+    /// Candidate pairs retired by the fingerprint prescreen before they
+    /// reached the solver (`solver_calls + prescreened` is invariant
+    /// across funnel configurations).
+    pub prescreened: u64,
     pub max_task_secs: f64,
     /// Fixed-footprint histogram of per-task durations.
     pub task_hist: DurationHist,
@@ -71,6 +75,7 @@ impl WorkerStats {
         self.tree_pairs += other.tree_pairs;
         self.candidates += other.candidates;
         self.solver_calls += other.solver_calls;
+        self.prescreened += other.prescreened;
         if other.max_task_secs > self.max_task_secs {
             self.max_task_secs = other.max_task_secs;
         }
@@ -330,14 +335,19 @@ pub(crate) fn run_task(
                         &g.members[ia],
                         tb,
                         &g.members[ib],
-                        config.solver,
-                        cache,
+                        &CompareCtx {
+                            solver: config.solver,
+                            funnel: config.funnel,
+                            cache,
+                            tiers: &config.tiers,
+                        },
                         races,
                         solver_hist,
                         sites.as_mut(),
                     );
                     stats.candidates += pair_stats.candidates;
                     stats.solver_calls += pair_stats.solver_calls;
+                    stats.prescreened += pair_stats.prescreened;
                 }
             }
             stats.compare_secs += t0.elapsed().as_secs_f64();
@@ -380,14 +390,19 @@ pub(crate) fn run_task(
                         ma,
                         tb,
                         mb,
-                        config.solver,
-                        cache,
+                        &CompareCtx {
+                            solver: config.solver,
+                            funnel: config.funnel,
+                            cache,
+                            tiers: &config.tiers,
+                        },
                         races,
                         solver_hist,
                         sites.as_mut(),
                     );
                     stats.candidates += pair_stats.candidates;
                     stats.solver_calls += pair_stats.solver_calls;
+                    stats.prescreened += pair_stats.prescreened;
                 }
             }
             stats.compare_secs += t0.elapsed().as_secs_f64();

@@ -4,13 +4,13 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::time::Instant;
 
-use sword_itree::for_each_candidate_pair;
+use sword_itree::for_each_candidate_pair_fp;
 use sword_obs::{Histogram, SiteCounters};
 use sword_osl::explain_concurrency;
-use sword_solver::{OverlapWitness, StridedInterval};
+use sword_solver::{congruence_admissible, OverlapWitness, StridedInterval, Tier};
 use sword_trace::{AccessKind, PcId, PcTable, ThreadId};
 
-use crate::analyze::SolverChoice;
+use crate::analyze::{FunnelConfig, SolverChoice, TierCounters};
 use crate::build::{AccessMeta, BiTree};
 use crate::intervals::Interval;
 use crate::verdicts::VerdictCache;
@@ -302,6 +302,36 @@ pub struct PairStats {
     pub candidates: u64,
     /// Exact constraint solves performed.
     pub solver_calls: u64,
+    /// Candidate pairs rejected by the fingerprint screen before the
+    /// solver (`solver_calls + prescreened` is invariant across masks).
+    pub prescreened: u64,
+}
+
+/// The per-run solve context `check_pair` shares across every tree pair:
+/// solver choice, funnel screen mask, the shared verdict memo, and the
+/// per-tier decision counters.
+#[derive(Clone, Copy)]
+pub struct CompareCtx<'a> {
+    /// Exact-overlap solver backend.
+    pub solver: SolverChoice,
+    /// Which funnel screens are active.
+    pub funnel: FunnelConfig,
+    /// Shared verdict memo (may be disabled).
+    pub cache: &'a VerdictCache,
+    /// Shared per-tier decision counters.
+    pub tiers: &'a TierCounters,
+}
+
+/// One candidate pair that survived the screens, in canonical side order,
+/// queued for the (optionally stride-class-sorted) solve loop.
+struct PendingSolve {
+    i0: StridedInterval,
+    m0: AccessMeta,
+    i1: StridedInterval,
+    m1: AccessMeta,
+    /// `true` when side 0 is the caller's `a` tree (evidence needs each
+    /// side's barrier-interval provenance).
+    zero_is_a: bool,
 }
 
 /// Canonical ordering key of one side of a candidate node pair. Every
@@ -331,7 +361,13 @@ fn side_key(
 ///
 /// For every candidate pair (coarse `[begin,end)` overlap found through
 /// the augmented tree), applies the access-compatibility conditions and
-/// then the exact strided-overlap constraint with the chosen solver.
+/// then the exact strided-overlap constraint with the solver configured
+/// in `ctx`. The funnel screens in `ctx.funnel` run first: a bounding-box
+/// reject over the whole tree pair, the walk-level fingerprint congruence
+/// screen per candidate (counted in `prescreened`, never reaching the
+/// verdict cache), and stride-class batching of the surviving solves. All
+/// screens are result-neutral: verdicts, witnesses, and candidate counts
+/// are byte-identical for every screen mask.
 ///
 /// Before the solve, the two sides are put into a *canonical order* (the
 /// `side_key` tuple), so the witness the solver returns — and hence
@@ -351,31 +387,39 @@ fn side_key(
 /// `sites`, when present, accumulates per-PC attribution (accesses
 /// scanned, pairs checked, solver calls, racy pairs).
 ///
-/// `cache` memoizes exact solves across structurally-identical interval
-/// pairs (in canonical side order, so the memoized witness is exactly
-/// the witness a fresh solve would return). `solver_calls` counts
+/// `ctx.cache` memoizes exact solves across structurally-identical
+/// interval pairs (in canonical side order, so the memoized witness is
+/// exactly the witness a fresh solve would return). `solver_calls` counts
 /// *logical* solves — memo hits included — which is what keeps the
 /// batch/live counter contract independent of cache state; the latency
-/// histogram records actual computes only.
+/// histogram records actual computes only, and `ctx.tiers` records the
+/// deciding funnel tier per logical solve (memoized answers replay the
+/// tier that originally decided).
 #[allow(clippy::too_many_arguments)]
 pub fn check_pair(
     a: &BiTree,
     ca: &Interval,
     b: &BiTree,
     cb: &Interval,
-    solver: SolverChoice,
-    cache: &VerdictCache,
+    ctx: &CompareCtx<'_>,
     races: &mut RaceSet,
     solver_nanos: Option<&Histogram>,
     sites: Option<&mut SiteCounters>,
 ) -> PairStats {
     let mut stats = PairStats::default();
     let mut sites = sites;
-    // The reported region is derived from the intervals themselves (not
-    // caller bookkeeping, which differs between batch group enumeration
-    // and live ingest order): the smaller region id of the two sides.
-    let region = ca.meta.pid.min(cb.meta.pid);
-    for_each_candidate_pair(&a.tree, &b.tree, |ia, ma, ib, mb| {
+    // Bounding-box reject: when the two trees' covered address ranges are
+    // disjoint, the candidate walk cannot yield a single pair, so skipping
+    // it is counter-neutral (candidates would be 0 either way).
+    if ctx.funnel.bbox {
+        if let (Some((a_lo, a_hi)), Some((b_lo, b_hi))) = (a.tree.bounds(), b.tree.bounds()) {
+            if a_hi <= b_lo || b_hi <= a_lo {
+                return stats;
+            }
+        }
+    }
+    let mut pending: Vec<PendingSolve> = Vec::new();
+    for_each_candidate_pair_fp(&a.tree, &b.tree, |ia, fa, ma, ib, fb, mb| {
         stats.candidates += 1;
         if let Some(s) = sites.as_deref_mut() {
             s.candidate(ma.pc, ia.len(), mb.pc, ib.len());
@@ -383,18 +427,43 @@ pub fn check_pair(
         if !a.can_race(ma, b, mb) {
             return;
         }
-        stats.solver_calls += 1;
-        if let Some(s) = sites.as_deref_mut() {
-            s.solve(ma.pc, mb.pc);
+        // Fingerprint pre-screen: the congruence reject, run during the
+        // walk from the cached node fingerprints. Rejected pairs never
+        // reach the verdict cache — exactly the pairs the solver's
+        // GcdReject tier would refuse, so verdicts are unchanged.
+        if ctx.funnel.prescreen && !congruence_admissible(ia, fa, ib, fb) {
+            stats.prescreened += 1;
+            ctx.tiers.record(Tier::Prescreen);
+            return;
         }
         // Canonical side order: the solve and its witness must not
         // depend on which tree was the caller's `a`.
-        let ((i0, m0, c0), (i1, m1, c1)) = if side_key(ca, ia, ma) <= side_key(cb, ib, mb) {
-            ((ia, ma, ca), (ib, mb, cb))
+        let zero_is_a = side_key(ca, ia, ma) <= side_key(cb, ib, mb);
+        let p = if zero_is_a {
+            PendingSolve { i0: *ia, m0: *ma, i1: *ib, m1: *mb, zero_is_a }
         } else {
-            ((ib, mb, cb), (ia, ma, ca))
+            PendingSolve { i0: *ib, m0: *mb, i1: *ia, m1: *ma, zero_is_a }
         };
-        let witness = cache.solve(solver, i0, i1, &mut |compute| {
+        pending.push(p);
+    });
+    // Batched compare: group the surviving pairs by stride class so the
+    // tier dispatch in the solve loop is branch-predictable. The sort is
+    // result-neutral — race dedup ranks are order-independent.
+    if ctx.funnel.batch {
+        pending.sort_by_key(|p| (p.i0.stride, p.i0.size, p.i1.stride, p.i1.size));
+    }
+    // The reported region is derived from the intervals themselves (not
+    // caller bookkeeping, which differs between batch group enumeration
+    // and live ingest order): the smaller region id of the two sides.
+    let region = ca.meta.pid.min(cb.meta.pid);
+    for p in &pending {
+        let (i0, m0, i1, m1) = (&p.i0, &p.m0, &p.i1, &p.m1);
+        let (c0, c1) = if p.zero_is_a { (ca, cb) } else { (cb, ca) };
+        stats.solver_calls += 1;
+        if let Some(s) = sites.as_deref_mut() {
+            s.solve(m0.pc, m1.pc);
+        }
+        let (witness, tier) = ctx.cache.solve(ctx.solver, ctx.funnel.gcd, i0, i1, &mut |compute| {
             let t0 = solver_nanos.map(|_| Instant::now());
             let w = compute();
             if let (Some(hist), Some(t0)) = (solver_nanos, t0) {
@@ -402,6 +471,7 @@ pub fn check_pair(
             }
             w
         });
+        ctx.tiers.record(tier);
         if let Some(w) = witness {
             if let Some(s) = sites.as_deref_mut() {
                 s.race(m0.pc, m1.pc);
@@ -441,7 +511,7 @@ pub fn check_pair(
                 },
             });
         }
-    });
+    }
     stats
 }
 
@@ -514,6 +584,33 @@ mod tests {
         AccessMeta { kind, pc, mset }
     }
 
+    /// Runs `check_pair` with a throwaway tier-counter set.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pair(
+        a: &BiTree,
+        ca: &Interval,
+        b: &BiTree,
+        cb: &Interval,
+        solver: SolverChoice,
+        funnel: FunnelConfig,
+        cache: &VerdictCache,
+        races: &mut RaceSet,
+        hist: Option<&Histogram>,
+        sites: Option<&mut SiteCounters>,
+    ) -> PairStats {
+        let tiers = TierCounters::new();
+        check_pair(
+            a,
+            ca,
+            b,
+            cb,
+            &CompareCtx { solver, funnel, cache, tiers: &tiers },
+            races,
+            hist,
+            sites,
+        )
+    }
+
     #[test]
     fn write_read_overlap_is_a_race() {
         let a =
@@ -522,12 +619,13 @@ mod tests {
             tree_of(1, &[(StridedInterval::new(0x100, 8, 99, 8), meta(AccessKind::Read, 2, 0))]);
         let mut races = RaceSet::new();
         let hist = Histogram::default();
-        let stats = check_pair(
+        let stats = run_pair(
             &a,
             &ctx_of(0),
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            FunnelConfig::ALL,
             &VerdictCache::disabled(),
             &mut races,
             Some(&hist),
@@ -567,32 +665,35 @@ mod tests {
         let a =
             tree_of(0, &[(StridedInterval::new(0x100, 16, 50, 8), meta(AccessKind::Write, 3, 0))]);
         let b =
-            tree_of(1, &[(StridedInterval::new(0x108, 16, 50, 8), meta(AccessKind::Write, 9, 0))]);
+            tree_of(1, &[(StridedInterval::new(0x104, 16, 50, 8), meta(AccessKind::Write, 9, 0))]);
         let mut fwd = RaceSet::new();
-        check_pair(
+        run_pair(
             &a,
             &ctx_of(0),
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            FunnelConfig::ALL,
             &shared,
             &mut fwd,
             None,
             None,
         );
         let mut rev = RaceSet::new();
-        check_pair(
+        run_pair(
             &b,
             &ctx_of(1),
             &a,
             &ctx_of(0),
             SolverChoice::Diophantine,
+            FunnelConfig::ALL,
             &shared,
             &mut rev,
             None,
             None,
         );
         assert_eq!(shared.solve_hits(), 1, "the swapped call hit the memo");
+        assert!(!fwd.is_empty(), "the pair overlaps, so a race is recorded");
         assert_eq!(fwd.into_sorted(), rev.into_sorted());
     }
 
@@ -603,12 +704,13 @@ mod tests {
         let b = tree_of(1, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Read, 2, 0))]);
         let mut races = RaceSet::new();
         let mut sites = SiteCounters::new();
-        check_pair(
+        run_pair(
             &a,
             &ctx_of(0),
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            FunnelConfig::ALL,
             &VerdictCache::disabled(),
             &mut races,
             None,
@@ -631,12 +733,13 @@ mod tests {
         let a = tree_of(0, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Read, 1, 0))]);
         let b = tree_of(1, &[(StridedInterval::new(0x100, 8, 9, 8), meta(AccessKind::Read, 2, 0))]);
         let mut races = RaceSet::new();
-        let stats = check_pair(
+        let stats = run_pair(
             &a,
             &ctx_of(0),
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            FunnelConfig::ALL,
             &VerdictCache::disabled(),
             &mut races,
             None,
@@ -651,12 +754,13 @@ mod tests {
         let a = tree_of(0, &[(StridedInterval::single(0x100, 8), meta(AccessKind::Write, 1, 1))]);
         let b = tree_of(1, &[(StridedInterval::single(0x100, 8), meta(AccessKind::Write, 2, 1))]);
         let mut races = RaceSet::new();
-        check_pair(
+        run_pair(
             &a,
             &ctx_of(0),
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            FunnelConfig::ALL,
             &VerdictCache::disabled(),
             &mut races,
             None,
@@ -667,32 +771,69 @@ mod tests {
 
     #[test]
     fn figure4_interleaved_strides_no_race() {
-        // Candidate by range, rejected by the exact solve.
+        // Candidate by range, rejected before the exact solve: the two
+        // stride-8 intervals occupy disjoint residues mod gcd = 8, so the
+        // fingerprint prescreen retires the pair during the tree walk.
         let a = tree_of(0, &[(StridedInterval::new(10, 8, 4, 4), meta(AccessKind::Write, 1, 0))]);
         let b = tree_of(1, &[(StridedInterval::new(14, 8, 4, 4), meta(AccessKind::Write, 2, 0))]);
         let mut races = RaceSet::new();
+        let tiers = TierCounters::new();
+        let cache = VerdictCache::disabled();
         let stats = check_pair(
             &a,
             &ctx_of(0),
             &b,
             &ctx_of(1),
-            SolverChoice::Diophantine,
-            &VerdictCache::disabled(),
+            &CompareCtx {
+                solver: SolverChoice::Diophantine,
+                funnel: FunnelConfig::ALL,
+                cache: &cache,
+                tiers: &tiers,
+            },
             &mut races,
             None,
             None,
         );
         assert_eq!(stats.candidates, 1);
-        assert_eq!(stats.solver_calls, 1);
+        assert_eq!(stats.solver_calls, 0, "the prescreen retired the pair");
+        assert_eq!(stats.prescreened, 1);
+        assert_eq!(tiers.get(Tier::Prescreen), 1);
         assert!(races.is_empty());
+
+        // With every screen masked off the pair reaches the funnel, which
+        // rejects it at the congruence tier with the same verdict.
+        let mut races_none = RaceSet::new();
+        let tiers_none = TierCounters::new();
+        let stats_none = check_pair(
+            &a,
+            &ctx_of(0),
+            &b,
+            &ctx_of(1),
+            &CompareCtx {
+                solver: SolverChoice::Diophantine,
+                funnel: FunnelConfig::NONE,
+                cache: &cache,
+                tiers: &tiers_none,
+            },
+            &mut races_none,
+            None,
+            None,
+        );
+        assert_eq!(stats_none.candidates, 1);
+        assert_eq!(stats_none.solver_calls, 1);
+        assert_eq!(stats_none.prescreened, 0);
+        assert_eq!(tiers_none.get(Tier::Diophantine), 1, "gcd screen off → full search");
+        assert!(races_none.is_empty());
+
         // The ILP solver agrees.
         let mut races2 = RaceSet::new();
-        check_pair(
+        run_pair(
             &a,
             &ctx_of(0),
             &b,
             &ctx_of(1),
             SolverChoice::Ilp,
+            FunnelConfig::NONE,
             &VerdictCache::disabled(),
             &mut races2,
             None,
@@ -717,12 +858,13 @@ mod tests {
         let a = tree_of(0, &nodes_a);
         let b = tree_of(1, &nodes_b);
         let mut races = RaceSet::new();
-        check_pair(
+        run_pair(
             &a,
             &ctx_of(0),
             &b,
             &ctx_of(1),
             SolverChoice::Diophantine,
+            FunnelConfig::ALL,
             &VerdictCache::disabled(),
             &mut races,
             None,
@@ -735,6 +877,61 @@ mod tests {
         // Dedup fairness: the kept witness is the earliest racy node pair
         // (smallest witness address here — same interval coordinates).
         assert_eq!(race.evidence.witness.addr, 0x1000);
+    }
+
+    #[test]
+    fn funnel_masks_are_result_neutral() {
+        // Every screen mask must yield byte-identical races; only the
+        // split between `solver_calls` and `prescreened` may move.
+        let a = tree_of(
+            0,
+            &[
+                (StridedInterval::new(0x100, 8, 99, 8), meta(AccessKind::Write, 1, 0)),
+                (StridedInterval::new(0x1000, 16, 50, 8), meta(AccessKind::Write, 3, 0)),
+                (StridedInterval::new(0x2000, 8, 4, 4), meta(AccessKind::Write, 5, 0)),
+            ],
+        );
+        let b = tree_of(
+            1,
+            &[
+                (StridedInterval::new(0x104, 8, 99, 4), meta(AccessKind::Read, 2, 0)),
+                (StridedInterval::new(0x1008, 16, 50, 8), meta(AccessKind::Read, 4, 0)),
+                (StridedInterval::new(0x2004, 8, 4, 4), meta(AccessKind::Read, 6, 0)),
+            ],
+        );
+        let masks = [
+            FunnelConfig::ALL,
+            FunnelConfig::NONE,
+            FunnelConfig { gcd: false, ..FunnelConfig::ALL },
+            FunnelConfig { prescreen: false, ..FunnelConfig::ALL },
+            FunnelConfig { bbox: false, ..FunnelConfig::ALL },
+            FunnelConfig { batch: false, ..FunnelConfig::ALL },
+        ];
+        let mut baseline: Option<(Vec<Race>, u64, u64)> = None;
+        for funnel in masks {
+            let mut races = RaceSet::new();
+            let stats = run_pair(
+                &a,
+                &ctx_of(0),
+                &b,
+                &ctx_of(1),
+                SolverChoice::Diophantine,
+                funnel,
+                &VerdictCache::disabled(),
+                &mut races,
+                None,
+                None,
+            );
+            let got =
+                (races.into_sorted(), stats.candidates, stats.solver_calls + stats.prescreened);
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => assert_eq!(&got, want, "mask {funnel:?} changed the result"),
+            }
+        }
+        let (races, _, decided) = baseline.unwrap();
+        assert!(!races.is_empty(), "the dense and in-phase pairs race");
+        assert_eq!(decided, 3, "every same-slab candidate pair is decided exactly once");
     }
 
     #[test]

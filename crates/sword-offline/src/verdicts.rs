@@ -28,9 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 
 use sword_osl::{Label, Ordering as OslOrdering};
-use sword_solver::{
-    overlap_ilp, strided_overlap_witness_full, IlpStatus, OverlapWitness, StridedInterval,
-};
+use sword_solver::{solve_tiered, solve_tiered_ilp, OverlapWitness, StridedInterval, Tier};
 
 use crate::analyze::SolverChoice;
 use crate::intervals::is_prefix_related;
@@ -55,11 +53,16 @@ type RegionKey = (Vec<u64>, Vec<u64>);
 /// `check_pair` always queries canonically).
 type SolveKey = (u8, StridedInterval, StridedInterval);
 
+/// A memoized solver answer: the canonical witness (or `None`) plus the
+/// funnel tier that decided the pair. Tiers are a pure function of the
+/// key too, so memoizing them keeps per-tier counters logical —
+/// identical cache on or off.
+pub type SolveAnswer = (Option<OverlapWitness>, Tier);
+
 /// The wrapper [`VerdictCache::solve`] runs around actual solver
 /// computations only (never cache hits): callers hang latency recording
 /// off it.
-pub type SolveHook<'a> =
-    &'a mut dyn FnMut(&dyn Fn() -> Option<OverlapWitness>) -> Option<OverlapWitness>;
+pub type SolveHook<'a> = &'a mut dyn FnMut(&dyn Fn() -> SolveAnswer) -> SolveAnswer;
 
 /// Number of solver-memo shards (keeps worker contention low without a
 /// concurrent map dependency).
@@ -77,7 +80,7 @@ struct Counters {
 struct Inner {
     enabled: bool,
     regions: Mutex<HashMap<RegionKey, RegionVerdict>>,
-    solves: Vec<Mutex<HashMap<SolveKey, Option<OverlapWitness>>>>,
+    solves: Vec<Mutex<HashMap<SolveKey, SolveAnswer>>>,
     counters: Counters,
 }
 
@@ -139,23 +142,26 @@ impl VerdictCache {
     /// Solves the exact overlap constraint for `(i0, i1)` — canonical
     /// side order — memoized on the pair's structural identity. The
     /// solver is pure, so a memoized witness is *the* witness the solver
-    /// would return, and evidence built from it is byte-identical.
+    /// would return, and evidence built from it is byte-identical. The
+    /// deciding funnel tier is memoized alongside the witness.
+    ///
+    /// `gcd_screen` enables the solver-level congruence reject tier (it
+    /// never changes the answer, only which tier reports the decision and
+    /// how fast).
     ///
     /// `on_compute` runs around actual solves only (latency histograms
     /// must not record cache hits).
     pub fn solve(
         &self,
         solver: SolverChoice,
+        gcd_screen: bool,
         i0: &StridedInterval,
         i1: &StridedInterval,
         on_compute: SolveHook<'_>,
-    ) -> Option<OverlapWitness> {
+    ) -> SolveAnswer {
         let compute = || match solver {
-            SolverChoice::Diophantine => strided_overlap_witness_full(i0, i1),
-            SolverChoice::Ilp => match overlap_ilp(i0, i1).solve() {
-                IlpStatus::Feasible => strided_overlap_witness_full(i0, i1),
-                _ => None,
-            },
+            SolverChoice::Diophantine => solve_tiered(i0, i1, gcd_screen),
+            SolverChoice::Ilp => solve_tiered_ilp(i0, i1, gcd_screen),
         };
         if !self.inner.enabled {
             return on_compute(&compute);
@@ -169,9 +175,9 @@ impl VerdictCache {
         // Compute outside the shard lock: a concurrent duplicate solve is
         // cheaper than serializing every distinct solve in the shard.
         self.inner.counters.solve_misses.fetch_add(1, AtomicOrdering::Relaxed);
-        let witness = on_compute(&compute);
-        shard.lock().expect("solver memo poisoned").insert(key, witness);
-        witness
+        let answer = on_compute(&compute);
+        shard.lock().expect("solver memo poisoned").insert(key, answer);
+        answer
     }
 
     /// Region-verdict memo hits so far.
@@ -254,24 +260,35 @@ mod tests {
         let i0 = StridedInterval::new(0x100, 8, 99, 8);
         let i1 = StridedInterval::new(0x104, 8, 99, 4);
         let computes = std::cell::Cell::new(0u32);
-        let mut run = |f: &dyn Fn() -> Option<OverlapWitness>| {
+        let mut run = |f: &dyn Fn() -> SolveAnswer| {
             computes.set(computes.get() + 1);
             f()
         };
-        let w1 = cache.solve(SolverChoice::Diophantine, &i0, &i1, &mut run);
-        let w2 = cache.solve(SolverChoice::Diophantine, &i0, &i1, &mut run);
+        let (w1, t1) = cache.solve(SolverChoice::Diophantine, true, &i0, &i1, &mut run);
+        let (w2, t2) = cache.solve(SolverChoice::Diophantine, true, &i0, &i1, &mut run);
         assert_eq!(computes.get(), 1, "second lookup is a memo hit");
-        assert_eq!(w1, w2);
-        assert_eq!(w1, strided_overlap_witness_full(&i0, &i1), "memo returns the pure result");
+        assert_eq!((w1, t1), (w2, t2));
+        assert_eq!(
+            w1,
+            sword_solver::strided_overlap_witness_full(&i0, &i1),
+            "memo returns the pure result"
+        );
+        assert_eq!(t1, Tier::DenseLocate, "dense i0 against holey i1 resolves by locate");
         assert_eq!(cache.solve_hits(), 1);
         assert_eq!(cache.solve_misses(), 1);
         // Disjoint pair memoizes its None too.
         let far = StridedInterval::single(0x9999, 1);
-        assert_eq!(cache.solve(SolverChoice::Diophantine, &i0, &far, &mut run), None);
-        assert_eq!(cache.solve(SolverChoice::Diophantine, &i0, &far, &mut run), None);
+        assert_eq!(
+            cache.solve(SolverChoice::Diophantine, true, &i0, &far, &mut run),
+            (None, Tier::RangeDisjoint)
+        );
+        assert_eq!(
+            cache.solve(SolverChoice::Diophantine, true, &i0, &far, &mut run),
+            (None, Tier::RangeDisjoint)
+        );
         assert_eq!(computes.get(), 2);
         // The two solver choices memoize separately.
-        let w3 = cache.solve(SolverChoice::Ilp, &i0, &i1, &mut run);
+        let (w3, _) = cache.solve(SolverChoice::Ilp, true, &i0, &i1, &mut run);
         assert_eq!(computes.get(), 3);
         assert_eq!(w3, w1, "both solvers agree on the witness");
     }
@@ -281,12 +298,12 @@ mod tests {
         let cache = VerdictCache::disabled();
         let i0 = StridedInterval::new(0x100, 8, 9, 8);
         let computes = std::cell::Cell::new(0u32);
-        let mut run = |f: &dyn Fn() -> Option<OverlapWitness>| {
+        let mut run = |f: &dyn Fn() -> SolveAnswer| {
             computes.set(computes.get() + 1);
             f()
         };
-        cache.solve(SolverChoice::Diophantine, &i0, &i0, &mut run);
-        cache.solve(SolverChoice::Diophantine, &i0, &i0, &mut run);
+        cache.solve(SolverChoice::Diophantine, true, &i0, &i0, &mut run);
+        cache.solve(SolverChoice::Diophantine, true, &i0, &i0, &mut run);
         assert_eq!(computes.get(), 2);
         assert_eq!(cache.solve_hits() + cache.solve_misses(), 0, "no accounting when disabled");
         assert_eq!(cache.hit_rate(), 0.0);
@@ -301,9 +318,25 @@ mod tests {
         cache.region_verdict(&a, &b); // hit
         cache.region_verdict(&a, &b); // hit
         let i = StridedInterval::new(0, 8, 9, 8);
-        let mut run = |f: &dyn Fn() -> Option<OverlapWitness>| f();
-        cache.solve(SolverChoice::Diophantine, &i, &i, &mut run); // miss
-        cache.solve(SolverChoice::Diophantine, &i, &i, &mut run); // hit
+        let mut run = |f: &dyn Fn() -> SolveAnswer| f();
+        cache.solve(SolverChoice::Diophantine, true, &i, &i, &mut run); // miss
+        cache.solve(SolverChoice::Diophantine, true, &i, &i, &mut run); // hit
         assert!((cache.hit_rate() - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memoized_tier_is_stable_across_hits() {
+        let cache = VerdictCache::new(true);
+        // Figure 4: both holey, congruence reject.
+        let i0 = StridedInterval::new(10, 8, 4, 4);
+        let i1 = StridedInterval::new(14, 8, 4, 4);
+        let mut run = |f: &dyn Fn() -> SolveAnswer| f();
+        let first = cache.solve(SolverChoice::Diophantine, true, &i0, &i1, &mut run);
+        let second = cache.solve(SolverChoice::Diophantine, true, &i0, &i1, &mut run);
+        assert_eq!(first, (None, Tier::GcdReject));
+        assert_eq!(second, first, "hits replay the memoized tier");
+        // Under --ilp the residue tier differs but the verdict agrees.
+        let ilp = cache.solve(SolverChoice::Ilp, true, &i0, &i1, &mut run);
+        assert_eq!(ilp, (None, Tier::GcdReject));
     }
 }

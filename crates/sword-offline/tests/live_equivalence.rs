@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use sword_offline::{analyze, AnalysisConfig, AnalysisResult, LiveAnalyzer};
+use sword_offline::{analyze, AnalysisConfig, AnalysisResult, FunnelConfig, LiveAnalyzer};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordCollector, SwordConfig};
 use sword_trace::{LiveStatus, SessionDir};
@@ -111,6 +111,7 @@ fn assert_equivalent(live: &AnalysisResult, batch: &AnalysisResult) {
     assert_eq!(live.stats.tree_pairs, batch.stats.tree_pairs, "tree pairs");
     assert_eq!(live.stats.candidate_pairs, batch.stats.candidate_pairs, "candidates");
     assert_eq!(live.stats.solver_calls, batch.stats.solver_calls, "solver calls");
+    assert_eq!(live.stats.prescreened_pairs, batch.stats.prescreened_pairs, "prescreened");
     assert_eq!(live.stats.threads, batch.stats.threads);
     assert_eq!(live.stats.barrier_intervals, batch.stats.barrier_intervals);
     assert_eq!(live.stats.groups, batch.stats.groups);
@@ -208,6 +209,27 @@ fn analysis_core_variants_are_byte_identical() {
     {
         assert_equivalent(variant, &baseline);
         assert_eq!(chains(variant), chains(&baseline), "{name} evidence diverged");
+    }
+
+    // The screening funnel must be result-neutral: masking every screen
+    // off moves pairs from `prescreened_pairs` back into `solver_calls`
+    // but cannot change verdicts, candidates, or rendered evidence.
+    let nofunnel_cfg = AnalysisConfig::sequential().with_funnel(FunnelConfig::NONE);
+    let nofunnel = analyze(&src, &nofunnel_cfg).expect("funnel-off batch");
+    let nofunnel_live = staged_replay(&src, "variants-replay-nofunnel", &nofunnel_cfg, 2);
+    assert_equivalent(&nofunnel_live, &nofunnel);
+    assert_eq!(nofunnel.stats.prescreened_pairs, 0, "no screens, nothing prescreened");
+    for (name, variant) in [("funnel-off", &nofunnel), ("funnel-off-live", &nofunnel_live)] {
+        assert_eq!(chains(variant), chains(&baseline), "{name} evidence diverged");
+        assert_eq!(
+            variant.stats.candidate_pairs, baseline.stats.candidate_pairs,
+            "{name} candidate count moved"
+        );
+        assert_eq!(
+            variant.stats.solver_calls + variant.stats.prescreened_pairs,
+            baseline.stats.solver_calls + baseline.stats.prescreened_pairs,
+            "{name} broke decided-pair conservation"
+        );
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }

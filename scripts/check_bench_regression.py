@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI regression gate for the analysis-core pipeline bench.
+
+Compares the `stage_throughput_speedup` of each workload in a freshly
+generated BENCH_pipeline.json against the committed baseline in
+bench-baselines/BENCH_pipeline.json and fails when any workload regresses
+by more than the tolerance (default 15%).
+
+The gate deliberately compares the *dimensionless* speedup ratio (the
+refactored core's stage throughput over the pre-core shape on the same
+host and run) rather than absolute items/s, so it is portable across
+runner hardware generations: a slower machine slows both modes alike.
+
+Usage:
+    scripts/check_bench_regression.py CURRENT BASELINE [--tolerance 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path} is not valid JSON: {e}")
+
+
+def by_workload(doc, path):
+    rows = {}
+    for entry in doc.get("workloads", []):
+        name = entry.get("workload")
+        speedup = entry.get("stage_throughput_speedup")
+        if name is None or not isinstance(speedup, (int, float)) or speedup <= 0:
+            sys.exit(f"error: {path}: malformed workload entry {entry!r}")
+        rows[name] = float(speedup)
+    if not rows:
+        sys.exit(f"error: {path} contains no workloads")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly generated BENCH_pipeline.json")
+    ap.add_argument("baseline", help="committed baseline BENCH_pipeline.json")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="maximum allowed fractional regression (default: 0.15)",
+    )
+    args = ap.parse_args()
+
+    current = by_workload(load(args.current), args.current)
+    baseline = by_workload(load(args.baseline), args.baseline)
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from {args.current}")
+            continue
+        delta = (cur - base) / base
+        status = "ok"
+        if cur < base * (1.0 - args.tolerance):
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: stage_throughput_speedup {cur:.3f} vs baseline "
+                f"{base:.3f} ({delta:+.1%} > -{args.tolerance:.0%} allowed)"
+            )
+        print(
+            f"{name:<16} speedup {cur:.3f}  baseline {base:.3f}  "
+            f"delta {delta:+.1%}  {status}"
+        )
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nbench regression gate passed "
+          f"(tolerance {args.tolerance:.0%}, {len(baseline)} workloads)")
+
+
+if __name__ == "__main__":
+    main()
