@@ -6,7 +6,7 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sword_metrics::MemGauge;
-use sword_ompsim::{ParallelBeginInfo, ThreadContext, Tool};
+use sword_ompsim::{ParallelBeginInfo, TaskCreateInfo, TaskUid, ThreadContext, Tool};
 use sword_trace::{MemAccess, MutexId, PcId, PcTable, RegionId, ThreadId};
 
 use crate::shadow::{ShadowWord, StoreOutcome, MODELED_BYTES_PER_WORD};
@@ -142,11 +142,26 @@ struct BarrierSync {
     span: u64,
 }
 
+/// Per-task synchronization state, keyed by [`TaskUid`].
+#[derive(Default)]
+struct TaskSync {
+    /// Creator's clock at the creation point (the task body's floor).
+    create_vc: VectorClock,
+    /// Predecessor tasks this one `depend`s on (uids — the runtime's
+    /// pseudo-region ids double as task uids).
+    preds: Vec<TaskUid>,
+    /// Executing thread's clock when the body finished; joined by
+    /// dependent successors at their begin and by the creator at the
+    /// next task synchronization point.
+    end_vc: Option<VectorClock>,
+}
+
 struct State {
     threads: HashMap<ThreadId, ThreadState>,
     locks: HashMap<MutexId, VectorClock>,
     regions: HashMap<RegionId, RegionSync>,
     barriers: HashMap<(RegionId, u32), BarrierSync>,
+    tasks: HashMap<TaskUid, TaskSync>,
     shadow: HashMap<u64, ShadowWord>,
     races: HashMap<(PcId, PcId), ArcherRace>,
     rng: SmallRng,
@@ -180,6 +195,7 @@ impl ArcherTool {
                 locks: HashMap::new(),
                 regions: HashMap::new(),
                 barriers: HashMap::new(),
+                tasks: HashMap::new(),
                 shadow: HashMap::new(),
                 races: HashMap::new(),
                 rng: SmallRng::seed_from_u64(seed),
@@ -351,6 +367,62 @@ impl Tool for ArcherTool {
         let ts = Self::thread_mut(&mut state, ctx.tid);
         ts.vc.join(&acc);
         Self::tick(&mut state, ctx.tid);
+    }
+
+    fn task_create(&self, outer: &ThreadContext<'_>, info: &TaskCreateInfo<'_>) {
+        let mut state = self.state.lock();
+        let create_vc = Self::thread_mut(&mut state, outer.tid).vc.clone();
+        state
+            .tasks
+            .insert(info.uid, TaskSync { create_vc, preds: info.preds.to_vec(), end_vc: None });
+        Self::tick(&mut state, outer.tid);
+    }
+
+    fn task_begin(&self, _outer: &ThreadContext<'_>, task: &ThreadContext<'_>, uid: TaskUid) {
+        let mut state = self.state.lock();
+        // The body's clock floor: the creation point joined with every
+        // `depend` predecessor's completion.
+        let mut floor = match state.tasks.get(&uid) {
+            Some(sync) => sync.create_vc.clone(),
+            None => VectorClock::new(),
+        };
+        let preds: Vec<TaskUid> =
+            state.tasks.get(&uid).map(|s| s.preds.clone()).unwrap_or_default();
+        for pred in preds {
+            if let Some(end) = state.tasks.get(&pred).and_then(|s| s.end_vc.as_ref()) {
+                floor.join(end);
+            }
+        }
+        let ts = Self::thread_mut(&mut state, task.tid);
+        ts.vc.join(&floor);
+        Self::tick(&mut state, task.tid);
+    }
+
+    fn task_end(&self, task: &ThreadContext<'_>, _outer: &ThreadContext<'_>, uid: TaskUid) {
+        let mut state = self.state.lock();
+        let end_vc = Self::thread_mut(&mut state, task.tid).vc.clone();
+        if let Some(sync) = state.tasks.get_mut(&uid) {
+            sync.end_vc = Some(end_vc);
+        }
+        Self::tick(&mut state, task.tid);
+        // The creator does NOT adopt the body's clock here — the
+        // continuation stays concurrent with the task until a taskwait,
+        // taskgroup end, or barrier joins it.
+    }
+
+    fn task_sync(&self, restored: &ThreadContext<'_>, synced: &[TaskUid]) {
+        let mut state = self.state.lock();
+        let mut acc = VectorClock::new();
+        for uid in synced {
+            // Synced tasks never get referenced again (depend edges do
+            // not cross a task synchronization point), so drop them.
+            if let Some(end) = state.tasks.remove(uid).and_then(|s| s.end_vc) {
+                acc.join(&end);
+            }
+        }
+        let ts = Self::thread_mut(&mut state, restored.tid);
+        ts.vc.join(&acc);
+        Self::tick(&mut state, restored.tid);
     }
 
     fn mutex_acquired(&self, ctx: &ThreadContext<'_>, mutex: MutexId) {

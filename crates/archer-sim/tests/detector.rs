@@ -355,6 +355,124 @@ fn nested_regions_inherit_clocks() {
 }
 
 #[test]
+fn sibling_tasks_race_and_taskwait_orders() {
+    // Two independent sibling tasks write the same cell: no HB edge
+    // covers the pair even though the inline schedule serializes them.
+    let racy = run_archer(ArcherConfig::default(), |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.task(|t| t.write(&a, 0, 1));
+                    w.task(|t| t.write(&a, 0, 2));
+                    w.taskwait();
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert!(!racy.races().is_empty(), "sibling tasks have no ordering edge");
+
+    // With a taskwait between them the second task's floor includes the
+    // creator's post-sync clock, which has adopted the first body.
+    let clean = run_archer(ArcherConfig::default(), |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.task(|t| t.write(&a, 0, 1));
+                    w.taskwait();
+                    w.task(|t| t.write(&a, 0, 2));
+                    w.taskwait();
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert!(clean.races().is_empty(), "{:?}", clean.races());
+}
+
+#[test]
+fn depend_edges_create_happens_before() {
+    use sword_ompsim::DepMode;
+    let tool = run_archer(ArcherConfig::default(), |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.task_depend(&[(0, DepMode::Out)], |t| t.write(&a, 0, 1));
+                    w.task_depend(&[(0, DepMode::In)], |t| {
+                        let _ = t.read(&a, 0);
+                    });
+                    w.task_depend(&[(0, DepMode::InOut)], |t| {
+                        let v = t.read(&a, 0);
+                        t.write(&a, 0, v + 1);
+                    });
+                    w.taskwait();
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert!(tool.races().is_empty(), "{:?}", tool.races());
+}
+
+#[test]
+fn continuation_races_until_synced() {
+    // The creator's continuation write is unordered against the task it
+    // just spawned (no adoption at task_end) — caught. After a taskgroup
+    // end the creator has adopted the body — clean.
+    let racy = run_archer(ArcherConfig::default(), |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.task(|t| t.write(&a, 0, 1));
+                    w.write(&a, 0, 2);
+                    w.taskwait();
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert!(!racy.races().is_empty(), "continuation is concurrent with the task");
+
+    let clean = run_archer(ArcherConfig::default(), |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.taskgroup(|w| {
+                        w.task(|t| t.write(&a, 0, 1));
+                    });
+                    w.write(&a, 0, 2);
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert!(clean.races().is_empty(), "{:?}", clean.races());
+}
+
+#[test]
+fn ordered_region_creates_happens_before() {
+    let tool = run_archer(ArcherConfig::default(), |sim| {
+        let c = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_static_ordered(0..64, |i, ol| {
+                    w.ordered(ol, i, || {
+                        let v = w.read(&c, 0);
+                        w.write(&c, 0, v + 1);
+                    });
+                });
+            });
+        });
+    });
+    assert!(tool.races().is_empty(), "turn order + lock VCs order the updates");
+}
+
+#[test]
 fn stats_shape() {
     let tool = run_archer(ArcherConfig::default(), |sim| {
         let a = sim.alloc::<f64>(64, 0.0);

@@ -21,6 +21,7 @@ use sword_obs::Obs;
 use sword_offline::{analyze_loaded, AnalysisConfig, AnalysisResult, LoadedSession};
 use sword_trace::{ReadMode, SessionDir};
 use sword_workloads::hpc::amg_workload;
+use sword_workloads::tasking::taskfan_workload;
 use sword_workloads::{find_workload, RunConfig, Workload};
 
 /// Analysis workers (the paper's Figure 7/8 runs use 8 threads).
@@ -95,11 +96,15 @@ fn throughput(m: &ModeRun) -> f64 {
 }
 
 fn main() {
-    // Figure 7's CG solver at a 20³ grid and Figure 8's AMG sweep at
-    // the 30³ point: big enough that the measured stage window is work,
-    // not fixed overhead.
-    let workloads: Vec<Box<dyn Workload>> =
-        vec![find_workload("HPCCG").expect("HPCCG workload"), Box::new(amg_workload(30))];
+    // Figure 7's CG solver at a 20³ grid, Figure 8's AMG sweep at the
+    // 30³ point, and the task-fan kernel (task-fork labels plus
+    // dynamic/guided loop records): big enough that the measured stage
+    // window is work, not fixed overhead.
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        find_workload("HPCCG").expect("HPCCG workload"),
+        Box::new(amg_workload(30)),
+        taskfan_workload(),
+    ];
 
     let mut table = Table::new(
         format!("pipeline smoke: compare+tree-build at {WORKERS} workers"),

@@ -33,10 +33,12 @@
 //! sword meta <session-dir>
 //!     Pretty-print a session's Table-I metadata and region table.
 //! sword fuzz [--seed N] [--iters N] [--team N] [--fault-inject]
-//!            [--corpus DIR]
+//!            [--tasking] [--corpus DIR]
 //!     Differential-testing campaign: generated programs through SWORD
 //!     (batch + live), ARCHER, and the ground-truth oracle; failures are
 //!     shrunk to minimal reproducers. Nonzero exit on any divergence.
+//!     `--tasking` reweights generation toward tasks, depend chains,
+//!     taskwait/taskgroup, and dynamic/guided/ordered loops.
 //! sword list
 //!     List available workloads with their ground truth.
 //! ```
@@ -94,7 +96,7 @@ const USAGE: &str = "usage:
   sword compare <workload> [--threads N] [--size S]
   sword meta <session-dir>
   sword fuzz [--seed N] [--iters N] [--team N] [--fault-inject]
-             [--corpus DIR] [--obs]";
+             [--tasking] [--corpus DIR] [--obs]";
 
 /// Minimal flag parser: `--key value` pairs after positional args.
 struct Flags {
@@ -743,13 +745,15 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
             }
         },
         fault_inject: flags.has("fault-inject"),
+        tasking: flags.has("tasking"),
         corpus_dir: flags.map.get("corpus").map(PathBuf::from),
     };
     println!(
-        "fuzzing: {} iterations from seed {}, teams {:?}{}",
+        "fuzzing: {} iterations from seed {}, teams {:?}{}{}",
         opts.iters,
         opts.seed,
         opts.teams,
+        if opts.tasking { ", tasking profile" } else { "" },
         if opts.fault_inject { ", with fault injection" } else { "" }
     );
     let obs = flags.has("obs").then(Obs::new);

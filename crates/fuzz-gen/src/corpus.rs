@@ -96,6 +96,73 @@ fn region_has_nesting(r: &crate::program::Region) -> bool {
     r.body.iter().any(|s| matches!(s, crate::program::Stmt::Nested(_)))
 }
 
+/// Hand-written minimal tasking reproducers, one per tasking/scheduling
+/// semantic the detectors must agree on. Checked into `tests/corpus/`
+/// alongside the generator-seeded entries and replayed the same way.
+///
+/// - `taskwait-quiet`: taskwait orders a task before its continuation.
+/// - `taskgroup-racy`: taskgroup syncs only tasks created inside it — a
+///   pre-group sibling still races both the group's task and the
+///   continuation.
+/// - `depend-chain-quiet`: an out→inout depend chain serializes
+///   conflicting sibling tasks.
+/// - `siblings-racy`: undeferred sibling tasks with no ordering clause
+///   race on a shared element.
+/// - `dynamic-racy`: a dynamic-schedule loop spreads iterations across
+///   slots, so a loop-invariant write races itself.
+/// - `ordered-quiet`: the same dynamic loop under `ordered` is silenced
+///   by the ordered-clause protocol (modeled as a per-loop lock).
+pub fn tasking_entries() -> Vec<(String, Program)> {
+    use sword_trace::AccessKind;
+
+    use crate::program::{Access, DepKind, IndexExpr, Region, Sched, Stmt, TaskBlock, TaskDep};
+
+    let w =
+        |id, elem| Access { id, buf: 0, kind: AccessKind::Write, index: IndexExpr::Const(elem) };
+    let task = |access| Stmt::Task(TaskBlock { deps: vec![], body: vec![access] });
+    let dep_task = |access, kind| {
+        Stmt::Task(TaskBlock { deps: vec![TaskDep { var: 0, kind }], body: vec![access] })
+    };
+    let flat =
+        |threads, body| Program { buffers: vec![2], regions: vec![Region { threads, body }] };
+    let dyn_loop = |access, ordered| Stmt::For {
+        n: 4,
+        nowait: false,
+        sched: Sched::Dynamic { chunk: 1 },
+        ordered,
+        body: vec![access],
+    };
+
+    let mut out = vec![
+        (
+            "tasking-taskwait-quiet-flat".to_string(),
+            flat(1, vec![task(w(0, 0)), Stmt::Taskwait, Stmt::Access(w(1, 0))]),
+        ),
+        (
+            "tasking-taskgroup-racy-flat".to_string(),
+            flat(
+                1,
+                vec![
+                    task(w(0, 0)),
+                    Stmt::Taskgroup {
+                        tasks: vec![TaskBlock { deps: vec![], body: vec![w(1, 0)] }],
+                    },
+                    Stmt::Access(w(2, 0)),
+                ],
+            ),
+        ),
+        (
+            "tasking-depend-chain-quiet-flat".to_string(),
+            flat(1, vec![dep_task(w(0, 0), DepKind::Out), dep_task(w(1, 0), DepKind::InOut)]),
+        ),
+        ("tasking-siblings-racy-flat".to_string(), flat(1, vec![task(w(0, 0)), task(w(1, 0))])),
+        ("tasking-dynamic-racy-flat".to_string(), flat(2, vec![dyn_loop(w(0, 0), false)])),
+        ("tasking-ordered-quiet-flat".to_string(), flat(2, vec![dyn_loop(w(0, 0), true)])),
+    ];
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +202,23 @@ mod tests {
         assert_eq!(racy, 5);
         // Deterministic across calls.
         assert_eq!(entries, seeded_entries());
+    }
+
+    #[test]
+    fn tasking_corpus_names_match_their_oracle_class() {
+        let entries = tasking_entries();
+        assert_eq!(entries.len(), 6);
+        for (name, prog) in &entries {
+            let pairs = crate::oracle::analyze(prog).pairs;
+            assert_eq!(
+                name.contains("-racy-"),
+                !pairs.is_empty(),
+                "tasking entry `{name}`: oracle pairs {pairs:?} contradict its name"
+            );
+            // Every entry survives the text round-trip the corpus files
+            // depend on.
+            let back = Program::parse(&prog.to_text()).unwrap();
+            assert_eq!(&back, prog, "tasking entry `{name}` does not round-trip");
+        }
     }
 }

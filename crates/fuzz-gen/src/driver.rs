@@ -340,6 +340,10 @@ pub struct FuzzOptions {
     pub teams: Vec<u64>,
     /// Also run session fault injection on every program.
     pub fault_inject: bool,
+    /// Generate with the tasking-heavy profile
+    /// ([`GenConfig::tasking_with_team`]): mostly tasks, depend chains,
+    /// taskwait/taskgroup, and dynamic/guided/ordered loops.
+    pub tasking: bool,
     /// Where to persist shrunk reproducers of failures.
     pub corpus_dir: Option<PathBuf>,
 }
@@ -351,6 +355,7 @@ impl Default for FuzzOptions {
             iters: 100,
             teams: vec![2, 4, 8],
             fault_inject: false,
+            tasking: false,
             corpus_dir: None,
         }
     }
@@ -412,7 +417,12 @@ pub fn run_fuzz(opts: &FuzzOptions, mut progress: impl FnMut(u64, &FuzzSummary))
     for i in 0..opts.iters {
         let seed = opts.seed.wrapping_add(i);
         let team = teams[(i % teams.len() as u64) as usize];
-        let prog = generate(seed, &GenConfig::with_team(team));
+        let cfg = if opts.tasking {
+            GenConfig::tasking_with_team(team)
+        } else {
+            GenConfig::with_team(team)
+        };
+        let prog = generate(seed, &cfg);
         let report = check_program(&prog, opts.fault_inject);
         summary.iters += 1;
         if !report.verdicts.oracle.is_empty() {
@@ -501,6 +511,137 @@ mod tests {
     }
 
     #[test]
+    fn known_racy_tasking_program_agrees_across_detectors() {
+        use crate::program::TaskBlock;
+        // Two dependence-free sibling tasks of one creator write the same
+        // element: a task-vs-task race every detector must see.
+        let task = |id| {
+            Stmt::Task(TaskBlock {
+                deps: vec![],
+                body: vec![Access {
+                    id,
+                    buf: 0,
+                    kind: AccessKind::Write,
+                    index: IndexExpr::Const(0),
+                }],
+            })
+        };
+        let p = prog(vec![Region { threads: 1, body: vec![task(0), task(1)] }]);
+        let r = check_program(&p, false);
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        assert_eq!(r.verdicts.oracle.iter().copied().collect::<Vec<_>>(), vec![(0, 1)]);
+        assert_eq!(r.verdicts.sword_batch, r.verdicts.oracle);
+        assert_eq!(r.verdicts.sword_live, r.verdicts.oracle);
+    }
+
+    #[test]
+    fn known_race_free_tasking_program_is_silent_everywhere() {
+        use crate::program::{DepKind, TaskBlock, TaskDep};
+        // out → inout dependence chain, then a taskwait before the
+        // continuation reads: fully ordered.
+        let task = |id, kind| {
+            Stmt::Task(TaskBlock {
+                deps: vec![TaskDep { var: 0, kind }],
+                body: vec![Access {
+                    id,
+                    buf: 0,
+                    kind: AccessKind::Write,
+                    index: IndexExpr::Const(0),
+                }],
+            })
+        };
+        let p = prog(vec![Region {
+            threads: 2,
+            body: vec![
+                task(0, DepKind::Out),
+                task(1, DepKind::InOut),
+                Stmt::Taskwait,
+                Stmt::Access(Access {
+                    id: 2,
+                    buf: 0,
+                    kind: AccessKind::Read,
+                    index: IndexExpr::Const(0),
+                }),
+            ],
+        }]);
+        let r = check_program(&p, false);
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        // With two creators, dependence and taskwait only order *within*
+        // a creator: cross-creator task pairs race, and each creator's
+        // read — ordered against its own tasks — races the other's.
+        assert_eq!(
+            r.verdicts.oracle.iter().copied().collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (0, 2), (1, 1), (1, 2)]
+        );
+        assert_eq!(r.verdicts.sword_batch, r.verdicts.oracle);
+        assert_eq!(r.verdicts.sword_live, r.verdicts.oracle);
+        assert!(r.verdicts.archer.is_subset(&r.verdicts.oracle));
+
+        // The genuinely quiet version: one creator.
+        let p = prog(vec![Region {
+            threads: 1,
+            body: vec![
+                task(0, DepKind::Out),
+                task(1, DepKind::InOut),
+                Stmt::Taskwait,
+                Stmt::Access(Access {
+                    id: 2,
+                    buf: 0,
+                    kind: AccessKind::Read,
+                    index: IndexExpr::Const(0),
+                }),
+            ],
+        }]);
+        let r = check_program(&p, false);
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        assert!(r.verdicts.oracle.is_empty(), "{:?}", r.verdicts.oracle);
+        assert!(r.verdicts.sword_batch.is_empty());
+        assert!(r.verdicts.sword_live.is_empty());
+        assert!(r.verdicts.archer.is_empty());
+    }
+
+    #[test]
+    fn ordered_dynamic_loop_is_silent_under_every_detector() {
+        use crate::program::Sched;
+        let p = prog(vec![Region {
+            threads: 2,
+            body: vec![Stmt::For {
+                n: 4,
+                nowait: false,
+                sched: Sched::Dynamic { chunk: 1 },
+                ordered: true,
+                body: vec![Access {
+                    id: 0,
+                    buf: 0,
+                    kind: AccessKind::Write,
+                    index: IndexExpr::Const(0),
+                }],
+            }],
+        }]);
+        let r = check_program(&p, false);
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        assert!(r.verdicts.oracle.is_empty());
+        assert!(r.verdicts.sword_batch.is_empty());
+        assert!(r.verdicts.archer.is_empty());
+        // Drop the ordered clause and the same loop races everywhere.
+        let Stmt::For { body, .. } = &p.regions[0].body[0] else { unreachable!() };
+        let racy = prog(vec![Region {
+            threads: 2,
+            body: vec![Stmt::For {
+                n: 4,
+                nowait: false,
+                sched: Sched::Dynamic { chunk: 1 },
+                ordered: false,
+                body: body.clone(),
+            }],
+        }]);
+        let r = check_program(&racy, false);
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        assert_eq!(r.verdicts.oracle.iter().copied().collect::<Vec<_>>(), vec![(0, 0)]);
+        assert_eq!(r.verdicts.sword_batch, r.verdicts.oracle);
+    }
+
+    #[test]
     fn check_is_deterministic_for_generated_programs() {
         let p = generate(5, &GenConfig::default());
         let a = check_program(&p, false);
@@ -512,6 +653,20 @@ mod tests {
     #[test]
     fn fuzz_smoke_campaign_is_clean() {
         let opts = FuzzOptions { seed: 100, iters: 6, teams: vec![2, 4], ..Default::default() };
+        let summary = run_fuzz(&opts, |_, _| {});
+        assert_eq!(summary.iters, 6);
+        assert!(summary.failures.is_empty(), "{}", summary.render());
+    }
+
+    #[test]
+    fn tasking_fuzz_smoke_campaign_is_clean() {
+        let opts = FuzzOptions {
+            seed: 300,
+            iters: 6,
+            teams: vec![2, 4],
+            tasking: true,
+            ..Default::default()
+        };
         let summary = run_fuzz(&opts, |_, _| {});
         assert_eq!(summary.iters, 6);
         assert!(summary.failures.is_empty(), "{}", summary.render());

@@ -8,11 +8,11 @@
 //! sections mapping, slot identity) fails loudly instead of silently
 //! skewing verdicts.
 
-use sword_ompsim::{Ctx, OmpSim, Sequencer, TrackedBuf};
+use sword_ompsim::{Ctx, DepMode, OmpSim, OrderedLoop, Sequencer, TrackedBuf};
 use sword_trace::{AccessKind, PcId};
 
 use crate::oracle::{Plan, PlannedAccess, ThreadOp};
-use crate::program::{Access, Program, Region, Stmt, SITE_FILE};
+use crate::program::{Access, DepKind, Program, Region, Sched, Stmt, TaskBlock, SITE_FILE};
 
 /// The `ompsim` named-lock name for generated lock id `lock`.
 pub fn lock_name(lock: u32) -> String {
@@ -85,6 +85,19 @@ impl<'p> Cursor<'p> {
         }
     }
 
+    fn next_task_create(&mut self) -> u64 {
+        match self.ops.get(self.pos) {
+            Some(&ThreadOp::TaskCreate { create_ticket }) => {
+                self.pos += 1;
+                create_ticket
+            }
+            other => panic!(
+                "vid {} op {}: runtime reached a task creation but the plan has {:?}",
+                self.vid, self.pos, other
+            ),
+        }
+    }
+
     fn next_fork(&mut self) -> (usize, u64, u64) {
         match self.ops.get(self.pos) {
             Some(&ThreadOp::Fork { base_vid, fork_ticket, join_ticket }) => {
@@ -138,18 +151,51 @@ fn exec_body(w: &Ctx<'_>, body: &[Stmt], cur: &mut Cursor<'_>, env: &Env<'_>) {
         match stmt {
             Stmt::Access(a) => turn_access(w, a, 0, cur, env),
             Stmt::Barrier => w.barrier(),
-            Stmt::For { n, nowait, body } => {
-                let run = &mut |i: u64, cur: &mut Cursor<'_>| {
-                    for a in body {
-                        turn_access(w, a, i, cur, env);
+            Stmt::For { n, nowait, sched, ordered, body } => {
+                if *ordered {
+                    // Body accesses run inside the ordered block: the
+                    // runtime holds the loop's mutex around them, which
+                    // is exactly what the oracle's synthetic ordered lock
+                    // models. Ticket waits inside the turn are safe: the
+                    // global ticket order is iteration order, which is
+                    // the order the ordered protocol admits threads.
+                    let run = &mut |i: u64, ol: &OrderedLoop, cur: &mut Cursor<'_>| {
+                        w.ordered(ol, i, || {
+                            for a in body {
+                                turn_access(w, a, i, cur, env);
+                            }
+                        });
+                    };
+                    match sched {
+                        Sched::Static => w.for_static_ordered(0..*n, |i, ol| run(i, ol, cur)),
+                        Sched::Dynamic { chunk } => {
+                            w.for_dynamic_pinned_ordered(0..*n, *chunk, |i, ol| run(i, ol, cur))
+                        }
+                        Sched::Guided { .. } => unreachable!("parser rejects guided ordered"),
                     }
-                };
-                if *nowait {
-                    w.for_static_nowait(0..*n, |i| run(i, cur));
                 } else {
-                    w.for_static(0..*n, |i| run(i, cur));
+                    let run = &mut |i: u64, cur: &mut Cursor<'_>| {
+                        for a in body {
+                            turn_access(w, a, i, cur, env);
+                        }
+                    };
+                    match sched {
+                        Sched::Static if *nowait => w.for_static_nowait(0..*n, |i| run(i, cur)),
+                        Sched::Static => w.for_static(0..*n, |i| run(i, cur)),
+                        Sched::Dynamic { chunk } => {
+                            w.for_dynamic_pinned(0..*n, *chunk, |i| run(i, cur))
+                        }
+                        Sched::Guided { min } => w.for_guided_pinned(0..*n, *min, |i| run(i, cur)),
+                    }
                 }
             }
+            Stmt::Task(tb) => exec_task(w, tb, cur, env),
+            Stmt::Taskwait => w.taskwait(),
+            Stmt::Taskgroup { tasks } => w.taskgroup(|g| {
+                for tb in tasks {
+                    exec_task(g, tb, cur, env);
+                }
+            }),
             Stmt::Sections { count, body } => w.sections(*count as usize, |s| {
                 for a in body {
                     turn_access(w, a, s as u64, cur, env);
@@ -176,6 +222,35 @@ fn exec_body(w: &Ctx<'_>, body: &[Stmt], cur: &mut Cursor<'_>, env: &Env<'_>) {
             Stmt::Nested(r) => exec_fork(w, r, cur, env),
         }
     }
+}
+
+fn exec_task(w: &Ctx<'_>, tb: &TaskBlock, cur: &mut Cursor<'_>, env: &Env<'_>) {
+    let create_ticket = cur.next_task_create();
+    let planned: Vec<PlannedAccess> = tb.body.iter().map(|a| cur.next_access(a)).collect();
+    let deps: Vec<(u64, DepMode)> = tb
+        .deps
+        .iter()
+        .map(|d| {
+            let mode = match d.kind {
+                DepKind::In => DepMode::In,
+                DepKind::Out => DepMode::Out,
+                DepKind::InOut => DepMode::InOut,
+            };
+            (d.var, mode)
+        })
+        .collect();
+    // Hold the creation turn across the fresh-tid allocation inside
+    // `task_depend`, releasing it at body entry — task tids then come off
+    // the monotone counter in global ticket order, which is what the
+    // oracle's pool simulation replays.
+    env.seq.wait_for(create_ticket);
+    w.task_depend(&deps, |t| {
+        env.seq.advance();
+        for (a, p) in tb.body.iter().zip(&planned) {
+            let elem = checked_elem(t, a, 0, p, env);
+            env.seq.turn(p.ticket, || raw_access(t, a, elem, env));
+        }
+    });
 }
 
 fn turn_access(w: &Ctx<'_>, a: &Access, var: u64, cur: &mut Cursor<'_>, env: &Env<'_>) {

@@ -305,4 +305,71 @@ mod tests {
             assert!(r.ok(), "seed {seed} failures: {:?}", r.failures);
         }
     }
+
+    #[test]
+    fn fault_injection_is_clean_on_a_tasking_session() {
+        use crate::program::{DepKind, Sched, TaskBlock, TaskDep};
+        // A session whose logs and metadata carry task-fork records, dep
+        // edges, and dynamic/ordered loop regions — corruption must land
+        // on those record kinds too. The sibling tasks race (same
+        // element, concurrent task labels), so `SubsetOfOracle` faults
+        // have a non-trivial verdict to shrink from; the dep chain and
+        // the ordered loop contribute race-free task/loop records that a
+        // truncation may cut mid-record without inventing races.
+        let w = |id, elem| Access {
+            id,
+            buf: 0,
+            kind: AccessKind::Write,
+            index: IndexExpr::Const(elem),
+        };
+        let p = Program {
+            buffers: vec![4],
+            regions: vec![Region {
+                threads: 2,
+                body: vec![
+                    Stmt::Task(TaskBlock { deps: vec![], body: vec![w(0, 0)] }),
+                    Stmt::Task(TaskBlock { deps: vec![], body: vec![w(1, 0)] }),
+                    Stmt::Taskwait,
+                    Stmt::Task(TaskBlock {
+                        deps: vec![TaskDep { var: 0, kind: DepKind::Out }],
+                        body: vec![w(2, 1)],
+                    }),
+                    Stmt::Task(TaskBlock {
+                        deps: vec![TaskDep { var: 0, kind: DepKind::InOut }],
+                        body: vec![w(3, 1)],
+                    }),
+                    Stmt::Taskgroup {
+                        tasks: vec![TaskBlock { deps: vec![], body: vec![w(4, 2)] }],
+                    },
+                    Stmt::Barrier,
+                    Stmt::For {
+                        n: 4,
+                        nowait: false,
+                        sched: Sched::Dynamic { chunk: 1 },
+                        ordered: true,
+                        body: vec![w(5, 3)],
+                    },
+                ],
+            }],
+        };
+        let r = check_program(&p, true);
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        // Depend clauses and taskgroup scope are per-creator, so with two
+        // creators every task statement races its cross-creator twin; the
+        // dep chain and taskgroup silence only the same-creator pairs.
+        // The ordered loop and the barrier-separated accesses stay
+        // race-free.
+        assert_eq!(
+            r.verdicts.oracle,
+            std::collections::BTreeSet::from([
+                (0, 0),
+                (0, 1),
+                (1, 1),
+                (2, 2),
+                (2, 3),
+                (3, 3),
+                (4, 4)
+            ]),
+        );
+    }
 }

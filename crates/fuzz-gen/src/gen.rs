@@ -10,7 +10,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sword_trace::AccessKind;
 
-use crate::program::{Access, IndexExpr, Program, Region, Stmt};
+use crate::program::{
+    Access, DepKind, IndexExpr, Program, Region, Sched, Stmt, TaskBlock, TaskDep,
+};
 
 /// Generation knobs. The defaults target programs whose full differential
 /// check (SWORD batch + live + ARCHER + oracle) runs in tens of
@@ -31,6 +33,10 @@ pub struct GenConfig {
     /// Soft cap on total dynamic access instances across the whole
     /// program; statement generation stops once the estimate passes it.
     pub instance_budget: u64,
+    /// Reweight statement choice toward tasking and the richer schedules
+    /// (tasks with depend clauses, taskwait, taskgroup, dynamic/guided,
+    /// ordered) — the CI tasking leg's campaign profile.
+    pub tasking: bool,
 }
 
 impl Default for GenConfig {
@@ -42,6 +48,7 @@ impl Default for GenConfig {
             max_nesting: 2,
             max_buffers: 3,
             instance_budget: 300,
+            tasking: false,
         }
     }
 }
@@ -50,6 +57,11 @@ impl GenConfig {
     /// Default config at a given top-level team size.
     pub fn with_team(team: u64) -> Self {
         GenConfig { team: team.max(2), ..GenConfig::default() }
+    }
+
+    /// Tasking-heavy config at a given top-level team size.
+    pub fn tasking_with_team(team: u64) -> Self {
+        GenConfig { tasking: true, ..GenConfig::with_team(team) }
     }
 }
 
@@ -92,46 +104,145 @@ impl Gen {
     }
 
     fn stmt(&mut self, depth: u32, buffers: &[u64], mult: u64) -> Stmt {
+        #[derive(Clone, Copy)]
+        enum Kind {
+            Access,
+            Barrier,
+            For,
+            Sections,
+            Master,
+            Single,
+            Critical,
+            Task,
+            Taskwait,
+            Taskgroup,
+            Nested,
+        }
         let roll = self.rng.gen_range(0u32..100);
-        match roll {
-            0..=39 => {
-                self.instances += mult;
-                Stmt::Access(self.access(buffers, false))
+        // Two weight profiles over the same construct set: the default
+        // keeps the historical structured mix with a modest tasking
+        // share; the tasking profile flips the emphasis for the CI
+        // tasking leg.
+        let kind = if self.cfg.tasking {
+            match roll {
+                0..=24 => Kind::Access,
+                25..=31 => Kind::Barrier,
+                32..=43 => Kind::For,
+                44..=46 => Kind::Sections,
+                47..=49 => Kind::Master,
+                50..=53 => Kind::Single,
+                54..=58 => Kind::Critical,
+                59..=77 => Kind::Task,
+                78..=84 => Kind::Taskwait,
+                85..=94 => Kind::Taskgroup,
+                _ => Kind::Nested,
             }
-            40..=49 => Stmt::Barrier,
-            50..=64 => {
+        } else {
+            match roll {
+                0..=37 => Kind::Access,
+                38..=45 => Kind::Barrier,
+                46..=59 => Kind::For,
+                60..=66 => Kind::Sections,
+                67..=71 => Kind::Master,
+                72..=76 => Kind::Single,
+                77..=82 => Kind::Critical,
+                83..=88 => Kind::Task,
+                89..=90 => Kind::Taskwait,
+                91..=93 => Kind::Taskgroup,
+                _ => Kind::Nested,
+            }
+        };
+        match kind {
+            Kind::Barrier => Stmt::Barrier,
+            Kind::For => {
                 let n = self.rng.gen_range(1u64..=8);
+                let (sched, ordered) = self.loop_shape();
+                let nowait = sched == Sched::Static && !ordered && self.rng.gen_bool(0.3);
                 let body = self.access_body(buffers, true);
                 self.instances += n * body.len() as u64;
-                Stmt::For { n, nowait: self.rng.gen_bool(0.3), body }
+                Stmt::For { n, nowait, sched, ordered, body }
             }
-            65..=72 => {
+            Kind::Sections => {
                 let count = self.rng.gen_range(1u64..=4);
                 let body = self.access_body(buffers, true);
                 self.instances += count * body.len() as u64;
                 Stmt::Sections { count, body }
             }
-            73..=79 => {
+            Kind::Master => {
                 let body = self.access_body(buffers, false);
                 self.instances += body.len() as u64;
                 Stmt::Master { body }
             }
-            80..=86 => {
+            Kind::Single => {
                 let body = self.access_body(buffers, false);
                 self.instances += body.len() as u64;
                 Stmt::Single { nowait: self.rng.gen_bool(0.3), body }
             }
-            87..=93 => {
+            Kind::Critical => {
                 let body = self.access_body(buffers, false);
                 self.instances += mult * body.len() as u64;
                 Stmt::Critical { lock: self.rng.gen_range(0u32..2), body }
             }
-            _ if depth < self.cfg.max_nesting => Stmt::Nested(self.region(depth + 1, buffers)),
-            _ => {
+            Kind::Task => {
+                let tb = self.task_block(buffers);
+                self.instances += mult * tb.body.len() as u64;
+                Stmt::Task(tb)
+            }
+            Kind::Taskwait => Stmt::Taskwait,
+            Kind::Taskgroup => {
+                let ntasks = self.rng.gen_range(1usize..=2);
+                let tasks: Vec<TaskBlock> = (0..ntasks).map(|_| self.task_block(buffers)).collect();
+                self.instances += mult * tasks.iter().map(|t| t.body.len() as u64).sum::<u64>();
+                Stmt::Taskgroup { tasks }
+            }
+            Kind::Nested if depth < self.cfg.max_nesting => {
+                Stmt::Nested(self.region(depth + 1, buffers))
+            }
+            Kind::Access | Kind::Nested => {
                 self.instances += mult;
                 Stmt::Access(self.access(buffers, false))
             }
         }
+    }
+
+    /// Rolls a loop schedule plus ordered flag (never guided+ordered —
+    /// the runtime has no such loop).
+    fn loop_shape(&mut self) -> (Sched, bool) {
+        let r = self.rng.gen_range(0u32..10);
+        let sched = if self.cfg.tasking {
+            match r {
+                0..=3 => Sched::Static,
+                4..=6 => Sched::Dynamic { chunk: self.rng.gen_range(1u64..=3) },
+                _ => Sched::Guided { min: self.rng.gen_range(1u64..=2) },
+            }
+        } else {
+            match r {
+                0..=5 => Sched::Static,
+                6..=7 => Sched::Dynamic { chunk: self.rng.gen_range(1u64..=3) },
+                _ => Sched::Guided { min: self.rng.gen_range(1u64..=2) },
+            }
+        };
+        let can_order = !matches!(sched, Sched::Guided { .. });
+        let p = if self.cfg.tasking { 0.35 } else { 0.25 };
+        let ordered = can_order && self.rng.gen_bool(p);
+        (sched, ordered)
+    }
+
+    /// Rolls one task block: up to two depend clauses over a small
+    /// variable space (so chains actually form) and a short access body.
+    fn task_block(&mut self, buffers: &[u64]) -> TaskBlock {
+        let ndeps = self.rng.gen_range(0usize..=2);
+        let deps: Vec<TaskDep> = (0..ndeps)
+            .map(|_| TaskDep {
+                var: self.rng.gen_range(0u64..3),
+                kind: match self.rng.gen_range(0u32..3) {
+                    0 => DepKind::In,
+                    1 => DepKind::Out,
+                    _ => DepKind::InOut,
+                },
+            })
+            .collect();
+        TaskBlock { deps, body: self.access_body(buffers, false) }
     }
 
     fn access_body(&mut self, buffers: &[u64], in_loop: bool) -> Vec<Access> {

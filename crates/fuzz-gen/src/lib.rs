@@ -2,12 +2,18 @@
 //!
 //! This crate closes the loop the unit suites cannot: instead of checking
 //! detectors against hand-picked programs, it *generates* random
-//! structured OpenMP-like programs ([`gen`]), computes their exact racy
-//! statement pairs from program structure alone ([`oracle`] — offset-span
-//! concurrency plus access-set intersection, independent of either
-//! detector's implementation), replays them deterministically on the
-//! `ompsim` runtime ([`exec`]), and diffs every detector's verdicts
-//! against the oracle ([`driver`]):
+//! structured OpenMP-like programs ([`gen`]) — fork/join worksharing
+//! with static/`nowait`/`dynamic`/`guided`/`ordered` loops, nesting,
+//! mutexes/atomics, and (under the tasking profile,
+//! [`GenConfig::tasking`]) `task`/`taskwait`/`taskgroup` with depend
+//! clauses — computes their exact racy statement pairs from program
+//! structure alone ([`oracle`] — offset-span concurrency with task-fork
+//! label pairs, depend-edge and ordered-lock suppression, plus
+//! access-set intersection, independent of either detector's
+//! implementation), replays them deterministically on the `ompsim`
+//! runtime ([`exec`] — ticketed sequencing covers task creation and the
+//! pinned dynamic/guided chunk maps), and diffs every detector's
+//! verdicts against the oracle ([`driver`]):
 //!
 //! - SWORD (collector → compressed session → offline analysis) must match
 //!   the oracle **exactly**, in both batch and incremental (live) modes;

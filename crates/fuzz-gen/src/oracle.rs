@@ -33,10 +33,18 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use sword_osl::{Label, Ordering as OslOrdering};
+use sword_osl::{Label, Ordering as OslOrdering, TASK_SPAN};
 use sword_trace::AccessKind;
 
-use crate::program::{Access, Program, Region, Stmt};
+use crate::program::{Access, Program, Region, Sched, Stmt, TaskBlock, TaskDep};
+
+/// Base of the synthetic lock-id namespace the oracle assigns to
+/// `ordered` clauses (one fresh lock per ordered loop, far above any
+/// `critical` lock id the generator emits). Mirrors the runtime, where
+/// `Ctx::ordered` runs each iteration under the loop's dedicated mutex:
+/// every within-loop pair shares that lock, so the lockset rule — not
+/// label comparison — is what makes ordered loops race-free.
+const ORDERED_LOCK_BASE: u32 = 1 << 16;
 
 /// One planned dynamic access of one virtual thread.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +77,16 @@ pub enum ThreadOp {
         fork_ticket: u64,
         /// Ticket claimed after the join (and its tid release).
         join_ticket: u64,
+    },
+    /// Create an explicit task. The creator waits for `create_ticket`
+    /// before entering `task_depend` (serializing the fresh task-tid
+    /// allocation) and releases the turn at task-body entry; the task's
+    /// body accesses follow as ordinary [`ThreadOp::Access`] ops on the
+    /// same vid, because `ompsim` runs task bodies inline (undeferred)
+    /// on the creating thread.
+    TaskCreate {
+        /// Ticket gating task creation.
+        create_ticket: u64,
     },
 }
 
@@ -107,6 +125,8 @@ struct Instance {
     kind: AccessKind,
     lock: Option<u32>,
     label: Label,
+    /// Global task id when the access runs inside an explicit task.
+    task: Option<usize>,
 }
 
 /// Mirror of `OmpSim`'s pooled thread-id allocator (sorted free list,
@@ -135,6 +155,16 @@ impl TidPool {
     fn release(&mut self, ids: &[u32]) {
         self.free.extend_from_slice(ids);
     }
+
+    /// A fresh, never-pooled tid — task tids come straight off the
+    /// monotone counter in `OmpSim` and are never recycled, so each task
+    /// owns its per-thread log forever.
+    fn fresh(&mut self) -> u32 {
+        let t = self.next;
+        self.next += 1;
+        self.used.insert(t);
+        t
+    }
 }
 
 /// One live team member during the walk.
@@ -150,8 +180,26 @@ struct Member {
     vid: usize,
     slot: u64,
     tid: u32,
+    /// Interval base label: bumps only at barriers.
     label: Label,
+    /// Current chain label — where accesses, task forks, and nested
+    /// forks happen. Diverges from `label` while tasks are outstanding
+    /// (each creation moves it to the continuation label) and snaps back
+    /// at task-sync points, exactly like the runtime `Ctx` label.
+    cur: Label,
+    /// Fork-sequence counter, shared by nested-region forks *and* task
+    /// creations (one `fork_seq` in the runtime).
     forks: u64,
+    /// Tasks created and not yet synced, with their `depend` clauses.
+    outstanding: Vec<OutstandingTask>,
+}
+
+/// One unsynced task on a member's outstanding list.
+struct OutstandingTask {
+    /// Global task id (index into `Walker::task_preds`).
+    id: usize,
+    /// Its `depend` clauses, matched against later siblings.
+    deps: Vec<TaskDep>,
 }
 
 struct Walker<'p> {
@@ -160,6 +208,10 @@ struct Walker<'p> {
     instances: Vec<Instance>,
     next_ticket: u64,
     pool: TidPool,
+    /// Dependence predecessors per task (global task ids).
+    task_preds: Vec<Vec<usize>>,
+    /// Fresh synthetic lock ids for `ordered` clauses.
+    ordered_locks: u32,
 }
 
 /// Runs the oracle on `prog`.
@@ -170,6 +222,8 @@ pub fn analyze(prog: &Program) -> Oracle {
         instances: Vec::new(),
         next_ticket: 0,
         pool: TidPool::default(),
+        task_preds: Vec::new(),
+        ordered_locks: 0,
     };
     let master_tid = w.pool.acquire(1)[0];
     let master_label = Label::root();
@@ -178,7 +232,7 @@ pub fn analyze(prog: &Program) -> Oracle {
     }
     w.pool.release(&[master_tid]);
 
-    let pairs = racy_pairs(&w.instances);
+    let pairs = racy_pairs(&w.instances, &w.task_preds);
     let tids = w.pool.used.iter().copied().filter(|&t| t != master_tid).collect();
     Oracle {
         instances: w.instances.len(),
@@ -202,12 +256,15 @@ impl Walker<'_> {
         let mut members: Vec<Member> = (0..region.threads)
             .map(|i| {
                 self.per_vid.push(Vec::new());
+                let label = fork_label.fork(i, region.threads);
                 Member {
                     vid: base_vid + i as usize,
                     slot: i,
                     tid: tids[i as usize],
-                    label: fork_label.fork(i, region.threads),
+                    cur: label.clone(),
+                    label,
                     forks: 0,
+                    outstanding: Vec::new(),
                 }
             })
             .collect();
@@ -226,21 +283,41 @@ impl Walker<'_> {
                     self.record(m, a, 0, None);
                 }
             }
-            Stmt::Barrier => bump_all(members),
-            Stmt::For { n, nowait, body } => {
-                // Mirrors `Ctx::for_static_nowait`'s contiguous chunking.
-                let chunk = n.div_ceil(span);
-                for m in members.iter() {
-                    let lo = (m.slot * chunk).min(*n);
-                    let hi = ((m.slot + 1) * chunk).min(*n);
-                    for v in lo..hi {
-                        for a in body {
-                            self.record(m, a, v, None);
+            Stmt::Barrier => barrier(members),
+            Stmt::For { n, nowait, sched, ordered, body } => {
+                let parts = schedule_parts(*sched, *n, span);
+                if *ordered {
+                    // One fresh synthetic lock per ordered loop; tickets
+                    // iteration-major (the parts ascend by start, so part
+                    // order *is* global iteration order), matching the
+                    // ordered protocol's turn-taking.
+                    let lock = ORDERED_LOCK_BASE + self.ordered_locks;
+                    self.ordered_locks += 1;
+                    for (slot, range) in &parts {
+                        for v in range.clone() {
+                            for a in body {
+                                self.record(&members[*slot as usize], a, v, Some(lock));
+                            }
+                        }
+                    }
+                } else {
+                    // Slot-major: each member runs its own chunks in
+                    // ascending order, concurrently with other slots.
+                    for m in members.iter() {
+                        for (slot, range) in &parts {
+                            if *slot != m.slot {
+                                continue;
+                            }
+                            for v in range.clone() {
+                                for a in body {
+                                    self.record(m, a, v, None);
+                                }
+                            }
                         }
                     }
                 }
                 if !*nowait {
-                    bump_all(members);
+                    barrier(members);
                 }
             }
             Stmt::Sections { count, body } => {
@@ -253,7 +330,7 @@ impl Walker<'_> {
                         s += span;
                     }
                 }
-                bump_all(members);
+                barrier(members);
             }
             Stmt::Master { body } => {
                 for a in body {
@@ -265,7 +342,7 @@ impl Walker<'_> {
                     self.record(&members[0], a, 0, None);
                 }
                 if !*nowait {
-                    bump_all(members);
+                    barrier(members);
                 }
             }
             Stmt::Critical { lock, body } => {
@@ -275,9 +352,39 @@ impl Walker<'_> {
                     }
                 }
             }
+            Stmt::Task(tb) => {
+                for m in members.iter_mut() {
+                    self.create_task(m, tb);
+                }
+            }
+            Stmt::Taskwait => {
+                for m in members.iter_mut() {
+                    sync_tasks(m);
+                }
+            }
+            Stmt::Taskgroup { tasks } => {
+                for m in members.iter_mut() {
+                    // The group awaits only the tasks it created: older
+                    // siblings stay outstanding, and the chain label
+                    // rewinds to the group entry point — exactly the
+                    // runtime's GroupFrame restore.
+                    let entry_cur = m.cur.clone();
+                    let mark = m.outstanding.len();
+                    for tb in tasks {
+                        self.create_task(m, tb);
+                    }
+                    if m.outstanding.len() > mark {
+                        m.outstanding.truncate(mark);
+                        m.cur = entry_cur;
+                    }
+                }
+            }
             Stmt::Nested(r) => {
                 for m in members.iter_mut() {
-                    let fl = m.label.fork_point(m.forks);
+                    // The runtime forks from the *current* (continuation)
+                    // label, sharing one fork-sequence counter with task
+                    // creation.
+                    let fl = m.cur.fork_point(m.forks);
                     self.fork_region(m.vid, &fl, r);
                     // The join advances the fork sequence only; the
                     // member's own label is untouched (a join is not a
@@ -285,6 +392,59 @@ impl Walker<'_> {
                     m.forks += 1;
                 }
             }
+        }
+    }
+
+    /// Mirrors `Ctx::task_depend`: chain the creator's label through a
+    /// task fork point, give the task a fresh never-pooled tid, and wire
+    /// dependence edges to every outstanding sibling with a conflicting
+    /// clause on a shared variable. The body runs inline on the creator,
+    /// so its ops land on the creator's vid right after the create op.
+    fn create_task(&mut self, m: &mut Member, tb: &TaskBlock) {
+        let e = m.forks;
+        m.forks += 1;
+        let fork_label = m.cur.task_fork(e);
+        let task_label = fork_label.fork(1, TASK_SPAN);
+        m.cur = fork_label.fork(0, TASK_SPAN);
+        let tid = self.pool.fresh();
+        let id = self.task_preds.len();
+        let preds: Vec<usize> = m
+            .outstanding
+            .iter()
+            .filter(|t| {
+                t.deps
+                    .iter()
+                    .any(|d| tb.deps.iter().any(|d2| d.var == d2.var && d.kind.conflicts(d2.kind)))
+            })
+            .map(|t| t.id)
+            .collect();
+        self.task_preds.push(preds);
+        m.outstanding.push(OutstandingTask { id, deps: tb.deps.clone() });
+        let create_ticket = self.take_ticket();
+        self.per_vid[m.vid].push(ThreadOp::TaskCreate { create_ticket });
+        for a in &tb.body {
+            let len = self.buffers[a.buf as usize];
+            // Task contexts report team index 1 (their private span is
+            // TASK_SPAN wide), so Tid expressions evaluate with 1.
+            let elem = a.index.eval(1, 0, len);
+            let ticket = self.take_ticket();
+            self.per_vid[m.vid].push(ThreadOp::Access(PlannedAccess {
+                ticket,
+                stmt: a.id,
+                buf: a.buf,
+                elem,
+                kind: a.kind,
+            }));
+            self.instances.push(Instance {
+                stmt: a.id,
+                tid,
+                buf: a.buf,
+                elem,
+                kind: a.kind,
+                lock: None,
+                label: task_label.clone(),
+                task: Some(id),
+            });
         }
     }
 
@@ -306,21 +466,76 @@ impl Walker<'_> {
             elem,
             kind: a.kind,
             lock,
-            label: m.label.clone(),
+            label: m.cur.clone(),
+            task: None,
         });
     }
 }
 
-fn bump_all(members: &mut [Member]) {
-    for m in members {
-        m.label.bump_in_place();
+/// Task-sync point (taskwait, or the implicit sync at barriers): forget
+/// the outstanding tasks and snap the chain label back to the interval
+/// base.
+fn sync_tasks(m: &mut Member) {
+    if !m.outstanding.is_empty() {
+        m.outstanding.clear();
+        m.cur = m.label.clone();
     }
+}
+
+/// Team barrier: implicit task sync, then a generation bump on the base.
+fn barrier(members: &mut [Member]) {
+    for m in members {
+        sync_tasks(m);
+        m.label.bump_in_place();
+        m.cur = m.label.clone();
+    }
+}
+
+/// slot → iteration-range partition of `0..n`, mirroring the runtime's
+/// `for_static` chunking and the *pinned* dynamic/guided assignments
+/// (chunk `g` lands on slot `g % span`). Reimplemented from first
+/// principles — the interpreter's per-element assertions catch any drift
+/// from the runtime's partition. Parts ascend by range start.
+fn schedule_parts(sched: Sched, n: u64, span: u64) -> Vec<(u64, std::ops::Range<u64>)> {
+    let mut parts = Vec::new();
+    match sched {
+        Sched::Static => {
+            let chunk = n.div_ceil(span);
+            for slot in 0..span {
+                let lo = (slot * chunk).min(n);
+                let hi = ((slot + 1) * chunk).min(n);
+                if lo < hi {
+                    parts.push((slot, lo..hi));
+                }
+            }
+        }
+        Sched::Dynamic { chunk } => {
+            let (mut pos, mut g) = (0, 0u64);
+            while pos < n {
+                let hi = (pos + chunk.max(1)).min(n);
+                parts.push((g % span, pos..hi));
+                pos = hi;
+                g += 1;
+            }
+        }
+        Sched::Guided { min } => {
+            let (mut pos, mut g) = (0, 0u64);
+            while pos < n {
+                let remaining = n - pos;
+                let size = (remaining / span).max(min.max(1)).min(remaining);
+                parts.push((g % span, pos..pos + size));
+                pos += size;
+                g += 1;
+            }
+        }
+    }
+    parts
 }
 
 /// The race rule over the flat instance set. Accesses are all 8-byte
 /// aligned `u64` elements, so "overlapping addresses" degenerates to
 /// "same (buffer, element)" and instances are bucketed accordingly.
-fn racy_pairs(instances: &[Instance]) -> BTreeSet<(u32, u32)> {
+fn racy_pairs(instances: &[Instance], task_preds: &[Vec<usize>]) -> BTreeSet<(u32, u32)> {
     let mut buckets: HashMap<(u8, u64), Vec<usize>> = HashMap::new();
     for (i, inst) in instances.iter().enumerate() {
         buckets.entry((inst.buf, inst.elem)).or_default().push(i);
@@ -344,6 +559,14 @@ fn racy_pairs(instances: &[Instance]) -> BTreeSet<(u32, u32)> {
                 if a.lock.is_some() && a.lock == b.lock {
                     continue;
                 }
+                // `depend` clauses order sibling tasks even though their
+                // labels compare concurrent — same rule the analyzer
+                // applies from the logged dependence edges.
+                if let (Some(x), Some(y)) = (a.task, b.task) {
+                    if dep_reachable(task_preds, x, y) || dep_reachable(task_preds, y, x) {
+                        continue;
+                    }
+                }
                 if a.label.compare_barrier_aware(&b.label) == OslOrdering::Concurrent {
                     pairs.insert((a.stmt.min(b.stmt), a.stmt.max(b.stmt)));
                 }
@@ -351,6 +574,27 @@ fn racy_pairs(instances: &[Instance]) -> BTreeSet<(u32, u32)> {
         }
     }
     pairs
+}
+
+/// Is task `from` ordered before-or-equal task `to` through the
+/// dependence DAG? Edges point from a task to its predecessors, so we
+/// search backwards from `to`.
+fn dep_reachable(preds: &[Vec<usize>], from: usize, to: usize) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut stack = vec![to];
+    let mut seen = vec![false; preds.len()];
+    while let Some(t) = stack.pop() {
+        if t == from {
+            return true;
+        }
+        if std::mem::replace(&mut seen[t], true) {
+            continue;
+        }
+        stack.extend(preds[t].iter().copied());
+    }
+    false
 }
 
 #[cfg(test)]
@@ -437,8 +681,205 @@ mod tests {
             vec![Stmt::For {
                 n: 8,
                 nowait: false,
+                sched: Sched::Static,
+                ordered: false,
                 body: vec![acc(0, AccessKind::Write, IndexExpr::Var { stride: 1, off: 0 })],
             }],
+        );
+        assert_eq!(pairs_of(&p), vec![]);
+    }
+
+    #[test]
+    fn pinned_schedules_partition_iterations_and_interleave_slots() {
+        // Disjoint elements stay race-free under every schedule…
+        for sched in
+            [Sched::Dynamic { chunk: 1 }, Sched::Dynamic { chunk: 3 }, Sched::Guided { min: 2 }]
+        {
+            let p = prog(
+                3,
+                vec![Stmt::For {
+                    n: 8,
+                    nowait: false,
+                    sched,
+                    ordered: false,
+                    body: vec![acc(0, AccessKind::Write, IndexExpr::Var { stride: 1, off: 0 })],
+                }],
+            );
+            assert_eq!(pairs_of(&p), vec![], "{sched:?}");
+        }
+        // …while a shared element races exactly when two slots run.
+        let p = prog(
+            2,
+            vec![Stmt::For {
+                n: 4,
+                nowait: false,
+                sched: Sched::Dynamic { chunk: 1 },
+                ordered: false,
+                body: vec![acc(0, AccessKind::Write, IndexExpr::Const(0))],
+            }],
+        );
+        assert_eq!(pairs_of(&p), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn schedule_parts_cover_every_iteration_exactly_once() {
+        for sched in [
+            Sched::Static,
+            Sched::Dynamic { chunk: 1 },
+            Sched::Dynamic { chunk: 4 },
+            Sched::Guided { min: 1 },
+            Sched::Guided { min: 3 },
+        ] {
+            for n in [0u64, 1, 5, 16, 17] {
+                for span in [1u64, 2, 3, 8] {
+                    let parts = schedule_parts(sched, n, span);
+                    let mut covered = Vec::new();
+                    let mut prev_end = 0;
+                    for (slot, r) in &parts {
+                        assert!(*slot < span);
+                        assert!(r.start == prev_end, "parts must ascend contiguously");
+                        prev_end = r.end;
+                        covered.extend(r.clone());
+                    }
+                    assert_eq!(covered, (0..n).collect::<Vec<_>>(), "{sched:?} n={n} span={span}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_clause_silences_loop_races() {
+        let body = vec![acc(0, AccessKind::Write, IndexExpr::Const(0))];
+        for sched in [Sched::Static, Sched::Dynamic { chunk: 1 }] {
+            let p = prog(
+                2,
+                vec![Stmt::For { n: 4, nowait: false, sched, ordered: true, body: body.clone() }],
+            );
+            assert_eq!(pairs_of(&p), vec![], "{sched:?}");
+        }
+        // Two distinct ordered loops use distinct locks: cross-loop pairs
+        // are ordered by the implicit barrier instead, so still quiet —
+        // but a nowait write before an ordered loop does race into it.
+        let p = prog(
+            2,
+            vec![
+                Stmt::Single {
+                    nowait: true,
+                    body: vec![acc(1, AccessKind::Write, IndexExpr::Const(0))],
+                },
+                Stmt::For {
+                    n: 4,
+                    nowait: false,
+                    sched: Sched::Static,
+                    ordered: true,
+                    body: body.clone(),
+                },
+            ],
+        );
+        // Slot 0's single shares its tid with slot 0's iterations; the
+        // cross-thread pairs (single vs slot 1's iterations) race.
+        assert_eq!(pairs_of(&p), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn sibling_tasks_race_and_taskwait_orders_them() {
+        let task = |id| {
+            Stmt::Task(TaskBlock {
+                deps: vec![],
+                body: vec![acc(id, AccessKind::Write, IndexExpr::Const(0))],
+            })
+        };
+        // One creator, two dependence-free sibling tasks: they race with
+        // each other (fresh tids, concurrent chain labels).
+        let p = prog(1, vec![task(0), task(1)]);
+        assert_eq!(pairs_of(&p), vec![(0, 1)]);
+        // Taskwait between them orders creation: task 1 chains after the
+        // sync point… but the *first* task is still concurrent with the
+        // second (the wait only orders task 0 before the continuation).
+        let p = prog(1, vec![task(0), Stmt::Taskwait, task(1)]);
+        assert_eq!(pairs_of(&p), vec![]);
+        // Continuation access after taskwait is ordered; without it races.
+        let cont = Stmt::Access(acc(2, AccessKind::Write, IndexExpr::Const(0)));
+        let p = prog(1, vec![task(0), Stmt::Taskwait, cont.clone()]);
+        assert_eq!(pairs_of(&p), vec![]);
+        let p = prog(1, vec![task(0), cont]);
+        assert_eq!(pairs_of(&p), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn depend_clauses_order_conflicting_siblings_only() {
+        let task = |id, deps| {
+            Stmt::Task(TaskBlock {
+                deps,
+                body: vec![acc(id, AccessKind::Write, IndexExpr::Const(0))],
+            })
+        };
+        let dep = |var, kind| TaskDep { var, kind };
+        use crate::program::DepKind::*;
+        // out → inout chain on v0: ordered.
+        let p = prog(1, vec![task(0, vec![dep(0, Out)]), task(1, vec![dep(0, InOut)])]);
+        assert_eq!(pairs_of(&p), vec![]);
+        // Transitively through a third task.
+        let p = prog(
+            1,
+            vec![
+                task(0, vec![dep(0, Out)]),
+                task(1, vec![dep(0, InOut), dep(1, Out)]),
+                task(2, vec![dep(1, In)]),
+            ],
+        );
+        assert_eq!(pairs_of(&p), vec![]);
+        // in/in on the same var does not order.
+        let p = prog(1, vec![task(0, vec![dep(0, In)]), task(1, vec![dep(0, In)])]);
+        assert_eq!(pairs_of(&p), vec![(0, 1)]);
+        // Different vars do not order.
+        let p = prog(1, vec![task(0, vec![dep(0, Out)]), task(1, vec![dep(1, Out)])]);
+        assert_eq!(pairs_of(&p), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn taskgroup_scopes_its_sync_to_member_created_tasks() {
+        let task = |id| TaskBlock {
+            deps: vec![],
+            body: vec![acc(id, AccessKind::Write, IndexExpr::Const(0))],
+        };
+        // A task inside a group is awaited at group end: the continuation
+        // access after the group is ordered against it.
+        let cont = Stmt::Access(acc(2, AccessKind::Write, IndexExpr::Const(0)));
+        let p = prog(1, vec![Stmt::Taskgroup { tasks: vec![task(0)] }, cont.clone()]);
+        assert_eq!(pairs_of(&p), vec![]);
+        // …but an *older sibling* created before the group is not fenced
+        // by it: it races both the group's task (the group does not wait
+        // for it) and the post-group access.
+        let p = prog(1, vec![Stmt::Task(task(1)), Stmt::Taskgroup { tasks: vec![task(0)] }, cont]);
+        assert_eq!(pairs_of(&p), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn cross_thread_task_accesses_race() {
+        // Every member creates the same task writing a shared element:
+        // tasks of different creators always race (fresh tids, disjoint
+        // label subtrees under a common generation).
+        let p = prog(
+            2,
+            vec![Stmt::Task(TaskBlock {
+                deps: vec![TaskDep { var: 0, kind: crate::program::DepKind::Out }],
+                body: vec![acc(0, AccessKind::Write, IndexExpr::Const(0))],
+            })],
+        );
+        assert_eq!(pairs_of(&p), vec![(0, 0)]);
+        // Barrier syncs tasks: write-then-read across it is quiet (one
+        // creator, so no cross-thread task-vs-task pair muddies it).
+        let p = prog(
+            1,
+            vec![
+                Stmt::Task(TaskBlock {
+                    deps: vec![],
+                    body: vec![acc(0, AccessKind::Write, IndexExpr::Const(3))],
+                }),
+                Stmt::Barrier,
+                Stmt::Access(acc(1, AccessKind::Read, IndexExpr::Const(3))),
+            ],
         );
         assert_eq!(pairs_of(&p), vec![]);
     }
@@ -502,6 +943,10 @@ mod tests {
                         tickets.push(*fork_ticket);
                         tickets.push(*join_ticket);
                         *fork_ticket
+                    }
+                    ThreadOp::TaskCreate { create_ticket } => {
+                        tickets.push(*create_ticket);
+                        *create_ticket
                     }
                 };
                 assert!(prev.is_none_or(|p| p < first), "per-vid ops out of ticket order");

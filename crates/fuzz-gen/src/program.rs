@@ -6,8 +6,10 @@
 //! express: every construct's dynamic behaviour (which thread touches
 //! which element, under which label and lock set) is a pure function of
 //! the AST, which is what lets the oracle compute the exact racy-pair set
-//! without running either detector. Nondeterministic constructs
-//! (`for_dynamic`) are excluded by design.
+//! without running either detector. Nondeterministic constructs (the
+//! free-running `for_dynamic`) are excluded by design; the *pinned*
+//! dynamic/guided schedules, `ordered`, and explicit tasks with
+//! `depend` clauses are all deterministic and in scope.
 
 use sword_trace::AccessKind;
 
@@ -36,6 +38,67 @@ pub struct Region {
     pub body: Vec<Stmt>,
 }
 
+/// Dependence flavour of one `depend(...)` clause, mirroring
+/// `ompsim::DepMode`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// `depend(in: v)`.
+    In,
+    /// `depend(out: v)`.
+    Out,
+    /// `depend(inout: v)`.
+    InOut,
+}
+
+impl DepKind {
+    /// Two clauses on the same variable order their tasks unless both
+    /// only read — the same rule as `ompsim::DepMode::conflicts`.
+    pub fn conflicts(self, other: DepKind) -> bool {
+        !(self == DepKind::In && other == DepKind::In)
+    }
+}
+
+/// One `depend(<kind>: v<var>)` clause on a task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskDep {
+    /// Dependence variable (an abstract id, not a buffer element).
+    pub var: u64,
+    /// Clause flavour.
+    pub kind: DepKind,
+}
+
+/// One explicit task: its `depend` clauses plus a straight-line access
+/// body. Every team member creates its own instance, so dependence edges
+/// only form between tasks of the same creator (as in `ompsim`, where
+/// each thread keeps a private outstanding-task list).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskBlock {
+    /// `depend` clauses, matched against earlier sibling tasks.
+    pub deps: Vec<TaskDep>,
+    /// Body accesses, run by the task (which sees `var = 0`).
+    pub body: Vec<Access>,
+}
+
+/// Loop schedule of a `for` statement. The dynamic and guided variants
+/// are the *pinned* schedules (`for_dynamic_pinned`/`for_guided_pinned`):
+/// chunk `g` always lands on slot `g % team`, so the iteration→thread map
+/// stays a pure function of the AST.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sched {
+    /// `schedule(static)`: one contiguous chunk per thread.
+    Static,
+    /// `schedule(dynamic, chunk)` with pinned chunk→slot assignment.
+    Dynamic {
+        /// Fixed chunk size (≥ 1).
+        chunk: u64,
+    },
+    /// `schedule(guided, min)` with pinned chunk→slot assignment.
+    Guided {
+        /// Minimum chunk size (≥ 1).
+        min: u64,
+    },
+}
+
 /// A body statement.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Stmt {
@@ -43,9 +106,21 @@ pub enum Stmt {
     Access(Access),
     /// Explicit team barrier.
     Barrier,
-    /// `for schedule(static)` over `0..n`; body accesses see the loop
-    /// index as `var`. Implicit barrier unless `nowait`.
-    For { n: u64, nowait: bool, body: Vec<Access> },
+    /// Worksharing loop over `0..n`; body accesses see the loop index as
+    /// `var`. Implicit barrier unless `nowait` (`nowait` is only legal
+    /// for unordered static loops; `ordered` never combines with
+    /// `Guided`, matching the runtime's API surface).
+    For { n: u64, nowait: bool, sched: Sched, ordered: bool, body: Vec<Access> },
+    /// Every team member creates one instance of this task.
+    Task(TaskBlock),
+    /// Each member waits for its own outstanding tasks.
+    Taskwait,
+    /// `taskgroup` whose body creates the listed tasks; completion of the
+    /// group is awaited at its end, without fencing older siblings.
+    Taskgroup {
+        /// Tasks created inside the group, in order.
+        tasks: Vec<TaskBlock>,
+    },
     /// `sections(count)`; body accesses see the section index as `var`.
     /// Implicit barrier.
     Sections { count: u64, body: Vec<Access> },
@@ -146,6 +221,48 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad number `{s}`"))
 }
 
+fn dep_token(kind: DepKind) -> &'static str {
+    match kind {
+        DepKind::In => "in",
+        DepKind::Out => "out",
+        DepKind::InOut => "inout",
+    }
+}
+
+fn parse_dep_kind(s: &str) -> Result<DepKind, String> {
+    Ok(match s {
+        "in" => DepKind::In,
+        "out" => DepKind::Out,
+        "inout" => DepKind::InOut,
+        other => return Err(format!("bad dep kind `{other}`")),
+    })
+}
+
+fn task_head(tb: &TaskBlock) -> String {
+    let mut s = String::from("task");
+    for d in &tb.deps {
+        s.push_str(&format!(" dep {} {}", d.var, dep_token(d.kind)));
+    }
+    s
+}
+
+/// Parses the tail of a `task` head line: `dep <var> <kind>` triples.
+fn parse_task_deps(toks: &[&str]) -> Result<Vec<TaskDep>, String> {
+    let mut deps = Vec::new();
+    let mut it = toks.iter();
+    while let Some(tok) = it.next() {
+        if *tok != "dep" {
+            return Err(format!("task head wants `dep <var> <kind>` groups, got `{tok}`"));
+        }
+        let (var, kind) = match (it.next(), it.next()) {
+            (Some(v), Some(k)) => (parse_num(v)?, parse_dep_kind(k)?),
+            _ => return Err("truncated `dep <var> <kind>` clause".into()),
+        };
+        deps.push(TaskDep { var, kind });
+    }
+    Ok(deps)
+}
+
 impl Access {
     fn render(&self) -> String {
         format!(
@@ -180,12 +297,14 @@ impl Program {
         fn stmt_max(s: &Stmt) -> Option<u32> {
             match s {
                 Stmt::Access(a) => Some(a.id),
-                Stmt::Barrier => None,
+                Stmt::Barrier | Stmt::Taskwait => None,
                 Stmt::For { body, .. }
                 | Stmt::Sections { body, .. }
                 | Stmt::Master { body }
                 | Stmt::Single { body, .. }
                 | Stmt::Critical { body, .. } => acc_max(body),
+                Stmt::Task(tb) => acc_max(&tb.body),
+                Stmt::Taskgroup { tasks } => tasks.iter().filter_map(|tb| acc_max(&tb.body)).max(),
                 Stmt::Nested(r) => r.body.iter().filter_map(stmt_max).max(),
             }
         }
@@ -234,10 +353,40 @@ impl Program {
                     Stmt::Barrier => {
                         out.push_str(&format!("{pad}barrier\n"));
                     }
-                    Stmt::For { n, nowait, body } => {
-                        let tail = if *nowait { " nowait" } else { "" };
-                        out.push_str(&format!("{pad}for {n}{tail}\n"));
+                    Stmt::For { n, nowait, sched, ordered, body } => {
+                        let mut head = format!("{pad}for {n}");
+                        match sched {
+                            Sched::Static => {}
+                            Sched::Dynamic { chunk } => head.push_str(&format!(" dynamic {chunk}")),
+                            Sched::Guided { min } => head.push_str(&format!(" guided {min}")),
+                        }
+                        if *ordered {
+                            head.push_str(" ordered");
+                        }
+                        if *nowait {
+                            head.push_str(" nowait");
+                        }
+                        out.push_str(&head);
+                        out.push('\n');
                         accesses(out, body, &inner);
+                        out.push_str(&format!("{pad}end\n"));
+                    }
+                    Stmt::Task(tb) => {
+                        out.push_str(&format!("{pad}{}\n", task_head(tb)));
+                        accesses(out, &tb.body, &inner);
+                        out.push_str(&format!("{pad}end\n"));
+                    }
+                    Stmt::Taskwait => {
+                        out.push_str(&format!("{pad}taskwait\n"));
+                    }
+                    Stmt::Taskgroup { tasks } => {
+                        out.push_str(&format!("{pad}taskgroup\n"));
+                        let deeper = "  ".repeat(depth + 2);
+                        for tb in tasks {
+                            out.push_str(&format!("{inner}{}\n", task_head(tb)));
+                            accesses(out, &tb.body, &deeper);
+                            out.push_str(&format!("{inner}end\n"));
+                        }
                         out.push_str(&format!("{pad}end\n"));
                     }
                     Stmt::Sections { count, body } => {
@@ -331,9 +480,84 @@ impl Program {
                     Some("access") => body.push(Stmt::Access(Access::parse(&toks[1..])?)),
                     Some("barrier") => body.push(Stmt::Barrier),
                     Some("for") if toks.len() >= 2 => {
-                        let nowait = toks.get(2) == Some(&"nowait");
                         let n = parse_num(toks[1])?;
-                        body.push(Stmt::For { n, nowait, body: access_block(lines)? });
+                        let mut sched = Sched::Static;
+                        let mut ordered = false;
+                        let mut nowait = false;
+                        let mut it = toks[2..].iter();
+                        while let Some(tok) = it.next() {
+                            match *tok {
+                                "dynamic" => {
+                                    let chunk = parse_num(
+                                        it.next().ok_or("`dynamic` wants a chunk size")?,
+                                    )?;
+                                    sched = Sched::Dynamic { chunk };
+                                }
+                                "guided" => {
+                                    let min = parse_num(
+                                        it.next().ok_or("`guided` wants a min chunk size")?,
+                                    )?;
+                                    sched = Sched::Guided { min };
+                                }
+                                "ordered" => ordered = true,
+                                "nowait" => nowait = true,
+                                other => return Err(format!("bad for clause `{other}`")),
+                            }
+                        }
+                        match sched {
+                            Sched::Dynamic { chunk: 0 } => {
+                                return Err("dynamic chunk must be ≥ 1".into())
+                            }
+                            Sched::Guided { min: 0 } => {
+                                return Err("guided min chunk must be ≥ 1".into())
+                            }
+                            _ => {}
+                        }
+                        // Mirror the runtime's API surface: only unordered
+                        // static loops have a nowait variant, and there is
+                        // no guided ordered loop.
+                        if nowait && (ordered || sched != Sched::Static) {
+                            return Err("nowait needs an unordered static loop".into());
+                        }
+                        if ordered && matches!(sched, Sched::Guided { .. }) {
+                            return Err("ordered cannot combine with guided".into());
+                        }
+                        body.push(Stmt::For {
+                            n,
+                            nowait,
+                            sched,
+                            ordered,
+                            body: access_block(lines)?,
+                        });
+                    }
+                    Some("task") => {
+                        let deps = parse_task_deps(&toks[1..])?;
+                        body.push(Stmt::Task(TaskBlock { deps, body: access_block(lines)? }));
+                    }
+                    Some("taskwait") => body.push(Stmt::Taskwait),
+                    Some("taskgroup") => {
+                        let mut tasks = Vec::new();
+                        loop {
+                            let Some(line) = lines.next() else {
+                                return Err("unterminated taskgroup (missing `end`)".into());
+                            };
+                            if line == "end" {
+                                break;
+                            }
+                            let toks: Vec<&str> = line.split_whitespace().collect();
+                            match toks.first().copied() {
+                                Some("task") => tasks.push(TaskBlock {
+                                    deps: parse_task_deps(&toks[1..])?,
+                                    body: access_block(lines)?,
+                                }),
+                                _ => {
+                                    return Err(format!(
+                                        "taskgroup bodies hold only `task …` blocks, got `{line}`"
+                                    ))
+                                }
+                            }
+                        }
+                        body.push(Stmt::Taskgroup { tasks });
                     }
                     Some("sections") if toks.len() == 2 => {
                         let count = parse_num(toks[1])?;
@@ -395,12 +619,18 @@ impl Program {
             for s in body {
                 match s {
                     Stmt::Access(a) => out.push(*a),
-                    Stmt::Barrier => {}
+                    Stmt::Barrier | Stmt::Taskwait => {}
                     Stmt::For { body, .. }
                     | Stmt::Sections { body, .. }
                     | Stmt::Master { body }
                     | Stmt::Single { body, .. }
                     | Stmt::Critical { body, .. } => out.extend(body.iter().copied()),
+                    Stmt::Task(tb) => out.extend(tb.body.iter().copied()),
+                    Stmt::Taskgroup { tasks } => {
+                        for tb in tasks {
+                            out.extend(tb.body.iter().copied());
+                        }
+                    }
                     Stmt::Nested(r) => walk(&r.body, out),
                 }
             }
@@ -415,26 +645,64 @@ impl Program {
     /// Renders the program as a standalone Rust snippet over `ompsim`,
     /// suitable for pasting into a test when reproducing a divergence.
     pub fn to_rust(&self) -> String {
-        fn index_rust(e: &IndexExpr, len: u64, var: &str) -> String {
+        fn index_rust(e: &IndexExpr, len: u64, var: &str, ctx: &str) -> String {
             match *e {
                 IndexExpr::Const(k) => format!("{}", k % len.max(1)),
                 IndexExpr::Tid { stride, off } => {
-                    format!("(w.team_index() * {stride} + {off}) % {len}")
+                    format!("({ctx}.team_index() * {stride} + {off}) % {len}")
                 }
                 IndexExpr::Var { stride, off } => format!("({var} * {stride} + {off}) % {len}"),
             }
         }
         fn access_rust(out: &mut String, a: &Access, lens: &[u64], pad: &str, var: &str) {
+            access_rust_on(out, a, lens, pad, var, "w");
+        }
+        fn access_rust_on(
+            out: &mut String,
+            a: &Access,
+            lens: &[u64],
+            pad: &str,
+            var: &str,
+            ctx: &str,
+        ) {
             let len = lens[a.buf as usize];
-            let idx = index_rust(&a.index, len, var);
+            let idx = index_rust(&a.index, len, var, ctx);
             let b = format!("b{}", a.buf);
             let line = match a.kind {
-                AccessKind::Read => format!("let _ = w.read(&{b}, {idx});"),
-                AccessKind::Write => format!("w.write(&{b}, {idx}, 1);"),
-                AccessKind::AtomicRead => format!("let _ = w.atomic_read(&{b}, {idx});"),
-                AccessKind::AtomicWrite => format!("w.atomic_write(&{b}, {idx}, 1);"),
+                AccessKind::Read => format!("let _ = {ctx}.read(&{b}, {idx});"),
+                AccessKind::Write => format!("{ctx}.write(&{b}, {idx}, 1);"),
+                AccessKind::AtomicRead => format!("let _ = {ctx}.atomic_read(&{b}, {idx});"),
+                AccessKind::AtomicWrite => format!("{ctx}.atomic_write(&{b}, {idx}, 1);"),
             };
             out.push_str(&format!("{pad}{line} // s{}\n", a.id));
+        }
+        fn dep_rust(deps: &[TaskDep]) -> String {
+            let clauses: Vec<String> = deps
+                .iter()
+                .map(|d| {
+                    let mode = match d.kind {
+                        DepKind::In => "DepMode::In",
+                        DepKind::Out => "DepMode::Out",
+                        DepKind::InOut => "DepMode::InOut",
+                    };
+                    format!("({}, {mode})", d.var)
+                })
+                .collect();
+            format!("&[{}]", clauses.join(", "))
+        }
+        fn task_rust(
+            out: &mut String,
+            tb: &TaskBlock,
+            lens: &[u64],
+            pad: &str,
+            inner: &str,
+            ctx: &str,
+        ) {
+            out.push_str(&format!("{pad}{ctx}.task_depend({}, |t| {{\n", dep_rust(&tb.deps)));
+            for a in &tb.body {
+                access_rust_on(out, a, lens, inner, "0", "t");
+            }
+            out.push_str(&format!("{pad}}});\n"));
         }
         fn stmts_rust(out: &mut String, body: &[Stmt], lens: &[u64], depth: usize) {
             let pad = "    ".repeat(depth);
@@ -443,11 +711,52 @@ impl Program {
                 match s {
                     Stmt::Access(a) => access_rust(out, a, lens, &pad, "0"),
                     Stmt::Barrier => out.push_str(&format!("{pad}w.barrier();\n")),
-                    Stmt::For { n, nowait, body } => {
-                        let call = if *nowait { "for_static_nowait" } else { "for_static" };
-                        out.push_str(&format!("{pad}w.{call}(0..{n}, |i| {{\n"));
-                        for a in body {
-                            access_rust(out, a, lens, &inner, "i");
+                    Stmt::For { n, nowait, sched, ordered, body } => {
+                        if *ordered {
+                            let head = match sched {
+                                Sched::Static => format!("w.for_static_ordered(0..{n}, |i, ol| {{"),
+                                Sched::Dynamic { chunk } => format!(
+                                    "w.for_dynamic_pinned_ordered(0..{n}, {chunk}, |i, ol| {{"
+                                ),
+                                Sched::Guided { .. } => {
+                                    unreachable!("parser rejects guided ordered")
+                                }
+                            };
+                            out.push_str(&format!("{pad}{head}\n"));
+                            out.push_str(&format!("{inner}w.ordered(ol, i, || {{\n"));
+                            let deeper = format!("{inner}    ");
+                            for a in body {
+                                access_rust(out, a, lens, &deeper, "i");
+                            }
+                            out.push_str(&format!("{inner}}});\n"));
+                            out.push_str(&format!("{pad}}});\n"));
+                        } else {
+                            let head = match sched {
+                                Sched::Static if *nowait => {
+                                    format!("w.for_static_nowait(0..{n}, |i| {{")
+                                }
+                                Sched::Static => format!("w.for_static(0..{n}, |i| {{"),
+                                Sched::Dynamic { chunk } => {
+                                    format!("w.for_dynamic_pinned(0..{n}, {chunk}, |i| {{")
+                                }
+                                Sched::Guided { min } => {
+                                    format!("w.for_guided_pinned(0..{n}, {min}, |i| {{")
+                                }
+                            };
+                            out.push_str(&format!("{pad}{head}\n"));
+                            for a in body {
+                                access_rust(out, a, lens, &inner, "i");
+                            }
+                            out.push_str(&format!("{pad}}});\n"));
+                        }
+                    }
+                    Stmt::Task(tb) => task_rust(out, tb, lens, &pad, &inner, "w"),
+                    Stmt::Taskwait => out.push_str(&format!("{pad}w.taskwait();\n")),
+                    Stmt::Taskgroup { tasks } => {
+                        out.push_str(&format!("{pad}w.taskgroup(|g| {{\n"));
+                        let deeper = format!("{inner}    ");
+                        for tb in tasks {
+                            task_rust(out, tb, lens, &inner, &deeper, "g");
                         }
                         out.push_str(&format!("{pad}}});\n"));
                     }
@@ -523,6 +832,8 @@ mod tests {
                     Stmt::For {
                         n: 6,
                         nowait: true,
+                        sched: Sched::Static,
+                        ordered: false,
                         body: vec![Access {
                             id: 1,
                             buf: 0,
@@ -562,11 +873,101 @@ mod tests {
         }
     }
 
+    /// A program exercising every tasking and scheduling construct.
+    pub(crate) fn tasking_sample() -> Program {
+        let acc = |id: u32, kind, index| Access { id, buf: 0, kind, index };
+        Program {
+            buffers: vec![8],
+            regions: vec![Region {
+                threads: 2,
+                body: vec![
+                    Stmt::Task(TaskBlock {
+                        deps: vec![
+                            TaskDep { var: 0, kind: DepKind::Out },
+                            TaskDep { var: 1, kind: DepKind::In },
+                        ],
+                        body: vec![acc(0, AccessKind::Write, IndexExpr::Const(0))],
+                    }),
+                    Stmt::Task(TaskBlock {
+                        deps: vec![TaskDep { var: 0, kind: DepKind::InOut }],
+                        body: vec![acc(1, AccessKind::Read, IndexExpr::Const(0))],
+                    }),
+                    Stmt::Taskwait,
+                    Stmt::Taskgroup {
+                        tasks: vec![
+                            TaskBlock {
+                                deps: vec![],
+                                body: vec![acc(
+                                    2,
+                                    AccessKind::Write,
+                                    IndexExpr::Tid { stride: 1, off: 2 },
+                                )],
+                            },
+                            TaskBlock {
+                                deps: vec![TaskDep { var: 2, kind: DepKind::Out }],
+                                body: vec![acc(3, AccessKind::Read, IndexExpr::Const(1))],
+                            },
+                        ],
+                    },
+                    Stmt::Barrier,
+                    Stmt::For {
+                        n: 7,
+                        nowait: false,
+                        sched: Sched::Dynamic { chunk: 2 },
+                        ordered: false,
+                        body: vec![acc(4, AccessKind::Write, IndexExpr::Var { stride: 1, off: 0 })],
+                    },
+                    Stmt::For {
+                        n: 5,
+                        nowait: false,
+                        sched: Sched::Guided { min: 1 },
+                        ordered: false,
+                        body: vec![acc(5, AccessKind::Read, IndexExpr::Var { stride: 1, off: 0 })],
+                    },
+                    Stmt::For {
+                        n: 4,
+                        nowait: false,
+                        sched: Sched::Dynamic { chunk: 1 },
+                        ordered: true,
+                        body: vec![acc(6, AccessKind::Write, IndexExpr::Const(3))],
+                    },
+                ],
+            }],
+        }
+    }
+
     #[test]
     fn text_roundtrip() {
         let p = sample();
         let text = p.to_text();
         assert_eq!(Program::parse(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn tasking_text_roundtrip() {
+        let p = tasking_sample();
+        let text = p.to_text();
+        assert_eq!(Program::parse(&text).unwrap(), p, "text:\n{text}");
+    }
+
+    #[test]
+    fn parse_rejects_illegal_loop_clause_combinations() {
+        let prog = |head: &str| format!("fuzz-prog v1\nbuf 4\nregion 2\n{head}\nend\nend\n");
+        assert!(Program::parse(&prog("for 4 dynamic 2 nowait")).is_err(), "dynamic nowait");
+        assert!(Program::parse(&prog("for 4 guided 1 ordered")).is_err(), "guided ordered");
+        assert!(Program::parse(&prog("for 4 ordered nowait")).is_err(), "ordered nowait");
+        assert!(Program::parse(&prog("for 4 dynamic 0")).is_err(), "zero chunk");
+        assert!(Program::parse(&prog("for 4 dynamic 2 ordered")).is_ok(), "dynamic ordered");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_task_blocks() {
+        let p = "fuzz-prog v1\nbuf 4\nregion 2\ntask dep 0\nend\nend\n";
+        assert!(Program::parse(p).is_err(), "truncated dep clause");
+        let p = "fuzz-prog v1\nbuf 4\nregion 2\ntaskgroup\nbarrier\nend\nend\n";
+        assert!(Program::parse(p).is_err(), "non-task inside taskgroup");
+        let p = "fuzz-prog v1\nbuf 4\nregion 2\ntask dep 1 inout\naccess 0 w b0 c0\nend\nend\n";
+        assert!(Program::parse(p).is_ok(), "well-formed task");
     }
 
     #[test]
@@ -611,5 +1012,29 @@ mod tests {
         }
         assert!(rust.contains("ctx.parallel(2"));
         assert!(rust.contains("w.critical(\"L0\""));
+    }
+
+    #[test]
+    fn tasking_rust_rendering_uses_the_runtime_task_api() {
+        let rust = tasking_sample().to_rust();
+        for id in 0..7 {
+            assert!(rust.contains(&format!("// s{id}")), "statement {id} missing:\n{rust}");
+        }
+        assert!(rust.contains("w.task_depend(&[(0, DepMode::Out), (1, DepMode::In)]"));
+        assert!(rust.contains("w.taskwait();"));
+        assert!(rust.contains("w.taskgroup(|g| {"));
+        assert!(rust.contains("g.task_depend(&[], |t| {"));
+        assert!(rust.contains("w.for_dynamic_pinned(0..7, 2"));
+        assert!(rust.contains("w.for_guided_pinned(0..5, 1"));
+        assert!(rust.contains("w.for_dynamic_pinned_ordered(0..4, 1"));
+        assert!(rust.contains("w.ordered(ol, i, || {"));
+    }
+
+    #[test]
+    fn tasking_helpers_see_every_access() {
+        let p = tasking_sample();
+        assert_eq!(p.max_id(), Some(6));
+        assert_eq!(p.all_accesses().len(), 7);
+        assert!(p.locks().is_empty());
     }
 }

@@ -17,7 +17,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::program::{Access, Program, Region, Stmt};
+use crate::program::{Access, Program, Region, Sched, Stmt, TaskBlock};
 
 /// Upper bound on predicate evaluations per shrink.
 const MAX_ATTEMPTS: usize = 150;
@@ -99,14 +99,44 @@ fn region_candidates(r: &Region) -> Vec<Region> {
 
 fn stmt_candidates(s: &Stmt) -> Vec<Stmt> {
     match s {
-        Stmt::Access(_) | Stmt::Barrier => Vec::new(),
-        Stmt::For { n, nowait, body } => {
+        Stmt::Access(_) | Stmt::Barrier | Stmt::Taskwait => Vec::new(),
+        Stmt::For { n, nowait, sched, ordered, body } => {
             let mut out = Vec::new();
+            let again =
+                |n, nowait, sched, ordered, body| Stmt::For { n, nowait, sched, ordered, body };
             if *n > 1 {
-                out.push(Stmt::For { n: *n / 2, nowait: *nowait, body: body.clone() });
+                out.push(again(*n / 2, *nowait, *sched, *ordered, body.clone()));
+            }
+            // Simplify the schedule before touching the body: static
+            // unordered is the weakest loop shape (nowait stays off,
+            // which is always legal).
+            if *sched != Sched::Static {
+                out.push(again(*n, false, Sched::Static, *ordered, body.clone()));
+            }
+            if *ordered {
+                out.push(again(*n, false, *sched, false, body.clone()));
             }
             for b in drop_one(body) {
-                out.push(Stmt::For { n: *n, nowait: *nowait, body: b });
+                out.push(again(*n, *nowait, *sched, *ordered, b));
+            }
+            out
+        }
+        Stmt::Task(tb) => task_candidates(tb).into_iter().map(Stmt::Task).collect(),
+        Stmt::Taskgroup { tasks } => {
+            let mut out = Vec::new();
+            if tasks.len() > 1 {
+                for i in 0..tasks.len() {
+                    let mut t = tasks.clone();
+                    t.remove(i);
+                    out.push(Stmt::Taskgroup { tasks: t });
+                }
+            }
+            for i in 0..tasks.len() {
+                for cand in task_candidates(&tasks[i]) {
+                    let mut t = tasks.clone();
+                    t[i] = cand;
+                    out.push(Stmt::Taskgroup { tasks: t });
+                }
             }
             out
         }
@@ -131,6 +161,21 @@ fn stmt_candidates(s: &Stmt) -> Vec<Stmt> {
         }
         Stmt::Nested(r) => region_candidates(r).into_iter().map(Stmt::Nested).collect(),
     }
+}
+
+/// One-step reductions of a task block: drop a depend clause, or drop a
+/// body access (keeping at least one).
+fn task_candidates(tb: &TaskBlock) -> Vec<TaskBlock> {
+    let mut out = Vec::new();
+    for i in 0..tb.deps.len() {
+        let mut deps = tb.deps.clone();
+        deps.remove(i);
+        out.push(TaskBlock { deps, body: tb.body.clone() });
+    }
+    for b in drop_one(&tb.body) {
+        out.push(TaskBlock { deps: tb.deps.clone(), body: b });
+    }
+    out
 }
 
 /// Every body with exactly one access removed (only when more than one
@@ -192,7 +237,7 @@ fn remap_region(r: &mut Region, remap: &[Option<u8>]) {
     for s in &mut r.body {
         match s {
             Stmt::Access(a) => remap_access(a, remap),
-            Stmt::Barrier => {}
+            Stmt::Barrier | Stmt::Taskwait => {}
             Stmt::For { body, .. }
             | Stmt::Sections { body, .. }
             | Stmt::Master { body }
@@ -200,6 +245,18 @@ fn remap_region(r: &mut Region, remap: &[Option<u8>]) {
             | Stmt::Critical { body, .. } => {
                 for a in body {
                     remap_access(a, remap);
+                }
+            }
+            Stmt::Task(tb) => {
+                for a in &mut tb.body {
+                    remap_access(a, remap);
+                }
+            }
+            Stmt::Taskgroup { tasks } => {
+                for tb in tasks {
+                    for a in &mut tb.body {
+                        remap_access(a, remap);
+                    }
                 }
             }
             Stmt::Nested(inner) => remap_region(inner, remap),

@@ -62,7 +62,9 @@ mod sequencer;
 mod tool;
 
 pub use memory::{TrackedBuf, TrackedValue};
-pub use runtime::{Ctx, OmpLock, OmpSim, SimConfig};
+pub use runtime::{
+    dynamic_chunks, guided_chunks, Ctx, DepMode, OmpLock, OmpSim, OrderedLoop, SimConfig,
+};
 pub use sequencer::Sequencer;
 pub use sword_trace::{AccessKind, MemAccess, MutexId, PcId, RegionId, ThreadId};
-pub use tool::{NullTool, ParallelBeginInfo, ThreadContext, Tool};
+pub use tool::{NullTool, ParallelBeginInfo, TaskCreateInfo, TaskUid, ThreadContext, Tool};

@@ -9,11 +9,70 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
-use sword_osl::Label;
+use sword_osl::{Label, TASK_SPAN};
 use sword_trace::{AccessKind, MemAccess, MutexId, PcId, PcTable, RegionId, ThreadId};
 
 use crate::memory::{TrackedBuf, TrackedValue};
-use crate::tool::{ParallelBeginInfo, ThreadContext, Tool};
+use crate::tool::{ParallelBeginInfo, TaskCreateInfo, TaskUid, ThreadContext, Tool};
+
+/// Access mode of a task `depend` clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepMode {
+    /// `depend(in: v)`.
+    In,
+    /// `depend(out: v)`.
+    Out,
+    /// `depend(inout: v)`.
+    InOut,
+}
+
+impl DepMode {
+    /// Two clauses on the same variable conflict unless both only read.
+    pub fn conflicts(self, other: DepMode) -> bool {
+        !(self == DepMode::In && other == DepMode::In)
+    }
+}
+
+/// Deterministic model of `schedule(dynamic, chunk)` chunk assignment:
+/// chunks are claimed round-robin in grab order — grab `g` covers the
+/// `g`-th chunk of the range and goes to team slot `g % span`. Shared by
+/// the runtime's pinned loops ([`Ctx::for_dynamic_pinned`]) and the fuzz
+/// generator's ground-truth oracle, so both sides agree on which thread
+/// touched which iteration. (The free-running [`Ctx::for_dynamic`] keeps
+/// its real contended cursor; the pinned contract covers chunking
+/// effects, not cursor timing.)
+pub fn dynamic_chunks(range: Range<u64>, chunk: u64, span: u64) -> Vec<(u64, Range<u64>)> {
+    assert!(chunk > 0 && span > 0);
+    let mut out = Vec::new();
+    let mut start = range.start;
+    let mut grab = 0u64;
+    while start < range.end {
+        let end = (start + chunk).min(range.end);
+        out.push((grab % span, start..end));
+        grab += 1;
+        start = end;
+    }
+    out
+}
+
+/// Deterministic model of `schedule(guided, min_chunk)`: grab `g` takes
+/// `max(min_chunk, remaining / span)` iterations (the classic decreasing
+/// formula) and goes to slot `g % span`. Same sharing contract as
+/// [`dynamic_chunks`].
+pub fn guided_chunks(range: Range<u64>, min_chunk: u64, span: u64) -> Vec<(u64, Range<u64>)> {
+    assert!(min_chunk > 0 && span > 0);
+    let mut out = Vec::new();
+    let mut start = range.start;
+    let mut grab = 0u64;
+    while start < range.end {
+        let remaining = range.end - start;
+        let size = (remaining / span).max(min_chunk).min(remaining);
+        out.push((grab % span, start..start + size));
+        grab += 1;
+        start += size;
+    }
+    out
+}
 
 /// Runtime configuration.
 #[derive(Clone, Debug)]
@@ -124,6 +183,7 @@ impl OmpSim {
             region: None,
             fork_seq: Cell::new(0),
             pc_cache: RefCell::new(HashMap::new()),
+            task_state: RefCell::new(None),
         };
         let r = f(&ctx);
         self.release_tids(&[master_tid]);
@@ -262,12 +322,48 @@ impl std::fmt::Debug for OmpSim {
     }
 }
 
-/// Team-shared state: the physical barrier and dynamic-loop cursors.
+/// The serialization protocol behind `ordered` clauses: one instance per
+/// worksharing loop, shared by the team. An ordered block for iteration
+/// `i` waits until every lower iteration's block has run, executes under
+/// the loop's synthetic lock (so tools see the mutual exclusion through
+/// the ordinary mutex callbacks), and then opens iteration `i + 1`'s
+/// turn.
+///
+/// Detectors treat the synthetic lock like any other mutex: two ordered
+/// blocks of one loop can never race. The *transitive* happens-before an
+/// ordered chain also induces (block `i` → everything block `j > i` does
+/// afterwards) is deliberately not modeled — a lock is an
+/// over-approximation of concurrency there, applied identically by SWORD,
+/// the fuzz oracle, and (more precisely, via its lock clocks) ARCHER.
+pub struct OrderedLoop {
+    next: Mutex<u64>,
+    cv: Condvar,
+    lock: OmpLock,
+}
+
+impl OrderedLoop {
+    /// A protocol starting at iteration `start`, serialized by `lock`.
+    /// Callers that need deterministic lock ids (the fuzz interpreter)
+    /// pre-create the lock; the high-level loops allocate one lazily.
+    pub fn new(start: u64, lock: OmpLock) -> Self {
+        OrderedLoop { next: Mutex::new(start), cv: Condvar::new(), lock }
+    }
+
+    /// The synthetic lock's id as reported to tools.
+    pub fn lock_id(&self) -> MutexId {
+        self.lock.id()
+    }
+}
+
+/// Team-shared state: the physical barrier, dynamic-loop cursors, and
+/// ordered-loop protocols.
 struct TeamState {
     span: u64,
     barrier: Mutex<BarrierInner>,
     barrier_cv: Condvar,
     dyn_loops: Mutex<HashMap<u64, Arc<AtomicU64>>>,
+    guided_loops: Mutex<HashMap<u64, Arc<Mutex<u64>>>>,
+    ordered_loops: Mutex<HashMap<u64, Arc<OrderedLoop>>>,
 }
 
 #[derive(Default)]
@@ -283,6 +379,8 @@ impl TeamState {
             barrier: Mutex::new(BarrierInner::default()),
             barrier_cv: Condvar::new(),
             dyn_loops: Mutex::new(HashMap::new()),
+            guided_loops: Mutex::new(HashMap::new()),
+            ordered_loops: Mutex::new(HashMap::new()),
         }
     }
 
@@ -307,6 +405,24 @@ impl TeamState {
         let mut map = self.dyn_loops.lock();
         map.entry(key).or_insert_with(|| Arc::new(AtomicU64::new(start))).clone()
     }
+
+    /// Shared cursor for the `key`-th guided loop (mutex-guarded so the
+    /// decreasing chunk size is computed atomically with the claim).
+    fn guided_cursor(&self, key: u64, start: u64) -> Arc<Mutex<u64>> {
+        let mut map = self.guided_loops.lock();
+        map.entry(key).or_insert_with(|| Arc::new(Mutex::new(start))).clone()
+    }
+
+    /// Shared ordered-loop protocol for the `key`-th ordered loop.
+    fn ordered_loop(
+        &self,
+        key: u64,
+        start: u64,
+        mk_lock: impl FnOnce() -> OmpLock,
+    ) -> Arc<OrderedLoop> {
+        let mut map = self.ordered_loops.lock();
+        map.entry(key).or_insert_with(|| Arc::new(OrderedLoop::new(start, mk_lock()))).clone()
+    }
 }
 
 struct RegionInfo {
@@ -318,6 +434,42 @@ struct RegionInfo {
     bid: Cell<u32>,
     team: Arc<TeamState>,
     dyn_loop_seq: Cell<u64>,
+    ordered_loop_seq: Cell<u64>,
+    /// `true` for the synthetic context a task body runs under; bars
+    /// non-conforming nesting (barriers, child tasks) loudly.
+    is_task: bool,
+}
+
+/// One outstanding (created, not yet synchronized) child task.
+struct TaskRec {
+    uid: TaskUid,
+    deps: Vec<(u64, DepMode)>,
+}
+
+/// An open `taskgroup` scope: where the outstanding list stood at entry,
+/// plus the label and row identity to restore at group end.
+struct GroupFrame {
+    mark: usize,
+    entry_label: Label,
+    entry_row: (RegionId, u32),
+}
+
+/// Per-worker explicit-task bookkeeping. `base` is the label at the top
+/// of the current barrier interval — the restore target of `taskwait`;
+/// `cur_row` identifies the meta row the worker is currently logging
+/// under, which leaves the real region's `(pid, bid)` while a task-fork
+/// chain is open (continuation rows log under the task pseudo-region).
+struct TaskState {
+    base: Label,
+    cur_row: (RegionId, u32),
+    outstanding: Vec<TaskRec>,
+    groups: Vec<GroupFrame>,
+}
+
+impl TaskState {
+    fn new(base: Label, region: RegionId) -> Self {
+        TaskState { base, cur_row: (region, 0), outstanding: Vec::new(), groups: Vec::new() }
+    }
 }
 
 /// Per-thread execution context. The master context (from
@@ -335,6 +487,9 @@ pub struct Ctx<'rt> {
     /// crossing to sibling members.
     fork_seq: Cell<u64>,
     pc_cache: RefCell<HashMap<(usize, u32), PcId>>,
+    /// Explicit-task chain state; `Some` only for team workers (the
+    /// master context and task bodies create no traced tasks).
+    task_state: RefCell<Option<TaskState>>,
 }
 
 impl<'rt> Ctx<'rt> {
@@ -405,10 +560,11 @@ impl<'rt> Ctx<'rt> {
                 let fork_label = &fork_label;
                 let body = &body;
                 s.spawn(move || {
+                    let worker_label = fork_label.fork(i, span);
                     let ctx = Ctx {
                         sim,
                         tid,
-                        label: RefCell::new(fork_label.fork(i, span)),
+                        label: RefCell::new(worker_label.clone()),
                         region: Some(RegionInfo {
                             region,
                             parent_region,
@@ -418,12 +574,19 @@ impl<'rt> Ctx<'rt> {
                             bid: Cell::new(0),
                             team,
                             dyn_loop_seq: Cell::new(0),
+                            ordered_loop_seq: Cell::new(0),
+                            is_task: false,
                         }),
                         fork_seq: Cell::new(0),
                         pc_cache: RefCell::new(HashMap::new()),
+                        task_state: RefCell::new(Some(TaskState::new(worker_label, region))),
                     };
                     ctx.with_tool(|t, tc| t.thread_begin(tc));
                     body(&ctx);
+                    // The implicit end-of-region barrier is a task
+                    // scheduling point: outstanding children synchronize
+                    // before the worker's last interval closes.
+                    ctx.implicit_task_sync();
                     ctx.with_tool(|t, tc| t.thread_end(tc));
                 });
             }
@@ -469,11 +632,267 @@ impl<'rt> Ctx<'rt> {
     /// master (sequential) context.
     pub fn barrier(&self) {
         let Some(r) = &self.region else { return };
+        assert!(!r.is_task, "barrier inside an explicit task is non-conforming");
+        // A barrier is a task scheduling point with an implied taskwait:
+        // outstanding children synchronize before the interval closes.
+        self.implicit_task_sync();
         self.with_tool(|t, tc| t.barrier_begin(tc));
         r.team.wait();
         self.label.borrow_mut().bump_in_place();
         r.bid.set(r.bid.get() + 1);
+        if let Some(ts) = self.task_state.borrow_mut().as_mut() {
+            ts.base = self.label.borrow().clone();
+            ts.cur_row = (r.region, r.bid.get());
+        }
         self.with_tool(|t, tc| t.barrier_end(tc));
+    }
+
+    // ---- explicit tasks ---------------------------------------------------
+
+    /// `#pragma omp task` without dependences. See [`Ctx::task_depend`].
+    pub fn task(&self, body: impl FnOnce(&Ctx<'rt>)) {
+        self.task_depend(&[], body);
+    }
+
+    /// `#pragma omp task depend(...)`: creates an explicit task whose body
+    /// runs under its own context (fresh logical thread id, own log file,
+    /// task pseudo-region labeled `L·[e,1]·[1,TASK_SPAN]` off the
+    /// creator's current label `L`), then resumes the creator under the
+    /// continuation label `L·[e,1]·[0,TASK_SPAN]`.
+    ///
+    /// Tasks execute *eagerly on the creating thread* — as if every task
+    /// carried an `if(0)` clause making it undeferred. The trace still
+    /// encodes the task as logically concurrent with the continuation and
+    /// with sibling threads, which is the only thing the label-based and
+    /// clock-based detectors analyze; serializing the physical execution
+    /// makes runs (and therefore sessions, oracles, and pinned corpus
+    /// reproducers) deterministic. Restrictions, enforced loudly: task
+    /// bodies create no tasks and cross no barriers.
+    ///
+    /// `deps` are `(variable, mode)` clauses; predecessors are the earlier
+    /// still-outstanding siblings with a conflicting clause on the same
+    /// variable. They are recorded on the task's pseudo-region record —
+    /// dependences are an arbitrary partial order the offset-span labels
+    /// cannot express, so the analyzers layer them above the labels.
+    pub fn task_depend(&self, deps: &[(u64, DepMode)], body: impl FnOnce(&Ctx<'rt>)) {
+        let Some(r) = &self.region else {
+            // Outside a parallel region a task is immediate sequential
+            // code, like any other uninstrumented construct.
+            body(self);
+            return;
+        };
+        assert!(!r.is_task, "nested task creation (a task spawning tasks) is not modeled");
+        let e = self.fork_seq.get();
+        self.fork_seq.set(e + 1);
+        let pid = self.sim.next_region.fetch_add(1, Ordering::Relaxed);
+        let uid: TaskUid = pid;
+        // Fresh id, never pooled: a reused id could alias the task's log
+        // with a logically concurrent entity and mask real races.
+        let task_tid = self.sim.next_tid.fetch_add(1, Ordering::Relaxed);
+        let fork_label = self.label.borrow().task_fork(e);
+        let task_label = fork_label.fork(1, TASK_SPAN);
+        let cont_label = fork_label.fork(0, TASK_SPAN);
+        let preds: Vec<RegionId> = {
+            let ts = self.task_state.borrow();
+            let ts = ts.as_ref().expect("workers carry task state");
+            ts.outstanding
+                .iter()
+                .filter(|t| {
+                    t.deps
+                        .iter()
+                        .any(|(v, m)| deps.iter().any(|(v2, m2)| v == v2 && m.conflicts(*m2)))
+                })
+                .map(|t| t.uid)
+                .collect()
+        };
+        let info = TaskCreateInfo {
+            uid,
+            region: pid,
+            parent_region: r.region,
+            level: r.level + 1,
+            preds: &preds,
+            fork_label: &fork_label,
+            creator_tid: self.tid,
+        };
+        self.with_tool(|t, tc| t.task_create(tc, &info));
+        let task_ctx = Ctx {
+            sim: self.sim,
+            tid: task_tid,
+            label: RefCell::new(task_label.clone()),
+            region: Some(RegionInfo {
+                region: pid,
+                parent_region: Some(r.region),
+                level: r.level + 1,
+                team_index: 1,
+                span: TASK_SPAN,
+                bid: Cell::new(0),
+                team: Arc::clone(&r.team),
+                dyn_loop_seq: Cell::new(0),
+                ordered_loop_seq: Cell::new(0),
+                is_task: true,
+            }),
+            fork_seq: Cell::new(0),
+            pc_cache: RefCell::new(HashMap::new()),
+            task_state: RefCell::new(None),
+        };
+        if let Some(tool) = &self.sim.tool {
+            let outer_label = self.label.borrow();
+            let outer_tc = self.make_tc(r, &outer_label);
+            let task_r = task_ctx.region.as_ref().expect("task ctx has a region");
+            let task_tc = task_ctx.make_tc(task_r, &task_label);
+            tool.task_begin(&outer_tc, &task_tc, uid);
+        }
+        body(&task_ctx);
+        *self.label.borrow_mut() = cont_label.clone();
+        {
+            let mut ts = self.task_state.borrow_mut();
+            let ts = ts.as_mut().expect("workers carry task state");
+            ts.cur_row = (pid, 0);
+            ts.outstanding.push(TaskRec { uid, deps: deps.to_vec() });
+        }
+        if let Some(tool) = &self.sim.tool {
+            let task_r = task_ctx.region.as_ref().expect("task ctx has a region");
+            let task_tc = task_ctx.make_tc(task_r, &task_label);
+            let cont_tc = self.make_tc(r, &cont_label);
+            tool.task_end(&task_tc, &cont_tc, uid);
+        }
+    }
+
+    /// `#pragma omp taskwait`: children created since the last sync are
+    /// complete (they ran eagerly); the label chain collapses back to the
+    /// interval base so code after the wait is ordered after every child.
+    pub fn taskwait(&self) {
+        self.implicit_task_sync();
+    }
+
+    /// `#pragma omp taskgroup`: runs `body` (which may create tasks) and
+    /// waits for the tasks created inside the group — a *partial* restore
+    /// of the label chain to the group-entry label, so post-group code is
+    /// ordered after group tasks but stays concurrent with tasks that
+    /// were already outstanding at entry.
+    pub fn taskgroup(&self, body: impl FnOnce(&Ctx<'rt>)) {
+        let Some(r) = &self.region else {
+            body(self);
+            return;
+        };
+        assert!(!r.is_task, "taskgroup inside an explicit task is not modeled");
+        {
+            let mut ts = self.task_state.borrow_mut();
+            let ts = ts.as_mut().expect("workers carry task state");
+            ts.groups.push(GroupFrame {
+                mark: ts.outstanding.len(),
+                entry_label: self.label.borrow().clone(),
+                entry_row: ts.cur_row,
+            });
+        }
+        body(self);
+        let (synced, entry_label) = {
+            let mut ts = self.task_state.borrow_mut();
+            let ts = ts.as_mut().expect("workers carry task state");
+            let frame = ts.groups.pop().expect("taskgroup frames are balanced");
+            let synced: Vec<TaskUid> =
+                ts.outstanding.split_off(frame.mark).into_iter().map(|t| t.uid).collect();
+            if synced.is_empty() {
+                return; // no tasks created inside: the chain is unchanged
+            }
+            ts.cur_row = frame.entry_row;
+            (synced, frame.entry_label)
+        };
+        *self.label.borrow_mut() = entry_label;
+        self.with_tool(|t, tc| t.task_sync(tc, &synced));
+    }
+
+    /// Shared implementation of `taskwait` and the implied task sync at
+    /// barriers and region end: drain all outstanding children and restore
+    /// the interval-base label.
+    fn implicit_task_sync(&self) {
+        let Some(r) = &self.region else { return };
+        if r.is_task {
+            return; // task bodies have no children to wait for
+        }
+        let (synced, restored) = {
+            let mut ts = self.task_state.borrow_mut();
+            let ts = ts.as_mut().expect("workers carry task state");
+            assert!(ts.groups.is_empty(), "taskwait/barrier inside taskgroup is not modeled");
+            if ts.outstanding.is_empty() {
+                return; // no children since the last sync
+            }
+            let synced: Vec<TaskUid> = ts.outstanding.drain(..).map(|t| t.uid).collect();
+            ts.cur_row = (r.region, r.bid.get());
+            (synced, ts.base.clone())
+        };
+        *self.label.borrow_mut() = restored;
+        self.with_tool(|t, tc| t.task_sync(tc, &synced));
+    }
+
+    // ---- ordered ----------------------------------------------------------
+
+    /// Runs `body` as the `ordered` block of iteration `i` of the loop
+    /// protocol `ol`: blocks run in ascending iteration order, each under
+    /// the loop's synthetic lock (see [`OrderedLoop`]).
+    pub fn ordered(&self, ol: &OrderedLoop, i: u64, body: impl FnOnce()) {
+        {
+            let mut next = ol.next.lock();
+            while *next != i {
+                ol.cv.wait(&mut next);
+            }
+        }
+        self.with_lock(&ol.lock, body);
+        *ol.next.lock() = i + 1;
+        ol.cv.notify_all();
+    }
+
+    /// `#pragma omp for ordered schedule(static)`: the static partition of
+    /// [`Ctx::for_static`], with an [`OrderedLoop`] handle the body passes
+    /// to [`Ctx::ordered`] for its ordered blocks; implicit barrier.
+    pub fn for_static_ordered(&self, range: Range<u64>, mut body: impl FnMut(u64, &OrderedLoop)) {
+        let ol = self.team_ordered_loop(range.start);
+        let n = range.end.saturating_sub(range.start);
+        if n > 0 {
+            let span = self.team_size();
+            let idx = self.team_index();
+            let chunk = n.div_ceil(span);
+            let lo = range.start + (idx * chunk).min(n);
+            let hi = range.start + ((idx + 1) * chunk).min(n);
+            for i in lo..hi {
+                body(i, &ol);
+            }
+        }
+        self.barrier();
+    }
+
+    /// `#pragma omp for ordered schedule(dynamic, chunk)` under the pinned
+    /// chunk assignment of [`dynamic_chunks`]; implicit barrier.
+    pub fn for_dynamic_pinned_ordered(
+        &self,
+        range: Range<u64>,
+        chunk: u64,
+        mut body: impl FnMut(u64, &OrderedLoop),
+    ) {
+        let ol = self.team_ordered_loop(range.start);
+        let idx = self.team_index();
+        for (slot, chunk_range) in dynamic_chunks(range, chunk, self.team_size()) {
+            if slot == idx {
+                for i in chunk_range {
+                    body(i, &ol);
+                }
+            }
+        }
+        self.barrier();
+    }
+
+    /// The `key`-th ordered-loop protocol of the current region, shared by
+    /// the team (master context: a private protocol, the loop is
+    /// sequential anyway).
+    fn team_ordered_loop(&self, start: u64) -> Arc<OrderedLoop> {
+        match &self.region {
+            None => Arc::new(OrderedLoop::new(start, self.sim.new_lock())),
+            Some(r) => {
+                let key = r.ordered_loop_seq.get();
+                r.ordered_loop_seq.set(key + 1);
+                r.team.ordered_loop(key, start, || self.sim.new_lock())
+            }
+        }
     }
 
     // ---- worksharing ------------------------------------------------------
@@ -546,6 +965,73 @@ impl<'rt> Ctx<'rt> {
                 self.barrier();
             }
         }
+    }
+
+    /// Deterministic `schedule(dynamic, chunk)`: iterations follow the
+    /// round-robin grab model of [`dynamic_chunks`], so reruns (and the
+    /// fuzz oracle) see identical thread→iteration assignments; implicit
+    /// barrier at the end.
+    pub fn for_dynamic_pinned(&self, range: Range<u64>, chunk: u64, mut body: impl FnMut(u64)) {
+        let idx = self.team_index();
+        for (slot, chunk_range) in dynamic_chunks(range, chunk, self.team_size()) {
+            if slot == idx {
+                for i in chunk_range {
+                    body(i);
+                }
+            }
+        }
+        self.barrier();
+    }
+
+    /// `schedule(guided, min_chunk)`: decreasing chunks claimed from a
+    /// shared mutex-guarded cursor (size computed atomically with the
+    /// claim); implicit barrier at the end.
+    pub fn for_guided(&self, range: Range<u64>, min_chunk: u64, mut body: impl FnMut(u64)) {
+        assert!(min_chunk > 0);
+        match &self.region {
+            None => {
+                for i in range {
+                    body(i);
+                }
+            }
+            Some(r) => {
+                let key = r.dyn_loop_seq.get();
+                r.dyn_loop_seq.set(key + 1);
+                let cursor = r.team.guided_cursor(key, range.start);
+                let span = r.span;
+                loop {
+                    let (start, end) = {
+                        let mut cur = cursor.lock();
+                        if *cur >= range.end {
+                            break;
+                        }
+                        let remaining = range.end - *cur;
+                        let size = (remaining / span).max(min_chunk).min(remaining);
+                        let s = *cur;
+                        *cur += size;
+                        (s, s + size)
+                    };
+                    for i in start..end {
+                        body(i);
+                    }
+                }
+                self.barrier();
+            }
+        }
+    }
+
+    /// Deterministic `schedule(guided, min_chunk)` under the pinned grab
+    /// model of [`guided_chunks`]; implicit barrier at the end.
+    pub fn for_guided_pinned(&self, range: Range<u64>, min_chunk: u64, mut body: impl FnMut(u64)) {
+        let idx = self.team_index();
+        for (slot, chunk_range) in guided_chunks(range, min_chunk, self.team_size()) {
+            if slot == idx {
+                for i in chunk_range {
+                    body(i);
+                }
+            }
+        }
+        self.barrier();
     }
 
     /// `#pragma omp sections`: section `i` of `count` runs on thread
@@ -743,17 +1229,45 @@ impl<'rt> Ctx<'rt> {
     fn with_tool(&self, f: impl FnOnce(&dyn Tool, &ThreadContext<'_>)) {
         let (Some(tool), Some(r)) = (&self.sim.tool, &self.region) else { return };
         let label = self.label.borrow();
-        let tc = ThreadContext {
-            tid: self.tid,
-            region: r.region,
-            parent_region: r.parent_region,
-            level: r.level,
-            team_index: r.team_index,
-            span: r.span,
-            bid: r.bid.get(),
-            label: &label,
-        };
+        let tc = self.make_tc(r, &label);
         f(tool.as_ref(), &tc);
+    }
+
+    /// Builds the [`ThreadContext`] the tool sees. While a task-fork chain
+    /// is open, the creator's continuation rows log under the *task
+    /// pseudo-region* recorded in `TaskState::cur_row` rather than the
+    /// real region — that is how the offline analyzers know the
+    /// continuation fragment's place in the chain.
+    fn make_tc<'a>(&self, r: &'a RegionInfo, label: &'a Label) -> ThreadContext<'a> {
+        let chained = self.task_state.borrow().as_ref().and_then(|ts| {
+            if ts.cur_row.0 != r.region {
+                Some(ts.cur_row)
+            } else {
+                None
+            }
+        });
+        match chained {
+            Some((row_pid, _)) if !r.is_task => ThreadContext {
+                tid: self.tid,
+                region: row_pid,
+                parent_region: Some(r.region),
+                level: r.level + 1,
+                team_index: 0,
+                span: TASK_SPAN,
+                bid: 0,
+                label,
+            },
+            _ => ThreadContext {
+                tid: self.tid,
+                region: r.region,
+                parent_region: r.parent_region,
+                level: r.level,
+                team_index: r.team_index,
+                span: r.span,
+                bid: r.bid.get(),
+                label,
+            },
+        }
     }
 
     fn observe(&self, addr: u64, size: u8, kind: AccessKind, loc: &'static Location<'static>) {
@@ -1297,6 +1811,320 @@ mod tests {
         fn access(&self, _: &ThreadContext<'_>, a: MemAccess) {
             self.pcs.lock().unwrap().push(a.pc);
         }
+    }
+
+    /// Records the full task callback choreography for contract tests.
+    #[derive(Default)]
+    struct TaskRecorder {
+        events: StdMutex<Vec<String>>,
+        labels: StdMutex<Vec<(String, Label)>>,
+    }
+
+    impl Tool for TaskRecorder {
+        fn task_create(&self, outer: &ThreadContext<'_>, info: &TaskCreateInfo<'_>) {
+            self.events.lock().unwrap().push(format!(
+                "create uid={} region={} parent={} preds={:?} row={}",
+                info.uid, info.region, info.parent_region, info.preds, outer.region
+            ));
+        }
+        fn task_begin(&self, outer: &ThreadContext<'_>, task: &ThreadContext<'_>, uid: TaskUid) {
+            assert_ne!(outer.tid, task.tid, "task runs under its own logical tid");
+            assert_eq!(task.span, TASK_SPAN);
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("begin uid={uid} tid={} region={}", task.tid, task.region));
+            self.labels.lock().unwrap().push((format!("task{uid}"), task.label.clone()));
+        }
+        fn task_end(&self, task: &ThreadContext<'_>, outer: &ThreadContext<'_>, uid: TaskUid) {
+            // The continuation resumes logging under the task pseudo-region.
+            assert_eq!(outer.region, task.region);
+            assert_eq!(outer.span, TASK_SPAN);
+            self.events.lock().unwrap().push(format!("end uid={uid} cont_row={}", outer.region));
+            self.labels.lock().unwrap().push((format!("cont{uid}"), outer.label.clone()));
+        }
+        fn task_sync(&self, restored: &ThreadContext<'_>, synced: &[TaskUid]) {
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("sync row={} synced={:?}", restored.region, synced));
+            self.labels.lock().unwrap().push(("after_sync".into(), restored.label.clone()));
+        }
+        fn access(&self, ctx: &ThreadContext<'_>, _: MemAccess) {
+            self.labels.lock().unwrap().push((format!("row{}", ctx.region), ctx.label.clone()));
+        }
+    }
+
+    #[test]
+    fn task_choreography_and_labels() {
+        let tool = Arc::new(TaskRecorder::default());
+        let sim = OmpSim::with_tool(tool.clone());
+        let buf = sim.alloc::<u64>(4, 0);
+        sim.run(|ctx| {
+            ctx.parallel(1, |w| {
+                w.write(&buf, 0, 1); // pre-chain access, real region row
+                w.task(|t| t.write(&buf, 1, 2));
+                w.task(|t| t.write(&buf, 2, 3));
+                w.write(&buf, 3, 4); // continuation access, chained row
+                w.taskwait();
+                w.write(&buf, 0, 5); // post-sync access, real region row again
+            });
+        });
+        let events = tool.events.lock().unwrap().clone();
+        assert_eq!(events.len(), 7, "2x(create,begin,end) + 1 sync: {events:?}");
+        assert!(events[0].starts_with("create"));
+        assert!(events[1].starts_with("begin"));
+        assert!(events[2].starts_with("end"));
+        assert!(events[6].starts_with("sync"));
+        let labels = tool.labels.lock().unwrap().clone();
+        let find = |k: &str| {
+            labels.iter().find(|(n, _)| n == k).map(|(_, l)| l.clone()).expect("label recorded")
+        };
+        let (t0, t1) = (find("task1"), find("task2"));
+        let (c0, c1) = (find("cont1"), find("cont2"));
+        let after = find("after_sync");
+        // Tasks race each other and their creator's later continuation…
+        assert!(t0.concurrent(&t1));
+        assert!(t0.concurrent(&c0) && t0.concurrent(&c1));
+        // …creation order is exact, and the taskwait orders everything.
+        assert!(c0.sequential(&t1));
+        assert!(t0.sequential(&after) && t1.sequential(&after));
+        // Fresh, never-pooled tids: master + 1 worker + 2 tasks.
+        assert_eq!(sim.threads_used(), 4);
+    }
+
+    #[test]
+    fn depend_clauses_pick_conflicting_predecessors() {
+        let tool = Arc::new(TaskRecorder::default());
+        let sim = OmpSim::with_tool(tool.clone());
+        sim.run(|ctx| {
+            ctx.parallel(1, |w| {
+                let x = 100u64;
+                let y = 200u64;
+                w.task_depend(&[(x, DepMode::Out)], |_| {}); // A
+                w.task_depend(&[(x, DepMode::In)], |_| {}); // B: dep on A
+                w.task_depend(&[(x, DepMode::In)], |_| {}); // C: dep on A
+                w.task_depend(&[(x, DepMode::InOut), (y, DepMode::Out)], |_| {}); // D: A,B,C
+                w.task_depend(&[(y, DepMode::In)], |_| {}); // E: dep on D
+                w.taskwait();
+            });
+        });
+        let events = tool.events.lock().unwrap().clone();
+        let preds: Vec<&str> = events
+            .iter()
+            .filter(|e| e.starts_with("create"))
+            .map(|e| e.split("preds=").nth(1).unwrap().split(" row").next().unwrap())
+            .collect();
+        assert_eq!(preds[0], "[]");
+        // Task pseudo-region ids are allocated in creation order after the
+        // parallel region's id (0): A=1, B=2, C=3, D=4, E=5.
+        assert_eq!(preds[1], "[1]");
+        assert_eq!(preds[2], "[1]");
+        assert_eq!(preds[3], "[1, 2, 3]");
+        assert_eq!(preds[4], "[4]");
+    }
+
+    #[test]
+    fn taskgroup_scopes_the_sync() {
+        let tool = Arc::new(TaskRecorder::default());
+        let sim = OmpSim::with_tool(tool.clone());
+        sim.run(|ctx| {
+            ctx.parallel(1, |w| {
+                w.task(|_| {}); // outside the group, uid 1
+                w.taskgroup(|w| {
+                    w.task(|_| {}); // inside, uid 2
+                    w.task(|_| {}); // inside, uid 3
+                });
+                w.taskwait(); // drains the pre-group task
+            });
+        });
+        let events = tool.events.lock().unwrap().clone();
+        let syncs: Vec<&String> = events.iter().filter(|e| e.starts_with("sync")).collect();
+        assert_eq!(syncs.len(), 2, "{events:?}");
+        assert!(syncs[0].contains("synced=[2, 3]"), "group end syncs only its own: {}", syncs[0]);
+        assert!(syncs[1].contains("synced=[1]"), "taskwait drains the rest: {}", syncs[1]);
+        let labels = tool.labels.lock().unwrap().clone();
+        let after_group = labels
+            .iter()
+            .filter(|(n, _)| n == "after_sync")
+            .map(|(_, l)| l.clone())
+            .next()
+            .unwrap();
+        let task_outside =
+            labels.iter().find(|(n, _)| n == "task1").map(|(_, l)| l.clone()).unwrap();
+        let task_inside =
+            labels.iter().find(|(n, _)| n == "task2").map(|(_, l)| l.clone()).unwrap();
+        // Post-group code is ordered after group tasks but still races the
+        // task that was outstanding at entry.
+        assert!(task_inside.sequential(&after_group));
+        assert!(task_outside.concurrent(&after_group));
+    }
+
+    #[test]
+    fn implicit_region_end_syncs_outstanding_tasks() {
+        let tool = Arc::new(TaskRecorder::default());
+        let sim = OmpSim::with_tool(tool.clone());
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                if w.team_index() == 0 {
+                    w.task(|_| {});
+                }
+            });
+        });
+        let events = tool.events.lock().unwrap().clone();
+        assert!(
+            events.iter().any(|e| e.starts_with("sync")),
+            "region end implies a taskwait: {events:?}"
+        );
+    }
+
+    #[test]
+    fn barrier_is_a_task_scheduling_point() {
+        let tool = Arc::new(TaskRecorder::default());
+        let sim = OmpSim::with_tool(tool.clone());
+        let labels = StdMutex::new(Vec::new());
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                if w.team_index() == 1 {
+                    w.task(|_| {});
+                }
+                w.barrier();
+                labels.lock().unwrap().push(w.label());
+            });
+        });
+        let events = tool.events.lock().unwrap().clone();
+        let sync_pos = events.iter().position(|e| e.starts_with("sync")).expect("implied sync");
+        assert!(events[..sync_pos].iter().any(|e| e.starts_with("end")), "{events:?}");
+        // After the barrier both members are on bumped base labels ordered
+        // after the task.
+        let task_label =
+            tool.labels.lock().unwrap().iter().find(|(n, _)| n == "task1").unwrap().1.clone();
+        for l in labels.into_inner().unwrap() {
+            assert!(task_label.compare_barrier_aware(&l).is_sequential(), "{task_label} vs {l}");
+        }
+    }
+
+    #[test]
+    fn tasks_outside_parallel_run_inline() {
+        let sim = OmpSim::new();
+        let hits = AtomicUsize::new(0);
+        sim.run(|ctx| {
+            ctx.task(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            ctx.taskwait();
+            ctx.taskgroup(|c| {
+                c.task(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        assert_eq!(sim.threads_used(), 1, "sequential tasks take no fresh tids");
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn nested_task_creation_is_rejected() {
+        let sim = OmpSim::new();
+        sim.run(|ctx| {
+            ctx.parallel(1, |w| {
+                w.task(|t| t.task(|_| {}));
+            });
+        });
+    }
+
+    #[test]
+    fn dynamic_and_guided_chunk_models() {
+        // dynamic: 10 iterations, chunk 3, span 2 → grabs at 0,3,6,9
+        // alternating slots.
+        let d = dynamic_chunks(0..10, 3, 2);
+        assert_eq!(d, vec![(0, 0..3), (1, 3..6), (0, 6..9), (1, 9..10)]);
+        // guided: decreasing sizes max(2, remaining/2).
+        let g = guided_chunks(0..20, 2, 2);
+        let sizes: Vec<u64> = g.iter().map(|(_, r)| r.end - r.start).collect();
+        assert_eq!(sizes, vec![10, 5, 2, 2, 1]);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(g.last().unwrap().1.end, 20);
+        // Both models tile the range exactly.
+        for chunks in [d, g] {
+            let mut next = 0;
+            for (_, r) in chunks {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_loops_cover_ranges_exactly() {
+        let sim = OmpSim::new();
+        let hits = StdMutex::new(vec![0u32; 61]);
+        sim.run(|ctx| {
+            ctx.parallel(3, |w| {
+                w.for_dynamic_pinned(0..61, 4, |i| {
+                    hits.lock().unwrap()[i as usize] += 1;
+                });
+                w.for_guided_pinned(0..61, 2, |i| {
+                    hits.lock().unwrap()[i as usize] += 1;
+                });
+            });
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&h| h == 2));
+    }
+
+    #[test]
+    fn for_guided_covers_range() {
+        let sim = OmpSim::new();
+        let hits = StdMutex::new(vec![0u32; 97]);
+        sim.run(|ctx| {
+            ctx.parallel(5, |w| {
+                w.for_guided(0..97, 3, |i| {
+                    hits.lock().unwrap()[i as usize] += 1;
+                });
+                // A second guided loop must get a fresh cursor.
+                w.for_guided(0..97, 3, |i| {
+                    hits.lock().unwrap()[i as usize] += 1;
+                });
+            });
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&h| h == 2));
+    }
+
+    #[test]
+    fn ordered_blocks_run_in_iteration_order() {
+        let sim = OmpSim::new();
+        let order = StdMutex::new(Vec::new());
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_static_ordered(0..16, |i, ol| {
+                    w.ordered(ol, i, || {
+                        order.lock().unwrap().push(i);
+                    });
+                });
+                w.for_dynamic_pinned_ordered(16..32, 3, |i, ol| {
+                    w.ordered(ol, i, || {
+                        order.lock().unwrap().push(i);
+                    });
+                });
+            });
+        });
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ordered_uses_the_mutex_callbacks() {
+        let tool = Arc::new(CountingTool::default());
+        let sim = OmpSim::with_tool(tool.clone());
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.for_static_ordered(0..6, |i, ol| {
+                    w.ordered(ol, i, || {});
+                });
+            });
+        });
+        assert_eq!(tool.mutexes.load(Ordering::Relaxed), 6, "one acquire per ordered block");
     }
 
     #[test]

@@ -55,6 +55,37 @@ pub struct ParallelBeginInfo<'a> {
     pub fork_tid: ThreadId,
 }
 
+/// A session-unique explicit-task id.
+pub type TaskUid = u64;
+
+/// Information about an explicit task at creation time, delivered in the
+/// creating thread before the continuation resumes.
+///
+/// Each creation is modeled as a binary pseudo-fork off the creator's
+/// current label: the continuation relabels to
+/// `fork_label · [0, TASK_SPAN]`, the task body runs under
+/// `fork_label · [1, TASK_SPAN]`, and the next creation chains off the
+/// continuation label (see `sword_osl::TASK_SPAN`).
+#[derive(Clone, Debug)]
+pub struct TaskCreateInfo<'a> {
+    /// Session-unique task id.
+    pub uid: TaskUid,
+    /// The task's pseudo-region id (fresh, like a nested region's).
+    pub region: RegionId,
+    /// The creator's real enclosing region.
+    pub parent_region: RegionId,
+    /// Nesting level of the pseudo-region (creator's level + 1).
+    pub level: u32,
+    /// Pseudo-region ids of predecessor tasks this task `depend`s on
+    /// (earlier siblings with a conflicting depend clause).
+    pub preds: &'a [RegionId],
+    /// The creator's label at the creation point including the task-fork
+    /// pair — the pseudo-region's fork label.
+    pub fork_label: &'a Label,
+    /// The creating thread's id.
+    pub creator_tid: ThreadId,
+}
+
 /// OMPT-like observer. All methods have empty defaults so tools override
 /// only what they need.
 #[allow(unused_variables)]
@@ -84,6 +115,25 @@ pub trait Tool: Send + Sync {
     /// Every team member arrived; the thread proceeds. `ctx.bid` and
     /// `ctx.label` already reflect the new interval.
     fn barrier_end(&self, ctx: &ThreadContext<'_>) {}
+
+    /// An explicit task was created (called in the creating thread).
+    /// `outer` is the creator's context *before* the creation:
+    /// `outer.label` is the chain label the task forks off. After the
+    /// callback the creator resumes under the continuation label.
+    fn task_create(&self, outer: &ThreadContext<'_>, info: &TaskCreateInfo<'_>) {}
+
+    /// A task body is starting on some team member. `outer` is the
+    /// executing thread's own context being suspended; `task` carries the
+    /// pseudo-region id and the task label.
+    fn task_begin(&self, outer: &ThreadContext<'_>, task: &ThreadContext<'_>, uid: TaskUid) {}
+
+    /// The task body finished; the executing thread resumes `outer`.
+    fn task_end(&self, task: &ThreadContext<'_>, outer: &ThreadContext<'_>, uid: TaskUid) {}
+
+    /// A task synchronization point (`taskwait` or taskgroup end)
+    /// completed in the creating thread. `restored` reflects the label
+    /// after the restore; `synced` lists the tasks guaranteed complete.
+    fn task_sync(&self, restored: &ThreadContext<'_>, synced: &[TaskUid]) {}
 
     /// The thread acquired a mutex (holds it during the callback).
     fn mutex_acquired(&self, ctx: &ThreadContext<'_>, mutex: MutexId) {}

@@ -68,6 +68,48 @@
 
 use std::fmt;
 
+/// Span sentinel marking a pair as one side of an explicit-task creation
+/// fork (rather than a real team fork of that width).
+///
+/// An OpenMP `task` construct creates work that runs concurrently with the
+/// creating thread's continuation. We encode **each creation** as a binary
+/// pseudo-fork of the creator's current label `L`: the creator's
+/// continuation relabels to `L · [e, 1] · [0, TASK_SPAN]`
+/// ([`Label::task_continuation`]) and the new task becomes
+/// `L · [e, 1] · [1, TASK_SPAN]` ([`Label::task_label`]), where `e` is the
+/// creator's fork sequence (shared with nested-parallel
+/// [`Label::fork_point`]s).
+///
+/// Chaining creations — the next task forks off the *continuation* label —
+/// makes `concurrent(a, b)` exact for task segments:
+///
+/// * continuation code after a creation diverges from the task at the
+///   `[0, TASK_SPAN]` / `[1, TASK_SPAN]` pair (same span, generation 0):
+///   concurrent;
+/// * creator code *before* a creation is a proper label prefix of the
+///   task: ordered (the staircase "earlier continuation chunks precede
+///   later tasks" falls out of nesting depth);
+/// * a task-scheduling point that waits on children (`taskwait`,
+///   `taskgroup` end, any barrier) simply *restores* the label from which
+///   the synced chain grew, so post-sync code is again a prefix of every
+///   synced task — and `taskgroup` scoping is exactly a partial restore:
+///   tasks created before the group keep diverging at their own creation
+///   pair and stay concurrent with post-group code.
+///
+/// Only slots 0 and 1 of the pseudo-team are ever occupied and no barrier
+/// bumps these pairs, so the huge span never meets the generation rule; it
+/// exists purely so task forks are distinguishable from real two-thread
+/// teams (for [`explain_concurrency`] derivations and the analyzer's
+/// structural classification).
+///
+/// Task *dependences* (`depend(in/out/inout)`) are deliberately **not**
+/// encoded in labels: they induce arbitrary partial orders over siblings
+/// (e.g. `t1 out(x); t2 in(y); t3 in(x)` leaves `t2 ∥ t3` with `t1 ≺ t3`
+/// only), which label comparison cannot express. They travel as explicit
+/// edges in the trace's region table instead, and the analyzer consults
+/// them only for task-segment pairs.
+pub const TASK_SPAN: u64 = 1 << 32;
+
 /// One `[offset, span]` pair of an offset-span label.
 ///
 /// `span` is the number of threads spawned by the fork this pair originates
@@ -219,6 +261,29 @@ impl Label {
         pairs.extend_from_slice(&self.pairs);
         pairs.push(Pair::new(seq, 1));
         Label { pairs }
+    }
+
+    /// The fork label of this thread's `seq`-th fork when that fork is an
+    /// explicit-task creation: `self · [seq, 1]`. The creator's
+    /// continuation and the task are the two children of this pseudo-fork
+    /// (see [`TASK_SPAN`]); it is also the label stored in the task's
+    /// pseudo-region record, from which the offline analyzer reconstructs
+    /// both children.
+    pub fn task_fork(&self, seq: u64) -> Label {
+        self.fork_point(seq)
+    }
+
+    /// The creator's continuation label after creating a task at this
+    /// thread's `seq`-th fork point: `self · [seq, 1] · [0, TASK_SPAN]`.
+    /// The next creation (or nested fork) chains off this label.
+    pub fn task_continuation(&self, seq: u64) -> Label {
+        self.task_fork(seq).fork(0, TASK_SPAN)
+    }
+
+    /// The label of the task created at this thread's `seq`-th fork
+    /// point: `self · [seq, 1] · [1, TASK_SPAN]`.
+    pub fn task_label(&self, seq: u64) -> Label {
+        self.task_fork(seq).fork(1, TASK_SPAN)
     }
 
     /// Label of the continuing thread after a team barrier: the last
@@ -404,6 +469,21 @@ pub fn explain_concurrency(a: &Label, b: &Label) -> Vec<String> {
             let y = pb[common];
             out.push(format!("first divergent pair: {x} vs {y}"));
             if x.span == y.span {
+                if x.span == TASK_SPAN {
+                    let role = |p: &Pair| {
+                        if p.offset == 0 {
+                            "the creator's continuation"
+                        } else {
+                            "the created task"
+                        }
+                    };
+                    out.push(format!(
+                        "span {TASK_SPAN} marks a task-creation fork: \
+                         A is {}, B is {}",
+                        role(&x),
+                        role(&y)
+                    ));
+                }
                 let (gx, gy) = (x.generation(), y.generation());
                 out.push(format!(
                     "same span {}: compare barrier generations {gx} = {}/{} vs {gy} = {}/{}",
@@ -881,5 +961,116 @@ mod proptests {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod task_tests {
+    use super::*;
+
+    /// The worked example from DESIGN.md §16: a 2-wide team; member 1
+    /// (the creator) creates two chained tasks, works in its continuation,
+    /// syncs, and works again.
+    struct Fixture {
+        creator: Label, // member 1's interval label M (pre-creation / post-sync)
+        sibling: Label, // member 0, same barrier interval
+        cont0: Label,   // continuation after creating t0
+        cont1: Label,   // continuation after creating t1
+        t0: Label,
+        t1: Label,
+    }
+
+    fn fixture() -> Fixture {
+        let team = Label::root().fork_point(0);
+        let creator = team.fork(1, 2);
+        let sibling = team.fork(0, 2);
+        let cont0 = creator.task_continuation(0);
+        let t0 = creator.task_label(0);
+        let cont1 = cont0.task_continuation(1);
+        let t1 = cont0.task_label(1);
+        Fixture { creator, sibling, cont0, cont1, t0, t1 }
+    }
+
+    #[test]
+    fn tasks_race_with_siblings_and_continuation() {
+        let f = fixture();
+        // Sibling tasks of one chain are mutually concurrent.
+        assert_eq!(f.t0.compare_barrier_aware(&f.t1), Ordering::Concurrent);
+        // Tasks run concurrently with the creator's continuation after
+        // their creation...
+        assert_eq!(f.cont0.compare_barrier_aware(&f.t0), Ordering::Concurrent);
+        assert_eq!(f.cont1.compare_barrier_aware(&f.t0), Ordering::Concurrent);
+        // ...and with other team members' same-interval code.
+        assert_eq!(f.sibling.compare_barrier_aware(&f.t0), Ordering::Concurrent);
+        assert_eq!(f.sibling.compare_barrier_aware(&f.cont1), Ordering::Concurrent);
+    }
+
+    #[test]
+    fn creation_order_is_exact_within_the_continuation() {
+        let f = fixture();
+        // Continuation code between the two creations precedes t1 (the
+        // staircase): cont0 is a proper prefix of t1's label.
+        assert!(f.cont0.compare_barrier_aware(&f.t1).is_sequential());
+        // But the same chunk is concurrent with the already-created t0
+        // (checked above) — one flat episode label could not express both.
+        assert_eq!(f.cont0.compare_barrier_aware(&f.t0), Ordering::Concurrent);
+    }
+
+    #[test]
+    fn tasks_are_ordered_against_pre_creation_and_post_sync_code() {
+        let f = fixture();
+        // Before any creation and after a taskwait the creator carries M,
+        // a proper prefix of every task label: sequential.
+        assert!(f.creator.compare_barrier_aware(&f.t0).is_sequential());
+        assert!(f.creator.compare_barrier_aware(&f.t1).is_sequential());
+        // After a team barrier (which waits for outstanding tasks), the
+        // creator's bumped label is generation-ordered after the tasks.
+        let after_barrier = f.creator.bump();
+        assert_eq!(after_barrier.compare_barrier_aware(&f.t0), Ordering::After);
+        // Other members' post-barrier intervals are ordered too.
+        assert_eq!(f.sibling.bump().compare_barrier_aware(&f.t1), Ordering::After);
+    }
+
+    #[test]
+    fn tasks_across_a_taskwait_are_ordered() {
+        let f = fixture();
+        // taskwait restores M; the next creation uses a later fork seq,
+        // so the [e,1] fork-point pairs order the chains case-2.
+        let t_late = f.creator.task_label(2);
+        assert_eq!(f.t0.compare_barrier_aware(&t_late), Ordering::Before);
+        assert_eq!(f.t1.compare_barrier_aware(&t_late), Ordering::Before);
+    }
+
+    #[test]
+    fn taskgroup_scope_is_a_partial_restore() {
+        let f = fixture();
+        // taskgroup opens with t0 outstanding; group tasks chain off the
+        // current continuation. Group end restores cont0: post-group code
+        // is ordered after the group's tasks but still concurrent with t0.
+        let g0 = f.cont0.task_label(1);
+        let post_group = &f.cont0;
+        assert!(post_group.compare_barrier_aware(&g0).is_sequential());
+        assert_eq!(post_group.compare_barrier_aware(&f.t0), Ordering::Concurrent);
+        assert_eq!(g0.compare_barrier_aware(&f.t0), Ordering::Concurrent);
+    }
+
+    #[test]
+    fn nested_parallel_inside_a_chain_stays_concurrent_with_tasks() {
+        let f = fixture();
+        // A nested team forked while t0 is outstanding chains off the
+        // continuation; its members stay concurrent with t0.
+        let inner = f.cont0.fork_point(1).fork(0, 2);
+        assert_eq!(inner.compare_barrier_aware(&f.t0), Ordering::Concurrent);
+        assert!(inner.compare_barrier_aware(&f.cont0).is_sequential());
+    }
+
+    #[test]
+    fn explain_names_task_roles() {
+        let f = fixture();
+        let lines = explain_concurrency(&f.cont0, &f.t0).join("\n");
+        assert!(lines.contains("task-creation fork"), "{lines}");
+        assert!(lines.contains("A is the creator's continuation"), "{lines}");
+        assert!(lines.contains("B is the created task"), "{lines}");
+        assert!(lines.contains("CONCURRENT"), "{lines}");
     }
 }

@@ -228,6 +228,53 @@ pub fn intervals_concurrent(a: &Interval, b: &Interval) -> bool {
     a.label.compare_barrier_aware(&b.label) == OslOrdering::Concurrent
 }
 
+/// `true` when `row` is an explicit task's body interval: the single row
+/// a task pseudo-region's executing thread emits, labeled
+/// `fork_label · [1, TASK_SPAN]`. Continuation rows carry offset 0 under
+/// the same pseudo-region and are *not* task rows.
+pub fn is_task_row(row: &MetaRecord) -> bool {
+    row.span == sword_osl::TASK_SPAN && row.offset == 1
+}
+
+/// `true` when `a` and `b` are task-body intervals ordered by the task
+/// dependence graph: one task's pseudo-region is reachable from the
+/// other's over `depend` predecessor edges (in either direction).
+///
+/// Sibling tasks' labels diverge at their `[0/1, TASK_SPAN]` pairs and
+/// compare concurrent — the dependence partial order layers *above* the
+/// labels, exactly as the sequencer enforces it at run time. A task's
+/// body cannot span a barrier, so ordering the two body rows is the
+/// whole ordering.
+pub fn dep_ordered(
+    regions: &HashMap<u64, sword_trace::RegionRecord>,
+    a: &Interval,
+    b: &Interval,
+) -> bool {
+    if !is_task_row(&a.meta) || !is_task_row(&b.meta) {
+        return false;
+    }
+    dep_reachable(regions, a.meta.pid, b.meta.pid) || dep_reachable(regions, b.meta.pid, a.meta.pid)
+}
+
+/// DFS over `depend` predecessor edges: `true` when `to` is in `from`'s
+/// dependence closure (i.e. `to`'s task completes before `from` starts).
+fn dep_reachable(regions: &HashMap<u64, sword_trace::RegionRecord>, from: u64, to: u64) -> bool {
+    let mut seen: Vec<u64> = Vec::new();
+    let mut stack: Vec<u64> = regions.get(&from).map(|r| r.deps.clone()).unwrap_or_default();
+    while let Some(pid) = stack.pop() {
+        if pid == to {
+            return true;
+        }
+        if !seen.contains(&pid) {
+            seen.push(pid);
+            if let Some(r) = regions.get(&pid) {
+                stack.extend(r.deps.iter().copied());
+            }
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,7 +310,14 @@ mod tests {
     #[test]
     fn same_region_same_bid_grouped() {
         // One region, 2 threads, 2 barrier intervals each.
-        let region = RegionRecord { pid: 0, ppid: None, level: 1, span: 2, fork_label: vec![0, 1] };
+        let region = RegionRecord {
+            pid: 0,
+            ppid: None,
+            level: 1,
+            span: 2,
+            fork_label: vec![0, 1],
+            deps: vec![],
+        };
         let s = session_with(
             vec![
                 (0, vec![meta_row(0, None, 0, 0, 2, 1), meta_row(0, None, 1, 2, 2, 1)]),
@@ -283,8 +337,22 @@ mod tests {
     fn sequential_regions_pruned() {
         // Two top-level regions forked one after the other: fork labels
         // [0,1] and [1,1].
-        let r0 = RegionRecord { pid: 0, ppid: None, level: 1, span: 2, fork_label: vec![0, 1] };
-        let r1 = RegionRecord { pid: 1, ppid: None, level: 1, span: 2, fork_label: vec![1, 1] };
+        let r0 = RegionRecord {
+            pid: 0,
+            ppid: None,
+            level: 1,
+            span: 2,
+            fork_label: vec![0, 1],
+            deps: vec![],
+        };
+        let r1 = RegionRecord {
+            pid: 1,
+            ppid: None,
+            level: 1,
+            span: 2,
+            fork_label: vec![1, 1],
+            deps: vec![],
+        };
         let s = session_with(
             vec![
                 (0, vec![meta_row(0, None, 0, 0, 2, 1), meta_row(1, None, 0, 0, 2, 1)]),
@@ -304,11 +372,30 @@ mod tests {
         // Outer region 0 forks threads [0,1][i,2]; each forks an inner
         // region. Inner fork labels [0,1][0,2] and [0,1][1,2] diverge →
         // concurrent.
-        let outer = RegionRecord { pid: 0, ppid: None, level: 1, span: 2, fork_label: vec![0, 1] };
-        let inner_a =
-            RegionRecord { pid: 1, ppid: Some(0), level: 2, span: 2, fork_label: vec![0, 1, 0, 2] };
-        let inner_b =
-            RegionRecord { pid: 2, ppid: Some(0), level: 2, span: 2, fork_label: vec![0, 1, 1, 2] };
+        let outer = RegionRecord {
+            pid: 0,
+            ppid: None,
+            level: 1,
+            span: 2,
+            fork_label: vec![0, 1],
+            deps: vec![],
+        };
+        let inner_a = RegionRecord {
+            pid: 1,
+            ppid: Some(0),
+            level: 2,
+            span: 2,
+            fork_label: vec![0, 1, 0, 2],
+            deps: vec![],
+        };
+        let inner_b = RegionRecord {
+            pid: 2,
+            ppid: Some(0),
+            level: 2,
+            span: 2,
+            fork_label: vec![0, 1, 1, 2],
+            deps: vec![],
+        };
         let s = session_with(
             vec![
                 (0, vec![meta_row(0, None, 0, 0, 2, 1)]),
@@ -343,9 +430,22 @@ mod tests {
         // Outer thread 0's interval vs its own nested region's threads:
         // sequential (ancestor). Outer thread 1's interval vs that nested
         // region: concurrent (R3 of Figure 2).
-        let outer = RegionRecord { pid: 0, ppid: None, level: 1, span: 2, fork_label: vec![0, 1] };
-        let inner =
-            RegionRecord { pid: 1, ppid: Some(0), level: 2, span: 2, fork_label: vec![0, 1, 0, 2] };
+        let outer = RegionRecord {
+            pid: 0,
+            ppid: None,
+            level: 1,
+            span: 2,
+            fork_label: vec![0, 1],
+            deps: vec![],
+        };
+        let inner = RegionRecord {
+            pid: 1,
+            ppid: Some(0),
+            level: 2,
+            span: 2,
+            fork_label: vec![0, 1, 0, 2],
+            deps: vec![],
+        };
         let s = session_with(
             vec![
                 (0, vec![meta_row(0, None, 0, 0, 2, 1)]),

@@ -34,7 +34,7 @@ use sword_trace::{PcTable, RegionRecord, SessionDir, SessionPoller};
 
 use crate::analyze::{finalize_races, AnalysisConfig, AnalysisResult, AnalysisStats};
 use crate::build::{ReaderPool, TreeCache};
-use crate::intervals::{full_label_from, intervals_concurrent, Group, Interval};
+use crate::intervals::{dep_ordered, full_label_from, intervals_concurrent, Group, Interval};
 use crate::pipeline::WorkerStats;
 use crate::race::{check_pair, CompareCtx, Race, RaceSet};
 use crate::verdicts::{RegionVerdict, VerdictCache};
@@ -382,13 +382,15 @@ impl LiveAnalyzer {
     /// then adds it to its group.
     ///
     /// Partner enumeration mirrors the batch task rules exactly: members
-    /// of the interval's own `(pid, bid)` group are compared
-    /// unconditionally (intra semantics — the batch path applies no tid
-    /// or concurrency check there); groups of the same region but a
-    /// different barrier interval are never compared; groups of other
-    /// regions follow the memoized region-pair verdict — every pair for
-    /// concurrent fork labels (minus same-tid), per-pair barrier-aware
-    /// checks for prefix-related labels, nothing for ordered labels.
+    /// of the interval's own `(pid, bid)` group are compared minus
+    /// same-tid pairs (task chains fragment a thread's log, so one group
+    /// can hold several same-tid fragments); groups of the same region
+    /// but a different barrier interval are never compared; groups of
+    /// other regions follow the memoized region-pair verdict — every pair
+    /// for concurrent fork labels (minus same-tid), per-pair
+    /// barrier-aware checks for prefix-related labels, nothing for
+    /// ordered labels — and `depend`-ordered task-body pairs are skipped
+    /// exactly as the batch cross arm skips them.
     fn ingest(&mut self, interval: Interval, races: &mut RaceSet) -> io::Result<()> {
         let pid = interval.meta.pid;
         let group_key = (pid, interval.meta.bid);
@@ -428,10 +430,10 @@ impl LiveAnalyzer {
                     }
                     match verdict {
                         RegionVerdict::AllConcurrent => {
-                            // Cross pairs skip same-tid members; intra
-                            // pairs (gi == home) never share a tid, each
-                            // thread contributes one row per (pid, bid).
-                            if gi != home && member.tid == interval.tid {
+                            // Same-tid members are program-ordered — this
+                            // covers both cross pairs and the same-tid
+                            // fragments a task chain leaves in one group.
+                            if member.tid == interval.tid {
                                 continue;
                             }
                         }
@@ -441,6 +443,9 @@ impl LiveAnalyzer {
                             }
                         }
                         RegionVerdict::Ordered => unreachable!("skipped above"),
+                    }
+                    if gi != home && dep_ordered(&self.regions, &interval, member) {
+                        continue;
                     }
                     partners.push((gi, mi));
                 }

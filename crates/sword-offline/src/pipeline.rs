@@ -34,7 +34,7 @@ use sword_obs::{Histogram, SiteCounters};
 
 use crate::analyze::{journal_stage, AnalysisConfig};
 use crate::build::{ReaderPool, TreeCache};
-use crate::intervals::{intervals_concurrent, Group, Structure, Task};
+use crate::intervals::{dep_ordered, intervals_concurrent, Group, Structure, Task};
 use crate::load::LoadedSession;
 use crate::race::{check_pair, CompareCtx, RaceSet};
 use crate::verdicts::VerdictCache;
@@ -324,6 +324,12 @@ pub(crate) fn run_task(
                 for j in i + 1..keys.len() {
                     let (ia, ka) = keys[i];
                     let (ib, kb) = keys[j];
+                    // Tasking sessions fragment a thread's log around task
+                    // chains, so one (pid, bid) group can hold several
+                    // same-tid fragments — program order, never a race.
+                    if g.members[ia].tid == g.members[ib].tid {
+                        continue;
+                    }
                     let (ta, tb) =
                         (trees.get(&ka).expect("pinned"), trees.get(&kb).expect("pinned"));
                     if ta.node_count() == 0 || tb.node_count() == 0 {
@@ -377,6 +383,12 @@ pub(crate) fn run_task(
                         continue;
                     }
                     if ma.tid == mb.tid {
+                        continue;
+                    }
+                    // Task dependence edges order whole task bodies; the
+                    // labels alone say "concurrent" for siblings, so the
+                    // `depend` partial order is layered on explicitly.
+                    if dep_ordered(&session.regions, ma, mb) {
                         continue;
                     }
                     let (ta, tb) =

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use sword_offline::{analyze, AnalysisConfig, AnalysisResult, SolverChoice};
-use sword_ompsim::{OmpSim, Sequencer, SimConfig};
+use sword_ompsim::{DepMode, OmpSim, Sequencer, SimConfig};
 use sword_runtime::{run_collected, SwordConfig};
 use sword_trace::SessionDir;
 
@@ -338,6 +338,225 @@ fn target_region_races_are_caught() {
     });
     // (R acc, W acc) and (W acc, W acc) inside the device team only.
     assert_eq!(result.race_count(), 2, "{:?}", result.races);
+}
+
+#[test]
+fn racy_sibling_tasks_race() {
+    // Two independent sibling tasks write the same cell: their labels
+    // diverge at the task-fork pair and no depend edge orders them.
+    let result = pipeline("task-sibling", |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.task(|t| {
+                        t.write(&a, 0, 1);
+                    });
+                    w.task(|t| {
+                        t.write(&a, 0, 2);
+                    });
+                    w.taskwait();
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert!(result.race_count() >= 1, "{:?}", result.races);
+}
+
+#[test]
+fn depend_chain_orders_tasks() {
+    // out → in → inout on the same variable: the dependence graph is a
+    // chain, so the bodies never race even though their labels diverge.
+    let result = pipeline("task-depchain", |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.task_depend(&[(0, DepMode::Out)], |t| {
+                        t.write(&a, 0, 1);
+                    });
+                    w.task_depend(&[(0, DepMode::In)], |t| {
+                        let _ = t.read(&a, 0);
+                    });
+                    w.task_depend(&[(0, DepMode::InOut)], |t| {
+                        let v = t.read(&a, 0);
+                        t.write(&a, 0, v + 1);
+                    });
+                    w.taskwait();
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert_eq!(result.race_count(), 0, "{:?}", result.races);
+}
+
+#[test]
+fn taskwait_orders_task_against_continuation() {
+    // Without taskwait the creator's continuation races with the task it
+    // just spawned; with taskwait the write is ordered after the body.
+    let racy = pipeline("task-nowait", |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.task(|t| {
+                        t.write(&a, 0, 1);
+                    });
+                    w.write(&a, 0, 2); // continuation: concurrent with the task
+                    w.taskwait();
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert!(racy.race_count() >= 1, "{:?}", racy.races);
+
+    let clean = pipeline("task-wait", |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.task(|t| {
+                        t.write(&a, 0, 1);
+                    });
+                    w.taskwait();
+                    w.write(&a, 0, 2); // ordered after the drained task
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert_eq!(clean.race_count(), 0, "{:?}", clean.races);
+}
+
+#[test]
+fn taskgroup_orders_group_but_not_outside_tasks() {
+    // A write after taskgroup-end is ordered against the group's tasks,
+    // but a task created *before* the group is still outstanding — the
+    // group end does not wait for it.
+    let clean = pipeline("taskgroup-clean", |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.taskgroup(|w| {
+                        w.task(|t| {
+                            t.write(&a, 0, 1);
+                        });
+                    });
+                    w.write(&a, 0, 2); // ordered after the group's task
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert_eq!(clean.race_count(), 0, "{:?}", clean.races);
+
+    let racy = pipeline("taskgroup-outside", |sim| {
+        let a = sim.alloc::<u64>(1, 0);
+        let b = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(2, |w| {
+                w.master(|| {
+                    w.task(|t| {
+                        t.write(&a, 0, 1); // outside the group
+                    });
+                    w.taskgroup(|w| {
+                        w.task(|t| {
+                            t.write(&b, 0, 1);
+                        });
+                    });
+                    w.write(&a, 0, 2); // races with the pre-group task
+                    w.taskwait();
+                });
+                w.barrier();
+            });
+        });
+    });
+    assert!(racy.race_count() >= 1, "{:?}", racy.races);
+}
+
+#[test]
+fn dynamic_schedule_chunk_boundaries() {
+    // Disjoint per-iteration accesses stay clean under dynamic
+    // scheduling; a loop-carried dependency races at chunk boundaries
+    // owned by different threads.
+    let clean = pipeline("dyn-clean", |sim| {
+        let a = sim.alloc::<f64>(256, 0.0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_dynamic_pinned(0..256, 16, |i| {
+                    let v = w.read(&a, i);
+                    w.write(&a, i, v + 1.0);
+                });
+            });
+        });
+    });
+    assert_eq!(clean.race_count(), 0, "{:?}", clean.races);
+
+    let racy = pipeline("dyn-carried", |sim| {
+        let a = sim.alloc::<i64>(256, 0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_dynamic_pinned(1..256, 16, |i| {
+                    let v = w.read(&a, i - 1);
+                    w.write(&a, i, v + 1);
+                });
+            });
+        });
+    });
+    assert!(racy.race_count() >= 1, "{:?}", racy.races);
+}
+
+#[test]
+fn guided_schedule_disjoint_is_clean() {
+    let result = pipeline("guided-clean", |sim| {
+        let a = sim.alloc::<f64>(512, 0.0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_guided_pinned(0..512, 8, |i| {
+                    w.write(&a, i, i as f64);
+                });
+            });
+        });
+    });
+    assert_eq!(result.race_count(), 0, "{:?}", result.races);
+}
+
+#[test]
+fn ordered_clause_serializes_the_shared_update() {
+    // The same accumulator update races under a plain nowait dynamic
+    // loop, and is serialized (lock-protected, turn-ordered) under an
+    // `ordered` region.
+    let racy = pipeline("ordered-without", |sim| {
+        let c = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_dynamic_pinned(0..64, 4, |_i| {
+                    let v = w.read(&c, 0);
+                    w.write(&c, 0, v + 1);
+                });
+            });
+        });
+    });
+    assert!(racy.race_count() >= 1, "{:?}", racy.races);
+
+    let clean = pipeline("ordered-with", |sim| {
+        let c = sim.alloc::<u64>(1, 0);
+        sim.run(|ctx| {
+            ctx.parallel(4, |w| {
+                w.for_static_ordered(0..64, |i, ol| {
+                    w.ordered(ol, i, || {
+                        let v = w.read(&c, 0);
+                        w.write(&c, 0, v + 1);
+                    });
+                });
+            });
+        });
+    });
+    assert_eq!(clean.race_count(), 0, "{:?}", clean.races);
 }
 
 #[test]

@@ -143,6 +143,53 @@ fn mixed_workload(sim: &OmpSim) {
     });
 }
 
+/// A tasking workload: racy sibling tasks, a depend chain, taskwait,
+/// taskgroup, and dynamic/guided/ordered loops — every construct the
+/// tasking sequencer added, in one session.
+fn tasking_workload(sim: &OmpSim) {
+    use sword_ompsim::DepMode;
+    let x = sim.alloc::<i64>(1, 0);
+    let y = sim.alloc::<i64>(1, 0);
+    let a = sim.alloc::<i64>(16, 0);
+    let sum = sim.alloc::<i64>(1, 0);
+    sim.run(|ctx| {
+        ctx.parallel(2, |w| {
+            if w.team_index() == 0 {
+                // Racy siblings on x; dep-chain-ordered pair on y.
+                w.task_depend(&[], |t| t.write(&x, 0, 1));
+                w.task_depend(&[], |t| t.write(&x, 0, 2));
+                w.task_depend(&[(0, DepMode::Out)], |t| t.write(&y, 0, 1));
+                w.task_depend(&[(0, DepMode::InOut)], |t| {
+                    let v = t.read(&y, 0);
+                    t.write(&y, 0, v + 1);
+                });
+                w.taskwait();
+                w.taskgroup(|g| {
+                    g.task_depend(&[], |t| t.write(&y, 0, 9));
+                });
+                let _ = w.read(&y, 0);
+            }
+            w.barrier();
+            // Dynamic and guided worksharing over disjoint elements, and
+            // an ordered accumulation into one shared cell.
+            w.for_dynamic_pinned(0..16, 2, |i| {
+                let v = w.read(&a, i);
+                w.write(&a, i, v + 1);
+            });
+            w.for_guided_pinned(0..16, 1, |i| {
+                let v = w.read(&a, i);
+                w.write(&a, i, v * 2);
+            });
+            w.for_static_ordered(0..8, |i, ol| {
+                w.ordered(ol, i, || {
+                    let s = w.read(&sum, 0);
+                    w.write(&sum, 0, s + i as i64);
+                });
+            });
+        });
+    });
+}
+
 fn clean_workload(sim: &OmpSim) {
     let a = sim.alloc::<f64>(512, 1.0);
     sim.run(|ctx| {
@@ -177,6 +224,37 @@ fn live_equals_batch_on_clean_workload() {
     let live = staged_replay(&src, "clean-replay", &config, 2);
     assert_equivalent(&live, &batch);
     assert!(live.stats.events > 0, "log data was actually streamed");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn live_equals_batch_on_tasking_workload() {
+    // The tasking leg of the equivalence contract: a session full of
+    // task-fork labels, dep edges, taskgroup scopes, and
+    // dynamic/guided/ordered loop records must replay to the identical
+    // report, with byte-identical evidence, funnel on and off.
+    let dir = record("tasking", tasking_workload);
+    let src = SessionDir::new(&dir);
+    let pcs = sword_trace::PcTable::read_from(std::io::BufReader::new(
+        std::fs::File::open(src.pcs_path()).expect("pcs"),
+    ))
+    .expect("pc table");
+    let chains = |r: &AnalysisResult| -> Vec<String> {
+        r.races.iter().map(|x| format!("{}\n{}", x.render(&pcs), x.render_evidence(&pcs))).collect()
+    };
+    let config = AnalysisConfig::sequential();
+    let batch = analyze(&src, &config).expect("batch");
+    assert!(batch.race_count() >= 1, "sibling tasks must race: {:?}", batch.races);
+    assert!(batch.stats.tasks > 0, "session must carry task records");
+    let live = staged_replay(&src, "tasking-replay", &config, 1);
+    assert_equivalent(&live, &batch);
+    assert_eq!(chains(&live), chains(&batch), "tasking evidence diverged");
+
+    let nofunnel_cfg = AnalysisConfig::sequential().with_funnel(FunnelConfig::NONE);
+    let nofunnel = analyze(&src, &nofunnel_cfg).expect("funnel-off batch");
+    let nofunnel_live = staged_replay(&src, "tasking-replay-nofunnel", &nofunnel_cfg, 2);
+    assert_equivalent(&nofunnel_live, &nofunnel);
+    assert_eq!(chains(&nofunnel), chains(&batch), "funnel changed tasking evidence");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

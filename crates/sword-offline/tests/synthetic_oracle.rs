@@ -148,7 +148,14 @@ fn write_session(dir: &PathBuf, threads: &[Vec<Vec<GenAccess>>]) -> SessionDir {
     let mut f = BufWriter::new(File::create(session.regions_path()).unwrap());
     meta::write_regions(
         &mut f,
-        &[RegionRecord { pid: 0, ppid: None, level: 1, span, fork_label: vec![0, 1] }],
+        &[RegionRecord {
+            pid: 0,
+            ppid: None,
+            level: 1,
+            span,
+            fork_label: vec![0, 1],
+            deps: vec![],
+        }],
     )
     .unwrap();
     f.flush().unwrap();

@@ -37,7 +37,9 @@ use parking_lot::Mutex;
 use sword_compress::{encode_frame_into, Compressor};
 use sword_metrics::{FlushCounters, FlushSnapshot};
 use sword_obs::{Gauge, JournalSink, Layer, Obs, ThreadJournal};
-use sword_ompsim::{OmpSim, ParallelBeginInfo, SimConfig, ThreadContext, Tool};
+use sword_ompsim::{
+    OmpSim, ParallelBeginInfo, SimConfig, TaskCreateInfo, TaskUid, ThreadContext, Tool,
+};
 use sword_trace::{
     meta, Event, LiveStatus, LogWriter, MemAccess, MutexId, PcTable, RegionId, RegionRecord,
     SessionDir, ThreadId,
@@ -905,6 +907,7 @@ impl Tool for SwordCollector {
             level: info.level,
             span: info.span,
             fork_label: info.fork_label.to_flat(),
+            deps: Vec::new(),
         });
     }
 
@@ -932,6 +935,55 @@ impl Tool for SwordCollector {
     fn barrier_end(&self, ctx: &ThreadContext<'_>) {
         let slot = self.slot(ctx.tid);
         slot.lock().open_interval(ctx);
+    }
+
+    fn task_create(&self, outer: &ThreadContext<'_>, info: &TaskCreateInfo<'_>) {
+        // The task pseudo-region enters the region table like a nested
+        // region, with its `depend` predecessors attached — the offline
+        // analyzers layer the dependence partial order above the labels.
+        self.inner.regions.lock().push(RegionRecord {
+            pid: info.region,
+            ppid: Some(info.parent_region),
+            level: info.level,
+            span: sword_osl::TASK_SPAN,
+            fork_label: info.fork_label.to_flat(),
+            deps: info.preds.to_vec(),
+        });
+        // The creator's current row ends at the creation point; the
+        // continuation reopens under the pseudo-region at `task_end`.
+        let slot = self.slot(outer.tid);
+        let mut log = slot.lock();
+        if log.interval_open() {
+            log.close_interval();
+        }
+    }
+
+    fn task_begin(&self, _outer: &ThreadContext<'_>, task: &ThreadContext<'_>, _uid: TaskUid) {
+        let slot = self.slot(task.tid);
+        slot.lock().open_interval(task);
+    }
+
+    fn task_end(&self, task: &ThreadContext<'_>, outer: &ThreadContext<'_>, _uid: TaskUid) {
+        {
+            let slot = self.slot(task.tid);
+            let mut log = slot.lock();
+            if log.interval_open() {
+                log.close_interval();
+            }
+        }
+        let slot = self.slot(outer.tid);
+        slot.lock().open_interval(outer);
+    }
+
+    fn task_sync(&self, restored: &ThreadContext<'_>, _synced: &[TaskUid]) {
+        // Close the chain fragment and reopen under the restored identity
+        // (the real region row, or the group-entry row).
+        let slot = self.slot(restored.tid);
+        let mut log = slot.lock();
+        if log.interval_open() {
+            log.close_interval();
+        }
+        log.open_interval(restored);
     }
 
     fn mutex_acquired(&self, ctx: &ThreadContext<'_>, mutex: MutexId) {
@@ -1197,6 +1249,61 @@ mod tests {
             // Fork label extends the outer fork label by two pairs: the
             // forking member's own pair and its span-1 fork-point pair.
             assert_eq!(r.fork_label.len(), outer.fork_label.len() + 4);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tasking_session_rows_and_regions() {
+        let dir = tmp_session("tasks");
+        let (_, stats) =
+            run_collected(SwordConfig::new(&dir).sync_flush(), SimConfig::default(), |sim| {
+                let a = sim.alloc::<u64>(8, 0);
+                sim.run(|ctx| {
+                    ctx.parallel(1, |w| {
+                        w.write(&a, 0, 1); // pre-chain
+                        w.task_depend(&[(0, sword_ompsim::DepMode::Out)], |t| t.write(&a, 1, 2));
+                        w.task_depend(&[(0, sword_ompsim::DepMode::In)], |t| t.write(&a, 2, 3));
+                        w.write(&a, 3, 4); // continuation
+                        w.taskwait();
+                        w.write(&a, 4, 5); // post-sync
+                    });
+                });
+            })
+            .unwrap();
+        // Master + worker + two task tids, each with its own log file.
+        assert_eq!(stats.threads, 3, "worker and both tasks logged");
+        let session = SessionDir::new(&dir);
+        let regions =
+            read_regions(BufReader::new(File::open(session.regions_path()).unwrap())).unwrap();
+        assert_eq!(regions.len(), 3, "one parallel region + two task pseudo-regions");
+        let tasks: Vec<_> = regions.iter().filter(|r| r.span == sword_osl::TASK_SPAN).collect();
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks.iter().all(|r| r.ppid == Some(0) && r.level == 2));
+        // The second task's depend(in) conflicts with the first's
+        // depend(out): the region table carries the edge.
+        assert_eq!(tasks[0].deps, Vec::<u64>::new());
+        assert_eq!(tasks[1].deps, vec![tasks[0].pid]);
+        // The worker's log fragments: real-region row, two continuation
+        // rows under the pseudo-regions, then the restored real-region row.
+        let worker_rows =
+            read_meta(BufReader::new(File::open(session.thread_meta(1)).unwrap())).unwrap();
+        let ids: Vec<(u64, u64, u64)> =
+            worker_rows.iter().map(|r| (r.pid, r.offset, r.span)).collect();
+        assert_eq!(ids.len(), 4, "{ids:?}");
+        assert_eq!(ids[0].0, 0);
+        assert_eq!(ids[1], (tasks[0].pid, 0, sword_osl::TASK_SPAN), "continuation row");
+        assert_eq!(ids[2], (tasks[1].pid, 0, sword_osl::TASK_SPAN), "continuation row");
+        assert_eq!(ids[3].0, 0, "restored after taskwait");
+        // Each task body logged one row under its own tid.
+        for (tid, task) in [(2u32, tasks[0]), (3u32, tasks[1])] {
+            let rows =
+                read_meta(BufReader::new(File::open(session.thread_meta(tid)).unwrap())).unwrap();
+            assert_eq!(rows.len(), 1, "tid {tid}");
+            assert_eq!(
+                (rows[0].pid, rows[0].offset, rows[0].span),
+                (task.pid, 1, sword_osl::TASK_SPAN)
+            );
         }
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -98,6 +98,14 @@ pub struct RegionRecord {
     /// The forking thread's label at the fork point, flattened
     /// (offset, span, offset, span, …).
     pub fork_label: Vec<u64>,
+    /// For task pseudo-regions (`span == sword_osl::TASK_SPAN`): pids of
+    /// predecessor task pseudo-regions this task `depend`s on. Dependences
+    /// are fully known at creation time — predecessors are earlier sibling
+    /// tasks with a conflicting `depend` clause — so the record is complete
+    /// when first written. Empty for real parallel regions, and omitted
+    /// from the serialized line so pre-tasking region tables round-trip
+    /// byte-identically.
+    pub deps: Vec<u64>,
 }
 
 impl RegionRecord {
@@ -110,17 +118,24 @@ impl RegionRecord {
         Label::from_flat(&self.fork_label).expect("region record holds a valid label")
     }
 
-    /// Serializes to one line: `pid ppid level span o,s,o,s,…`.
+    /// Serializes to one line: `pid ppid level span o,s,o,s,…` with a
+    /// trailing `dep,dep,…` column only when dependences are present.
     pub fn to_line(&self) -> String {
         let label: Vec<String> = self.fork_label.iter().map(|v| v.to_string()).collect();
-        format!(
+        let mut line = format!(
             "{}\t{}\t{}\t{}\t{}",
             self.pid,
             self.ppid.map_or_else(|| "-".to_string(), |p| p.to_string()),
             self.level,
             self.span,
             label.join(",")
-        )
+        );
+        if !self.deps.is_empty() {
+            let deps: Vec<String> = self.deps.iter().map(|v| v.to_string()).collect();
+            line.push('\t');
+            line.push_str(&deps.join(","));
+        }
+        line
     }
 
     /// Parses a line produced by [`RegionRecord::to_line`].
@@ -152,7 +167,15 @@ impl RegionRecord {
         if span == 0 {
             return Err(MetaParseError::BadField("span"));
         }
-        Ok(RegionRecord { pid, ppid, level, span, fork_label })
+        let mut deps = Vec::new();
+        if let Some(deps_raw) = it.next() {
+            if !deps_raw.is_empty() {
+                for part in deps_raw.split(',') {
+                    deps.push(parse_u64(part, "deps")?);
+                }
+            }
+        }
+        Ok(RegionRecord { pid, ppid, level, span, fork_label, deps })
     }
 }
 
@@ -283,18 +306,53 @@ mod tests {
 
     #[test]
     fn region_line_roundtrip() {
-        let r =
-            RegionRecord { pid: 7, ppid: Some(2), level: 2, span: 8, fork_label: vec![0, 1, 3, 4] };
+        let r = RegionRecord {
+            pid: 7,
+            ppid: Some(2),
+            level: 2,
+            span: 8,
+            fork_label: vec![0, 1, 3, 4],
+            deps: vec![],
+        };
         assert_eq!(RegionRecord::parse_line(&r.to_line()).unwrap(), r);
         assert_eq!(r.fork_label().pairs().len(), 2);
     }
 
     #[test]
     fn region_empty_label() {
-        let r = RegionRecord { pid: 0, ppid: None, level: 1, span: 4, fork_label: vec![] };
+        let r = RegionRecord {
+            pid: 0,
+            ppid: None,
+            level: 1,
+            span: 4,
+            fork_label: vec![],
+            deps: vec![],
+        };
         let parsed = RegionRecord::parse_line(&r.to_line()).unwrap();
         assert_eq!(parsed, r);
         assert!(parsed.fork_label().is_empty());
+    }
+
+    #[test]
+    fn region_deps_roundtrip_and_v1_compat() {
+        let r = RegionRecord {
+            pid: 9,
+            ppid: Some(3),
+            level: 2,
+            span: 1 << 32,
+            fork_label: vec![0, 1, 5, 1],
+            deps: vec![7, 8],
+        };
+        let line = r.to_line();
+        assert!(line.ends_with("\t7,8"), "{line}");
+        assert_eq!(RegionRecord::parse_line(&line).unwrap(), r);
+        // Pre-tasking 5-column lines parse with no dependences, and a
+        // dep-free record serializes without the column.
+        let v1 = "0\t-\t1\t4\t0,1";
+        let parsed = RegionRecord::parse_line(v1).unwrap();
+        assert!(parsed.deps.is_empty());
+        assert_eq!(parsed.to_line(), v1);
+        assert!(RegionRecord::parse_line("0\t-\t1\t4\t0,1\t7,x").is_err());
     }
 
     #[test]
@@ -352,8 +410,22 @@ mod tests {
     #[test]
     fn regions_file_roundtrip() {
         let records = vec![
-            RegionRecord { pid: 0, ppid: None, level: 1, span: 2, fork_label: vec![0, 1] },
-            RegionRecord { pid: 1, ppid: Some(0), level: 2, span: 2, fork_label: vec![0, 1, 0, 2] },
+            RegionRecord {
+                pid: 0,
+                ppid: None,
+                level: 1,
+                span: 2,
+                fork_label: vec![0, 1],
+                deps: vec![],
+            },
+            RegionRecord {
+                pid: 1,
+                ppid: Some(0),
+                level: 2,
+                span: 2,
+                fork_label: vec![0, 1, 0, 2],
+                deps: vec![],
+            },
         ];
         let mut buf = Vec::new();
         write_regions(&mut buf, &records).unwrap();
@@ -395,8 +467,9 @@ mod proptests {
             any::<u32>(),
             1u64..u64::MAX,
             prop::collection::vec(any::<u64>(), 0..6),
+            prop::collection::vec(any::<u64>(), 0..4),
         )
-            .prop_map(|(pid, ppid, level, span, mut fork_label)| {
+            .prop_map(|(pid, ppid, level, span, mut fork_label, deps)| {
                 if fork_label.len() % 2 != 0 {
                     fork_label.pop();
                 }
@@ -405,7 +478,7 @@ mod proptests {
                 for pair in fork_label.chunks_exact_mut(2) {
                     pair[1] = pair[1].max(1);
                 }
-                RegionRecord { pid, ppid, level, span, fork_label }
+                RegionRecord { pid, ppid, level, span, fork_label, deps }
             })
     }
 

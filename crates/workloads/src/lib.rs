@@ -14,6 +14,9 @@
 //!   AMG2013 (algebraic multigrid), LULESH (hydro proxy with very many
 //!   regions), miniFE (FE assembly + CG), HPCCG (CG with the benign
 //!   shared write).
+//! * [`tasking`] — DataRaceBench-style explicit-task kernels (depend
+//!   chains, taskwait, taskgroup scope) plus ordered/guided schedule
+//!   controls.
 //!
 //! Every workload is an honest computation over tracked memory: detectors
 //! observe it through the ordinary tool interface, and each racy kernel's
@@ -26,6 +29,7 @@
 pub mod drb;
 pub mod hpc;
 pub mod ompscr;
+pub mod tasking;
 
 use sword_ompsim::OmpSim;
 
@@ -119,9 +123,16 @@ pub fn hpc_workloads() -> Vec<Box<dyn Workload>> {
     hpc::all()
 }
 
-/// Every workload across all suites, in suite order (DRB, OmpSCR, HPC).
+/// The tasking/scheduling kernels, in suite order.
+pub fn tasking_workloads() -> Vec<Box<dyn Workload>> {
+    tasking::all()
+}
+
+/// Every workload across all suites, in suite order (DRB, tasking,
+/// OmpSCR, HPC).
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     let mut all = drb_workloads();
+    all.extend(tasking_workloads());
     all.extend(ompscr_workloads());
     all.extend(hpc_workloads());
     all
@@ -138,7 +149,7 @@ mod tests {
 
     #[test]
     fn specs_are_consistent() {
-        for w in drb_workloads().iter().chain(&ompscr_workloads()).chain(&hpc_workloads()) {
+        for w in all_workloads() {
             let spec = w.spec();
             assert!(!spec.name.is_empty());
             assert!(!spec.notes.is_empty(), "{} needs a story", spec.name);
@@ -151,7 +162,7 @@ mod tests {
     #[test]
     fn names_are_unique() {
         let mut names = std::collections::HashSet::new();
-        for w in drb_workloads().iter().chain(&ompscr_workloads()).chain(&hpc_workloads()) {
+        for w in all_workloads() {
             assert!(names.insert(w.spec().name), "duplicate {}", w.spec().name);
         }
     }
@@ -159,6 +170,7 @@ mod tests {
     #[test]
     fn find_by_name() {
         assert!(find_workload("plusplus-orig-yes").is_some());
+        assert!(find_workload("taskdependmissing-orig-yes").is_some());
         assert!(find_workload("no-such-bench").is_none());
     }
 }

@@ -12,7 +12,9 @@ use sword_offline::{analyze, AnalysisConfig};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordConfig};
 use sword_trace::SessionDir;
-use sword_workloads::{drb_workloads, hpc_workloads, ompscr_workloads, RunConfig, Workload};
+use sword_workloads::{
+    drb_workloads, hpc_workloads, ompscr_workloads, tasking_workloads, RunConfig, Workload,
+};
 
 fn sword_count(w: &dyn Workload, cfg: &RunConfig) -> usize {
     let dir: PathBuf = std::env::temp_dir().join(format!(
@@ -71,6 +73,20 @@ fn check_suite(workloads: Vec<Box<dyn Workload>>, cfg: &RunConfig) {
 #[test]
 fn datarace_bench_suite_matches_ground_truth() {
     check_suite(drb_workloads(), &RunConfig::small());
+}
+
+#[test]
+fn tasking_suite_matches_ground_truth() {
+    check_suite(tasking_workloads(), &RunConfig::small());
+}
+
+#[test]
+fn tasking_detection_is_thread_count_robust() {
+    // Task creation is gated to the master thread, so the ground truth
+    // must hold unchanged at 2 and 8 threads.
+    for threads in [2, 8] {
+        check_suite(tasking_workloads(), &RunConfig::with_threads(threads));
+    }
 }
 
 #[test]

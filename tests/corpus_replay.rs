@@ -3,28 +3,37 @@
 //! under SWORD (batch and live) and ARCHER, and every verdict is diffed
 //! against the ground-truth oracle.
 //!
-//! The corpus is generator-derived: `seeded_entries()` deterministically
-//! picks the first 5 racy and first 5 race-free generated programs and
-//! shrinks each while preserving its exact oracle verdict set. A
-//! regeneration guard keeps the checked-in files byte-identical to what
-//! the current generator produces; to refresh after an intentional
-//! generator change, run
+//! The corpus has two sources: `seeded_entries()` deterministically picks
+//! the first 5 racy and first 5 race-free generated programs and shrinks
+//! each while preserving its exact oracle verdict set, and
+//! `tasking_entries()` pins six hand-written minimal tasking/scheduling
+//! reproducers (taskwait, taskgroup scope, depend chain, racy siblings,
+//! dynamic-schedule race, ordered clause). A regeneration guard keeps the
+//! checked-in files byte-identical to what the current sources produce;
+//! to refresh after an intentional generator change, run
 //! `UPDATE_CORPUS=1 cargo test --test corpus_replay`.
 
 use std::path::PathBuf;
 
 use sword::fuzz::check_program;
-use sword::fuzz::corpus::{load_dir, save, seeded_entries};
+use sword::fuzz::corpus::{load_dir, save, seeded_entries, tasking_entries};
 use sword::fuzz::oracle;
 
 fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus")
 }
 
+fn expected_entries() -> Vec<(String, sword::fuzz::program::Program)> {
+    let mut expected = seeded_entries();
+    expected.extend(tasking_entries());
+    expected.sort_by(|a, b| a.0.cmp(&b.0));
+    expected
+}
+
 #[test]
 fn checked_in_corpus_matches_the_generator() {
     let dir = corpus_dir();
-    let expected = seeded_entries();
+    let expected = expected_entries();
     if std::env::var_os("UPDATE_CORPUS").is_some() {
         std::fs::create_dir_all(&dir).unwrap();
         for entry in std::fs::read_dir(&dir).unwrap() {
@@ -35,7 +44,12 @@ fn checked_in_corpus_matches_the_generator() {
         }
         for (name, prog) in &expected {
             let pairs = oracle::analyze(prog).pairs;
-            let notes = vec![format!("generator-seeded reproducer; oracle pairs: {pairs:?}")];
+            let source = if name.starts_with("tasking-") {
+                "hand-written tasking reproducer"
+            } else {
+                "generator-seeded reproducer"
+            };
+            let notes = vec![format!("{source}; oracle pairs: {pairs:?}")];
             save(&dir, name, prog, &notes).unwrap();
         }
     }
@@ -60,10 +74,12 @@ fn checked_in_corpus_matches_the_generator() {
 #[test]
 fn corpus_has_both_classes_nested_and_flat() {
     let loaded = load_dir(&corpus_dir()).unwrap();
-    assert_eq!(loaded.len(), 10);
+    assert_eq!(loaded.len(), 16);
     let racy = loaded.iter().filter(|(n, _)| n.contains("-racy-")).count();
     let quiet = loaded.iter().filter(|(n, _)| n.contains("-quiet-")).count();
-    assert_eq!((racy, quiet), (5, 5));
+    assert_eq!((racy, quiet), (8, 8));
+    let tasking = loaded.iter().filter(|(n, _)| n.starts_with("tasking-")).count();
+    assert_eq!(tasking, 6, "tasking reproducers missing from corpus");
     assert!(loaded.iter().any(|(n, _)| n.ends_with("-nested")), "no nested program in corpus");
     assert!(loaded.iter().any(|(n, _)| n.ends_with("-flat")), "no flat program in corpus");
     // Names encode the class the oracle must still agree with.
@@ -87,8 +103,9 @@ fn corpus_replays_cleanly_through_both_detectors() {
     }
 }
 
-#[test]
-fn explain_rendering_pins_the_full_evidence_chain() {
+/// Runs a corpus entry through collection + batch analysis and returns
+/// the full `sword explain` rendering of race 0.
+fn explain_text(entry: &str) -> String {
     use std::io::BufReader;
 
     use sword::fuzz::exec::run_program;
@@ -98,12 +115,10 @@ fn explain_rendering_pins_the_full_evidence_chain() {
     use sword::trace::{PcTable, SessionDir};
 
     let loaded = load_dir(&corpus_dir()).unwrap();
-    let (_, prog) = loaded
-        .iter()
-        .find(|(n, _)| n == "seed000-team2-racy-nested")
-        .expect("pinned corpus entry present");
+    let (_, prog) = loaded.iter().find(|(n, _)| n == entry).expect("pinned corpus entry present");
     let o = oracle::analyze(prog);
-    let dir = std::env::temp_dir().join(format!("sword-explain-pin-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("sword-explain-pin-{entry}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     run_collected(SwordConfig::new(&dir), SimConfig::default(), |sim| {
         run_program(sim, prog, &o.plan)
@@ -115,32 +130,79 @@ fn explain_rendering_pins_the_full_evidence_chain() {
         .unwrap();
     let text = render_explain(&result, &pcs, 0).expect("corpus program has a race to explain");
     std::fs::remove_dir_all(&dir).unwrap();
+    text
+}
+
+#[test]
+fn explain_rendering_pins_the_full_evidence_chain() {
+    let text = explain_text("seed000-team2-racy-nested");
     // The full rendering is pinned: any drift in evidence collection,
     // canonical side ordering, dedup fairness, label explanation, or the
-    // solver witness shows up as a diff here.
+    // solver witness shows up as a diff here. Both sides carry a
+    // trailing task-fork pair (`[1,4294967296]` = slot 1 of TASK_SPAN),
+    // so the pin also covers task-label rendering; the divergence that
+    // decides concurrency is the earlier nested-team fork pair.
     let expected = "\
-race #0 of 19
-race: fuzz.gen:4 (Write) <-> fuzz.gen:4 (Write) at addr 0x10000010 [threads 3 vs 4, region 1, seen 4x]
+race #0 of 2
+race: fuzz.gen:3 (Write) <-> fuzz.gen:3 (Write) at addr 0x10000048 [threads 3 vs 4, region 1, seen 1x]
 
-side A: fuzz.gen:4 (Write) on thread 3
-  barrier interval: region 1, interval 0, label [0,1][0,1][0,2][0,1][0,2]
-  access pattern: base 0x10000010, stride 0, count 0, size 8 (1 accesses)
-  log bytes: [0, 14) of thread_3.log
-side B: fuzz.gen:4 (Write) on thread 4
-  barrier interval: region 1, interval 0, label [0,1][0,1][0,2][0,1][1,2]
-  access pattern: base 0x10000010, stride 0, count 0, size 8 (1 accesses)
-  log bytes: [0, 14) of thread_4.log
+side A: fuzz.gen:3 (Write) on thread 3
+  barrier interval: region 1, interval 0, label [0,1][0,1][0,2][0,1][1,4294967296]
+  access pattern: base 0x10000048, stride 0, count 0, size 8 (1 accesses)
+  log bytes: [0, 7) of thread_3.log
+side B: fuzz.gen:3 (Write) on thread 4
+  barrier interval: region 2, interval 0, label [0,1][0,1][1,2][0,1][1,4294967296]
+  access pattern: base 0x10000048, stride 0, count 0, size 8 (1 accesses)
+  log bytes: [0, 7) of thread_4.log
 concurrency (offset-span labels):
-  label A = [0,1][0,1][0,2][0,1][0,2]
-  label B = [0,1][0,1][0,2][0,1][1,2]
-  common prefix (4 pairs) = [0,1][0,1][0,2][0,1]
+  label A = [0,1][0,1][0,2][0,1][1,4294967296]
+  label B = [0,1][0,1][1,2][0,1][1,4294967296]
+  common prefix (2 pairs) = [0,1][0,1]
   first divergent pair: [0,2] vs [1,2]
   same span 2: compare barrier generations 0 = 0/2 vs 0 = 1/2
   equal generation 0, different slots 0 vs 1: no barrier or join orders them => CONCURRENT
 solver witness (overlap constraint model):
-  addr 0x10000010 = A.base 0x10000010 + A.stride 0 * x0 0 + s0 0
-  addr 0x10000010 = B.base 0x10000010 + B.stride 0 * x1 0 + s1 0
-occurrences: 4 interval pairs exhibited this source pair (first shown)
+  addr 0x10000048 = A.base 0x10000048 + A.stride 0 * x0 0 + s0 0
+  addr 0x10000048 = B.base 0x10000048 + B.stride 0 * x1 0 + s1 0
+occurrences: 1 interval pair exhibited this source pair (first shown)
 ";
     assert_eq!(text, expected, "pinned explain rendering drifted");
+}
+
+#[test]
+fn explain_rendering_pins_a_tasking_race_end_to_end() {
+    let text = explain_text("tasking-siblings-racy-flat");
+    // Two undeferred sibling tasks from one creator. Side A is the first
+    // task (trailing `[1,4294967296]` = task side of fork 0); side B is
+    // the second task, whose label threads through the first fork's
+    // continuation (`[0,4294967296]`) before its own fork pair. The
+    // first divergent pair has TASK_SPAN, so the renderer names the
+    // task/continuation roles explicitly before the generation/slot
+    // comparison that proves concurrency.
+    let expected = "\
+race #0 of 1
+race: fuzz.gen:1 (Write) <-> fuzz.gen:2 (Write) at addr 0x10000000 [threads 2 vs 3, region 1, seen 1x]
+
+side A: fuzz.gen:1 (Write) on thread 2
+  barrier interval: region 1, interval 0, label [0,1][0,1][0,1][0,1][1,4294967296]
+  access pattern: base 0x10000000, stride 0, count 0, size 8 (1 accesses)
+  log bytes: [0, 7) of thread_2.log
+side B: fuzz.gen:2 (Write) on thread 3
+  barrier interval: region 2, interval 0, label [0,1][0,1][0,1][0,1][0,4294967296][1,1][1,4294967296]
+  access pattern: base 0x10000000, stride 0, count 0, size 8 (1 accesses)
+  log bytes: [0, 7) of thread_3.log
+concurrency (offset-span labels):
+  label A = [0,1][0,1][0,1][0,1][1,4294967296]
+  label B = [0,1][0,1][0,1][0,1][0,4294967296][1,1][1,4294967296]
+  common prefix (4 pairs) = [0,1][0,1][0,1][0,1]
+  first divergent pair: [1,4294967296] vs [0,4294967296]
+  span 4294967296 marks a task-creation fork: A is the created task, B is the creator's continuation
+  same span 4294967296: compare barrier generations 0 = 1/4294967296 vs 0 = 0/4294967296
+  equal generation 0, different slots 1 vs 0: no barrier or join orders them => CONCURRENT
+solver witness (overlap constraint model):
+  addr 0x10000000 = A.base 0x10000000 + A.stride 0 * x0 0 + s0 0
+  addr 0x10000000 = B.base 0x10000000 + B.stride 0 * x1 0 + s1 0
+occurrences: 1 interval pair exhibited this source pair (first shown)
+";
+    assert_eq!(text, expected, "pinned tasking explain rendering drifted");
 }
