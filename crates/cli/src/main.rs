@@ -5,13 +5,23 @@
 //!     Execute a workload under the SWORD collector. `--obs` journals
 //!     spans/metrics to `<session>/obs.jsonl`; `--stats` prints the
 //!     metrics-registry snapshot (flush counters, pool gauges, memory).
+//!     `--listen ADDR` additionally serves the live registry over HTTP
+//!     (`/metrics`, `/status`, `/races`, `/healthz`, `/events`) for the
+//!     whole command; see `sword top`.
 //! sword analyze <session-dir> [--workers N] [--ilp] [--stats] [--obs]
 //!     Offline race analysis of a collected session. `--stats` adds the
 //!     stage table and, when recorded, the run's flush-path counters;
-//!     `--obs` appends pipeline spans to the session's journal.
+//!     `--obs` appends pipeline spans to the session's journal;
+//!     `--listen ADDR` serves the analyzer's registry while it runs.
 //! sword watch <session-dir> [--interval-ms N] [--timeout-secs N] [--obs]
 //!     Incrementally analyze an in-progress session, reporting races as
-//!     their barrier intervals are published.
+//!     their barrier intervals are published. `--listen ADDR` serves
+//!     races-so-far and poll progress over HTTP alongside the registry.
+//! sword top <addr|session-dir> [--iters N] [--interval-ms N]
+//!     Polling terminal view of a telemetry endpoint started with
+//!     `--listen` (queue depths, latency quantiles, races so far,
+//!     memory vs the paper bound) — or of a session directory's
+//!     persisted `metrics.prom`/`live.meta` when no exporter is up.
 //! sword trace export <session-dir> [--format chrome] [--out FILE]
 //!     Convert the session's observability journal to a Chrome
 //!     `trace_event` file (chrome://tracing, ui.perfetto.dev).
@@ -51,9 +61,11 @@ use std::sync::Arc;
 use archer_sim::{ArcherConfig, ArcherTool};
 use sword_fuzz_gen::{run_fuzz, FuzzOptions};
 use sword_metrics::{format_bytes, Stopwatch, Table};
+use sword_obs::json::Value;
 use sword_obs::{
     render_html, ExportFormat, HtmlInput, HtmlRace, JournalSink, Layer, Obs, ReportInput, SiteTable,
 };
+use sword_obs_http::{http_get, JsonFn, ServerConfig, TelemetryHandles, TelemetryServer};
 use sword_offline::{analyze, AnalysisConfig, FunnelConfig, LiveAnalyzer, SolverChoice};
 use sword_ompsim::{OmpSim, SimConfig};
 use sword_runtime::{run_collected, SwordConfig};
@@ -76,19 +88,21 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   sword list
   sword run <workload> [--threads N] [--size S] [--session DIR] [--live]
-                        [--stats] [--obs]
+                        [--stats] [--obs] [--listen ADDR]
   sword analyze <session-dir> [--workers N] [--ilp] [--json] [--stats]
-                               [--obs] [--region id,...]
+                               [--obs] [--listen ADDR] [--region id,...]
                                [--suppress pat,...]
                                [--read-mode mapped|buffered]
                                [--no-verdict-cache]
                                [--solver-tiers all|none|gcd,prescreen,bbox,batch]
   sword watch <session-dir> [--interval-ms N] [--timeout-secs N] [--json]
-                             [--stats] [--obs] [--ilp] [--region id,...]
+                             [--stats] [--obs] [--listen ADDR] [--ilp]
+                             [--region id,...]
                              [--suppress pat,...]
                              [--read-mode mapped|buffered]
                              [--no-verdict-cache]
                              [--solver-tiers all|none|gcd,prescreen,bbox,batch]
+  sword top <addr|session-dir> [--iters N] [--interval-ms N]
   sword trace export <session-dir> [--format chrome] [--out FILE]
   sword report <session-dir> [--top N] [--html [FILE]]
   sword explain <session-dir> <race-id> [--ilp] [--workers N]
@@ -151,6 +165,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "watch" => cmd_watch(&args[1..]),
+        "top" => cmd_top(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "explain" => cmd_explain(&args[1..]),
@@ -219,6 +234,41 @@ fn append_journal(session: &SessionDir, obs: &Obs) -> Result<(), String> {
     Ok(())
 }
 
+/// Starts the embedded telemetry exporter when `--listen ADDR` was given.
+/// The server reads the same live registry and journal the command is
+/// writing; it serves until the command finishes and is shut down by the
+/// caller (dropping the returned guard).
+fn start_listener(
+    flags: &Flags,
+    handles: TelemetryHandles,
+) -> Result<Option<TelemetryServer>, String> {
+    let Some(addr) = flags.map.get("listen") else {
+        return Ok(None);
+    };
+    let server = TelemetryServer::start(ServerConfig::bind(addr), handles)
+        .map_err(|e| format!("--listen {addr}: {e}"))?;
+    println!(
+        "telemetry: http://{0}/status  (also /metrics /races /healthz /events; try `sword top {0}`)",
+        server.local_addr()
+    );
+    Ok(Some(server))
+}
+
+/// A `/status` provider over a session directory: path plus the live
+/// watermark protocol's generation/finished, refreshed per request.
+fn session_status_provider(session: &SessionDir) -> JsonFn {
+    let session = session.clone();
+    Arc::new(move || {
+        let mut fields =
+            vec![("session".to_string(), Value::Str(session.path().display().to_string()))];
+        if let Ok(Some(live)) = session.read_live() {
+            fields.push(("generation".to_string(), Value::Num(live.generation as f64)));
+            fields.push(("finished".to_string(), Value::Bool(live.finished)));
+        }
+        Value::Obj(fields)
+    })
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let (w, cfg, flags) = workload_arg(args)?;
     let session: PathBuf = flags
@@ -233,11 +283,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         sword_cfg = sword_cfg.live();
     }
     // `--stats` reads the metrics registry, so it needs the obs handles
-    // attached even when the journal itself was not asked for.
-    let obs = (flags.has("obs") || flags.has("stats")).then(Obs::new);
+    // attached even when the journal itself was not asked for; the HTTP
+    // exporter needs them for the same reason.
+    let obs =
+        (flags.has("obs") || flags.has("stats") || flags.map.contains_key("listen")).then(Obs::new);
     if let Some(o) = &obs {
         sword_cfg = sword_cfg.with_obs(o.clone());
     }
+    let server = match &obs {
+        Some(o) => start_listener(
+            &flags,
+            TelemetryHandles::new(o.clone())
+                .with_status(session_status_provider(&SessionDir::new(&session))),
+        )?,
+        None => None,
+    };
     let cli_journal = obs.as_ref().map(|o| o.journal.for_thread(Layer::Cli, "cli"));
     let sw = Stopwatch::start();
     let (_, stats) = run_collected(sword_cfg, SimConfig::default(), |sim| {
@@ -273,6 +333,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             println!("next: sword trace export {0}  |  sword report {0}", session.display());
         }
     }
+    if let Some(server) = server {
+        server.shutdown();
+    }
     println!("\nnext: sword analyze {}", session.display());
     Ok(())
 }
@@ -305,12 +368,30 @@ fn analysis_config(flags: &Flags) -> Result<AnalysisConfig, String> {
     Ok(config)
 }
 
+/// Renders a race list as the `/races` endpoint's JSON: one object per
+/// race with its id (the position in `sword analyze` output, matching
+/// `sword explain`), title, occurrence count, and evidence chain.
+fn races_json(races: &[sword_offline::Race], pcs: &PcTable) -> Vec<Value> {
+    races
+        .iter()
+        .enumerate()
+        .map(|(id, race)| {
+            Value::Obj(vec![
+                ("id".to_string(), Value::Num(id as f64)),
+                ("title".to_string(), Value::Str(race.render(pcs))),
+                ("occurrences".to_string(), Value::Num(race.occurrences as f64)),
+                ("evidence".to_string(), Value::Str(race.render_evidence(pcs))),
+            ])
+        })
+        .collect()
+}
+
 fn print_analysis(
     session: &SessionDir,
     config: &AnalysisConfig,
     json: bool,
     stats: bool,
-) -> Result<usize, String> {
+) -> Result<sword_offline::AnalysisResult, String> {
     // `analyze` (not `analyze_loaded`) so the discover and load-meta
     // stages are timed too.
     let result = analyze(session, config).map_err(|e| e.to_string())?;
@@ -333,7 +414,7 @@ fn print_analysis(
             println!("{}", render_registry(o));
         }
     }
-    Ok(result.races.len())
+    Ok(result)
 }
 
 /// Loads the session's PC table (empty when the run never wrote one).
@@ -352,11 +433,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     };
     let flags = Flags::parse(&args[1..])?;
     let mut config = analysis_config(&flags)?;
-    let obs = flags.has("obs").then(Obs::new);
+    let obs = (flags.has("obs") || flags.map.contains_key("listen")).then(Obs::new);
     // Per-site attribution rides along with the journal: the compare
     // stage's counters become labeled gauges in the registry, and the
     // final snapshot carries them into obs.jsonl for `sword report`.
-    let sites = obs.as_ref().map(|_| SiteTable::new());
+    let sites = obs.as_ref().filter(|_| flags.has("obs")).map(|_| SiteTable::new());
     if let Some(o) = &obs {
         config = config.with_obs(o.clone());
     }
@@ -364,13 +445,39 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         config = config.with_site_attribution(st.clone());
     }
     let session = SessionDir::new(dir);
-    print_analysis(&session, &config, flags.has("json"), flags.has("stats"))?;
+    // The /races list fills in when the analysis completes; until then
+    // the endpoint serves an empty list while /metrics tracks progress.
+    let shared_races: Arc<std::sync::Mutex<Vec<Value>>> = Arc::default();
+    let server = match &obs {
+        Some(o) => {
+            let list = Arc::clone(&shared_races);
+            start_listener(
+                &flags,
+                TelemetryHandles::new(o.clone())
+                    .with_status(session_status_provider(&session))
+                    .with_races(Arc::new(move || {
+                        Value::Arr(list.lock().expect("races lock").clone())
+                    })),
+            )?
+        }
+        None => None,
+    };
+    let result = print_analysis(&session, &config, flags.has("json"), flags.has("stats"))?;
+    if server.is_some() {
+        let pcs = read_pcs(&session)?;
+        *shared_races.lock().expect("races lock") = races_json(&result.races, &pcs);
+    }
     if let Some(o) = &obs {
         if let Some(st) = &sites {
             let pcs = read_pcs(&session)?;
             st.publish(&o.registry, |pc| pcs.display(pc));
         }
-        append_journal(&session, o)?;
+        if flags.has("obs") {
+            append_journal(&session, o)?;
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
     }
     Ok(())
 }
@@ -381,8 +488,8 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
     };
     let flags = Flags::parse(&args[1..])?;
     let mut config = analysis_config(&flags)?;
-    let obs = flags.has("obs").then(Obs::new);
-    let sites = obs.as_ref().map(|_| SiteTable::new());
+    let obs = (flags.has("obs") || flags.map.contains_key("listen")).then(Obs::new);
+    let sites = obs.as_ref().filter(|_| flags.has("obs")).map(|_| SiteTable::new());
     if let Some(o) = &obs {
         config = config.with_obs(o.clone());
     }
@@ -398,12 +505,57 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         return Err(format!("no such session directory: {dir}"));
     }
 
+    // Shared with the telemetry endpoints: poll progress for /status and
+    // the races found so far for /races, refreshed after every poll.
+    let shared_progress: Arc<std::sync::Mutex<(u64, u64)>> = Arc::default(); // (polls, races)
+    let shared_races: Arc<std::sync::Mutex<Vec<Value>>> = Arc::default();
+    let server = match &obs {
+        Some(o) => {
+            let base = session_status_provider(&session);
+            let progress = Arc::clone(&shared_progress);
+            let list = Arc::clone(&shared_races);
+            start_listener(
+                &flags,
+                TelemetryHandles::new(o.clone())
+                    .with_status(Arc::new(move || {
+                        let (polls, races) = *progress.lock().expect("progress lock");
+                        let mut fields = match base() {
+                            Value::Obj(fields) => fields,
+                            other => vec![("session".to_string(), other)],
+                        };
+                        fields.push(("polls".to_string(), Value::Num(polls as f64)));
+                        fields.push(("races".to_string(), Value::Num(races as f64)));
+                        Value::Obj(fields)
+                    }))
+                    .with_races(Arc::new(move || {
+                        Value::Arr(list.lock().expect("races lock").clone())
+                    })),
+            )?
+        }
+        None => None,
+    };
+
     let mut live = LiveAnalyzer::new(&session, &config);
     let sw = Stopwatch::start();
     let mut polls = 0u64;
     let timed_out = loop {
         let delta = live.poll().map_err(|e| e.to_string())?;
         polls += 1;
+        if server.is_some() {
+            *shared_progress.lock().expect("progress lock") = (polls, delta.total_races as u64);
+            if !delta.new_races.is_empty() {
+                let mut list = shared_races.lock().expect("races lock");
+                for race in &delta.new_races {
+                    let id = list.len();
+                    list.push(Value::Obj(vec![
+                        ("id".to_string(), Value::Num(id as f64)),
+                        ("title".to_string(), Value::Str(race.render(live.pcs()))),
+                        ("occurrences".to_string(), Value::Num(race.occurrences as f64)),
+                        ("evidence".to_string(), Value::Str(race.render_evidence(live.pcs()))),
+                    ]));
+                }
+            }
+        }
         if json {
             println!(
                 "{{\"poll\": {}, \"generation\": {}, \"new_intervals\": {}, \
@@ -463,7 +615,174 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         }
     }
     if let Some(o) = &obs {
-        append_journal(&session, o)?;
+        if flags.has("obs") {
+            append_journal(&session, o)?;
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    Ok(())
+}
+
+/// One rendered `sword top` frame plus whether the target reported a
+/// finished session (which ends an unbounded polling loop).
+fn top_frame_http(addr: &str) -> Result<(String, bool), String> {
+    let body = http_get(addr, "/status", std::time::Duration::from_secs(5))
+        .map_err(|e| format!("GET http://{addr}/status: {e}"))?;
+    let doc = sword_obs::json::parse(&body).map_err(|e| format!("bad /status JSON: {e}"))?;
+    let mut out = String::new();
+    let field = |key: &str| doc.get(key).map(render_json_scalar);
+    out.push_str(&format!("sword top — http://{addr}\n"));
+    for key in ["session", "generation", "finished", "races", "polls", "uptime_us", "sse_clients"] {
+        if let Some(v) = field(key) {
+            out.push_str(&format!("  {key:<12} {v}\n"));
+        }
+    }
+    if let Some(dropped) = doc.get("journal_dropped_events").and_then(Value::as_u64) {
+        if dropped > 0 {
+            out.push_str(&format!("  WARNING: journal dropped {dropped} events\n"));
+        }
+    }
+    if let Some(queues) = doc.get("queues").and_then(Value::as_obj) {
+        if !queues.is_empty() {
+            let mut t = Table::new("queue depths", &["stage", "depth"]);
+            for (name, v) in queues {
+                t.row(&[name.clone(), render_json_scalar(v)]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+    }
+    if let Some(hists) = doc.get("histograms").and_then(Value::as_arr) {
+        if !hists.is_empty() {
+            let mut t =
+                Table::new("latency quantiles", &["histogram", "count", "p50", "p95", "p99"]);
+            for row in hists {
+                t.row(&[
+                    row.get("name").and_then(Value::as_str).unwrap_or("?").to_string(),
+                    row.get("count").map(render_json_scalar).unwrap_or_default(),
+                    row.get("p50").map(render_json_scalar).unwrap_or_default(),
+                    row.get("p95").map(render_json_scalar).unwrap_or_default(),
+                    row.get("p99").map(render_json_scalar).unwrap_or_default(),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+    }
+    let finished = doc.get("finished") == Some(&Value::Bool(true));
+    Ok((out, finished))
+}
+
+/// Renders a JSON scalar the way the tables expect (integers unpadded).
+fn render_json_scalar(v: &Value) -> String {
+    match v {
+        Value::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => format!("{}", *n as i64),
+        Value::Str(s) => s.clone(),
+        other => other.render(),
+    }
+}
+
+/// `sword top` against a session directory: renders the persisted
+/// `live.meta` status and `metrics.prom` exposition instead of a live
+/// exporter (useful post-run, or when the run was started without
+/// `--listen`).
+fn top_frame_session(session: &SessionDir) -> Result<(String, bool), String> {
+    let mut out = String::new();
+    out.push_str(&format!("sword top — {}\n", session.path().display()));
+    let mut finished = false;
+    if let Ok(Some(live)) = session.read_live() {
+        finished = live.finished;
+        out.push_str(&format!("  generation   {}\n", live.generation));
+        out.push_str(&format!("  finished     {}\n", live.finished));
+    }
+    let prom_path = session.metrics_path();
+    if !prom_path.exists() {
+        out.push_str("  (no metrics.prom yet — run with --obs, or poll a --listen address)\n");
+        return Ok((out, finished));
+    }
+    let prom = std::fs::read_to_string(&prom_path).map_err(|e| e.to_string())?;
+    // Flatten the exposition: plain `name value` samples, with summary
+    // quantile labels folded into `_p50`/`_p95`/`_p99` suffixes so the
+    // shared histogram-row view applies.
+    let mut flat: Vec<(String, f64)> = Vec::new();
+    for line in prom.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else { continue };
+        let Ok(value) = value.parse::<f64>() else { continue };
+        let name = match name.split_once('{') {
+            None => name.to_string(),
+            Some((base, labels)) => match labels.trim_end_matches('}') {
+                "quantile=\"0.5\"" => format!("{base}_p50"),
+                "quantile=\"0.95\"" => format!("{base}_p95"),
+                "quantile=\"0.99\"" => format!("{base}_p99"),
+                _ => continue,
+            },
+        };
+        flat.push((name, value));
+    }
+    let mut queues = Table::new("queue depths", &["stage", "depth"]);
+    let mut have_queues = false;
+    for (name, value) in &flat {
+        if name.ends_with("_queue_depth") {
+            queues.row(&[name.clone(), format!("{}", *value as i64)]);
+            have_queues = true;
+        }
+    }
+    if have_queues {
+        out.push_str(&queues.render());
+        out.push('\n');
+    }
+    let rows = sword_obs::histogram_rows(&flat);
+    if !rows.is_empty() {
+        let mut t = Table::new("latency quantiles", &["histogram", "count", "p50", "p95", "p99"]);
+        for r in &rows {
+            t.row(&[
+                r.name.clone(),
+                format!("{}", r.count),
+                format!("{}", r.p50),
+                format!("{}", r.p95),
+                format!("{}", r.p99),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    Ok((out, finished))
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let Some(target) = args.first() else {
+        return Err("missing telemetry address or session directory".into());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    // 0 iterations = poll until the session reports finished.
+    let iters = flags.get_u64("iters", 0)?;
+    let interval = std::time::Duration::from_millis(flags.get_u64("interval-ms", 1000)?);
+    let http = target.parse::<std::net::SocketAddr>().is_ok();
+    let session = (!http).then(|| SessionDir::new(target));
+    if let Some(s) = &session {
+        if !s.path().exists() {
+            return Err(format!(
+                "`{target}` is neither a host:port address nor a session directory"
+            ));
+        }
+    }
+    let mut n = 0u64;
+    loop {
+        n += 1;
+        let (frame, finished) = match &session {
+            None => top_frame_http(target)?,
+            Some(s) => top_frame_session(s)?,
+        };
+        print!("{frame}");
+        if (iters > 0 && n >= iters) || (iters == 0 && finished) {
+            break;
+        }
+        std::thread::sleep(interval);
     }
     Ok(())
 }
@@ -627,7 +946,9 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let config = analysis_config(&flags)?;
     let found =
-        print_analysis(&SessionDir::new(&session), &config, flags.has("json"), flags.has("stats"))?;
+        print_analysis(&SessionDir::new(&session), &config, flags.has("json"), flags.has("stats"))?
+            .races
+            .len();
     let _ = std::fs::remove_dir_all(&session);
     let expected = w.spec().sword_races;
     println!(
@@ -1056,6 +1377,177 @@ mod tests {
             "campaign span journaled"
         );
         std::fs::remove_dir_all(&corpus).unwrap();
+    }
+
+    /// Reserves an ephemeral port by binding and immediately releasing it.
+    /// A tiny race window remains, but nothing else in the test process
+    /// binds ports concurrently.
+    fn free_addr() -> String {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    }
+
+    #[test]
+    fn listen_serves_status_metrics_and_events_during_watch() {
+        use std::time::{Duration, Instant};
+
+        // A live-mode session that never finishes: watch polls it for a
+        // few seconds, giving a deterministic window to exercise every
+        // telemetry endpoint against the in-flight command.
+        let dir = std::env::temp_dir().join(format!("sword-cli-listen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = SessionDir::new(&dir);
+        session.create().unwrap();
+        std::fs::write(session.thread_meta(0), "").unwrap();
+        session.write_live(sword_trace::LiveStatus { generation: 1, finished: false }).unwrap();
+        let addr = free_addr();
+        let watcher = {
+            let dir = dir.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run(&s(&[
+                    "watch",
+                    dir.to_str().unwrap(),
+                    "--interval-ms",
+                    "20",
+                    "--timeout-secs",
+                    "4",
+                    "--listen",
+                    &addr,
+                ]))
+            })
+        };
+        // Wait for the exporter to come up, then hit each endpoint.
+        let deadline = Instant::now() + Duration::from_secs(3);
+        let status = loop {
+            match http_get(&addr, "/status", Duration::from_secs(1)) {
+                Ok(body) => break body,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20))
+                }
+                Err(e) => panic!("telemetry endpoint never came up: {e}"),
+            }
+        };
+        let doc = sword_obs::json::parse(&status).expect("status JSON");
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(
+            doc.get("session").and_then(Value::as_str),
+            Some(dir.to_str().unwrap()),
+            "{status}"
+        );
+        assert!(doc.get("races").is_some(), "{status}");
+        assert!(doc.get("polls").is_some(), "{status}");
+        let metrics = http_get(&addr, "/metrics", Duration::from_secs(2)).unwrap();
+        assert!(metrics.contains("sword_exporter_requests_total"), "{metrics}");
+        let health = http_get(&addr, "/healthz", Duration::from_secs(2)).unwrap();
+        assert_eq!(sword_obs::json::parse(&health).unwrap().get("ok"), Some(&Value::Bool(true)));
+        let races = http_get(&addr, "/races", Duration::from_secs(2)).unwrap();
+        assert!(sword_obs::json::parse(&races).unwrap().as_arr().is_some());
+        // SSE: the stream head arrives even when no events flow yet.
+        {
+            use std::io::{BufRead, BufReader, Write};
+            let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+            stream
+                .write_all(
+                    format!("GET /events?limit=1 HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes(),
+                )
+                .unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut first = String::new();
+            BufReader::new(stream).read_line(&mut first).unwrap();
+            assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+        }
+        // `sword top` renders frames from the same live endpoint.
+        run(&s(&["top", &addr, "--iters", "2", "--interval-ms", "10"])).expect("top vs http");
+        watcher.join().unwrap().expect("watch --listen");
+        // After the command ends, the exporter is down.
+        assert!(http_get(&addr, "/healthz", Duration::from_secs(1)).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_with_listen_attaches_exporter_and_top_reads_session() {
+        let dir = std::env::temp_dir().join(format!("sword-cli-rls-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let addr = free_addr();
+        run(&s(&[
+            "run",
+            "plusplus-orig-yes",
+            "--session",
+            dir.to_str().unwrap(),
+            "--live",
+            "--listen",
+            &addr,
+        ]))
+        .expect("run --live --listen");
+        // The exporter shared the collector's registry: its self-metering
+        // rows landed in the finalize-time Prometheus exposition.
+        let prom = std::fs::read_to_string(SessionDir::new(&dir).metrics_path()).unwrap();
+        assert!(prom.contains("sword_exporter_requests_total"), "{prom}");
+        assert!(prom.contains("sword_flush_queue_wait_us"), "{prom}");
+        assert!(prom.contains("{quantile=\"0.95\"}"), "{prom}");
+        // Session-directory `sword top`: finished session renders one
+        // frame (queue depths + quantiles) and exits on its own.
+        run(&s(&["top", dir.to_str().unwrap()])).expect("top vs session dir");
+        assert!(run(&s(&["top", "/no/such/target"])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verdicts_identical_with_and_without_exporter() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        // One session, analyzed twice: bare, and with the exporter
+        // scraping the live registry throughout. The verdicts and
+        // evidence must render byte-identically — telemetry reads must
+        // never perturb analysis results.
+        let dir = std::env::temp_dir().join(format!("sword-cli-ident-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        run(&s(&["run", "plusplus-orig-yes", "--session", dir.to_str().unwrap()])).expect("run");
+        let session = SessionDir::new(&dir);
+        let pcs = read_pcs(&session).unwrap();
+
+        // Wall-clock fields differ between any two runs; everything up to
+        // the stats block (all races + evidence) must match exactly.
+        fn verdict_bytes(text: &str) -> &str {
+            text.split("\"stats\"").next().unwrap()
+        }
+
+        let bare = analyze(&session, &AnalysisConfig::default()).unwrap();
+        let bare_text = sword_offline::render_json(&bare, &pcs);
+
+        let obs = Obs::new();
+        let config = AnalysisConfig::default().with_obs(obs.clone());
+        let server =
+            TelemetryServer::start(ServerConfig::bind("127.0.0.1:0"), TelemetryHandles::new(obs))
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let scraper = {
+            let stop = Arc::clone(&stop);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut hits = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    if http_get(&addr, "/metrics", std::time::Duration::from_secs(1)).is_ok() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        };
+        let watched = analyze(&session, &config).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        assert!(scraper.join().unwrap() > 0, "scraper must actually have hit /metrics");
+        server.shutdown();
+        let watched_text = sword_offline::render_json(&watched, &pcs);
+        assert_eq!(
+            verdict_bytes(&bare_text),
+            verdict_bytes(&watched_text),
+            "exporter must not perturb verdicts"
+        );
+        assert!(bare_text.contains("\"races\""), "guard: split kept the verdict section");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent message
+    /// back to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity; sending would block.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         /// `None` for unbounded channels.
@@ -109,6 +119,26 @@ pub mod channel {
                         queue = shared.not_full.wait(queue).unwrap_or_else(PoisonError::into_inner);
                     }
                     _ => break,
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+        /// blocking when a bounded channel is at capacity. Lets callers
+        /// observe backpressure (count it, then fall back to `send`).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let shared = &*self.shared;
+            let mut queue = shared.lock();
+            if shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = shared.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             queue.push_back(msg);
@@ -311,6 +341,17 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded::<u8>(1);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]

@@ -1,0 +1,147 @@
+//! Minimal HTTP/1.1 request parsing and response writing over
+//! `std::net::TcpStream`.
+//!
+//! The exporter speaks just enough HTTP for scrapers, dashboards, and
+//! `curl`: GET requests, a handful of response headers, and
+//! `Connection: close` semantics (one request per connection keeps the
+//! bounded worker pool's accounting trivial).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers). Anything
+/// larger is rejected; the exporter never needs bodies.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request line: method, path, and decoded query pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method (`GET` for every endpoint we serve).
+    pub method: String,
+    /// Path without the query string (e.g. `/metrics`).
+    pub path: String,
+    /// Query pairs in order (`?layer=runtime&limit=10`).
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads and parses one request head from the stream. Returns `None`
+/// for a malformed or oversized head (the caller answers 400).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Ok(None);
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Ok(None);
+    };
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = Vec::new();
+    for pair in query_str.split('&').filter(|s| !s.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.push((percent_decode(k), percent_decode(v)));
+    }
+    Ok(Some(Request { method: method.to_string(), path: path.to_string(), query }))
+}
+
+// Decodes %XX escapes and '+' (space); bad escapes pass through.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let hex = |b: u8| (b as char).to_digit(16).map(|d| d as u8);
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 2;
+                }
+                _ => out.push(b'%'),
+            },
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Writes a complete response with a body and closes the exchange.
+/// Returns the number of bytes written (for the exporter's own byte
+/// counter).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<usize> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    Ok(head.len() + body.len())
+}
+
+/// Writes just the head of a streaming (SSE) response; the body follows
+/// incrementally and the connection stays open until the server or the
+/// client hangs up.
+pub fn write_stream_head(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("runtime%2Coffline"), "runtime,offline");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trail%2"), "trail%2");
+    }
+}

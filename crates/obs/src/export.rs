@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::path::Path;
 
-use crate::journal::JournalEvent;
+use crate::journal::{FlowPhase, JournalEvent};
 use crate::json::Value;
 
 /// Supported export formats.
@@ -68,6 +68,9 @@ pub fn chrome_trace(events: &[JournalEvent]) -> Value {
         }
         let tid = tids[&key];
         out.push(trace_event(event, pid, tid));
+        if let Some(flow) = flow_event(event, pid, tid) {
+            out.push(flow);
+        }
     }
     Value::Obj(vec![
         ("traceEvents".to_string(), Value::Arr(out)),
@@ -114,6 +117,33 @@ fn trace_event(event: &JournalEvent, pid: u64, tid: u64) -> Value {
     Value::Obj(pairs)
 }
 
+// A flow arrow anchored to this event: `s` leaves the tail of the
+// producer span, `t`/`f` arrive at the head of the consumer span. All
+// hops of one channel handoff share a name/cat/id, which is how viewers
+// join them into one arrow chain across threads and processes.
+fn flow_event(event: &JournalEvent, pid: u64, tid: u64) -> Option<Value> {
+    let (id, phase) = event.flow?;
+    let ts = match phase {
+        FlowPhase::Start => event.t_us + event.dur_us.unwrap_or(0),
+        FlowPhase::Step | FlowPhase::End => event.t_us,
+    };
+    let mut pairs = vec![
+        ("name".to_string(), Value::Str("queue-hop".to_string())),
+        ("cat".to_string(), Value::Str("flow".to_string())),
+        ("ph".to_string(), Value::Str(phase.as_str().to_string())),
+        ("id".to_string(), Value::Num(id as f64)),
+        ("pid".to_string(), Value::Num(pid as f64)),
+        ("tid".to_string(), Value::Num(tid as f64)),
+        ("ts".to_string(), Value::Num(ts as f64)),
+    ];
+    if phase == FlowPhase::End {
+        // Bind to the enclosing slice so the arrow lands on the span
+        // that dequeued the item, not on a zero-width point.
+        pairs.push(("bp".to_string(), Value::Str("e".to_string())));
+    }
+    Some(Value::Obj(pairs))
+}
+
 /// Renders journal events to a Chrome trace file.
 pub fn write_chrome_trace(path: &Path, events: &[JournalEvent]) -> io::Result<()> {
     let doc = chrome_trace(events);
@@ -135,6 +165,7 @@ mod tests {
             t_us: t,
             dur_us: dur,
             args: vec![("bytes".to_string(), 10.0)],
+            flow: None,
         }
     }
 
@@ -151,6 +182,7 @@ mod tests {
                 t_us: 50,
                 dur_us: None,
                 args: vec![("queue".to_string(), 2.0)],
+                flow: None,
             },
             ev(Layer::Runtime, "app-0", "publish", 60, None),
         ];
@@ -183,5 +215,35 @@ mod tests {
         // Round-trips through our own parser (valid JSON).
         let text = doc.render();
         assert_eq!(crate::json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn flow_members_emit_linked_arrow_events() {
+        let mut producer = ev(Layer::Runtime, "app-0", "flush-handoff", 5, Some(20));
+        producer.flow = Some((9, FlowPhase::Start));
+        let mut hop = ev(Layer::Runtime, "compress-0", "compress", 40, Some(10));
+        hop.flow = Some((9, FlowPhase::Step));
+        let mut consumer = ev(Layer::Runtime, "writer", "write", 70, Some(4));
+        consumer.flow = Some((9, FlowPhase::End));
+        let doc = chrome_trace(&[producer, hop, consumer]);
+        let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let flows: Vec<&Value> =
+            items.iter().filter(|v| v.get("cat").and_then(Value::as_str) == Some("flow")).collect();
+        assert_eq!(flows.len(), 3);
+        let ph = |v: &Value| v.get("ph").unwrap().as_str().unwrap().to_string();
+        assert_eq!(ph(flows[0]), "s");
+        assert_eq!(ph(flows[1]), "t");
+        assert_eq!(ph(flows[2]), "f");
+        // One shared id and name joins the chain; the start anchors at
+        // the producer span's tail (5 + 20).
+        for f in &flows {
+            assert_eq!(f.get("id").unwrap().as_u64(), Some(9));
+            assert_eq!(f.get("name").unwrap().as_str(), Some("queue-hop"));
+        }
+        assert_eq!(flows[0].get("ts").unwrap().as_u64(), Some(25));
+        assert_eq!(flows[2].get("ts").unwrap().as_u64(), Some(70));
+        assert_eq!(flows[2].get("bp").unwrap().as_str(), Some("e"));
+        // Flow arrows ride on the same pid/tid rows as their spans.
+        assert_ne!(flows[0].get("tid").unwrap().as_u64(), flows[2].get("tid").unwrap().as_u64());
     }
 }

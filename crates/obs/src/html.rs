@@ -214,6 +214,7 @@ mod tests {
                 t_us: 0,
                 dur_us: Some(1500),
                 args: vec![],
+                flow: None,
             },
             JournalEvent {
                 layer: Layer::Cli,
@@ -225,6 +226,7 @@ mod tests {
                     ("sword_collector_tool_mem_bytes".to_string(), 1_000_000.0),
                     ("sword_site_pairs{site=\"a.rs:1\"}".to_string(), 4.0),
                 ],
+                flow: None,
             },
         ];
         let mut info = std::collections::BTreeMap::new();

@@ -19,8 +19,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::json::{self, Value};
 
@@ -77,6 +78,42 @@ impl Layer {
     }
 }
 
+/// Where an event sits on a producer→consumer flow: the producing side
+/// (`Start`), an intermediate hop (`Step`), or the final consumer
+/// (`End`). Chrome trace export turns these into flow arrows (`ph`
+/// `s`/`t`/`f`) joining spans across threads by flow id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// Producer side of a channel handoff.
+    Start,
+    /// Intermediate hop (consumed then re-enqueued downstream).
+    Step,
+    /// Final consumer of the flow.
+    End,
+}
+
+impl FlowPhase {
+    /// Stable one-letter name used in the JSONL `fph` field (matches the
+    /// Chrome trace `ph` letter).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlowPhase::Start => "s",
+            FlowPhase::Step => "t",
+            FlowPhase::End => "f",
+        }
+    }
+
+    /// Parses the JSONL `fph` field.
+    pub fn from_name(s: &str) -> Option<FlowPhase> {
+        match s {
+            "s" => Some(FlowPhase::Start),
+            "t" => Some(FlowPhase::Step),
+            "f" => Some(FlowPhase::End),
+            _ => None,
+        }
+    }
+}
+
 /// One journal record: a completed span (`dur_us` set) or an instant.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JournalEvent {
@@ -92,6 +129,9 @@ pub struct JournalEvent {
     pub dur_us: Option<u64>,
     /// Numeric attributes (byte counts, depths, ...).
     pub args: Vec<(String, f64)>,
+    /// Causal flow membership: `(flow id, phase)` when this event sits on
+    /// a cross-thread producer→consumer chain.
+    pub flow: Option<(u64, FlowPhase)>,
 }
 
 impl JournalEvent {
@@ -109,6 +149,10 @@ impl JournalEvent {
         if !self.args.is_empty() {
             let args = self.args.iter().map(|(k, v)| (k.clone(), Value::Num(*v))).collect();
             pairs.push(("args".to_string(), Value::Obj(args)));
+        }
+        if let Some((id, phase)) = self.flow {
+            pairs.push(("flow".to_string(), Value::Num(id as f64)));
+            pairs.push(("fph".to_string(), Value::Str(phase.as_str().to_string())));
         }
         Value::Obj(pairs)
     }
@@ -130,6 +174,11 @@ impl JournalEvent {
                 args.push((k.clone(), av.as_f64().ok_or("non-numeric arg")?));
             }
         }
+        let flow =
+            match (v.get("flow").and_then(Value::as_u64), v.get("fph").and_then(Value::as_str)) {
+                (Some(id), Some(p)) => Some((id, FlowPhase::from_name(p).ok_or("unknown fph")?)),
+                _ => None,
+            };
         Ok(JournalEvent {
             layer,
             thread: thread.to_string(),
@@ -137,6 +186,7 @@ impl JournalEvent {
             t_us,
             dur_us,
             args,
+            flow,
         })
     }
 }
@@ -147,6 +197,38 @@ struct Ring {
     events: Mutex<VecDeque<JournalEvent>>,
 }
 
+struct TapSender {
+    tx: SyncSender<JournalEvent>,
+    dropped: Arc<AtomicU64>,
+}
+
+/// A live subscription to drained journal events (see [`Journal::tap`]).
+/// Events are forwarded at drain time through a bounded channel; when the
+/// subscriber falls behind, the newest events are dropped and counted
+/// instead of buffering without bound (slow-client shedding at the
+/// source). Dropping the tap unsubscribes it.
+pub struct JournalTap {
+    rx: Receiver<JournalEvent>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl JournalTap {
+    /// Receives the next forwarded event, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<JournalEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Receives a forwarded event if one is ready.
+    pub fn try_recv(&self) -> Option<JournalEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Events dropped because this tap's channel was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
 struct JournalInner {
     epoch: Instant,
     capacity: usize,
@@ -155,6 +237,8 @@ struct JournalInner {
     // snapshots, drop markers); avoids growing the ring list per record.
     meta: Arc<Ring>,
     dropped: AtomicU64,
+    next_flow: AtomicU64,
+    taps: Mutex<Vec<TapSender>>,
 }
 
 /// The shared journal: hands out per-thread recorders and drains them.
@@ -193,8 +277,32 @@ impl Journal {
                 rings: Mutex::new(vec![Arc::clone(&meta)]),
                 meta,
                 dropped: AtomicU64::new(0),
+                next_flow: AtomicU64::new(1),
+                taps: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// Allocates a fresh causal-flow id, unique within this journal. Ids
+    /// stamp the producer and consumer events of one channel handoff so
+    /// trace viewers can draw the arrow between them.
+    pub fn next_flow_id(&self) -> u64 {
+        self.inner.next_flow.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Subscribes to drained events through a bounded channel of
+    /// `capacity` events. Forwarding happens at drain time (the periodic
+    /// sink pass), never on the recording hot path; a full channel drops
+    /// the event for that tap and bumps its drop counter.
+    pub fn tap(&self, capacity: usize) -> JournalTap {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+        let dropped = Arc::new(AtomicU64::new(0));
+        self.inner
+            .taps
+            .lock()
+            .expect("journal lock")
+            .push(TapSender { tx, dropped: Arc::clone(&dropped) });
+        JournalTap { rx, dropped }
     }
 
     /// Records a pre-built event into the shared meta ring (same bounded
@@ -239,7 +347,30 @@ impl Journal {
             out.extend(events.drain(..));
         }
         out.sort_by_key(|e| e.t_us);
+        self.forward_to_taps(&out);
         out
+    }
+
+    fn forward_to_taps(&self, events: &[JournalEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let mut taps = self.inner.taps.lock().expect("journal lock");
+        if taps.is_empty() {
+            return;
+        }
+        taps.retain(|tap| {
+            for event in events {
+                match tap.tx.try_send(event.clone()) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        tap.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return false,
+                }
+            }
+            true
+        });
     }
 }
 
@@ -269,6 +400,7 @@ impl ThreadJournal {
             name: name.into(),
             start_us: self.journal.now_us(),
             args: Vec::new(),
+            flow: None,
         }
     }
 
@@ -281,6 +413,18 @@ impl ThreadJournal {
         dur_us: u64,
         args: Vec<(String, f64)>,
     ) {
+        self.span_closed_flow(name, start_us, dur_us, args, None);
+    }
+
+    /// [`ThreadJournal::span_closed`] with causal-flow membership.
+    pub fn span_closed_flow(
+        &self,
+        name: impl Into<String>,
+        start_us: u64,
+        dur_us: u64,
+        args: Vec<(String, f64)>,
+        flow: Option<(u64, FlowPhase)>,
+    ) {
         self.push(JournalEvent {
             layer: self.ring.layer,
             thread: self.ring.label.clone(),
@@ -288,11 +432,22 @@ impl ThreadJournal {
             t_us: start_us,
             dur_us: Some(dur_us),
             args,
+            flow,
         });
     }
 
     /// Records an instant event.
     pub fn instant(&self, name: impl Into<String>, args: Vec<(String, f64)>) {
+        self.instant_flow(name, args, None);
+    }
+
+    /// [`ThreadJournal::instant`] with causal-flow membership.
+    pub fn instant_flow(
+        &self,
+        name: impl Into<String>,
+        args: Vec<(String, f64)>,
+        flow: Option<(u64, FlowPhase)>,
+    ) {
         let now = self.journal.now_us();
         self.push(JournalEvent {
             layer: self.ring.layer,
@@ -301,6 +456,7 @@ impl ThreadJournal {
             t_us: now,
             dur_us: None,
             args,
+            flow,
         });
     }
 
@@ -321,6 +477,7 @@ pub struct Span<'a> {
     name: String,
     start_us: u64,
     args: Vec<(String, f64)>,
+    flow: Option<(u64, FlowPhase)>,
 }
 
 impl Span<'_> {
@@ -335,16 +492,23 @@ impl Span<'_> {
     pub fn set_arg(&mut self, key: impl Into<String>, value: f64) {
         self.args.push((key.into(), value));
     }
+
+    /// Places this span on a causal flow.
+    pub fn flow(mut self, id: u64, phase: FlowPhase) -> Self {
+        self.flow = Some((id, phase));
+        self
+    }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         let end = self.recorder.now_us();
-        self.recorder.span_closed(
+        self.recorder.span_closed_flow(
             std::mem::take(&mut self.name),
             self.start_us,
             end.saturating_sub(self.start_us),
             std::mem::take(&mut self.args),
+            self.flow.take(),
         );
     }
 }
@@ -406,6 +570,7 @@ impl JournalSink {
                 t_us: journal.now_us(),
                 dur_us: None,
                 args: vec![("count".to_string(), (dropped - *last_dropped) as f64)],
+                flow: None,
             });
             *last_dropped = dropped;
         }
@@ -508,10 +673,57 @@ mod tests {
             t_us: 123456,
             dur_us: Some(789),
             args: vec![("nodes".to_string(), 42.0)],
+            flow: None,
         };
         let line = event.to_json().render();
         let back = JournalEvent::from_json(&json::parse(&line).unwrap()).unwrap();
         assert_eq!(back, event);
+
+        // Flow membership survives the round trip too.
+        let flowed = JournalEvent { flow: Some((17, FlowPhase::Step)), ..event };
+        let line = flowed.to_json().render();
+        let back = JournalEvent::from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, flowed);
+    }
+
+    #[test]
+    fn tap_forwards_drained_events_and_sheds_when_full() {
+        let journal = Journal::new(64);
+        let tj = journal.for_thread(Layer::Runtime, "app-0");
+        let tap = journal.tap(4);
+        for i in 0..10 {
+            tj.instant(format!("e{i}"), vec![]);
+        }
+        // Nothing is forwarded until a drain pass runs.
+        assert!(tap.try_recv().is_none());
+        let drained = journal.drain();
+        assert_eq!(drained.len(), 10);
+        // The tap holds the oldest 4; the rest were shed, not buffered.
+        let mut got = Vec::new();
+        while let Some(e) = tap.try_recv() {
+            got.push(e.name);
+        }
+        assert_eq!(got, vec!["e0", "e1", "e2", "e3"]);
+        assert_eq!(tap.dropped(), 6);
+        // Dropping the tap unsubscribes it: the next drain must not
+        // error or leak.
+        drop(tap);
+        tj.instant("after", vec![]);
+        assert_eq!(journal.drain().len(), 1);
+    }
+
+    #[test]
+    fn flow_ids_are_unique_and_span_guard_carries_flow() {
+        let journal = Journal::new(16);
+        let a = journal.next_flow_id();
+        let b = journal.next_flow_id();
+        assert_ne!(a, b);
+        let tj = journal.for_thread(Layer::Runtime, "app-0");
+        {
+            let _span = tj.span("handoff").flow(a, FlowPhase::Start);
+        }
+        let events = journal.drain();
+        assert_eq!(events[0].flow, Some((a, FlowPhase::Start)));
     }
 
     #[test]
@@ -546,6 +758,7 @@ mod tests {
             t_us: 10,
             dur_us: Some(5),
             args: vec![],
+            flow: None,
         }
         .to_json()
         .render();

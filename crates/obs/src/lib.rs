@@ -40,22 +40,31 @@ pub mod sites;
 pub use export::{chrome_trace, write_chrome_trace, ExportFormat};
 pub use html::{render_html, HtmlInput, HtmlRace};
 pub use journal::{
-    read_journal, Journal, JournalEvent, JournalRead, JournalSink, Layer, Span, ThreadJournal,
-    DEFAULT_RING_CAPACITY,
+    read_journal, FlowPhase, Journal, JournalEvent, JournalRead, JournalSink, JournalTap, Layer,
+    Span, ThreadJournal, DEFAULT_RING_CAPACITY,
 };
 pub use registry::{Counter, Gauge, Histogram, Registry};
-pub use report::{render_report, span_rows, ReportInput, SpanRow, PAPER_PER_THREAD_BOUND_BYTES};
+pub use report::{
+    histogram_rows, render_report, span_rows, HistogramRow, ReportInput, SpanRow,
+    PAPER_PER_THREAD_BOUND_BYTES,
+};
 pub use sites::{hot_sites_from_metrics, HotSite, SiteCounters, SiteId, SiteStats, SiteTable};
 
 /// One observability context: a journal plus a registry, shared by every
 /// layer of a run (the collector, the offline pass, and the CLI clone
 /// the same handle).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Obs {
     /// The span/event journal.
     pub journal: Journal,
     /// The metrics registry.
     pub registry: Registry,
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
 }
 
 impl Obs {
@@ -66,7 +75,15 @@ impl Obs {
 
     /// Creates a context with a custom per-thread ring capacity.
     pub fn with_ring_capacity(capacity: usize) -> Obs {
-        Obs { journal: Journal::new(capacity), registry: Registry::new() }
+        let journal = Journal::new(capacity);
+        let registry = Registry::new();
+        let j = journal.clone();
+        registry.source(
+            "sword_journal_dropped_events_total",
+            "journal events dropped at ring capacity",
+            move || j.dropped_events() as f64,
+        );
+        Obs { journal, registry }
     }
 
     /// Appends a registry snapshot event to the journal, so the next
@@ -89,6 +106,9 @@ mod tests {
         let events = obs.journal.drain();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].name, "metrics");
-        assert_eq!(events[0].args, vec![("n".to_string(), 2.0)]);
+        let lookup = |k: &str| events[0].args.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(lookup("n"), Some(2.0));
+        // Every context carries the journal drop counter as a source.
+        assert_eq!(lookup("sword_journal_dropped_events_total"), Some(0.0));
     }
 }

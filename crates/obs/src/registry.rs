@@ -259,6 +259,7 @@ impl Registry {
                     out.push((format!("{}_sum", m.name), h.sum() as f64));
                     out.push((format!("{}_max", m.name), h.max() as f64));
                     out.push((format!("{}_p50", m.name), h.quantile(0.5) as f64));
+                    out.push((format!("{}_p95", m.name), h.quantile(0.95) as f64));
                     out.push((format!("{}_p99", m.name), h.quantile(0.99) as f64));
                 }
             }
@@ -294,6 +295,13 @@ impl Registry {
                     let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.count());
                     let _ = writeln!(out, "{}_sum {}", m.name, h.sum());
                     let _ = writeln!(out, "{}_count {}", m.name, h.count());
+                    // Summary-style quantile lines (bucket upper bounds)
+                    // so scrape-side dashboards get tail latency without
+                    // needing histogram_quantile() over sparse buckets.
+                    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        let _ =
+                            writeln!(out, "{}{{quantile=\"{}\"}} {}", m.name, label, h.quantile(q));
+                    }
                 }
             }
         }
@@ -311,6 +319,7 @@ impl Registry {
             t_us: journal.now_us(),
             dur_us: None,
             args: self.snapshot(),
+            flow: None,
         }
     }
 }
@@ -366,6 +375,9 @@ mod tests {
         assert!(text.contains("# TYPE c_nanos histogram"));
         assert!(text.contains("c_nanos_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("c_nanos_sum 3"));
+        assert!(text.contains("c_nanos{quantile=\"0.5\"} 4"));
+        assert!(text.contains("c_nanos{quantile=\"0.95\"} 4"));
+        assert!(text.contains("c_nanos{quantile=\"0.99\"} 4"));
         assert!(text.contains("d_ratio 1.5"));
     }
 

@@ -65,8 +65,20 @@ pub fn render_report(input: &ReportInput) -> String {
         input.events.len(),
         if layers.is_empty() { "empty".to_string() } else { layers.join(", ") }
     );
+    // The registry counter covers drops the drain markers never saw
+    // (e.g. events shed after the final drain); report whichever is
+    // larger so a lossy journal is never presented as complete.
+    let snapshot = last_metrics_snapshot(&input.events);
+    let counter_dropped = snapshot
+        .iter()
+        .find(|(k, _)| k == "sword_journal_dropped_events_total")
+        .map_or(0, |(_, v)| *v as u64);
+    let dropped = dropped.max(counter_dropped);
     if dropped > 0 {
-        let _ = writeln!(out, "journal: {dropped} events dropped at ring capacity");
+        let _ = writeln!(
+            out,
+            "WARNING: journal dropped {dropped} events at ring capacity (telemetry below is incomplete)"
+        );
     }
     if input.truncated_tail {
         let _ = writeln!(out, "journal: torn final line skipped (run ended abruptly)");
@@ -114,8 +126,22 @@ pub fn render_report(input: &ReportInput) -> String {
         }
     }
 
+    // --- Latency quantiles (registry histograms) --------------------------
+    let quantile_rows = histogram_rows(&snapshot);
+    if !quantile_rows.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "latency quantiles");
+        let _ = writeln!(out, "-----------------");
+        for row in &quantile_rows {
+            let _ = writeln!(
+                out,
+                "{:<34} count {:<9} p50 {:<10} p95 {:<10} p99 {:<10} max {}",
+                row.name, row.count, row.p50, row.p95, row.p99, row.max,
+            );
+        }
+    }
+
     // --- Memory peaks vs the paper bound ----------------------------------
-    let snapshot = last_metrics_snapshot(&input.events);
     let mem_keys: Vec<(String, f64)> = snapshot
         .iter()
         .filter(|(k, _)| k.contains("bytes") && !k.starts_with("flush_"))
@@ -210,6 +236,51 @@ pub fn span_rows(events: &[JournalEvent], layer: Option<Layer>) -> Vec<SpanRow> 
     rows
 }
 
+/// One histogram family reconstructed from a flat metrics snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramRow {
+    /// Histogram base name (e.g. `sword_solver_call_nanos`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Approximate 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// Approximate 95th percentile.
+    pub p95: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Reconstructs histogram families from a flat snapshot: every base name
+/// with `_count` and `_p50`/`_p95`/`_p99` expansions and at least one
+/// sample.
+pub fn histogram_rows(snapshot: &[(String, f64)]) -> Vec<HistogramRow> {
+    let get = |k: &str| snapshot.iter().find(|(n, _)| n == k).map(|(_, v)| *v as u64);
+    let mut rows = Vec::new();
+    for (key, count) in snapshot {
+        let Some(name) = key.strip_suffix("_count") else { continue };
+        if *count < 1.0 {
+            continue;
+        }
+        let (Some(p50), Some(p95), Some(p99)) =
+            (get(&format!("{name}_p50")), get(&format!("{name}_p95")), get(&format!("{name}_p99")))
+        else {
+            continue;
+        };
+        rows.push(HistogramRow {
+            name: name.to_string(),
+            count: *count as u64,
+            p50,
+            p95,
+            p99,
+            max: get(&format!("{name}_max")).unwrap_or(0),
+        });
+    }
+    rows
+}
+
 /// The merged view of all `metrics` snapshot events: the latest value
 /// per key, in first-seen key order. Journals accumulate snapshots from
 /// several registries (the collector's at run time, the analyzer's when
@@ -255,6 +326,7 @@ mod tests {
             t_us: t,
             dur_us: Some(dur),
             args: vec![],
+            flow: None,
         }
     }
 
@@ -283,6 +355,7 @@ mod tests {
                     ("sword_oa_tree_mem_bytes_peak".to_string(), 40_000.0),
                     ("flush_raw_bytes".to_string(), 1.0),
                 ],
+                flow: None,
             },
             JournalEvent {
                 layer: Layer::Cli,
@@ -291,6 +364,7 @@ mod tests {
                 t_us: 1000,
                 dur_us: None,
                 args: vec![("count".to_string(), 3.0)],
+                flow: None,
             },
         ];
         let report = render_report(&ReportInput { events, info, truncated_tail: true, top_n: 5 });
@@ -301,7 +375,7 @@ mod tests {
         assert!(report.contains("within 4x3.30 MB"));
         assert!(report.contains("hottest spans"));
         assert!(report.contains("flush-handoff"));
-        assert!(report.contains("3 events dropped at ring capacity"));
+        assert!(report.contains("WARNING: journal dropped 3 events at ring capacity"));
         assert!(report.contains("torn final line"));
         // flush_ keys from snapshots are excluded from the memory table.
         assert!(!report.contains("flush_raw_bytes        "));
@@ -319,6 +393,7 @@ mod tests {
                 ("sword_site_pairs{site=\"kernel.rs:10\"}".to_string(), 42.0),
                 ("sword_site_races{site=\"kernel.rs:10\"}".to_string(), 2.0),
             ],
+            flow: None,
         }];
         let report = render_report(&ReportInput {
             events,
@@ -342,6 +417,7 @@ mod tests {
             t_us: 0,
             dur_us: None,
             args: vec![("sword_collector_tool_mem_bytes".to_string(), 1e9)],
+            flow: None,
         }];
         let report = render_report(&ReportInput { events, info, truncated_tail: false, top_n: 3 });
         assert!(report.contains("EXCEEDS"));

@@ -25,12 +25,13 @@
 
 use std::collections::VecDeque;
 use std::io;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use sword_metrics::{DurationHist, StageTable};
-use sword_obs::{Histogram, SiteCounters};
+use sword_obs::{Counter, FlowPhase, Histogram, Obs, SiteCounters};
 
 use crate::analyze::{journal_stage, AnalysisConfig};
 use crate::build::{ReaderPool, TreeCache};
@@ -90,6 +91,76 @@ struct TaskOutcome {
     races: RaceSet,
     stats: WorkerStats,
     secs: f64,
+    /// Causal-flow id minted by the worker's task span, so the reducer's
+    /// merge instant continues the scheduler → worker → reducer chain.
+    flow: Option<u64>,
+}
+
+/// Causal-tracing handles for the analyzer pipeline: the task-deque wait
+/// histogram, the live task-queue depth, and the result-channel
+/// backpressure counter. Present exactly when `--obs` is on.
+struct PipelineObs {
+    obs: Obs,
+    task_wait_us: Histogram,
+    queue_depth: Arc<AtomicU64>,
+    backpressure: Counter,
+}
+
+impl PipelineObs {
+    fn new(obs: &Obs, scheduled: u64) -> PipelineObs {
+        let queue_depth = Arc::new(AtomicU64::new(scheduled));
+        let d = Arc::clone(&queue_depth);
+        obs.registry.source(
+            "sword_task_queue_depth",
+            "comparison tasks still waiting in the worker deques",
+            move || d.load(Ordering::Relaxed) as f64,
+        );
+        PipelineObs {
+            obs: obs.clone(),
+            task_wait_us: obs.registry.histogram(
+                "sword_task_queue_wait_us",
+                "schedule-to-dequeue wait of a comparison task",
+            ),
+            queue_depth,
+            backpressure: obs.registry.counter(
+                "sword_result_backpressure_total",
+                "worker sends that blocked on a full result channel",
+            ),
+        }
+    }
+
+    /// Notes one task leaving the deques: settles the depth gauge and
+    /// records its wait since the scheduler dealt the deques.
+    fn note_dequeue(&self, dealt_us: u64) {
+        // Saturating: a stolen task can be counted on a slightly stale
+        // depth; never underflow.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| Some(d.saturating_sub(1)));
+        self.task_wait_us.record(self.obs.journal.now_us().saturating_sub(dealt_us));
+    }
+}
+
+/// Sends a worker's result, counting result-channel backpressure: a full
+/// channel means the reducer is the bottleneck, so the blocked send is
+/// tallied before falling back to the blocking path.
+fn send_outcome(
+    tx: &Sender<io::Result<TaskOutcome>>,
+    obs: Option<&PipelineObs>,
+    msg: io::Result<TaskOutcome>,
+) -> bool {
+    let msg = match obs {
+        Some(p) => match tx.try_send(msg) {
+            Ok(()) => return true,
+            Err(TrySendError::Disconnected(_)) => return false,
+            Err(TrySendError::Full(msg)) => {
+                p.backpressure.inc();
+                msg
+            }
+        },
+        None => msg,
+    };
+    tx.send(msg).is_ok()
 }
 
 /// Pops the next task for worker `wi`: its own deque's front first, and
@@ -174,6 +245,10 @@ pub(crate) fn run(
     };
     let schedule_secs = sched_t0.elapsed().as_secs_f64();
     journal_stage(&sched_journal, "pair-schedule", sched_s0, ("tasks", scheduled as f64));
+    let pipe_obs = config.obs.as_ref().map(|o| PipelineObs::new(o, scheduled));
+    // All tasks are dealt at one moment; each task's deque wait is
+    // measured from here.
+    let dealt_us = pipe_obs.as_ref().map(|p| p.obs.journal.now_us()).unwrap_or(0);
 
     let (result_tx, result_rx) = bounded::<io::Result<TaskOutcome>>(2 * workers);
 
@@ -188,6 +263,7 @@ pub(crate) fn run(
         for wi in 0..workers {
             let result_tx = result_tx.clone();
             let deques = &deques;
+            let pipe_obs = pipe_obs.as_ref();
             s.spawn(move || {
                 let mut pool = ReaderPool::with_mode(
                     config.read_mode,
@@ -204,6 +280,9 @@ pub(crate) fn run(
                 // hot path), folded into the shared table once at exit.
                 let mut site_acc = config.sites.as_ref().map(|_| SiteCounters::new());
                 while let Some(task) = next_task(deques, wi) {
+                    if let Some(p) = pipe_obs {
+                        p.note_dequeue(dealt_us);
+                    }
                     let s0 = journal.as_ref().map(|j| j.now_us());
                     let t0 = Instant::now();
                     let mut task_races = RaceSet::new();
@@ -222,10 +301,25 @@ pub(crate) fn run(
                         &mut site_acc,
                     );
                     let secs = t0.elapsed().as_secs_f64();
-                    journal_stage(&journal, "task", s0, ("tree_pairs", local.tree_pairs as f64));
-                    let msg =
-                        result.map(|()| TaskOutcome { races: task_races, stats: local, secs });
-                    if result_tx.send(msg).is_err() {
+                    // The task span starts this outcome's causal flow;
+                    // the reducer's merge instant ends it.
+                    let flow = pipe_obs.map(|p| p.obs.journal.next_flow_id());
+                    if let (Some(j), Some(s0)) = (&journal, s0) {
+                        j.span_closed_flow(
+                            "task",
+                            s0,
+                            j.now_us().saturating_sub(s0),
+                            vec![("tree_pairs".to_string(), local.tree_pairs as f64)],
+                            flow.map(|f| (f, FlowPhase::Start)),
+                        );
+                    }
+                    let msg = result.map(|()| TaskOutcome {
+                        races: task_races,
+                        stats: local,
+                        secs,
+                        flow,
+                    });
+                    if !send_outcome(&result_tx, pipe_obs, msg) {
                         break;
                     }
                 }
@@ -243,6 +337,13 @@ pub(crate) fn run(
             match msg {
                 Ok(outcome) => {
                     let t0 = Instant::now();
+                    if let (Some(j), Some(flow)) = (&reduce_journal, outcome.flow) {
+                        j.instant_flow(
+                            "merge",
+                            vec![("task_secs".to_string(), outcome.secs)],
+                            Some((flow, FlowPhase::End)),
+                        );
+                    }
                     races.merge(outcome.races);
                     merged.merge(&outcome.stats);
                     if outcome.secs > merged.max_task_secs {

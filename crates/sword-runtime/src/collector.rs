@@ -36,7 +36,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sword_compress::{encode_frame_into, Compressor};
 use sword_metrics::{FlushCounters, FlushSnapshot};
-use sword_obs::{Gauge, JournalSink, Layer, Obs, ThreadJournal};
+use sword_obs::{FlowPhase, Gauge, Histogram, Journal, JournalSink, Layer, Obs, ThreadJournal};
 use sword_ompsim::{
     OmpSim, ParallelBeginInfo, SimConfig, TaskCreateInfo, TaskUid, ThreadContext, Tool,
 };
@@ -162,6 +162,15 @@ impl SwordStats {
     }
 }
 
+/// Causal-trace stamp riding a queued job: the flow id minted at the
+/// producing side and the enqueue timestamp, so the consumer can record
+/// the queue wait and continue the flow chain.
+#[derive(Clone, Copy)]
+struct FlowTag {
+    flow: u64,
+    enqueued_us: u64,
+}
+
 /// A filled buffer on its way to a compression worker. `seq` is the
 /// global handoff order; the writer restores it after parallel
 /// compression.
@@ -169,6 +178,7 @@ struct FlushJob {
     seq: u64,
     tid: ThreadId,
     block: Vec<u8>,
+    trace: Option<FlowTag>,
 }
 
 /// An encoded frame on its way to the ordered writer.
@@ -177,6 +187,54 @@ struct WriteJob {
     tid: ThreadId,
     raw_len: u64,
     frame: Vec<u8>,
+    trace: Option<FlowTag>,
+}
+
+/// Per-stage causal-tracing handles shared along the flush pipeline:
+/// queue-wait histograms, the flush-channel depth, and the journal that
+/// mints flow ids. Present exactly when the collector has an [`Obs`].
+#[derive(Clone)]
+struct StageObs {
+    journal: Journal,
+    flush_wait_us: Histogram,
+    write_wait_us: Histogram,
+    flush_depth: Arc<AtomicU64>,
+}
+
+impl StageObs {
+    fn new(obs: &Obs) -> StageObs {
+        let flush_depth = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&flush_depth);
+        obs.registry.source(
+            "sword_flush_queue_depth",
+            "filled buffers waiting for a compression worker",
+            move || d.load(Ordering::Relaxed) as f64,
+        );
+        StageObs {
+            journal: obs.journal.clone(),
+            flush_wait_us: obs.registry.histogram(
+                "sword_flush_queue_wait_us",
+                "enqueue-to-dequeue wait on the flush channel",
+            ),
+            write_wait_us: obs.registry.histogram(
+                "sword_write_queue_wait_us",
+                "enqueue-to-dequeue wait on the writer channel",
+            ),
+            flush_depth,
+        }
+    }
+
+    /// Stamps a job entering a queue (bumping the flush-queue depth when
+    /// `depth` is set); reuses the producer's flow id when given.
+    fn enqueue(&self, flow: Option<u64>, count_depth: bool) -> FlowTag {
+        if count_depth {
+            self.flush_depth.fetch_add(1, Ordering::Relaxed);
+        }
+        FlowTag {
+            flow: flow.unwrap_or_else(|| self.journal.next_flow_id()),
+            enqueued_us: self.journal.now_us(),
+        }
+    }
 }
 
 /// Writer-thread result: (raw bytes, compressed bytes).
@@ -242,6 +300,7 @@ struct WriterObs {
     ctx: Arc<CollectorObs>,
     journal: ThreadJournal,
     queue_depth: Gauge,
+    stage: StageObs,
     last_flush: Instant,
 }
 
@@ -321,18 +380,24 @@ fn compression_worker(
     writer_tx: Sender<WriteJob>,
     pool: Arc<BufferPool>,
     counters: Arc<FlushCounters>,
-    journal: Option<ThreadJournal>,
+    obs: Option<(ThreadJournal, StageObs)>,
 ) {
     let mut compressor = Compressor::new();
     for job in rx {
-        let t0 = journal.as_ref().map(ThreadJournal::now_us);
+        let t0 = obs.as_ref().map(|(j, _)| j.now_us());
+        // Dequeue side of the flush channel: settle the depth gauge and
+        // record the enqueue-to-dequeue wait the producer stamped.
+        if let (Some((_, stage)), Some(tag), Some(t0)) = (&obs, job.trace, t0) {
+            stage.flush_depth.fetch_sub(1, Ordering::Relaxed);
+            stage.flush_wait_us.record(t0.saturating_sub(tag.enqueued_us));
+        }
         let start = Instant::now();
         let mut frame = Vec::new();
         encode_frame_into(&mut compressor, &job.block, &mut frame);
         let raw_len = job.block.len() as u64;
         counters.add_compress(elapsed_nanos(start), raw_len, frame.len() as u64);
-        if let (Some(journal), Some(t0)) = (&journal, t0) {
-            journal.span_closed(
+        if let (Some((journal, _)), Some(t0)) = (&obs, t0) {
+            journal.span_closed_flow(
                 "compress",
                 t0,
                 journal.now_us().saturating_sub(t0),
@@ -340,10 +405,16 @@ fn compression_worker(
                     ("raw_bytes".to_string(), raw_len as f64),
                     ("frame_bytes".to_string(), frame.len() as f64),
                 ],
+                job.trace.map(|tag| (tag.flow, FlowPhase::Step)),
             );
         }
         pool.release(job.block);
-        let _ = writer_tx.send(WriteJob { seq: job.seq, tid: job.tid, raw_len, frame });
+        // Re-stamp the tag for the writer-channel hop, keeping the flow id.
+        let trace = obs
+            .as_ref()
+            .zip(job.trace)
+            .map(|((_, stage), tag)| stage.enqueue(Some(tag.flow), false));
+        let _ = writer_tx.send(WriteJob { seq: job.seq, tid: job.tid, raw_len, frame, trace });
     }
 }
 
@@ -371,11 +442,15 @@ fn write_one(
     w.write_encoded_block(&job.frame, job.raw_len)?;
     counters.add_write(elapsed_nanos(start));
     if let (Some(o), Some(t0)) = (obs, t0) {
-        o.journal.span_closed(
+        if let Some(tag) = job.trace {
+            o.stage.write_wait_us.record(t0.saturating_sub(tag.enqueued_us));
+        }
+        o.journal.span_closed_flow(
             "write",
             t0,
             o.journal.now_us().saturating_sub(t0),
             vec![("frame_bytes".to_string(), job.frame.len() as f64)],
+            job.trace.map(|tag| (tag.flow, FlowPhase::End)),
         );
     }
     if live {
@@ -438,6 +513,10 @@ fn register_collector_sources(
         p.occupancy().2 as f64
     });
     let p = Arc::clone(pool);
+    reg.source("sword_pool_stall_total", "acquires that blocked at the pool budget", move || {
+        p.stalls() as f64
+    });
+    let p = Arc::clone(pool);
     let i = Arc::clone(inner);
     reg.source(
         "sword_collector_tool_mem_bytes",
@@ -470,6 +549,8 @@ pub struct SwordCollector {
     writer_totals: Mutex<Option<(u64, u64)>>,
     finished: Mutex<bool>,
     obs: Option<Arc<CollectorObs>>,
+    /// Causal-tracing handles for the flush pipeline (set iff `obs` is).
+    stage: Option<StageObs>,
 }
 
 impl SwordCollector {
@@ -502,6 +583,7 @@ impl SwordCollector {
             }
             None => None,
         };
+        let stage = config.obs.as_ref().map(StageObs::new);
         let flush = if config.async_flush {
             let (tx, rx) = unbounded::<FlushJob>();
             let (writer_tx, writer_rx) = unbounded::<WriteJob>();
@@ -511,12 +593,15 @@ impl SwordCollector {
                 let writer_tx = writer_tx.clone();
                 let pool = Arc::clone(&pool);
                 let counters = Arc::clone(&counters);
-                let journal = obs_ctx
-                    .as_ref()
-                    .map(|ctx| ctx.obs.journal.for_thread(Layer::Runtime, format!("compress-{i}")));
+                let worker_obs = obs_ctx.as_ref().zip(stage.as_ref()).map(|(ctx, stage)| {
+                    (
+                        ctx.obs.journal.for_thread(Layer::Runtime, format!("compress-{i}")),
+                        stage.clone(),
+                    )
+                });
                 workers.push(
                     std::thread::Builder::new().name(format!("sword-compress-{i}")).spawn(
-                        move || compression_worker(rx, writer_tx, pool, counters, journal),
+                        move || compression_worker(rx, writer_tx, pool, counters, worker_obs),
                     )?,
                 );
             }
@@ -527,15 +612,17 @@ impl SwordCollector {
             let shared = Arc::clone(&inner);
             let writer_counters = Arc::clone(&counters);
             let live = config.live_publish;
-            let mut writer_obs = obs_ctx.as_ref().map(|ctx| WriterObs {
-                ctx: Arc::clone(ctx),
-                journal: ctx.obs.journal.for_thread(Layer::Runtime, "writer"),
-                queue_depth: ctx
-                    .obs
-                    .registry
-                    .gauge("sword_writer_queue_depth", "frames waiting in the reorder buffer"),
-                last_flush: Instant::now(),
-            });
+            let mut writer_obs =
+                obs_ctx.as_ref().zip(stage.as_ref()).map(|(ctx, stage)| WriterObs {
+                    ctx: Arc::clone(ctx),
+                    journal: ctx.obs.journal.for_thread(Layer::Runtime, "writer"),
+                    queue_depth: ctx
+                        .obs
+                        .registry
+                        .gauge("sword_writer_queue_depth", "frames waiting in the reorder buffer"),
+                    stage: stage.clone(),
+                    last_flush: Instant::now(),
+                });
             let writer = std::thread::Builder::new().name("sword-writer".into()).spawn(
                 move || -> io::Result<WriterTotals> {
                     let mut writers: HashMap<ThreadId, LogWriter<BufWriter<File>>> = HashMap::new();
@@ -607,6 +694,7 @@ impl SwordCollector {
             writer_totals: Mutex::new(None),
             finished: Mutex::new(false),
             obs: obs_ctx,
+            stage,
         })
     }
 
@@ -726,7 +814,7 @@ impl SwordCollector {
         })
     }
 
-    fn ship(&self, tid: ThreadId, block: Vec<u8>) {
+    fn ship(&self, tid: ThreadId, block: Vec<u8>, flow: Option<u64>) {
         self.counters.record_flush();
         match &self.flush {
             FlushPath::Async { tx, .. } => {
@@ -735,9 +823,12 @@ impl SwordCollector {
                     // the ordered writer never waits on a gap that was
                     // never sent.
                     let seq = self.flush_seq.fetch_add(1, Ordering::Relaxed);
+                    // Stamp the flush-channel hop (finalize-path ships,
+                    // which had no handoff span, mint a fresh flow here).
+                    let trace = self.stage.as_ref().map(|s| s.enqueue(flow, true));
                     // Workers only exit on finish; a send failure is
                     // recorded once.
-                    if tx.send(FlushJob { seq, tid, block }).is_err() {
+                    if tx.send(FlushJob { seq, tid, block, trace }).is_err() {
                         self.record_error(io::Error::other("sword compression workers gone"));
                     }
                 }
@@ -773,7 +864,7 @@ impl SwordCollector {
 
     fn push_event(&self, tid: ThreadId, event: &Event) {
         let slot = self.slot(tid);
-        let block = {
+        let shipment = {
             let mut log = slot.lock();
             if log.push(event) {
                 // Double-buffer handoff: trade the full buffer for a
@@ -788,8 +879,11 @@ impl SwordCollector {
                 let stall = elapsed_nanos(start);
                 self.counters.add_stall(stall);
                 let block = log.swap_buffer(fresh);
+                // The handoff span starts this block's causal flow; the
+                // compress and write spans downstream continue it.
+                let flow = self.stage.as_ref().map(|s| s.journal.next_flow_id());
                 if let (Some(tj), Some(t0)) = (&log.obs, t0) {
-                    tj.span_closed(
+                    tj.span_closed_flow(
                         "flush-handoff",
                         t0,
                         tj.now_us().saturating_sub(t0),
@@ -797,15 +891,16 @@ impl SwordCollector {
                             ("bytes".to_string(), block.len() as f64),
                             ("stall_ns".to_string(), stall as f64),
                         ],
+                        flow.map(|f| (f, FlowPhase::Start)),
                     );
                 }
-                Some(block)
+                Some((block, flow))
             } else {
                 None
             }
         };
-        if let Some(block) = block {
-            self.ship(tid, block);
+        if let Some((block, flow)) = shipment {
+            self.ship(tid, block, flow);
         }
     }
 
@@ -817,7 +912,7 @@ impl SwordCollector {
         };
         for (tid, slot) in &slots {
             if let Some(block) = slot.lock().drain() {
-                self.ship(*tid, block);
+                self.ship(*tid, block, None);
             }
         }
         // Stop the flush pipeline and collect byte totals: close the
@@ -1504,6 +1599,38 @@ mod tests {
             .filter(|e| e.dur_us.is_some())
             .all(|e| e.layer == Layer::Runtime));
         assert!(read.events.iter().any(|e| e.name == "finalize"));
+
+        // Causal tracing: every handoff-born flow id threads through all
+        // three stages — Start on the handoff, Step on the compress, End
+        // on the write — so the Chrome trace draws one arrow chain per
+        // shipped buffer.
+        let phase_of = |name: &str, want: FlowPhase| -> Vec<u64> {
+            read.events
+                .iter()
+                .filter(|e| e.name == name)
+                .filter_map(|e| e.flow)
+                .filter(|(_, p)| *p == want)
+                .map(|(id, _)| id)
+                .collect()
+        };
+        let starts = phase_of("flush-handoff", FlowPhase::Start);
+        let steps = phase_of("compress", FlowPhase::Step);
+        let ends = phase_of("write", FlowPhase::End);
+        assert!(!starts.is_empty(), "handoff spans carry flow starts");
+        for id in &starts {
+            assert!(steps.contains(id), "flow {id} missing its compress step");
+            assert!(ends.contains(id), "flow {id} missing its write end");
+        }
+
+        // Queue-wait histograms saw one sample per hop.
+        let metrics_snap = obs.registry.snapshot();
+        let get = |name: &str| {
+            metrics_snap.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(f64::NAN)
+        };
+        assert!(get("sword_flush_queue_wait_us_count") >= starts.len() as f64);
+        assert!(get("sword_write_queue_wait_us_count") >= starts.len() as f64);
+        assert_eq!(get("sword_flush_queue_depth"), 0.0, "queue drained at finalize");
+        assert!(get("sword_pool_stall_total") >= 0.0);
 
         // The final registry snapshot agrees with the run's stats.
         let snap = read.events.iter().rev().find(|e| e.name == "metrics").expect("snapshot");

@@ -35,6 +35,9 @@ struct PoolState {
     created: usize,
     /// Budget: `acquire` blocks rather than allocate past this.
     budget: usize,
+    /// Acquires that had to block at the budget — the backpressure
+    /// *event* count (stall *time* is measured by the caller).
+    stalls: u64,
 }
 
 impl BufferPool {
@@ -43,7 +46,7 @@ impl BufferPool {
     pub fn new(buffer_bytes: usize, budget: usize) -> Self {
         BufferPool {
             buffer_bytes: buffer_bytes.max(1),
-            state: Mutex::new(PoolState { free: Vec::new(), created: 0, budget }),
+            state: Mutex::new(PoolState { free: Vec::new(), created: 0, budget, stalls: 0 }),
             available: Condvar::new(),
         }
     }
@@ -59,6 +62,7 @@ impl BufferPool {
     /// otherwise blocks until [`BufferPool::release`] returns one.
     pub fn acquire(&self) -> Vec<u8> {
         let mut state = self.state.lock();
+        let mut stalled = false;
         loop {
             if let Some(buf) = state.free.pop() {
                 return buf;
@@ -66,6 +70,10 @@ impl BufferPool {
             if state.created < state.budget {
                 state.created += 1;
                 return Vec::with_capacity(self.buffer_bytes);
+            }
+            if !stalled {
+                stalled = true;
+                state.stalls += 1;
             }
             self.available.wait(&mut state);
         }
@@ -98,6 +106,11 @@ impl BufferPool {
     pub fn occupancy(&self) -> (usize, usize, usize) {
         let state = self.state.lock();
         (state.free.len(), state.created, state.budget)
+    }
+
+    /// Acquires that blocked at the budget (backpressure stall events).
+    pub fn stalls(&self) -> u64 {
+        self.state.lock().stalls
     }
 }
 
@@ -196,6 +209,11 @@ mod tests {
             pool.release(held.1);
             pool.release(buf);
             assert_eq!(pool.created(), 2, "round {round}: blocked, never over budget");
+            assert_eq!(
+                pool.stalls(),
+                round as u64 + 1,
+                "each blocked acquire counts one stall event"
+            );
         }
         // Each blocked round waited ~20ms; the accumulated stall must be
         // in that order of magnitude, not a timer artifact.

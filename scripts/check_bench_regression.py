@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""CI regression gate for the analysis-core pipeline bench.
+"""CI regression gate for the ratio-based bench artifacts.
 
-Compares the `stage_throughput_speedup` of each workload in a freshly
-generated BENCH_pipeline.json against the committed baseline in
-bench-baselines/BENCH_pipeline.json and fails when any workload regresses
-by more than the tolerance (default 15%).
+Compares the gated ratio of each workload in a freshly generated bench
+JSON against the committed baseline in bench-baselines/ and fails when
+any workload regresses by more than the tolerance (default 15%). Two
+artifacts share the gate, each contributing one higher-is-better ratio
+per workload entry:
 
-The gate deliberately compares the *dimensionless* speedup ratio (the
-refactored core's stage throughput over the pre-core shape on the same
-host and run) rather than absolute items/s, so it is portable across
-runner hardware generations: a slower machine slows both modes alike.
+  BENCH_pipeline.json  `stage_throughput_speedup` — refactored
+                       analysis-core stage throughput over the pre-core
+                       shape on the same host and run.
+  BENCH_obs.json       `exporter_throughput_ratio` — unscraped collection
+                       wall time over the wall time with the telemetry
+                       exporter being scraped throughout.
+
+The gate deliberately compares *dimensionless* ratios rather than
+absolute items/s or seconds, so it is portable across runner hardware
+generations: a slower machine slows both modes alike.
 
 Usage:
     scripts/check_bench_regression.py CURRENT BASELINE [--tolerance 0.15]
@@ -30,11 +37,16 @@ def load(path):
         sys.exit(f"error: {path} is not valid JSON: {e}")
 
 
+GATED_RATIOS = ("stage_throughput_speedup", "exporter_throughput_ratio")
+
+
 def by_workload(doc, path):
     rows = {}
     for entry in doc.get("workloads", []):
         name = entry.get("workload")
-        speedup = entry.get("stage_throughput_speedup")
+        speedup = next(
+            (entry[k] for k in GATED_RATIOS if k in entry), None
+        )
         if name is None or not isinstance(speedup, (int, float)) or speedup <= 0:
             sys.exit(f"error: {path}: malformed workload entry {entry!r}")
         rows[name] = float(speedup)
